@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fig. 2 reproduction.
+ *
+ * (a) Layer-wise outlier and adjacent-outlier distribution across
+ *     model families (box-plot statistics: min / median / max per
+ *     model over its layers).
+ * (b) Zero-shot benchmark accuracy: FP baseline vs OliVe-W4A16 vs
+ *     MicroScopiQ-W2A16 on the paper's five benchmark/model pairs.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/outlier.h"
+#include "model/calib_gen.h"
+#include "model/model_zoo.h"
+#include "model/proxy_eval.h"
+#include "model/weight_gen.h"
+#include "quant/hessian.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+void
+figure2a()
+{
+    Table t("Fig. 2(a): outlier / adjacent-outlier distribution "
+            "(% of layer weights; min-median-max over layers)");
+    t.setHeader({"model", "outliers %", "adjacent %"});
+    const std::vector<std::string> names = {
+        "OPT-6.7B",    "LLaMA2-13B", "LLaMA3-8B",
+        "VILA-7B",     "LLaVA1.5-7B", "VMamba-S"};
+    for (const std::string &name : names) {
+        const ModelProfile &model = modelByName(name);
+        std::vector<double> out_frac, adj_frac;
+        for (size_t li = 0; li < model.layers.size(); ++li) {
+            const Matrix w = generateLayerWeights(model, li);
+            const OutlierStats s = analyzeOutliers(w, 128);
+            out_frac.push_back(100.0 * s.outlierFraction());
+            adj_frac.push_back(100.0 * s.adjacentFraction());
+        }
+        auto span = [](std::vector<double> v) {
+            return Table::fmt(percentile(v, 0), 3) + " / " +
+                   Table::fmt(percentile(v, 50), 3) + " / " +
+                   Table::fmt(percentile(v, 100), 3);
+        };
+        t.addRow({name, span(out_frac), span(adj_frac)});
+    }
+    t.print();
+    std::puts("Paper: outliers peak ~5.1%; modern FMs average >0.5% "
+              "adjacent outliers (OPT ~0.04%, two orders lower).\n");
+}
+
+void
+figure2b()
+{
+    // The five benchmark/model pairs of Fig. 2(b) with FP baselines.
+    struct Entry
+    {
+        const char *benchmark;
+        const char *model;
+        double fp;
+        double paper_olive;
+        double paper_msq;
+    };
+    const std::vector<Entry> entries = {
+        {"PIQA", "LLaMA3-8B", 74.53, 62.34, 67.39},
+        {"BoolQ", "LLaMA2-13B", 74.17, 58.10, 67.30},
+        {"HellaSwag", "VILA-7B", 80.75, 56.42, 72.59},
+        {"GQA", "LLaVA1.5-7B", 62.30, 48.26, 57.92},
+        {"VQAv2", "OpenFlamingo-9B", 78.50, 49.21, 72.68},
+    };
+
+    Table t("Fig. 2(b): accuracy, OliVe-W4A16 vs MicroScopiQ-W2A16 "
+            "(paper -> measured proxy)");
+    t.setHeader({"benchmark (model)", "FP", "OliVe-W4 paper",
+                 "OliVe-W4 ours", "MSQ-W2 paper", "MSQ-W2 ours"});
+    PipelineConfig cfg;
+    cfg.calibTokens = 96;
+    cfg.evalTokens = 96;
+    for (const Entry &e : entries) {
+        ModelProfile model = modelByName(e.model);
+        model.fpMetric = e.fp;  // anchor at this benchmark's FP score
+        const double olive_nmse =
+            evaluateMethodOnModel(model, oliveMethod(4), cfg).meanNmse;
+        const double msq_nmse =
+            evaluateMethodOnModel(model, microScopiQMethod(2), cfg)
+                .meanNmse;
+        t.addRow({std::string(e.benchmark) + " (" + e.model + ")",
+                  Table::fmt(e.fp, 2), Table::fmt(e.paper_olive, 2),
+                  Table::fmt(proxyAccuracy(e.fp, olive_nmse), 2),
+                  Table::fmt(e.paper_msq, 2),
+                  Table::fmt(proxyAccuracy(e.fp, msq_nmse), 2)});
+        clearHessianCache();
+    }
+    t.print();
+    std::puts("Claim under test: 2-bit MicroScopiQ beats 4-bit OliVe on "
+              "every benchmark\n(OliVe's victim pruning destroys "
+              "adjacent outliers).\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    figure2a();
+    figure2b();
+    return 0;
+}

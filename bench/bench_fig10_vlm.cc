@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 10 reproduction: weight-only quantization of VLMs across
+ * in-context shot counts. OpenFlamingo-9B on COCO captioning and
+ * VILA-7B on VizWiz / TextVQA: the FP accuracy rises with shots (the
+ * in-context learning curve), and each quantization method shifts the
+ * whole curve down by its reconstruction error. Paper claims: W4A16
+ * MicroScopiQ within ~1% of FP; W2A16 within ~4%, above several W4
+ * baselines.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "model/proxy_eval.h"
+#include "quant/hessian.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+/** FP in-context learning curve anchors (paper Fig. 10 shapes). */
+struct Task
+{
+    const char *name;
+    const char *model;
+    std::vector<double> fpCurve;  // 0, 4, 8, 16, 32 shots
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<size_t> shots = {0, 4, 8, 16, 32};
+    const std::vector<Task> tasks = {
+        {"COCO CIDEr", "OpenFlamingo-9B", {74.0, 82.0, 86.0, 89.0, 92.0}},
+        {"VizWiz", "VILA-7B", {48.0, 53.0, 55.0, 57.0, 58.5}},
+        {"TextVQA", "VILA-7B", {57.0, 60.0, 61.5, 62.5, 63.0}},
+    };
+
+    PipelineConfig cfg;
+    cfg.calibTokens = 96;
+    cfg.evalTokens = 96;
+
+    std::puts("Fig. 10: VLM weight-only quantization across in-context "
+              "shots\n(proxy accuracy; FP curve anchored to the paper's "
+              "figure shapes).\n");
+
+    for (const Task &task : tasks) {
+        const ModelProfile &model = modelByName(task.model);
+
+        // One quantization pass per method; the NMSE shifts the curve.
+        const double nmse_w4 =
+            evaluateMethodOnModel(model, microScopiQMethod(4), cfg)
+                .meanNmse;
+        clearHessianCache();
+        const double nmse_w2 =
+            evaluateMethodOnModel(model, microScopiQMethod(2), cfg)
+                .meanNmse;
+        clearHessianCache();
+        const double nmse_olive =
+            evaluateMethodOnModel(model, oliveMethod(4), cfg).meanNmse;
+        clearHessianCache();
+        const double nmse_gptq =
+            evaluateMethodOnModel(model, gptqMethod(4), cfg).meanNmse;
+        clearHessianCache();
+
+        Table t(std::string(task.name) + " (" + task.model + ")");
+        std::vector<std::string> header = {"shots"};
+        for (size_t s : shots)
+            header.push_back(std::to_string(s));
+        t.setHeader(header);
+
+        auto curve = [&](const char *label, double nmse) {
+            std::vector<std::string> row = {label};
+            for (size_t i = 0; i < shots.size(); ++i)
+                row.push_back(Table::fmt(
+                    proxyAccuracy(task.fpCurve[i], nmse), 1));
+            t.addRow(row);
+        };
+        {
+            std::vector<std::string> row = {"FP16"};
+            for (double v : task.fpCurve)
+                row.push_back(Table::fmt(v, 1));
+            t.addRow(row);
+        }
+        curve("MicroScopiQ-W4", nmse_w4);
+        curve("MicroScopiQ-W2", nmse_w2);
+        curve("OliVe-W4", nmse_olive);
+        curve("GPTQ-W4", nmse_gptq);
+        t.print();
+    }
+    std::puts("Claims under test: MicroScopiQ-W4 within ~1% of FP at "
+              "every shot count;\nMicroScopiQ-W2 above the W4 baselines "
+              "(OliVe in particular).");
+    return 0;
+}

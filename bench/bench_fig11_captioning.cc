@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 11 proxy: the paper shows qualitative 8-shot COCO captions
+ * where OliVe-W4 mislabels objects while MicroScopiQ-W2 stays
+ * faithful. Captions cannot be reproduced without the real VLM, so
+ * this bench measures the mechanism behind the qualitative result:
+ * the cosine similarity between the FP and quantized layer outputs
+ * (the representation the language head decodes from). A similarity
+ * near 1 preserves the argmax token chain; OliVe's outlier destruction
+ * drops it enough to flip tokens.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "model/calib_gen.h"
+#include "model/weight_gen.h"
+#include "quant/hessian.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+/** Mean cosine similarity between FP and quantized outputs per token. */
+double
+outputCosine(const Matrix &w, const Matrix &wq, const Matrix &x)
+{
+    const Matrix ref = w.transposedMatmul(x);
+    const Matrix out = wq.transposedMatmul(x);
+    double acc = 0.0;
+    for (size_t t = 0; t < ref.cols(); ++t) {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (size_t o = 0; o < ref.rows(); ++o) {
+            dot += ref(o, t) * out(o, t);
+            na += ref(o, t) * ref(o, t);
+            nb += out(o, t) * out(o, t);
+        }
+        acc += dot / (std::sqrt(na * nb) + 1e-30);
+    }
+    return acc / static_cast<double>(ref.cols());
+}
+
+} // namespace
+
+int
+main()
+{
+    const ModelProfile &model = modelByName("OpenFlamingo-9B");
+
+    Table t("Fig. 11 proxy: representation fidelity on 8-shot COCO "
+            "captioning\n(cosine similarity of FP vs quantized layer "
+            "outputs; 1.0 = captions preserved)");
+    t.setHeader({"method", "mean cosine", "verdict"});
+
+    struct Entry
+    {
+        const char *name;
+        QuantMethod method;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"MicroScopiQ-W2", microScopiQMethod(2)});
+    entries.push_back({"MicroScopiQ-W4", microScopiQMethod(4)});
+    entries.push_back({"OliVe-W4", oliveMethod(4)});
+
+    for (Entry &e : entries) {
+        double acc = 0.0;
+        for (size_t li = 0; li < model.layers.size(); ++li) {
+            const Matrix w = generateLayerWeights(model, li);
+            const Matrix calib = generateCalibration(
+                model, li, 4 * model.layers[li].k);
+            const Matrix x = generateEvalSet(model, li, 64);
+            QuantizerPtr q = e.method.makeQuantizer();
+            const QuantResult res = q->quantize(w, calib);
+            acc += outputCosine(w, res.dequant, x);
+        }
+        const double cosine =
+            acc / static_cast<double>(model.layers.size());
+        t.addRow({e.name, Table::fmt(cosine, 4),
+                  cosine > 0.97 ? "captions preserved"
+                                : "object words at risk"});
+        clearHessianCache();
+    }
+    t.print();
+    std::puts("Paper's qualitative finding: OliVe-W4 mislabels (boat -> "
+              "van), MicroScopiQ-W2\nstays accurate despite half the "
+              "bits; the fidelity gap above is the mechanism.");
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 12 reproduction: iso-accuracy latency and energy comparison of
+ * the MicroScopiQ accelerator (v1: W4A4, v2: mostly 2-bit) against
+ * GOBO, OLAccel, AdaptivFloat, ANT and OliVe on full-scale decode
+ * workloads of several models. Values are normalized to OliVe as in
+ * the paper's figure.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "accel/baselines.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "model/model_zoo.h"
+
+using namespace msq;
+
+namespace {
+
+/** Full-scale decode workloads: one transformer block per model times
+ *  the block count (latency scales linearly). */
+std::vector<Workload>
+modelWorkloads(const ModelProfile &model, size_t tokens)
+{
+    const size_t d = model.realHidden;
+    // Fraction of micro-blocks holding outliers follows the model's
+    // own outlier rate (VILA's higher rate raises ReCoN traffic, the
+    // power-breakdown effect of Section 7.5).
+    const double micro_frac =
+        1.0 - std::pow(1.0 - model.weights.outlierRate, 8.0);
+    std::vector<Workload> wls;
+    for (const auto &[k, o] :
+         std::initializer_list<std::pair<size_t, size_t>>{
+             {d, d + d / 2}, {d, d}, {d, 4 * d}, {4 * d, d}}) {
+        Workload wl;
+        wl.tokens = tokens;
+        wl.reduction = k;
+        wl.outputs = o;
+        wl.microOutlierFrac = micro_frac;
+        wls.push_back(wl);
+    }
+    return wls;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> models = {"LLaMA2-7B", "LLaMA3-8B",
+                                             "OPT-6.7B", "VILA-7B"};
+    AccelConfig base;
+
+    std::puts("Fig. 12: iso-accuracy comparison, normalized to OliVe "
+              "(< 1 is better).\nPaper headline: MicroScopiQ v1 / v2 "
+              "average speedups 1.50x / 2.47x over\nbaselines; v2 has "
+              "the lowest energy (~1.5x lower on average).\n");
+
+    Table lat("Fig. 12(b): normalized latency");
+    Table en("Fig. 12(c): normalized energy");
+    std::vector<std::string> header = {"design"};
+    for (const std::string &m : models)
+        header.push_back(m);
+    header.push_back("geomean");
+    lat.setHeader(header);
+    en.setHeader(header);
+
+    // Collect runs per design per model.
+    std::vector<AccelDesign> designs = allDesigns();
+    std::vector<std::vector<DesignRun>> runs(designs.size());
+    for (size_t di = 0; di < designs.size(); ++di) {
+        for (const std::string &mname : models) {
+            const ModelProfile &model = modelByName(mname);
+            Rng rng(101 + di);
+            runs[di].push_back(evaluateDesign(
+                designs[di], base, modelWorkloads(model, 2), rng));
+        }
+    }
+
+    // Find OliVe's index for normalization.
+    size_t olive_idx = 0;
+    for (size_t di = 0; di < designs.size(); ++di)
+        if (designs[di].name == "OliVe")
+            olive_idx = di;
+
+    for (size_t di = 0; di < designs.size(); ++di) {
+        std::vector<std::string> lrow = {designs[di].name};
+        std::vector<std::string> erow = {designs[di].name};
+        std::vector<double> lvals, evals;
+        for (size_t mi = 0; mi < models.size(); ++mi) {
+            const double l =
+                runs[di][mi].cycles / runs[olive_idx][mi].cycles;
+            const double e =
+                runs[di][mi].energyPj / runs[olive_idx][mi].energyPj;
+            lvals.push_back(l);
+            evals.push_back(e);
+            lrow.push_back(Table::fmt(l, 2));
+            erow.push_back(Table::fmt(e, 2));
+        }
+        lrow.push_back(Table::fmt(geomean(lvals), 2));
+        erow.push_back(Table::fmt(geomean(evals), 2));
+        lat.addRow(lrow);
+        en.addRow(erow);
+    }
+    lat.print();
+    en.print();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 13 reproduction: A100 GPU versus the MicroScopiQ accelerator
+ * under iso-bandwidth (2 TB/s off-chip) and iso-compute scaling:
+ * normalized latency and energy for W4A4 (v1) and WxA4 (v2) decode.
+ */
+
+#include <vector>
+
+#include "accel/baselines.h"
+#include "common/table.h"
+#include "gpu/gpu_model.h"
+#include "model/model_zoo.h"
+
+using namespace msq;
+
+int
+main()
+{
+    const std::vector<std::string> models = {"LLaMA2-7B", "LLaMA3-8B",
+                                             "LLaMA2-13B"};
+    const size_t tokens = 4;
+
+    // Iso-bandwidth accelerator config: 2 TB/s off-chip, array scaled
+    // toward the A100's multiplier count (55,296): 128x128 PEs at two
+    // MACs per PE in 2-bit mode is 32k MACs/cycle; the remaining gap
+    // is absorbed by the clock-normalized comparison.
+    AccelConfig iso;
+    iso.rows = 128;
+    iso.cols = 128;
+    iso.dramGBs = 2000.0;
+    iso.ocpGBs = 1500.0;
+    iso.reconUnits = 8;
+
+    GpuConfig gpu;
+
+    Table lat("Fig. 13(a): normalized latency (A100 = 1.0)");
+    Table en("Fig. 13(b): normalized energy (A100 = 1.0)");
+    lat.setHeader({"model", "MicroScopiQ v1 (paper ~0.83)",
+                   "MicroScopiQ v2 (paper ~0.59)"});
+    en.setHeader({"model", "MicroScopiQ v1", "MicroScopiQ v2"});
+
+    for (const std::string &mname : models) {
+        const ModelProfile &model = modelByName(mname);
+        const GpuIsoResult g =
+            runIsoComparison(gpu, model.paramsB, tokens);
+
+        const size_t d = model.realHidden;
+        std::vector<Workload> wls;
+        for (const auto &[k, o] :
+             std::initializer_list<std::pair<size_t, size_t>>{
+                 {d, d + d / 2}, {d, d}, {d, 4 * d}, {4 * d, d}}) {
+            Workload wl;
+            wl.tokens = tokens;
+            wl.reduction = k;
+            wl.outputs = o;
+            wl.microOutlierFrac = 0.09;
+            wls.push_back(wl);
+        }
+        // Scale one block's cycles/energy to the full model.
+        const double blocks = static_cast<double>(model.realLayers);
+
+        Rng r1(7), r2(7);
+        const DesignRun v1 =
+            evaluateDesign(microScopiQV1(), iso, wls, r1);
+        const DesignRun v2 =
+            evaluateDesign(microScopiQV2(), iso, wls, r2);
+
+        // GPU model covers the whole network already; normalize per
+        // block for comparison.
+        const double gpu_cycles = g.cycles / blocks;
+        const double gpu_energy = g.energyPj / blocks;
+
+        lat.addRow({mname, Table::fmt(v1.cycles / gpu_cycles, 2),
+                    Table::fmt(v2.cycles / gpu_cycles, 2)});
+        en.addRow({mname, Table::fmt(v1.energyPj / gpu_energy, 2),
+                   Table::fmt(v2.energyPj / gpu_energy, 2)});
+    }
+    lat.print();
+    en.print();
+    std::puts("Paper: v1 and v2 are 1.2x and 1.7x faster than the A100 "
+              "(normalized latency\n~0.83 / ~0.59) with lower energy — "
+              "the GPU pays FP16 fallback and\nregister-reordering "
+              "costs the accelerator architecture avoids.");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 17 reproduction: total area of MicroScopiQ (1 / 2 / 8 ReCoN
+ * units) versus OliVe at 8x8, 16x16 and 128x128 array sizes, with
+ * buffers scaled per Section 7.9 (8x8: 16 kB iAct/oAct + 32 kB weight,
+ * scaled proportionally), normalized to OliVe per size.
+ */
+
+#include <vector>
+
+#include "accel/area.h"
+#include "common/table.h"
+
+using namespace msq;
+
+namespace {
+
+/** Buffer bytes scaled from the 8x8 reference configuration. */
+double
+bufferBytes(size_t dim)
+{
+    const double base = (16.0 + 16.0 + 32.0) * 1024.0;  // 8x8 reference
+    const double scale = static_cast<double>(dim * dim) / (8.0 * 8.0);
+    return base * scale;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("Fig. 17: area scaling (normalized to OliVe at each array "
+              "size).\nPaper: single-ReCoN MicroScopiQ is smaller than "
+              "OliVe everywhere; at 128x128\none ReCoN is ~3% of compute "
+              "area and 8 ReCoN units add only ~11%.\n");
+
+    for (size_t dim : {8u, 16u, 128u}) {
+        const double sram = bufferBytes(dim);
+        const AreaBreakdown olive = oliveArea(dim, dim, sram);
+        const double olive_total = olive.totalAreaMm2();
+
+        Table t("Array " + std::to_string(dim) + "x" +
+                std::to_string(dim) + " (OliVe total " +
+                Table::fmt(olive_total, 4) + " mm^2)");
+        t.setHeader({"design", "compute mm^2", "total mm^2",
+                     "norm. vs OliVe", "ReCoN share %"});
+        for (size_t units : {1u, 2u, 8u}) {
+            const AreaBreakdown ms =
+                microScopiQArea(dim, dim, units, sram);
+            double recon_um2 = 0.0, compute_um2 = 0.0;
+            for (const AreaComponent &c : ms.components) {
+                compute_um2 += c.totalUm2();
+                if (c.name == "ReCoN" || c.name == "Sync buffer")
+                    recon_um2 += c.totalUm2();
+            }
+            t.addRow({"MicroScopiQ-" + std::to_string(units) + "R",
+                      Table::fmt(ms.computeAreaMm2(), 4),
+                      Table::fmt(ms.totalAreaMm2(), 4),
+                      Table::fmt(ms.totalAreaMm2() / olive_total, 3),
+                      Table::fmt(100.0 * recon_um2 / compute_um2, 1)});
+        }
+        t.addRow({"OliVe", Table::fmt(olive.computeAreaMm2(), 4),
+                  Table::fmt(olive_total, 4), "1.000", "-"});
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 18 reproduction.
+ *
+ * (a) Effect of the number of time-multiplexed ReCoN units on compute
+ *     area and inference latency for a LLaMA3-8B workload (paper: 8
+ *     units give 21% better latency at 1.58x compute area).
+ * (b) Integration overhead of MicroScopiQ into NoC-based accelerators
+ *     (MTIA-like: +3%, Eyeriss v2-like: +2.3% compute area).
+ */
+
+#include <vector>
+
+#include "accel/area.h"
+#include "accel/baselines.h"
+#include "accel/cycle_model.h"
+#include "common/table.h"
+#include "model/model_zoo.h"
+
+using namespace msq;
+
+int
+main()
+{
+    const ModelProfile &model = modelByName("LLaMA3-8B");
+    const size_t d = model.realHidden;
+    std::vector<Workload> wls;
+    for (const auto &[k, o] :
+         std::initializer_list<std::pair<size_t, size_t>>{
+             {d, d + d / 2}, {d, d}, {d, 4 * d}, {4 * d, d}}) {
+        Workload wl;
+        wl.tokens = 12;  // enough batch to expose ReCoN contention
+        wl.reduction = k;
+        wl.outputs = o;
+        wl.microOutlierFrac = 0.09;
+        wls.push_back(wl);
+    }
+
+    // Paper series for side-by-side printing.
+    const double paper_area[] = {1.0, 1.17, 1.31, 1.58};
+    const double paper_lat[] = {1.0, 0.85, 0.82, 0.79};
+
+    double base_cycles = 0.0;
+    const double base_area =
+        microScopiQArea(64, 64, 1, 0).computeAreaMm2();
+
+    Table t("Fig. 18(a): ReCoN unit count trade-off, LLaMA3-8B "
+            "(paper -> measured, normalized to 1 unit)");
+    t.setHeader({"# ReCoN", "compute area", "latency"});
+    size_t idx = 0;
+    for (size_t units : {1u, 2u, 4u, 8u}) {
+        AccelConfig cfg;
+        cfg.reconUnits = units;
+        CycleModel cm(cfg);
+        Rng rng(11);
+        const CycleStats s = cm.runAll(wls, rng);
+        if (units == 1)
+            base_cycles = static_cast<double>(s.totalCycles);
+        const double area =
+            microScopiQArea(64, 64, units, 0).computeAreaMm2();
+        t.addRow({std::to_string(units),
+                  Table::fmt(paper_area[idx], 2) + " -> " +
+                      Table::fmt(area / base_area, 2),
+                  Table::fmt(paper_lat[idx], 2) + " -> " +
+                      Table::fmt(static_cast<double>(s.totalCycles) /
+                                     base_cycles,
+                                 2)});
+        ++idx;
+    }
+    t.print();
+
+    Table b("Fig. 18(b): MicroScopiQ integration into NoC accelerators");
+    b.setHeader({"accelerator", "PE area %", "NoC area %",
+                 "added compute area %", "paper"});
+    for (const NocIntegration &study : nocIntegrationStudies()) {
+        b.addRow({study.accelerator,
+                  Table::fmt(100.0 * study.basePeAreaFrac, 1),
+                  Table::fmt(100.0 * study.baseNocAreaFrac, 1),
+                  Table::fmt(100.0 * study.reconAddedFrac, 1),
+                  study.accelerator == std::string("MTIA-like")
+                      ? "3.0 %"
+                      : "2.3 %"});
+    }
+    b.print();
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths: FP
+ * element encode, MX-INT / MX-FP group quantization, the full
+ * MicroScopiQ layer quantizer, the PE multiplier tree, ReCoN transits,
+ * and the functional-accelerator GEMM. These back the paper's
+ * quantization-runtime claim (Section 7.1: runtime on par with GPTQ).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/functional.h"
+#include "accel/pe.h"
+#include "common/rng.h"
+#include "core/microscopiq.h"
+#include "mx/mx_fp.h"
+#include "mx/mx_int.h"
+#include "quant/gptq.h"
+#include "quant/hessian.h"
+
+namespace msq {
+namespace {
+
+Matrix
+randomWeights(size_t k, size_t o, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix w(k, o);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.gaussian(0.0, 0.02);
+            if (rng.bernoulli(0.02))
+                v = rng.uniform(0.15, 0.4) * (rng.bernoulli(0.5) ? 1 : -1);
+            w(r, c) = v;
+        }
+    }
+    return w;
+}
+
+void
+BM_FpEncode(benchmark::State &state)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    Rng rng(1);
+    std::vector<double> values(1024);
+    for (double &v : values)
+        v = rng.gaussian(0.0, 1.0);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fpEncode(fmt, values[i & 1023]));
+        ++i;
+    }
+}
+BENCHMARK(BM_FpEncode);
+
+void
+BM_MxIntGroup128(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<double> group(128);
+    for (double &v : group)
+        v = rng.gaussian(0.0, 0.02);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mxIntQuantize(group, 2));
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_MxIntGroup128);
+
+void
+BM_MxFpGroup8(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<double> group(8);
+    for (double &v : group)
+        v = rng.uniform(0.5, 8.0);
+    const FpFormat fmt = FpFormat::e1m2();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mxFpQuantize(group, fmt));
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_MxFpGroup8);
+
+void
+BM_PeMultiply4b(benchmark::State &state)
+{
+    uint8_t w = 0;
+    int8_t a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            MultiPrecisionPe::multiply4b(w & 0xf, a));
+        ++w;
+        ++a;
+    }
+}
+BENCHMARK(BM_PeMultiply4b);
+
+void
+BM_MicroScopiQLayer(benchmark::State &state)
+{
+    const size_t dim = static_cast<size_t>(state.range(0));
+    const Matrix w = randomWeights(dim, dim, 4);
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    for (auto _ : state) {
+        MicroScopiQQuantizer q(cfg);
+        benchmark::DoNotOptimize(q.quantizePacked(w, Matrix()));
+    }
+    state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_MicroScopiQLayer)->Arg(128)->Arg(256);
+
+void
+BM_MicroScopiQWithHessian(benchmark::State &state)
+{
+    const size_t dim = 128;
+    const Matrix w = randomWeights(dim, dim, 5);
+    Rng rng(6);
+    Matrix calib(dim, 64);
+    for (size_t r = 0; r < dim; ++r)
+        for (size_t t = 0; t < 64; ++t)
+            calib(r, t) = rng.gaussian(0.0, 1.0);
+    MsqConfig cfg;
+    for (auto _ : state) {
+        clearHessianCache();
+        MicroScopiQQuantizer q(cfg);
+        benchmark::DoNotOptimize(q.quantizePacked(w, calib));
+    }
+    state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_MicroScopiQWithHessian);
+
+void
+BM_GptqLayer(benchmark::State &state)
+{
+    const size_t dim = 128;
+    const Matrix w = randomWeights(dim, dim, 7);
+    Rng rng(8);
+    Matrix calib(dim, 64);
+    for (size_t r = 0; r < dim; ++r)
+        for (size_t t = 0; t < 64; ++t)
+            calib(r, t) = rng.gaussian(0.0, 1.0);
+    GptqConfig cfg;
+    for (auto _ : state) {
+        clearHessianCache();
+        GptqQuantizer q(cfg);
+        benchmark::DoNotOptimize(q.quantize(w, calib));
+    }
+    state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_GptqLayer);
+
+void
+BM_FunctionalGemm(benchmark::State &state)
+{
+    const Matrix w = randomWeights(128, 256, 9);
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    MicroScopiQQuantizer q(cfg);
+    const PackedLayer layer = q.quantizePacked(w, Matrix());
+    Rng rng(10);
+    Matrix x(128, 4);
+    for (size_t r = 0; r < 128; ++r)
+        for (size_t t = 0; t < 4; ++t)
+            x(r, t) = rng.gaussian(0.0, 1.0);
+    const QuantizedActs acts(x, 8, 128);
+    FunctionalAccelerator accel{AccelConfig{}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(accel.gemm(layer, acts));
+    state.SetItemsProcessed(state.iterations() * 128 * 256 * 4);
+}
+BENCHMARK(BM_FunctionalGemm);
+
+} // namespace
+} // namespace msq
+
+BENCHMARK_MAIN();

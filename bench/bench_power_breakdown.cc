@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Section 7.5 reproduction: accelerator power breakdown. Paper: for
+ * LLaMA2-7B the PE array consumes 56.23% of power, on-chip memory
+ * 36.80%, ReCoN 5.94%; VILA-7B (higher outlier rate) shifts to
+ * 55.98% / 35.32% / 7.65%.
+ *
+ * Configuration: batched decode (batch 64) on a 64x64 array with 8
+ * ReCoN units (the zero-conflict configuration of Section 7.8), DRAM
+ * excluded (off-package), static power attributed to components by
+ * their area share (SRAM dominates die area, the PE array dominates
+ * dynamic power).
+ */
+
+#include <cmath>
+
+#include "accel/area.h"
+#include "accel/block_sim.h"
+#include "common/table.h"
+
+using namespace msq;
+
+int
+main()
+{
+    Table t("Section 7.5: on-chip power breakdown "
+            "(paper -> measured)");
+    t.setHeader({"model", "PE array %", "on-chip memory %", "ReCoN %"});
+
+    struct Entry
+    {
+        const char *model;
+        double paperPe, paperMem, paperRecon;
+    };
+    for (const Entry &e :
+         {Entry{"LLaMA2-7B", 56.23, 36.80, 5.94},
+          Entry{"VILA-7B", 55.98, 35.32, 7.65}}) {
+        const ModelProfile &model = modelByName(e.model);
+        AccelConfig cfg;
+        cfg.reconUnits = 8;
+        DecodeStep step;
+        step.batch = 64;
+        step.microOutlierFrac =
+            1.0 - std::pow(1.0 - model.weights.outlierRate, 8.0);
+        Rng rng(21);
+        const BlockSimResult res = simulateDecode(cfg, model, step, rng);
+
+        // Static power split by component area share.
+        const AreaBreakdown area = microScopiQArea(
+            64, 64, cfg.reconUnits, static_cast<double>(cfg.l2Bytes));
+        double recon_um2 = 0.0, compute_um2 = 0.0;
+        for (const AreaComponent &c : area.components) {
+            compute_um2 += c.totalUm2();
+            if (c.name == "ReCoN" || c.name == "Sync buffer")
+                recon_um2 += c.totalUm2();
+        }
+        const double total_mm2 = area.totalAreaMm2();
+        const double pe_share =
+            (compute_um2 - recon_um2) / 1e6 / total_mm2;
+        const double recon_share = recon_um2 / 1e6 / total_mm2;
+        const double mem_share = area.sramAreaMm2() / total_mm2;
+
+        const double st = res.energy.staticEnergy;
+        const double pe = res.energy.peDynamic + st * pe_share;
+        const double mem = res.energy.bufferDynamic +
+                           res.energy.l2Dynamic + st * mem_share;
+        const double recon =
+            res.energy.reconDynamic + st * recon_share;
+        const double onchip = pe + mem + recon;
+        t.addRow({e.model,
+                  Table::fmt(e.paperPe, 2) + " -> " +
+                      Table::fmt(100.0 * pe / onchip, 2),
+                  Table::fmt(e.paperMem, 2) + " -> " +
+                      Table::fmt(100.0 * mem / onchip, 2),
+                  Table::fmt(e.paperRecon, 2) + " -> " +
+                      Table::fmt(100.0 * recon / onchip, 2)});
+    }
+    t.print();
+    std::puts("Shape under test: the PE array dominates; ReCoN stays a "
+              "small single-digit\nshare and grows with the model's "
+              "outlier rate (VILA > LLaMA2).");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 1 reproduction: the qualitative comparison of outlier-aware
+ * technique groups, with the quantitative cells (accuracy proxy,
+ * effective bit-width) measured from this repository's implementations
+ * on the LLaMA3-8B profile: group A = GOBO (high precision outliers,
+ * unaligned), group B = OliVe (same-precision outliers, aligned),
+ * MicroScopiQ (high-precision outliers *and* aligned).
+ */
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "quant/hessian.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+int
+main()
+{
+    const ModelProfile &model = modelByName("LLaMA3-8B");
+    PipelineConfig cfg;
+    cfg.calibTokens = 96;
+    cfg.evalTokens = 96;
+
+    const ModelEvalResult gobo =
+        evaluateMethodOnModel(model, goboMethod(), cfg);
+    clearHessianCache();
+    const ModelEvalResult olive =
+        evaluateMethodOnModel(model, oliveMethod(4), cfg);
+    clearHessianCache();
+    const ModelEvalResult msq =
+        evaluateMethodOnModel(model, microScopiQMethod(2), cfg);
+    clearHessianCache();
+
+    Table t("Table 1: MicroScopiQ vs prior outlier-aware techniques "
+            "(measured on LLaMA3-8B profile)");
+    t.setHeader({"property", "Group A (GOBO)", "Group B (OliVe)",
+                 "MicroScopiQ"});
+    t.addRow({"proxy PPL (lower better)", Table::fmt(gobo.proxyPpl, 2),
+              Table::fmt(olive.proxyPpl, 2), Table::fmt(msq.proxyPpl, 2)});
+    t.addRow({"accuracy verdict", "High", "Low", "High"});
+    t.addRow({"effective bit-width (measured)",
+              Table::fmt(gobo.meanEbw, 2) + " (paper 18.17)",
+              Table::fmt(olive.meanEbw, 2) + " (paper 2-4)",
+              Table::fmt(msq.meanEbw, 2) + " (paper 2.36)"});
+    t.addRow({"outlier position flexibility", "Yes (sparse index)",
+              "No (victim adjacency)", "Yes (Hessian pruning)"});
+    t.addRow({"aligned memory", "Unaligned", "Aligned", "Aligned"});
+    t.addRow({"PE design", "Complex (outlier PEs)",
+              "Complex (enc/dec)", "Simple (INT + ReCoN)"});
+    t.addRow({"HW overhead (Table 5)", "High (0.156 mm^2)",
+              "Moderate (0.011 mm^2)", "Low (0.013 mm^2)"});
+    t.print();
+    std::puts("Note: GOBO's paper EBW (15.6-18.17b) counts its full "
+              "unaligned sparse records;\nour measured EBW uses the "
+              "component accounting in src/quant/gobo.cc.");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 6 reproduction: normalized token-generation throughput on an
+ * A100-class GPU for LLaMA2-13B and LLaMA3-8B across kernel variants,
+ * plus the modified-tensor-core simulation. Values are normalized to
+ * the TRT-LLM FP16 baseline as in the paper.
+ */
+
+#include <vector>
+
+#include "common/table.h"
+#include "gpu/gpu_model.h"
+#include "model/model_zoo.h"
+
+using namespace msq;
+
+int
+main()
+{
+    struct Entry
+    {
+        GpuKernel kernel;
+        double paper_13b;
+        double paper_8b;
+    };
+    const std::vector<Entry> entries = {
+        {GpuKernel::TrtLlmFp16, 1.00, 1.00},
+        {GpuKernel::AtomW4A4, 2.25, 1.05},
+        {GpuKernel::MsNoOptim, 0.98, 0.92},
+        {GpuKernel::MsOptim, 2.06, 1.01},
+        {GpuKernel::MsModifiedTensorCore, 4.31, 1.78},
+    };
+
+    GpuConfig cfg;
+    const double p13 = modelByName("LLaMA2-13B").paramsB;
+    const double p8 = modelByName("LLaMA3-8B").paramsB;
+    const double fp13 =
+        runDecode(cfg, GpuKernel::TrtLlmFp16, p13, 16.0).tokensPerSec;
+    const double fp8 =
+        runDecode(cfg, GpuKernel::TrtLlmFp16, p8, 16.0).tokensPerSec;
+
+    Table t("Table 6: normalized token throughput, A100-class "
+            "(paper -> measured model)");
+    t.setHeader({"method", "LLaMA2-13B", "LLaMA3-8B"});
+    for (const Entry &e : entries) {
+        const double ebw = e.kernel == GpuKernel::AtomW4A4 ? 4.25 : 4.15;
+        const double m13 =
+            runDecode(cfg, e.kernel, p13, ebw).tokensPerSec / fp13;
+        const double m8 =
+            runDecode(cfg, e.kernel, p8, ebw).tokensPerSec / fp8;
+        t.addRow({gpuKernelName(e.kernel),
+                  Table::fmt(e.paper_13b, 2) + " -> " + Table::fmt(m13, 2),
+                  Table::fmt(e.paper_8b, 2) + " -> " + Table::fmt(m8, 2)});
+    }
+    t.print();
+    std::puts("Model constants are calibrated against the 13B column; "
+              "the 8B column is a\nprediction (the paper's 8B anomalies "
+              "— Atom at 1.05x — reflect setup details\nthe table does "
+              "not specify; see EXPERIMENTS.md).");
+    return 0;
+}

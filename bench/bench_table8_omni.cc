@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table 8 reproduction: Omni-MicroScopiQ — MicroScopiQ combined with
+ * OmniQuant's learnable ingredients (LWC via per-group clip search on
+ * the inlier scale, LET via migration) against OmniQuant-lite alone,
+ * on three model profiles at W4A16, W2A16 and W2A8.
+ */
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "quant/hessian.h"
+
+using namespace msq;
+using namespace msq::bench;
+
+namespace {
+
+/** Omni-MicroScopiQ: MicroScopiQ plus LET-style migration (the LWC
+ *  analogue is the clip search already embedded in the scale
+ *  selection; migration carries the learnable-transform benefit). */
+QuantMethod
+omniMicroScopiQ(unsigned bits, unsigned act_bits)
+{
+    QuantMethod m = microScopiQMethod(bits, act_bits, 0.5);
+    m.name = "Omni-MicroScopiQ";
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> models = {"LLaMA2-13B", "LLaMA3-70B",
+                                             "Phi3-3.8B"};
+    struct Setting
+    {
+        const char *name;
+        unsigned bits;
+        unsigned actBits;
+        std::vector<double> paper_omni;
+        std::vector<double> paper_oms;
+    };
+    const std::vector<Setting> settings = {
+        {"W4A16", 4, 0, {5.02, 3.46, 6.67}, {4.87, 2.97, 6.52}},
+        {"W2A16", 2, 0, {7.56, 6.17, 7.09}, {6.58, 5.09, 6.89}},
+        {"W2A8", 2, 8, {8.92, 6.83, 7.95}, {7.12, 5.74, 7.21}},
+    };
+
+    PipelineConfig cfg;
+    cfg.calibTokens = 96;
+    cfg.evalTokens = 96;
+
+    std::puts("Table 8: OmniQuant vs Omni-MicroScopiQ "
+              "(proxy PPL, paper -> measured).\n");
+    for (const Setting &s : settings) {
+        Table t(std::string("Setting ") + s.name);
+        std::vector<std::string> header = {"method"};
+        for (const std::string &m : models)
+            header.push_back(m);
+        t.setHeader(header);
+
+        std::vector<std::string> omni_row = {"OmniQuant"};
+        std::vector<std::string> oms_row = {"Omni-MicroScopiQ"};
+        for (size_t mi = 0; mi < models.size(); ++mi) {
+            const ModelProfile &model = modelByName(models[mi]);
+            const double omni =
+                evaluateMethodOnModel(
+                    model, omniQuantMethod(s.bits, s.actBits, true), cfg)
+                    .proxyPpl;
+            const double oms =
+                evaluateMethodOnModel(
+                    model, omniMicroScopiQ(s.bits, s.actBits), cfg)
+                    .proxyPpl;
+            omni_row.push_back(Table::fmt(s.paper_omni[mi], 2) + " -> " +
+                               Table::fmt(omni, 2));
+            oms_row.push_back(Table::fmt(s.paper_oms[mi], 2) + " -> " +
+                              Table::fmt(oms, 2));
+            clearHessianCache();
+        }
+        t.addRow(omni_row);
+        t.addRow(oms_row);
+        t.print();
+    }
+    std::puts("Claim under test: the combination beats OmniQuant alone "
+              "in every cell\n(paper: up to 22% improvement).");
+    return 0;
+}

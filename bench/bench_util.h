@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: the quantization-method
+ * registry used by the Table 2/3/4/8 reproductions, and small
+ * formatting utilities. Every bench prints the paper's reported value
+ * next to the measured reproduction so EXPERIMENTS.md can be filled
+ * from the raw output.
+ */
+
+#ifndef MSQ_BENCH_BENCH_UTIL_H
+#define MSQ_BENCH_BENCH_UTIL_H
+
+#include <memory>
+#include <string>
+
+#include "core/microscopiq.h"
+#include "model/pipeline.h"
+#include "quant/atom_lite.h"
+#include "quant/awq.h"
+#include "quant/gobo.h"
+#include "quant/gptq.h"
+#include "quant/olive.h"
+#include "quant/omniquant_lite.h"
+#include "quant/rtn.h"
+#include "quant/sdq_lite.h"
+
+namespace msq::bench {
+
+/** MicroScopiQ at the given inlier bit width as a pipeline method. */
+inline QuantMethod
+microScopiQMethod(unsigned bits, unsigned act_bits = 0,
+                  double alpha = 0.0)
+{
+    QuantMethod m;
+    m.name = "MicroScopiQ";
+    m.makeQuantizer = [bits] {
+        MsqConfig c;
+        c.inlierBits = bits;
+        return std::make_unique<MicroScopiQQuantizer>(c);
+    };
+    m.actBits = act_bits;
+    m.migrationAlpha = alpha;
+    return m;
+}
+
+inline QuantMethod
+gptqMethod(unsigned bits)
+{
+    QuantMethod m;
+    m.name = "GPTQ";
+    m.makeQuantizer = [bits] {
+        GptqConfig c;
+        c.bits = bits;
+        return std::make_unique<GptqQuantizer>(c);
+    };
+    return m;
+}
+
+inline QuantMethod
+awqMethod(unsigned bits)
+{
+    QuantMethod m;
+    m.name = "AWQ";
+    m.makeQuantizer = [bits] {
+        return std::make_unique<AwqQuantizer>(bits);
+    };
+    return m;
+}
+
+inline QuantMethod
+oliveMethod(unsigned bits, unsigned act_bits = 0)
+{
+    QuantMethod m;
+    m.name = "OliVe";
+    m.makeQuantizer = [bits] {
+        return std::make_unique<OliveQuantizer>(bits);
+    };
+    m.actBits = act_bits;
+    return m;
+}
+
+inline QuantMethod
+goboMethod(unsigned act_bits = 0)
+{
+    QuantMethod m;
+    m.name = "GOBO";
+    m.makeQuantizer = [] { return std::make_unique<GoboQuantizer>(3); };
+    m.actBits = act_bits;
+    return m;
+}
+
+inline QuantMethod
+omniQuantMethod(unsigned bits, unsigned act_bits = 0, bool let = false)
+{
+    QuantMethod m;
+    m.name = "OmniQuant";
+    m.makeQuantizer = [bits, let] {
+        return std::make_unique<OmniQuantLite>(bits, 128, let);
+    };
+    m.actBits = act_bits;
+    // OmniQuant's LET learns a migration; modeled as alpha = 0.5.
+    m.migrationAlpha = let ? 0.5 : 0.0;
+    return m;
+}
+
+inline QuantMethod
+smoothQuantMethod(unsigned bits, unsigned act_bits)
+{
+    QuantMethod m;
+    m.name = "SmoothQuant";
+    // Migration is applied by the pipeline (alpha = 0.5, the paper's
+    // limit for SmoothQuant); the weight side is plain group RTN.
+    m.makeQuantizer = [bits] {
+        return std::make_unique<RtnQuantizer>(bits, 128);
+    };
+    m.actBits = act_bits;
+    m.migrationAlpha = 0.5;
+    return m;
+}
+
+inline QuantMethod
+atomMethod(unsigned bits, unsigned act_bits)
+{
+    QuantMethod m;
+    m.name = "Atom";
+    m.makeQuantizer = [bits] {
+        return std::make_unique<AtomLite>(bits, 128, 10);
+    };
+    m.actBits = act_bits;
+    return m;
+}
+
+inline QuantMethod
+sdqMethod(unsigned bits)
+{
+    QuantMethod m;
+    m.name = "SDQ";
+    m.makeQuantizer = [bits] {
+        return std::make_unique<SdqLite>(bits, 1, 8, 128);
+    };
+    return m;
+}
+
+/** MicroScopiQ with migration for weight-activation settings
+ *  (alpha = 0.7, Section 7.2). */
+inline QuantMethod
+microScopiQWaMethod(unsigned bits, unsigned act_bits)
+{
+    return microScopiQMethod(bits, act_bits, 0.7);
+}
+
+} // namespace msq::bench
+
+#endif // MSQ_BENCH_BENCH_UTIL_H

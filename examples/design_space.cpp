@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Design-space exploration example: sweep PE array sizes and ReCoN
+ * unit counts for a LLaMA-3-8B-scale decode workload, reporting
+ * latency, conflict rate, compute area and compute density — the
+ * trade-offs behind the paper's Figs. 16-18.
+ */
+
+#include "accel/area.h"
+#include "accel/cycle_model.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "gpu/gpu_model.h"
+#include "model/model_zoo.h"
+
+using namespace msq;
+
+namespace {
+
+/** Full-scale decode workloads of one transformer block. */
+std::vector<Workload>
+blockWorkloads(const ModelProfile &model, size_t tokens, unsigned bits)
+{
+    const size_t d = model.realHidden;
+    std::vector<Workload> wls;
+    for (const auto &[k, o] : std::initializer_list<std::pair<size_t, size_t>>{
+             {d, d + d / 2}, {d, d}, {d, 4 * d}, {4 * d, d}}) {
+        Workload wl;
+        wl.tokens = tokens;
+        wl.reduction = k;
+        wl.outputs = o;
+        wl.weightBits = bits;
+        wl.ebw = bits == 2 ? 2.36 : 4.15;
+        wl.microOutlierFrac = 0.09;
+        wls.push_back(wl);
+    }
+    return wls;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ModelProfile &model = modelByName("LLaMA3-8B");
+
+    Table t("Design space: array size x ReCoN units "
+            "(LLaMA3-8B block, 4-token decode, bb=2)");
+    t.setHeader({"array", "ReCoN", "cycles/block", "conflicts",
+                 "compute mm^2", "TOPS/mm^2"});
+    for (size_t dim : {32u, 64u, 128u}) {
+        for (size_t units : {1u, 2u, 8u}) {
+            AccelConfig cfg;
+            cfg.rows = dim;
+            cfg.cols = dim;
+            cfg.reconUnits = units;
+            CycleModel cm(cfg);
+            Rng rng(42);
+            const CycleStats stats =
+                cm.runAll(blockWorkloads(model, 4, 2), rng);
+            const AreaBreakdown area =
+                microScopiQArea(dim, dim, units, 0);
+            t.addRow({std::to_string(dim) + "x" + std::to_string(dim),
+                      std::to_string(units),
+                      Table::fmtInt(static_cast<long long>(
+                          stats.totalCycles)),
+                      Table::fmt(100.0 * stats.conflictRate(), 2) + " %",
+                      Table::fmt(area.computeAreaMm2(), 4),
+                      Table::fmt(computeDensityTops(area, dim * dim, 2.0),
+                                 1)});
+        }
+        t.addSeparator();
+    }
+    t.print();
+
+    // GPU reference point for the same model (decode throughput).
+    GpuConfig gpu;
+    Table g("A100-class GPU reference (decode, tokens/s)");
+    g.setHeader({"kernel", "tokens/s"});
+    for (GpuKernel kernel :
+         {GpuKernel::TrtLlmFp16, GpuKernel::AtomW4A4, GpuKernel::MsOptim,
+          GpuKernel::MsModifiedTensorCore}) {
+        const GpuRun run = runDecode(gpu, kernel, model.paramsB, 4.15);
+        g.addRow({run.kernel, Table::fmt(run.tokensPerSec, 1)});
+    }
+    g.print();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Whole-model example: quantize every representative layer of a
+ * synthetic LLaMA-3-8B profile with several methods (MicroScopiQ,
+ * GPTQ, OliVe, GOBO, RTN) at W2/W4, compare proxy perplexity and
+ * effective bit width — a miniature of the paper's Table 2 workflow.
+ */
+
+#include <memory>
+
+#include "common/table.h"
+#include "core/microscopiq.h"
+#include "model/model_zoo.h"
+#include "model/pipeline.h"
+#include "quant/gobo.h"
+#include "quant/gptq.h"
+#include "quant/hessian.h"
+#include "quant/olive.h"
+#include "quant/rtn.h"
+
+using namespace msq;
+
+int
+main()
+{
+    const ModelProfile &model = modelByName("LLaMA3-8B");
+    PipelineConfig pcfg;
+    pcfg.calibTokens = 96;
+    pcfg.evalTokens = 96;
+
+    std::vector<QuantMethod> methods;
+    methods.push_back({"MicroScopiQ-W2", [] {
+                           MsqConfig c;
+                           c.inlierBits = 2;
+                           return std::make_unique<MicroScopiQQuantizer>(c);
+                       }});
+    methods.push_back({"MicroScopiQ-W4", [] {
+                           MsqConfig c;
+                           c.inlierBits = 4;
+                           return std::make_unique<MicroScopiQQuantizer>(c);
+                       }});
+    methods.push_back({"GPTQ-W4", [] {
+                           GptqConfig c;
+                           c.bits = 4;
+                           return std::make_unique<GptqQuantizer>(c);
+                       }});
+    methods.push_back({"OliVe-W4", [] {
+                           return std::make_unique<OliveQuantizer>(4);
+                       }});
+    methods.push_back({"GOBO", [] {
+                           return std::make_unique<GoboQuantizer>(3);
+                       }});
+    methods.push_back({"RTN-W4", [] {
+                           return std::make_unique<RtnQuantizer>(4);
+                       }});
+
+    Table t("Synthetic " + model.name + " weight-only quantization "
+            "(proxy metrics; FP baseline PPL " +
+            Table::fmt(model.fpMetric, 2) + ")");
+    t.setHeader({"method", "mean NMSE", "proxy PPL", "EBW (bits)"});
+    for (const QuantMethod &method : methods) {
+        const ModelEvalResult res =
+            evaluateMethodOnModel(model, method, pcfg);
+        t.addRow({method.name, Table::fmt(res.meanNmse, 5),
+                  Table::fmt(res.proxyPpl, 2), Table::fmt(res.meanEbw, 2)});
+    }
+    t.print();
+    clearHessianCache();
+    return 0;
+}

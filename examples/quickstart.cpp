@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Quickstart: quantize one weight matrix with MicroScopiQ, inspect the
+ * packed layout, dequantize, and compare against a plain 2-bit MX-INT
+ * baseline.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/microscopiq.h"
+#include "core/outlier.h"
+
+using namespace msq;
+
+namespace {
+
+/** A small synthetic FM-like layer: Gaussian bulk + planted outliers. */
+Matrix
+makeWeights(size_t k, size_t o, Rng &rng)
+{
+    Matrix w(k, o);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.gaussian(0.0, 0.02);
+            if (rng.bernoulli(0.015))
+                v = rng.uniform(0.15, 0.45) *
+                    (rng.bernoulli(0.5) ? 1.0 : -1.0);
+            w(r, c) = v;
+        }
+    }
+    return w;
+}
+
+Matrix
+makeCalib(size_t k, size_t tokens, Rng &rng)
+{
+    Matrix x(k, tokens);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t t = 0; t < tokens; ++t)
+            x(r, t) = rng.gaussian(0.0, 1.0);
+    return x;
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(2025);
+    const size_t k = 128, o = 512;
+    const Matrix w = makeWeights(k, o, rng);
+    const Matrix calib = makeCalib(k, 128, rng);
+
+    // --- Quantize with MicroScopiQ at the paper's headline setting:
+    // 2-bit MX-INT inliers, 4-bit MX-FP (e1m2) outliers, micro-blocks
+    // of 8, Hessian-compensated.
+    MsqConfig config;
+    config.inlierBits = 2;
+    MicroScopiQQuantizer quantizer(config);
+    const QuantResult result = quantizer.quantize(w, calib);
+    const PackedLayer &packed = quantizer.packed();
+
+    // --- Baseline: the same layer with no outlier handling.
+    MsqConfig plain_cfg;
+    plain_cfg.inlierBits = 2;
+    plain_cfg.outlierMode = OutlierMode::None;
+    MicroScopiQQuantizer plain(plain_cfg);
+    const QuantResult base = plain.quantize(w, calib);
+
+    const Matrix ref = w.transposedMatmul(calib);
+    const double nmse_msq =
+        result.dequant.transposedMatmul(calib).normalizedErrorTo(ref);
+    const double nmse_plain =
+        base.dequant.transposedMatmul(calib).normalizedErrorTo(ref);
+
+    const OutlierStats stats = analyzeOutliers(w, config.macroBlock);
+
+    Table t("MicroScopiQ quickstart (128 x 512 synthetic FM layer)");
+    t.setHeader({"quantity", "value"});
+    t.addRow({"weights", Table::fmtInt(static_cast<long long>(w.size()))});
+    t.addRow({"outliers (3-sigma)",
+              Table::fmt(100.0 * stats.outlierFraction(), 2) + " %"});
+    t.addRow({"adjacent outliers",
+              Table::fmt(100.0 * stats.adjacentFraction(), 2) + " %"});
+    t.addSeparator();
+    t.addRow({"EBW (Eq. 4)", Table::fmt(result.ebw, 3) + " bits"});
+    t.addRow({"EBW (measured stream)",
+              Table::fmt(packed.measuredEbw(), 3) + " bits"});
+    t.addRow({"outliers stored at 2x precision",
+              Table::fmtInt(static_cast<long long>(
+                  packed.stats.outliersStored))});
+    t.addRow({"inliers pruned for redistribution",
+              Table::fmtInt(static_cast<long long>(
+                  packed.stats.inliersPruned))});
+    t.addSeparator();
+    t.addRow({"output NMSE, MicroScopiQ-W2", Table::fmt(nmse_msq, 5)});
+    t.addRow({"output NMSE, plain MX-INT-2", Table::fmt(nmse_plain, 5)});
+    t.addRow({"error reduction",
+              Table::fmt(nmse_plain / nmse_msq, 2) + "x"});
+    t.print();
+
+    std::printf("\nThe packed layer serializes to %zu bytes and round-trips"
+                " losslessly;\nsee tests/test_packed_tensor.cc for the"
+                " bit-level layout checks.\n",
+                packed.serialize().size());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Configuration of the MicroScopiQ accelerator (paper Section 5): a
+ * weight-stationary systolic array of multi-precision INT PEs, one or
+ * more time-multiplexed ReCoN units, a two-level on-chip memory
+ * hierarchy fed from HBM2.
+ */
+
+#ifndef MSQ_ACCEL_ACCEL_CONFIG_H
+#define MSQ_ACCEL_ACCEL_CONFIG_H
+
+#include <cstddef>
+
+namespace msq {
+
+/** PE precision mode (paper Section 5.3). */
+enum class PeMode
+{
+    Mode4b,  ///< one 4-bit weight per PE
+    Mode2b,  ///< two packed 2-bit weights per PE (double throughput)
+};
+
+/** Full accelerator configuration. */
+struct AccelConfig
+{
+    size_t rows = 64;          ///< PE array rows (reduction dimension)
+    size_t cols = 64;          ///< PE array columns (output dimension)
+    size_t reconUnits = 1;     ///< time-multiplexed ReCoN units
+    double clockGhz = 1.0;     ///< paper: all designs close at 1 GHz
+
+    // Memory hierarchy (paper Section 5.1).
+    double dramGBs = 256.0;    ///< HBM2 off-chip bandwidth
+    double ocpGBs = 64.0;      ///< L2 SRAM -> buffers OCP interface
+    size_t l2Bytes = 2 * 1024 * 1024;
+
+    // On-chip buffer capacities; scaled with the array per Section 7.9.
+    size_t weightBufBytes = 256 * 1024;
+    size_t iactBufBytes = 128 * 1024;
+    size_t oactBufBytes = 128 * 1024;
+
+    /**
+     * Double-buffered PE weight registers: consecutive weight tiles
+     * overlap their systolic fill/drain with the previous tile's
+     * compute, so the array pays the pipeline fill once per GEMM
+     * rather than once per tile (essential for decode workloads, where
+     * tokens << rows). Disable to model a naive non-overlapped array.
+     */
+    bool interTileOverlap = true;
+
+    /** Weights per PE in the given mode. */
+    static size_t weightsPerPe(PeMode mode)
+    {
+        return mode == PeMode::Mode2b ? 2 : 1;
+    }
+
+    /** DRAM bytes transferable per cycle. */
+    double dramBytesPerCycle() const { return dramGBs / clockGhz; }
+
+    /** OCP interface bytes per cycle. */
+    double ocpBytesPerCycle() const { return ocpGBs / clockGhz; }
+};
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_ACCEL_CONFIG_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Integer activation container for the accelerator: iActs are stored as
+ * 8-bit (or sign-extended lower precision) codes with power-of-two
+ * scales shared per (token, channel-group), matching the MX-INT
+ * activation quantization of the paper and the iAct buffer layout of
+ * Section 5.2.
+ */
+
+#ifndef MSQ_ACCEL_ACTS_H
+#define MSQ_ACCEL_ACTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/** Accelerator-resident quantized activations. */
+class QuantizedActs
+{
+  public:
+    /**
+     * Quantize activations X[k][tokens] to `bits`-bit MX-INT with
+     * power-of-two scales shared by `group` channels within each token.
+     */
+    QuantizedActs(const Matrix &x, unsigned bits, size_t group = 128);
+
+    size_t tokens() const { return tokens_; }
+    size_t channels() const { return channels_; }
+    unsigned bits() const { return bits_; }
+
+    /** Integer code of (token, channel). */
+    int8_t code(size_t token, size_t channel) const
+    {
+        return codes_[token * channels_ + channel];
+    }
+
+    /** Scale exponent of (token, channel)'s group. */
+    int scaleExp(size_t token, size_t channel) const
+    {
+        return scaleExp_[token * groupsPerToken_ + channel / group_];
+    }
+
+    /** Dequantized value. */
+    double dequant(size_t token, size_t channel) const;
+
+    /** Dequantize everything back to a channels x tokens matrix. */
+    Matrix dequantAll() const;
+
+  private:
+    size_t tokens_ = 0;
+    size_t channels_ = 0;
+    size_t group_ = 128;
+    size_t groupsPerToken_ = 0;
+    unsigned bits_ = 8;
+    std::vector<int8_t> codes_;
+    std::vector<int8_t> scaleExp_;
+};
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_ACTS_H

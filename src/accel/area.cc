@@ -1,0 +1,94 @@
+#include "accel/area.h"
+
+namespace msq {
+
+double
+AreaBreakdown::computeAreaMm2() const
+{
+    double um2 = 0.0;
+    for (const AreaComponent &c : components)
+        um2 += c.totalUm2();
+    return um2 / 1e6;
+}
+
+double
+AreaBreakdown::sramAreaMm2() const
+{
+    return sramBytes / (1024.0 * 1024.0) * kSramMm2PerMb;
+}
+
+double
+AreaBreakdown::overheadFraction() const
+{
+    double pe_um2 = 0.0;
+    double total_um2 = 0.0;
+    for (const AreaComponent &c : components) {
+        total_um2 += c.totalUm2();
+        if (c.name == "Base PE" || c.name == "Group PE")
+            pe_um2 += c.totalUm2();
+    }
+    return total_um2 > 0.0 ? (total_um2 - pe_um2) / total_um2 : 0.0;
+}
+
+AreaBreakdown
+microScopiQArea(size_t rows, size_t cols, size_t recon_units,
+                double sram_bytes)
+{
+    AreaBreakdown a;
+    a.design = "MicroScopiQ";
+    const size_t pes = rows * cols;
+    a.components = {
+        {"Base PE", 2.82, pes},
+        {"Multi-precision support", 0.22, pes},
+        {"ReCoN", 204.68, recon_units},
+        {"Sync buffer", 20.45, recon_units},
+        {"Control unit", 105.78, 1},
+    };
+    a.sramBytes = sram_bytes;
+    return a;
+}
+
+AreaBreakdown
+oliveArea(size_t rows, size_t cols, double sram_bytes)
+{
+    AreaBreakdown a;
+    a.design = "OliVe";
+    const size_t pes = rows * cols;
+    a.components = {
+        {"Base PE", 2.51, pes},
+        {"4-bit decoder", 1.86, cols * 2},
+        {"8-bit decoder", 2.47, cols},
+        {"Multi-precision support", 0.68, pes / 4},
+        {"Control unit", 95.49, 1},
+    };
+    a.sramBytes = sram_bytes;
+    return a;
+}
+
+AreaBreakdown
+goboArea(size_t rows, size_t cols, double sram_bytes)
+{
+    AreaBreakdown a;
+    a.design = "GOBO";
+    const size_t pes = rows * cols;
+    a.components = {
+        {"Group PE", 36.56, pes},
+        {"Outlier PE", 96.42, cols},
+        {"Control unit", 115.36, 1},
+    };
+    a.sramBytes = sram_bytes;
+    return a;
+}
+
+double
+computeDensityTops(const AreaBreakdown &area, size_t pes,
+                   double macs_per_pe, double clock_ghz)
+{
+    const double ops =
+        static_cast<double>(pes) * macs_per_pe * 2.0 * clock_ghz * 1e9;
+    const double tops = ops / 1e12;
+    const double mm2 = area.computeAreaMm2();
+    return mm2 > 0.0 ? tops / mm2 : 0.0;
+}
+
+} // namespace msq

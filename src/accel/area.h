@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Area model at TSMC 7 nm, seeded with the per-component areas the
+ * paper publishes in Table 5 (synthesized with Design Compiler +
+ * Innovus): MicroScopiQ base PE 2.82 um^2, multi-precision support
+ * 0.22 um^2/PE, ReCoN 204.68 um^2/unit, sync buffer 20.45 um^2,
+ * controller 105.78 um^2; OliVe and GOBO component areas likewise.
+ * On-chip SRAM area uses a CACTI-like density constant. The model
+ * reproduces Table 5's aggregation and the Fig. 17 scaling study.
+ */
+
+#ifndef MSQ_ACCEL_AREA_H
+#define MSQ_ACCEL_AREA_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/** One component line of a compute-area breakdown. */
+struct AreaComponent
+{
+    std::string name;
+    double unitAreaUm2 = 0.0;
+    size_t count = 0;
+
+    double totalUm2() const
+    {
+        return unitAreaUm2 * static_cast<double>(count);
+    }
+};
+
+/** A full accelerator area breakdown. */
+struct AreaBreakdown
+{
+    std::string design;
+    std::vector<AreaComponent> components;
+    double sramBytes = 0.0;   ///< on-chip buffers + L2
+
+    /** Compute area (all logic components) in mm^2. */
+    double computeAreaMm2() const;
+
+    /** SRAM area in mm^2 (CACTI-like density). */
+    double sramAreaMm2() const;
+
+    /** Total on-chip area in mm^2. */
+    double totalAreaMm2() const
+    {
+        return computeAreaMm2() + sramAreaMm2();
+    }
+
+    /**
+     * Overhead of everything that is not the PE array proper, as a
+     * fraction of the compute area (Table 5's "compute overhead").
+     */
+    double overheadFraction() const;
+};
+
+/** SRAM density constant (mm^2 per MB at 7 nm, CACTI-flavored). */
+constexpr double kSramMm2PerMb = 0.45;
+
+/**
+ * MicroScopiQ area for an array of rows x cols with `recon_units`
+ * ReCoN units and the given buffer capacity.
+ */
+AreaBreakdown microScopiQArea(size_t rows, size_t cols,
+                              size_t recon_units, double sram_bytes);
+
+/** OliVe baseline with the paper's component areas. */
+AreaBreakdown oliveArea(size_t rows, size_t cols, double sram_bytes);
+
+/** GOBO baseline with the paper's component areas. */
+AreaBreakdown goboArea(size_t rows, size_t cols, double sram_bytes);
+
+/**
+ * Peak compute density in TOPS/mm^2 (1 MAC = 2 ops at native
+ * precision, 1 GHz clock): MicroScopiQ at bb=2 performs two MACs per
+ * PE per cycle, OliVe/GOBO one.
+ */
+double computeDensityTops(const AreaBreakdown &area, size_t pes,
+                          double macs_per_pe, double clock_ghz = 1.0);
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_AREA_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Baseline accelerator models for the iso-accuracy comparison of
+ * Fig. 12 and the NoC-integration study of Fig. 18(b).
+ *
+ * Every baseline is modeled as a parameterization of the same roofline
+ * + cycle skeleton: a 64x64 MAC array at 1 GHz with identical memory
+ * hierarchy (the paper's fair-comparison setup), differing in native
+ * precision, weights-per-PE throughput, effective weight bit width at
+ * iso-accuracy, per-MAC energy, unaligned-access penalties, and
+ * decode/encode overheads.
+ */
+
+#ifndef MSQ_ACCEL_BASELINES_H
+#define MSQ_ACCEL_BASELINES_H
+
+#include <string>
+#include <vector>
+
+#include "accel/area.h"
+#include "accel/cycle_model.h"
+#include "accel/energy.h"
+
+namespace msq {
+
+/** Parameterization of one accelerator design. */
+struct AccelDesign
+{
+    std::string name;
+    unsigned computeBits = 4;     ///< native MAC precision
+    double macsPerPe = 1.0;       ///< throughput per PE per cycle
+    double weightEbw = 4.0;       ///< iso-accuracy weight bits/element
+    double memPenalty = 1.0;      ///< multiplier on weight traffic
+                                  ///< (unaligned/sparse access)
+    double pipelineOverhead = 0.0;///< extra cycles per tile (decoders)
+    double macEnergyScale = 1.0;  ///< relative to the INT table entry
+    bool usesRecon = false;       ///< MicroScopiQ designs only
+    double areaMm2 = 0.05;        ///< compute area for static power
+    /**
+     * Effective array throughput relative to a clean INT pipeline.
+     * Designs that handle outliers *inside* the PE array (separate
+     * outlier PEs, encode/decode stages, FP datapaths) lose sustained
+     * throughput — the cost MicroScopiQ's ReCoN abstraction avoids
+     * (paper Section 5.4).
+     */
+    double throughputScale = 1.0;
+};
+
+/** MicroScopiQ v1: all layers at bb=4 (W4A4). */
+AccelDesign microScopiQV1();
+
+/** MicroScopiQ v2: most layers at bb=2 (WxA4, iso-accuracy mix). */
+AccelDesign microScopiQV2();
+
+/** OliVe at W4 (its iso-accuracy operating point). */
+AccelDesign oliveDesign();
+
+/** GOBO: 3-bit centroids + FP32 outliers, unaligned side storage. */
+AccelDesign goboDesign();
+
+/** OLAccel: 4-bit inliers with 16-bit outlier PEs. */
+AccelDesign olaccelDesign();
+
+/** AdaptivFloat: 8-bit adaptive FP PEs. */
+AccelDesign adaptivFloatDesign();
+
+/** ANT: 4-bit adaptive numeric types, aligned. */
+AccelDesign antDesign();
+
+/** All Fig. 12 designs in display order. */
+std::vector<AccelDesign> allDesigns();
+
+/** Latency + energy of a design on a workload list. */
+struct DesignRun
+{
+    std::string design;
+    double cycles = 0.0;
+    double energyPj = 0.0;
+    CycleStats stats;
+};
+
+/**
+ * Evaluate a design on workloads: adjusts the workload precision and
+ * EBW to the design's iso-accuracy operating point, applies memory
+ * penalties and pipeline overheads, and prices energy at the design's
+ * MAC cost.
+ */
+DesignRun evaluateDesign(const AccelDesign &design,
+                         const AccelConfig &base_config,
+                         std::vector<Workload> workloads, Rng &rng);
+
+/** NoC-based accelerator integration overhead (Fig. 18b). */
+struct NocIntegration
+{
+    std::string accelerator;  ///< "MTIA-like" or "Eyeriss v2-like"
+    double basePeAreaFrac;    ///< PE share of compute area
+    double baseNocAreaFrac;   ///< NoC share of compute area
+    double reconAddedFrac;    ///< compute-area increase with ReCoN ops
+};
+
+/** The two integration case studies of Fig. 18(b). */
+std::vector<NocIntegration> nocIntegrationStudies();
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_BASELINES_H

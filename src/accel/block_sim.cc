@@ -1,0 +1,87 @@
+#include "accel/block_sim.h"
+
+#include <cmath>
+
+#include "accel/area.h"
+#include "common/logging.h"
+
+namespace msq {
+
+std::vector<Workload>
+blockWorkloads(const ModelProfile &model, const DecodeStep &step)
+{
+    const size_t d = model.realHidden;
+    std::vector<Workload> wls;
+
+    auto weight_gemm = [&](size_t k, size_t o) {
+        Workload wl;
+        wl.tokens = step.batch;
+        wl.reduction = k;
+        wl.outputs = o;
+        wl.weightBits = step.weightBits;
+        wl.ebw = step.weightBits == 2 ? 2.36 : 4.15;
+        wl.microOutlierFrac = step.microOutlierFrac;
+        return wl;
+    };
+
+    // Projections: fused QKV, attention output, MLP up, MLP down.
+    wls.push_back(weight_gemm(d, d + d / 2));
+    wls.push_back(weight_gemm(d, d));
+    wls.push_back(weight_gemm(d, 4 * d));
+    wls.push_back(weight_gemm(4 * d, d));
+
+    // Attention GEMVs against the KV cache: scores (d x context) and
+    // context reduction (context x d). The "weights" here are the
+    // cached K/V at kvBits with no outlier metadata (activations are
+    // never MicroScopiQ-packed), so no ReCoN traffic.
+    Workload scores;
+    scores.tokens = step.batch;
+    scores.reduction = d;
+    scores.outputs = step.contextLength;
+    scores.weightBits = step.kvBits >= 4 ? step.kvBits : 4;
+    scores.ebw = static_cast<double>(step.kvBits);
+    scores.microOutlierFrac = 0.0;
+    wls.push_back(scores);
+
+    Workload context;
+    context.tokens = step.batch;
+    context.reduction = step.contextLength;
+    context.outputs = d;
+    context.weightBits = step.kvBits >= 4 ? step.kvBits : 4;
+    context.ebw = static_cast<double>(step.kvBits);
+    context.microOutlierFrac = 0.0;
+    wls.push_back(context);
+
+    return wls;
+}
+
+BlockSimResult
+simulateDecode(const AccelConfig &config, const ModelProfile &model,
+               const DecodeStep &step, Rng &rng)
+{
+    BlockSimResult result;
+    CycleModel cm(config);
+    result.perBlock = cm.runAll(blockWorkloads(model, step), rng);
+    result.modelCycles = static_cast<double>(result.perBlock.totalCycles) *
+                         static_cast<double>(model.realLayers);
+
+    EnergyParams params;
+    const double area =
+        0.013 + static_cast<double>(config.l2Bytes) / (1024.0 * 1024.0) *
+                    kSramMm2PerMb;
+    result.energy = computeEnergy(params, result.perBlock,
+                                  step.weightBits, area, config.clockGhz);
+
+    const double memory = result.energy.bufferDynamic +
+                          result.energy.l2Dynamic +
+                          result.energy.dramDynamic;
+    const double total = result.energy.total();
+    if (total > 0.0) {
+        result.pePercent = 100.0 * result.energy.peDynamic / total;
+        result.memoryPercent = 100.0 * memory / total;
+        result.reconPercent = 100.0 * result.energy.reconDynamic / total;
+    }
+    return result;
+}
+
+} // namespace msq

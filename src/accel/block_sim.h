@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Transformer-block-level simulation: expands a model profile into the
+ * full workload list of one decode step — the four projection GEMMs,
+ * the attention score/context GEMVs against the (growing) KV cache,
+ * and the MLP pair — then aggregates cycle and energy statistics into
+ * the paper's Section 7.5 power breakdown (PE array / on-chip memory /
+ * ReCoN percentages).
+ */
+
+#ifndef MSQ_ACCEL_BLOCK_SIM_H
+#define MSQ_ACCEL_BLOCK_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "accel/cycle_model.h"
+#include "accel/energy.h"
+#include "model/model_zoo.h"
+
+namespace msq {
+
+/** Decode-step parameters. */
+struct DecodeStep
+{
+    size_t batch = 1;          ///< concurrent sequences
+    size_t contextLength = 2048;  ///< tokens already in the KV cache
+    unsigned weightBits = 2;
+    unsigned kvBits = 8;       ///< KV cache precision
+    double microOutlierFrac = 0.09;
+};
+
+/** Expand one transformer block of `model` into GEMM workloads. */
+std::vector<Workload> blockWorkloads(const ModelProfile &model,
+                                     const DecodeStep &step);
+
+/** Aggregated full-model decode statistics. */
+struct BlockSimResult
+{
+    CycleStats perBlock;       ///< one block's statistics
+    double modelCycles = 0.0;  ///< all blocks (realLayers x per block)
+    EnergyBreakdown energy;    ///< one block's energy
+
+    /** Power-breakdown percentages (Section 7.5). */
+    double pePercent = 0.0;
+    double memoryPercent = 0.0;
+    double reconPercent = 0.0;
+};
+
+/** Simulate one decode step of the full model on the accelerator. */
+BlockSimResult simulateDecode(const AccelConfig &config,
+                              const ModelProfile &model,
+                              const DecodeStep &step, Rng &rng);
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_BLOCK_SIM_H

@@ -1,0 +1,218 @@
+#include "accel/cycle_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace msq {
+
+CycleModel::CycleModel(const AccelConfig &config)
+    : config_(config)
+{
+}
+
+void
+CycleModel::simulateTile(size_t tile_rows, size_t tokens,
+                         size_t micro_block,
+                         const std::vector<unsigned> &row_outlier_ubs,
+                         uint64_t &compute_cycles, uint64_t &stall_cycles,
+                         uint64_t &accesses, uint64_t &conflicts) const
+{
+    // Baseline pipelined latency of the tile: fill the array (rows +
+    // cols skew), stream the tokens, plus the ReCoN pipeline depth for
+    // the rows that transit it.
+    const size_t recon_pipe =
+        static_cast<size_t>(std::log2(std::max<size_t>(config_.cols, 2))) +
+        1;
+    const uint64_t base = tile_rows + config_.cols + tokens - 1 +
+                          recon_pipe;
+
+    // Wavefront arbitration: row r emits token m at cycle r + m; each
+    // emission from an outlier row requests one slot-transit per
+    // outlier micro-block. The column-wise arbiters let each ReCoN
+    // unit serve cols/microBlock slot-transits per cycle, so rows
+    // whose outlier micro-blocks occupy different column slots share
+    // cycles. FIFO queueing beyond that; the residual queue stalls the
+    // pipeline (fine-grained iAct handshaking, Section 5.2).
+    uint64_t queued = 0;  // outstanding slot-transits
+    uint64_t local_conflicts = 0;
+    uint64_t local_accesses = 0;
+    const uint64_t slots_per_unit =
+        std::max<uint64_t>(config_.cols / std::max<size_t>(micro_block, 1),
+                           1);
+    const uint64_t capacity =
+        std::max<uint64_t>(config_.reconUnits, 1) * slots_per_unit;
+
+    const size_t horizon = tile_rows + tokens;  // emission cycles span
+    for (size_t cycle = 0; cycle < horizon; ++cycle) {
+        // Emissions this cycle: rows r with token m = cycle - r valid.
+        const size_t r_lo =
+            cycle >= tokens - 1 ? cycle - (tokens - 1) : 0;
+        const size_t r_hi = std::min(cycle, tile_rows - 1);
+        uint64_t arrivals = 0;
+        uint64_t arriving_rows = 0;
+        for (size_t r = r_lo; r <= r_hi; ++r) {
+            if (row_outlier_ubs[r] > 0) {
+                arrivals += row_outlier_ubs[r];
+                ++arriving_rows;
+            }
+        }
+        local_accesses += arriving_rows;
+        // Service up to `capacity` slot-transits, queue the rest.
+        const uint64_t served =
+            std::min<uint64_t>(queued + arrivals, capacity);
+        if (arriving_rows > 0 && queued + arrivals > capacity) {
+            // Conflicted accesses: rows that could not be fully served
+            // this cycle (proportional attribution).
+            const uint64_t excess = queued + arrivals - capacity;
+            local_conflicts +=
+                std::min<uint64_t>(arriving_rows,
+                                   (excess + slots_per_unit - 1) /
+                                       std::max<uint64_t>(slots_per_unit,
+                                                          1));
+        }
+        queued = queued + arrivals - served;
+    }
+    // Drain the residual queue.
+    const uint64_t drain = (queued + capacity - 1) / capacity;
+
+    if (config_.interTileOverlap) {
+        // Steady-state cost of a tile: streaming the tokens plus any
+        // ReCoN backlog; the fill/drain skew is charged once per GEMM
+        // by the caller.
+        compute_cycles = tokens + drain;
+    } else {
+        compute_cycles = base + drain;
+    }
+    stall_cycles = drain;
+    accesses = local_accesses;
+    conflicts = local_conflicts;
+}
+
+CycleStats
+CycleModel::run(const Workload &workload, Rng &rng) const
+{
+    CycleStats stats;
+    const size_t wpp =
+        AccelConfig::weightsPerPe(workload.weightBits == 2
+                                      ? PeMode::Mode2b
+                                      : PeMode::Mode4b);
+    const size_t tile_k = config_.rows;
+    const size_t tile_o = config_.cols * wpp;
+    const size_t k_tiles = (workload.reduction + tile_k - 1) / tile_k;
+    const size_t o_tiles = (workload.outputs + tile_o - 1) / tile_o;
+
+    const size_t micro_per_row_tile = std::max<size_t>(
+        tile_o / std::max<size_t>(workload.microBlock, 1), 1);
+
+    // iAct reuse: a k-tile's activations are loaded once if they fit
+    // the iAct buffer, then reused across all o-tiles.
+    const double iact_tile_bytes =
+        static_cast<double>(workload.tokens) * tile_k *
+        workload.actBits / 8.0;
+    const bool iact_reuse =
+        iact_tile_bytes <= static_cast<double>(config_.iactBufBytes);
+
+    double total_compute = 0.0;
+    double total_mem = 0.0;
+
+    for (size_t ot = 0; ot < o_tiles; ++ot) {
+        const size_t cur_o =
+            std::min(tile_o, workload.outputs - ot * tile_o);
+        for (size_t kt = 0; kt < k_tiles; ++kt) {
+            const size_t cur_k =
+                std::min(tile_k, workload.reduction - kt * tile_k);
+
+            // Sample the number of outlier micro-blocks per row
+            // (Binomial over the row's resident micro-blocks).
+            std::vector<unsigned> row_outlier(cur_k, 0);
+            for (size_t r = 0; r < cur_k; ++r)
+                for (size_t u = 0; u < micro_per_row_tile; ++u)
+                    if (rng.bernoulli(workload.microOutlierFrac))
+                        ++row_outlier[r];
+
+            uint64_t compute = 0, stalls = 0, accesses = 0, conflicts = 0;
+            simulateTile(cur_k, workload.tokens, workload.microBlock,
+                         row_outlier, compute, stalls, accesses,
+                         conflicts);
+            stats.reconStallCycles += stalls;
+            stats.reconAccesses += accesses;
+            stats.reconConflicts += conflicts;
+            stats.macs += static_cast<uint64_t>(cur_k) * cur_o *
+                          workload.tokens;
+
+            // Memory traffic of this tile.
+            MemoryTraffic traffic;
+            const double weight_bytes =
+                static_cast<double>(cur_k) * cur_o * workload.ebw / 8.0;
+            traffic.dramBytes += weight_bytes;
+            traffic.l2Bytes += weight_bytes;
+            if (!iact_reuse || ot == 0) {
+                const double iact_bytes =
+                    static_cast<double>(workload.tokens) * cur_k *
+                    workload.actBits / 8.0;
+                traffic.dramBytes += iact_bytes;
+                traffic.l2Bytes += iact_bytes;
+            }
+            if (kt == k_tiles - 1) {
+                const double oact_bytes =
+                    static_cast<double>(workload.tokens) * cur_o * 1.0;
+                traffic.dramBytes += oact_bytes;
+                traffic.l2Bytes += oact_bytes;
+            }
+            traffic.bufferBytes +=
+                weight_bytes +
+                static_cast<double>(workload.tokens) * cur_k +
+                static_cast<double>(workload.tokens) * cur_o;
+            stats.traffic += traffic;
+
+            const double mem = memoryCycles(config_, traffic).bound();
+            // Double buffering: each tile's latency is the max of its
+            // compute and the *next* tile's transfers; aggregate as the
+            // running max-sum.
+            total_compute += static_cast<double>(compute);
+            total_mem += mem;
+        }
+    }
+
+    if (config_.interTileOverlap) {
+        // One pipeline fill per GEMM (array skew + ReCoN depth).
+        const double prologue = static_cast<double>(
+            config_.rows + config_.cols +
+            static_cast<size_t>(
+                std::log2(std::max<size_t>(config_.cols, 2))) +
+            1);
+        total_compute += prologue;
+    }
+
+    stats.computeCycles = static_cast<uint64_t>(total_compute);
+    const double exposed =
+        total_mem > total_compute ? total_mem - total_compute : 0.0;
+    stats.exposedMemCycles = static_cast<uint64_t>(exposed);
+    stats.totalCycles =
+        static_cast<uint64_t>(std::max(total_compute, total_mem));
+    return stats;
+}
+
+CycleStats
+CycleModel::runAll(const std::vector<Workload> &workloads, Rng &rng) const
+{
+    CycleStats total;
+    for (const Workload &wl : workloads) {
+        const CycleStats s = run(wl, rng);
+        total.totalCycles += s.totalCycles;
+        total.computeCycles += s.computeCycles;
+        total.exposedMemCycles += s.exposedMemCycles;
+        total.reconStallCycles += s.reconStallCycles;
+        total.reconAccesses += s.reconAccesses;
+        total.reconConflicts += s.reconConflicts;
+        total.macs += s.macs;
+        total.traffic += s.traffic;
+    }
+    return total;
+}
+
+} // namespace msq

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Cycle-level performance model of the MicroScopiQ accelerator.
+ *
+ * The model tiles a GEMM onto the weight-stationary array, streams
+ * tokens through each tile with the systolic skew, simulates ReCoN
+ * arbitration at one row-vector transit per unit per cycle, and
+ * overlaps double-buffered memory transfers with compute.
+ *
+ * ReCoN contention interpretation (see DESIGN.md): each (outlier-row,
+ * token) pair requires one transit. Transits are absorbed into the
+ * pipeline while demand stays below the aggregate unit capacity within
+ * a tile's compute window; excess demand stalls the tile. The access
+ * conflict percentage is measured with a per-cycle wavefront simulation
+ * (emissions at cycle row+token, FIFO arbitration), reproducing the
+ * paper's regime: zero conflicts at decode (M=1), a few percent at
+ * small batch, vanishing as units are added (Fig. 16b / 18a).
+ */
+
+#ifndef MSQ_ACCEL_CYCLE_MODEL_H
+#define MSQ_ACCEL_CYCLE_MODEL_H
+
+#include <cstdint>
+
+#include "accel/accel_config.h"
+#include "accel/memory.h"
+#include "common/rng.h"
+
+namespace msq {
+
+/** A GEMM workload (one layer, already quantized). */
+struct Workload
+{
+    size_t tokens = 1;       ///< M (batch x sequence positions)
+    size_t reduction = 4096; ///< K
+    size_t outputs = 4096;   ///< O
+    unsigned weightBits = 2;       ///< bb (2 or 4)
+    unsigned actBits = 8;
+    double ebw = 2.36;             ///< weight bits/element incl. metadata
+    double microOutlierFrac = 0.09;///< x: micro-blocks with outliers
+    size_t microBlock = 8;
+};
+
+/** Simulation results. */
+struct CycleStats
+{
+    uint64_t totalCycles = 0;
+    uint64_t computeCycles = 0;    ///< compute-bound portion
+    uint64_t exposedMemCycles = 0; ///< memory stalls not hidden
+    uint64_t reconStallCycles = 0;
+    uint64_t reconAccesses = 0;
+    uint64_t reconConflicts = 0;   ///< accesses that had to wait
+    uint64_t macs = 0;
+    MemoryTraffic traffic;
+
+    double conflictRate() const
+    {
+        return reconAccesses
+                   ? static_cast<double>(reconConflicts) /
+                         static_cast<double>(reconAccesses)
+                   : 0.0;
+    }
+
+    /** Seconds at the configured clock. */
+    double seconds(const AccelConfig &config) const
+    {
+        return static_cast<double>(totalCycles) /
+               (config.clockGhz * 1e9);
+    }
+};
+
+/** Cycle-level simulator. */
+class CycleModel
+{
+  public:
+    explicit CycleModel(const AccelConfig &config);
+
+    /** Simulate one GEMM. `rng` drives outlier-row placement. */
+    CycleStats run(const Workload &workload, Rng &rng) const;
+
+    /** Simulate a sequence of GEMMs (e.g. a transformer block). */
+    CycleStats runAll(const std::vector<Workload> &workloads,
+                      Rng &rng) const;
+
+    const AccelConfig &config() const { return config_; }
+
+  private:
+    /**
+     * Per-tile wavefront simulation of ReCoN arbitration.
+     *
+     * Service granularity is one micro-block transit per column slot:
+     * each ReCoN unit offers cols/microBlock slot-transits per cycle
+     * through its column-wise input arbiters, so rows whose outlier
+     * micro-blocks land in different column slots share a cycle.
+     * `row_outlier_ubs[r]` is the number of outlier micro-blocks in
+     * row r's resident tile.
+     */
+    void simulateTile(size_t tile_rows, size_t tokens, size_t micro_block,
+                      const std::vector<unsigned> &row_outlier_ubs,
+                      uint64_t &compute_cycles, uint64_t &stall_cycles,
+                      uint64_t &accesses, uint64_t &conflicts) const;
+
+    AccelConfig config_;
+};
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_CYCLE_MODEL_H

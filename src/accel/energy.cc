@@ -1,0 +1,50 @@
+#include "accel/energy.h"
+
+#include "common/logging.h"
+
+namespace msq {
+
+double
+macEnergy(const EnergyParams &params, unsigned weight_bits)
+{
+    switch (weight_bits) {
+      case 2:
+        return params.macInt2;
+      case 3:
+      case 4:
+        return params.macInt4;
+      case 8:
+        return params.macInt8;
+      case 16:
+        return params.macFp16;
+      case 32:
+        return params.macFp32;
+      default:
+        // Interpolate quadratically in operand width.
+        return params.macInt8 *
+               (static_cast<double>(weight_bits) * weight_bits) / 64.0;
+    }
+}
+
+EnergyBreakdown
+computeEnergy(const EnergyParams &params, const CycleStats &stats,
+              unsigned weight_bits, double area_mm2, double clock_ghz)
+{
+    EnergyBreakdown e;
+    e.peDynamic =
+        static_cast<double>(stats.macs) * macEnergy(params, weight_bits);
+    e.reconDynamic = static_cast<double>(stats.reconAccesses) *
+                     params.reconPerTransit;
+    e.bufferDynamic = stats.traffic.bufferBytes * params.bufferPerByte;
+    e.l2Dynamic = stats.traffic.l2Bytes * params.l2PerByte;
+    e.dramDynamic = stats.traffic.dramBytes * params.dramPerByte;
+
+    const double seconds =
+        static_cast<double>(stats.totalCycles) / (clock_ghz * 1e9);
+    // W * s = J; convert to pJ.
+    e.staticEnergy =
+        params.staticWattsPerMm2 * area_mm2 * seconds * 1e12;
+    return e;
+}
+
+} // namespace msq

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Energy model. Per-operation energies at a 7 nm-class process,
+ * assembled from the usual architecture-community rules of thumb
+ * (multiplier energy roughly quadratic in operand width, SRAM ~order
+ * of magnitude above a MAC, DRAM ~two orders above SRAM) and scaled so
+ * relative comparisons between accelerators are meaningful. Absolute
+ * joules are model outputs, not silicon measurements; every benchmark
+ * reports energy *normalized* to a baseline, as the paper does.
+ */
+
+#ifndef MSQ_ACCEL_ENERGY_H
+#define MSQ_ACCEL_ENERGY_H
+
+#include <cstdint>
+
+#include "accel/cycle_model.h"
+
+namespace msq {
+
+/** Per-operation energy constants (picojoules). */
+struct EnergyParams
+{
+    double macInt2 = 0.060;
+    double macInt4 = 0.140;
+    double macInt8 = 0.350;
+    double macFp16 = 0.900;
+    double macFp32 = 2.700;
+    double bufferPerByte = 0.35;    ///< local scratch buffers
+    double l2PerByte = 1.10;        ///< 2 MB L2 SRAM
+    double dramPerByte = 40.0;      ///< HBM2
+    double reconPerTransit = 1.30;  ///< full 64-wide butterfly transit
+    double staticWattsPerMm2 = 0.08;
+};
+
+/** Energy breakdown of a simulated run (picojoules). */
+struct EnergyBreakdown
+{
+    double peDynamic = 0.0;
+    double reconDynamic = 0.0;
+    double bufferDynamic = 0.0;
+    double l2Dynamic = 0.0;
+    double dramDynamic = 0.0;
+    double staticEnergy = 0.0;
+
+    double total() const
+    {
+        return peDynamic + reconDynamic + bufferDynamic + l2Dynamic +
+               dramDynamic + staticEnergy;
+    }
+
+    double onChip() const
+    {
+        return peDynamic + reconDynamic + bufferDynamic + l2Dynamic +
+               staticEnergy;
+    }
+};
+
+/** MAC energy for a weight precision. */
+double macEnergy(const EnergyParams &params, unsigned weight_bits);
+
+/**
+ * Assemble the energy of a simulated run.
+ *
+ * @param stats cycle model output
+ * @param weight_bits operand precision of the MACs
+ * @param area_mm2 die area for static power
+ * @param clock_ghz to convert cycles to time for static energy
+ */
+EnergyBreakdown computeEnergy(const EnergyParams &params,
+                              const CycleStats &stats,
+                              unsigned weight_bits, double area_mm2,
+                              double clock_ghz);
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_ENERGY_H

@@ -1,0 +1,189 @@
+#include "accel/functional.h"
+
+#include <cmath>
+
+#include "accel/pe.h"
+#include "common/logging.h"
+#include "core/encoding.h"
+
+namespace msq {
+
+FunctionalAccelerator::FunctionalAccelerator(const AccelConfig &config)
+    : config_(config)
+{
+}
+
+Matrix
+FunctionalAccelerator::referenceGemm(const PackedLayer &weights,
+                                     const QuantizedActs &acts)
+{
+    MSQ_ASSERT(weights.rows() == acts.channels(),
+               "GEMM reduction dimension mismatch");
+    const Matrix w = weights.dequantAll();
+    const Matrix x = acts.dequantAll();
+    // Y[tokens][o] = (W^T X)^T.
+    return w.transposedMatmul(x).transposed();
+}
+
+Matrix
+FunctionalAccelerator::gemm(const PackedLayer &weights,
+                            const QuantizedActs &acts)
+{
+    MSQ_ASSERT(weights.rows() == acts.channels(),
+               "GEMM reduction dimension mismatch");
+    stats_ = FunctionalStats{};
+
+    const MsqConfig &qcfg = weights.config();
+    const unsigned bb = qcfg.inlierBits;
+    const FpFormat fmt = weights.outlierFormat();
+    const unsigned mant_bits = fmt.mbits;
+    const unsigned upper_bits = upperMantissaBits(mant_bits);
+    const size_t K = weights.rows();
+    const size_t O = weights.cols();
+    const size_t M = acts.tokens();
+
+    ReconNetwork recon(std::max<size_t>(config_.cols, 2), mant_bits,
+                       upper_bits);
+
+    Matrix out(M, O);
+
+    // Weight-stationary walk: every k-row of the packed layer is mapped
+    // to a PE row (the tiler's job in the cycle model; functionally we
+    // process rows in order). Accumulation is carried in real space
+    // because inlier and outlier groups have different power-of-two
+    // scales — the hardware reconciles them with the output-scale shifts
+    // of Section 5.5; the functional model applies each group's scale to
+    // its integer contribution, which is the same arithmetic without
+    // truncation.
+    const size_t micro = qcfg.microBlock;
+
+    for (size_t m = 0; m < M; ++m) {
+        std::vector<double> acc(O, 0.0);
+        for (size_t k = 0; k < K; ++k) {
+            const int8_t ia = acts.code(m, k);
+            const double act_scale_base = 1.0;  // applied per group below
+            (void)act_scale_base;
+
+            // Process this row micro-block by micro-block, mirroring the
+            // per-row ReCoN transit.
+            for (size_t ub = 0; ub < weights.microPerRow(); ++ub) {
+                const size_t base = ub * micro;
+                const size_t n = std::min(micro, O - base);
+                const MicroBlockMeta &meta = weights.micro(k, ub);
+
+                if (!meta.hasOutliers) {
+                    // Pure inlier micro-block: PE multiply + accumulate.
+                    for (size_t i = 0; i < n; ++i) {
+                        const size_t o = base + i;
+                        const SlotKind kind = weights.kind(k, o);
+                        if (kind == SlotKind::PrunedZero)
+                            continue;
+                        MSQ_ASSERT(kind == SlotKind::Inlier,
+                                   "outlier slot in inlier micro-block");
+                        int32_t prod;
+                        if (bb == 2) {
+                            // MODE 2b: the code sits in the low pair.
+                            prod = MultiPrecisionPe::multiply2b(
+                                       weights.code(k, o), ia)
+                                       .lo;
+                        } else {
+                            prod = MultiPrecisionPe::multiply4b(
+                                weights.code(k, o), ia);
+                        }
+                        ++stats_.macs;
+                        const size_t mb = o / qcfg.macroBlock;
+                        const double scale = std::ldexp(
+                            1.0, weights.isf(k, mb) +
+                                     acts.scaleExp(m, k));
+                        acc[o] += static_cast<double>(prod) * scale;
+                    }
+                    continue;
+                }
+
+                // Outlier micro-block: build the ReCoN input vector.
+                std::vector<ReconInput> inputs(n);
+                for (size_t i = 0; i < n; ++i) {
+                    const size_t o = base + i;
+                    const SlotKind kind = weights.kind(k, o);
+                    ReconInput &in = inputs[i];
+                    in.iact = ia;
+                    in.iacc = 0;  // accumulation carried outside in acc[]
+                    switch (kind) {
+                      case SlotKind::Inlier: {
+                        int32_t prod;
+                        if (bb == 2) {
+                            prod = MultiPrecisionPe::multiply2b(
+                                       weights.code(k, o), ia)
+                                       .lo;
+                        } else {
+                            prod = MultiPrecisionPe::multiply4b(
+                                weights.code(k, o), ia);
+                        }
+                        ++stats_.macs;
+                        in.tag = ReconInput::Tag::InlierPsum;
+                        in.res = prod;
+                        break;
+                      }
+                      case SlotKind::PrunedZero:
+                        in.tag = ReconInput::Tag::InlierPsum;
+                        in.res = 0;
+                        break;
+                      case SlotKind::OutlierUpper:
+                      case SlotKind::OutlierLower: {
+                        const unsigned half_bits =
+                            kind == SlotKind::OutlierUpper
+                                ? upper_bits
+                                : mant_bits - upper_bits;
+                        in.res = MultiPrecisionPe::multiplyOutlierHalf(
+                            weights.code(k, o), bb, half_bits, ia);
+                        ++stats_.macs;
+                        in.tag = kind == SlotKind::OutlierUpper
+                                     ? ReconInput::Tag::OutlierUpper
+                                     : ReconInput::Tag::OutlierLower;
+                        in.sign = static_cast<int8_t>(
+                            (weights.code(k, o) >> (bb - 1)) & 1u);
+                        break;
+                      }
+                    }
+                }
+                // Wire partners from the permutation list.
+                for (const PermEntry &entry : meta.perm) {
+                    inputs[entry.upperLoc].partner =
+                        static_cast<int>(entry.lowerLoc);
+                    inputs[entry.lowerLoc].partner =
+                        static_cast<int>(entry.upperLoc);
+                }
+
+                const ReconTransit transit = recon.process(inputs);
+                ++stats_.reconTransits;
+                stats_.reconMerges += meta.perm.size();
+                stats_.reconPortConflicts += transit.portConflicts;
+
+                // Apply scales: inlier slots carry the inlier scale,
+                // merged outlier slots the outlier scale (Osf).
+                const int osf = weights.outlierScaleExp(k, ub);
+                for (size_t i = 0; i < n; ++i) {
+                    const size_t o = base + i;
+                    const double scaled = std::ldexp(
+                        static_cast<double>(transit.scaledOut[i]),
+                        -static_cast<int>(transit.scaleBits));
+                    const SlotKind kind = weights.kind(k, o);
+                    int wexp;
+                    if (kind == SlotKind::OutlierUpper) {
+                        wexp = osf;
+                    } else {
+                        const size_t mb = o / qcfg.macroBlock;
+                        wexp = weights.isf(k, mb);
+                    }
+                    acc[o] += scaled *
+                              std::ldexp(1.0, wexp + acts.scaleExp(m, k));
+                }
+            }
+        }
+        for (size_t o = 0; o < O; ++o)
+            out(m, o) = acc[o];
+    }
+    return out;
+}
+
+} // namespace msq

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bit-accurate functional model of the MicroScopiQ accelerator
+ * datapath: weight-stationary GEMM over a PackedLayer and quantized
+ * iActs, computing every product through the multi-precision PE model
+ * and every outlier partial sum through the ReCoN merge semantics.
+ *
+ * The functional output must match the reference computation
+ * (dequantized weights times dequantized activations) to floating-point
+ * accuracy; the property test in tests/test_functional.cc enforces it
+ * across random layers, modes and outlier rates. This is the repo's
+ * strongest evidence that the hardware's integer pipeline computes the
+ * same numbers the quantization algorithm promises.
+ */
+
+#ifndef MSQ_ACCEL_FUNCTIONAL_H
+#define MSQ_ACCEL_FUNCTIONAL_H
+
+#include "accel/accel_config.h"
+#include "accel/acts.h"
+#include "accel/recon.h"
+#include "core/packed_tensor.h"
+
+namespace msq {
+
+/** Statistics collected during a functional GEMM. */
+struct FunctionalStats
+{
+    size_t macs = 0;             ///< PE multiply-accumulates executed
+    size_t reconTransits = 0;    ///< row-vectors routed through ReCoN
+    size_t reconMerges = 0;      ///< outlier merges performed
+    size_t reconPortConflicts = 0;
+};
+
+/** Functional accelerator: computes exactly what the RTL would. */
+class FunctionalAccelerator
+{
+  public:
+    explicit FunctionalAccelerator(const AccelConfig &config);
+
+    /**
+     * Run Y = W^T X on the accelerator datapath.
+     *
+     * @param weights packed MicroScopiQ layer (K x O)
+     * @param acts quantized activations (K channels, M tokens)
+     * @return tokens x O output matrix (post-processed real values)
+     */
+    Matrix gemm(const PackedLayer &weights, const QuantizedActs &acts);
+
+    /**
+     * Reference computation: dequantized weights times dequantized
+     * activations, bypassing the PE/ReCoN datapath.
+     */
+    static Matrix referenceGemm(const PackedLayer &weights,
+                                const QuantizedActs &acts);
+
+    const FunctionalStats &stats() const { return stats_; }
+
+  private:
+    AccelConfig config_;
+    FunctionalStats stats_;
+};
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_FUNCTIONAL_H

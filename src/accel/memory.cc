@@ -1,0 +1,14 @@
+#include "accel/memory.h"
+
+namespace msq {
+
+MemoryCycles
+memoryCycles(const AccelConfig &config, const MemoryTraffic &traffic)
+{
+    MemoryCycles cycles;
+    cycles.dramCycles = traffic.dramBytes / config.dramBytesPerCycle();
+    cycles.ocpCycles = traffic.l2Bytes / config.ocpBytesPerCycle();
+    return cycles;
+}
+
+} // namespace msq

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory hierarchy traffic model (paper Section 5.1, Fig. 5): HBM2
+ * off-chip at 256 GB/s feeding a 2 MB L2 SRAM, which feeds the weight /
+ * iAct / oAct buffers over a 64 GB/s OCP-SRAM interface. The model
+ * tracks bytes moved per level and converts to cycles at the configured
+ * clock; double buffering overlaps transfers with compute in the cycle
+ * model.
+ */
+
+#ifndef MSQ_ACCEL_MEMORY_H
+#define MSQ_ACCEL_MEMORY_H
+
+#include <cstdint>
+
+#include "accel/accel_config.h"
+
+namespace msq {
+
+/** Byte counters per hierarchy level. */
+struct MemoryTraffic
+{
+    double dramBytes = 0.0;   ///< HBM2 <-> L2
+    double l2Bytes = 0.0;     ///< L2 <-> buffers (OCP interface)
+    double bufferBytes = 0.0; ///< buffers <-> PE array
+
+    MemoryTraffic &operator+=(const MemoryTraffic &other)
+    {
+        dramBytes += other.dramBytes;
+        l2Bytes += other.l2Bytes;
+        bufferBytes += other.bufferBytes;
+        return *this;
+    }
+};
+
+/** Convert traffic into transfer cycles on each interface. */
+struct MemoryCycles
+{
+    double dramCycles = 0.0;
+    double ocpCycles = 0.0;
+
+    /** The serializing transfer time assuming the two stages pipeline. */
+    double bound() const
+    {
+        return dramCycles > ocpCycles ? dramCycles : ocpCycles;
+    }
+};
+
+/** Cycle cost of moving `traffic` under `config` bandwidths. */
+MemoryCycles memoryCycles(const AccelConfig &config,
+                          const MemoryTraffic &traffic);
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_MEMORY_H

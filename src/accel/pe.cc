@@ -1,0 +1,80 @@
+#include "accel/pe.h"
+
+#include "common/bitstream.h"
+#include "common/logging.h"
+
+namespace msq {
+
+namespace {
+
+/**
+ * One leaf of the multiplier tree: a signed/unsigned-aware
+ * 4-bit x 2-bit product. `a4` is an iAct nibble, `w2` a weight bit
+ * pair; signedness depends on whether the slice holds the MSBs.
+ */
+int32_t
+leafMultiply(uint8_t a4, bool a_signed, uint8_t w2, bool w_signed)
+{
+    const int32_t a = a_signed ? static_cast<int32_t>(signExtend(a4, 4))
+                               : static_cast<int32_t>(a4 & 0xf);
+    const int32_t w = w_signed ? static_cast<int32_t>(signExtend(w2, 2))
+                               : static_cast<int32_t>(w2 & 0x3);
+    return a * w;
+}
+
+} // namespace
+
+int32_t
+MultiPrecisionPe::multiply4b(uint8_t weight_code, int8_t iact)
+{
+    const uint8_t ia = static_cast<uint8_t>(iact);
+    const uint8_t a_lo = ia & 0xf;         // unsigned low nibble
+    const uint8_t a_hi = (ia >> 4) & 0xf;  // signed high nibble
+    const uint8_t w_lo = weight_code & 0x3;         // unsigned low pair
+    const uint8_t w_hi = (weight_code >> 2) & 0x3;  // signed high pair
+
+    // iact * w = (a_hi*16 + a_lo) * (w_hi*4 + w_lo)
+    //          = P11*64 + P10*16 + P01*4 + P00 with
+    // P11 = a_hi*w_hi, P10 = a_hi*w_lo, P01 = a_lo*w_hi, P00 = a_lo*w_lo.
+    const int32_t p11 = leafMultiply(a_hi, true, w_hi, true);
+    const int32_t p10 = leafMultiply(a_hi, true, w_lo, false);
+    const int32_t p01 = leafMultiply(a_lo, false, w_hi, true);
+    const int32_t p00 = leafMultiply(a_lo, false, w_lo, false);
+    return (p11 << 6) + (p10 << 4) + (p01 << 2) + p00;
+}
+
+PePairResult
+MultiPrecisionPe::multiply2b(uint8_t packed_code, int8_t iact)
+{
+    const uint8_t ia = static_cast<uint8_t>(iact);
+    const uint8_t a_lo = ia & 0xf;
+    const uint8_t a_hi = (ia >> 4) & 0xf;
+    const uint8_t w0 = packed_code & 0x3;         // weight in bits [1:0]
+    const uint8_t w1 = (packed_code >> 2) & 0x3;  // weight in bits [3:2]
+
+    // Both 2-bit weights are independent signed values in MODE 2b:
+    // Res1 = iact * w1 = P11*16 + P01; Res0 = iact * w0 = P10*16 + P00.
+    const int32_t p11 = leafMultiply(a_hi, true, w1, true);
+    const int32_t p01 = leafMultiply(a_lo, false, w1, true);
+    const int32_t p10 = leafMultiply(a_hi, true, w0, true);
+    const int32_t p00 = leafMultiply(a_lo, false, w0, true);
+
+    PePairResult res;
+    res.hi = (p11 << 4) + p01;
+    res.lo = (p10 << 4) + p00;
+    return res;
+}
+
+int32_t
+MultiPrecisionPe::multiplyOutlierHalf(uint8_t half_code, unsigned bb,
+                                      unsigned half_mant_bits, int8_t iact)
+{
+    MSQ_ASSERT(half_mant_bits < bb, "half mantissa must fit below the sign");
+    const bool neg = (half_code >> (bb - 1)) & 1u;
+    const int32_t mag =
+        static_cast<int32_t>(half_code & ((1u << half_mant_bits) - 1u));
+    const int32_t value = neg ? -mag : mag;
+    return value * static_cast<int32_t>(iact);
+}
+
+} // namespace msq

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-precision processing element (paper Section 5.3, Fig. 7a).
+ *
+ * The PE multiplies an 8-bit iAct with either one 4-bit weight
+ * (MODE 4b) or two packed 2-bit weights sharing the same iAct
+ * (MODE 2b). Internally it is a multiplier tree of four 4-bit x 2-bit
+ * multipliers whose partial products are combined with shifts; the
+ * functional model reproduces that decomposition exactly so the unit
+ * test can check it against direct multiplication over the full input
+ * cross product.
+ *
+ * Inlier weights are two's-complement; outlier halves are
+ * sign-magnitude (the Inlier/Outlier select of Fig. 4 switches the
+ * interpretation). Accumulation for outlier halves is offloaded to
+ * ReCoN; the PE only forms the raw products.
+ */
+
+#ifndef MSQ_ACCEL_PE_H
+#define MSQ_ACCEL_PE_H
+
+#include <cstdint>
+
+#include "accel/accel_config.h"
+
+namespace msq {
+
+/** Result of a MODE 2b multiplication: two independent products. */
+struct PePairResult
+{
+    int32_t hi = 0;  ///< product of the weight in bits [3:2]
+    int32_t lo = 0;  ///< product of the weight in bits [1:0]
+};
+
+/** Functional model of the multi-precision PE. */
+class MultiPrecisionPe
+{
+  public:
+    /**
+     * MODE 4b: multiply a 4-bit two's-complement weight code with an
+     * 8-bit two's-complement iAct via the multiplier tree.
+     */
+    static int32_t multiply4b(uint8_t weight_code, int8_t iact);
+
+    /**
+     * MODE 2b: multiply the two packed 2-bit weight codes (bits [3:2]
+     * and [1:0]) with the shared iAct.
+     */
+    static PePairResult multiply2b(uint8_t packed_code, int8_t iact);
+
+    /**
+     * Outlier-half product: the half's sign-magnitude integer times the
+     * iAct. `half_code` is a bb-bit pattern with the sign in the MSB.
+     */
+    static int32_t multiplyOutlierHalf(uint8_t half_code, unsigned bb,
+                                       unsigned half_mant_bits,
+                                       int8_t iact);
+
+    /** Reference (direct) signed multiply, for tests. */
+    static int32_t referenceMultiply(int32_t w, int32_t a)
+    {
+        return w * a;
+    }
+};
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_PE_H

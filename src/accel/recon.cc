@@ -1,0 +1,128 @@
+#include "accel/recon.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace msq {
+
+namespace {
+
+/** Smallest power of two >= n. */
+size_t
+ceilPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+size_t
+log2Ceil(size_t n)
+{
+    size_t bits = 0;
+    size_t p = 1;
+    while (p < n) {
+        p <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+ReconNetwork::ReconNetwork(size_t width, unsigned mant_bits,
+                           unsigned upper_bits)
+    : width_(ceilPow2(width)),
+      stages_(log2Ceil(ceilPow2(width)) + 1),
+      mantBits_(mant_bits),
+      upperBits_(upper_bits)
+{
+    MSQ_ASSERT(width >= 2, "ReCoN needs at least two columns");
+    MSQ_ASSERT(upper_bits <= mant_bits, "upper half wider than mantissa");
+}
+
+ReconTransit
+ReconNetwork::process(const std::vector<ReconInput> &inputs) const
+{
+    MSQ_ASSERT(inputs.size() <= width_, "row vector wider than ReCoN");
+    ReconTransit transit;
+    transit.scaleBits = mantBits_;
+    transit.stages = stages_;
+    transit.scaledOut.assign(inputs.size(), 0);
+
+    const unsigned lower_bits = mantBits_ - upperBits_;
+    const int64_t one = 1;
+
+    // ---- Functional outputs.
+    for (size_t c = 0; c < inputs.size(); ++c) {
+        const ReconInput &in = inputs[c];
+        switch (in.tag) {
+          case ReconInput::Tag::InlierPsum:
+            // Pass: the PE already accumulated; scale to integer units.
+            transit.scaledOut[c] = (in.res + in.iacc) << mantBits_;
+            break;
+          case ReconInput::Tag::OutlierLower:
+            // Swap: the vacated column forwards its iAcc (the pruned
+            // weight contributes zero).
+            transit.scaledOut[c] = in.iacc << mantBits_;
+            break;
+          case ReconInput::Tag::OutlierUpper: {
+            MSQ_ASSERT(in.partner >= 0 &&
+                       static_cast<size_t>(in.partner) < inputs.size(),
+                       "outlier upper half without a partner column");
+            const ReconInput &lo = inputs[in.partner];
+            MSQ_ASSERT(lo.tag == ReconInput::Tag::OutlierLower,
+                       "partner column is not a lower half");
+            // Merge (Section 5.4 / Fig. 8): shift the upper product by
+            // the upper-half width, the lower product by the full
+            // mantissa width, add the sign-corrected iAct for the FP
+            // hidden bit, then the upper position's iAcc. All in units
+            // of 2^-mantBits to stay exact:
+            //   out = res_u * 2^(M - upper_bits) + res_l
+            //       + sign*iact * 2^M + iacc * 2^M.
+            const int64_t hidden =
+                (in.sign ? -one : one) * static_cast<int64_t>(in.iact);
+            transit.scaledOut[c] = (in.res << lower_bits) + lo.res +
+                                   (hidden << mantBits_) +
+                                   (in.iacc << mantBits_);
+            break;
+          }
+        }
+    }
+
+    // ---- Routing: bit-fixing paths for each lower->upper move through
+    // the butterfly; count switch output-port conflicts per stage.
+    const size_t route_stages = stages_ - 1;  // internal stages
+    std::vector<std::pair<size_t, size_t>> moves;  // (from, to)
+    for (size_t c = 0; c < inputs.size(); ++c)
+        if (inputs[c].tag == ReconInput::Tag::OutlierUpper)
+            moves.emplace_back(static_cast<size_t>(inputs[c].partner), c);
+
+    if (!moves.empty() && route_stages > 0) {
+        // Track, per stage, which (switch, port) pairs are claimed.
+        for (size_t s = 0; s < route_stages; ++s) {
+            std::vector<std::pair<size_t, size_t>> claimed;
+            for (auto &[from, to] : moves) {
+                // Bit-fixing: at stage s the packet fixes bit s of its
+                // column toward the destination.
+                const size_t bit = one << s;
+                size_t next = from;
+                if ((from & bit) != (to & bit))
+                    next = from ^ bit;
+                const size_t sw = next >> (s + 1);  // switch group
+                const size_t port = next;
+                for (auto &[csw, cport] : claimed) {
+                    if (csw == sw && cport == port)
+                        ++transit.portConflicts;
+                }
+                claimed.emplace_back(sw, port);
+                from = next;
+            }
+        }
+    }
+    return transit;
+}
+
+} // namespace msq

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ReCoN: the Redistribution and Coordination NoC (paper Section 5.4).
+ *
+ * A multistage butterfly network of {2-input, 2-output} switches, shared
+ * and time-multiplexed across PE rows. Rows whose micro-blocks contain
+ * outliers route their partial-sum vectors through ReCoN; the switches
+ * perform three operations:
+ *
+ *   Pass  (=)  forward inputs straight down,
+ *   Swap  (x)  cross the inputs, substituting the vacated port with the
+ *              pruned position's iAcc,
+ *   Merge (||) combine an outlier's Upper and Lower half products:
+ *              shift the Upper product right by the upper-half mantissa
+ *              width and the Lower product by the full mantissa width,
+ *              add the iAct once for the FP hidden bit (sign-corrected),
+ *              and accumulate the Upper position's iAcc.
+ *
+ * The functional model computes merge results exactly (in integer units
+ * scaled by 2^mantissa_bits); the routing model walks the butterfly with
+ * bit-fixing routing and counts internal port conflicts for the cycle
+ * model.
+ */
+
+#ifndef MSQ_ACCEL_RECON_H
+#define MSQ_ACCEL_RECON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msq {
+
+/** Per-column input to a ReCoN transit. */
+struct ReconInput
+{
+    enum class Tag : uint8_t
+    {
+        InlierPsum,    ///< finished psum (PE already accumulated iAcc)
+        OutlierUpper,  ///< raw upper-half product + iAcc, awaiting merge
+        OutlierLower,  ///< raw lower-half product + iAcc, to be swapped
+    };
+
+    Tag tag = Tag::InlierPsum;
+    int64_t res = 0;    ///< PE product (raw for outlier halves)
+    int64_t iacc = 0;   ///< accumulator input from the previous row
+    int32_t iact = 0;   ///< the row's iAct (hidden-bit correction)
+    int8_t sign = 0;    ///< outlier sign (1 = negative), for the hidden bit
+    int partner = -1;   ///< column of the matching half (for outlier tags)
+};
+
+/** Result of one ReCoN transit. */
+struct ReconTransit
+{
+    /**
+     * Per-column outputs in units of 2^-mant_bits (scaled integers so
+     * merges stay exact): inlier columns carry res+iacc scaled; merged
+     * columns carry the outlier partial sum; lower columns carry their
+     * iacc.
+     */
+    std::vector<int64_t> scaledOut;
+    unsigned scaleBits = 0;   ///< outputs are value * 2^scaleBits
+    size_t portConflicts = 0; ///< internal butterfly port conflicts
+    size_t stages = 0;        ///< pipeline stages traversed
+};
+
+/** Functional + routing model of one ReCoN unit. */
+class ReconNetwork
+{
+  public:
+    /**
+     * @param width number of columns (PE array columns)
+     * @param mant_bits full outlier mantissa width M (2 for e1m2)
+     * @param upper_bits mantissa bits carried by the upper half
+     */
+    ReconNetwork(size_t width, unsigned mant_bits, unsigned upper_bits);
+
+    /** Number of butterfly stages: log2(width) + 1 (paper topology). */
+    size_t stages() const { return stages_; }
+
+    /** Number of switches: width * stages (2x2 switches per stage). */
+    size_t switchCount() const { return width_ * stages_; }
+
+    /**
+     * Process one row-vector. Inputs must contain matched
+     * OutlierUpper/OutlierLower pairs via `partner`.
+     */
+    ReconTransit process(const std::vector<ReconInput> &inputs) const;
+
+  private:
+    size_t width_;
+    size_t stages_;
+    unsigned mantBits_;
+    unsigned upperBits_;
+};
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_RECON_H

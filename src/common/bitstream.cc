@@ -1,0 +1,66 @@
+#include "common/bitstream.h"
+
+#include "common/logging.h"
+
+namespace msq {
+
+void
+BitWriter::write(uint64_t value, unsigned bits)
+{
+    MSQ_ASSERT(bits <= 64, "BitWriter::write supports at most 64 bits");
+    for (unsigned i = 0; i < bits; ++i) {
+        const size_t byte = bitCount_ >> 3;
+        const unsigned offset = bitCount_ & 7;
+        if (byte >= bytes_.size())
+            bytes_.push_back(0);
+        if ((value >> i) & 1ULL)
+            bytes_[byte] |= static_cast<uint8_t>(1u << offset);
+        ++bitCount_;
+    }
+}
+
+std::vector<uint8_t>
+BitWriter::take()
+{
+    std::vector<uint8_t> out;
+    out.swap(bytes_);
+    bitCount_ = 0;
+    return out;
+}
+
+BitReader::BitReader(const std::vector<uint8_t> &bytes)
+    : bytes_(bytes)
+{
+}
+
+uint64_t
+BitReader::read(unsigned bits)
+{
+    MSQ_ASSERT(bits <= 64, "BitReader::read supports at most 64 bits");
+    MSQ_ASSERT(pos_ + bits <= capacity(), "BitReader exhausted");
+    uint64_t value = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        const size_t byte = pos_ >> 3;
+        const unsigned offset = pos_ & 7;
+        if ((bytes_[byte] >> offset) & 1u)
+            value |= 1ULL << i;
+        ++pos_;
+    }
+    return value;
+}
+
+int64_t
+signExtend(uint64_t value, unsigned bits)
+{
+    MSQ_ASSERT(bits >= 1 && bits <= 64, "signExtend bit width out of range");
+    if (bits == 64)
+        return static_cast<int64_t>(value);
+    const uint64_t mask = (1ULL << bits) - 1;
+    value &= mask;
+    const uint64_t sign = 1ULL << (bits - 1);
+    if (value & sign)
+        value |= ~mask;
+    return static_cast<int64_t>(value);
+}
+
+} // namespace msq

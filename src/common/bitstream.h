@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bit-level writer/reader used to serialize the MicroScopiQ off-chip
+ * layout (Fig. 5 of the paper). The packed-tensor round trip test relies
+ * on exact bit accounting: the effective bit-width reported by Eq. 4 must
+ * equal the measured stream size.
+ */
+
+#ifndef MSQ_COMMON_BITSTREAM_H
+#define MSQ_COMMON_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msq {
+
+/** Append-only bit writer (LSB-first within the stream). */
+class BitWriter
+{
+  public:
+    /** Append the low `bits` bits of `value`. @pre bits <= 64 */
+    void write(uint64_t value, unsigned bits);
+
+    /** Total number of bits written so far. */
+    size_t bitCount() const { return bitCount_; }
+
+    /** Finish and take the byte buffer (final partial byte zero padded). */
+    std::vector<uint8_t> take();
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    size_t bitCount_ = 0;
+};
+
+/** Sequential bit reader matching BitWriter's layout. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint8_t> &bytes);
+
+    /** Read the next `bits` bits. @pre bits <= 64 and stream not exhausted */
+    uint64_t read(unsigned bits);
+
+    /** Bits consumed so far. */
+    size_t position() const { return pos_; }
+
+    /** Total bits available. */
+    size_t capacity() const { return bytes_.size() * 8; }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+/** Sign extend the low `bits` bits of `value` to a signed 64-bit int. */
+int64_t signExtend(uint64_t value, unsigned bits);
+
+} // namespace msq
+
+#endif // MSQ_COMMON_BITSTREAM_H

@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+namespace msq {
+
+void
+logMessage(const char *severity, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", severity, msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage("fatal", msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage("panic", msg);
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage("warn", msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage("info", msg);
+}
+
+} // namespace msq

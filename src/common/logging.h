@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Status / error reporting helpers in the gem5 style.
+ *
+ * `fatal` terminates because of a user-level error (bad configuration,
+ * invalid arguments); `panic` terminates because of an internal invariant
+ * violation (a bug in this library); `warn` / `inform` report conditions
+ * without stopping.
+ */
+
+#ifndef MSQ_COMMON_LOGGING_H
+#define MSQ_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace msq {
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char *severity, const std::string &msg);
+
+/** Terminate: the caller supplied an invalid configuration or argument. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Terminate: an internal invariant was violated (library bug). */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a suspicious but survivable condition. */
+void warn(const std::string &msg);
+
+/** Report normal operating status. */
+void inform(const std::string &msg);
+
+/**
+ * Assert an internal invariant; panics with the location on failure.
+ * Kept enabled in all build types: the simulator relies on these checks
+ * for bit-exactness guarantees.
+ */
+#define MSQ_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::msq::panic(std::string(__FILE__) + ":" +                     \
+                         std::to_string(__LINE__) + ": " + (msg));         \
+        }                                                                  \
+    } while (0)
+
+} // namespace msq
+
+#endif // MSQ_COMMON_LOGGING_H

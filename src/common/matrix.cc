@@ -1,0 +1,164 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace msq {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::matmul(const Matrix &other) const
+{
+    MSQ_ASSERT(cols_ == other.rows(), "matmul shape mismatch");
+    Matrix out(rows_, other.cols());
+    // ikj loop order keeps the inner loop streaming over contiguous rows.
+    for (size_t i = 0; i < rows_; ++i) {
+        const double *arow = rowPtr(i);
+        double *orow = out.rowPtr(i);
+        for (size_t k = 0; k < cols_; ++k) {
+            const double aik = arow[k];
+            if (aik == 0.0)
+                continue;
+            const double *brow = other.rowPtr(k);
+            for (size_t j = 0; j < other.cols(); ++j)
+                orow[j] += aik * brow[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposedMatmul(const Matrix &other) const
+{
+    MSQ_ASSERT(rows_ == other.rows(), "transposedMatmul shape mismatch");
+    Matrix out(cols_, other.cols());
+    for (size_t k = 0; k < rows_; ++k) {
+        const double *arow = rowPtr(k);
+        const double *brow = other.rowPtr(k);
+        for (size_t i = 0; i < cols_; ++i) {
+            const double aki = arow[i];
+            if (aki == 0.0)
+                continue;
+            double *orow = out.rowPtr(i);
+            for (size_t j = 0; j < other.cols(); ++j)
+                orow[j] += aki * brow[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(c, r) = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    MSQ_ASSERT(rows_ == other.rows() && cols_ == other.cols(),
+               "operator- shape mismatch");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+double
+Matrix::frobeniusSq() const
+{
+    double acc = 0.0;
+    for (double v : data_)
+        acc += v * v;
+    return acc;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double m = 0.0;
+    for (double v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+double
+Matrix::normalizedErrorTo(const Matrix &ref) const
+{
+    MSQ_ASSERT(rows_ == ref.rows() && cols_ == ref.cols(),
+               "normalizedErrorTo shape mismatch");
+    const double denom = ref.frobeniusSq();
+    if (denom == 0.0)
+        return 0.0;
+    return (*this - ref).frobeniusSq() / denom;
+}
+
+Matrix
+choleskyFactor(const Matrix &a)
+{
+    MSQ_ASSERT(a.rows() == a.cols(), "choleskyFactor needs a square matrix");
+    const size_t n = a.rows();
+    Matrix l(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double sum = a(i, j);
+            for (size_t k = 0; k < j; ++k)
+                sum -= l(i, k) * l(j, k);
+            if (i == j) {
+                MSQ_ASSERT(sum > 0.0,
+                           "matrix not positive definite in Cholesky");
+                l(i, j) = std::sqrt(sum);
+            } else {
+                l(i, j) = sum / l(j, j);
+            }
+        }
+    }
+    return l;
+}
+
+Matrix
+choleskyInverse(const Matrix &a)
+{
+    const size_t n = a.rows();
+    Matrix l = choleskyFactor(a);
+
+    // Invert L by forward substitution (columns of the identity).
+    Matrix linv(n, n);
+    for (size_t c = 0; c < n; ++c) {
+        for (size_t r = c; r < n; ++r) {
+            double sum = (r == c) ? 1.0 : 0.0;
+            for (size_t k = c; k < r; ++k)
+                sum -= l(r, k) * linv(k, c);
+            linv(r, c) = sum / l(r, r);
+        }
+    }
+
+    // A^-1 = L^-T L^-1.
+    Matrix inv(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double sum = 0.0;
+            for (size_t k = i; k < n; ++k)
+                sum += linv(k, i) * linv(k, j);
+            inv(i, j) = sum;
+            inv(j, i) = sum;
+        }
+    }
+    return inv;
+}
+
+} // namespace msq

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dense row-major matrix used throughout the quantizer and simulator.
+ *
+ * Kept intentionally small: the library needs deterministic, inspectable
+ * numerics more than BLAS-grade throughput. All hot loops in the
+ * accelerator operate on integer codes, not on this class.
+ */
+
+#ifndef MSQ_COMMON_MATRIX_H
+#define MSQ_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace msq {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct rows x cols, zero initialized. */
+    Matrix(size_t rows, size_t cols);
+
+    /** Construct rows x cols with an initial fill value. */
+    Matrix(size_t rows, size_t cols, double fill);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    double &operator()(size_t r, size_t c) { return at(r, c); }
+    double operator()(size_t r, size_t c) const { return at(r, c); }
+
+    double *rowPtr(size_t r) { return data_.data() + r * cols_; }
+    const double *rowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+    double *data() { return data_.data(); }
+    const double *data() const { return data_.data(); }
+
+    /** C = this * other. @pre cols() == other.rows() */
+    Matrix matmul(const Matrix &other) const;
+
+    /** C = this^T * other. @pre rows() == other.rows() */
+    Matrix transposedMatmul(const Matrix &other) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Elementwise difference this - other. @pre same shape */
+    Matrix operator-(const Matrix &other) const;
+
+    /** Frobenius norm squared. */
+    double frobeniusSq() const;
+
+    /** Maximum absolute element (0 for empty). */
+    double maxAbs() const;
+
+    /**
+     * Relative reconstruction error ||this - ref||_F^2 / ||ref||_F^2.
+     * Returns 0 when ref is identically zero.
+     */
+    double normalizedErrorTo(const Matrix &ref) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the symmetric positive definite system via Cholesky: returns the
+ * inverse of `a`. Used for the damped Hessian inverse. @pre a is SPD.
+ */
+Matrix choleskyInverse(const Matrix &a);
+
+/** Cholesky factor L (lower triangular) with a * = L L^T. @pre a is SPD. */
+Matrix choleskyFactor(const Matrix &a);
+
+} // namespace msq
+
+#endif // MSQ_COMMON_MATRIX_H

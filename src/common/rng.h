@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All experiments in this repository must be reproducible bit-for-bit, so
+ * every randomized component takes an explicit Rng seeded from the
+ * experiment configuration. The generator is xoshiro256** seeded through
+ * splitmix64, which is fast, high quality, and has a trivially portable
+ * implementation (no dependence on libstdc++ distribution internals).
+ */
+
+#ifndef MSQ_COMMON_RNG_H
+#define MSQ_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msq {
+
+/** xoshiro256** pseudo random generator with distribution helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Student-t sample with `dof` degrees of freedom. Used to synthesize
+     * heavy-tailed foundational-model weight distributions.
+     */
+    double studentT(double dof);
+
+    /** Bernoulli trial with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Sample k distinct indices from [0, n) (k <= n). */
+    std::vector<size_t> sampleWithoutReplacement(size_t n, size_t k);
+
+    /** Derive an independent child generator (for parallel experiments). */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+    bool hasCachedGaussian_ = false;
+    double cachedGaussian_ = 0.0;
+};
+
+} // namespace msq
+
+#endif // MSQ_COMMON_RNG_H

@@ -1,0 +1,110 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace msq {
+
+SampleSummary
+summarize(const std::vector<double> &values)
+{
+    SampleSummary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+
+    double sum = 0.0;
+    s.minValue = values.front();
+    s.maxValue = values.front();
+    for (double v : values) {
+        sum += v;
+        s.minValue = std::min(s.minValue, v);
+        s.maxValue = std::max(s.maxValue, v);
+    }
+    s.mean = sum / static_cast<double>(s.count);
+
+    double m2 = 0.0, m4 = 0.0;
+    for (double v : values) {
+        const double d = v - s.mean;
+        m2 += d * d;
+        m4 += d * d * d * d;
+    }
+    m2 /= static_cast<double>(s.count);
+    m4 /= static_cast<double>(s.count);
+    s.stddev = std::sqrt(m2);
+    s.kurtosis = (m2 > 0.0) ? m4 / (m2 * m2) - 3.0 : 0.0;
+    return s;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    return summarize(values).stddev;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    MSQ_ASSERT(!values.empty(), "percentile of an empty sample");
+    MSQ_ASSERT(p >= 0.0 && p <= 100.0, "percentile p out of range");
+    std::sort(values.begin(), values.end());
+    const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const size_t hi = static_cast<size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    MSQ_ASSERT(!values.empty(), "geomean of an empty sample");
+    double acc = 0.0;
+    for (double v : values) {
+        MSQ_ASSERT(v > 0.0, "geomean requires positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    MSQ_ASSERT(hi > lo, "histogram range must be non-empty");
+    MSQ_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double v)
+{
+    const double clamped = std::clamp(v, lo_, hi_);
+    const double frac = (clamped - lo_) / (hi_ - lo_);
+    size_t bin = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+    bin = std::min(bin, counts_.size() - 1);
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::binCenter(size_t bin) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+} // namespace msq

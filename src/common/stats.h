@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Descriptive statistics helpers used by the outlier analysis, the
+ * synthetic model generator, and the benchmark harnesses.
+ */
+
+#ifndef MSQ_COMMON_STATS_H
+#define MSQ_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace msq {
+
+/** Summary of a sample: moments and extremes. */
+struct SampleSummary
+{
+    size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;     ///< population standard deviation
+    double minValue = 0.0;
+    double maxValue = 0.0;
+    double kurtosis = 0.0;   ///< excess kurtosis (0 for a Gaussian)
+};
+
+/** Compute the summary of a sample (empty sample yields zeros). */
+SampleSummary summarize(const std::vector<double> &values);
+
+/** Arithmetic mean (0 for an empty sample). */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation (0 for fewer than 2 samples). */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Percentile with linear interpolation; p in [0, 100].
+ * @pre values non-empty.
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Geometric mean. @pre all values > 0 and non-empty. */
+double geomean(const std::vector<double> &values);
+
+/** Simple fixed-width histogram over [lo, hi] with `bins` buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one observation (clamped into range). */
+    void add(double v);
+
+    size_t bins() const { return counts_.size(); }
+    size_t count(size_t bin) const { return counts_[bin]; }
+    size_t total() const { return total_; }
+
+    /** Center of bucket `bin`. */
+    double binCenter(size_t bin) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<size_t> counts_;
+    size_t total_ = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_COMMON_STATS_H

@@ -1,0 +1,115 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace msq {
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(Row{false, std::move(row)});
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+Table::render() const
+{
+    // Column widths across header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const Row &row : rows_)
+        if (!row.separator)
+            grow(row.cells);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+    if (total > 0)
+        total -= 1;
+
+    std::ostringstream out;
+    if (!title_.empty()) {
+        out << title_ << '\n';
+        out << std::string(std::max(title_.size(), total), '=') << '\n';
+    }
+
+    auto emit = [&out, &widths](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            out << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < widths.size())
+                out << " | ";
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const Row &row : rows_) {
+        if (row.separator)
+            out << std::string(total, '-') << '\n';
+        else
+            emit(row.cells);
+    }
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtInt(long long v)
+{
+    char digits[32];
+    std::snprintf(digits, sizeof(digits), "%lld", v);
+    std::string raw(digits);
+    std::string out;
+    const bool neg = !raw.empty() && raw[0] == '-';
+    const size_t start = neg ? 1 : 0;
+    const size_t n = raw.size() - start;
+    for (size_t i = 0; i < n; ++i) {
+        if (i > 0 && (n - i) % 3 == 0)
+            out.push_back(',');
+        out.push_back(raw[start + i]);
+    }
+    return neg ? "-" + out : out;
+}
+
+} // namespace msq

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Aligned console table printer. Every benchmark binary prints its
+ * reproduction of a paper table/figure through this class so the output
+ * stays uniform and diff-friendly.
+ */
+
+#ifndef MSQ_COMMON_TABLE_H
+#define MSQ_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/** Column-aligned text table with an optional title and separator rows. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format helper: integer with thousands separators. */
+    static std::string fmtInt(long long v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+    std::vector<Row> rows_;
+};
+
+} // namespace msq
+
+#endif // MSQ_COMMON_TABLE_H

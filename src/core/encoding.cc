@@ -1,0 +1,77 @@
+#include "core/encoding.h"
+
+#include "common/logging.h"
+
+namespace msq {
+
+unsigned
+upperMantissaBits(unsigned mbits)
+{
+    return mbits - mbits / 2;
+}
+
+unsigned
+lowerMantissaBits(unsigned mbits)
+{
+    return mbits / 2;
+}
+
+OutlierHalves
+splitOutlier(uint8_t sign, uint16_t mantissa, unsigned mbits, unsigned bb)
+{
+    const unsigned hi_bits = upperMantissaBits(mbits);
+    const unsigned lo_bits = lowerMantissaBits(mbits);
+    MSQ_ASSERT(hi_bits + 1 <= bb && lo_bits + 1 <= bb,
+               "outlier half does not fit the per-element bit budget");
+    MSQ_ASSERT(mantissa < (1u << mbits), "mantissa wider than mbits");
+
+    const uint16_t m_hi = static_cast<uint16_t>(mantissa >> lo_bits);
+    const uint16_t m_lo =
+        static_cast<uint16_t>(mantissa & ((1u << lo_bits) - 1u));
+
+    OutlierHalves halves;
+    // Sign occupies the MSB of the bb-bit field; mantissa bits sit in
+    // the low bits, mirroring the inlier sign/magnitude layout.
+    halves.upper = static_cast<uint8_t>(
+        (static_cast<unsigned>(sign) << (bb - 1)) | m_hi);
+    halves.lower = static_cast<uint8_t>(
+        (static_cast<unsigned>(sign) << (bb - 1)) | m_lo);
+    return halves;
+}
+
+void
+mergeOutlier(const OutlierHalves &halves, unsigned mbits, unsigned bb,
+             uint8_t &sign, uint16_t &mantissa)
+{
+    const unsigned hi_bits = upperMantissaBits(mbits);
+    const unsigned lo_bits = lowerMantissaBits(mbits);
+    sign = static_cast<uint8_t>((halves.upper >> (bb - 1)) & 1u);
+    const uint8_t lower_sign =
+        static_cast<uint8_t>((halves.lower >> (bb - 1)) & 1u);
+    MSQ_ASSERT(sign == lower_sign, "outlier halves disagree on sign");
+    const uint16_t m_hi =
+        static_cast<uint16_t>(halves.upper & ((1u << hi_bits) - 1u));
+    const uint16_t m_lo =
+        static_cast<uint16_t>(halves.lower & ((1u << lo_bits) - 1u));
+    mantissa = static_cast<uint16_t>((m_hi << lo_bits) | m_lo);
+}
+
+int
+upperHalfInt(const OutlierHalves &halves, unsigned mbits, unsigned bb)
+{
+    const unsigned hi_bits = upperMantissaBits(mbits);
+    const int mag = static_cast<int>(halves.upper & ((1u << hi_bits) - 1u));
+    const bool neg = (halves.upper >> (bb - 1)) & 1u;
+    return neg ? -mag : mag;
+}
+
+int
+lowerHalfInt(const OutlierHalves &halves, unsigned mbits, unsigned bb)
+{
+    const unsigned lo_bits = lowerMantissaBits(mbits);
+    const int mag = static_cast<int>(halves.lower & ((1u << lo_bits) - 1u));
+    const bool neg = (halves.lower >> (bb - 1)) & 1u;
+    return neg ? -mag : mag;
+}
+
+} // namespace msq

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Outlier value encoding through N:M structured pruning (paper
+ * Section 4.3): after the micro-block shares its microexponent, each
+ * outlier reduces to {sign, mantissa}. The mantissa is split into an
+ * Upper half (sign + high mantissa bits, stored at the outlier's own
+ * position) and a Lower half (sign + low mantissa bits, stored at a
+ * pruned inlier position), each exactly `bb` bits wide so every element
+ * of the tensor occupies the same bit budget. A per-micro-block
+ * permutation list records the (upper, lower) location pairs.
+ */
+
+#ifndef MSQ_CORE_ENCODING_H
+#define MSQ_CORE_ENCODING_H
+
+#include <cstdint>
+
+#include "core/msq_config.h"
+
+namespace msq {
+
+/** One permutation-list entry: locations of an outlier's two halves. */
+struct PermEntry
+{
+    uint8_t upperLoc = 0;  ///< micro-block-relative position of the Upper half
+    uint8_t lowerLoc = 0;  ///< micro-block-relative position of the Lower half
+};
+
+/** How a stored element slot must be interpreted. */
+enum class SlotKind : uint8_t
+{
+    Inlier,        ///< two's-complement MX-INT code
+    OutlierUpper,  ///< sign + high mantissa bits of an outlier
+    OutlierLower,  ///< sign + low mantissa bits of an outlier
+    PrunedZero,    ///< pruned inlier not reused by any outlier (excess prune)
+};
+
+/**
+ * Split an outlier's mantissa into its two bb-bit halves.
+ *
+ * For inlier width bb the outlier mantissa has M = 2*(bb-1) bits
+ * conceptually, but the element FP formats carry mbits mantissa bits
+ * (2 for e1m2, 4 for e3m4); the halves carry ceil(mbits/2) high bits and
+ * floor(mbits/2) low bits respectively, each prefixed by the duplicated
+ * sign bit. Bit layout of a half (LSB first): mantissa bits, sign in the
+ * MSB of the bb-bit field.
+ */
+struct OutlierHalves
+{
+    uint8_t upper = 0;  ///< bb-bit pattern {sign, m_hi}
+    uint8_t lower = 0;  ///< bb-bit pattern {sign, m_lo}
+};
+
+/** Number of mantissa bits carried by the upper half. */
+unsigned upperMantissaBits(unsigned mbits);
+
+/** Number of mantissa bits carried by the lower half. */
+unsigned lowerMantissaBits(unsigned mbits);
+
+/** Encode sign + mantissa into the two halves. */
+OutlierHalves splitOutlier(uint8_t sign, uint16_t mantissa, unsigned mbits,
+                           unsigned bb);
+
+/** Recover (sign, mantissa) from the two halves. */
+void mergeOutlier(const OutlierHalves &halves, unsigned mbits, unsigned bb,
+                  uint8_t &sign, uint16_t &mantissa);
+
+/**
+ * Decode the sign-magnitude integer value a PE computes from one half:
+ * (-1)^sign * mantissa_bits. This is what the multiplier array sees
+ * before ReCoN's shift-and-merge reconstructs the FP product.
+ */
+int upperHalfInt(const OutlierHalves &halves, unsigned mbits, unsigned bb);
+int lowerHalfInt(const OutlierHalves &halves, unsigned mbits, unsigned bb);
+
+} // namespace msq
+
+#endif // MSQ_CORE_ENCODING_H

@@ -1,0 +1,351 @@
+#include "core/microscopiq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/outlier.h"
+#include "mx/mx_fp.h"
+#include "mx/mx_int.h"
+#include "quant/gptq.h"
+#include "quant/hessian.h"
+
+namespace msq {
+
+namespace {
+
+/** Clamp a level-1 exponent into its MXScale field range. */
+int
+clampLevel1(int level1, const FpFormat &fmt)
+{
+    const unsigned field_bits = 8 - muXFieldBits(fmt);
+    const int lo = -(1 << (field_bits - 1));
+    const int hi = (1 << (field_bits - 1)) - 1;
+    return std::clamp(level1, lo, hi);
+}
+
+} // namespace
+
+MicroScopiQQuantizer::MicroScopiQQuantizer(MsqConfig config)
+    : config_(config)
+{
+}
+
+std::string
+MicroScopiQQuantizer::name() const
+{
+    return config_.name();
+}
+
+const PackedLayer &
+MicroScopiQQuantizer::packed() const
+{
+    MSQ_ASSERT(lastPacked_.has_value(), "no layer quantized yet");
+    return *lastPacked_;
+}
+
+std::vector<double>
+MicroScopiQQuantizer::quantizeRow(PackedLayer &layer, size_t row,
+                                  const std::vector<double> &values,
+                                  double hinv_diag)
+{
+    const size_t cols = values.size();
+    const unsigned bb = config_.inlierBits;
+    const size_t bm = std::min(config_.macroBlock, cols);
+    const size_t bmu = std::min(config_.microBlock, cols);
+    const FpFormat fmt = layer.outlierFormat();
+    std::vector<double> deq(cols, 0.0);
+
+    // Step 1.0: walk macro-blocks.
+    for (size_t mb0 = 0, mb_idx = 0; mb0 < cols; mb0 += bm, ++mb_idx) {
+        const size_t mb_n = std::min(bm, cols - mb0);
+        const double *mab = values.data() + mb0;
+
+        // Step 1.1: inlier/outlier split by the 3-sigma rule.
+        std::vector<bool> outlier_mask =
+            config_.outlierMode == OutlierMode::None
+                ? std::vector<bool>(mb_n, false)
+                : detectOutliers(mab, mb_n);
+
+        // Step 1.2: shared inlier scale from the inlier magnitudes.
+        double inlier_max = 0.0;
+        for (size_t i = 0; i < mb_n; ++i)
+            if (!outlier_mask[i])
+                inlier_max = std::max(inlier_max, std::fabs(mab[i]));
+        if (inlier_max == 0.0)
+            inlier_max = 1e-12;
+        std::vector<double> inlier_vals = {inlier_max};
+        int isf = mxIntScaleExp(inlier_vals, bb);
+        isf = std::clamp(isf, -128, 127);
+        layer.setIsf(row, mb_idx, static_cast<int8_t>(isf));
+        if (isf >= 0)
+            ++layer.stats.positiveIsfBlocks;
+
+        // Coarse outlier mode quantizes all of the macro-block's
+        // outliers with one shared scale (the Table 7 MX-FP-b_{128,128}
+        // ablation stage); collect them here.
+        std::vector<double> coarse_vals;
+        std::vector<size_t> coarse_pos;
+        if (config_.outlierMode == OutlierMode::MxFpCoarse) {
+            for (size_t i = 0; i < mb_n; ++i) {
+                if (outlier_mask[i]) {
+                    const double v = config_.prescaleOutliers
+                                         ? std::ldexp(mab[i], isf)
+                                         : mab[i];
+                    coarse_vals.push_back(v);
+                    coarse_pos.push_back(i);
+                }
+            }
+        }
+        MxFpGroup coarse_group;
+        if (!coarse_vals.empty()) {
+            const int level1 =
+                clampLevel1(mxFpLevel1Exp(coarse_vals, fmt), fmt);
+            coarse_group = mxFpQuantizeWithLevel1(coarse_vals, fmt, level1);
+        }
+
+        // Steps 2-3 per micro-block.
+        for (size_t ub0 = mb0; ub0 < mb0 + mb_n; ub0 += bmu) {
+            const size_t ub_n = std::min(bmu, mb0 + mb_n - ub0);
+            const size_t ub_idx = ub0 / config_.microBlock;
+            MicroBlockMeta &meta = layer.micro(row, ub_idx);
+
+            // Collect outlier positions within this micro-block.
+            std::vector<size_t> out_pos;
+            for (size_t i = 0; i < ub_n; ++i)
+                if (outlier_mask[ub0 - mb0 + i])
+                    out_pos.push_back(i);
+
+            // Step 2.0: capacity clamp; excess outliers are pruned
+            // (smallest magnitude first), matching the degradation the
+            // paper describes for tiny micro-blocks.
+            const size_t capacity =
+                config_.pruneAndRedistribute
+                    ? std::min(config_.microBlockCapacity(), ub_n / 2)
+                    : out_pos.size();
+            std::vector<size_t> demoted;
+            if (out_pos.size() > capacity) {
+                std::sort(out_pos.begin(), out_pos.end(),
+                          [&](size_t a, size_t b) {
+                              return std::fabs(values[ub0 + a]) >
+                                     std::fabs(values[ub0 + b]);
+                          });
+                demoted.assign(out_pos.begin() + capacity, out_pos.end());
+                out_pos.resize(capacity);
+                std::sort(out_pos.begin(), out_pos.end());
+                layer.stats.outliersPruned += demoted.size();
+            }
+
+            // Step 2.2-2.4: pick the least salient inliers to prune.
+            // Saliency follows Algorithm 1: w_p^2 / [H^-1]_pp, where the
+            // diagonal entry is the quantized row's (constant within the
+            // block, so the ordering is by compensated magnitude).
+            std::vector<size_t> prune_pos;
+            if (config_.pruneAndRedistribute && !out_pos.empty()) {
+                std::vector<size_t> candidates;
+                for (size_t i = 0; i < ub_n; ++i) {
+                    const bool is_out =
+                        std::find(out_pos.begin(), out_pos.end(), i) !=
+                        out_pos.end();
+                    const bool is_demoted =
+                        std::find(demoted.begin(), demoted.end(), i) !=
+                        demoted.end();
+                    if (!is_out && !is_demoted)
+                        candidates.push_back(i);
+                }
+                std::sort(candidates.begin(), candidates.end(),
+                          [&](size_t a, size_t b) {
+                              const double sa = values[ub0 + a] *
+                                                values[ub0 + a] / hinv_diag;
+                              const double sb = values[ub0 + b] *
+                                                values[ub0 + b] / hinv_diag;
+                              return sa < sb;
+                          });
+                const size_t n_prune =
+                    std::min(out_pos.size(), candidates.size());
+                prune_pos.assign(candidates.begin(),
+                                 candidates.begin() + n_prune);
+                layer.stats.inliersPruned += n_prune;
+                // If there were fewer inliers than outliers the excess
+                // outliers must be pruned too.
+                while (out_pos.size() > prune_pos.size()) {
+                    layer.stats.outliersPruned += 1;
+                    demoted.push_back(out_pos.back());
+                    out_pos.pop_back();
+                }
+            }
+
+            // Step 2.5: quantize the outliers of this micro-block.
+            MxFpGroup group;
+            std::vector<int32_t> int_out_codes;
+            int int_out_scale = 0;
+            if (!out_pos.empty() &&
+                config_.outlierMode == OutlierMode::MxFpShared) {
+                std::vector<double> vals(out_pos.size());
+                for (size_t i = 0; i < out_pos.size(); ++i) {
+                    const double v = values[ub0 + out_pos[i]];
+                    vals[i] = config_.prescaleOutliers ? std::ldexp(v, isf)
+                                                       : v;
+                }
+                const int level1 =
+                    clampLevel1(mxFpLevel1Exp(vals, fmt), fmt);
+                group = mxFpQuantizeWithLevel1(vals, fmt, level1);
+            } else if (!out_pos.empty() &&
+                       config_.outlierMode == OutlierMode::MxInt) {
+                // Format ablation: outliers as plain MX-INT at 2x bits.
+                std::vector<double> vals(out_pos.size());
+                for (size_t i = 0; i < out_pos.size(); ++i)
+                    vals[i] = values[ub0 + out_pos[i]];
+                const MxIntGroup g =
+                    mxIntQuantize(vals, config_.outlierBits());
+                int_out_codes = g.codes;
+                int_out_scale = g.scaleExp;
+            }
+
+            // Write the dequantized values and the packed codes.
+            std::vector<bool> pruned(ub_n, false);
+            for (size_t p : prune_pos)
+                pruned[p] = true;
+            std::vector<bool> is_outlier(ub_n, false);
+            for (size_t p : out_pos)
+                is_outlier[p] = true;
+            std::vector<bool> is_demoted(ub_n, false);
+            for (size_t p : demoted)
+                is_demoted[p] = true;
+
+            const bool redistributing =
+                config_.pruneAndRedistribute && !out_pos.empty() &&
+                config_.outlierMode == OutlierMode::MxFpShared;
+
+            if (redistributing) {
+                meta.hasOutliers = true;
+                meta.mxScale = packMxScale(group);
+            }
+
+            size_t out_counter = 0;
+            for (size_t i = 0; i < ub_n; ++i) {
+                const size_t c = ub0 + i;
+                if (is_demoted[i]) {
+                    layer.setKind(row, c, SlotKind::PrunedZero);
+                    layer.setCode(row, c, 0);
+                    deq[c] = 0.0;
+                    continue;
+                }
+                if (is_outlier[i]) {
+                    double value = 0.0;
+                    if (config_.outlierMode == OutlierMode::MxFpShared) {
+                        const size_t oi = out_counter++;
+                        double decoded = group.decode(oi);
+                        if (config_.prescaleOutliers)
+                            decoded = std::ldexp(decoded, -isf);
+                        value = decoded;
+                        if (redistributing) {
+                            const OutlierHalves halves =
+                                splitOutlier(group.signs[oi],
+                                             group.mantissas[oi],
+                                             fmt.mbits, bb);
+                            layer.setKind(row, c, SlotKind::OutlierUpper);
+                            layer.setCode(row, c, halves.upper);
+                            const size_t lower = prune_pos[oi];
+                            layer.setKind(row, ub0 + lower,
+                                          SlotKind::OutlierLower);
+                            layer.setCode(row, ub0 + lower, halves.lower);
+                            meta.perm.push_back(PermEntry{
+                                static_cast<uint8_t>(i),
+                                static_cast<uint8_t>(lower)});
+                            layer.stats.outliersStored += 1;
+                        }
+                    } else if (config_.outlierMode == OutlierMode::MxFpCoarse) {
+                        // Locate this position in the coarse group.
+                        for (size_t ci = 0; ci < coarse_pos.size(); ++ci) {
+                            if (coarse_pos[ci] == c - mb0) {
+                                double decoded = coarse_group.decode(ci);
+                                if (config_.prescaleOutliers)
+                                    decoded = std::ldexp(decoded, -isf);
+                                value = decoded;
+                                break;
+                            }
+                        }
+                    } else if (config_.outlierMode == OutlierMode::MxInt) {
+                        const size_t oi = out_counter++;
+                        value = std::ldexp(
+                            static_cast<double>(int_out_codes[oi]),
+                            int_out_scale);
+                    }
+                    deq[c] = value;
+                    continue;
+                }
+                if (pruned[i]) {
+                    deq[c] = 0.0;
+                    // Kind/code already written by the paired outlier if
+                    // redistribution is active; otherwise mark pruned.
+                    if (!redistributing) {
+                        layer.setKind(row, c, SlotKind::PrunedZero);
+                        layer.setCode(row, c, 0);
+                    }
+                    continue;
+                }
+                // Plain inlier.
+                const int32_t code = mxIntQuantizeValue(values[c], bb, isf);
+                layer.setKind(row, c, SlotKind::Inlier);
+                layer.setCode(row, c,
+                              static_cast<uint8_t>(code) &
+                                  static_cast<uint8_t>((1u << bb) - 1));
+                deq[c] = std::ldexp(static_cast<double>(code), isf);
+            }
+        }
+    }
+    return deq;
+}
+
+PackedLayer
+MicroScopiQQuantizer::quantizePacked(const Matrix &w, const Matrix &calib)
+{
+    Matrix out;
+    return quantizeInternal(w, calib, out);
+}
+
+PackedLayer
+MicroScopiQQuantizer::quantizeInternal(const Matrix &w, const Matrix &calib,
+                                       Matrix &dequant)
+{
+    PackedLayer layer(config_, w.rows(), w.cols());
+
+    Matrix hinv_chol;
+    if (config_.hessianCompensation && !calib.empty()) {
+        MSQ_ASSERT(calib.rows() == w.rows(),
+                   "calibration rows must match the reduction dimension");
+        hinv_chol = hessianInverseCholeskyCached(calib, config_.dampRel);
+    } else {
+        // Identity: no cross-row compensation, unit saliency weights.
+        hinv_chol = Matrix(w.rows(), w.rows());
+        for (size_t i = 0; i < w.rows(); ++i)
+            hinv_chol(i, i) = 1.0;
+    }
+
+    Matrix work = w;
+    gptqSweep(
+        work, hinv_chol, config_.rowBlock,
+        [&](size_t row, const std::vector<double> &values) {
+            // Saliency denominator: the OBS-effective [H^-1]_rr of the
+            // remaining set is the squared factor diagonal.
+            const double d = hinv_chol(row, row) * hinv_chol(row, row);
+            return quantizeRow(layer, row, values, d);
+        },
+        dequant);
+    return layer;
+}
+
+QuantResult
+MicroScopiQQuantizer::quantize(const Matrix &w, const Matrix &calib)
+{
+    QuantResult res;
+    res.method = name();
+    lastPacked_ = quantizeInternal(w, calib, res.dequant);
+    res.ebw = lastPacked_->paperEbw();
+    return res;
+}
+
+} // namespace msq

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The MicroScopiQ quantization framework (paper Section 4, Algorithm 1).
+ *
+ * Per row of the weight matrix (reduction dimension k, compensated
+ * across rows by the GPTQ-style Hessian sweep):
+ *
+ *  Step 1  split each macro-block (B_M outputs) into inliers/outliers by
+ *          the 3-sigma rule; quantize inliers to MX-INT-bb with a shared
+ *          power-of-two scale 2^Isf.
+ *  Step 2  per micro-block (B_mu outputs): keep at most B_mu/2 outliers
+ *          (excess outliers are pruned, a situation the group-size sweep
+ *          of Fig. 14 exercises); prune the same number of least-salient
+ *          inliers (saliency w_p^2 / [H^-1]_pp); quantize the outliers
+ *          to two-level MX-FP (optionally pre-scaled by 2^Isf).
+ *  Step 3  split every outlier into Upper/Lower bb-bit halves, store the
+ *          Upper at the outlier position and the Lower at a pruned
+ *          position, recording the pair in the permutation list.
+ *
+ * The result is a PackedLayer: a dense, aligned plane of bb-bit codes
+ * plus per-block metadata, with EBW ~2.36 bits at bb = 2.
+ */
+
+#ifndef MSQ_CORE_MICROSCOPIQ_H
+#define MSQ_CORE_MICROSCOPIQ_H
+
+#include <optional>
+
+#include "core/msq_config.h"
+#include "core/packed_tensor.h"
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** MicroScopiQ quantizer. Implements the common WeightQuantizer API and
+ *  additionally exposes the packed hardware layout of the last layer. */
+class MicroScopiQQuantizer : public WeightQuantizer
+{
+  public:
+    explicit MicroScopiQQuantizer(MsqConfig config = MsqConfig{});
+
+    std::string name() const override;
+
+    /** Quantize and keep the packed layer retrievable via packed(). */
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+    /**
+     * Quantize directly to the packed hardware layout. `calib` may be
+     * empty when hessianCompensation is disabled.
+     */
+    PackedLayer quantizePacked(const Matrix &w, const Matrix &calib);
+
+    /** Packed layout of the most recent quantize() call. */
+    const PackedLayer &packed() const;
+
+    const MsqConfig &config() const { return config_; }
+
+  private:
+    /**
+     * Quantize one row of weights into the packed layer and return the
+     * dequantized row for error compensation.
+     */
+    std::vector<double> quantizeRow(PackedLayer &layer, size_t row,
+                                    const std::vector<double> &values,
+                                    double hinv_diag);
+
+    /** Shared implementation: packs the layer and fills `dequant`. */
+    PackedLayer quantizeInternal(const Matrix &w, const Matrix &calib,
+                                 Matrix &dequant);
+
+    MsqConfig config_;
+    std::optional<PackedLayer> lastPacked_;
+};
+
+} // namespace msq
+
+#endif // MSQ_CORE_MICROSCOPIQ_H

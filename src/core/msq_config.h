@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Configuration of the MicroScopiQ quantization framework (paper
+ * Section 4). The defaults correspond to the paper's headline setting:
+ * 2-bit MX-INT inliers in macro-blocks of 128, 4-bit MX-FP (e1m2)
+ * outliers in micro-blocks of 8, GPTQ-style row-block compensation of
+ * 128 rows.
+ */
+
+#ifndef MSQ_CORE_MSQ_CONFIG_H
+#define MSQ_CORE_MSQ_CONFIG_H
+
+#include <cstddef>
+#include <string>
+
+namespace msq {
+
+/** Outlier handling mode (the ablation of Table 7 toggles these). */
+enum class OutlierMode
+{
+    None,        ///< no special outlier handling (plain MX-INT)
+    MxFpShared,  ///< MX-FP with shared microexponent per micro-block
+    MxFpCoarse,  ///< MX-FP with level-1+muX shared per *macro*-block
+    MxInt,       ///< outliers as MX-INT at 2x precision (format ablation)
+};
+
+/** Full configuration of the MicroScopiQ quantizer. */
+struct MsqConfig
+{
+    /** Inlier element bit width bb (2 or 4). Outliers use 2x this. */
+    unsigned inlierBits = 2;
+
+    /** Macro-block size B_M: inlier scale-sharing group along outputs. */
+    size_t macroBlock = 128;
+
+    /** Micro-block size B_mu: outlier scale-sharing group. */
+    size_t microBlock = 8;
+
+    /** Row block rB for the lazy GPTQ Hessian updates. */
+    size_t rowBlock = 128;
+
+    /** Relative Hessian damping (GPTQ percdamp). */
+    double dampRel = 0.01;
+
+    /** Outlier handling mode. */
+    OutlierMode outlierMode = OutlierMode::MxFpShared;
+
+    /** Pre-reduce outlier magnitude by 2^Isf before quantization (4.2). */
+    bool prescaleOutliers = true;
+
+    /** Prune least-salient inliers and redistribute outlier halves. */
+    bool pruneAndRedistribute = true;
+
+    /** Propagate quantization error through the Hessian (Algorithm 1). */
+    bool hessianCompensation = true;
+
+    /** Outlier element bit width: twice the inlier budget. */
+    unsigned outlierBits() const { return inlierBits * 2; }
+
+    /** Maximum outliers representable per micro-block (B_mu / 2). */
+    size_t microBlockCapacity() const { return microBlock / 2; }
+
+    /** Short name such as "MicroScopiQ-W2". */
+    std::string name() const
+    {
+        return "MicroScopiQ-W" + std::to_string(inlierBits);
+    }
+};
+
+} // namespace msq
+
+#endif // MSQ_CORE_MSQ_CONFIG_H

@@ -1,0 +1,64 @@
+#include "core/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msq {
+
+std::vector<bool>
+detectOutliers(const double *values, size_t n)
+{
+    std::vector<bool> mask(n, false);
+    if (n == 0)
+        return mask;
+
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += values[i];
+    const double mu = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = values[i] - mu;
+        var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double thr = 3.0 * std::sqrt(var);
+    if (thr == 0.0)
+        return mask;
+
+    for (size_t i = 0; i < n; ++i)
+        mask[i] = std::fabs(values[i] - mu) > thr;
+    return mask;
+}
+
+OutlierStats
+analyzeOutliers(const Matrix &w, size_t macro_block)
+{
+    OutlierStats stats;
+    stats.totalWeights = w.size();
+    const size_t group = macro_block == 0 ? w.cols() : macro_block;
+
+    std::vector<bool> row_mask;
+    for (size_t r = 0; r < w.rows(); ++r) {
+        row_mask.assign(w.cols(), false);
+        const double *row = w.rowPtr(r);
+        for (size_t c0 = 0; c0 < w.cols(); c0 += group) {
+            const size_t n = std::min(group, w.cols() - c0);
+            const std::vector<bool> mask = detectOutliers(row + c0, n);
+            for (size_t i = 0; i < n; ++i)
+                row_mask[c0 + i] = mask[i];
+        }
+        for (size_t c = 0; c < w.cols(); ++c) {
+            if (!row_mask[c])
+                continue;
+            ++stats.outliers;
+            const bool left = c > 0 && row_mask[c - 1];
+            const bool right = c + 1 < w.cols() && row_mask[c + 1];
+            if (left || right)
+                ++stats.adjacentOutliers;
+        }
+    }
+    return stats;
+}
+
+} // namespace msq

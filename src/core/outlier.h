@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Outlier detection and distribution statistics (paper Sections 3.2,
+ * 4.2). Weights whose deviation from the block mean exceeds three
+ * standard deviations are outliers; two outliers in adjacent positions
+ * of the same block row are "adjacent outliers", the case that breaks
+ * OliVe's victim assumption.
+ */
+
+#ifndef MSQ_CORE_OUTLIER_H
+#define MSQ_CORE_OUTLIER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/** 3-sigma outlier mask over a span of weights. */
+std::vector<bool> detectOutliers(const double *values, size_t n);
+
+/** Layer-level outlier statistics for Fig. 2(a). */
+struct OutlierStats
+{
+    size_t totalWeights = 0;
+    size_t outliers = 0;
+    size_t adjacentOutliers = 0;  ///< outliers with an outlier neighbour
+
+    double outlierFraction() const
+    {
+        return totalWeights ? static_cast<double>(outliers) /
+                              static_cast<double>(totalWeights)
+                            : 0.0;
+    }
+
+    double adjacentFraction() const
+    {
+        return totalWeights ? static_cast<double>(adjacentOutliers) /
+                              static_cast<double>(totalWeights)
+                            : 0.0;
+    }
+};
+
+/**
+ * Compute outlier statistics of a weight matrix with 3-sigma detection
+ * applied per macro-block of `macro_block` elements along each row.
+ * Adjacency is evaluated within rows (the block/channel dimension).
+ */
+OutlierStats analyzeOutliers(const Matrix &w, size_t macro_block = 128);
+
+} // namespace msq
+
+#endif // MSQ_CORE_OUTLIER_H

@@ -1,0 +1,315 @@
+#include "core/packed_tensor.h"
+
+#include <cmath>
+
+#include "common/bitstream.h"
+#include "common/logging.h"
+#include "mx/mx_fp.h"
+
+namespace msq {
+
+PackedLayer::PackedLayer(const MsqConfig &config, size_t rows, size_t cols)
+    : config_(config), rows_(rows), cols_(cols),
+      codes_(rows * cols, 0),
+      kinds_(rows * cols, SlotKind::Inlier),
+      isf_(rows * ((cols + config.macroBlock - 1) / config.macroBlock), 0),
+      micro_(rows * ((cols + config.microBlock - 1) / config.microBlock))
+{
+    MSQ_ASSERT(config.microBlock >= 2, "micro-block must hold >= 2 elements");
+    MSQ_ASSERT(config.macroBlock % config.microBlock == 0 ||
+               config.macroBlock >= cols,
+               "macro-block must be a multiple of the micro-block");
+}
+
+size_t
+PackedLayer::macroPerRow() const
+{
+    return (cols_ + config_.macroBlock - 1) / config_.macroBlock;
+}
+
+size_t
+PackedLayer::microPerRow() const
+{
+    return (cols_ + config_.microBlock - 1) / config_.microBlock;
+}
+
+uint8_t
+PackedLayer::code(size_t r, size_t c) const
+{
+    return codes_[r * cols_ + c];
+}
+
+void
+PackedLayer::setCode(size_t r, size_t c, uint8_t code)
+{
+    MSQ_ASSERT(code < (1u << config_.inlierBits),
+               "code wider than the element bit budget");
+    codes_[r * cols_ + c] = code;
+}
+
+SlotKind
+PackedLayer::kind(size_t r, size_t c) const
+{
+    return kinds_[r * cols_ + c];
+}
+
+void
+PackedLayer::setKind(size_t r, size_t c, SlotKind kind)
+{
+    kinds_[r * cols_ + c] = kind;
+}
+
+int8_t
+PackedLayer::isf(size_t r, size_t mb) const
+{
+    return isf_[r * macroPerRow() + mb];
+}
+
+void
+PackedLayer::setIsf(size_t r, size_t mb, int8_t isf)
+{
+    isf_[r * macroPerRow() + mb] = isf;
+}
+
+const MicroBlockMeta &
+PackedLayer::micro(size_t r, size_t ub) const
+{
+    return micro_[r * microPerRow() + ub];
+}
+
+MicroBlockMeta &
+PackedLayer::micro(size_t r, size_t ub)
+{
+    return micro_[r * microPerRow() + ub];
+}
+
+FpFormat
+PackedLayer::outlierFormat() const
+{
+    return config_.inlierBits == 2 ? FpFormat::e1m2() : FpFormat::e3m4();
+}
+
+int
+PackedLayer::outlierScaleExp(size_t r, size_t ub) const
+{
+    const MicroBlockMeta &meta = micro(r, ub);
+    const FpFormat fmt = outlierFormat();
+    int level1 = 0, mux = 0;
+    unpackMxScale(meta.mxScale, fmt, level1, mux);
+    int osf = level1 + mux - fmt.bias;
+    if (config_.prescaleOutliers) {
+        const size_t mb = (ub * config_.microBlock) / config_.macroBlock;
+        osf -= isf(r, mb);
+    }
+    return osf;
+}
+
+double
+PackedLayer::dequant(size_t r, size_t c) const
+{
+    const size_t ub = c / config_.microBlock;
+    const size_t mb = c / config_.macroBlock;
+    const SlotKind k = kind(r, c);
+    const unsigned bb = config_.inlierBits;
+
+    switch (k) {
+      case SlotKind::Inlier: {
+        const int64_t v = signExtend(code(r, c), bb);
+        return std::ldexp(static_cast<double>(v), isf(r, mb));
+      }
+      case SlotKind::PrunedZero:
+      case SlotKind::OutlierLower:
+        // The lower half contributes through its paired upper position;
+        // the slot itself represents a pruned (zero) weight.
+        return 0.0;
+      case SlotKind::OutlierUpper: {
+        // Find this outlier's lower half through the permutation list.
+        const MicroBlockMeta &meta = micro(r, ub);
+        const size_t base = ub * config_.microBlock;
+        const uint8_t rel = static_cast<uint8_t>(c - base);
+        for (const PermEntry &entry : meta.perm) {
+            if (entry.upperLoc != rel)
+                continue;
+            OutlierHalves halves;
+            halves.upper = code(r, c);
+            halves.lower = code(r, base + entry.lowerLoc);
+            const FpFormat fmt = outlierFormat();
+            uint8_t sign = 0;
+            uint16_t mantissa = 0;
+            mergeOutlier(halves, fmt.mbits, bb, sign, mantissa);
+            const double frac =
+                static_cast<double>(mantissa) /
+                std::ldexp(1.0, static_cast<int>(fmt.mbits));
+            const double mag =
+                std::ldexp(1.0 + frac, outlierScaleExp(r, ub));
+            return sign ? -mag : mag;
+        }
+        panic("OutlierUpper slot missing from its permutation list");
+      }
+    }
+    panic("unreachable slot kind");
+}
+
+Matrix
+PackedLayer::dequantAll() const
+{
+    Matrix out(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(r, c) = dequant(r, c);
+    return out;
+}
+
+unsigned
+PackedLayer::permLocBits() const
+{
+    unsigned bits = 1;
+    while ((1ull << bits) < config_.microBlock)
+        ++bits;
+    return bits;
+}
+
+size_t
+PackedLayer::outlierMetaBits() const
+{
+    // Fixed-size permutation list of B_mu/2 entries (Section 4.3) plus
+    // the 8-bit MXScale.
+    return config_.microBlockCapacity() * 2 * permLocBits() + 8;
+}
+
+double
+PackedLayer::paperEbw() const
+{
+    const double bb = static_cast<double>(config_.inlierBits);
+    const double bmu = static_cast<double>(config_.microBlock);
+    const double ebw_inlier = bb;
+    const double ebw_outlier =
+        (static_cast<double>(outlierMetaBits()) + bb * bmu) / bmu;
+    const double x = outlierMicroBlockFraction();
+    return x * ebw_outlier + (1.0 - x) * ebw_inlier;
+}
+
+double
+PackedLayer::outlierMicroBlockFraction() const
+{
+    if (micro_.empty())
+        return 0.0;
+    size_t with = 0;
+    for (const MicroBlockMeta &meta : micro_)
+        if (meta.hasOutliers)
+            ++with;
+    return static_cast<double>(with) / static_cast<double>(micro_.size());
+}
+
+std::vector<uint8_t>
+PackedLayer::serialize() const
+{
+    BitWriter writer;
+    const unsigned bb = config_.inlierBits;
+    const unsigned loc_bits = permLocBits();
+
+    // Section 1: dense element codes.
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            writer.write(code(r, c), bb);
+
+    // Section 2: metadata. Per row: per macro-block Isf; per micro-block
+    // the 1-bit identifier and, when present, MXScale + permutation list.
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t mb = 0; mb < macroPerRow(); ++mb)
+            writer.write(static_cast<uint8_t>(isf(r, mb)), 8);
+        for (size_t ub = 0; ub < microPerRow(); ++ub) {
+            const MicroBlockMeta &meta = micro(r, ub);
+            writer.write(meta.hasOutliers ? 1 : 0, 1);
+            if (!meta.hasOutliers)
+                continue;
+            writer.write(meta.mxScale, 8);
+            // Fixed-size list: real entries followed by zero padding.
+            const size_t capacity = config_.microBlockCapacity();
+            MSQ_ASSERT(meta.perm.size() <= capacity,
+                       "permutation list exceeds micro-block capacity");
+            // A valid-entry bitmap distinguishes padding from entry 0.
+            for (size_t i = 0; i < capacity; ++i)
+                writer.write(i < meta.perm.size() ? 1 : 0, 1);
+            for (size_t i = 0; i < capacity; ++i) {
+                const PermEntry entry =
+                    i < meta.perm.size() ? meta.perm[i] : PermEntry{};
+                writer.write(entry.upperLoc, loc_bits);
+                writer.write(entry.lowerLoc, loc_bits);
+            }
+        }
+    }
+
+    // Section 3: slot kinds are *not* serialized; they are derivable
+    // from the permutation lists. Emit nothing.
+    return writer.take();
+}
+
+PackedLayer
+PackedLayer::deserialize(const MsqConfig &config, size_t rows, size_t cols,
+                         const std::vector<uint8_t> &bytes)
+{
+    PackedLayer layer(config, rows, cols);
+    BitReader reader(bytes);
+    const unsigned bb = config.inlierBits;
+    const unsigned loc_bits = layer.permLocBits();
+
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            layer.setCode(r, c, static_cast<uint8_t>(reader.read(bb)));
+
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t mb = 0; mb < layer.macroPerRow(); ++mb)
+            layer.setIsf(r, mb, static_cast<int8_t>(reader.read(8)));
+        for (size_t ub = 0; ub < layer.microPerRow(); ++ub) {
+            MicroBlockMeta &meta = layer.micro(r, ub);
+            meta.hasOutliers = reader.read(1) != 0;
+            if (!meta.hasOutliers)
+                continue;
+            meta.mxScale = static_cast<uint8_t>(reader.read(8));
+            const size_t capacity = config.microBlockCapacity();
+            std::vector<bool> valid(capacity);
+            for (size_t i = 0; i < capacity; ++i)
+                valid[i] = reader.read(1) != 0;
+            for (size_t i = 0; i < capacity; ++i) {
+                PermEntry entry;
+                entry.upperLoc = static_cast<uint8_t>(reader.read(loc_bits));
+                entry.lowerLoc = static_cast<uint8_t>(reader.read(loc_bits));
+                if (valid[i])
+                    meta.perm.push_back(entry);
+            }
+            // Rebuild slot kinds from the permutation list.
+            const size_t base = ub * config.microBlock;
+            for (const PermEntry &entry : meta.perm) {
+                layer.setKind(r, base + entry.upperLoc,
+                              SlotKind::OutlierUpper);
+                layer.setKind(r, base + entry.lowerLoc,
+                              SlotKind::OutlierLower);
+            }
+        }
+    }
+    return layer;
+}
+
+double
+PackedLayer::measuredEbw() const
+{
+    BitWriter probe;
+    const std::vector<uint8_t> bytes = serialize();
+    // serialize() pads to a byte boundary; recompute the exact bit count.
+    size_t bits = rows_ * cols_ * config_.inlierBits;
+    bits += rows_ * macroPerRow() * 8;
+    for (const MicroBlockMeta &meta : micro_) {
+        bits += 1;
+        if (meta.hasOutliers) {
+            bits += 8 + config_.microBlockCapacity() +
+                    config_.microBlockCapacity() * 2 * permLocBits();
+        }
+    }
+    (void)bytes;
+    (void)probe;
+    return static_cast<double>(bits) /
+           static_cast<double>(rows_ * cols_);
+}
+
+} // namespace msq

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Bit-exact packed representation of a MicroScopiQ-quantized layer,
+ * mirroring the off-chip memory layout of Fig. 5: a dense plane of
+ * bb-bit element codes plus hardware-managed metadata (per macro-block
+ * inlier scale factor, per micro-block outlier-present identifier,
+ * MXScale byte, and permutation list).
+ *
+ * The same object feeds three consumers:
+ *   - `dequantAll()` reconstructs real-valued weights for accuracy
+ *     evaluation,
+ *   - the accelerator functional model reads raw codes + metadata to
+ *     reproduce the PE/ReCoN integer arithmetic,
+ *   - `serialize()` emits the exact bit stream, so the effective
+ *     bit-width of Eq. 4 can be validated by counting bits.
+ */
+
+#ifndef MSQ_CORE_PACKED_TENSOR_H
+#define MSQ_CORE_PACKED_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/encoding.h"
+#include "core/msq_config.h"
+#include "mx/fp_codec.h"
+
+namespace msq {
+
+/** Metadata of one micro-block. */
+struct MicroBlockMeta
+{
+    bool hasOutliers = false;
+    uint8_t mxScale = 0;             ///< packed MXScale (level-1 | muX)
+    std::vector<PermEntry> perm;     ///< one entry per stored outlier
+};
+
+/** A MicroScopiQ-quantized layer in its hardware layout. */
+class PackedLayer
+{
+  public:
+    PackedLayer() = default;
+
+    /** Construct an empty packed layer for the given shape/config. */
+    PackedLayer(const MsqConfig &config, size_t rows, size_t cols);
+
+    const MsqConfig &config() const { return config_; }
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Number of macro-blocks per row. */
+    size_t macroPerRow() const;
+
+    /** Number of micro-blocks per row. */
+    size_t microPerRow() const;
+
+    /** Raw bb-bit code of element (r, c). */
+    uint8_t code(size_t r, size_t c) const;
+    void setCode(size_t r, size_t c, uint8_t code);
+
+    /** Interpretation of element (r, c). */
+    SlotKind kind(size_t r, size_t c) const;
+    void setKind(size_t r, size_t c, SlotKind kind);
+
+    /** Inlier scale exponent of macro-block `mb` in row `r`. */
+    int8_t isf(size_t r, size_t mb) const;
+    void setIsf(size_t r, size_t mb, int8_t isf);
+
+    /** Metadata of micro-block `ub` in row `r`. */
+    const MicroBlockMeta &micro(size_t r, size_t ub) const;
+    MicroBlockMeta &micro(size_t r, size_t ub);
+
+    /** Element FP format used by outliers under this config. */
+    FpFormat outlierFormat() const;
+
+    /**
+     * Final outlier scale exponent Osf = Ol1sf + muX - bias - Isf for a
+     * micro-block (the -Isf term only when prescaling is enabled).
+     */
+    int outlierScaleExp(size_t r, size_t ub) const;
+
+    /** Dequantize one element. */
+    double dequant(size_t r, size_t c) const;
+
+    /** Dequantize the full layer. */
+    Matrix dequantAll() const;
+
+    /**
+     * Effective bit width per Eq. 4 of the paper: micro-blocks without
+     * outliers cost bb bits/element; micro-blocks with outliers add the
+     * permutation list and MXScale metadata. The per-MaB inlier scale
+     * and the 1-bit identifier are excluded, as in the paper.
+     */
+    double paperEbw() const;
+
+    /**
+     * Measured bits-per-element of the full serialized stream,
+     * *including* the identifier bits and inlier scale factors the
+     * paper's EBW ignores.
+     */
+    double measuredEbw() const;
+
+    /** Serialize to the Fig. 5 bit layout. */
+    std::vector<uint8_t> serialize() const;
+
+    /** Reconstruct from a serialized stream. @pre same config/shape. */
+    static PackedLayer deserialize(const MsqConfig &config, size_t rows,
+                                   size_t cols,
+                                   const std::vector<uint8_t> &bytes);
+
+    /** Fraction of micro-blocks containing outliers (x in Eq. 4). */
+    double outlierMicroBlockFraction() const;
+
+    /** Quantization statistics accumulated while packing. */
+    struct Stats
+    {
+        size_t outliersStored = 0;    ///< outliers kept at high precision
+        size_t outliersPruned = 0;    ///< excess outliers zeroed
+        size_t inliersPruned = 0;     ///< inliers pruned for redistribution
+        size_t positiveIsfBlocks = 0; ///< MaBs violating the negative-Isf rule
+    };
+
+    Stats stats;
+
+  private:
+    /** Bits of a serialized micro-block's metadata when outliers exist. */
+    size_t outlierMetaBits() const;
+
+    /** Location field width inside a permutation entry. */
+    unsigned permLocBits() const;
+
+    MsqConfig config_;
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<uint8_t> codes_;
+    std::vector<SlotKind> kinds_;
+    std::vector<int8_t> isf_;
+    std::vector<MicroBlockMeta> micro_;
+};
+
+} // namespace msq
+
+#endif // MSQ_CORE_PACKED_TENSOR_H

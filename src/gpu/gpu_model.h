@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytical A100-class GPU model for the paper's GPU experiments
+ * (Table 6 token-generation throughput; Fig. 13 GPU-vs-accelerator).
+ *
+ * Token generation (decode) is a memory-bound GEMV sweep over the
+ * model's weights, so throughput is governed by effective bytes moved
+ * per token plus per-kernel compute/instruction overheads:
+ *
+ *   - TRT-LLM FP16: 16-bit weights, tuned kernels (reference).
+ *   - Atom W4A4: ~4-bit weights, INT4 tensor cores, fused dequant.
+ *   - MicroScopiQ unoptimized: outlier merging in shared memory and
+ *     FP16 GEMM fallback for mixed tiles erase the traffic win.
+ *   - MicroScopiQ optimized: register-cache shfl_sync merging and
+ *     block-level dynamic INT4/FP16 dispatch.
+ *   - MicroScopiQ + modified tensor core (simulated): native INT+FP
+ *     16EDP with variable shifters; no dequantization at all.
+ *
+ * Constants are calibrated against the LLaMA2-13B column of Table 6;
+ * the model then *predicts* the other columns.
+ */
+
+#ifndef MSQ_GPU_GPU_MODEL_H
+#define MSQ_GPU_GPU_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/** A100-like device parameters. */
+struct GpuConfig
+{
+    double memGBs = 2000.0;      ///< HBM2e bandwidth
+    double fp16Tflops = 312.0;   ///< dense tensor-core FP16
+    double int4Tops = 1248.0;    ///< INT4 tensor-core
+    double fixedUsPerToken = 30.0;  ///< launch/attention/sampling floor
+    double idleWatts = 80.0;
+    double dynWattsPerGBs = 0.09;   ///< DRAM+SM power per GB/s moved
+};
+
+/** GPU kernel variants of Table 6. */
+enum class GpuKernel
+{
+    TrtLlmFp16,
+    AtomW4A4,
+    MsNoOptim,
+    MsOptim,
+    MsModifiedTensorCore,
+};
+
+/** Human-readable kernel name. */
+std::string gpuKernelName(GpuKernel kernel);
+
+/** Result of a decode-throughput estimate. */
+struct GpuRun
+{
+    std::string kernel;
+    double msPerToken = 0.0;
+    double tokensPerSec = 0.0;
+    double energyMjPerToken = 0.0;  ///< millijoules per token
+};
+
+/**
+ * Estimate decode throughput for a model with `params_b` billion
+ * parameters in the quantizable body and `ebw` weight bits/element
+ * for the quantized variants.
+ */
+GpuRun runDecode(const GpuConfig &config, GpuKernel kernel,
+                 double params_b, double ebw);
+
+/**
+ * Fig. 13 support: effective per-token latency and on-chip energy of
+ * the A100 running W4A4 with register-level reordering and FP16
+ * fallback, to compare against the MicroScopiQ accelerator under
+ * iso-bandwidth / iso-compute scaling.
+ */
+struct GpuIsoResult
+{
+    double cycles = 0.0;     ///< normalized time units
+    double energyPj = 0.0;
+};
+
+GpuIsoResult runIsoComparison(const GpuConfig &config, double params_b,
+                              size_t tokens);
+
+} // namespace msq
+
+#endif // MSQ_GPU_GPU_MODEL_H

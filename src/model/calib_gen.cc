@@ -1,0 +1,82 @@
+#include "model/calib_gen.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace msq {
+
+std::vector<double>
+channelScales(const ActProfile &profile, size_t k, Rng &rng)
+{
+    std::vector<double> scale(k);
+    for (size_t r = 0; r < k; ++r) {
+        scale[r] = profile.sigma * std::exp(rng.gaussian(0.0, 0.4));
+        if (rng.bernoulli(profile.outlierChannelRate))
+            scale[r] *= profile.outlierChannelScale;
+    }
+    return scale;
+}
+
+Matrix
+generateActivations(const ActProfile &profile,
+                    const std::vector<double> &channel_scale, size_t n,
+                    Rng &rng)
+{
+    (void)profile;
+    const size_t k = channel_scale.size();
+    Matrix x(k, n);
+    // Token-shared component models sequence correlation.
+    std::vector<double> shared(n);
+    for (size_t t = 0; t < n; ++t)
+        shared[t] = rng.gaussian(0.0, 1.0);
+    const double rho = 0.3;
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t t = 0; t < n; ++t) {
+            const double z = rho * shared[t] +
+                             std::sqrt(1.0 - rho * rho) * rng.gaussian();
+            x(r, t) = channel_scale[r] * z;
+        }
+    }
+    return x;
+}
+
+Matrix
+generateActivations(const ActProfile &profile, size_t k, size_t n, Rng &rng)
+{
+    const std::vector<double> scale = channelScales(profile, k, rng);
+    return generateActivations(profile, scale, n, rng);
+}
+
+namespace {
+
+/** The persistent channel structure of a model layer. */
+std::vector<double>
+layerChannelScales(const ModelProfile &model, size_t layer_idx)
+{
+    Rng rng(model.seed * 5000011ULL + layer_idx * 15485863ULL);
+    return channelScales(model.acts, model.layers[layer_idx].k, rng);
+}
+
+} // namespace
+
+Matrix
+generateCalibration(const ModelProfile &model, size_t layer_idx,
+                    size_t tokens)
+{
+    MSQ_ASSERT(layer_idx < model.layers.size(), "layer index out of range");
+    const std::vector<double> scale = layerChannelScales(model, layer_idx);
+    Rng rng(model.seed * 2000003ULL + layer_idx * 104729ULL);
+    return generateActivations(model.acts, scale, tokens, rng);
+}
+
+Matrix
+generateEvalSet(const ModelProfile &model, size_t layer_idx, size_t tokens)
+{
+    MSQ_ASSERT(layer_idx < model.layers.size(), "layer index out of range");
+    const std::vector<double> scale = layerChannelScales(model, layer_idx);
+    Rng rng(model.seed * 3000017ULL + layer_idx * 130363ULL);
+    return generateActivations(model.acts, scale, tokens, rng);
+}
+
+} // namespace msq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic activation generation. Activations of FM layers have
+ * per-channel structure: a few channels carry systematically large
+ * magnitudes (the activation outliers SmoothQuant/OmniQuant migrate
+ * into weights), and tokens are correlated through a shared component.
+ */
+
+#ifndef MSQ_MODEL_CALIB_GEN_H
+#define MSQ_MODEL_CALIB_GEN_H
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "model/model_zoo.h"
+
+namespace msq {
+
+/**
+ * Per-channel magnitude scales: a *persistent* property of the model
+ * (real FMs have fixed outlier channels), so calibration and evaluation
+ * sets must share them. Seeded by the rng.
+ */
+std::vector<double> channelScales(const ActProfile &profile, size_t k,
+                                  Rng &rng);
+
+/** Generate k x n activations with the given fixed channel scales. */
+Matrix generateActivations(const ActProfile &profile,
+                           const std::vector<double> &channel_scale,
+                           size_t n, Rng &rng);
+
+/** Convenience: draw fresh channel scales, then generate. */
+Matrix generateActivations(const ActProfile &profile, size_t k, size_t n,
+                           Rng &rng);
+
+/** Calibration activations for a model layer (seeded, disjoint of eval). */
+Matrix generateCalibration(const ModelProfile &model, size_t layer_idx,
+                           size_t tokens);
+
+/** Held-out evaluation activations for a model layer. */
+Matrix generateEvalSet(const ModelProfile &model, size_t layer_idx,
+                       size_t tokens);
+
+} // namespace msq
+
+#endif // MSQ_MODEL_CALIB_GEN_H

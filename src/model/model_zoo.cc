@@ -1,0 +1,310 @@
+#include "model/model_zoo.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace msq {
+
+namespace {
+
+/** Transformer-style scaled layer set for a hidden size d. */
+std::vector<LayerSpec>
+transformerLayers(size_t d)
+{
+    return {
+        {"attn_qkv", d, d + d / 2},
+        {"attn_out", d, d},
+        {"mlp_up", d, 2 * d},
+        {"mlp_down", 2 * d, d},
+    };
+}
+
+/** Convolution layers expressed as im2col GEMMs (scaled). */
+std::vector<LayerSpec>
+convLayers(size_t base)
+{
+    return {
+        {"conv3x3_a", base * 9 / 4, base},
+        {"conv3x3_b", base * 9 / 2, base},
+        {"conv1x1", base, base * 2},
+        {"fc", base * 2, base},
+    };
+}
+
+/** State-space model projection layers (scaled). */
+std::vector<LayerSpec>
+ssmLayers(size_t d)
+{
+    return {
+        {"in_proj", d, 2 * d},
+        {"x_proj", d, d / 2 + 64},
+        {"dt_proj", d / 8, d},
+        {"out_proj", d, d},
+    };
+}
+
+std::map<std::string, ModelProfile>
+buildZoo()
+{
+    std::map<std::string, ModelProfile> zoo;
+    auto add = [&zoo](ModelProfile p) { zoo[p.name] = std::move(p); };
+
+    // ---- OPT family: older FMs, near-zero adjacent-outlier rate (the
+    //      regime OliVe was designed for; Fig. 2a).
+    {
+        ModelProfile p;
+        p.name = "OPT-6.7B";
+        p.layers = transformerLayers(320);
+        p.weights = {0.02, 10.0, 0.018, 0.0002, 6.0, 14.0};
+        p.acts = {1.0, 0.02, 4.0};
+        p.fpMetric = 10.86;
+        p.realHidden = 4096;
+        p.realLayers = 32;
+        p.paramsB = 6.7;
+        p.seed = 101;
+        add(p);
+
+        p.name = "OPT-175B";
+        p.layers = transformerLayers(512);
+        p.fpMetric = 8.34;
+        p.realHidden = 12288;
+        p.realLayers = 96;
+        p.paramsB = 175.0;
+        p.seed = 102;
+        add(p);
+    }
+
+    // ---- LLaMA-2 family: moderate adjacency.
+    {
+        ModelProfile p;
+        p.name = "LLaMA2-7B";
+        p.layers = transformerLayers(320);
+        p.weights = {0.018, 8.0, 0.022, 0.004, 6.0, 16.0};
+        p.acts = {1.0, 0.015, 3.0};
+        p.fpMetric = 5.47;
+        p.realHidden = 4096;
+        p.realLayers = 32;
+        p.paramsB = 7.0;
+        p.seed = 201;
+        add(p);
+
+        p.name = "LLaMA2-13B";
+        p.layers = transformerLayers(384);
+        p.fpMetric = 4.83;
+        p.realHidden = 5120;
+        p.realLayers = 40;
+        p.paramsB = 13.0;
+        p.seed = 202;
+        add(p);
+
+        p.name = "LLaMA2-70B";
+        p.layers = transformerLayers(448);
+        p.fpMetric = 3.31;
+        p.realHidden = 8192;
+        p.realLayers = 80;
+        p.paramsB = 70.0;
+        p.seed = 203;
+        add(p);
+    }
+
+    // ---- LLaMA-3 family: heavy tails and high adjacency (hardest to
+    //      quantize; the paper's running example).
+    {
+        ModelProfile p;
+        p.name = "LLaMA3-8B";
+        p.layers = transformerLayers(320);
+        p.weights = {0.02, 6.0, 0.03, 0.012, 6.0, 20.0};
+        p.acts = {1.0, 0.02, 3.0};
+        p.fpMetric = 6.13;
+        p.realHidden = 4096;
+        p.realLayers = 32;
+        p.paramsB = 8.0;
+        p.seed = 301;
+        add(p);
+
+        p.name = "LLaMA3-70B";
+        p.layers = transformerLayers(448);
+        p.fpMetric = 2.85;
+        p.realHidden = 8192;
+        p.realLayers = 80;
+        p.paramsB = 70.0;
+        p.seed = 302;
+        add(p);
+    }
+
+    // ---- Mixtral MoE.
+    {
+        ModelProfile p;
+        p.name = "Mixtral-8x7B";
+        p.layers = transformerLayers(384);
+        p.weights = {0.02, 7.0, 0.02, 0.008, 6.0, 16.0};
+        p.acts = {1.0, 0.015, 3.0};
+        p.fpMetric = 3.84;
+        p.realHidden = 4096;
+        p.realLayers = 32;
+        p.paramsB = 47.0;
+        p.seed = 401;
+        add(p);
+    }
+
+    // ---- Phi-3 small language models.
+    {
+        ModelProfile p;
+        p.name = "Phi3-3.8B";
+        p.layers = transformerLayers(256);
+        p.weights = {0.022, 8.0, 0.02, 0.006, 6.0, 15.0};
+        p.acts = {1.0, 0.015, 3.0};
+        p.fpMetric = 6.33;
+        p.realHidden = 3072;
+        p.realLayers = 32;
+        p.paramsB = 3.8;
+        p.seed = 501;
+        add(p);
+
+        p.name = "Phi3-14B";
+        p.layers = transformerLayers(384);
+        p.fpMetric = 4.31;
+        p.realHidden = 5120;
+        p.realLayers = 40;
+        p.paramsB = 14.0;
+        p.seed = 502;
+        add(p);
+    }
+
+    // ---- VLMs: the highest outlier and adjacency rates (Fig. 2a shows
+    //      VLM layers peaking above 2% adjacent outliers).
+    {
+        ModelProfile p;
+        p.name = "OpenFlamingo-9B";
+        p.kind = ModelKind::Vlm;
+        p.layers = transformerLayers(320);
+        p.weights = {0.02, 5.0, 0.04, 0.015, 6.0, 22.0};
+        p.acts = {1.0, 0.025, 3.0};
+        p.fpMetric = 79.7;  // COCO CIDEr-ish scale anchored to Fig. 10
+        p.realHidden = 4096;
+        p.realLayers = 32;
+        p.paramsB = 9.0;
+        p.seed = 601;
+        add(p);
+
+        p.name = "VILA-7B";
+        p.kind = ModelKind::Vlm;
+        p.layers = transformerLayers(320);
+        p.weights = {0.02, 5.0, 0.045, 0.018, 6.0, 22.0};
+        p.acts = {1.0, 0.025, 3.0};
+        p.fpMetric = 80.75;  // HellaSwag FP score of Fig. 2b
+        p.realHidden = 4096;
+        p.realLayers = 32;
+        p.paramsB = 7.0;
+        p.seed = 602;
+        add(p);
+
+        p.name = "LLaVA1.5-7B";
+        p.kind = ModelKind::Vlm;
+        p.layers = transformerLayers(320);
+        p.weights = {0.02, 5.0, 0.04, 0.016, 6.0, 20.0};
+        p.acts = {1.0, 0.02, 3.0};
+        p.fpMetric = 62.3;  // GQA FP score of Fig. 2b
+        p.realHidden = 4096;
+        p.realLayers = 32;
+        p.paramsB = 7.0;
+        p.seed = 603;
+        add(p);
+    }
+
+    // ---- CNNs: light tails, few outliers (easy to quantize).
+    {
+        ModelProfile p;
+        p.name = "ResNet50";
+        p.kind = ModelKind::Cnn;
+        p.layers = convLayers(256);
+        p.weights = {0.03, 12.0, 0.008, 0.0005, 5.0, 10.0};
+        p.acts = {1.0, 0.005, 2.0};
+        p.fpMetric = 76.15;
+        p.realHidden = 2048;
+        p.realLayers = 50;
+        p.paramsB = 0.026;
+        p.seed = 701;
+        add(p);
+
+        p.name = "VGG16";
+        p.kind = ModelKind::Cnn;
+        p.layers = convLayers(256);
+        p.weights = {0.03, 12.0, 0.008, 0.0005, 5.0, 10.0};
+        p.acts = {1.0, 0.005, 2.0};
+        p.fpMetric = 71.59;
+        p.realHidden = 4096;
+        p.realLayers = 16;
+        p.paramsB = 0.138;
+        p.seed = 702;
+        add(p);
+    }
+
+    // ---- SSMs: Mamba-style models are outlier-heavy.
+    {
+        ModelProfile p;
+        p.name = "VMamba-S";
+        p.kind = ModelKind::Ssm;
+        p.layers = ssmLayers(320);
+        p.weights = {0.025, 5.0, 0.045, 0.012, 6.0, 24.0};
+        p.acts = {1.0, 0.03, 4.0};
+        p.fpMetric = 83.60;
+        p.realHidden = 768;
+        p.realLayers = 30;
+        p.paramsB = 0.05;
+        p.seed = 801;
+        add(p);
+
+        p.name = "Vim-S";
+        p.kind = ModelKind::Ssm;
+        p.layers = ssmLayers(320);
+        p.weights = {0.025, 5.0, 0.04, 0.012, 6.0, 22.0};
+        p.acts = {1.0, 0.03, 4.0};
+        p.fpMetric = 80.50;
+        p.realHidden = 384;
+        p.realLayers = 24;
+        p.paramsB = 0.026;
+        p.seed = 802;
+        add(p);
+    }
+
+    return zoo;
+}
+
+const std::map<std::string, ModelProfile> &
+zoo()
+{
+    static const std::map<std::string, ModelProfile> z = buildZoo();
+    return z;
+}
+
+} // namespace
+
+const ModelProfile &
+modelByName(const std::string &name)
+{
+    const auto it = zoo().find(name);
+    if (it == zoo().end())
+        fatal("unknown model: " + name);
+    return it->second;
+}
+
+std::vector<std::string>
+table2Models()
+{
+    return {"OPT-6.7B",   "OPT-175B",   "LLaMA2-7B",  "LLaMA2-13B",
+            "LLaMA2-70B", "LLaMA3-8B",  "LLaMA3-70B", "Mixtral-8x7B",
+            "Phi3-3.8B",  "Phi3-14B"};
+}
+
+std::vector<std::string>
+allModels()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, profile] : zoo())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace msq

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic foundational-model zoo.
+ *
+ * The paper evaluates on real checkpoints (OPT, LLaMA-2/3, Mixtral,
+ * Phi-3, VLMs, CNNs, SSMs). This repository substitutes statistical
+ * profiles per model family: scaled layer shapes (so quantization runs
+ * on a laptop), weight-distribution parameters (bulk sigma, tail
+ * heaviness, outlier rate and *adjacent*-outlier rate per Fig. 2a),
+ * activation statistics, the paper's FP16 baseline metric to anchor
+ * proxy numbers, and nominal full-scale dimensions for the accelerator
+ * performance workloads.
+ */
+
+#ifndef MSQ_MODEL_MODEL_ZOO_H
+#define MSQ_MODEL_MODEL_ZOO_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/** Shape of one representative (scaled) layer. */
+struct LayerSpec
+{
+    std::string name;
+    size_t k = 0;  ///< reduction/input dimension
+    size_t o = 0;  ///< output dimension
+};
+
+/** Weight-distribution parameters of a model family. */
+struct WeightProfile
+{
+    double sigma = 0.02;          ///< bulk standard deviation
+    double tailDof = 8.0;         ///< student-t dof of the bulk (tails)
+    double outlierRate = 0.02;    ///< fraction of weights beyond 3 sigma
+    double adjacentRate = 0.002;  ///< fraction that are adjacent outliers
+    double outlierLo = 6.0;       ///< outlier magnitude range, in sigmas
+    double outlierHi = 18.0;
+};
+
+/** Activation-distribution parameters. */
+struct ActProfile
+{
+    double sigma = 1.0;              ///< typical channel magnitude
+    double outlierChannelRate = 0.01;///< channels with systematic spikes
+    double outlierChannelScale = 20.0;
+};
+
+/** Broad model category (drives which benchmarks apply). */
+enum class ModelKind
+{
+    Llm,
+    Vlm,
+    Cnn,
+    Ssm,
+};
+
+/** A full synthetic model profile. */
+struct ModelProfile
+{
+    std::string name;
+    ModelKind kind = ModelKind::Llm;
+    std::vector<LayerSpec> layers;   ///< scaled evaluation layers
+    WeightProfile weights;
+    ActProfile acts;
+    double fpMetric = 0.0;  ///< paper FP16 baseline (PPL for LLMs,
+                            ///< accuracy % for VLM/CNN/SSM)
+    size_t realHidden = 4096;   ///< full-scale hidden size (perf model)
+    size_t realLayers = 32;     ///< full-scale transformer blocks
+    double paramsB = 7.0;       ///< nominal parameter count in billions
+    uint64_t seed = 1;          ///< deterministic generation seed
+};
+
+/** Look up a model by name. Fatal on unknown names. */
+const ModelProfile &modelByName(const std::string &name);
+
+/** All LLMs of Table 2 (in the paper's column order). */
+std::vector<std::string> table2Models();
+
+/** All registered model names. */
+std::vector<std::string> allModels();
+
+} // namespace msq
+
+#endif // MSQ_MODEL_MODEL_ZOO_H

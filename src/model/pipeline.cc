@@ -1,0 +1,82 @@
+#include "model/pipeline.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "model/calib_gen.h"
+#include "model/proxy_eval.h"
+#include "model/weight_gen.h"
+#include "quant/act_quant.h"
+#include "quant/smoothquant.h"
+
+namespace msq {
+
+ModelEvalResult
+evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
+                      const PipelineConfig &config)
+{
+    ModelEvalResult result;
+    result.model = model.name;
+    result.method = method.name;
+
+    double nmse_acc = 0.0;
+    double ebw_acc = 0.0;
+    double weight_acc = 0.0;
+
+    for (size_t li = 0; li < model.layers.size(); ++li) {
+        const Matrix w = generateLayerWeights(model, li);
+        // Hessian-based compensation needs the calibration sample count
+        // to exceed the reduction dimension, or H = 2XX^T is rank
+        // deficient and the OBS updates overfit the calibration
+        // subspace (GPTQ uses ~256k tokens for k = 4096).
+        const size_t calib_tokens =
+            std::max(config.calibTokens, 4 * model.layers[li].k);
+        const Matrix calib = generateCalibration(model, li, calib_tokens);
+        const Matrix x_eval = generateEvalSet(model, li, config.evalTokens);
+
+        Matrix w_in = w;
+        Matrix calib_in = calib;
+        Matrix eval_in = x_eval;
+        std::vector<double> scales;
+        if (method.migrationAlpha > 0.0) {
+            scales = migrationScales(w, calib, method.migrationAlpha);
+            migrateWeights(w_in, scales);
+            migrateActivations(calib_in, scales);
+            migrateActivations(eval_in, scales);
+        }
+
+        QuantizerPtr quantizer = method.makeQuantizer();
+        const QuantResult qres = quantizer->quantize(w_in, calib_in);
+
+        Matrix acts = eval_in;
+        if (method.actBits > 0)
+            acts = quantizeActivationsMxInt(eval_in, method.actBits,
+                                            method.actGroup);
+
+        // Output comparison in the *migrated* basis equals the original
+        // basis exactly (migration is an exact reparameterization), so
+        // compare Q^T Xq against W'^T X' = W^T X.
+        const Matrix ref = w_in.transposedMatmul(eval_in);
+        const Matrix out = qres.dequant.transposedMatmul(acts);
+        const double nmse = out.normalizedErrorTo(ref);
+
+        const double params =
+            static_cast<double>(model.layers[li].k * model.layers[li].o);
+        nmse_acc += nmse * params;
+        ebw_acc += qres.ebw * params;
+        weight_acc += params;
+    }
+
+    MSQ_ASSERT(weight_acc > 0.0, "model has no layers");
+    result.meanNmse = nmse_acc / weight_acc;
+    result.meanEbw = ebw_acc / weight_acc;
+    // LLM profiles anchor fpMetric as perplexity; the others as task
+    // accuracy. Both maps are monotone in the measured NMSE.
+    result.proxyPpl = proxyPerplexity(model.fpMetric, result.meanNmse);
+    result.proxyAcc = model.kind == ModelKind::Llm
+                          ? 0.0
+                          : proxyAccuracy(model.fpMetric, result.meanNmse);
+    return result;
+}
+
+} // namespace msq

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Whole-model quantization pipeline: a named quantization method (weight
+ * quantizer factory + activation bits + migration strength) is applied
+ * to every representative layer of a model profile; the mean output
+ * NMSE drives the proxy metrics. This is the engine behind the Table 2,
+ * Table 3, Table 4, Table 7 and Table 8 benchmark binaries.
+ */
+
+#ifndef MSQ_MODEL_PIPELINE_H
+#define MSQ_MODEL_PIPELINE_H
+
+#include <functional>
+#include <string>
+
+#include "model/model_zoo.h"
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** A named quantization recipe. */
+struct QuantMethod
+{
+    std::string name;                          ///< display name
+    std::function<QuantizerPtr()> makeQuantizer;
+    unsigned actBits = 0;     ///< 0 = FP16 activations
+    double migrationAlpha = 0.0;  ///< SmoothQuant-style migration
+    size_t actGroup = 128;    ///< channel group for MX-INT activations
+};
+
+/** Per-model quantization outcome. */
+struct ModelEvalResult
+{
+    std::string model;
+    std::string method;
+    double meanNmse = 0.0;   ///< parameter-weighted mean layer NMSE
+    double meanEbw = 0.0;    ///< parameter-weighted mean EBW
+    double proxyPpl = 0.0;   ///< for LLM profiles
+    double proxyAcc = 0.0;   ///< for accuracy-metric profiles
+};
+
+/** Evaluation configuration (token counts). */
+struct PipelineConfig
+{
+    size_t calibTokens = 128;
+    size_t evalTokens = 128;
+};
+
+/**
+ * Quantize all representative layers of `model` with `method`, measure
+ * the output NMSE on held-out activations, and map to proxy metrics.
+ *
+ * Mechanics per layer: optional migration of activation difficulty into
+ * weights at `migrationAlpha`, weight quantization on the migrated
+ * weights with migrated calibration data, MX-INT activation quantization
+ * at `actBits` (if nonzero) of the migrated evaluation set, then output
+ * comparison against the full-precision layer on unmigrated data.
+ */
+ModelEvalResult evaluateMethodOnModel(const ModelProfile &model,
+                                      const QuantMethod &method,
+                                      const PipelineConfig &config = {});
+
+} // namespace msq
+
+#endif // MSQ_MODEL_PIPELINE_H

@@ -1,0 +1,27 @@
+#include "model/proxy_eval.h"
+
+#include <cmath>
+
+namespace msq {
+
+double
+layerOutputNmse(const Matrix &w, const Matrix &wq, const Matrix &x_eval)
+{
+    const Matrix ref = w.transposedMatmul(x_eval);
+    const Matrix out = wq.transposedMatmul(x_eval);
+    return out.normalizedErrorTo(ref);
+}
+
+double
+proxyPerplexity(double fp_ppl, double nmse)
+{
+    return fp_ppl * std::exp(kKappaPpl * nmse);
+}
+
+double
+proxyAccuracy(double fp_acc, double nmse, double chance)
+{
+    return chance + (fp_acc - chance) * std::exp(-kKappaAcc * nmse);
+}
+
+} // namespace msq

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Proxy evaluation metrics.
+ *
+ * Without the real checkpoints and datasets, accuracy claims are
+ * evaluated through the quantized layer's output reconstruction error:
+ * NMSE = ||Q^T X - W^T X||^2 / ||W^T X||^2 averaged over a model's
+ * representative layers on a held-out token set. The NMSE maps to
+ *
+ *   proxy PPL       = fp_ppl * exp(kappa_ppl * nmse)
+ *   proxy accuracy  = chance + (fp_acc - chance) * exp(-kappa_acc * nmse)
+ *
+ * monotone maps anchored at the paper's FP16 baselines, so *orderings*
+ * between methods — the experimental claim under reproduction — come
+ * entirely from measured reconstruction error, while absolute values
+ * land on the paper's scale. kappa values are fixed constants documented
+ * here, not tuned per experiment.
+ */
+
+#ifndef MSQ_MODEL_PROXY_EVAL_H
+#define MSQ_MODEL_PROXY_EVAL_H
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/** Fixed proxy-map constants. */
+constexpr double kKappaPpl = 3.0;
+constexpr double kKappaAcc = 4.0;
+
+/** Output-space NMSE of a quantized layer on an evaluation set. */
+double layerOutputNmse(const Matrix &w, const Matrix &wq,
+                       const Matrix &x_eval);
+
+/** Map a mean NMSE to a proxy perplexity anchored at fp_ppl. */
+double proxyPerplexity(double fp_ppl, double nmse);
+
+/** Map a mean NMSE to a proxy task accuracy (percent). */
+double proxyAccuracy(double fp_acc, double nmse, double chance = 25.0);
+
+} // namespace msq
+
+#endif // MSQ_MODEL_PROXY_EVAL_H

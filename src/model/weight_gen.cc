@@ -1,0 +1,75 @@
+#include "model/weight_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace msq {
+
+Matrix
+generateWeights(const WeightProfile &profile, size_t k, size_t o, Rng &rng)
+{
+    Matrix w(k, o);
+    // Student-t bulk normalized to unit variance, then scaled to sigma.
+    const double dof = std::max(profile.tailDof, 2.5);
+    const double t_std = std::sqrt(dof / (dof - 2.0));
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.studentT(dof) / t_std * profile.sigma;
+            // Clip the natural tail at 3 sigma so the planted outliers
+            // fully control the outlier statistics.
+            v = std::clamp(v, -2.9 * profile.sigma, 2.9 * profile.sigma);
+            w(r, c) = v;
+        }
+    }
+
+    auto plant = [&](size_t r, size_t c) {
+        const double mag =
+            rng.uniform(profile.outlierLo, profile.outlierHi) *
+            profile.sigma;
+        w(r, c) = rng.bernoulli(0.5) ? mag : -mag;
+    };
+
+    // Adjacent pairs first: each pair contributes two adjacent outliers.
+    const size_t total = k * o;
+    const size_t n_adjacent =
+        static_cast<size_t>(profile.adjacentRate * total);
+    const size_t n_pairs = n_adjacent / 2;
+    for (size_t p = 0; p < n_pairs; ++p) {
+        const size_t r = rng.uniformInt(k);
+        const size_t c = rng.uniformInt(o - 1);
+        plant(r, c);
+        plant(r, c + 1);
+    }
+
+    // Isolated outliers for the remaining budget (separated by at least
+    // one bulk element so they do not create extra adjacency).
+    const size_t n_outliers =
+        static_cast<size_t>(profile.outlierRate * total);
+    const size_t n_isolated =
+        n_outliers > 2 * n_pairs ? n_outliers - 2 * n_pairs : 0;
+    for (size_t i = 0; i < n_isolated; ++i) {
+        const size_t r = rng.uniformInt(k);
+        const size_t c = rng.uniformInt(o);
+        const bool left_big =
+            c > 0 && std::fabs(w(r, c - 1)) > 3.0 * profile.sigma;
+        const bool right_big =
+            c + 1 < o && std::fabs(w(r, c + 1)) > 3.0 * profile.sigma;
+        if (left_big || right_big)
+            continue;  // skip rather than create unplanned adjacency
+        plant(r, c);
+    }
+    return w;
+}
+
+Matrix
+generateLayerWeights(const ModelProfile &model, size_t layer_idx)
+{
+    MSQ_ASSERT(layer_idx < model.layers.size(), "layer index out of range");
+    const LayerSpec &spec = model.layers[layer_idx];
+    Rng rng(model.seed * 1000003ULL + layer_idx * 7919ULL);
+    return generateWeights(model.weights, spec.k, spec.o, rng);
+}
+
+} // namespace msq

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Synthetic weight generation with controlled outlier statistics.
+ *
+ * Weights are drawn from a scaled student-t bulk (matching the heavy
+ * tails of FM layers) and then a controlled number of outliers is
+ * planted: isolated outliers plus adjacent outlier *pairs* at the
+ * model family's adjacency rate, so the Fig. 2(a) statistics are
+ * reproduced by construction and OliVe's victim mechanism is stressed
+ * exactly as it is by real LLaMA-3/VLM checkpoints.
+ */
+
+#ifndef MSQ_MODEL_WEIGHT_GEN_H
+#define MSQ_MODEL_WEIGHT_GEN_H
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "model/model_zoo.h"
+
+namespace msq {
+
+/** Generate a k x o weight matrix for the given profile. */
+Matrix generateWeights(const WeightProfile &profile, size_t k, size_t o,
+                       Rng &rng);
+
+/** Generate the weights of a specific model layer (seeded by name). */
+Matrix generateLayerWeights(const ModelProfile &model, size_t layer_idx);
+
+} // namespace msq
+
+#endif // MSQ_MODEL_WEIGHT_GEN_H

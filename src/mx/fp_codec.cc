@@ -1,0 +1,165 @@
+#include "mx/fp_codec.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace msq {
+
+double
+FpFormat::maxValue() const
+{
+    const int emax = static_cast<int>((1u << ebits) - 1) - bias;
+    const double mant_max =
+        2.0 - std::ldexp(1.0, -static_cast<int>(mbits));
+    return std::ldexp(mant_max, emax);
+}
+
+double
+FpFormat::minNormal() const
+{
+    // Exponent field 0 encodes subnormals; smallest normal uses field 1.
+    const int emin = 1 - bias;
+    return std::ldexp(1.0, emin);
+}
+
+std::string
+FpFormat::name() const
+{
+    return "e" + std::to_string(ebits) + "m" + std::to_string(mbits);
+}
+
+FpFormat
+FpFormat::e1m2()
+{
+    return FpFormat{1, 2, 0};
+}
+
+FpFormat
+FpFormat::e3m4()
+{
+    return FpFormat{3, 4, 3};
+}
+
+FpFormat
+FpFormat::e2m1()
+{
+    return FpFormat{2, 1, 1};
+}
+
+FpFormat
+FpFormat::e4m3()
+{
+    return FpFormat{4, 3, 7};
+}
+
+double
+fpDecode(const FpFormat &fmt, uint8_t sign, uint8_t exponent,
+         uint16_t mantissa)
+{
+    const double frac =
+        static_cast<double>(mantissa) /
+        std::ldexp(1.0, static_cast<int>(fmt.mbits));
+    double mag;
+    if (exponent == 0) {
+        // Subnormal: 0.m * 2^(1 - bias).
+        mag = std::ldexp(frac, 1 - fmt.bias);
+    } else {
+        // Normal: 1.m * 2^(e - bias).
+        mag = std::ldexp(1.0 + frac, static_cast<int>(exponent) - fmt.bias);
+    }
+    return sign ? -mag : mag;
+}
+
+FpCode
+fpEncode(const FpFormat &fmt, double v)
+{
+    FpCode code{};
+    code.sign = v < 0.0 ? 1 : 0;
+    double mag = std::fabs(v);
+
+    const double max_val = fmt.maxValue();
+    if (mag >= max_val) {
+        code.exponent = static_cast<uint8_t>((1u << fmt.ebits) - 1);
+        code.mantissa = static_cast<uint16_t>((1u << fmt.mbits) - 1);
+        code.value = code.sign ? -max_val : max_val;
+        return code;
+    }
+
+    // Determine the quantization step at this magnitude, then round the
+    // mantissa. Subnormal range shares the step of the smallest normal.
+    int exp_field;
+    double step;
+    const double min_normal = fmt.minNormal();
+    if (mag < min_normal) {
+        exp_field = 0;
+        step = std::ldexp(min_normal, -static_cast<int>(fmt.mbits));
+        double m = std::floor(mag / step + 0.5);
+        if (m >= std::ldexp(1.0, static_cast<int>(fmt.mbits))) {
+            // Rounded up into the normal range.
+            exp_field = 1;
+            code.mantissa = 0;
+        } else {
+            code.mantissa = static_cast<uint16_t>(m);
+        }
+        code.exponent = static_cast<uint8_t>(exp_field);
+        code.value = fpDecode(fmt, code.sign, code.exponent, code.mantissa);
+        return code;
+    }
+
+    int e = static_cast<int>(std::floor(std::log2(mag)));
+    // Guard against log2 edge cases right at a power of two boundary.
+    if (std::ldexp(1.0, e + 1) <= mag)
+        ++e;
+    if (std::ldexp(1.0, e) > mag)
+        --e;
+    exp_field = e + fmt.bias;
+    const int max_field = static_cast<int>((1u << fmt.ebits) - 1);
+    MSQ_ASSERT(exp_field >= 1 && exp_field <= max_field,
+               "fpEncode exponent out of range");
+
+    step = std::ldexp(1.0, e - static_cast<int>(fmt.mbits));
+    double m = std::floor((mag - std::ldexp(1.0, e)) / step + 0.5);
+    if (m >= std::ldexp(1.0, static_cast<int>(fmt.mbits))) {
+        // Mantissa overflowed: bump the exponent.
+        m = 0;
+        ++exp_field;
+        if (exp_field > max_field) {
+            exp_field = max_field;
+            m = (1u << fmt.mbits) - 1;
+        }
+    }
+    code.exponent = static_cast<uint8_t>(exp_field);
+    code.mantissa = static_cast<uint16_t>(m);
+    code.value = fpDecode(fmt, code.sign, code.exponent, code.mantissa);
+    return code;
+}
+
+uint16_t
+fpPack(const FpFormat &fmt, const FpCode &code)
+{
+    return static_cast<uint16_t>(
+        (static_cast<uint16_t>(code.sign) << (fmt.ebits + fmt.mbits)) |
+        (static_cast<uint16_t>(code.exponent) << fmt.mbits) |
+        code.mantissa);
+}
+
+FpCode
+fpUnpack(const FpFormat &fmt, uint16_t bits)
+{
+    FpCode code{};
+    code.mantissa = bits & static_cast<uint16_t>((1u << fmt.mbits) - 1);
+    code.exponent = static_cast<uint8_t>(
+        (bits >> fmt.mbits) & ((1u << fmt.ebits) - 1));
+    code.sign = static_cast<uint8_t>((bits >> (fmt.ebits + fmt.mbits)) & 1u);
+    code.value = fpDecode(fmt, code.sign, code.exponent, code.mantissa);
+    return code;
+}
+
+double
+fpRoundTrip(const FpFormat &fmt, double v)
+{
+    return fpEncode(fmt, v).value;
+}
+
+} // namespace msq

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal floating-point element codec for microscaling formats.
+ *
+ * The paper quantizes outliers to e1m2 (4-bit) or e3m4 (8-bit) elements
+ * following the MX block-data-representation family: sign, `ebits`
+ * exponent bits, `mbits` mantissa bits, no infinities or NaNs, gradual
+ * underflow (subnormals) when the exponent field is zero.
+ */
+
+#ifndef MSQ_MX_FP_CODEC_H
+#define MSQ_MX_FP_CODEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace msq {
+
+/** Description of a small FP element format (sign + ebits + mbits). */
+struct FpFormat
+{
+    unsigned ebits;  ///< exponent field width in bits
+    unsigned mbits;  ///< mantissa field width in bits
+    int bias;        ///< exponent bias
+
+    /** Total storage width including the sign bit. */
+    unsigned totalBits() const { return 1 + ebits + mbits; }
+
+    /** Largest finite magnitude representable. */
+    double maxValue() const;
+
+    /** Smallest positive normal magnitude. */
+    double minNormal() const;
+
+    /** Human-readable name like "e1m2". */
+    std::string name() const;
+
+    /** e1m2 with bias 0: the paper's 4-bit outlier element format. */
+    static FpFormat e1m2();
+
+    /** e3m4 with bias 3: the paper's 8-bit outlier element format. */
+    static FpFormat e3m4();
+
+    /** e2m1 with bias 1: the OCP MXFP4 element format (for comparisons). */
+    static FpFormat e2m1();
+
+    /** e4m3 with bias 7 (OCP MXFP8 element, no NaN handling). */
+    static FpFormat e4m3();
+};
+
+/** A decoded FP element: fields plus the represented value. */
+struct FpCode
+{
+    uint8_t sign;      ///< 1 for negative
+    uint8_t exponent;  ///< raw biased exponent field
+    uint16_t mantissa; ///< raw mantissa field
+    double value;      ///< decoded real value
+};
+
+/**
+ * Encode `v` to the nearest representable value in `fmt` (round to
+ * nearest, ties away from zero; saturating at the format maximum).
+ */
+FpCode fpEncode(const FpFormat &fmt, double v);
+
+/** Decode raw fields into the represented value. */
+double fpDecode(const FpFormat &fmt, uint8_t sign, uint8_t exponent,
+                uint16_t mantissa);
+
+/** Pack an FpCode into its bit representation (sign in the MSB). */
+uint16_t fpPack(const FpFormat &fmt, const FpCode &code);
+
+/** Unpack bits into an FpCode (value filled in). */
+FpCode fpUnpack(const FpFormat &fmt, uint16_t bits);
+
+/** Quantization: encode then decode. Convenience for error studies. */
+double fpRoundTrip(const FpFormat &fmt, double v);
+
+} // namespace msq
+
+#endif // MSQ_MX_FP_CODEC_H

@@ -1,0 +1,145 @@
+#include "mx/mx_fp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitstream.h"
+#include "common/logging.h"
+
+namespace msq {
+
+double
+MxFpGroup::decode(size_t i) const
+{
+    const double frac =
+        static_cast<double>(mantissas[i]) /
+        std::ldexp(1.0, static_cast<int>(fmt.mbits));
+    const double mag = std::ldexp(1.0 + frac, effectiveExp());
+    return signs[i] ? -mag : mag;
+}
+
+std::vector<double>
+MxFpGroup::decodeAll() const
+{
+    std::vector<double> out(size());
+    for (size_t i = 0; i < size(); ++i)
+        out[i] = decode(i);
+    return out;
+}
+
+int
+mxFpLevel1Exp(const std::vector<double> &values, const FpFormat &fmt)
+{
+    double max_abs = 0.0;
+    for (double v : values)
+        max_abs = std::max(max_abs, std::fabs(v));
+    if (max_abs == 0.0)
+        return 0;
+    const double fmax = fmt.maxValue();
+    int e = static_cast<int>(std::ceil(std::log2(max_abs / fmax)));
+    if (std::ldexp(fmax, e) < max_abs)
+        ++e;
+    else if (std::ldexp(fmax, e - 1) >= max_abs)
+        --e;
+    return e;
+}
+
+MxFpGroup
+mxFpQuantize(const std::vector<double> &values, const FpFormat &fmt)
+{
+    return mxFpQuantizeWithLevel1(values, fmt, mxFpLevel1Exp(values, fmt));
+}
+
+MxFpGroup
+mxFpQuantizeWithLevel1(const std::vector<double> &values,
+                       const FpFormat &fmt, int level1_exp)
+{
+    MxFpGroup group;
+    group.fmt = fmt;
+    if (values.empty())
+        return group;
+
+    group.level1Exp = level1_exp;
+
+    // Element-wise FP encode of the level-1 scaled values, collecting the
+    // exponent fields to extract the shared microexponent.
+    int max_field = 0;
+    std::vector<FpCode> codes(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        codes[i] = fpEncode(fmt, std::ldexp(values[i], -group.level1Exp));
+        max_field = std::max(max_field, static_cast<int>(codes[i].exponent));
+    }
+    group.sharedExpField = max_field;
+
+    // Re-round every element onto the shared hidden-bit grid
+    // {+/- (1 + m / 2^mbits) * 2^(muX - bias)}.
+    const int shared_exp = group.sharedExpField - fmt.bias;
+    const double grid_base = std::ldexp(1.0, shared_exp);
+    const double step =
+        std::ldexp(1.0, shared_exp - static_cast<int>(fmt.mbits));
+    const int32_t mant_max = (1 << fmt.mbits) - 1;
+
+    group.signs.resize(values.size());
+    group.mantissas.resize(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        const double scaled = std::ldexp(values[i], -group.level1Exp);
+        group.signs[i] = scaled < 0.0 ? 1 : 0;
+        const double mag = std::fabs(scaled);
+        double m = std::floor((mag - grid_base) / step + 0.5);
+        m = std::clamp(m, 0.0, static_cast<double>(mant_max));
+        group.mantissas[i] = static_cast<uint16_t>(m);
+    }
+    return group;
+}
+
+std::vector<double>
+mxFpQuantizeUnshared(const std::vector<double> &values, const FpFormat &fmt)
+{
+    std::vector<double> out(values.size());
+    if (values.empty())
+        return out;
+    const int level1 = mxFpLevel1Exp(values, fmt);
+    for (size_t i = 0; i < values.size(); ++i) {
+        const double q = fpRoundTrip(fmt, std::ldexp(values[i], -level1));
+        out[i] = std::ldexp(q, level1);
+    }
+    return out;
+}
+
+unsigned
+muXFieldBits(const FpFormat &fmt)
+{
+    return fmt.ebits;
+}
+
+uint8_t
+packMxScale(const MxFpGroup &group)
+{
+    const unsigned mux_bits = muXFieldBits(group.fmt);
+    const unsigned level1_bits = 8 - mux_bits;
+    const int64_t lo = -(1LL << (level1_bits - 1));
+    const int64_t hi = (1LL << (level1_bits - 1)) - 1;
+    MSQ_ASSERT(group.level1Exp >= lo && group.level1Exp <= hi,
+               "level-1 scale exponent does not fit the MXScale field");
+    MSQ_ASSERT(group.sharedExpField >= 0 &&
+               group.sharedExpField < (1 << mux_bits),
+               "muX field out of range");
+    const uint8_t level1_field =
+        static_cast<uint8_t>(group.level1Exp & ((1 << level1_bits) - 1));
+    return static_cast<uint8_t>(
+        (level1_field << mux_bits) |
+        static_cast<uint8_t>(group.sharedExpField));
+}
+
+void
+unpackMxScale(uint8_t byte, const FpFormat &fmt, int &level1Exp,
+              int &sharedExpField)
+{
+    const unsigned mux_bits = muXFieldBits(fmt);
+    const unsigned level1_bits = 8 - mux_bits;
+    sharedExpField = byte & ((1 << mux_bits) - 1);
+    level1Exp = static_cast<int>(
+        signExtend(byte >> mux_bits, level1_bits));
+}
+
+} // namespace msq

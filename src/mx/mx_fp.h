@@ -1,0 +1,94 @@
+/**
+ * @file
+ * MX-FP-b(k1,k2) two-level microscaling quantization: the paper's outlier
+ * format (Sections 2.2, 4.2).
+ *
+ * A group of values shares
+ *   - a level-1 power-of-two scale factor 2^Ol1sf (computed per Eq. 1
+ *     against the FP element format maximum), and
+ *   - a level-2 microexponent (muX): the common exponent field extracted
+ *     across all elements of the group after element-wise FP encoding.
+ *
+ * After muX is shared, every element reduces to a sign and mantissa with
+ * an implicit hidden bit: value = (-1)^s * (1.m) * 2^(muX - bias + Ol1sf).
+ * The hardware (ReCoN Merge) always re-inserts the hidden bit, so the
+ * shared grid has no subnormals; values below the grid round up to 1.0.
+ */
+
+#ifndef MSQ_MX_MX_FP_H
+#define MSQ_MX_MX_FP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mx/fp_codec.h"
+
+namespace msq {
+
+/** A group of values quantized to two-level MX-FP with shared muX. */
+struct MxFpGroup
+{
+    FpFormat fmt{1, 2, 0};
+    int level1Exp = 0;        ///< Ol1sf: level-1 scale is 2^level1Exp
+    int sharedExpField = 0;   ///< muX: raw (biased) shared exponent field
+    std::vector<uint8_t> signs;
+    std::vector<uint16_t> mantissas;  ///< fmt.mbits wide, hidden bit implied
+
+    size_t size() const { return signs.size(); }
+
+    /** Unbiased shared exponent including the level-1 scale. */
+    int effectiveExp() const { return sharedExpField - fmt.bias + level1Exp; }
+
+    /** Decoded value of element i. */
+    double decode(size_t i) const;
+
+    /** Decode the full group. */
+    std::vector<double> decodeAll() const;
+};
+
+/**
+ * Level-1 power-of-two scale exponent per Eq. 1: smallest e such that
+ * max|v| / 2^e <= fmt.maxValue(). Returns 0 for an all-zero group.
+ */
+int mxFpLevel1Exp(const std::vector<double> &values, const FpFormat &fmt);
+
+/**
+ * Quantize a group to two-level MX-FP: level-1 scaling, element FP
+ * encoding, muX extraction (the maximum exponent field across the group,
+ * so the largest element stays exactly representable), then re-rounding
+ * of every element onto the shared hidden-bit grid.
+ */
+MxFpGroup mxFpQuantize(const std::vector<double> &values,
+                       const FpFormat &fmt);
+
+/**
+ * Quantize with a caller-forced level-1 exponent (used when the natural
+ * exponent must be clamped into the MXScale field range).
+ */
+MxFpGroup mxFpQuantizeWithLevel1(const std::vector<double> &values,
+                                 const FpFormat &fmt, int level1_exp);
+
+/**
+ * Quantize without sharing muX (each element keeps a private exponent).
+ * Used by the ablation study to isolate the cost of exponent sharing.
+ * The decode of element i is the plain FP value times 2^level1Exp.
+ */
+std::vector<double> mxFpQuantizeUnshared(const std::vector<double> &values,
+                                         const FpFormat &fmt);
+
+/** Width of the muX field inside the 8-bit MXScale (1 for e1m2, 3 for e3m4). */
+unsigned muXFieldBits(const FpFormat &fmt);
+
+/**
+ * Pack the 8-bit MXScale byte: level-1 exponent in the MSBs (7 or 5 bits,
+ * two's complement) concatenated with the muX field in the LSBs.
+ */
+uint8_t packMxScale(const MxFpGroup &group);
+
+/** Recover (level1Exp, sharedExpField) from an MXScale byte. */
+void unpackMxScale(uint8_t byte, const FpFormat &fmt, int &level1Exp,
+                   int &sharedExpField);
+
+} // namespace msq
+
+#endif // MSQ_MX_MX_FP_H

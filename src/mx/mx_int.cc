@@ -1,0 +1,81 @@
+#include "mx/mx_int.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace msq {
+
+double
+MxIntGroup::decode(size_t i) const
+{
+    return std::ldexp(static_cast<double>(codes[i]), scaleExp);
+}
+
+std::vector<double>
+MxIntGroup::decodeAll() const
+{
+    std::vector<double> out(codes.size());
+    for (size_t i = 0; i < codes.size(); ++i)
+        out[i] = decode(i);
+    return out;
+}
+
+int32_t
+intQMax(unsigned bits)
+{
+    MSQ_ASSERT(bits >= 2 && bits <= 16, "unsupported integer bit width");
+    return (1 << (bits - 1)) - 1;
+}
+
+int
+mxIntScaleExp(const std::vector<double> &values, unsigned bits)
+{
+    double max_abs = 0.0;
+    for (double v : values)
+        max_abs = std::max(max_abs, std::fabs(v));
+    if (max_abs == 0.0)
+        return 0;
+    const double qmax = static_cast<double>(intQMax(bits));
+    // Smallest integer e with max_abs / 2^e <= qmax.
+    const int e = static_cast<int>(std::ceil(std::log2(max_abs / qmax)));
+    // Floating point log2 can land one off at exact powers of two; fix up.
+    if (std::ldexp(qmax, e) < max_abs)
+        return e + 1;
+    if (e > -126 && std::ldexp(qmax, e - 1) >= max_abs)
+        return e - 1;
+    return e;
+}
+
+int32_t
+mxIntQuantizeValue(double value, unsigned bits, int scaleExp)
+{
+    const int32_t qmax = intQMax(bits);
+    const double scaled = std::ldexp(value, -scaleExp);
+    // Round to nearest, ties away from zero, then saturate.
+    const double rounded = std::floor(std::fabs(scaled) + 0.5);
+    int32_t code = static_cast<int32_t>(std::min<double>(rounded, qmax));
+    return scaled < 0.0 ? -code : code;
+}
+
+MxIntGroup
+mxIntQuantizeWithScale(const std::vector<double> &values, unsigned bits,
+                       int scaleExp)
+{
+    MxIntGroup group;
+    group.scaleExp = scaleExp;
+    group.codes.resize(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        group.codes[i] = mxIntQuantizeValue(values[i], bits, scaleExp);
+    return group;
+}
+
+MxIntGroup
+mxIntQuantize(const std::vector<double> &values, unsigned bits)
+{
+    return mxIntQuantizeWithScale(values, bits,
+                                  mxIntScaleExp(values, bits));
+}
+
+} // namespace msq

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MX-INT-b(k1) group quantization: a group of k1 elements shares a single
+ * power-of-two scale factor (E8M0), each element stored as a b-bit
+ * symmetric two's-complement integer. This is the paper's inlier format
+ * (Section 2.2): "MX-INT-b(k1) inlier quantization can be viewed as
+ * analogous to INT group quantization utilizing an E8M0 scale factor".
+ */
+
+#ifndef MSQ_MX_MX_INT_H
+#define MSQ_MX_MX_INT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msq {
+
+/** Result of quantizing a group of values to MX-INT. */
+struct MxIntGroup
+{
+    int scaleExp = 0;            ///< Isf: scale factor is 2^scaleExp
+    std::vector<int32_t> codes;  ///< signed integer codes in [-qmax, qmax]
+
+    /** Decoded value of element i: codes[i] * 2^scaleExp. */
+    double decode(size_t i) const;
+
+    /** Decode the full group. */
+    std::vector<double> decodeAll() const;
+};
+
+/** Largest positive code of a symmetric b-bit integer: 2^(b-1) - 1. */
+int32_t intQMax(unsigned bits);
+
+/**
+ * Compute the shared power-of-two scale exponent for a group: the
+ * smallest `e` such that max|v| / 2^e <= qmax. Returns 0 for an all-zero
+ * group.
+ */
+int mxIntScaleExp(const std::vector<double> &values, unsigned bits);
+
+/**
+ * Quantize a group of values to MX-INT-b with a shared power-of-two
+ * scale (round to nearest, saturating clip).
+ */
+MxIntGroup mxIntQuantize(const std::vector<double> &values, unsigned bits);
+
+/**
+ * Quantize with a caller-supplied scale exponent (used when the scale is
+ * derived from a subset of the group, e.g. inliers only).
+ */
+MxIntGroup mxIntQuantizeWithScale(const std::vector<double> &values,
+                                  unsigned bits, int scaleExp);
+
+/** Quantize a single value given a scale exponent; returns the code. */
+int32_t mxIntQuantizeValue(double value, unsigned bits, int scaleExp);
+
+} // namespace msq
+
+#endif // MSQ_MX_MX_INT_H

@@ -1,0 +1,52 @@
+#include "quant/act_quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+Matrix
+quantizeActivationsMxInt(const Matrix &x, unsigned bits, size_t group_size)
+{
+    Matrix out = x;
+    const size_t k = x.rows();
+    const size_t group = group_size == 0 ? k : group_size;
+
+    // Channel-dim groups within each token column.
+    std::vector<double> span;
+    for (size_t t = 0; t < x.cols(); ++t) {
+        for (size_t g0 = 0; g0 < k; g0 += group) {
+            const size_t gn = std::min(group, k - g0);
+            span.resize(gn);
+            for (size_t i = 0; i < gn; ++i)
+                span[i] = x(g0 + i, t);
+            const MxIntGroup q = mxIntQuantize(span, bits);
+            for (size_t i = 0; i < gn; ++i)
+                out(g0 + i, t) = q.decode(i);
+        }
+    }
+    return out;
+}
+
+Matrix
+quantizeActivationsPerToken(const Matrix &x, unsigned bits)
+{
+    Matrix out = x;
+    const int qmax = intQMax(bits);
+    const size_t k = x.rows();
+    std::vector<double> col(k);
+    for (size_t t = 0; t < x.cols(); ++t) {
+        for (size_t r = 0; r < k; ++r)
+            col[r] = x(r, t);
+        symQuantSpan(col.data(), k, qmax);
+        for (size_t r = 0; r < k; ++r)
+            out(r, t) = col[r];
+    }
+    return out;
+}
+
+} // namespace msq

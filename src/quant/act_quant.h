@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Activation quantization. The paper quantizes activations to
+ * MX-INT-(4/8)128 per token along the channel dimension after migrating
+ * activation-outlier difficulty into the weights (Section 7.2).
+ */
+
+#ifndef MSQ_QUANT_ACT_QUANT_H
+#define MSQ_QUANT_ACT_QUANT_H
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/**
+ * Quantize activations X[k][n] (channels x tokens) to MX-INT-b with
+ * power-of-two scales shared by groups of `group_size` channels within
+ * each token. Returns the dequantized activations.
+ */
+Matrix quantizeActivationsMxInt(const Matrix &x, unsigned bits,
+                                size_t group_size = 128);
+
+/**
+ * Quantize activations with a plain real-valued per-token scale
+ * (the convention used by the non-MX baselines).
+ */
+Matrix quantizeActivationsPerToken(const Matrix &x, unsigned bits);
+
+} // namespace msq
+
+#endif // MSQ_QUANT_ACT_QUANT_H

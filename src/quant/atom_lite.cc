@@ -1,0 +1,75 @@
+#include "quant/atom_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+AtomLite::AtomLite(unsigned bits, size_t group_size, size_t outlier_channels)
+    : bits_(bits), groupSize_(group_size), outlierChannels_(outlier_channels)
+{
+}
+
+std::string
+AtomLite::name() const
+{
+    return "Atom-W" + std::to_string(bits_);
+}
+
+QuantResult
+AtomLite::quantize(const Matrix &w, const Matrix &calib)
+{
+    QuantResult res;
+    res.method = name();
+    res.dequant = w;
+    const size_t k = w.rows();
+    const size_t group = groupSize_ == 0 ? w.cols() : groupSize_;
+    const int qmax_lo = intQMax(bits_);
+    const int qmax_hi = intQMax(8);
+
+    // Rank input channels by calibration activation magnitude; without
+    // calibration fall back to weight magnitude.
+    std::vector<double> salience(k, 0.0);
+    for (size_t r = 0; r < k; ++r) {
+        double acc = 0.0;
+        if (!calib.empty() && calib.rows() == k) {
+            for (size_t t = 0; t < calib.cols(); ++t)
+                acc = std::max(acc, std::fabs(calib(r, t)));
+        } else {
+            for (size_t c = 0; c < w.cols(); ++c)
+                acc = std::max(acc, std::fabs(w(r, c)));
+        }
+        salience[r] = acc;
+    }
+    std::vector<size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return salience[a] > salience[b];
+    });
+
+    const size_t n_hi = std::min(outlierChannels_, k);
+    std::vector<bool> is_hi(k, false);
+    for (size_t i = 0; i < n_hi; ++i)
+        is_hi[order[i]] = true;
+
+    for (size_t r = 0; r < k; ++r) {
+        double *row = res.dequant.rowPtr(r);
+        const int qmax = is_hi[r] ? qmax_hi : qmax_lo;
+        for (size_t c0 = 0; c0 < w.cols(); c0 += group) {
+            const size_t n = std::min(group, w.cols() - c0);
+            symQuantSpan(row + c0, n, qmax);
+        }
+    }
+
+    const double hi_frac = static_cast<double>(n_hi) / static_cast<double>(k);
+    res.ebw = bits_ * (1.0 - hi_frac) + 8.0 * hi_frac +
+              16.0 / static_cast<double>(group);
+    return res;
+}
+
+} // namespace msq

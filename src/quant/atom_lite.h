@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Atom-lite baseline: mixed-precision group quantization with channel
+ * reordering. Atom identifies the input channels with the largest
+ * calibration activations, reorders them to the tail of the matrix, and
+ * keeps them at 8-bit while the remaining channels use the low base
+ * precision with fine-grained group scales. Activations follow the same
+ * reordering, so the kernel stays dense and memory-aligned.
+ */
+
+#ifndef MSQ_QUANT_ATOM_LITE_H
+#define MSQ_QUANT_ATOM_LITE_H
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** Atom-style mixed-precision quantizer. */
+class AtomLite : public WeightQuantizer
+{
+  public:
+    /**
+     * @param bits base element bit width for normal channels
+     * @param group_size scale-sharing group size
+     * @param outlier_channels number of input channels kept at 8-bit
+     */
+    AtomLite(unsigned bits, size_t group_size = 128,
+             size_t outlier_channels = 32);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+  private:
+    unsigned bits_;
+    size_t groupSize_;
+    size_t outlierChannels_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_ATOM_LITE_H

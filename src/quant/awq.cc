@@ -1,0 +1,112 @@
+#include "quant/awq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+AwqQuantizer::AwqQuantizer(unsigned bits, size_t group_size,
+                           unsigned grid_points)
+    : bits_(bits), groupSize_(group_size), gridPoints_(grid_points)
+{
+}
+
+std::string
+AwqQuantizer::name() const
+{
+    return "AWQ-W" + std::to_string(bits_);
+}
+
+QuantResult
+AwqQuantizer::quantize(const Matrix &w, const Matrix &calib)
+{
+    QuantResult res;
+    res.method = name();
+    const int qmax = intQMax(bits_);
+    const size_t group = groupSize_ == 0 ? w.cols() : groupSize_;
+    const size_t k = w.rows();
+
+    // Per-input-channel mean absolute activation (salience signal).
+    std::vector<double> act_mag(k, 1.0);
+    if (!calib.empty() && calib.rows() == k) {
+        for (size_t r = 0; r < k; ++r) {
+            double acc = 0.0;
+            for (size_t t = 0; t < calib.cols(); ++t)
+                acc += std::fabs(calib(r, t));
+            act_mag[r] = acc / static_cast<double>(calib.cols()) + 1e-12;
+        }
+    }
+
+    auto quantize_scaled = [&](double alpha, Matrix &out) {
+        out = w;
+        // Scale rows up by s_k, quantize, scale back down: protects the
+        // channels with large activations from rounding error.
+        std::vector<double> s(k);
+        for (size_t r = 0; r < k; ++r)
+            s[r] = std::pow(act_mag[r], alpha);
+        // Normalize scales so the overall dynamic range is unchanged.
+        double gm = 0.0;
+        for (double v : s)
+            gm += std::log(v);
+        gm = std::exp(gm / static_cast<double>(k));
+        for (size_t r = 0; r < k; ++r)
+            s[r] /= gm;
+
+        for (size_t r = 0; r < k; ++r) {
+            double *row = out.rowPtr(r);
+            for (size_t c = 0; c < out.cols(); ++c)
+                row[c] *= s[r];
+        }
+        // Groups span the reduction dimension (AWQ's native layout), so
+        // the per-channel scaling changes intra-group magnitudes.
+        symQuantColumnGroups(out, group, qmax);
+        for (size_t r = 0; r < k; ++r) {
+            double *row = out.rowPtr(r);
+            for (size_t c = 0; c < out.cols(); ++c)
+                row[c] /= s[r];
+        }
+    };
+
+    // Salience-weighted reconstruction error: || diag(a)(W - Q) ||^2,
+    // a cheap stand-in for the calibration-output error that avoids a
+    // full GEMM per grid point.
+    auto weighted_err = [&](const Matrix &q) {
+        double acc = 0.0;
+        for (size_t r = 0; r < k; ++r) {
+            const double a2 = act_mag[r] * act_mag[r];
+            const double *wr = w.rowPtr(r);
+            const double *qr = q.rowPtr(r);
+            for (size_t c = 0; c < w.cols(); ++c) {
+                const double d = wr[c] - qr[c];
+                acc += a2 * d * d;
+            }
+        }
+        return acc;
+    };
+
+    double best_err = -1.0;
+    Matrix best;
+    for (unsigned g = 0; g < gridPoints_; ++g) {
+        const double alpha =
+            static_cast<double>(g) / static_cast<double>(gridPoints_ - 1);
+        Matrix q;
+        quantize_scaled(alpha, q);
+        const double err = weighted_err(q);
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            best = std::move(q);
+        }
+    }
+
+    res.dequant = std::move(best);
+    // Metadata: group scales plus one fp16 channel scale per input row.
+    res.ebw = bits_ + 16.0 / static_cast<double>(group) +
+              16.0 / static_cast<double>(w.cols());
+    return res;
+}
+
+} // namespace msq

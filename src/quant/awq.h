@@ -1,0 +1,40 @@
+/**
+ * @file
+ * AWQ-style baseline: activation-aware weight quantization. Instead of
+ * keeping outliers at high precision, AWQ searches a per-input-channel
+ * scaling that protects salient weights (those multiplying large
+ * activations) before plain group RTN quantization. The transformation
+ * is lossless at inference time because the inverse scale folds into the
+ * previous layer / activation path.
+ *
+ * This reproduction grid-searches the migration exponent alpha in
+ * s_k = (mean |x_k|)^alpha, picking the alpha minimizing the output
+ * reconstruction error on the calibration set, as in the original paper.
+ */
+
+#ifndef MSQ_QUANT_AWQ_H
+#define MSQ_QUANT_AWQ_H
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** AWQ-style activation-aware quantizer. */
+class AwqQuantizer : public WeightQuantizer
+{
+  public:
+    explicit AwqQuantizer(unsigned bits, size_t group_size = 128,
+                          unsigned grid_points = 11);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+  private:
+    unsigned bits_;
+    size_t groupSize_;
+    unsigned gridPoints_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_AWQ_H

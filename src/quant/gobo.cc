@@ -1,0 +1,102 @@
+#include "quant/gobo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "quant/quant_util.h"
+
+namespace msq {
+
+GoboQuantizer::GoboQuantizer(unsigned index_bits, unsigned kmeans_iters)
+    : indexBits_(index_bits), kmeansIters_(kmeans_iters)
+{
+}
+
+std::string
+GoboQuantizer::name() const
+{
+    return "GOBO-W" + std::to_string(indexBits_);
+}
+
+QuantResult
+GoboQuantizer::quantize(const Matrix &w, const Matrix &calib)
+{
+    (void)calib;
+    QuantResult res;
+    res.method = name();
+    res.dequant = w;
+    const size_t n_total = w.size();
+    const size_t n_centroids = 1u << indexBits_;
+
+    // Outlier split over the whole layer (GOBO operates per layer).
+    const double thr = threeSigmaThreshold(w.data(), n_total);
+    std::vector<double> inliers;
+    inliers.reserve(n_total);
+    size_t n_outliers = 0;
+    for (size_t i = 0; i < n_total; ++i) {
+        if (std::fabs(w.data()[i]) > thr)
+            ++n_outliers;
+        else
+            inliers.push_back(w.data()[i]);
+    }
+    outlierFraction_ =
+        n_total > 0 ? static_cast<double>(n_outliers) /
+                      static_cast<double>(n_total)
+                    : 0.0;
+
+    // Codebook fit: centroids initialized uniformly over the inlier
+    // range, refined by Lloyd iterations.
+    double lo = 0.0, hi = 0.0;
+    for (double v : inliers) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::vector<double> centroids(n_centroids);
+    for (size_t c = 0; c < n_centroids; ++c) {
+        const double frac = (static_cast<double>(c) + 0.5) /
+                            static_cast<double>(n_centroids);
+        centroids[c] = lo + frac * (hi - lo);
+    }
+    auto nearest = [&centroids](double v) {
+        size_t best = 0;
+        double best_d = std::fabs(v - centroids[0]);
+        for (size_t c = 1; c < centroids.size(); ++c) {
+            const double d = std::fabs(v - centroids[c]);
+            if (d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        return best;
+    };
+    for (unsigned it = 0; it < kmeansIters_; ++it) {
+        std::vector<double> sum(n_centroids, 0.0);
+        std::vector<size_t> cnt(n_centroids, 0);
+        for (double v : inliers) {
+            const size_t c = nearest(v);
+            sum[c] += v;
+            ++cnt[c];
+        }
+        for (size_t c = 0; c < n_centroids; ++c)
+            if (cnt[c] > 0)
+                centroids[c] = sum[c] / static_cast<double>(cnt[c]);
+    }
+
+    // Materialize: inliers snap to their centroid, outliers stay exact
+    // (full-precision side storage).
+    for (size_t i = 0; i < n_total; ++i) {
+        double &v = res.dequant.data()[i];
+        if (std::fabs(v) <= thr)
+            v = centroids[nearest(v)];
+    }
+
+    // EBW: index per element + (fp32 value + 32-bit position record) per
+    // outlier + the codebook itself.
+    res.ebw = indexBits_ + outlierFraction_ * (32.0 + 32.0) +
+              32.0 * static_cast<double>(n_centroids) /
+                  static_cast<double>(std::max<size_t>(n_total, 1));
+    return res;
+}
+
+} // namespace msq

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * GOBO baseline (Zadeh et al., MICRO'20): the group-A co-design
+ * technique. Inliers are clustered to a small codebook (3-bit indices
+ * into 8 centroids by default) while outliers — values outside 3 sigma —
+ * are stored *uncompressed* at full precision in a sparse side structure
+ * with explicit position metadata. Accuracy is excellent; the cost is a
+ * large effective bit width and unaligned sparse accesses, which the
+ * accelerator model charges for separately.
+ */
+
+#ifndef MSQ_QUANT_GOBO_H
+#define MSQ_QUANT_GOBO_H
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** GOBO centroid + sparse-outlier quantizer. */
+class GoboQuantizer : public WeightQuantizer
+{
+  public:
+    /**
+     * @param index_bits codebook index width (3 -> 8 centroids)
+     * @param kmeans_iters Lloyd iterations for the codebook fit
+     */
+    explicit GoboQuantizer(unsigned index_bits = 3,
+                           unsigned kmeans_iters = 8);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+    /** Fraction of weights stored as full-precision outliers (last run). */
+    double outlierFraction() const { return outlierFraction_; }
+
+  private:
+    unsigned indexBits_;
+    unsigned kmeansIters_;
+    double outlierFraction_ = 0.0;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_GOBO_H

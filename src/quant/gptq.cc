@@ -1,0 +1,117 @@
+#include "quant/gptq.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+#include "mx/mx_int.h"
+#include "quant/hessian.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+GptqQuantizer::GptqQuantizer(GptqConfig config)
+    : config_(config)
+{
+}
+
+std::string
+GptqQuantizer::name() const
+{
+    return "GPTQ-W" + std::to_string(config_.bits);
+}
+
+void
+gptqSweep(Matrix &work, const Matrix &hinv_chol, size_t block_size,
+          const std::function<std::vector<double>(
+              size_t row, const std::vector<double> &values)> &quantize_row,
+          Matrix &out)
+{
+    const size_t k = work.rows();
+    const size_t o = work.cols();
+    MSQ_ASSERT(hinv_chol.rows() == k && hinv_chol.cols() == k,
+               "Hessian factor shape mismatch");
+    out = Matrix(k, o);
+
+    // Error rows of the current block, E[j - i][:] (Algorithm 1, L31).
+    std::vector<std::vector<double>> block_errors;
+    block_errors.reserve(block_size);
+
+    for (size_t i = 0; i < k; i += block_size) {
+        const size_t block_end = std::min(i + block_size, k);
+        block_errors.clear();
+
+        for (size_t j = i; j < block_end; ++j) {
+            std::vector<double> row(work.rowPtr(j), work.rowPtr(j) + o);
+            std::vector<double> qrow = quantize_row(j, row);
+            MSQ_ASSERT(qrow.size() == o, "quantize_row size mismatch");
+            for (size_t c = 0; c < o; ++c)
+                out(j, c) = qrow[c];
+
+            // E_j = (W_j - Q_j) / L_jj (the factor's diagonal is the
+            // OBS-effective sqrt([H^-1_F]_jj) of the remaining set).
+            const double ljj = hinv_chol(j, j);
+            MSQ_ASSERT(ljj > 0.0, "non-positive Cholesky diagonal");
+            std::vector<double> err(o);
+            for (size_t c = 0; c < o; ++c)
+                err[c] = (row[c] - qrow[c]) / ljj;
+
+            // Compensate the remaining rows of this block:
+            // W_r -= L[r][j] * E_j.
+            for (size_t r = j + 1; r < block_end; ++r) {
+                const double f = hinv_chol(r, j);
+                if (f == 0.0)
+                    continue;
+                double *wr = work.rowPtr(r);
+                for (size_t c = 0; c < o; ++c)
+                    wr[c] -= f * err[c];
+            }
+            block_errors.push_back(std::move(err));
+        }
+
+        // Lazy update of all rows after the block (Algorithm 1, L36):
+        // W_r -= sum_j L[r][j] * E_j.
+        for (size_t r = block_end; r < k; ++r) {
+            double *wr = work.rowPtr(r);
+            for (size_t j = i; j < block_end; ++j) {
+                const double f = hinv_chol(r, j);
+                if (f == 0.0)
+                    continue;
+                const std::vector<double> &err = block_errors[j - i];
+                for (size_t c = 0; c < o; ++c)
+                    wr[c] -= f * err[c];
+            }
+        }
+    }
+}
+
+QuantResult
+GptqQuantizer::quantize(const Matrix &w, const Matrix &calib)
+{
+    QuantResult res;
+    res.method = name();
+
+    Matrix hinv_chol =
+        hessianInverseCholeskyCached(calib, config_.dampRel);
+    Matrix work = w;
+    const int qmax = intQMax(config_.bits);
+    const size_t group = config_.groupSize == 0 ? w.cols() : config_.groupSize;
+
+    gptqSweep(
+        work, hinv_chol, config_.blockSize,
+        [&](size_t, const std::vector<double> &values) {
+            std::vector<double> q = values;
+            for (size_t c0 = 0; c0 < q.size(); c0 += group) {
+                const size_t n = std::min(group, q.size() - c0);
+                symQuantSpan(q.data() + c0, n, qmax);
+            }
+            return q;
+        },
+        res.dequant);
+
+    res.ebw = config_.bits + 16.0 / static_cast<double>(group);
+    return res;
+}
+
+} // namespace msq

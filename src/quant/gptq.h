@@ -1,0 +1,64 @@
+/**
+ * @file
+ * GPTQ baseline: group RTN quantization with second-order (Hessian)
+ * error compensation, following Frantar et al. and the structure of the
+ * paper's Algorithm 1 (minus the outlier/pruning machinery).
+ *
+ * Rows (reduction dimension k) are processed sequentially within
+ * row-blocks of `blockSize`; after quantizing row k the residual error is
+ * propagated into the not-yet-quantized rows of the block through H^-1,
+ * and into the remaining rows once per block.
+ */
+
+#ifndef MSQ_QUANT_GPTQ_H
+#define MSQ_QUANT_GPTQ_H
+
+#include <functional>
+#include <vector>
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** Configuration for the GPTQ baseline. */
+struct GptqConfig
+{
+    unsigned bits = 4;       ///< element bit width
+    size_t groupSize = 128;  ///< scale-sharing group along outputs
+    size_t blockSize = 128;  ///< row block (rB) for lazy Hessian updates
+    double dampRel = 0.01;   ///< relative Hessian damping
+};
+
+/** GPTQ quantizer. */
+class GptqQuantizer : public WeightQuantizer
+{
+  public:
+    explicit GptqQuantizer(GptqConfig config);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+  private:
+    GptqConfig config_;
+};
+
+/**
+ * Shared GPTQ skeleton used by GPTQ itself and by MicroScopiQ: walk rows
+ * in blocks, call `quantize_row` to produce the quantized row, then apply
+ * the Hessian compensation updates. `quantize_row` receives the current
+ * (already compensated) row values and must return the dequantized row.
+ *
+ * `hinv_chol` is the lower Cholesky factor L of the damped H^-1
+ * (H^-1 = L L^T). Compensation uses rows of the factor — the OBS-correct
+ * sequential form (see hessianInverseCholesky): after quantizing row j,
+ *   err = (W_j - Q_j) / L[j][j],  W_r -= L[r][j] * err  for r > j.
+ * Passing the identity disables compensation.
+ */
+void gptqSweep(Matrix &work, const Matrix &hinv_chol, size_t block_size,
+               const std::function<std::vector<double>(
+                   size_t row, const std::vector<double> &values)> &quantize_row,
+               Matrix &out);
+
+} // namespace msq
+
+#endif // MSQ_QUANT_GPTQ_H

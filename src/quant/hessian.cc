@@ -1,0 +1,109 @@
+#include "quant/hessian.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace msq {
+
+namespace {
+
+/**
+ * Content hash of a calibration matrix (FNV-1a over the raw bytes plus
+ * an element sum), so deterministic regeneration of the same data hits
+ * the cache regardless of allocation identity.
+ */
+uint64_t
+contentHash(const Matrix &m)
+{
+    uint64_t h = 1469598103934665603ULL;
+    const auto *bytes = reinterpret_cast<const unsigned char *>(m.data());
+    const size_t n = m.size() * sizeof(double);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+using HessianKey = std::tuple<uint64_t, size_t, size_t, double>;
+std::map<HessianKey, Matrix> hessian_cache;
+
+/** Bound the cache so long sweeps cannot exhaust memory. */
+constexpr size_t kMaxCachedHessians = 48;
+
+} // namespace
+
+Matrix
+buildHessian(const Matrix &calib, double damp_rel)
+{
+    const size_t k = calib.rows();
+    MSQ_ASSERT(k > 0, "empty calibration data");
+    const size_t n = calib.cols();
+
+    Matrix h(k, k);
+    // H = 2 X X^T, exploiting symmetry.
+    for (size_t i = 0; i < k; ++i) {
+        const double *xi = calib.rowPtr(i);
+        for (size_t j = i; j < k; ++j) {
+            const double *xj = calib.rowPtr(j);
+            double acc = 0.0;
+            for (size_t t = 0; t < n; ++t)
+                acc += xi[t] * xj[t];
+            h(i, j) = 2.0 * acc;
+            h(j, i) = 2.0 * acc;
+        }
+    }
+
+    double mean_diag = 0.0;
+    for (size_t i = 0; i < k; ++i)
+        mean_diag += h(i, i);
+    mean_diag /= static_cast<double>(k);
+    const double damp = damp_rel * (mean_diag > 0.0 ? mean_diag : 1.0);
+    for (size_t i = 0; i < k; ++i)
+        h(i, i) += damp;
+    return h;
+}
+
+Matrix
+invertHessian(const Matrix &hessian)
+{
+    return choleskyInverse(hessian);
+}
+
+Matrix
+hessianInverseFromCalib(const Matrix &calib, double damp_rel)
+{
+    return invertHessian(buildHessian(calib, damp_rel));
+}
+
+Matrix
+hessianInverseCholesky(const Matrix &calib, double damp_rel)
+{
+    return choleskyFactor(hessianInverseFromCalib(calib, damp_rel));
+}
+
+const Matrix &
+hessianInverseCholeskyCached(const Matrix &calib, double damp_rel)
+{
+    const HessianKey key{contentHash(calib), calib.rows(), calib.cols(),
+                         damp_rel};
+    auto it = hessian_cache.find(key);
+    if (it == hessian_cache.end()) {
+        if (hessian_cache.size() >= kMaxCachedHessians)
+            hessian_cache.clear();
+        it = hessian_cache
+                 .emplace(key, hessianInverseCholesky(calib, damp_rel))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+clearHessianCache()
+{
+    hessian_cache.clear();
+}
+
+} // namespace msq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hessian machinery for GPTQ-style error compensation (paper Section 4.1).
+ *
+ * For the layer objective sum_o || (W[:,o] - Q[:,o])^T X ||^2 the Hessian
+ * is H = 2 X X^T + lambda I (k x k), identical for every output channel
+ * because it depends only on the calibration inputs. MicroScopiQ uses the
+ * diagonal of H^-1 both to pick the least-salient inliers for pruning
+ * (saliency w_p^2 / [H^-1]_pp) and to compensate quantization error into
+ * the not-yet-quantized rows.
+ */
+
+#ifndef MSQ_QUANT_HESSIAN_H
+#define MSQ_QUANT_HESSIAN_H
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/**
+ * Build the damped Hessian H = 2 X X^T + lambda I from calibration
+ * activations X[k][n]. The damping term is `damp_rel` times the mean of
+ * the undamped diagonal (GPTQ's "percdamp"), which keeps the matrix
+ * positive definite even when some input channels are rarely active.
+ */
+Matrix buildHessian(const Matrix &calib, double damp_rel = 0.01);
+
+/** Inverse of the damped Hessian via Cholesky. */
+Matrix invertHessian(const Matrix &hessian);
+
+/** Convenience: H^-1 straight from calibration data. */
+Matrix hessianInverseFromCalib(const Matrix &calib, double damp_rel = 0.01);
+
+/**
+ * Lower Cholesky factor L of the damped H^-1 (H^-1 = L L^T). The GPTQ /
+ * Algorithm 1 sweep compensates with rows of the *factor*, not of H^-1
+ * itself: the factor encodes the sequential OBS elimination, i.e. the
+ * remaining-submatrix inverse at every step. Quantizing row q uses
+ *   err = (w_q - quant(w_q)) / L[q][q],
+ *   W_r -= L[r][q] * err  for r > q,
+ * and the pruning saliency denominator is L[q][q]^2.
+ */
+Matrix hessianInverseCholesky(const Matrix &calib, double damp_rel = 0.01);
+
+/**
+ * Cached variant: benchmarks quantize the same layer with many methods,
+ * and the O(k^3) inverse dominates. Keyed by the calibration data's
+ * content hash, so deterministic regeneration hits the cache. Cleared
+ * with clearHessianCache().
+ */
+const Matrix &hessianInverseCholeskyCached(const Matrix &calib,
+                                           double damp_rel = 0.01);
+
+/** Drop all cached Hessian factorizations. */
+void clearHessianCache();
+
+} // namespace msq
+
+#endif // MSQ_QUANT_HESSIAN_H

@@ -1,0 +1,87 @@
+#include "quant/kv_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace msq {
+
+void
+asymQuantSpan(double *values, size_t n, unsigned bits)
+{
+    MSQ_ASSERT(bits >= 1 && bits <= 8, "asymmetric quant width");
+    if (n == 0)
+        return;
+    double lo = values[0], hi = values[0];
+    for (size_t i = 1; i < n; ++i) {
+        lo = std::min(lo, values[i]);
+        hi = std::max(hi, values[i]);
+    }
+    const double levels = static_cast<double>((1u << bits) - 1);
+    if (hi == lo)
+        return;  // constant span is exactly representable
+    const double scale = (hi - lo) / levels;
+    for (size_t i = 0; i < n; ++i) {
+        const double q = std::floor((values[i] - lo) / scale + 0.5);
+        values[i] = lo + std::clamp(q, 0.0, levels) * scale;
+    }
+}
+
+Matrix
+quantizeKeyCache(const Matrix &keys, const KvCacheConfig &config)
+{
+    Matrix out = keys;
+    const size_t tokens = keys.cols();
+    const size_t quant_tokens =
+        tokens > config.residual ? tokens - config.residual : 0;
+    if (quant_tokens == 0)
+        return out;
+
+    const size_t group = config.groupSize == 0 ? quant_tokens
+                                               : config.groupSize;
+    std::vector<double> span;
+    for (size_t ch = 0; ch < keys.rows(); ++ch) {
+        for (size_t t0 = 0; t0 < quant_tokens; t0 += group) {
+            const size_t n = std::min(group, quant_tokens - t0);
+            span.resize(n);
+            for (size_t i = 0; i < n; ++i)
+                span[i] = keys(ch, t0 + i);
+            asymQuantSpan(span.data(), n, config.bits);
+            for (size_t i = 0; i < n; ++i)
+                out(ch, t0 + i) = span[i];
+        }
+    }
+    return out;
+}
+
+Matrix
+quantizeValueCache(const Matrix &values, const KvCacheConfig &config)
+{
+    Matrix out = values;
+    const size_t tokens = values.cols();
+    const size_t quant_tokens =
+        tokens > config.residual ? tokens - config.residual : 0;
+    if (quant_tokens == 0)
+        return out;
+
+    const size_t channels = values.rows();
+    const size_t group = config.groupSize == 0 ? channels
+                                               : config.groupSize;
+    std::vector<double> span;
+    for (size_t t = 0; t < quant_tokens; ++t) {
+        for (size_t c0 = 0; c0 < channels; c0 += group) {
+            const size_t n = std::min(group, channels - c0);
+            span.resize(n);
+            for (size_t i = 0; i < n; ++i)
+                span[i] = values(c0 + i, t);
+            asymQuantSpan(span.data(), n, config.bits);
+            for (size_t i = 0; i < n; ++i)
+                out(c0 + i, t) = span[i];
+        }
+    }
+    return out;
+}
+
+} // namespace msq

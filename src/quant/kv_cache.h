@@ -1,0 +1,49 @@
+/**
+ * @file
+ * KV-cache quantization following the KIVI recipe cited by the paper's
+ * ablation (Table 7, last row): keys are quantized per channel, values
+ * per token, both at 2-bit with a macro-block group size of 128 and a
+ * residual window of the most recent R tokens kept at full precision.
+ */
+
+#ifndef MSQ_QUANT_KV_CACHE_H
+#define MSQ_QUANT_KV_CACHE_H
+
+#include <cstddef>
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/** Configuration for KV-cache quantization. */
+struct KvCacheConfig
+{
+    unsigned bits = 2;        ///< element bit width
+    size_t groupSize = 128;   ///< scale-sharing group
+    size_t residual = 128;    ///< most recent tokens kept at full precision
+};
+
+/**
+ * Asymmetric (zero-point) round-to-nearest quantization of a span: the
+ * KIVI recipe. At 2 bits this yields four usable levels spanning
+ * [min, max], versus three for symmetric quantization.
+ */
+void asymQuantSpan(double *values, size_t n, unsigned bits);
+
+/**
+ * Quantize a key cache K[channel][token]: per-channel grouping (groups
+ * of `groupSize` tokens within one channel), last `residual` tokens
+ * untouched.
+ */
+Matrix quantizeKeyCache(const Matrix &keys, const KvCacheConfig &config);
+
+/**
+ * Quantize a value cache V[channel][token]: per-token grouping (groups
+ * of `groupSize` channels within one token), last `residual` tokens
+ * untouched.
+ */
+Matrix quantizeValueCache(const Matrix &values, const KvCacheConfig &config);
+
+} // namespace msq
+
+#endif // MSQ_QUANT_KV_CACHE_H

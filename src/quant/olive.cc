@@ -1,0 +1,105 @@
+#include "quant/olive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+OliveQuantizer::OliveQuantizer(unsigned bits, size_t group_size)
+    : bits_(bits), groupSize_(group_size)
+{
+}
+
+std::string
+OliveQuantizer::name() const
+{
+    return "OliVe-W" + std::to_string(bits_);
+}
+
+double
+OliveQuantizer::abfloatRoundTrip(double v, unsigned bits, double scale,
+                                 int bias)
+{
+    if (v == 0.0 || scale <= 0.0)
+        return 0.0;
+    // Exponent codes: 2^(bits-1) - 1 usable magnitudes per sign (one
+    // encoding is reserved as the outlier identifier in the inlier
+    // format, not here, but abfloat loses a code to +/-0 handling).
+    const int levels = (1 << (bits - 1)) - 1;
+    const double mag = std::fabs(v) / scale;
+    int e = static_cast<int>(std::floor(std::log2(std::max(mag, 1e-30)) + 0.5));
+    e = std::clamp(e, bias, bias + levels - 1);
+    const double q = std::ldexp(1.0, e) * scale;
+    return v < 0.0 ? -q : q;
+}
+
+QuantResult
+OliveQuantizer::quantize(const Matrix &w, const Matrix &calib)
+{
+    (void)calib;
+    QuantResult res;
+    res.method = name();
+    res.dequant = w;
+    // One inlier encoding is sacrificed as the outlier identifier, so the
+    // usable inlier range shrinks by one code (paper Section 3.1).
+    const int qmax = intQMax(bits_) - 1;
+    const size_t group = groupSize_ == 0 ? w.cols() : groupSize_;
+
+    for (size_t r = 0; r < w.rows(); ++r) {
+        double *row = res.dequant.rowPtr(r);
+        for (size_t g0 = 0; g0 < w.cols(); g0 += group) {
+            const size_t gn = std::min(group, w.cols() - g0);
+            double *span = row + g0;
+
+            const double thr = threeSigmaThreshold(span, gn);
+            std::vector<bool> outlier(gn, false);
+            double in_max = 0.0;
+            for (size_t i = 0; i < gn; ++i) {
+                if (std::fabs(span[i]) > thr)
+                    outlier[i] = true;
+                else
+                    in_max = std::max(in_max, std::fabs(span[i]));
+            }
+
+            // Victim selection: scanning left to right, each outlier
+            // consumes its right neighbour as the identifier slot. If
+            // that neighbour is itself an outlier, the neighbour is
+            // pruned anyway (unintended outlier destruction).
+            std::vector<bool> victim(gn, false);
+            for (size_t i = 0; i < gn; ++i) {
+                if (!outlier[i] || victim[i])
+                    continue;
+                const size_t v = (i + 1 < gn) ? i + 1 : i - 1;
+                victim[v] = true;
+                if (outlier[v])
+                    outlier[v] = false;  // adjacent outlier destroyed
+            }
+
+            // abfloat scale anchored at the inlier maximum so the outlier
+            // codes extend the inlier range upward, bias 0.
+            const double in_scale = symScale(in_max, qmax);
+            const double ab_scale = std::max(in_max, 1e-12);
+
+            for (size_t i = 0; i < gn; ++i) {
+                if (victim[i]) {
+                    span[i] = 0.0;
+                } else if (outlier[i]) {
+                    span[i] = abfloatRoundTrip(span[i], bits_, ab_scale, 0);
+                } else {
+                    span[i] = symQuantValue(span[i], in_scale, qmax);
+                }
+            }
+        }
+    }
+
+    // Aligned layout: every element is exactly `bits` wide; one 16-bit
+    // scale pair per group.
+    res.ebw = bits_ + 32.0 / static_cast<double>(group);
+    return res;
+}
+
+} // namespace msq

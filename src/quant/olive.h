@@ -1,0 +1,49 @@
+/**
+ * @file
+ * OliVe baseline: outlier-victim pair quantization (Guo et al., ISCA'23),
+ * the group-B co-design technique the paper compares against most often.
+ *
+ * OliVe quantizes inliers and outliers at the *same* bit width but in
+ * different formats: inliers use a flint/int-style code, outliers use
+ * "abfloat" (adaptive-biased float), whose codes cover large magnitudes
+ * only. To keep memory aligned, the element *adjacent* to each outlier
+ * (its "victim") is pruned to zero and its encoding is repurposed as the
+ * outlier identifier. The critical failure mode reproduced here: when
+ * two outliers are adjacent, the second outlier itself becomes the
+ * victim and is destroyed — the root cause of OliVe's accuracy collapse
+ * on modern FMs with non-trivial adjacent-outlier rates (paper
+ * Section 3.2, Figure 2).
+ */
+
+#ifndef MSQ_QUANT_OLIVE_H
+#define MSQ_QUANT_OLIVE_H
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** OliVe outlier-victim pair quantizer. */
+class OliveQuantizer : public WeightQuantizer
+{
+  public:
+    explicit OliveQuantizer(unsigned bits, size_t group_size = 128);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+    /**
+     * abfloat encode: round `v` to +/- 2^e * scale with integer e in
+     * [bias, bias + 2^(bits-1) - 2] (one code reserved as identifier).
+     * Exposed for unit tests.
+     */
+    static double abfloatRoundTrip(double v, unsigned bits, double scale,
+                                   int bias);
+
+  private:
+    unsigned bits_;
+    size_t groupSize_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_OLIVE_H

@@ -1,0 +1,101 @@
+#include "quant/omniquant_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+#include "quant/smoothquant.h"
+
+namespace msq {
+
+namespace {
+
+/** Clip-ratio candidates searched by LWC-lite. */
+constexpr double kClipGrid[] = {1.0, 0.95, 0.9, 0.85, 0.8, 0.75,
+                                0.7, 0.65, 0.6, 0.55, 0.5};
+
+} // namespace
+
+OmniQuantLite::OmniQuantLite(unsigned bits, size_t group_size, bool use_let)
+    : bits_(bits), groupSize_(group_size), useLet_(use_let)
+{
+}
+
+std::string
+OmniQuantLite::name() const
+{
+    return "OmniQuant-W" + std::to_string(bits_);
+}
+
+double
+OmniQuantLite::searchClipRatio(const double *values, size_t n, int qmax,
+                               double *out_quantized)
+{
+    std::vector<double> scratch(n);
+    double best_err = -1.0;
+    double best_ratio = 1.0;
+    for (double ratio : kClipGrid) {
+        std::copy(values, values + n, scratch.begin());
+        symQuantSpanClipped(scratch.data(), n, qmax, ratio);
+        const double err = spanMse(scratch.data(), values, n);
+        if (best_err < 0.0 || err < best_err) {
+            best_err = err;
+            best_ratio = ratio;
+            std::copy(scratch.begin(), scratch.end(), out_quantized);
+        }
+    }
+    return best_ratio;
+}
+
+QuantResult
+OmniQuantLite::quantize(const Matrix &w, const Matrix &calib)
+{
+    QuantResult res;
+    res.method = name();
+    const int qmax = intQMax(bits_);
+    const size_t group = groupSize_ == 0 ? w.cols() : groupSize_;
+
+    Matrix work = w;
+    std::vector<double> let_scales;
+    if (useLet_ && !calib.empty() && calib.rows() == w.rows()) {
+        // LET-lite: grid search the migration strength by weight-side
+        // quantization error (activation error shrinks monotonically in
+        // alpha, so the weight error is the binding term).
+        double best_err = -1.0;
+        for (double alpha : {0.0, 0.25, 0.5, 0.6, 0.75}) {
+            const std::vector<double> scales =
+                migrationScales(w, calib, alpha);
+            Matrix scaled = w;
+            migrateWeights(scaled, scales);
+            Matrix q = scaled;
+            symQuantColumnGroups(q, group, qmax);
+            const double err = q.normalizedErrorTo(scaled);
+            if (best_err < 0.0 || err < best_err) {
+                best_err = err;
+                let_scales = scales;
+            }
+        }
+        if (!let_scales.empty())
+            migrateWeights(work, let_scales);
+    }
+
+    // LWC-lite applied per group along the reduction dimension.
+    Matrix out = work;
+    clipSearchColumnGroups(out, group, qmax);
+
+    if (!let_scales.empty()) {
+        for (size_t r = 0; r < out.rows(); ++r) {
+            double *row = out.rowPtr(r);
+            for (size_t c = 0; c < out.cols(); ++c)
+                row[c] /= let_scales[r];
+        }
+    }
+
+    res.dequant = std::move(out);
+    res.ebw = bits_ + 16.0 / static_cast<double>(group);
+    return res;
+}
+
+} // namespace msq

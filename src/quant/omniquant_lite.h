@@ -1,0 +1,56 @@
+/**
+ * @file
+ * OmniQuant-lite baseline: a calibration-time search standing in for
+ * OmniQuant's gradient-learned parameters.
+ *
+ * OmniQuant learns two families of parameters: Learnable Weight Clipping
+ * (LWC; per-group clipping thresholds on the quantization scale) and
+ * Learnable Equivalent Transformation (LET; per-channel migration of
+ * activation difficulty into weights). This reproduction replaces the
+ * gradient descent with a per-group grid search over the clip ratio
+ * (which is exactly what LWC converges to in the symmetric case) and a
+ * grid search over the LET migration strength. The combination with
+ * MicroScopiQ (Table 8's "Omni-MicroScopiQ") reuses the same LWC search
+ * on the MicroScopiQ scale factors.
+ */
+
+#ifndef MSQ_QUANT_OMNIQUANT_LITE_H
+#define MSQ_QUANT_OMNIQUANT_LITE_H
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** Grid-searched learnable-weight-clipping group quantizer. */
+class OmniQuantLite : public WeightQuantizer
+{
+  public:
+    /**
+     * @param bits element bit width
+     * @param group_size scale-sharing group size
+     * @param use_let also search a migration strength (weight-activation
+     *        settings); ignored when no calibration data is supplied
+     */
+    OmniQuantLite(unsigned bits, size_t group_size = 128,
+                  bool use_let = false);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+    /**
+     * The LWC primitive: quantize a span with the clip ratio (from the
+     * given candidate grid) minimizing the squared error. Exposed so
+     * Omni-MicroScopiQ can reuse it. Returns the best clip ratio.
+     */
+    static double searchClipRatio(const double *values, size_t n, int qmax,
+                                  double *out_quantized);
+
+  private:
+    unsigned bits_;
+    size_t groupSize_;
+    bool useLet_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_OMNIQUANT_LITE_H

@@ -1,0 +1,128 @@
+#include "quant/quant_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msq {
+
+double
+symScale(double max_abs, int qmax)
+{
+    if (max_abs == 0.0)
+        return 1.0;
+    return max_abs / static_cast<double>(qmax);
+}
+
+double
+symQuantValue(double v, double scale, int qmax)
+{
+    const double q = std::floor(v / scale + 0.5);
+    const double clipped =
+        std::clamp(q, -static_cast<double>(qmax), static_cast<double>(qmax));
+    return clipped * scale;
+}
+
+double
+symQuantSpan(double *values, size_t n, int qmax)
+{
+    double max_abs = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        max_abs = std::max(max_abs, std::fabs(values[i]));
+    const double scale = symScale(max_abs, qmax);
+    for (size_t i = 0; i < n; ++i)
+        values[i] = symQuantValue(values[i], scale, qmax);
+    return scale;
+}
+
+double
+symQuantSpanClipped(double *values, size_t n, int qmax, double clip_ratio)
+{
+    double max_abs = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        max_abs = std::max(max_abs, std::fabs(values[i]));
+    const double scale = symScale(max_abs * clip_ratio, qmax);
+    for (size_t i = 0; i < n; ++i)
+        values[i] = symQuantValue(values[i], scale, qmax);
+    return scale;
+}
+
+double
+spanMse(const double *a, const double *b, size_t n)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return n > 0 ? acc / static_cast<double>(n) : 0.0;
+}
+
+void
+symQuantColumnGroups(Matrix &w, size_t group, int qmax)
+{
+    const size_t k = w.rows();
+    const size_t g = group == 0 ? k : group;
+    std::vector<double> span;
+    for (size_t c = 0; c < w.cols(); ++c) {
+        for (size_t r0 = 0; r0 < k; r0 += g) {
+            const size_t n = std::min(g, k - r0);
+            span.resize(n);
+            for (size_t i = 0; i < n; ++i)
+                span[i] = w(r0 + i, c);
+            symQuantSpan(span.data(), n, qmax);
+            for (size_t i = 0; i < n; ++i)
+                w(r0 + i, c) = span[i];
+        }
+    }
+}
+
+void
+clipSearchColumnGroups(Matrix &w, size_t group, int qmax)
+{
+    const size_t k = w.rows();
+    const size_t g = group == 0 ? k : group;
+    std::vector<double> span, best, scratch;
+    for (size_t c = 0; c < w.cols(); ++c) {
+        for (size_t r0 = 0; r0 < k; r0 += g) {
+            const size_t n = std::min(g, k - r0);
+            span.resize(n);
+            best.resize(n);
+            scratch.resize(n);
+            for (size_t i = 0; i < n; ++i)
+                span[i] = w(r0 + i, c);
+            double best_err = -1.0;
+            for (double ratio :
+                 {1.0, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6}) {
+                scratch = span;
+                symQuantSpanClipped(scratch.data(), n, qmax, ratio);
+                const double err = spanMse(scratch.data(), span.data(), n);
+                if (best_err < 0.0 || err < best_err) {
+                    best_err = err;
+                    best = scratch;
+                }
+            }
+            for (size_t i = 0; i < n; ++i)
+                w(r0 + i, c) = best[i];
+        }
+    }
+}
+
+double
+threeSigmaThreshold(const double *values, size_t n)
+{
+    if (n == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += values[i];
+    const double mu = sum / static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double d = values[i] - mu;
+        var += d * d;
+    }
+    var /= static_cast<double>(n);
+    return 3.0 * std::sqrt(var);
+}
+
+} // namespace msq

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the quantizer implementations: plain symmetric
+ * integer quantization with a real-valued scale (the non-MX baselines),
+ * group iteration, and outlier thresholding.
+ */
+
+#ifndef MSQ_QUANT_QUANT_UTIL_H
+#define MSQ_QUANT_QUANT_UTIL_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/**
+ * Symmetric round-to-nearest integer quantization of one value with a
+ * real scale: returns clip(round(v / scale)) * scale.
+ */
+double symQuantValue(double v, double scale, int qmax);
+
+/** Scale for symmetric quantization of a range: maxAbs / qmax. */
+double symScale(double max_abs, int qmax);
+
+/**
+ * Quantize a contiguous span in place with a shared scale derived from
+ * its own maximum. Returns the scale used.
+ */
+double symQuantSpan(double *values, size_t n, int qmax);
+
+/**
+ * Quantize a span in place with a shared scale derived from its maximum
+ * times `clip_ratio` (values saturate at the clipped maximum). Returns
+ * the scale used.
+ */
+double symQuantSpanClipped(double *values, size_t n, int qmax,
+                           double clip_ratio);
+
+/** Mean squared error between a span and its original copy. */
+double spanMse(const double *a, const double *b, size_t n);
+
+/**
+ * Symmetric group quantization with groups along the *reduction* (row)
+ * dimension: within each output column, contiguous groups of `group`
+ * rows share one scale. This is the grouping convention of AWQ /
+ * SmoothQuant / OmniQuant, whose per-input-channel scaling only has an
+ * effect when a quantization group spans multiple input channels.
+ */
+void symQuantColumnGroups(Matrix &w, size_t group, int qmax);
+
+/**
+ * Column-group quantization with a per-group clip-ratio search (the
+ * LWC-lite primitive applied along the reduction dimension).
+ */
+void clipSearchColumnGroups(Matrix &w, size_t group, int qmax);
+
+/** The 3-sigma outlier threshold of a span (mean + 3 * stddev of |v|...).
+ *
+ * Following the paper (Section 3.2) outliers are weights whose magnitude
+ * deviates from the mean by more than three standard deviations.
+ */
+double threeSigmaThreshold(const double *values, size_t n);
+
+} // namespace msq
+
+#endif // MSQ_QUANT_QUANT_UTIL_H

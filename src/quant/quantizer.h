@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Common interface for all weight quantizers (MicroScopiQ and the
+ * baselines it is compared against).
+ *
+ * Layout convention used across the repository: a layer's weights are a
+ * matrix W[k][o] where k (rows) is the reduction/input dimension and o
+ * (columns) is the output-channel dimension. Calibration activations are
+ * X[k][n] (one column per calibration token). The layer computes
+ * Y = W^T X. Quantization groups are contiguous runs along o within one
+ * k-row, matching the MicroScopiQ macro/micro-block definition and the
+ * accelerator's row mapping (see DESIGN.md "Interpretation notes").
+ */
+
+#ifndef MSQ_QUANT_QUANTIZER_H
+#define MSQ_QUANT_QUANTIZER_H
+
+#include <memory>
+#include <string>
+
+#include "common/matrix.h"
+
+namespace msq {
+
+/** Output of a weight quantizer. */
+struct QuantResult
+{
+    Matrix dequant;          ///< dequantized weights, same shape as input
+    double ebw = 0.0;        ///< effective bits per element incl. metadata
+    std::string method;      ///< method name for reporting
+};
+
+/** Abstract weight quantizer. */
+class WeightQuantizer
+{
+  public:
+    virtual ~WeightQuantizer() = default;
+
+    /** Method name for tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Quantize a layer.
+     *
+     * @param w Weights W[k][o].
+     * @param calib Calibration activations X[k][n]; methods that do not
+     *              use calibration data ignore it.
+     */
+    virtual QuantResult quantize(const Matrix &w, const Matrix &calib) = 0;
+};
+
+using QuantizerPtr = std::unique_ptr<WeightQuantizer>;
+
+} // namespace msq
+
+#endif // MSQ_QUANT_QUANTIZER_H

@@ -1,0 +1,50 @@
+#include "quant/rtn.h"
+
+#include <algorithm>
+
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+RtnQuantizer::RtnQuantizer(unsigned bits, size_t group_size)
+    : bits_(bits), groupSize_(group_size)
+{
+}
+
+std::string
+RtnQuantizer::name() const
+{
+    return "RTN-W" + std::to_string(bits_);
+}
+
+QuantResult
+RtnQuantizer::quantize(const Matrix &w, const Matrix &calib)
+{
+    (void)calib;
+    QuantResult res;
+    res.method = name();
+    res.dequant = w;
+    const int qmax = intQMax(bits_);
+
+    if (groupSize_ == 0) {
+        // Per-tensor: a single scale for the whole matrix (the paper's
+        // "INT-b scalar quantization" ablation stage).
+        symQuantSpan(res.dequant.data(), res.dequant.size(), qmax);
+        res.ebw = bits_;
+        return res;
+    }
+
+    for (size_t r = 0; r < w.rows(); ++r) {
+        double *row = res.dequant.rowPtr(r);
+        for (size_t c0 = 0; c0 < w.cols(); c0 += groupSize_) {
+            const size_t n = std::min(groupSize_, w.cols() - c0);
+            symQuantSpan(row + c0, n, qmax);
+        }
+    }
+    // Metadata: one 16-bit scale per group.
+    res.ebw = bits_ + 16.0 / static_cast<double>(groupSize_);
+    return res;
+}
+
+} // namespace msq

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Round-to-nearest (RTN) group quantization baseline: the simplest PTQ
+ * method, no calibration, no outlier handling. Groups of `groupSize`
+ * contiguous elements along the output dimension share a real-valued
+ * symmetric scale.
+ */
+
+#ifndef MSQ_QUANT_RTN_H
+#define MSQ_QUANT_RTN_H
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** Plain symmetric group RTN quantizer. */
+class RtnQuantizer : public WeightQuantizer
+{
+  public:
+    /**
+     * @param bits element bit width (>= 2)
+     * @param group_size elements sharing one scale (0 = per-tensor)
+     */
+    explicit RtnQuantizer(unsigned bits, size_t group_size = 128);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+  private:
+    unsigned bits_;
+    size_t groupSize_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_RTN_H

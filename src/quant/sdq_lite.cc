@@ -1,0 +1,99 @@
+#include "quant/sdq_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+SdqLite::SdqLite(unsigned bits, size_t pattern_n, size_t pattern_m,
+                 size_t group_size)
+    : bits_(bits), patternN_(pattern_n), patternM_(pattern_m),
+      groupSize_(group_size)
+{
+}
+
+std::string
+SdqLite::name() const
+{
+    return "SDQ-W" + std::to_string(bits_);
+}
+
+QuantResult
+SdqLite::quantize(const Matrix &w, const Matrix &calib)
+{
+    (void)calib;
+    QuantResult res;
+    res.method = name();
+    res.dequant = w;
+    const int qmax_in = intQMax(bits_);
+    const int qmax_out = intQMax(bits_ * 2);
+    const size_t group = groupSize_ == 0 ? w.cols() : groupSize_;
+
+    for (size_t r = 0; r < w.rows(); ++r) {
+        double *row = res.dequant.rowPtr(r);
+        for (size_t g0 = 0; g0 < w.cols(); g0 += group) {
+            const size_t gn = std::min(group, w.cols() - g0);
+            double *span = row + g0;
+
+            // Split each M-length pattern window: the top-N magnitudes
+            // go to the outlier vector, everything else to the inlier
+            // vector. Both vectors share group scales over the span.
+            std::vector<bool> is_outlier(gn, false);
+            for (size_t p0 = 0; p0 < gn; p0 += patternM_) {
+                const size_t pn = std::min(patternM_, gn - p0);
+                std::vector<size_t> idx(pn);
+                std::iota(idx.begin(), idx.end(), 0);
+                std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+                    return std::fabs(span[p0 + a]) > std::fabs(span[p0 + b]);
+                });
+                // Only mark the top-N as outliers *if* they exceed the
+                // 3-sigma threshold; a pattern slot is not wasted on an
+                // ordinary value.
+                const double thr = threeSigmaThreshold(span, gn);
+                for (size_t i = 0; i < std::min(patternN_, pn); ++i) {
+                    if (std::fabs(span[p0 + idx[i]]) > thr)
+                        is_outlier[p0 + idx[i]] = true;
+                }
+            }
+
+            // Rigid N:M: the inlier scale derives from the true inlier
+            // population (below the 3-sigma threshold). Outliers that
+            // did not fit the pattern stay in the inlier plane and are
+            // *clipped* to its range — the adaptability gap the paper
+            // contrasts MicroScopiQ's flexible pruning against.
+            const double thr = threeSigmaThreshold(span, gn);
+            double in_max = 0.0, out_max = 0.0;
+            for (size_t i = 0; i < gn; ++i) {
+                if (is_outlier[i])
+                    out_max = std::max(out_max, std::fabs(span[i]));
+                else if (std::fabs(span[i]) <= thr)
+                    in_max = std::max(in_max, std::fabs(span[i]));
+            }
+            const double in_scale = symScale(in_max, qmax_in);
+            const double out_scale = symScale(out_max, qmax_out);
+            for (size_t i = 0; i < gn; ++i) {
+                if (is_outlier[i])
+                    span[i] = symQuantValue(span[i], out_scale, qmax_out);
+                else
+                    span[i] = symQuantValue(span[i], in_scale, qmax_in);
+            }
+        }
+    }
+
+    // EBW: inlier plane at base bits, sparse outlier plane at 2x bits for
+    // N of every M slots plus an index per outlier (log2 M bits), plus
+    // two scales per group.
+    const double out_frac =
+        static_cast<double>(patternN_) / static_cast<double>(patternM_);
+    const double idx_bits = std::ceil(std::log2(static_cast<double>(patternM_)));
+    res.ebw = bits_ + out_frac * (bits_ * 2 + idx_bits) +
+              32.0 / static_cast<double>(group);
+    return res;
+}
+
+} // namespace msq

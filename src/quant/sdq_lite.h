@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SDQ-lite baseline: sparse decomposed quantization. SDQ splits the
+ * weight tensor into an inlier vector at base precision plus a sparse
+ * outlier vector restricted to a fixed N:M structured pattern at higher
+ * precision. The rigid N:M constraint is the property the MicroScopiQ
+ * paper contrasts against: when a group holds more outliers than the
+ * pattern admits, the excess outliers collapse into the low-precision
+ * inlier path.
+ */
+
+#ifndef MSQ_QUANT_SDQ_LITE_H
+#define MSQ_QUANT_SDQ_LITE_H
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/** SDQ-style N:M decomposed quantizer. */
+class SdqLite : public WeightQuantizer
+{
+  public:
+    /**
+     * @param bits base (inlier) bit width; outliers use 2x
+     * @param pattern_n outliers admitted per pattern_m elements
+     * @param pattern_m structured pattern length
+     * @param group_size scale-sharing group size
+     */
+    SdqLite(unsigned bits, size_t pattern_n = 1, size_t pattern_m = 8,
+            size_t group_size = 128);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+  private:
+    unsigned bits_;
+    size_t patternN_;
+    size_t patternM_;
+    size_t groupSize_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_SDQ_LITE_H

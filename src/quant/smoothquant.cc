@@ -1,0 +1,97 @@
+#include "quant/smoothquant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "mx/mx_int.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+
+std::vector<double>
+migrationScales(const Matrix &w, const Matrix &calib, double alpha)
+{
+    const size_t k = w.rows();
+    std::vector<double> scales(k, 1.0);
+    for (size_t r = 0; r < k; ++r) {
+        double amax = 0.0;
+        if (!calib.empty() && calib.rows() == k) {
+            for (size_t t = 0; t < calib.cols(); ++t)
+                amax = std::max(amax, std::fabs(calib(r, t)));
+        }
+        double wmax = 0.0;
+        for (size_t c = 0; c < w.cols(); ++c)
+            wmax = std::max(wmax, std::fabs(w(r, c)));
+        const double num = std::pow(std::max(amax, 1e-8), alpha);
+        const double den = std::pow(std::max(wmax, 1e-8), 1.0 - alpha);
+        scales[r] = std::max(num / den, 1e-6);
+    }
+    return scales;
+}
+
+void
+migrateWeights(Matrix &w, const std::vector<double> &scales)
+{
+    MSQ_ASSERT(scales.size() == w.rows(), "migration scale count mismatch");
+    for (size_t r = 0; r < w.rows(); ++r) {
+        double *row = w.rowPtr(r);
+        for (size_t c = 0; c < w.cols(); ++c)
+            row[c] *= scales[r];
+    }
+}
+
+void
+migrateActivations(Matrix &x, const std::vector<double> &scales)
+{
+    MSQ_ASSERT(scales.size() == x.rows(), "migration scale count mismatch");
+    for (size_t r = 0; r < x.rows(); ++r) {
+        double *row = x.rowPtr(r);
+        for (size_t t = 0; t < x.cols(); ++t)
+            row[t] /= scales[r];
+    }
+}
+
+SmoothQuantQuantizer::SmoothQuantQuantizer(unsigned bits, double alpha,
+                                           size_t group_size)
+    : bits_(bits), alpha_(alpha), groupSize_(group_size)
+{
+}
+
+std::string
+SmoothQuantQuantizer::name() const
+{
+    return "SmoothQuant-W" + std::to_string(bits_);
+}
+
+QuantResult
+SmoothQuantQuantizer::quantize(const Matrix &w, const Matrix &calib)
+{
+    QuantResult res;
+    res.method = name();
+    const int qmax = intQMax(bits_);
+    const size_t group = groupSize_ == 0 ? w.cols() : groupSize_;
+
+    const std::vector<double> scales = migrationScales(w, calib, alpha_);
+    Matrix scaled = w;
+    migrateWeights(scaled, scales);
+
+    // Groups along the reduction dimension: migration makes the scaled
+    // weight rows harder to quantize, the cost SmoothQuant trades for
+    // easier activations.
+    symQuantColumnGroups(scaled, group, qmax);
+
+    // Fold the inverse migration back so the result is a drop-in
+    // replacement for the original weights.
+    for (size_t r = 0; r < scaled.rows(); ++r) {
+        double *row = scaled.rowPtr(r);
+        for (size_t c = 0; c < scaled.cols(); ++c)
+            row[c] /= scales[r];
+    }
+
+    res.dequant = std::move(scaled);
+    res.ebw = bits_ + 16.0 / static_cast<double>(group);
+    return res;
+}
+
+} // namespace msq

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SmoothQuant-style activation-difficulty migration. For weight +
+ * activation quantization, per-input-channel scales
+ *   s_k = (max |x_k|)^alpha / (max |W_k,:|)^(1-alpha)
+ * move activation outliers into the weights: x'_k = x_k / s_k and
+ * W'_k,: = W_k,: * s_k, leaving the layer output unchanged. The paper
+ * borrows this migration (Section 7.2) with alpha up to 0.7 for
+ * MicroScopiQ and 0.5 for the SmoothQuant baseline itself.
+ */
+
+#ifndef MSQ_QUANT_SMOOTHQUANT_H
+#define MSQ_QUANT_SMOOTHQUANT_H
+
+#include <vector>
+
+#include "quant/quantizer.h"
+
+namespace msq {
+
+/**
+ * Compute the per-input-channel migration scales for strength alpha.
+ * Scales are clamped away from zero for numerical safety.
+ */
+std::vector<double> migrationScales(const Matrix &w, const Matrix &calib,
+                                    double alpha);
+
+/** Apply migration: w_k,: *= s_k (in place). */
+void migrateWeights(Matrix &w, const std::vector<double> &scales);
+
+/** Apply the inverse migration to activations: x_k,: /= s_k (in place). */
+void migrateActivations(Matrix &x, const std::vector<double> &scales);
+
+/**
+ * SmoothQuant baseline: migrate difficulty at fixed alpha, then group-RTN
+ * quantize weights; the returned dequantized weights already fold the
+ * inverse scaling back, so downstream evaluation uses them verbatim with
+ * unscaled activations.
+ */
+class SmoothQuantQuantizer : public WeightQuantizer
+{
+  public:
+    SmoothQuantQuantizer(unsigned bits, double alpha = 0.5,
+                         size_t group_size = 128);
+
+    std::string name() const override;
+    QuantResult quantize(const Matrix &w, const Matrix &calib) override;
+
+  private:
+    unsigned bits_;
+    double alpha_;
+    size_t groupSize_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_SMOOTHQUANT_H

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the baseline quantizers: RTN, AWQ, SmoothQuant migration,
+ * OmniQuant-lite clipping, Atom-lite mixed precision, SDQ-lite N:M
+ * decomposition, OliVe outlier-victim pairs, GOBO centroids, activation
+ * and KV-cache quantization. Each test pins the distinctive behaviour
+ * of the method (the property the paper's comparison hinges on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quant/act_quant.h"
+#include "quant/atom_lite.h"
+#include "quant/awq.h"
+#include "quant/gobo.h"
+#include "quant/kv_cache.h"
+#include "quant/olive.h"
+#include "quant/omniquant_lite.h"
+#include "quant/quant_util.h"
+#include "quant/rtn.h"
+#include "quant/sdq_lite.h"
+#include "quant/smoothquant.h"
+
+namespace msq {
+namespace {
+
+Matrix
+gaussianWeights(size_t k, size_t o, Rng &rng, double sigma = 0.05)
+{
+    Matrix m(k, o);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < o; ++c)
+            m(r, c) = rng.gaussian(0.0, sigma);
+    return m;
+}
+
+TEST(QuantUtil, SymQuantClipsAndRounds)
+{
+    EXPECT_DOUBLE_EQ(symQuantValue(0.26, 0.1, 7), 0.3);
+    EXPECT_DOUBLE_EQ(symQuantValue(5.0, 0.1, 7), 0.7);
+    EXPECT_DOUBLE_EQ(symQuantValue(-5.0, 0.1, 7), -0.7);
+}
+
+TEST(QuantUtil, ThreeSigma)
+{
+    std::vector<double> v(1000, 0.0);
+    Rng rng(1);
+    for (double &x : v)
+        x = rng.gaussian();
+    const double thr = threeSigmaThreshold(v.data(), v.size());
+    EXPECT_NEAR(thr, 3.0, 0.3);
+}
+
+TEST(Rtn, ExactForRepresentableValues)
+{
+    Matrix w(1, 4);
+    w(0, 0) = 1.0;
+    w(0, 1) = -0.5;
+    w(0, 2) = 0.25;
+    w(0, 3) = 0.0;
+    // 8-bit quantization of 4 values scaled by 1/127: sub-0.5% error.
+    RtnQuantizer q(8, 0);
+    const QuantResult res = q.quantize(w, Matrix());
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_NEAR(res.dequant(0, c), w(0, c), 0.005);
+}
+
+TEST(Rtn, EbwAccountsGroupScale)
+{
+    RtnQuantizer q(4, 128);
+    Rng rng(3);
+    const Matrix w = gaussianWeights(8, 256, rng);
+    const QuantResult res = q.quantize(w, Matrix());
+    EXPECT_DOUBLE_EQ(res.ebw, 4.0 + 16.0 / 128.0);
+}
+
+TEST(Awq, ProtectsSalientChannels)
+{
+    // Construct a layer where channel 0 sees huge activations. AWQ
+    // should quantize channel 0's weights more accurately than RTN.
+    Rng rng(4);
+    const size_t k = 32, o = 64;
+    Matrix w = gaussianWeights(k, o, rng, 0.05);
+    Matrix x(k, 64);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t t = 0; t < 64; ++t)
+            x(r, t) = rng.gaussian(0.0, r == 0 ? 50.0 : 1.0);
+
+    AwqQuantizer awq(3, 32);
+    RtnQuantizer rtn(3, 32);
+    const QuantResult qa = awq.quantize(w, x);
+    const QuantResult qr = rtn.quantize(w, x);
+
+    double awq_err = 0.0, rtn_err = 0.0;
+    for (size_t c = 0; c < o; ++c) {
+        awq_err += std::pow(qa.dequant(0, c) - w(0, c), 2);
+        rtn_err += std::pow(qr.dequant(0, c) - w(0, c), 2);
+    }
+    EXPECT_LT(awq_err, rtn_err);
+}
+
+TEST(SmoothQuant, MigrationIsExactInRealArithmetic)
+{
+    Rng rng(5);
+    const Matrix w = gaussianWeights(16, 8, rng);
+    Matrix x = gaussianWeights(16, 32, rng, 1.0);
+    const Matrix ref = w.transposedMatmul(x);
+
+    const std::vector<double> s = migrationScales(w, x, 0.5);
+    Matrix wm = w;
+    Matrix xm = x;
+    migrateWeights(wm, s);
+    migrateActivations(xm, s);
+    const Matrix out = wm.transposedMatmul(xm);
+    EXPECT_LT(out.normalizedErrorTo(ref), 1e-20);
+}
+
+TEST(SmoothQuant, ReducesActivationRange)
+{
+    // With alpha=1 all activation magnitude moves into the weights.
+    Rng rng(6);
+    const Matrix w = gaussianWeights(16, 8, rng);
+    Matrix x(16, 32);
+    for (size_t r = 0; r < 16; ++r)
+        for (size_t t = 0; t < 32; ++t)
+            x(r, t) = rng.gaussian(0.0, r == 0 ? 100.0 : 1.0);
+
+    const std::vector<double> s = migrationScales(w, x, 1.0);
+    Matrix xm = x;
+    migrateActivations(xm, s);
+    double max0 = 0.0;
+    for (size_t t = 0; t < 32; ++t)
+        max0 = std::max(max0, std::fabs(xm(0, t)));
+    // At alpha=1 each channel is normalized to max-magnitude 1.
+    EXPECT_LE(max0, 1.0 + 1e-12);
+    EXPECT_GT(max0, 0.5);
+}
+
+TEST(OmniQuantLite, ClippingNeverWorseThanPlain)
+{
+    Rng rng(7);
+    // Heavy-tailed span: clipping should strictly help at 2 bits.
+    std::vector<double> v(256);
+    for (double &x : v)
+        x = rng.studentT(3.0) * 0.05;
+
+    std::vector<double> plain = v;
+    symQuantSpan(plain.data(), plain.size(), 1);
+    const double err_plain = spanMse(plain.data(), v.data(), v.size());
+
+    std::vector<double> clipped(v.size());
+    OmniQuantLite::searchClipRatio(v.data(), v.size(), 1, clipped.data());
+    const double err_clip = spanMse(clipped.data(), v.data(), v.size());
+    EXPECT_LE(err_clip, err_plain + 1e-18);
+}
+
+TEST(AtomLite, OutlierChannelsKeepHighPrecision)
+{
+    Rng rng(8);
+    const size_t k = 64, o = 64;
+    Matrix w = gaussianWeights(k, o, rng, 0.05);
+    Matrix x(k, 32);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t t = 0; t < 32; ++t)
+            x(r, t) = rng.gaussian(0.0, r < 4 ? 40.0 : 1.0);
+
+    AtomLite atom(2, 64, 4);
+    const QuantResult res = atom.quantize(w, x);
+    // The four salient channels were quantized at 8 bits: tiny error.
+    for (size_t r = 0; r < 4; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            EXPECT_NEAR(res.dequant(r, c), w(r, c),
+                        0.02 * 0.05 * 10 + 1e-6);
+        }
+    }
+    EXPECT_GT(res.ebw, 2.0);
+    EXPECT_LT(res.ebw, 4.0);
+}
+
+TEST(SdqLite, RigidPatternHurtsWhenOutliersCluster)
+{
+    // A group with more outliers than the N:M pattern admits leaves the
+    // excess in the low-precision inlier plane and inflates its scale.
+    // A more permissive pattern (4:8) must reconstruct strictly better —
+    // the flexibility gap the paper contrasts MicroScopiQ against.
+    Matrix w(1, 64, 0.01);
+    w(0, 0) = 1.0;
+    w(0, 2) = -1.1;
+    w(0, 4) = 0.9;
+    w(0, 6) = -1.0;
+
+    SdqLite rigid(2, 1, 8, 64);
+    SdqLite permissive(2, 4, 8, 64);
+    const double err_rigid =
+        rigid.quantize(w, Matrix()).dequant.normalizedErrorTo(w);
+    const double err_perm =
+        permissive.quantize(w, Matrix()).dequant.normalizedErrorTo(w);
+    EXPECT_LT(err_perm, err_rigid);
+}
+
+TEST(Olive, AbfloatPowersOfTwo)
+{
+    EXPECT_DOUBLE_EQ(OliveQuantizer::abfloatRoundTrip(5.0, 4, 1.0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(OliveQuantizer::abfloatRoundTrip(6.0, 4, 1.0, 0), 8.0);
+    EXPECT_DOUBLE_EQ(OliveQuantizer::abfloatRoundTrip(-3.0, 4, 1.0, 0), -4.0);
+    EXPECT_DOUBLE_EQ(OliveQuantizer::abfloatRoundTrip(0.0, 4, 1.0, 0), 0.0);
+    // Saturates at 2^(levels-1).
+    EXPECT_DOUBLE_EQ(OliveQuantizer::abfloatRoundTrip(1e6, 4, 1.0, 0),
+                     64.0);
+}
+
+TEST(Olive, VictimPruning)
+{
+    // One isolated outlier: its neighbour is zeroed, outlier preserved
+    // in magnitude order.
+    Matrix w(1, 128, 0.01);
+    for (size_t c = 0; c < 128; ++c)
+        w(0, c) = 0.01 * ((c % 3) == 0 ? 1 : -1);
+    w(0, 64) = 1.0;  // isolated outlier
+
+    OliveQuantizer olive(4, 128);
+    const QuantResult res = olive.quantize(w, Matrix());
+    EXPECT_DOUBLE_EQ(res.dequant(0, 65), 0.0);        // victim pruned
+    EXPECT_GT(std::fabs(res.dequant(0, 64)), 0.5);    // outlier kept
+}
+
+TEST(Olive, AdjacentOutlierDestroyed)
+{
+    // Two adjacent outliers: the second becomes the victim — the paper's
+    // central criticism of OliVe (Section 3.2).
+    Matrix w(1, 128, 0.01);
+    for (size_t c = 0; c < 128; ++c)
+        w(0, c) = 0.01 * ((c % 2) == 0 ? 1 : -1);
+    w(0, 64) = 1.0;
+    w(0, 65) = -1.2;  // adjacent outlier
+
+    OliveQuantizer olive(4, 128);
+    const QuantResult res = olive.quantize(w, Matrix());
+    EXPECT_GT(std::fabs(res.dequant(0, 64)), 0.5);
+    EXPECT_DOUBLE_EQ(res.dequant(0, 65), 0.0);  // destroyed outlier
+}
+
+TEST(Gobo, OutliersExact)
+{
+    Rng rng(10);
+    Matrix w = gaussianWeights(8, 128, rng, 0.02);
+    w(3, 7) = 0.9;   // far outside 3 sigma
+    w(5, 100) = -1.1;
+
+    GoboQuantizer gobo(3);
+    const QuantResult res = gobo.quantize(w, Matrix());
+    EXPECT_DOUBLE_EQ(res.dequant(3, 7), 0.9);
+    EXPECT_DOUBLE_EQ(res.dequant(5, 100), -1.1);
+    // High EBW is the price (paper Table 1).
+    EXPECT_GT(res.ebw, 3.0);
+}
+
+TEST(Gobo, InliersSnapToCentroids)
+{
+    Rng rng(11);
+    Matrix w = gaussianWeights(4, 256, rng, 0.02);
+    GoboQuantizer gobo(3);
+    const QuantResult res = gobo.quantize(w, Matrix());
+    // At most 8 distinct values among weights that changed (inliers
+    // snapped to centroids); untouched values are exact outliers.
+    std::vector<double> distinct;
+    for (size_t i = 0; i < w.size(); ++i) {
+        const double v = res.dequant.data()[i];
+        if (v == w.data()[i])
+            continue;  // full-precision outlier
+        bool found = false;
+        for (double d : distinct)
+            found |= d == v;
+        if (!found)
+            distinct.push_back(v);
+    }
+    EXPECT_LE(distinct.size(), 8u);
+}
+
+TEST(ActQuant, MxIntPerTokenGroups)
+{
+    Rng rng(12);
+    Matrix x = gaussianWeights(256, 4, rng, 1.0);
+    const Matrix q = quantizeActivationsMxInt(x, 8, 128);
+    EXPECT_LT(q.normalizedErrorTo(x), 1e-3);
+    const Matrix q4 = quantizeActivationsMxInt(x, 4, 128);
+    EXPECT_GT(q4.normalizedErrorTo(x), q.normalizedErrorTo(x));
+}
+
+TEST(ActQuant, PerTokenBaseline)
+{
+    Rng rng(13);
+    Matrix x = gaussianWeights(64, 8, rng, 1.0);
+    const Matrix q = quantizeActivationsPerToken(x, 8);
+    EXPECT_LT(q.normalizedErrorTo(x), 1e-3);
+}
+
+TEST(KvCache, ResidualWindowUntouched)
+{
+    Rng rng(14);
+    Matrix keys = gaussianWeights(16, 256, rng, 1.0);
+    KvCacheConfig cfg;
+    cfg.bits = 2;
+    cfg.residual = 64;
+    const Matrix q = quantizeKeyCache(keys, cfg);
+    // Last 64 tokens are bit-identical.
+    for (size_t ch = 0; ch < 16; ++ch)
+        for (size_t t = 192; t < 256; ++t)
+            EXPECT_DOUBLE_EQ(q(ch, t), keys(ch, t));
+    // Earlier tokens are quantized (changed).
+    double diff = 0.0;
+    for (size_t ch = 0; ch < 16; ++ch)
+        for (size_t t = 0; t < 192; ++t)
+            diff += std::fabs(q(ch, t) - keys(ch, t));
+    EXPECT_GT(diff, 0.0);
+}
+
+TEST(KvCache, ValuePerTokenGrouping)
+{
+    Rng rng(15);
+    Matrix values = gaussianWeights(256, 32, rng, 1.0);
+    KvCacheConfig cfg;
+    cfg.bits = 4;
+    cfg.residual = 8;
+    const Matrix q = quantizeValueCache(values, cfg);
+    EXPECT_LT(q.normalizedErrorTo(values), 0.05);
+}
+
+} // namespace
+} // namespace msq

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the transformer-block decode simulation: workload
+ * expansion (projections + attention GEMVs), KV-cache contribution
+ * scaling with context length, and power-breakdown sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/block_sim.h"
+
+namespace msq {
+namespace {
+
+TEST(BlockSim, WorkloadExpansion)
+{
+    const ModelProfile &model = modelByName("LLaMA2-7B");
+    DecodeStep step;
+    step.batch = 2;
+    step.contextLength = 1024;
+    const std::vector<Workload> wls = blockWorkloads(model, step);
+    ASSERT_EQ(wls.size(), 6u);  // 4 projections + 2 attention GEMVs
+
+    const size_t d = model.realHidden;
+    EXPECT_EQ(wls[0].reduction, d);
+    EXPECT_EQ(wls[0].outputs, d + d / 2);  // fused QKV
+    EXPECT_EQ(wls[2].outputs, 4 * d);      // MLP up
+    EXPECT_EQ(wls[3].reduction, 4 * d);    // MLP down
+    // Attention workloads carry no MicroScopiQ outlier metadata.
+    EXPECT_DOUBLE_EQ(wls[4].microOutlierFrac, 0.0);
+    EXPECT_EQ(wls[4].outputs, step.contextLength);
+    EXPECT_EQ(wls[5].reduction, step.contextLength);
+}
+
+TEST(BlockSim, LongerContextCostsMore)
+{
+    const ModelProfile &model = modelByName("LLaMA2-7B");
+    AccelConfig cfg;
+    DecodeStep short_ctx;
+    short_ctx.contextLength = 512;
+    DecodeStep long_ctx;
+    long_ctx.contextLength = 8192;
+    Rng r1(1), r2(1);
+    const BlockSimResult a = simulateDecode(cfg, model, short_ctx, r1);
+    const BlockSimResult b = simulateDecode(cfg, model, long_ctx, r2);
+    EXPECT_GT(b.perBlock.totalCycles, a.perBlock.totalCycles);
+    EXPECT_GT(b.energy.total(), a.energy.total());
+}
+
+TEST(BlockSim, ModelCyclesScaleWithDepth)
+{
+    const ModelProfile &model = modelByName("LLaMA2-7B");
+    AccelConfig cfg;
+    DecodeStep step;
+    Rng rng(2);
+    const BlockSimResult res = simulateDecode(cfg, model, step, rng);
+    EXPECT_NEAR(res.modelCycles,
+                static_cast<double>(res.perBlock.totalCycles) *
+                    static_cast<double>(model.realLayers),
+                1.0);
+}
+
+TEST(BlockSim, PowerSharesSumBelowHundred)
+{
+    const ModelProfile &model = modelByName("VILA-7B");
+    AccelConfig cfg;
+    cfg.reconUnits = 8;
+    DecodeStep step;
+    step.batch = 16;
+    Rng rng(3);
+    const BlockSimResult res = simulateDecode(cfg, model, step, rng);
+    EXPECT_GT(res.pePercent, 0.0);
+    EXPECT_GT(res.memoryPercent, 0.0);
+    EXPECT_GE(res.reconPercent, 0.0);
+    EXPECT_LE(res.pePercent + res.memoryPercent + res.reconPercent,
+              100.0 + 1e-9);
+}
+
+TEST(BlockSim, KvBitsAffectAttentionTraffic)
+{
+    const ModelProfile &model = modelByName("LLaMA2-7B");
+    AccelConfig cfg;
+    DecodeStep kv8;
+    kv8.kvBits = 8;
+    DecodeStep kv4;
+    kv4.kvBits = 4;
+    Rng r1(4), r2(4);
+    const BlockSimResult a = simulateDecode(cfg, model, kv8, r1);
+    const BlockSimResult b = simulateDecode(cfg, model, kv4, r2);
+    // Lower KV precision moves fewer bytes.
+    EXPECT_LT(b.perBlock.traffic.dramBytes, a.perBlock.traffic.dramBytes);
+}
+
+} // namespace
+} // namespace msq

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism and distribution
+ * sanity, matrix algebra, statistics, bit-stream round trips, and the
+ * table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitstream.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace msq {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(123);
+    std::vector<double> xs(50000);
+    for (double &x : xs)
+        x = rng.gaussian();
+    const SampleSummary s = summarize(xs);
+    EXPECT_NEAR(s.mean, 0.0, 0.03);
+    EXPECT_NEAR(s.stddev, 1.0, 0.03);
+    EXPECT_NEAR(s.kurtosis, 0.0, 0.15);
+}
+
+TEST(Rng, StudentTHeavyTails)
+{
+    Rng rng(5);
+    std::vector<double> xs(50000);
+    for (double &x : xs)
+        x = rng.studentT(5.0);
+    // Excess kurtosis of t(5) is 6; sampling noise is large, so just
+    // check it is clearly heavier-tailed than a Gaussian.
+    EXPECT_GT(summarize(xs).kurtosis, 1.0);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(9);
+    const auto idx = rng.sampleWithoutReplacement(100, 40);
+    EXPECT_EQ(idx.size(), 40u);
+    std::set<size_t> unique(idx.begin(), idx.end());
+    EXPECT_EQ(unique.size(), 40u);
+    for (size_t i : idx)
+        EXPECT_LT(i, 100u);
+}
+
+TEST(Matrix, MatmulIdentity)
+{
+    Matrix a(3, 3);
+    for (size_t i = 0; i < 3; ++i)
+        a(i, i) = 1.0;
+    Matrix b(3, 2);
+    b(0, 0) = 1;
+    b(1, 1) = 2;
+    b(2, 0) = 3;
+    const Matrix c = a.matmul(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 2.0);
+    EXPECT_DOUBLE_EQ(c(2, 0), 3.0);
+}
+
+TEST(Matrix, TransposedMatmulAgrees)
+{
+    Rng rng(11);
+    Matrix a(4, 5), b(4, 3);
+    for (size_t r = 0; r < 4; ++r) {
+        for (size_t c = 0; c < 5; ++c)
+            a(r, c) = rng.gaussian();
+        for (size_t c = 0; c < 3; ++c)
+            b(r, c) = rng.gaussian();
+    }
+    const Matrix direct = a.transposed().matmul(b);
+    const Matrix fused = a.transposedMatmul(b);
+    for (size_t r = 0; r < 5; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_NEAR(direct(r, c), fused(r, c), 1e-12);
+}
+
+TEST(Matrix, CholeskyInverseRecoversIdentity)
+{
+    Rng rng(3);
+    const size_t n = 16;
+    // Build an SPD matrix A = B B^T + n I.
+    Matrix b(n, n);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            b(r, c) = rng.gaussian();
+    Matrix a = b.matmul(b.transposed());
+    for (size_t i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+
+    const Matrix inv = choleskyInverse(a);
+    const Matrix prod = a.matmul(inv);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < n; ++c)
+            EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-8);
+}
+
+TEST(Matrix, NormalizedError)
+{
+    Matrix ref(2, 2);
+    ref(0, 0) = 2.0;
+    Matrix same = ref;
+    EXPECT_DOUBLE_EQ(same.normalizedErrorTo(ref), 0.0);
+    Matrix off = ref;
+    off(0, 0) = 0.0;
+    EXPECT_DOUBLE_EQ(off.normalizedErrorTo(ref), 1.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> v = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, GeomeanKnown)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, HistogramBinning)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(100.0);  // clamped into the last bin
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(BitStream, RoundTripMixedWidths)
+{
+    BitWriter w;
+    w.write(0b101, 3);
+    w.write(0xdeadbeef, 32);
+    w.write(1, 1);
+    w.write(0x3f, 6);
+    EXPECT_EQ(w.bitCount(), 42u);
+    const auto bytes = w.take();
+
+    BitReader r(bytes);
+    EXPECT_EQ(r.read(3), 0b101u);
+    EXPECT_EQ(r.read(32), 0xdeadbeefu);
+    EXPECT_EQ(r.read(1), 1u);
+    EXPECT_EQ(r.read(6), 0x3fu);
+}
+
+TEST(BitStream, SignExtend)
+{
+    EXPECT_EQ(signExtend(0b11, 2), -1);
+    EXPECT_EQ(signExtend(0b10, 2), -2);
+    EXPECT_EQ(signExtend(0b01, 2), 1);
+    EXPECT_EQ(signExtend(0b0111, 4), 7);
+    EXPECT_EQ(signExtend(0b1000, 4), -8);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("Demo");
+    t.setHeader({"a", "long_header"});
+    t.addRow({"1", "2"});
+    t.addSeparator();
+    t.addRow({"333", "4"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("long_header"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmtInt(1234567), "1,234,567");
+    EXPECT_EQ(Table::fmtInt(-1000), "-1,000");
+}
+
+} // namespace
+} // namespace msq

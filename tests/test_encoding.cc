@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the outlier Upper/Lower half encoding (paper Section 4.3):
+ * exhaustive split/merge round trips for both element formats and the
+ * sign-magnitude integer views the PE array computes with.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/encoding.h"
+#include "mx/fp_codec.h"
+
+namespace msq {
+namespace {
+
+TEST(Encoding, HalfWidths)
+{
+    EXPECT_EQ(upperMantissaBits(2), 1u);
+    EXPECT_EQ(lowerMantissaBits(2), 1u);
+    EXPECT_EQ(upperMantissaBits(4), 2u);
+    EXPECT_EQ(lowerMantissaBits(4), 2u);
+    EXPECT_EQ(upperMantissaBits(3), 2u);
+    EXPECT_EQ(lowerMantissaBits(3), 1u);
+}
+
+TEST(Encoding, PaperExampleSplit)
+{
+    // Fig. 8: outlier 01.10b (1.5 with hidden bit), sign 0, mantissa 10b.
+    // Upper = {s, m1} = 01b, Lower = {s, m0} = 00b.
+    const OutlierHalves halves = splitOutlier(0, 0b10, 2, 2);
+    EXPECT_EQ(halves.upper, 0b01);
+    EXPECT_EQ(halves.lower, 0b00);
+    EXPECT_EQ(upperHalfInt(halves, 2, 2), 1);
+    EXPECT_EQ(lowerHalfInt(halves, 2, 2), 0);
+}
+
+TEST(Encoding, NegativeSignPropagatesToBothHalves)
+{
+    const OutlierHalves halves = splitOutlier(1, 0b11, 2, 2);
+    EXPECT_EQ(halves.upper, 0b11);
+    EXPECT_EQ(halves.lower, 0b11);
+    EXPECT_EQ(upperHalfInt(halves, 2, 2), -1);
+    EXPECT_EQ(lowerHalfInt(halves, 2, 2), -1);
+}
+
+TEST(Encoding, RoundTripE1m2)
+{
+    for (uint8_t sign = 0; sign <= 1; ++sign) {
+        for (uint16_t m = 0; m < 4; ++m) {
+            const OutlierHalves halves = splitOutlier(sign, m, 2, 2);
+            uint8_t s2 = 0;
+            uint16_t m2 = 0;
+            mergeOutlier(halves, 2, 2, s2, m2);
+            EXPECT_EQ(s2, sign);
+            EXPECT_EQ(m2, m);
+        }
+    }
+}
+
+TEST(Encoding, RoundTripE3m4)
+{
+    // bb = 4, mantissa 4 bits: halves carry sign + 2 bits each.
+    for (uint8_t sign = 0; sign <= 1; ++sign) {
+        for (uint16_t m = 0; m < 16; ++m) {
+            const OutlierHalves halves = splitOutlier(sign, m, 4, 4);
+            uint8_t s2 = 0;
+            uint16_t m2 = 0;
+            mergeOutlier(halves, 4, 4, s2, m2);
+            EXPECT_EQ(s2, sign);
+            EXPECT_EQ(m2, m);
+            // Halves must fit the 4-bit element budget.
+            EXPECT_LT(halves.upper, 16);
+            EXPECT_LT(halves.lower, 16);
+        }
+    }
+}
+
+TEST(Encoding, HalfIntMagnitudes)
+{
+    // bb=4, mbits=4: mantissa 0b1101 -> hi=0b11 (3), lo=0b01 (1).
+    const OutlierHalves halves = splitOutlier(0, 0b1101, 4, 4);
+    EXPECT_EQ(upperHalfInt(halves, 4, 4), 3);
+    EXPECT_EQ(lowerHalfInt(halves, 4, 4), 1);
+    const OutlierHalves neg = splitOutlier(1, 0b1101, 4, 4);
+    EXPECT_EQ(upperHalfInt(neg, 4, 4), -3);
+    EXPECT_EQ(lowerHalfInt(neg, 4, 4), -1);
+}
+
+TEST(Encoding, ReconstructionIdentity)
+{
+    // The halves, interpreted as integers and recombined with the shift
+    // amounts ReCoN uses, reproduce the mantissa value:
+    // upper * 2^lo_bits + lower == mantissa (signed).
+    for (uint8_t sign = 0; sign <= 1; ++sign) {
+        for (uint16_t m = 0; m < 16; ++m) {
+            const OutlierHalves halves = splitOutlier(sign, m, 4, 4);
+            const int u = upperHalfInt(halves, 4, 4);
+            const int l = lowerHalfInt(halves, 4, 4);
+            const int expected = sign ? -static_cast<int>(m)
+                                      : static_cast<int>(m);
+            EXPECT_EQ(u * 4 + l, expected);
+        }
+    }
+}
+
+} // namespace
+} // namespace msq

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the small-FP element codec: exact code tables for e1m2,
+ * round-trip through pack/unpack, monotonicity, and saturation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mx/fp_codec.h"
+
+namespace msq {
+namespace {
+
+TEST(FpFormat, Names)
+{
+    EXPECT_EQ(FpFormat::e1m2().name(), "e1m2");
+    EXPECT_EQ(FpFormat::e3m4().name(), "e3m4");
+    EXPECT_EQ(FpFormat::e1m2().totalBits(), 4u);
+    EXPECT_EQ(FpFormat::e3m4().totalBits(), 8u);
+}
+
+TEST(FpFormat, MaxValues)
+{
+    // e1m2 bias 0: max = 1.75 * 2^(1-0) = 3.5
+    EXPECT_DOUBLE_EQ(FpFormat::e1m2().maxValue(), 3.5);
+    // e3m4 bias 3: max = (2 - 1/16) * 2^(7-3) = 31
+    EXPECT_DOUBLE_EQ(FpFormat::e3m4().maxValue(), 31.0);
+    // e2m1 bias 1: max = 1.5 * 2^(3-1) = 6 (the OCP FP4 maximum)
+    EXPECT_DOUBLE_EQ(FpFormat::e2m1().maxValue(), 6.0);
+}
+
+TEST(FpCodec, E1m2ExactValues)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    // Normal codes: 1.m * 2^(1-0) for e=1 -> {2, 2.5, 3, 3.5};
+    // e=0 -> subnormal 0.m * 2^(1-0) -> {0, 0.5, 1.0, 1.5}.
+    EXPECT_DOUBLE_EQ(fpDecode(fmt, 0, 1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(fpDecode(fmt, 0, 1, 1), 2.5);
+    EXPECT_DOUBLE_EQ(fpDecode(fmt, 0, 1, 3), 3.5);
+    EXPECT_DOUBLE_EQ(fpDecode(fmt, 0, 0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(fpDecode(fmt, 0, 0, 1), 0.5);
+    EXPECT_DOUBLE_EQ(fpDecode(fmt, 0, 0, 3), 1.5);
+    EXPECT_DOUBLE_EQ(fpDecode(fmt, 1, 1, 2), -3.0);
+}
+
+TEST(FpCodec, EncodeHitsNearest)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    EXPECT_DOUBLE_EQ(fpRoundTrip(fmt, 2.4), 2.5);
+    EXPECT_DOUBLE_EQ(fpRoundTrip(fmt, 2.1), 2.0);
+    EXPECT_DOUBLE_EQ(fpRoundTrip(fmt, 0.4), 0.5);
+    EXPECT_DOUBLE_EQ(fpRoundTrip(fmt, -1.4), -1.5);
+    EXPECT_DOUBLE_EQ(fpRoundTrip(fmt, 0.0), 0.0);
+}
+
+TEST(FpCodec, Saturates)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    EXPECT_DOUBLE_EQ(fpRoundTrip(fmt, 100.0), 3.5);
+    EXPECT_DOUBLE_EQ(fpRoundTrip(fmt, -100.0), -3.5);
+    const FpFormat big = FpFormat::e3m4();
+    EXPECT_DOUBLE_EQ(fpRoundTrip(big, 1e9), 31.0);
+}
+
+TEST(FpCodec, PackUnpackAllCodes)
+{
+    for (const FpFormat fmt : {FpFormat::e1m2(), FpFormat::e3m4(),
+                               FpFormat::e2m1(), FpFormat::e4m3()}) {
+        const unsigned total = fmt.totalBits();
+        for (uint16_t bits = 0; bits < (1u << total); ++bits) {
+            const FpCode code = fpUnpack(fmt, bits);
+            EXPECT_EQ(fpPack(fmt, code), bits);
+            // Round-tripping the decoded value must reproduce the code's
+            // value (encode of a representable value is exact), modulo
+            // the two zero representations.
+            const FpCode re = fpEncode(fmt, code.value);
+            EXPECT_DOUBLE_EQ(re.value, code.value)
+                << fmt.name() << " code " << bits;
+        }
+    }
+}
+
+TEST(FpCodec, MonotoneOverMagnitudes)
+{
+    const FpFormat fmt = FpFormat::e3m4();
+    double prev = 0.0;
+    for (double v = 0.0; v <= 32.0; v += 0.01) {
+        const double q = fpRoundTrip(fmt, v);
+        EXPECT_GE(q, prev) << "non-monotone at " << v;
+        prev = q;
+    }
+}
+
+TEST(FpCodec, RelativeErrorBounded)
+{
+    const FpFormat fmt = FpFormat::e3m4();
+    // For normal-range magnitudes the relative error of a m-bit mantissa
+    // is at most 2^-(m+1) (half ulp).
+    for (double v = fmt.minNormal(); v < fmt.maxValue(); v *= 1.37) {
+        const double q = fpRoundTrip(fmt, v);
+        EXPECT_LE(std::fabs(q - v) / v, std::ldexp(1.0, -5) + 1e-12);
+    }
+}
+
+} // namespace
+} // namespace msq

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the synthetic model substrate: zoo lookups, weight
+ * generator statistics (outlier and adjacency rates land near the
+ * profile, the Fig. 2a contrast between OPT and LLaMA-3/VLMs),
+ * activation generator properties, proxy metric monotonicity, and the
+ * end-to-end pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/outlier.h"
+#include "model/calib_gen.h"
+#include "model/model_zoo.h"
+#include "model/pipeline.h"
+#include "model/proxy_eval.h"
+#include "model/weight_gen.h"
+#include "quant/rtn.h"
+
+namespace msq {
+namespace {
+
+TEST(ModelZoo, LookupAndRoster)
+{
+    const ModelProfile &m = modelByName("LLaMA3-8B");
+    EXPECT_EQ(m.name, "LLaMA3-8B");
+    EXPECT_EQ(m.kind, ModelKind::Llm);
+    EXPECT_FALSE(m.layers.empty());
+    EXPECT_EQ(table2Models().size(), 10u);
+    EXPECT_GE(allModels().size(), 16u);
+    for (const std::string &name : table2Models())
+        EXPECT_NO_FATAL_FAILURE(modelByName(name));
+}
+
+TEST(WeightGen, OutlierRateMatchesProfile)
+{
+    const ModelProfile &m = modelByName("LLaMA3-8B");
+    const Matrix w = generateLayerWeights(m, 0);
+    const OutlierStats stats = analyzeOutliers(w, 128);
+    // Planted rate 3%; detection re-estimates sigma per macro-block so
+    // allow a generous band.
+    EXPECT_GT(stats.outlierFraction(), 0.015);
+    EXPECT_LT(stats.outlierFraction(), 0.06);
+}
+
+TEST(WeightGen, AdjacencyContrastOptVsLlama3)
+{
+    // The Fig. 2a contrast: OPT has orders of magnitude fewer adjacent
+    // outliers than LLaMA-3 / VLMs.
+    const Matrix w_opt =
+        generateLayerWeights(modelByName("OPT-6.7B"), 0);
+    const Matrix w_l3 =
+        generateLayerWeights(modelByName("LLaMA3-8B"), 0);
+    const double adj_opt = analyzeOutliers(w_opt, 128).adjacentFraction();
+    const double adj_l3 = analyzeOutliers(w_l3, 128).adjacentFraction();
+    EXPECT_LT(adj_opt, adj_l3 / 5.0);
+    EXPECT_GT(adj_l3, 0.004);
+}
+
+TEST(WeightGen, Deterministic)
+{
+    const ModelProfile &m = modelByName("LLaMA2-7B");
+    const Matrix a = generateLayerWeights(m, 1);
+    const Matrix b = generateLayerWeights(m, 1);
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(CalibGen, ShapesAndDisjointSeeds)
+{
+    const ModelProfile &m = modelByName("LLaMA2-7B");
+    const Matrix calib = generateCalibration(m, 0, 32);
+    const Matrix eval = generateEvalSet(m, 0, 32);
+    EXPECT_EQ(calib.rows(), m.layers[0].k);
+    EXPECT_EQ(calib.cols(), 32u);
+    // Calibration and evaluation sets differ.
+    double diff = 0.0;
+    for (size_t i = 0; i < calib.size(); ++i)
+        diff += std::fabs(calib.data()[i] - eval.data()[i]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(CalibGen, OutlierChannelsExist)
+{
+    ActProfile p;
+    p.outlierChannelRate = 0.05;
+    p.outlierChannelScale = 30.0;
+    Rng rng(3);
+    const Matrix x = generateActivations(p, 512, 16, rng);
+    // Max channel magnitude far exceeds the median channel magnitude.
+    std::vector<double> maxes(512, 0.0);
+    for (size_t r = 0; r < 512; ++r)
+        for (size_t t = 0; t < 16; ++t)
+            maxes[r] = std::max(maxes[r], std::fabs(x(r, t)));
+    std::sort(maxes.begin(), maxes.end());
+    EXPECT_GT(maxes.back() / maxes[256], 5.0);
+}
+
+TEST(ProxyEval, Monotone)
+{
+    EXPECT_DOUBLE_EQ(proxyPerplexity(6.13, 0.0), 6.13);
+    EXPECT_GT(proxyPerplexity(6.13, 0.1), proxyPerplexity(6.13, 0.05));
+    EXPECT_DOUBLE_EQ(proxyAccuracy(80.0, 0.0), 80.0);
+    EXPECT_LT(proxyAccuracy(80.0, 0.2), 80.0);
+    EXPECT_GT(proxyAccuracy(80.0, 0.2), 25.0);  // floors at chance
+}
+
+TEST(Pipeline, RunsAndOrdersPrecisions)
+{
+    const ModelProfile &m = modelByName("Phi3-3.8B");
+    PipelineConfig cfg;
+    cfg.calibTokens = 48;
+    cfg.evalTokens = 48;
+
+    QuantMethod w8{"RTN-W8", [] {
+                       return std::make_unique<RtnQuantizer>(8, 128);
+                   }};
+    QuantMethod w3{"RTN-W3", [] {
+                       return std::make_unique<RtnQuantizer>(3, 128);
+                   }};
+    const ModelEvalResult r8 = evaluateMethodOnModel(m, w8, cfg);
+    const ModelEvalResult r3 = evaluateMethodOnModel(m, w3, cfg);
+    EXPECT_LT(r8.meanNmse, r3.meanNmse);
+    EXPECT_LT(r8.proxyPpl, r3.proxyPpl);
+    EXPECT_GE(r8.proxyPpl, m.fpMetric);
+
+    // Accuracy-metric models report proxy accuracy instead.
+    const ModelProfile &cnn = modelByName("ResNet50");
+    const ModelEvalResult c8 = evaluateMethodOnModel(cnn, w8, cfg);
+    const ModelEvalResult c3 = evaluateMethodOnModel(cnn, w3, cfg);
+    EXPECT_GT(c8.proxyAcc, c3.proxyAcc);
+    EXPECT_LE(c8.proxyAcc, cnn.fpMetric);
+}
+
+TEST(Pipeline, ActivationQuantizationAddsError)
+{
+    const ModelProfile &m = modelByName("Phi3-3.8B");
+    PipelineConfig cfg;
+    cfg.calibTokens = 48;
+    cfg.evalTokens = 48;
+    auto factory = [] { return std::make_unique<RtnQuantizer>(8, 128); };
+    QuantMethod w_only{"W8A16", factory};
+    QuantMethod w_a4{"W8A4", factory, 4};
+    const double nmse_w = evaluateMethodOnModel(m, w_only, cfg).meanNmse;
+    const double nmse_wa = evaluateMethodOnModel(m, w_a4, cfg).meanNmse;
+    EXPECT_GT(nmse_wa, nmse_w);
+}
+
+TEST(Pipeline, MigrationHelpsActivationQuantization)
+{
+    // With 4-bit activations and outlier channels, SmoothQuant-style
+    // migration must reduce the end-to-end error.
+    const ModelProfile &m = modelByName("LLaMA3-8B");
+    PipelineConfig cfg;
+    cfg.calibTokens = 48;
+    cfg.evalTokens = 48;
+    auto factory = [] { return std::make_unique<RtnQuantizer>(8, 128); };
+    QuantMethod plain{"W8A4", factory, 4, 0.0};
+    QuantMethod migrated{"W8A4+mig", factory, 4, 0.7};
+    const double nmse_plain =
+        evaluateMethodOnModel(m, plain, cfg).meanNmse;
+    const double nmse_mig =
+        evaluateMethodOnModel(m, migrated, cfg).meanNmse;
+    EXPECT_LT(nmse_mig, nmse_plain);
+}
+
+} // namespace
+} // namespace msq

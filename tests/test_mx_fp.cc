@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the two-level MX-FP outlier format: level-1 scale
+ * selection, shared-microexponent extraction, hidden-bit grid rounding,
+ * MXScale byte packing, and error behaviour as group diversity grows
+ * (the mechanism behind the paper's Fig. 14 sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mx/mx_fp.h"
+
+namespace msq {
+namespace {
+
+TEST(MxFp, Level1CoversMax)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    for (double mx : {0.1, 1.0, 3.5, 7.0, 123.0}) {
+        std::vector<double> v = {mx, -mx / 3};
+        const int e = mxFpLevel1Exp(v, fmt);
+        EXPECT_GE(std::ldexp(fmt.maxValue(), e), mx);
+        EXPECT_LT(std::ldexp(fmt.maxValue(), e - 1), mx);
+    }
+}
+
+TEST(MxFp, SingleValueNearExact)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    // A single outlier: level-1 scaling maps it near the format max, so
+    // relative error is bounded by half a mantissa ulp (2^-3 for m2).
+    for (double v : {5.0, -17.0, 0.3, 100.0}) {
+        const MxFpGroup g = mxFpQuantize({v}, fmt);
+        EXPECT_EQ(g.size(), 1u);
+        EXPECT_NEAR(g.decode(0), v, std::fabs(v) * 0.15)
+            << "value " << v;
+    }
+}
+
+TEST(MxFp, SharedExponentIsMax)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    // 3.4 encodes with exponent field 1; 1.2 with field 0. Sharing must
+    // pick the max field (1) so the largest value stays representable.
+    const MxFpGroup g = mxFpQuantize({3.4, 1.2}, fmt);
+    EXPECT_EQ(g.sharedExpField, 1);
+    EXPECT_NEAR(g.decode(0), 3.4, 0.26);
+}
+
+TEST(MxFp, SmallElementRoundsOntoHiddenBitGrid)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    // With a large and a tiny outlier in one group, the tiny one cannot
+    // go below 1.0 * 2^(muX - bias + level1): the hidden bit is implied.
+    const MxFpGroup g = mxFpQuantize({3.5, 0.1}, fmt);
+    const double floor_mag = std::ldexp(1.0, g.effectiveExp());
+    EXPECT_DOUBLE_EQ(std::fabs(g.decode(1)), floor_mag);
+}
+
+TEST(MxFp, SignsPreserved)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    const MxFpGroup g = mxFpQuantize({2.0, -2.0, 3.0, -1.0}, fmt);
+    EXPECT_GT(g.decode(0), 0.0);
+    EXPECT_LT(g.decode(1), 0.0);
+    EXPECT_GT(g.decode(2), 0.0);
+    EXPECT_LT(g.decode(3), 0.0);
+}
+
+TEST(MxFp, MxScaleByteRoundTrip)
+{
+    for (const FpFormat fmt : {FpFormat::e1m2(), FpFormat::e3m4()}) {
+        Rng rng(fmt.ebits);
+        for (int trial = 0; trial < 50; ++trial) {
+            std::vector<double> v(4);
+            for (double &x : v)
+                x = rng.gaussian(0, 2.0) + (rng.bernoulli(0.5) ? 4 : -4);
+            MxFpGroup g = mxFpQuantize(v, fmt);
+            const uint8_t byte = packMxScale(g);
+            int level1 = 0, mux = 0;
+            unpackMxScale(byte, fmt, level1, mux);
+            EXPECT_EQ(level1, g.level1Exp);
+            EXPECT_EQ(mux, g.sharedExpField);
+        }
+    }
+}
+
+TEST(MxFp, MuXFieldWidths)
+{
+    EXPECT_EQ(muXFieldBits(FpFormat::e1m2()), 1u);
+    EXPECT_EQ(muXFieldBits(FpFormat::e3m4()), 3u);
+}
+
+TEST(MxFp, UnsharedBeatsSharedOnDiverseGroups)
+{
+    // Sharing the exponent across a diverse group loses precision for
+    // the small elements; per-element exponents (unshared) must do at
+    // least as well. This is the Fig. 14 trade-off at the format level.
+    const FpFormat fmt = FpFormat::e1m2();
+    Rng rng(99);
+    double shared_err = 0.0, unshared_err = 0.0;
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> v(8);
+        for (double &x : v)
+            x = rng.uniform(0.5, 8.0) * (rng.bernoulli(0.5) ? 1 : -1);
+        const MxFpGroup g = mxFpQuantize(v, fmt);
+        const std::vector<double> u = mxFpQuantizeUnshared(v, fmt);
+        for (size_t i = 0; i < v.size(); ++i) {
+            shared_err += (g.decode(i) - v[i]) * (g.decode(i) - v[i]);
+            unshared_err += (u[i] - v[i]) * (u[i] - v[i]);
+        }
+    }
+    EXPECT_LE(unshared_err, shared_err);
+}
+
+TEST(MxFp, TighterGroupsQuantizeBetter)
+{
+    // Quantizing sub-groups of 4 separately must not be worse than one
+    // shared group of 32 (finer muX sharing -> lower error). Mirrors the
+    // micro-block-size ablation.
+    const FpFormat fmt = FpFormat::e1m2();
+    Rng rng(1234);
+    double coarse = 0.0, fine = 0.0;
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<double> v(32);
+        for (double &x : v)
+            x = rng.uniform(0.3, 12.0) * (rng.bernoulli(0.5) ? 1 : -1);
+        const MxFpGroup g = mxFpQuantize(v, fmt);
+        for (size_t i = 0; i < v.size(); ++i)
+            coarse += (g.decode(i) - v[i]) * (g.decode(i) - v[i]);
+        for (size_t b = 0; b < 32; b += 4) {
+            std::vector<double> sub(v.begin() + b, v.begin() + b + 4);
+            const MxFpGroup gs = mxFpQuantize(sub, fmt);
+            for (size_t i = 0; i < 4; ++i)
+                fine += (gs.decode(i) - sub[i]) * (gs.decode(i) - sub[i]);
+        }
+    }
+    EXPECT_LE(fine, coarse);
+}
+
+TEST(MxFp, ForcedLevel1ReRoundsMantissas)
+{
+    const FpFormat fmt = FpFormat::e1m2();
+    const std::vector<double> v = {3.0, 1.5};
+    const MxFpGroup natural = mxFpQuantize(v, fmt);
+    const MxFpGroup forced =
+        mxFpQuantizeWithLevel1(v, fmt, natural.level1Exp + 1);
+    // With a coarser level-1 scale the decode must still approximate the
+    // inputs (the grid shifted but rounding adapted).
+    EXPECT_NEAR(forced.decode(0), 3.0, 1.1);
+    EXPECT_EQ(forced.level1Exp, natural.level1Exp + 1);
+}
+
+TEST(MxFp, EmptyGroup)
+{
+    const MxFpGroup g = mxFpQuantize({}, FpFormat::e1m2());
+    EXPECT_EQ(g.size(), 0u);
+    EXPECT_EQ(g.level1Exp, 0);
+}
+
+} // namespace
+} // namespace msq

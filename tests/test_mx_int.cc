@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for MX-INT group quantization: power-of-two scale
+ * selection, code range, reconstruction error bounds, and the paper's
+ * negative-Isf observation on sub-unit weight distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mx/mx_int.h"
+
+namespace msq {
+namespace {
+
+TEST(MxInt, QMax)
+{
+    EXPECT_EQ(intQMax(2), 1);
+    EXPECT_EQ(intQMax(4), 7);
+    EXPECT_EQ(intQMax(8), 127);
+}
+
+TEST(MxInt, ScaleCoversMax)
+{
+    for (unsigned bits : {2u, 4u, 8u}) {
+        for (double mx : {0.01, 0.06, 0.9, 1.0, 3.3, 100.0}) {
+            std::vector<double> v = {mx, -mx / 2};
+            const int e = mxIntScaleExp(v, bits);
+            const double qmax = intQMax(bits);
+            // 2^e * qmax must cover the max, and 2^(e-1) must not.
+            EXPECT_GE(std::ldexp(qmax, e), mx);
+            EXPECT_LT(std::ldexp(qmax, e - 1), mx);
+        }
+    }
+}
+
+TEST(MxInt, ZeroGroup)
+{
+    std::vector<double> v(8, 0.0);
+    const MxIntGroup g = mxIntQuantize(v, 4);
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_DOUBLE_EQ(g.decode(i), 0.0);
+}
+
+TEST(MxInt, CodesWithinRange)
+{
+    Rng rng(77);
+    std::vector<double> v(128);
+    for (double &x : v)
+        x = rng.gaussian(0, 0.02);
+    for (unsigned bits : {2u, 4u, 8u}) {
+        const MxIntGroup g = mxIntQuantize(v, bits);
+        for (int32_t c : g.codes) {
+            EXPECT_LE(c, intQMax(bits));
+            EXPECT_GE(c, -intQMax(bits));
+        }
+    }
+}
+
+TEST(MxInt, ReconstructionErrorBound)
+{
+    Rng rng(42);
+    std::vector<double> v(128);
+    for (double &x : v)
+        x = rng.gaussian(0, 0.02);
+    const MxIntGroup g = mxIntQuantize(v, 8);
+    // Error per element is at most half the quantization step 2^e.
+    const double step = std::ldexp(1.0, g.scaleExp);
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_LE(std::fabs(g.decode(i) - v[i]), step / 2 + 1e-15);
+}
+
+TEST(MxInt, NegativeIsfForTypicalWeights)
+{
+    // Paper Section 4.2: the inlier scale factor is always a negative
+    // power of two for FM weight distributions (|w| << 1).
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> v(128);
+        for (double &x : v)
+            x = rng.gaussian(0, 0.05);
+        EXPECT_LT(mxIntScaleExp(v, 2), 0);
+        EXPECT_LT(mxIntScaleExp(v, 4), 0);
+    }
+}
+
+TEST(MxInt, FixedScaleQuantizeSingleValues)
+{
+    // With scale exponent -2 (step 0.25) and 4 bits: qmax 7.
+    EXPECT_EQ(mxIntQuantizeValue(0.26, 4, -2), 1);
+    EXPECT_EQ(mxIntQuantizeValue(0.12, 4, -2), 0);
+    EXPECT_EQ(mxIntQuantizeValue(-0.30, 4, -2), -1);
+    EXPECT_EQ(mxIntQuantizeValue(10.0, 4, -2), 7);   // saturates
+    EXPECT_EQ(mxIntQuantizeValue(-10.0, 4, -2), -7); // saturates
+}
+
+class MxIntWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MxIntWidthTest, ErrorShrinksWithPrecision)
+{
+    const unsigned bits = GetParam();
+    Rng rng(bits);
+    std::vector<double> v(256);
+    for (double &x : v)
+        x = rng.gaussian(0, 0.02);
+
+    auto mse = [&](unsigned b) {
+        const MxIntGroup g = mxIntQuantize(v, b);
+        double acc = 0.0;
+        for (size_t i = 0; i < v.size(); ++i) {
+            const double d = g.decode(i) - v[i];
+            acc += d * d;
+        }
+        return acc;
+    };
+    // One extra bit must not increase the error.
+    EXPECT_LE(mse(bits + 1), mse(bits) + 1e-18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MxIntWidthTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+} // namespace
+} // namespace msq

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for 3-sigma outlier detection, adjacency statistics, and the
+ * outlier half split/merge encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/outlier.h"
+
+namespace msq {
+namespace {
+
+TEST(DetectOutliers, FlagsExtremeValues)
+{
+    std::vector<double> v(100, 0.0);
+    Rng rng(1);
+    for (double &x : v)
+        x = rng.gaussian(0.0, 0.01);
+    v[17] = 1.0;
+    v[42] = -1.0;
+    const auto mask = detectOutliers(v.data(), v.size());
+    EXPECT_TRUE(mask[17]);
+    EXPECT_TRUE(mask[42]);
+    size_t n = 0;
+    for (bool b : mask)
+        n += b;
+    EXPECT_LE(n, 5u);
+}
+
+TEST(DetectOutliers, UniformSpanHasNone)
+{
+    std::vector<double> v(64, 0.5);
+    const auto mask = detectOutliers(v.data(), v.size());
+    for (bool b : mask)
+        EXPECT_FALSE(b);
+}
+
+TEST(DetectOutliers, EmptySpan)
+{
+    const auto mask = detectOutliers(nullptr, 0);
+    EXPECT_TRUE(mask.empty());
+}
+
+TEST(AnalyzeOutliers, CountsAdjacency)
+{
+    Rng rng(2);
+    Matrix w(4, 128);
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 128; ++c)
+            w(r, c) = rng.gaussian(0.0, 0.01);
+    // Row 0: isolated outlier. Row 1: adjacent pair.
+    w(0, 10) = 1.0;
+    w(1, 20) = 1.0;
+    w(1, 21) = -1.0;
+
+    const OutlierStats stats = analyzeOutliers(w, 128);
+    EXPECT_GE(stats.outliers, 3u);
+    EXPECT_GE(stats.adjacentOutliers, 2u);
+    EXPECT_GT(stats.outlierFraction(), 0.0);
+    EXPECT_GT(stats.adjacentFraction(), 0.0);
+    EXPECT_LT(stats.adjacentFraction(), stats.outlierFraction() + 1e-12);
+}
+
+TEST(AnalyzeOutliers, AdjacencyDoesNotCrossBlockRows)
+{
+    Matrix w(2, 8, 0.01);
+    // Outlier at the end of row 0 and the start of row 1: not adjacent.
+    w(0, 7) = 1.0;
+    w(1, 0) = 1.0;
+    const OutlierStats stats = analyzeOutliers(w, 8);
+    EXPECT_EQ(stats.adjacentOutliers, 0u);
+}
+
+} // namespace
+} // namespace msq

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across randomized
+ * configurations — determinism of the full pipeline, EBW monotonicity
+ * in outlier rate, quantization idempotence, packed-layer validity
+ * under shape sweeps, asymmetric-quantization bounds, and scale-change
+ * behaviour of the MX formats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/microscopiq.h"
+#include "mx/mx_fp.h"
+#include "mx/mx_int.h"
+#include "quant/kv_cache.h"
+#include "quant/quant_util.h"
+
+namespace msq {
+namespace {
+
+Matrix
+heavyTail(size_t k, size_t o, double rate, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix w(k, o);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.gaussian(0.0, 0.02);
+            if (rng.bernoulli(rate))
+                v = rng.uniform(0.15, 0.4) * (rng.bernoulli(0.5) ? 1 : -1);
+            w(r, c) = v;
+        }
+    }
+    return w;
+}
+
+TEST(Properties, QuantizationIsDeterministic)
+{
+    const Matrix w = heavyTail(32, 128, 0.02, 7);
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    MicroScopiQQuantizer q1(cfg), q2(cfg);
+    const PackedLayer a = q1.quantizePacked(w, Matrix());
+    const PackedLayer b = q2.quantizePacked(w, Matrix());
+    EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(Properties, QuantizationIdempotent)
+{
+    // Re-quantizing already-quantized weights must be lossless: every
+    // dequantized value is exactly representable.
+    const Matrix w = heavyTail(32, 128, 0.02, 8);
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    MicroScopiQQuantizer q(cfg);
+    const Matrix once = q.quantize(w, Matrix()).dequant;
+    MicroScopiQQuantizer q2(cfg);
+    const Matrix twice = q2.quantize(once, Matrix()).dequant;
+    // Not bit-exact in general (outlier sets can shift at the 3-sigma
+    // boundary), but the reconstruction error must be far below the
+    // first pass's error.
+    const double drift = twice.normalizedErrorTo(once);
+    const double first_err = once.normalizedErrorTo(w);
+    EXPECT_LT(drift, first_err * 0.5);
+}
+
+class OutlierRateSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(OutlierRateSweep, EbwMonotoneInOutlierRate)
+{
+    const double rate = GetParam();
+    const Matrix lo = heavyTail(48, 256, rate, 11);
+    const Matrix hi = heavyTail(48, 256, rate * 2.5, 11);
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    MicroScopiQQuantizer qa(cfg), qb(cfg);
+    const double ebw_lo = qa.quantize(lo, Matrix()).ebw;
+    const double ebw_hi = qb.quantize(hi, Matrix()).ebw;
+    EXPECT_LE(ebw_lo, ebw_hi + 0.05);
+    EXPECT_GE(ebw_lo, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, OutlierRateSweep,
+                         ::testing::Values(0.005, 0.01, 0.02, 0.04));
+
+class ShapeSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(ShapeSweep, PackedLayerValidAcrossShapes)
+{
+    const auto [k, o] = GetParam();
+    const Matrix w = heavyTail(k, o, 0.03, k * 131 + o);
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    MicroScopiQQuantizer q(cfg);
+    const PackedLayer layer = q.quantizePacked(w, Matrix());
+
+    // Round trip and shape invariants.
+    const PackedLayer restored = PackedLayer::deserialize(
+        layer.config(), layer.rows(), layer.cols(), layer.serialize());
+    EXPECT_EQ(restored.rows(), k);
+    EXPECT_EQ(restored.cols(), o);
+    const Matrix a = layer.dequantAll();
+    const Matrix b = restored.dequantAll();
+    EXPECT_LT((a - b).frobeniusSq(), 1e-18);
+    // All codes stay inside the element bit budget.
+    for (size_t r = 0; r < k; ++r)
+        for (size_t c = 0; c < o; ++c)
+            EXPECT_LT(layer.code(r, c), 1u << cfg.inlierBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(8, 8),
+                      std::make_pair<size_t, size_t>(16, 24),
+                      std::make_pair<size_t, size_t>(33, 100),
+                      std::make_pair<size_t, size_t>(64, 384),
+                      std::make_pair<size_t, size_t>(1, 128),
+                      std::make_pair<size_t, size_t>(128, 8)));
+
+TEST(Properties, AsymQuantBounds)
+{
+    // Asymmetric quantization stays inside [min, max] and is exact on
+    // spans with at most 2^bits distinct values.
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> v(64);
+        for (double &x : v)
+            x = rng.gaussian(1.0, 3.0);
+        const double lo = *std::min_element(v.begin(), v.end());
+        const double hi = *std::max_element(v.begin(), v.end());
+        std::vector<double> q = v;
+        asymQuantSpan(q.data(), q.size(), 2);
+        for (size_t i = 0; i < v.size(); ++i) {
+            EXPECT_GE(q[i], lo - 1e-12);
+            EXPECT_LE(q[i], hi + 1e-12);
+            // Error bounded by half a step.
+            EXPECT_LE(std::fabs(q[i] - v[i]), (hi - lo) / 3.0 / 2 + 1e-12);
+        }
+    }
+    // Two-valued span at 1 bit: exact.
+    std::vector<double> two = {3.0, -1.0, 3.0, -1.0};
+    asymQuantSpan(two.data(), two.size(), 1);
+    EXPECT_DOUBLE_EQ(two[0], 3.0);
+    EXPECT_DOUBLE_EQ(two[1], -1.0);
+}
+
+TEST(Properties, AsymBeatsSymAt2BitGaussian)
+{
+    // The KIVI rationale: at 2 bits, asymmetric (4 levels) beats
+    // symmetric (3 levels) on Gaussian data.
+    Rng rng(6);
+    double asym_err = 0.0, sym_err = 0.0;
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<double> v(128);
+        for (double &x : v)
+            x = rng.gaussian(0.0, 1.0);
+        std::vector<double> a = v, s = v;
+        asymQuantSpan(a.data(), a.size(), 2);
+        symQuantSpan(s.data(), s.size(), 1);
+        asym_err += spanMse(a.data(), v.data(), v.size());
+        sym_err += spanMse(s.data(), v.data(), v.size());
+    }
+    EXPECT_LT(asym_err, sym_err);
+}
+
+TEST(Properties, MxScalingEquivariance)
+{
+    // Scaling a group by a power of two shifts the scale exponent and
+    // leaves the codes untouched (exact equivariance of MX formats).
+    Rng rng(7);
+    std::vector<double> v(32);
+    for (double &x : v)
+        x = rng.gaussian(0.0, 0.05);
+    const MxIntGroup base = mxIntQuantize(v, 4);
+    std::vector<double> scaled(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        scaled[i] = std::ldexp(v[i], 5);
+    const MxIntGroup shifted = mxIntQuantize(scaled, 4);
+    EXPECT_EQ(shifted.scaleExp, base.scaleExp + 5);
+    EXPECT_EQ(shifted.codes, base.codes);
+
+    const FpFormat fmt = FpFormat::e1m2();
+    std::vector<double> f = {2.0, -1.0, 0.7, 3.1};
+    const MxFpGroup g1 = mxFpQuantize(f, fmt);
+    for (double &x : f)
+        x = std::ldexp(x, 3);
+    const MxFpGroup g2 = mxFpQuantize(f, fmt);
+    EXPECT_EQ(g2.level1Exp, g1.level1Exp + 3);
+    EXPECT_EQ(g2.mantissas, g1.mantissas);
+    EXPECT_EQ(g2.sharedExpField, g1.sharedExpField);
+}
+
+TEST(Properties, DequantErrorBoundedByFormat)
+{
+    // Inliers: error <= half an inlier step. Outliers: relative error
+    // bounded by the shared-muX grid (<= 1/2 ulp of the largest group
+    // member plus the sharing loss, conservatively 50%).
+    const Matrix w = heavyTail(32, 256, 0.02, 13);
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    MicroScopiQQuantizer q(cfg);
+    const QuantResult res = q.quantize(w, Matrix());
+    const PackedLayer &layer = q.packed();
+
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < w.cols(); ++c) {
+            if (layer.kind(r, c) != SlotKind::Inlier)
+                continue;
+            const size_t mb = c / cfg.macroBlock;
+            const double step = std::ldexp(1.0, layer.isf(r, mb));
+            EXPECT_LE(std::fabs(res.dequant(r, c) - w(r, c)),
+                      step / 2 + 1e-12)
+                << "inlier (" << r << "," << c << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace msq

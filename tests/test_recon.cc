@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the ReCoN network: the paper's Fig. 8 worked example
+ * ((32>>1) + (0>>2) + 32 + 8 = 56), Pass/Swap/Merge semantics, sign
+ * handling, routing conflict accounting, and topology arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/recon.h"
+
+namespace msq {
+namespace {
+
+TEST(Recon, Topology)
+{
+    ReconNetwork net(64, 2, 1);
+    EXPECT_EQ(net.stages(), 7u);           // log2(64) + 1
+    EXPECT_EQ(net.switchCount(), 64u * 7u);
+}
+
+TEST(Recon, Fig8WalkthroughExample)
+{
+    // Paper Fig. 8: outlier 1.10b (1.5) split into Upper {0,1} at
+    // column 2 and Lower {0,0} at column 3 (relative positions taken
+    // from the figure's 4-wide micro-block). iAct = 32, iAcc at the
+    // outlier column = 8. Expected merged output: 32>>1 + 0>>2 + 32 + 8
+    // = 56; the lower column forwards its iAcc.
+    ReconNetwork net(4, 2, 1);
+    std::vector<ReconInput> inputs(4);
+
+    // Column 0: inlier +1 -> PE already accumulated 1*32 + 16 = 48.
+    inputs[0].tag = ReconInput::Tag::InlierPsum;
+    inputs[0].res = 32;
+    inputs[0].iacc = 16;
+
+    // Column 1: inlier -1 with iAcc 16 -> -16.
+    inputs[1].tag = ReconInput::Tag::InlierPsum;
+    inputs[1].res = -32;
+    inputs[1].iacc = 16;
+
+    // Column 2: outlier Upper half {s=0, m1=1}: product 1*32 = 32.
+    inputs[2].tag = ReconInput::Tag::OutlierUpper;
+    inputs[2].res = 32;
+    inputs[2].iacc = 8;
+    inputs[2].iact = 32;
+    inputs[2].sign = 0;
+    inputs[2].partner = 3;
+
+    // Column 3: outlier Lower half {s=0, m0=0}: product 0; its own
+    // iAcc is 10 (the pruned weight's column).
+    inputs[3].tag = ReconInput::Tag::OutlierLower;
+    inputs[3].res = 0;
+    inputs[3].iacc = 10;
+    inputs[3].iact = 32;
+    inputs[3].partner = 2;
+
+    const ReconTransit t = net.process(inputs);
+    ASSERT_EQ(t.scaleBits, 2u);
+    const double scale = 1.0 / 4.0;
+    EXPECT_DOUBLE_EQ(t.scaledOut[0] * scale, 48.0);
+    EXPECT_DOUBLE_EQ(t.scaledOut[1] * scale, -16.0);
+    EXPECT_DOUBLE_EQ(t.scaledOut[2] * scale, 56.0);  // the paper's 56
+    EXPECT_DOUBLE_EQ(t.scaledOut[3] * scale, 10.0);  // swapped iAcc
+}
+
+TEST(Recon, NegativeOutlierMerge)
+{
+    // Outlier -1.11b = -1.75: Upper {1,1}, Lower {1,1}; iAct 16.
+    // Expected contribution: -(16/2 + 16/4 + 16) = -28.
+    ReconNetwork net(2, 2, 1);
+    std::vector<ReconInput> inputs(2);
+    inputs[0].tag = ReconInput::Tag::OutlierUpper;
+    inputs[0].res = -16;  // (-1) * 16
+    inputs[0].iacc = 0;
+    inputs[0].iact = 16;
+    inputs[0].sign = 1;
+    inputs[0].partner = 1;
+    inputs[1].tag = ReconInput::Tag::OutlierLower;
+    inputs[1].res = -16;
+    inputs[1].iacc = 5;
+    inputs[1].iact = 16;
+    inputs[1].partner = 0;
+
+    const ReconTransit t = net.process(inputs);
+    EXPECT_DOUBLE_EQ(t.scaledOut[0] / 4.0, -28.0);
+    EXPECT_DOUBLE_EQ(t.scaledOut[1] / 4.0, 5.0);
+}
+
+TEST(Recon, E3m4MergeShifts)
+{
+    // bb=4 outlier with mantissa 1010b: upper int {0,10b}=2, lower
+    // {0,10b}=2; value = 1 + 2/4 + 2/16 = 1.625; iAct 16 -> 26.
+    ReconNetwork net(2, 4, 2);
+    std::vector<ReconInput> inputs(2);
+    inputs[0].tag = ReconInput::Tag::OutlierUpper;
+    inputs[0].res = 2 * 16;
+    inputs[0].iact = 16;
+    inputs[0].sign = 0;
+    inputs[0].partner = 1;
+    inputs[1].tag = ReconInput::Tag::OutlierLower;
+    inputs[1].res = 2 * 16;
+    inputs[1].iact = 16;
+    inputs[1].partner = 0;
+
+    const ReconTransit t = net.process(inputs);
+    EXPECT_DOUBLE_EQ(t.scaledOut[0] / 16.0, 26.0);
+}
+
+TEST(Recon, MultipleMergesInOneTransit)
+{
+    // Two outliers in one 8-wide vector, distinct column pairs.
+    ReconNetwork net(8, 2, 1);
+    std::vector<ReconInput> inputs(8);
+    for (auto &in : inputs) {
+        in.tag = ReconInput::Tag::InlierPsum;
+        in.res = 1;
+        in.iacc = 0;
+    }
+    auto outlier = [&](size_t u, size_t l, int64_t up_res,
+                       int64_t lo_res, int32_t iact) {
+        inputs[u].tag = ReconInput::Tag::OutlierUpper;
+        inputs[u].res = up_res;
+        inputs[u].iact = iact;
+        inputs[u].sign = 0;
+        inputs[u].partner = static_cast<int>(l);
+        inputs[l].tag = ReconInput::Tag::OutlierLower;
+        inputs[l].res = lo_res;
+        inputs[l].iact = iact;
+        inputs[l].partner = static_cast<int>(u);
+    };
+    outlier(0, 4, 8, 8, 8);   // 1.11b * 8 = 14
+    outlier(2, 6, 0, 8, 8);   // 1.01b * 8 = 10
+
+    const ReconTransit t = net.process(inputs);
+    EXPECT_DOUBLE_EQ(t.scaledOut[0] / 4.0, 14.0);
+    EXPECT_DOUBLE_EQ(t.scaledOut[2] / 4.0, 10.0);
+    EXPECT_DOUBLE_EQ(t.scaledOut[1] / 4.0, 1.0);  // untouched inlier
+}
+
+TEST(Recon, ConflictCountingDisjointPaths)
+{
+    // Moves with disjoint bit-fixing paths produce no conflicts.
+    ReconNetwork net(8, 2, 1);
+    std::vector<ReconInput> inputs(8);
+    for (auto &in : inputs)
+        in.tag = ReconInput::Tag::InlierPsum;
+    inputs[0].tag = ReconInput::Tag::OutlierUpper;
+    inputs[0].res = 0;
+    inputs[0].partner = 1;
+    inputs[0].iact = 1;
+    inputs[1].tag = ReconInput::Tag::OutlierLower;
+    inputs[1].partner = 0;
+    inputs[1].iact = 1;
+    inputs[6].tag = ReconInput::Tag::OutlierUpper;
+    inputs[6].res = 0;
+    inputs[6].partner = 7;
+    inputs[6].iact = 1;
+    inputs[7].tag = ReconInput::Tag::OutlierLower;
+    inputs[7].partner = 6;
+    inputs[7].iact = 1;
+
+    const ReconTransit t = net.process(inputs);
+    EXPECT_EQ(t.portConflicts, 0u);
+}
+
+TEST(Recon, NonPowerOfTwoWidthRoundsUp)
+{
+    ReconNetwork net(6, 2, 1);
+    EXPECT_EQ(net.stages(), 4u);  // padded to 8 columns
+}
+
+} // namespace
+} // namespace msq
