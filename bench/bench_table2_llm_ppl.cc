@@ -12,7 +12,6 @@
 
 #include "bench_util.h"
 #include "common/table.h"
-#include "quant/hessian.h"
 
 using namespace msq;
 using namespace msq::bench;
@@ -129,13 +128,21 @@ main()
         t.addRow(fp_row);
         t.addSeparator();
 
-        for (const QuantMethod &method : setting.methods) {
+        // The whole method x model grid of this setting is one
+        // parallel sweep; results come back in row-major cell order.
+        std::vector<SweepCell> cells;
+        for (const QuantMethod &method : setting.methods)
+            for (const std::string &m : models)
+                cells.push_back({&modelByName(m), method});
+        const std::vector<ModelEvalResult> results = runSweep(cells, cfg);
+
+        for (size_t qi = 0; qi < setting.methods.size(); ++qi) {
+            const QuantMethod &method = setting.methods[qi];
             std::vector<std::string> row = {method.name};
             const auto paper_it = setting.paper.find(method.name);
             for (size_t mi = 0; mi < models.size(); ++mi) {
-                const ModelProfile &model = modelByName(models[mi]);
-                const ModelEvalResult res =
-                    evaluateMethodOnModel(model, method, cfg);
+                const ModelEvalResult &res =
+                    results[qi * models.size() + mi];
                 const double paper =
                     paper_it != setting.paper.end()
                         ? paper_it->second[mi]
@@ -144,7 +151,6 @@ main()
                               Table::fmt(res.proxyPpl, 2));
             }
             t.addRow(row);
-            clearHessianCache();
         }
         t.print();
     }

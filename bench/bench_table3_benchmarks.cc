@@ -11,7 +11,6 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "model/proxy_eval.h"
-#include "quant/hessian.h"
 
 using namespace msq;
 using namespace msq::bench;
@@ -41,16 +40,16 @@ main()
     cfg.evalTokens = 96;
 
     // One quantization pass per method; the NMSE drives every
-    // benchmark through its own anchor.
-    const double nmse_olive =
-        evaluateMethodOnModel(model, oliveMethod(2), cfg).meanNmse;
-    clearHessianCache();
-    const double nmse_omni =
-        evaluateMethodOnModel(model, omniQuantMethod(2), cfg).meanNmse;
-    clearHessianCache();
-    const double nmse_msq =
-        evaluateMethodOnModel(model, microScopiQMethod(2), cfg).meanNmse;
-    clearHessianCache();
+    // benchmark through its own anchor. The three passes are
+    // independent, so they run as one parallel sweep.
+    const std::vector<ModelEvalResult> results =
+        runSweep({{&model, oliveMethod(2)},
+                  {&model, omniQuantMethod(2)},
+                  {&model, microScopiQMethod(2)}},
+                 cfg);
+    const double nmse_olive = results[0].meanNmse;
+    const double nmse_omni = results[1].meanNmse;
+    const double nmse_msq = results[2].meanNmse;
 
     Table t("Table 3: LLaMA2-70B @ W2A16 (accuracy %, paper -> measured "
             "proxy)");

@@ -8,7 +8,6 @@
 
 #include "bench_util.h"
 #include "common/table.h"
-#include "quant/hessian.h"
 
 using namespace msq;
 using namespace msq::bench;
@@ -37,16 +36,28 @@ main()
     Table t("Table 4: CNN / SSM Top-1 accuracy % "
             "(paper -> measured proxy)");
     t.setHeader({"model", "FP16", "MSQ W4A4", "MSQ W2A8", "MSQ W2A4"});
-    for (const Row &r : rows) {
+
+    // Flatten the model x setting grid (skipping the settings the
+    // paper does not report) into one parallel sweep.
+    std::vector<SweepCell> cells;
+    std::vector<size_t> first_cell(rows.size());
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+        const ModelProfile &model = modelByName(rows[ri].model);
+        first_cell[ri] = cells.size();
+        cells.push_back({&model, microScopiQWaMethod(4, 4)});
+        cells.push_back({&model, microScopiQWaMethod(2, 8)});
+        if (rows[ri].paper_w24 > 0)
+            cells.push_back({&model, microScopiQWaMethod(2, 4)});
+    }
+    const std::vector<ModelEvalResult> results = runSweep(cells, cfg);
+
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+        const Row &r = rows[ri];
         const ModelProfile &model = modelByName(r.model);
-        auto run = [&](unsigned wbits, unsigned abits) {
-            const ModelEvalResult res = evaluateMethodOnModel(
-                model, microScopiQWaMethod(wbits, abits), cfg);
-            return res.proxyAcc;
-        };
-        const double w44 = run(4, 4);
-        const double w28 = run(2, 8);
-        const double w24 = r.paper_w24 > 0 ? run(2, 4) : -1.0;
+        const double w44 = results[first_cell[ri]].proxyAcc;
+        const double w28 = results[first_cell[ri] + 1].proxyAcc;
+        const double w24 =
+            r.paper_w24 > 0 ? results[first_cell[ri] + 2].proxyAcc : -1.0;
         auto cell = [](double paper, double measured) {
             if (paper < 0)
                 return std::string("-");
@@ -55,7 +66,6 @@ main()
         t.addRow({r.model, Table::fmt(model.fpMetric, 2),
                   cell(r.paper_w44, w44), cell(r.paper_w28, w28),
                   cell(r.paper_w24, w24)});
-        clearHessianCache();
     }
     t.print();
     std::puts("Claims under test: near-lossless W4A4 / W2A8 on CNNs; "

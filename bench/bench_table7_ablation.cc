@@ -16,7 +16,6 @@
 #include "model/proxy_eval.h"
 #include "model/weight_gen.h"
 #include "quant/act_quant.h"
-#include "quant/hessian.h"
 #include "quant/kv_cache.h"
 #include "quant/smoothquant.h"
 
@@ -24,16 +23,6 @@ using namespace msq;
 using namespace msq::bench;
 
 namespace {
-
-/** Evaluate one ablation stage described by a quantization recipe. */
-double
-stageNmse(const ModelProfile &model, const QuantMethod &method,
-          const PipelineConfig &cfg)
-{
-    const double nmse = evaluateMethodOnModel(model, method, cfg).meanNmse;
-    clearHessianCache();
-    return nmse;
-}
 
 QuantMethod
 msqStage(const std::function<void(MsqConfig &)> &tweak,
@@ -73,72 +62,78 @@ main()
                   Table::fmt(proxyPerplexity(model.fpMetric, nmse), 2)});
     };
 
-    // INT-4 scalar quantization (per-tensor scale: group = whole row).
+    // The ablation stages are independent quantization recipes on the
+    // same model, so they run as one parallel sweep; rows are emitted
+    // from the results afterwards, in stage order.
+    struct Stage
     {
-        QuantMethod m{"int4", [] {
-                          return std::make_unique<RtnQuantizer>(4, 0);
-                      }};
-        add("+ Quantize all weights to INT-4", 10.27,
-            stageNmse(model, m, cfg));
-    }
+        const char *label;
+        double paper;
+        QuantMethod method;
+    };
+    std::vector<Stage> stages;
+
+    // INT-4 scalar quantization (per-tensor scale: group = whole row).
+    stages.push_back({"+ Quantize all weights to INT-4", 10.27,
+                      QuantMethod{"int4",
+                                  [] {
+                                      return std::make_unique<RtnQuantizer>(
+                                          4, 0);
+                                  }}});
     // MX-INT-4 with 128 groups.
-    add("+ Quantize all weights to MX-INT-4_128", 9.53,
-        stageNmse(model,
-                  msqStage([](MsqConfig &c) {
-                      c.inlierBits = 4;
-                      c.outlierMode = OutlierMode::None;
-                      c.hessianCompensation = false;
-                  }),
-                  cfg));
+    stages.push_back({"+ Quantize all weights to MX-INT-4_128", 9.53,
+                      msqStage([](MsqConfig &c) {
+                          c.inlierBits = 4;
+                          c.outlierMode = OutlierMode::None;
+                          c.hessianCompensation = false;
+                      })});
     // MX-INT-2: the spike.
-    add("+ Quantize all weights to MX-INT-2_128", 39.48,
-        stageNmse(model,
-                  msqStage([](MsqConfig &c) {
-                      c.outlierMode = OutlierMode::None;
-                      c.hessianCompensation = false;
-                  }),
-                  cfg));
+    stages.push_back({"+ Quantize all weights to MX-INT-2_128", 39.48,
+                      msqStage([](MsqConfig &c) {
+                          c.outlierMode = OutlierMode::None;
+                          c.hessianCompensation = false;
+                      })});
     // Outliers to MX-FP-4 with macro-block (coarse) sharing.
-    add("+ Quantize outliers to MX-FP-4_128,128", 10.96,
-        stageNmse(model,
-                  msqStage([](MsqConfig &c) {
-                      c.outlierMode = OutlierMode::MxFpCoarse;
-                      c.prescaleOutliers = false;
-                      c.pruneAndRedistribute = false;
-                      c.hessianCompensation = false;
-                  }),
-                  cfg));
+    stages.push_back({"+ Quantize outliers to MX-FP-4_128,128", 10.96,
+                      msqStage([](MsqConfig &c) {
+                          c.outlierMode = OutlierMode::MxFpCoarse;
+                          c.prescaleOutliers = false;
+                          c.pruneAndRedistribute = false;
+                          c.hessianCompensation = false;
+                      })});
     // Outliers to MX-FP-4 with micro-block sharing.
-    add("+ Quantize outliers to MX-FP-4_8,8", 8.93,
-        stageNmse(model,
-                  msqStage([](MsqConfig &c) {
-                      c.prescaleOutliers = false;
-                      c.pruneAndRedistribute = false;
-                      c.hessianCompensation = false;
-                  }),
-                  cfg));
+    stages.push_back({"+ Quantize outliers to MX-FP-4_8,8", 8.93,
+                      msqStage([](MsqConfig &c) {
+                          c.prescaleOutliers = false;
+                          c.pruneAndRedistribute = false;
+                          c.hessianCompensation = false;
+                      })});
     // Outlier magnitude pre-reduction by 2^Isf.
-    add("+ Reduce outlier mag. by 2^Isf", 8.89,
-        stageNmse(model,
-                  msqStage([](MsqConfig &c) {
-                      c.pruneAndRedistribute = false;
-                      c.hessianCompensation = false;
-                  }),
-                  cfg));
+    stages.push_back({"+ Reduce outlier mag. by 2^Isf", 8.89,
+                      msqStage([](MsqConfig &c) {
+                          c.pruneAndRedistribute = false;
+                          c.hessianCompensation = false;
+                      })});
     // Pruning of least important inliers (costs a little).
-    add("+ Prune least imp. inliers per uB", 9.02,
-        stageNmse(model,
-                  msqStage([](MsqConfig &c) {
-                      c.hessianCompensation = false;
-                  }),
-                  cfg));
+    stages.push_back({"+ Prune least imp. inliers per uB", 9.02,
+                      msqStage([](MsqConfig &c) {
+                          c.hessianCompensation = false;
+                      })});
     // Hessian error compensation per row block (recovers it).
-    add("+ Compensate quantization errors/rB", 8.97,
-        stageNmse(model, msqStage([](MsqConfig &) {}), cfg));
+    stages.push_back({"+ Compensate quantization errors/rB", 8.97,
+                      msqStage([](MsqConfig &) {})});
     // Activation quantization with migration alpha = 0.7.
-    const double nmse_acts =
-        stageNmse(model, msqStage([](MsqConfig &) {}, 8, 0.7), cfg);
-    add("+ Quantize activations MX-INT-8_128, a=0.7", 9.08, nmse_acts);
+    stages.push_back({"+ Quantize activations MX-INT-8_128, a=0.7", 9.08,
+                      msqStage([](MsqConfig &) {}, 8, 0.7)});
+
+    std::vector<SweepCell> cells;
+    for (const Stage &s : stages)
+        cells.push_back({&model, s.method});
+    const std::vector<ModelEvalResult> results = runSweep(cells, cfg);
+
+    for (size_t si = 0; si < stages.size(); ++si)
+        add(stages[si].label, stages[si].paper, results[si].meanNmse);
+    const double nmse_acts = results.back().meanNmse;
 
     // KV-cache quantization: model the extra reconstruction error of
     // 2-bit KV on a synthetic attention cache and fold it in.

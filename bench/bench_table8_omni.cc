@@ -10,7 +10,6 @@
 
 #include "bench_util.h"
 #include "common/table.h"
-#include "quant/hessian.h"
 
 using namespace msq;
 using namespace msq::bench;
@@ -62,23 +61,26 @@ main()
             header.push_back(m);
         t.setHeader(header);
 
+        // Both methods on every model: one parallel sweep per setting,
+        // OmniQuant cells first, then Omni-MicroScopiQ.
+        std::vector<SweepCell> cells;
+        for (const std::string &m : models)
+            cells.push_back(
+                {&modelByName(m), omniQuantMethod(s.bits, s.actBits, true)});
+        for (const std::string &m : models)
+            cells.push_back(
+                {&modelByName(m), omniMicroScopiQ(s.bits, s.actBits)});
+        const std::vector<ModelEvalResult> results = runSweep(cells, cfg);
+
         std::vector<std::string> omni_row = {"OmniQuant"};
         std::vector<std::string> oms_row = {"Omni-MicroScopiQ"};
         for (size_t mi = 0; mi < models.size(); ++mi) {
-            const ModelProfile &model = modelByName(models[mi]);
-            const double omni =
-                evaluateMethodOnModel(
-                    model, omniQuantMethod(s.bits, s.actBits, true), cfg)
-                    .proxyPpl;
-            const double oms =
-                evaluateMethodOnModel(
-                    model, omniMicroScopiQ(s.bits, s.actBits), cfg)
-                    .proxyPpl;
+            const double omni = results[mi].proxyPpl;
+            const double oms = results[models.size() + mi].proxyPpl;
             omni_row.push_back(Table::fmt(s.paper_omni[mi], 2) + " -> " +
                                Table::fmt(omni, 2));
             oms_row.push_back(Table::fmt(s.paper_oms[mi], 2) + " -> " +
                               Table::fmt(oms, 2));
-            clearHessianCache();
         }
         t.addRow(omni_row);
         t.addRow(oms_row);

@@ -12,9 +12,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "core/microscopiq.h"
+#include "model/model_zoo.h"
 #include "model/pipeline.h"
+#include "quant/hessian.h"
 #include "quant/atom_lite.h"
 #include "quant/awq.h"
 #include "quant/gobo.h"
@@ -25,6 +29,43 @@
 #include "quant/sdq_lite.h"
 
 namespace msq::bench {
+
+/** One (model, method) cell of a sweep grid. */
+struct SweepCell
+{
+    const ModelProfile *model;
+    QuantMethod method;
+};
+
+/**
+ * Evaluate every (model, method) cell of a sweep, spreading the cells
+ * over the parallelFor pool, and return the results in cell order.
+ *
+ * Cells are independent (evaluateMethodOnModel regenerates all data
+ * from per-layer RNG streams), so the results are bit-identical to
+ * evaluating the cells one by one in a serial loop — the tables the
+ * benches print do not change with MSQ_THREADS. The shared Hessian
+ * factorization cache is thread safe and exact (hits and misses give
+ * the same factor), and is dropped when the sweep completes so
+ * back-to-back sweeps in one binary start cold, as the serial benches
+ * did with their per-row clearHessianCache() calls.
+ */
+inline std::vector<ModelEvalResult>
+runSweep(const std::vector<SweepCell> &cells, const PipelineConfig &cfg)
+{
+    std::vector<ModelEvalResult> results(cells.size());
+    try {
+        parallelFor(0, cells.size(), [&](size_t i) {
+            results[i] =
+                evaluateMethodOnModel(*cells[i].model, cells[i].method, cfg);
+        });
+    } catch (...) {
+        clearHessianCache();
+        throw;
+    }
+    clearHessianCache();
+    return results;
+}
 
 /** MicroScopiQ at the given inlier bit width as a pipeline method. */
 inline QuantMethod

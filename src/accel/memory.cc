@@ -1,10 +1,25 @@
 #include "accel/memory.h"
 
+#include "common/logging.h"
+
 namespace msq {
 
 MemoryCycles
 memoryCycles(const AccelConfig &config, const MemoryTraffic &traffic)
 {
+    // Design-space sweeps construct configs programmatically; a zeroed
+    // bandwidth or clock would otherwise turn into inf/NaN cycles that
+    // silently poison MemoryCycles::bound() and everything downstream.
+    if (!(config.clockGhz > 0.0))
+        fatal("memoryCycles: AccelConfig.clockGhz must be positive, got " +
+              std::to_string(config.clockGhz));
+    if (!(config.dramBytesPerCycle() > 0.0))
+        fatal("memoryCycles: AccelConfig.dramGBs must be positive, got " +
+              std::to_string(config.dramGBs));
+    if (!(config.ocpBytesPerCycle() > 0.0))
+        fatal("memoryCycles: AccelConfig.ocpGBs must be positive, got " +
+              std::to_string(config.ocpGBs));
+
     MemoryCycles cycles;
     cycles.dramCycles = traffic.dramBytes / config.dramBytesPerCycle();
     cycles.ocpCycles = traffic.l2Bytes / config.ocpBytesPerCycle();

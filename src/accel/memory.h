@@ -46,7 +46,12 @@ struct MemoryCycles
     }
 };
 
-/** Cycle cost of moving `traffic` under `config` bandwidths. */
+/**
+ * Cycle cost of moving `traffic` under `config` bandwidths.
+ * Calls fatal() if the config's clock or either bandwidth is zero,
+ * negative, or NaN — a zero-bandwidth design point would otherwise
+ * produce inf/NaN cycles that silently poison bound().
+ */
 MemoryCycles memoryCycles(const AccelConfig &config,
                           const MemoryTraffic &traffic);
 

@@ -1,0 +1,220 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace msq {
+
+namespace {
+
+/** True while the current thread is executing a parallelFor body. */
+thread_local bool in_parallel_region = false;
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("MSQ_THREADS")) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n >= 1)
+            return static_cast<unsigned>(n);
+        warn("ignoring invalid MSQ_THREADS value '" + std::string(env) +
+             "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::atomic<unsigned> thread_count_override{0};
+
+/**
+ * Process-wide worker pool. Workers sleep on a condition variable and
+ * are woken once per job; each job is a [begin, end) range whose chunks
+ * are claimed from an atomic cursor by workers and the submitting
+ * thread alike. One job runs at a time (nested calls run inline), so a
+ * single job slot suffices.
+ */
+class Pool
+{
+  public:
+    static Pool &
+    instance()
+    {
+        static Pool pool;
+        return pool;
+    }
+
+    void
+    run(size_t begin, size_t end, const std::function<void(size_t)> &body,
+        size_t grain, unsigned threads)
+    {
+        // One job at a time: concurrent top-level parallelFor calls
+        // from different application threads serialize here (each
+        // still gets the full pool while it runs).
+        std::lock_guard<std::mutex> job_lock(run_mutex_);
+        ensureWorkers(threads - 1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            begin_ = begin;
+            end_ = end;
+            grain_ = grain;
+            body_ = &body;
+            error_ = nullptr;
+            error_flag_.store(false, std::memory_order_relaxed);
+            cursor_.store(begin, std::memory_order_relaxed);
+            // The pool only ever grows, so a later, smaller thread
+            // count is enforced with participation tickets: the first
+            // threads - 1 workers to wake join this job, the rest see
+            // no ticket and go back to sleep.
+            pending_ = static_cast<unsigned>(std::min<size_t>(
+                workers_.size(), threads - 1));
+            tickets_ = pending_;
+            ++job_id_;
+        }
+        wake_.notify_all();
+        drainChunks();
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        body_ = nullptr;
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    Pool() = default;
+
+    ~Pool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    void
+    ensureWorkers(unsigned n)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // A worker must not join jobs dispatched before it existed:
+        // it starts considering the current job id as already seen.
+        while (workers_.size() < n)
+            workers_.emplace_back(
+                [this, id = job_id_] { workerLoop(id); });
+    }
+
+    void
+    workerLoop(uint64_t seen)
+    {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return shutdown_ || job_id_ != seen;
+                });
+                if (shutdown_)
+                    return;
+                seen = job_id_;
+                if (tickets_ == 0)
+                    continue;  // job is capped below the pool size
+                --tickets_;
+            }
+            drainChunks();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    done_.notify_all();
+            }
+        }
+    }
+
+    /** Claim and execute chunks until the range (or an error) ends. */
+    void
+    drainChunks()
+    {
+        in_parallel_region = true;
+        for (;;) {
+            if (error_flag_.load(std::memory_order_relaxed))
+                break;
+            const size_t lo =
+                cursor_.fetch_add(grain_, std::memory_order_relaxed);
+            if (lo >= end_)
+                break;
+            const size_t hi = lo + grain_ < end_ ? lo + grain_ : end_;
+            try {
+                for (size_t i = lo; i < hi; ++i)
+                    (*body_)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+                error_flag_.store(true, std::memory_order_relaxed);
+            }
+        }
+        in_parallel_region = false;
+    }
+
+    std::mutex run_mutex_;  ///< serializes whole jobs (held across run())
+    std::mutex mutex_;      ///< guards all state below
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::vector<std::thread> workers_;
+    bool shutdown_ = false;
+    uint64_t job_id_ = 0;
+    unsigned pending_ = 0;  ///< participants that have not finished
+    unsigned tickets_ = 0;  ///< participation slots left for this job
+
+    // Current job; valid while pending_ > 0 or the caller is draining.
+    size_t begin_ = 0;
+    size_t end_ = 0;
+    size_t grain_ = 1;
+    const std::function<void(size_t)> *body_ = nullptr;
+    std::atomic<size_t> cursor_{0};
+    std::atomic<bool> error_flag_{false};
+    std::exception_ptr error_;
+};
+
+} // namespace
+
+unsigned
+threadCount()
+{
+    const unsigned n = thread_count_override.load(std::memory_order_relaxed);
+    if (n > 0)
+        return n;
+    static const unsigned resolved = defaultThreadCount();
+    return resolved;
+}
+
+void
+setThreadCount(unsigned n)
+{
+    thread_count_override.store(n, std::memory_order_relaxed);
+}
+
+void
+parallelFor(size_t begin, size_t end,
+            const std::function<void(size_t)> &body, size_t grain)
+{
+    MSQ_ASSERT(grain > 0, "parallelFor grain must be positive");
+    if (begin >= end)
+        return;
+    const unsigned threads = threadCount();
+    if (threads <= 1 || in_parallel_region || end - begin <= grain) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+    Pool::instance().run(begin, end, body, grain, threads);
+}
+
+} // namespace msq

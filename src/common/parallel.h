@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic data parallelism for the quantization pipeline.
+ *
+ * The repository's reproducibility contract ("bit-for-bit identical
+ * results for a given seed", see rng.h) extends to threading: a sweep
+ * run on one thread must produce exactly the bytes it produces on N.
+ * The substrate therefore offers a single primitive, `parallelFor`,
+ * whose contract makes that easy to honor:
+ *
+ *  - the body is invoked exactly once per index in [begin, end);
+ *  - bodies for different indices must be independent (no ordering,
+ *    each writes only its own output slot);
+ *  - any reduction over the per-index outputs is performed by the
+ *    caller afterwards, in index order, on the calling thread.
+ *
+ * Because every index is computed from pure per-index inputs (the
+ * per-layer RNG streams in weight_gen/calib_gen make layer generation
+ * pure) and reductions stay serial, the result is independent of the
+ * schedule, so no deterministic work *assignment* is needed: chunks of
+ * indices are claimed from a shared atomic cursor — plain
+ * self-scheduling, no work stealing, no per-thread deques — which also
+ * load-balances triangular loops like the Hessian build for free.
+ *
+ * Worker threads live in a lazily created process-wide pool. Nested
+ * `parallelFor` calls run inline (serially) on the calling thread, so
+ * an outer method-by-model sweep and the per-layer loop inside
+ * `evaluateMethodOnModel` compose without deadlock or oversubscription.
+ */
+
+#ifndef MSQ_COMMON_PARALLEL_H
+#define MSQ_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace msq {
+
+/**
+ * Number of threads `parallelFor` spreads work over, resolved in order:
+ * a prior `setThreadCount` override, the `MSQ_THREADS` environment
+ * variable, then `std::thread::hardware_concurrency()`. Always >= 1.
+ */
+unsigned threadCount();
+
+/**
+ * Override the thread count for subsequent `parallelFor` calls
+ * (tests use this to compare 1-thread and N-thread runs in-process).
+ * Pass 0 to restore the MSQ_THREADS / hardware default.
+ */
+void setThreadCount(unsigned n);
+
+/**
+ * Invoke `body(i)` for every i in [begin, end), possibly concurrently.
+ *
+ * Bodies for distinct indices must be independent: each may read shared
+ * immutable state but write only locations private to its index. Under
+ * that contract the result is bit-identical for any thread count.
+ *
+ * `grain` is the number of consecutive indices claimed at a time;
+ * raise it when the per-index work is tiny. Ranges not longer than
+ * `grain`, a thread count of 1, and calls from inside another
+ * `parallelFor` body all run serially inline.
+ *
+ * The first exception thrown by a body is rethrown on the calling
+ * thread once all workers have drained (remaining chunks are skipped).
+ *
+ * Thread safe: top-level calls from different application threads are
+ * serialized — one job runs at a time, each getting up to
+ * threadCount() threads while it runs.
+ */
+void parallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)> &body, size_t grain = 1);
+
+} // namespace msq
+
+#endif // MSQ_COMMON_PARALLEL_H

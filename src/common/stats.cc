@@ -25,15 +25,20 @@ summarize(const std::vector<double> &values)
     }
     s.mean = sum / static_cast<double>(s.count);
 
-    double m2 = 0.0, m4 = 0.0;
+    double sq = 0.0, quart = 0.0;
     for (double v : values) {
         const double d = v - s.mean;
-        m2 += d * d;
-        m4 += d * d * d * d;
+        sq += d * d;
+        quart += d * d * d * d;
     }
-    m2 /= static_cast<double>(s.count);
-    m4 /= static_cast<double>(s.count);
-    s.stddev = std::sqrt(m2);
+    // Sample (Bessel-corrected, n - 1) standard deviation — the one
+    // definition used repository-wide; see stats.h. Kurtosis keeps the
+    // conventional population central moments.
+    s.stddev = s.count >= 2
+                   ? std::sqrt(sq / static_cast<double>(s.count - 1))
+                   : 0.0;
+    const double m2 = sq / static_cast<double>(s.count);
+    const double m4 = quart / static_cast<double>(s.count);
     s.kurtosis = (m2 > 0.0) ? m4 / (m2 * m2) - 3.0 : 0.0;
     return s;
 }
@@ -52,6 +57,8 @@ mean(const std::vector<double> &values)
 double
 stddev(const std::vector<double> &values)
 {
+    // Same sample (n - 1) definition as SampleSummary::stddev; the
+    // size guard matches the n >= 2 domain of Bessel's correction.
     if (values.size() < 2)
         return 0.0;
     return summarize(values).stddev;

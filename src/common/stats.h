@@ -12,12 +12,20 @@
 
 namespace msq {
 
-/** Summary of a sample: moments and extremes. */
+/**
+ * Summary of a sample: moments and extremes.
+ *
+ * Standard-deviation convention (used consistently by `stddev()` and
+ * `SampleSummary`): the *sample* standard deviation with Bessel's
+ * correction, sqrt(sum (x - mean)^2 / (n - 1)), which is 0 for fewer
+ * than two observations. Kurtosis uses the conventional population
+ * central moments m4 / m2^2 - 3.
+ */
 struct SampleSummary
 {
     size_t count = 0;
     double mean = 0.0;
-    double stddev = 0.0;     ///< population standard deviation
+    double stddev = 0.0;     ///< sample (n - 1) standard deviation
     double minValue = 0.0;
     double maxValue = 0.0;
     double kurtosis = 0.0;   ///< excess kurtosis (0 for a Gaussian)
@@ -29,7 +37,7 @@ SampleSummary summarize(const std::vector<double> &values);
 /** Arithmetic mean (0 for an empty sample). */
 double mean(const std::vector<double> &values);
 
-/** Population standard deviation (0 for fewer than 2 samples). */
+/** Sample (n - 1) standard deviation; 0 for fewer than 2 samples. */
 double stddev(const std::vector<double> &values);
 
 /**

@@ -132,7 +132,11 @@ MicroScopiQQuantizer::quantizeRow(PackedLayer &layer, size_t row,
                               return std::fabs(values[ub0 + a]) >
                                      std::fabs(values[ub0 + b]);
                           });
-                demoted.assign(out_pos.begin() + capacity, out_pos.end());
+                // Indexed copy instead of assign(first, last): GCC 12's
+                // -Wnonnull cannot see that the range is non-empty here
+                // and flags the underlying std::copy.
+                for (size_t i = capacity; i < out_pos.size(); ++i)
+                    demoted.push_back(out_pos[i]);
                 out_pos.resize(capacity);
                 std::sort(out_pos.begin(), out_pos.end());
                 layer.stats.outliersPruned += demoted.size();
@@ -165,9 +169,14 @@ MicroScopiQQuantizer::quantizeRow(PackedLayer &layer, size_t row,
                           });
                 const size_t n_prune =
                     std::min(out_pos.size(), candidates.size());
-                prune_pos.assign(candidates.begin(),
-                                 candidates.begin() + n_prune);
-                layer.stats.inliersPruned += n_prune;
+                // The n_prune > 0 guard also keeps GCC 12's -Wnonnull
+                // from flagging assign() over an empty vector's null
+                // begin().
+                if (n_prune > 0) {
+                    prune_pos.assign(candidates.begin(),
+                                     candidates.begin() + n_prune);
+                    layer.stats.inliersPruned += n_prune;
+                }
                 // If there were fewer inliers than outliers the excess
                 // outliers must be pruned too.
                 while (out_pos.size() > prune_pos.size()) {

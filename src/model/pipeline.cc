@@ -1,8 +1,10 @@
 #include "model/pipeline.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "model/calib_gen.h"
 #include "model/proxy_eval.h"
 #include "model/weight_gen.h"
@@ -10,6 +12,18 @@
 #include "quant/smoothquant.h"
 
 namespace msq {
+
+namespace {
+
+/** Per-layer measurement, reduced serially in layer order afterwards. */
+struct LayerOutcome
+{
+    double nmse = 0.0;
+    double ebw = 0.0;
+    double params = 0.0;
+};
+
+} // namespace
 
 ModelEvalResult
 evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
@@ -19,11 +33,15 @@ evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
     result.model = model.name;
     result.method = method.name;
 
-    double nmse_acc = 0.0;
-    double ebw_acc = 0.0;
-    double weight_acc = 0.0;
+    // Every layer is an independent quantize + eval: the weight /
+    // calibration / eval data come from per-layer RNG streams
+    // (weight_gen.cc, calib_gen.cc), so layers can run on pool threads
+    // in any order. Each writes only its own LayerOutcome slot; the
+    // parameter-weighted reduction below runs serially in layer order,
+    // keeping the result bit-identical to a single-threaded run.
+    std::vector<LayerOutcome> outcomes(model.layers.size());
 
-    for (size_t li = 0; li < model.layers.size(); ++li) {
+    parallelFor(0, model.layers.size(), [&](size_t li) {
         const Matrix w = generateLayerWeights(model, li);
         // Hessian-based compensation needs the calibration sample count
         // to exceed the reduction dimension, or H = 2XX^T is rank
@@ -62,9 +80,16 @@ evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
 
         const double params =
             static_cast<double>(model.layers[li].k * model.layers[li].o);
-        nmse_acc += nmse * params;
-        ebw_acc += qres.ebw * params;
-        weight_acc += params;
+        outcomes[li] = LayerOutcome{nmse, qres.ebw, params};
+    });
+
+    double nmse_acc = 0.0;
+    double ebw_acc = 0.0;
+    double weight_acc = 0.0;
+    for (const LayerOutcome &o : outcomes) {
+        nmse_acc += o.nmse * o.params;
+        ebw_acc += o.ebw * o.params;
+        weight_acc += o.params;
     }
 
     MSQ_ASSERT(weight_acc > 0.0, "model has no layers");

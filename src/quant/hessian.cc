@@ -1,9 +1,12 @@
 #include "quant/hessian.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace msq {
 
@@ -27,8 +30,18 @@ contentHash(const Matrix &m)
     return h;
 }
 
+// Entries are shared_ptr so a clear() (explicit or capacity-triggered)
+// cannot invalidate a factor another thread is still copying out, and
+// so lookups only copy a pointer while the mutex is held.
 using HessianKey = std::tuple<uint64_t, size_t, size_t, double>;
-std::map<HessianKey, Matrix> hessian_cache;
+std::map<HessianKey, std::shared_ptr<const Matrix>> hessian_cache;
+
+/**
+ * Guards hessian_cache: the parallel pipeline quantizes independent
+ * layers (and independent sweep cells) concurrently, and several of
+ * them may factorize with the same calibration data.
+ */
+std::mutex hessian_mutex;
 
 /** Bound the cache so long sweeps cannot exhaust memory. */
 constexpr size_t kMaxCachedHessians = 48;
@@ -43,8 +56,14 @@ buildHessian(const Matrix &calib, double damp_rel)
     const size_t n = calib.cols();
 
     Matrix h(k, k);
-    // H = 2 X X^T, exploiting symmetry.
-    for (size_t i = 0; i < k; ++i) {
+    // H = 2 X X^T, exploiting symmetry. Row i of the upper triangle is
+    // an independent unit of work (it alone writes h(i, j) and h(j, i)
+    // for j >= i), so the triangular loop parallelizes directly; the
+    // self-scheduled chunking in parallelFor absorbs the imbalance
+    // between early (long) and late (short) rows. Each dot product is
+    // still accumulated in a fixed order, so the result is bit-exact
+    // regardless of thread count.
+    parallelFor(0, k, [&](size_t i) {
         const double *xi = calib.rowPtr(i);
         for (size_t j = i; j < k; ++j) {
             const double *xj = calib.rowPtr(j);
@@ -54,7 +73,7 @@ buildHessian(const Matrix &calib, double damp_rel)
             h(i, j) = 2.0 * acc;
             h(j, i) = 2.0 * acc;
         }
-    }
+    });
 
     double mean_diag = 0.0;
     for (size_t i = 0; i < k; ++i)
@@ -84,25 +103,39 @@ hessianInverseCholesky(const Matrix &calib, double damp_rel)
     return choleskyFactor(hessianInverseFromCalib(calib, damp_rel));
 }
 
-const Matrix &
+Matrix
 hessianInverseCholeskyCached(const Matrix &calib, double damp_rel)
 {
     const HessianKey key{contentHash(calib), calib.rows(), calib.cols(),
                          damp_rel};
-    auto it = hessian_cache.find(key);
-    if (it == hessian_cache.end()) {
+    std::shared_ptr<const Matrix> hit;
+    {
+        std::lock_guard<std::mutex> lock(hessian_mutex);
+        auto it = hessian_cache.find(key);
+        if (it != hessian_cache.end())
+            hit = it->second;
+    }
+    if (hit)
+        return *hit;  // O(k^2) copy happens outside the mutex
+    // Factorize outside the lock: concurrent misses on *different*
+    // calibrations must not serialize on the O(k^3) work. Two threads
+    // missing on the same key redundantly compute identical factors;
+    // the second insert is a no-op.
+    auto factor = std::make_shared<const Matrix>(
+        hessianInverseCholesky(calib, damp_rel));
+    {
+        std::lock_guard<std::mutex> lock(hessian_mutex);
         if (hessian_cache.size() >= kMaxCachedHessians)
             hessian_cache.clear();
-        it = hessian_cache
-                 .emplace(key, hessianInverseCholesky(calib, damp_rel))
-                 .first;
+        hessian_cache.emplace(key, factor);
     }
-    return it->second;
+    return *factor;
 }
 
 void
 clearHessianCache()
 {
+    std::lock_guard<std::mutex> lock(hessian_mutex);
     hessian_cache.clear();
 }
 

@@ -47,11 +47,16 @@ Matrix hessianInverseCholesky(const Matrix &calib, double damp_rel = 0.01);
  * and the O(k^3) inverse dominates. Keyed by the calibration data's
  * content hash, so deterministic regeneration hits the cache. Cleared
  * with clearHessianCache().
+ *
+ * Thread safe (the parallel pipeline calls this from worker threads);
+ * returns by value because the bounded cache may evict entries — of
+ * negligible cost next to the factorization — and a reference into it
+ * could be invalidated by a concurrent insert-triggered clear.
  */
-const Matrix &hessianInverseCholeskyCached(const Matrix &calib,
-                                           double damp_rel = 0.01);
+Matrix hessianInverseCholeskyCached(const Matrix &calib,
+                                    double damp_rel = 0.01);
 
-/** Drop all cached Hessian factorizations. */
+/** Drop all cached Hessian factorizations. Thread safe. */
 void clearHessianCache();
 
 } // namespace msq

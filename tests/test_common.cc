@@ -149,6 +149,23 @@ TEST(Matrix, NormalizedError)
     EXPECT_DOUBLE_EQ(off.normalizedErrorTo(ref), 1.0);
 }
 
+TEST(Stats, StddevUsesSampleDefinitionEverywhere)
+{
+    // {1, 2, 3}: sample (n - 1) stddev is exactly 1; the population
+    // definition would give sqrt(2/3). Both entry points must agree
+    // on the sample convention documented in stats.h.
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(stddev(v), 1.0);
+    EXPECT_DOUBLE_EQ(summarize(v).stddev, 1.0);
+}
+
+TEST(Stats, StddevDegenerateSamples)
+{
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({4.2}), 0.0);
+    EXPECT_DOUBLE_EQ(summarize({4.2}).stddev, 0.0);
+}
+
 TEST(Stats, PercentileInterpolates)
 {
     std::vector<double> v = {1, 2, 3, 4, 5};

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the memory-hierarchy traffic model: cycle conversion
+ * under the default config, the pipelined bound, and the loud failure
+ * on degenerate (zero/NaN bandwidth or clock) design points that used
+ * to produce silent inf/NaN cycles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/memory.h"
+
+namespace msq {
+namespace {
+
+TEST(MemoryCycles, ConvertsTrafficAtConfiguredBandwidth)
+{
+    AccelConfig config;  // 256 GB/s DRAM, 64 GB/s OCP at 1 GHz
+    MemoryTraffic traffic;
+    traffic.dramBytes = 256.0 * 1000;
+    traffic.l2Bytes = 64.0 * 500;
+
+    const MemoryCycles cycles = memoryCycles(config, traffic);
+    EXPECT_DOUBLE_EQ(cycles.dramCycles, 1000.0);
+    EXPECT_DOUBLE_EQ(cycles.ocpCycles, 500.0);
+    EXPECT_DOUBLE_EQ(cycles.bound(), 1000.0);
+}
+
+TEST(MemoryCycles, BoundIsTheSlowerStage)
+{
+    MemoryCycles cycles;
+    cycles.dramCycles = 10.0;
+    cycles.ocpCycles = 25.0;
+    EXPECT_DOUBLE_EQ(cycles.bound(), 25.0);
+}
+
+TEST(MemoryCycles, ZeroTrafficIsFree)
+{
+    const MemoryCycles cycles = memoryCycles(AccelConfig{}, MemoryTraffic{});
+    EXPECT_DOUBLE_EQ(cycles.bound(), 0.0);
+}
+
+using MemoryCyclesDeathTest = ::testing::Test;
+
+TEST(MemoryCyclesDeathTest, RejectsZeroDramBandwidth)
+{
+    AccelConfig config;
+    config.dramGBs = 0.0;  // a design-space sweep corner
+    EXPECT_DEATH(memoryCycles(config, MemoryTraffic{}),
+                 "dramGBs must be positive");
+}
+
+TEST(MemoryCyclesDeathTest, RejectsZeroOcpBandwidth)
+{
+    AccelConfig config;
+    config.ocpGBs = 0.0;
+    EXPECT_DEATH(memoryCycles(config, MemoryTraffic{}),
+                 "ocpGBs must be positive");
+}
+
+TEST(MemoryCyclesDeathTest, RejectsZeroClock)
+{
+    AccelConfig config;
+    config.clockGhz = 0.0;
+    EXPECT_DEATH(memoryCycles(config, MemoryTraffic{}),
+                 "clockGhz must be positive");
+}
+
+TEST(MemoryCyclesDeathTest, RejectsNanBandwidth)
+{
+    AccelConfig config;
+    config.dramGBs = std::nan("");
+    EXPECT_DEATH(memoryCycles(config, MemoryTraffic{}),
+                 "dramGBs must be positive");
+}
+
+} // namespace
+} // namespace msq
