@@ -49,7 +49,7 @@ main()
                       static_cast<long long>(s.reconStallCycles))});
     }
     t.print();
-    std::puts("Modeling note (DESIGN.md): conflicts are measured with "
+    std::puts("Modeling note (docs/DESIGN.md): conflicts are measured with "
               "wavefront emission\n(row+token staggering) and "
               "column-slot arbitration; decode workloads sit in\nthe "
               "paper's low-contention regime.");

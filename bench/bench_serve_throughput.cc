@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Serving-throughput benchmark: streams synthetic requests through a
+ * model zoo profile on the packed-execution engine, once with the
+ * scheduler forced to one request per batch (the naive deployment) and
+ * once with batching enabled, and reports latency percentiles and
+ * throughput for both. Batching must win on two axes: the decoded
+ * weight stream is reused across every token of a batch
+ * (weight-stationary amortization), and wide batches give parallelFor
+ * enough token tiles to fill the pool.
+ *
+ * Alongside the human-readable table the bench emits a machine-readable
+ * BENCH_serve.json (path overridable as argv[1]; schema checked by
+ * scripts/check_bench_json.py) — the tracked benchmark trajectory for
+ * the serving path.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/parallel.h"
+#include "common/table.h"
+#include "core/msq_config.h"
+#include "model/model_zoo.h"
+#include "serve/engine.h"
+
+using namespace msq;
+
+namespace {
+
+constexpr size_t kRequests = 96;
+constexpr size_t kTokensPerRequest = 4;
+
+/** Submit the identical request stream to an engine. */
+void
+submitStream(ServeEngine &engine)
+{
+    for (uint64_t r = 0; r < kRequests; ++r)
+        engine.submit(kTokensPerRequest, 1000 + r);
+}
+
+void
+addPhaseRows(Table &t, const char *phase, const ServeReport &rep)
+{
+    t.addRow({phase, "requests", Table::fmtInt(static_cast<long long>(
+                                     rep.requests.size()))});
+    t.addRow({"", "batches",
+              Table::fmtInt(static_cast<long long>(rep.batches))});
+    t.addRow({"", "p50 / p95 / p99 latency (ms)",
+              Table::fmt(rep.p50Ms, 2) + " / " + Table::fmt(rep.p95Ms, 2) +
+                  " / " + Table::fmt(rep.p99Ms, 2)});
+    t.addRow({"", "throughput (tokens/s)", Table::fmt(rep.tokensPerSec, 1)});
+    t.addRow({"", "integer MACs/s",
+              Table::fmt(rep.macsPerSec / 1e6, 1) + " M"});
+}
+
+void
+writePhaseJson(std::FILE *f, const char *name, const ServeReport &rep)
+{
+    std::fprintf(f,
+                 "  \"%s\": {\n"
+                 "    \"requests\": %zu,\n"
+                 "    \"batches\": %zu,\n"
+                 "    \"tokens\": %zu,\n"
+                 "    \"wall_ms\": %.3f,\n"
+                 "    \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, "
+                 "\"p99\": %.4f, \"mean\": %.4f, \"max\": %.4f},\n"
+                 "    \"requests_per_s\": %.2f,\n"
+                 "    \"tokens_per_s\": %.2f,\n"
+                 "    \"macs_per_s\": %.1f\n"
+                 "  }",
+                 name, rep.requests.size(), rep.batches, rep.tokens,
+                 rep.wallMs, rep.p50Ms, rep.p95Ms, rep.p99Ms, rep.meanMs,
+                 rep.maxMs, rep.requestsPerSec, rep.tokensPerSec,
+                 rep.macsPerSec);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_serve.json";
+    const ModelProfile &model = modelByName("LLaMA2-7B");
+    MsqConfig qcfg;  // paper headline: W2, e1m2 outliers
+
+    // The paper's serving regime is decode-heavy: many small requests.
+    // Single-request config = scheduler disabled.
+    ServeConfig single;
+    single.maxBatchRequests = 1;
+    single.tileTokens = 16;
+    ServeConfig batched;
+    batched.maxBatchRequests = 32;
+    batched.maxBatchTokens = 256;
+    batched.tileTokens = 16;
+
+    // Warm the packed-weight cache outside every timed region (both
+    // engines share the deployment).
+    ServeEngine engine_single(model, qcfg, single);
+    ServeEngine engine_batched(model, qcfg, batched);
+    const PackedModel &packed = engine_single.packedModel();
+
+    submitStream(engine_single);
+    const ServeReport rep_s = engine_single.drain();
+    submitStream(engine_batched);
+    const ServeReport rep_b = engine_batched.drain();
+
+    const double speedup =
+        rep_s.tokensPerSec > 0.0 ? rep_b.tokensPerSec / rep_s.tokensPerSec
+                                 : 0.0;
+
+    Table t("Serving throughput, " + model.name + ", " +
+            qcfg.name() + " packed execution (" +
+            std::to_string(threadCount()) + " threads)");
+    t.setHeader({"phase", "quantity", "value"});
+    t.addRow({"deploy", "packed build (ms)", Table::fmt(packed.buildMs, 1)});
+    t.addRow({"", "EBW (Eq. 4)", Table::fmt(packed.meanEbw, 3) + " bits"});
+    t.addRow({"", "MACs/token",
+              Table::fmt(static_cast<double>(packed.termsPerToken) / 1e3,
+                         1) +
+                  " k"});
+    t.addSeparator();
+    addPhaseRows(t, "single", rep_s);
+    t.addSeparator();
+    addPhaseRows(t, "batched", rep_b);
+    t.addSeparator();
+    t.addRow({"", "batched / single throughput",
+              Table::fmt(speedup, 2) + "x"});
+    t.print();
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"serve_throughput\",\n"
+                 "  \"model\": \"%s\",\n"
+                 "  \"method\": \"%s\",\n"
+                 "  \"threads\": %u,\n"
+                 "  \"tokens_per_request\": %zu,\n"
+                 "  \"build_ms\": %.1f,\n"
+                 "  \"ebw_bits\": %.4f,\n"
+                 "  \"macs_per_token\": %zu,\n",
+                 model.name.c_str(), qcfg.name().c_str(), threadCount(),
+                 kTokensPerRequest, packed.buildMs, packed.meanEbw,
+                 packed.termsPerToken);
+    writePhaseJson(f, "single", rep_s);
+    std::fprintf(f, ",\n");
+    writePhaseJson(f, "batched", rep_b);
+    std::fprintf(f, ",\n  \"speedup\": %.4f\n}\n", speedup);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

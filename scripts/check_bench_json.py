@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_serve.json emitted by bench_serve_throughput.
+
+Checks the machine-readable benchmark record against a small schema
+(required keys, types, and basic sanity: positive throughputs, ordered
+percentiles) so the tracked benchmark trajectory cannot silently rot.
+
+Usage: check_bench_json.py path/to/BENCH_serve.json
+Exits 0 when valid, 1 with a message otherwise.
+"""
+
+import json
+import sys
+
+PHASE_SCHEMA = {
+    "requests": int,
+    "batches": int,
+    "tokens": int,
+    "wall_ms": float,
+    "latency_ms": dict,
+    "requests_per_s": float,
+    "tokens_per_s": float,
+    "macs_per_s": float,
+}
+
+LATENCY_KEYS = ("p50", "p95", "p99", "mean", "max")
+
+TOP_SCHEMA = {
+    "bench": str,
+    "model": str,
+    "method": str,
+    "threads": int,
+    "tokens_per_request": int,
+    "build_ms": float,
+    "ebw_bits": float,
+    "macs_per_token": int,
+    "single": dict,
+    "batched": dict,
+    "speedup": float,
+}
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_types(obj, schema, where):
+    for key, want in schema.items():
+        if key not in obj:
+            fail(f"{where}: missing key '{key}'")
+        got = obj[key]
+        # ints are acceptable where floats are expected, not vice versa
+        if want is float and isinstance(got, int):
+            continue
+        if not isinstance(got, want):
+            fail(f"{where}.{key}: expected {want.__name__}, "
+                 f"got {type(got).__name__}")
+
+
+def check_phase(phase, where):
+    check_types(phase, PHASE_SCHEMA, where)
+    lat = phase["latency_ms"]
+    for key in LATENCY_KEYS:
+        if key not in lat:
+            fail(f"{where}.latency_ms: missing '{key}'")
+        if not isinstance(lat[key], (int, float)):
+            fail(f"{where}.latency_ms.{key}: not a number")
+    if not lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]:
+        fail(f"{where}.latency_ms: percentiles not ordered")
+    if phase["tokens_per_s"] <= 0:
+        fail(f"{where}.tokens_per_s must be positive")
+    if phase["requests"] <= 0 or phase["batches"] <= 0:
+        fail(f"{where}: empty phase")
+    if phase["batches"] > phase["requests"]:
+        fail(f"{where}: more batches than requests")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py BENCH_serve.json")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+
+    check_types(doc, TOP_SCHEMA, "$")
+    if doc["bench"] != "serve_throughput":
+        fail(f"unexpected bench id '{doc['bench']}'")
+    check_phase(doc["single"], "$.single")
+    check_phase(doc["batched"], "$.batched")
+
+    want = doc["batched"]["tokens_per_s"] / doc["single"]["tokens_per_s"]
+    if abs(doc["speedup"] - want) > 0.01 * max(1.0, want):
+        fail(f"speedup {doc['speedup']} inconsistent with phase "
+             f"throughputs ({want:.4f})")
+    if doc["batched"]["batches"] >= doc["single"]["batches"]:
+        fail("batched phase did not coalesce requests")
+
+    print(f"check_bench_json: OK ({sys.argv[1]}: "
+          f"{doc['model']}, {doc['method']}, "
+          f"speedup {doc['speedup']:.2f}x on {doc['threads']} threads)")
+
+
+if __name__ == "__main__":
+    main()

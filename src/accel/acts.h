@@ -30,6 +30,7 @@ class QuantizedActs
     size_t tokens() const { return tokens_; }
     size_t channels() const { return channels_; }
     unsigned bits() const { return bits_; }
+    size_t group() const { return group_; }
 
     /** Integer code of (token, channel). */
     int8_t code(size_t token, size_t channel) const

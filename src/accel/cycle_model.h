@@ -7,7 +7,8 @@
  * arbitration at one row-vector transit per unit per cycle, and
  * overlaps double-buffered memory transfers with compute.
  *
- * ReCoN contention interpretation (see DESIGN.md): each (outlier-row,
+ * ReCoN contention interpretation (see docs/DESIGN.md "ReCoN
+ * contention"): each (outlier-row,
  * token) pair requires one transit. Transits are absorbed into the
  * pipeline while demand stays below the aggregate unit capacity within
  * a tile's compute window; excess demand stalls the tile. The access

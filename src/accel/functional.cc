@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "accel/int_dequant.h"
 #include "accel/pe.h"
 #include "common/logging.h"
 #include "core/encoding.h"
@@ -80,16 +81,8 @@ FunctionalAccelerator::gemm(const PackedLayer &weights,
                             continue;
                         MSQ_ASSERT(kind == SlotKind::Inlier,
                                    "outlier slot in inlier micro-block");
-                        int32_t prod;
-                        if (bb == 2) {
-                            // MODE 2b: the code sits in the low pair.
-                            prod = MultiPrecisionPe::multiply2b(
-                                       weights.code(k, o), ia)
-                                       .lo;
-                        } else {
-                            prod = MultiPrecisionPe::multiply4b(
-                                weights.code(k, o), ia);
-                        }
+                        const int32_t prod =
+                            peInlierProduct(weights.code(k, o), bb, ia);
                         ++stats_.macs;
                         const size_t mb = o / qcfg.macroBlock;
                         const double scale = std::ldexp(
@@ -110,15 +103,8 @@ FunctionalAccelerator::gemm(const PackedLayer &weights,
                     in.iacc = 0;  // accumulation carried outside in acc[]
                     switch (kind) {
                       case SlotKind::Inlier: {
-                        int32_t prod;
-                        if (bb == 2) {
-                            prod = MultiPrecisionPe::multiply2b(
-                                       weights.code(k, o), ia)
-                                       .lo;
-                        } else {
-                            prod = MultiPrecisionPe::multiply4b(
-                                weights.code(k, o), ia);
-                        }
+                        const int32_t prod =
+                            peInlierProduct(weights.code(k, o), bb, ia);
                         ++stats_.macs;
                         in.tag = ReconInput::Tag::InlierPsum;
                         in.res = prod;

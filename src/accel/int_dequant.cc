@@ -1,0 +1,34 @@
+#include "accel/int_dequant.h"
+
+#include "accel/pe.h"
+#include "common/logging.h"
+#include "core/encoding.h"
+
+namespace msq {
+
+int32_t
+peInlierProduct(uint8_t code, unsigned bb, int8_t iact)
+{
+    MSQ_ASSERT(bb == 2 || bb == 4, "inlier codes are 2- or 4-bit");
+    if (bb == 2) {
+        // MODE 2b: the code sits in the low pair.
+        return MultiPrecisionPe::multiply2b(code, iact).lo;
+    }
+    return MultiPrecisionPe::multiply4b(code, iact);
+}
+
+int32_t
+mergedOutlierMantissa(uint8_t upper_code, uint8_t lower_code,
+                      unsigned mbits, unsigned bb)
+{
+    OutlierHalves halves;
+    halves.upper = upper_code;
+    halves.lower = lower_code;
+    uint8_t sign = 0;
+    uint16_t mantissa = 0;
+    mergeOutlier(halves, mbits, bb, sign, mantissa);
+    const int32_t mag = (int32_t{1} << mbits) + static_cast<int32_t>(mantissa);
+    return sign ? -mag : mag;
+}
+
+} // namespace msq

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared integer decode helpers for executing packed MicroScopiQ codes,
+ * extracted from the functional accelerator model so that the PE/ReCoN
+ * simulation (accel/functional.cc) and the packed-execution serving
+ * engine (src/serve) form weight contributions with one implementation
+ * of the same integer arithmetic.
+ *
+ * Two primitives cover every stored slot of the Fig. 5 layout:
+ *
+ *  - an inlier slot contributes code x iAct through the multi-precision
+ *    PE (two's-complement multiply, MODE 2b or 4b by bit width);
+ *  - an outlier contributes its ReCoN-merged hidden-bit mantissa
+ *    +/-(2^M + m), scaled by 2^(Osf - M). The merge of the Upper and
+ *    Lower bb-bit halves is exactly the shift-and-or ReCoN performs.
+ */
+
+#ifndef MSQ_ACCEL_INT_DEQUANT_H
+#define MSQ_ACCEL_INT_DEQUANT_H
+
+#include <cstdint>
+
+namespace msq {
+
+/**
+ * Product of an inlier weight code with an iAct through the PE model:
+ * MODE 2b reads the code from the low bit pair, MODE 4b the full nibble.
+ * Equals signExtend(code, bb) * iact (the PE unit test enforces it).
+ *
+ * @pre bb is 2 or 4 and code < 2^bb
+ */
+int32_t peInlierProduct(uint8_t code, unsigned bb, int8_t iact);
+
+/**
+ * ReCoN-merged integer value of an outlier stored as two bb-bit halves:
+ * the signed hidden-bit mantissa +/-(2^mbits + mantissa). The decoded
+ * real weight is this value times 2^(Osf - mbits), with Osf from
+ * PackedLayer::outlierScaleExp(). Never returns 0 (the hidden bit keeps
+ * the magnitude at least 2^mbits).
+ *
+ * @pre upper_code and lower_code are bb-bit patterns with the sign in
+ *      the MSB, as produced by splitOutlier()
+ */
+int32_t mergedOutlierMantissa(uint8_t upper_code, uint8_t lower_code,
+                              unsigned mbits, unsigned bb);
+
+} // namespace msq
+
+#endif // MSQ_ACCEL_INT_DEQUANT_H

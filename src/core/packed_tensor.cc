@@ -36,12 +36,14 @@ PackedLayer::microPerRow() const
 uint8_t
 PackedLayer::code(size_t r, size_t c) const
 {
+    MSQ_ASSERT(r < rows_ && c < cols_, "element index out of range");
     return codes_[r * cols_ + c];
 }
 
 void
 PackedLayer::setCode(size_t r, size_t c, uint8_t code)
 {
+    MSQ_ASSERT(r < rows_ && c < cols_, "element index out of range");
     MSQ_ASSERT(code < (1u << config_.inlierBits),
                "code wider than the element bit budget");
     codes_[r * cols_ + c] = code;
@@ -50,37 +52,75 @@ PackedLayer::setCode(size_t r, size_t c, uint8_t code)
 SlotKind
 PackedLayer::kind(size_t r, size_t c) const
 {
+    MSQ_ASSERT(r < rows_ && c < cols_, "element index out of range");
     return kinds_[r * cols_ + c];
 }
 
 void
 PackedLayer::setKind(size_t r, size_t c, SlotKind kind)
 {
+    MSQ_ASSERT(r < rows_ && c < cols_, "element index out of range");
     kinds_[r * cols_ + c] = kind;
 }
 
 int8_t
 PackedLayer::isf(size_t r, size_t mb) const
 {
+    MSQ_ASSERT(r < rows_ && mb < macroPerRow(),
+               "macro-block index out of range");
     return isf_[r * macroPerRow() + mb];
 }
 
 void
 PackedLayer::setIsf(size_t r, size_t mb, int8_t isf)
 {
+    MSQ_ASSERT(r < rows_ && mb < macroPerRow(),
+               "macro-block index out of range");
     isf_[r * macroPerRow() + mb] = isf;
 }
 
 const MicroBlockMeta &
 PackedLayer::micro(size_t r, size_t ub) const
 {
+    MSQ_ASSERT(r < rows_ && ub < microPerRow(),
+               "micro-block index out of range");
     return micro_[r * microPerRow() + ub];
 }
 
 MicroBlockMeta &
 PackedLayer::micro(size_t r, size_t ub)
 {
+    MSQ_ASSERT(r < rows_ && ub < microPerRow(),
+               "micro-block index out of range");
     return micro_[r * microPerRow() + ub];
+}
+
+const uint8_t *
+PackedLayer::codeRow(size_t r) const
+{
+    MSQ_ASSERT(r < rows_, "row index out of range");
+    return codes_.data() + r * cols_;
+}
+
+const SlotKind *
+PackedLayer::kindRow(size_t r) const
+{
+    MSQ_ASSERT(r < rows_, "row index out of range");
+    return kinds_.data() + r * cols_;
+}
+
+const int8_t *
+PackedLayer::isfRow(size_t r) const
+{
+    MSQ_ASSERT(r < rows_, "row index out of range");
+    return isf_.data() + r * macroPerRow();
+}
+
+const MicroBlockMeta *
+PackedLayer::microRow(size_t r) const
+{
+    MSQ_ASSERT(r < rows_, "row index out of range");
+    return micro_.data() + r * microPerRow();
 }
 
 FpFormat

@@ -55,21 +55,40 @@ class PackedLayer
     /** Number of micro-blocks per row. */
     size_t microPerRow() const;
 
-    /** Raw bb-bit code of element (r, c). */
+    /** Raw bb-bit code of element (r, c). @pre r < rows(), c < cols() */
     uint8_t code(size_t r, size_t c) const;
     void setCode(size_t r, size_t c, uint8_t code);
 
-    /** Interpretation of element (r, c). */
+    /** Interpretation of element (r, c). @pre r < rows(), c < cols() */
     SlotKind kind(size_t r, size_t c) const;
     void setKind(size_t r, size_t c, SlotKind kind);
 
-    /** Inlier scale exponent of macro-block `mb` in row `r`. */
+    /** Inlier scale exponent of macro-block `mb` in row `r`.
+     *  @pre r < rows(), mb < macroPerRow() */
     int8_t isf(size_t r, size_t mb) const;
     void setIsf(size_t r, size_t mb, int8_t isf);
 
-    /** Metadata of micro-block `ub` in row `r`. */
+    /** Metadata of micro-block `ub` in row `r`.
+     *  @pre r < rows(), ub < microPerRow() */
     const MicroBlockMeta &micro(size_t r, size_t ub) const;
     MicroBlockMeta &micro(size_t r, size_t ub);
+
+    /**
+     * @name Zero-copy row views
+     * Raw pointers into the row-major backing stores, for tight loops
+     * (the serve engine's packed-execution GEMM and plan builder) that
+     * would otherwise pay per-element index arithmetic plus the bounds
+     * assertions of the scalar accessors on every slot. `codeRow` and
+     * `kindRow` span cols() elements, `isfRow` macroPerRow() entries and
+     * `microRow` microPerRow() entries. Pointers are invalidated by any
+     * mutation of the layer. @pre r < rows()
+     */
+    ///@{
+    const uint8_t *codeRow(size_t r) const;
+    const SlotKind *kindRow(size_t r) const;
+    const int8_t *isfRow(size_t r) const;
+    const MicroBlockMeta *microRow(size_t r) const;
+    ///@}
 
     /** Element FP format used by outliers under this config. */
     FpFormat outlierFormat() const;

@@ -79,4 +79,15 @@ generateEvalSet(const ModelProfile &model, size_t layer_idx, size_t tokens)
     return generateActivations(model.acts, scale, tokens, rng);
 }
 
+Matrix
+generateRequestActs(const ModelProfile &model, size_t layer_idx,
+                    size_t tokens, uint64_t request_seed)
+{
+    MSQ_ASSERT(layer_idx < model.layers.size(), "layer index out of range");
+    const std::vector<double> scale = layerChannelScales(model, layer_idx);
+    Rng rng(model.seed * 7000003ULL + layer_idx * 175003ULL +
+            request_seed * 2654435761ULL);
+    return generateActivations(model.acts, scale, tokens, rng);
+}
+
 } // namespace msq

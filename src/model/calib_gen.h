@@ -40,6 +40,15 @@ Matrix generateCalibration(const ModelProfile &model, size_t layer_idx,
 Matrix generateEvalSet(const ModelProfile &model, size_t layer_idx,
                        size_t tokens);
 
+/**
+ * Activations of one serving request: the layer's persistent channel
+ * structure with a token stream drawn from the request's own seed, so
+ * distinct requests are distinct but a request's data is reproducible
+ * regardless of batch composition.
+ */
+Matrix generateRequestActs(const ModelProfile &model, size_t layer_idx,
+                           size_t tokens, uint64_t request_seed);
+
 } // namespace msq
 
 #endif // MSQ_MODEL_CALIB_GEN_H

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "core/microscopiq.h"
 #include "model/calib_gen.h"
 #include "model/proxy_eval.h"
 #include "model/weight_gen.h"
@@ -75,7 +76,20 @@ evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
         // basis exactly (migration is an exact reparameterization), so
         // compare Q^T Xq against W'^T X' = W^T X.
         const Matrix ref = w_in.transposedMatmul(eval_in);
-        const Matrix out = qres.dequant.transposedMatmul(acts);
+        Matrix out;
+        if (config.packedExec) {
+            // Packed-execution mode: compute the quantized output from
+            // the Fig. 5 codes. Methods without a packed layer, and
+            // configs whose packed layout does not encode all weights
+            // (the backend signals both by an empty result), fall back
+            // to the dequantized path.
+            const auto *msq_quant =
+                dynamic_cast<const MicroScopiQQuantizer *>(quantizer.get());
+            if (msq_quant)
+                out = config.packedExec(msq_quant->packed(), acts);
+        }
+        if (out.empty())
+            out = qres.dequant.transposedMatmul(acts);
         const double nmse = out.normalizedErrorTo(ref);
 
         const double params =

@@ -13,10 +13,22 @@
 #include <functional>
 #include <string>
 
+#include "core/packed_tensor.h"
 #include "model/model_zoo.h"
 #include "quant/quantizer.h"
 
 namespace msq {
+
+/**
+ * Packed-execution backend: computes Y = W^T X (outputs x tokens) from
+ * a quantizer's packed layer, or returns an empty matrix when the
+ * layer's config is not packed-executable (the pipeline then falls back
+ * to the dequantized reference path). Implemented by
+ * `packedExecBackend()` in serve/packed_exec.h; kept as a std::function
+ * here so the model module stays below serve in the dependency DAG.
+ */
+using PackedExecBackend =
+    std::function<Matrix(const PackedLayer &, const Matrix &)>;
 
 /** A named quantization recipe. */
 struct QuantMethod
@@ -39,11 +51,21 @@ struct ModelEvalResult
     double proxyAcc = 0.0;   ///< for accuracy-metric profiles
 };
 
-/** Evaluation configuration (token counts). */
+/** Evaluation configuration (token counts, execution mode). */
 struct PipelineConfig
 {
     size_t calibTokens = 128;
     size_t evalTokens = 128;
+
+    /**
+     * Opt-in packed-execution mode: when set and the method's quantizer
+     * exposes a packed layer (MicroScopiQ), the layer output is computed
+     * straight from the packed codes through this backend instead of the
+     * dequantized-weight float GEMM. The backend's outputs are
+     * bit-identical to the reference, so all proxy metrics are unchanged
+     * (tests/test_serve.cc enforces this).
+     */
+    PackedExecBackend packedExec;
 };
 
 /**

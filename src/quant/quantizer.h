@@ -9,7 +9,7 @@
  * X[k][n] (one column per calibration token). The layer computes
  * Y = W^T X. Quantization groups are contiguous runs along o within one
  * k-row, matching the MicroScopiQ macro/micro-block definition and the
- * accelerator's row mapping (see DESIGN.md "Interpretation notes").
+ * accelerator's row mapping (see docs/DESIGN.md "Interpretation notes").
  */
 
 #ifndef MSQ_QUANT_QUANTIZER_H

@@ -1,0 +1,169 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/stats.h"
+#include "model/calib_gen.h"
+
+namespace msq {
+
+namespace {
+
+uint64_t
+steadyNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(const ModelProfile &model, const MsqConfig &config,
+                         const ServeConfig &serve)
+    : model_(model), serve_(serve),
+      packed_(getPackedModel(model, config, serve.calibTokens)),
+      epoch_(steadyNanos())
+{
+    MSQ_ASSERT(serve_.maxBatchRequests > 0 && serve_.maxBatchTokens > 0,
+               "batch caps must be positive");
+    MSQ_ASSERT(serve_.tileTokens > 0, "tile size must be positive");
+}
+
+double
+ServeEngine::nowMs() const
+{
+    return static_cast<double>(steadyNanos() - epoch_) / 1e6;
+}
+
+uint64_t
+ServeEngine::submit(size_t tokens, uint64_t seed)
+{
+    MSQ_ASSERT(tokens > 0, "a request must carry at least one token");
+    Pending p;
+    p.id = nextId_++;
+    p.tokens = tokens;
+    p.acts.reserve(model_.layers.size());
+    for (size_t li = 0; li < model_.layers.size(); ++li)
+        p.acts.push_back(generateRequestActs(model_, li, tokens, seed));
+    p.submitMs = nowMs();
+    queue_.push_back(std::move(p));
+    return queue_.back().id;
+}
+
+void
+ServeEngine::runBatch(const std::vector<Pending> &batch, ServeReport &report)
+{
+    size_t batch_tokens = 0;
+    for (const Pending &p : batch)
+        batch_tokens += p.tokens;
+
+    std::vector<double> checksums(batch.size(), 0.0);
+    for (size_t li = 0; li < packed_->plans.size(); ++li) {
+        const PackedExecPlan &plan = packed_->plans[li];
+        const size_t k = plan.rows();
+
+        // Coalesce the batch's activation columns for this layer.
+        Matrix x(k, batch_tokens);
+        size_t col = 0;
+        for (const Pending &p : batch) {
+            const Matrix &a = p.acts[li];
+            for (size_t r = 0; r < k; ++r) {
+                const double *src = a.rowPtr(r);
+                double *dst = x.rowPtr(r) + col;
+                std::copy(src, src + p.tokens, dst);
+            }
+            col += p.tokens;
+        }
+
+        // Quantize iActs (token groups are independent, so batched
+        // quantization equals per-request quantization bit for bit) and
+        // fan the packed GEMM's token tiles across the pool.
+        const QuantizedActs acts(x, serve_.actBits, serve_.actGroup);
+        Matrix out(plan.cols(), batch_tokens);
+        const size_t tiles =
+            (batch_tokens + serve_.tileTokens - 1) / serve_.tileTokens;
+        parallelFor(0, tiles, [&](size_t tile) {
+            const size_t t0 = tile * serve_.tileTokens;
+            const size_t t1 = std::min(batch_tokens, t0 + serve_.tileTokens);
+            plan.gemmRange(acts, t0, t1, out);
+        });
+
+        // Per-request output checksums, reduced serially in a fixed
+        // (request, output, token) order.
+        col = 0;
+        for (size_t ri = 0; ri < batch.size(); ++ri) {
+            double sum = checksums[ri];
+            for (size_t o = 0; o < plan.cols(); ++o) {
+                const double *orow = out.rowPtr(o);
+                for (size_t j = 0; j < batch[ri].tokens; ++j)
+                    sum += orow[col + j];
+            }
+            checksums[ri] = sum;
+            col += batch[ri].tokens;
+        }
+    }
+
+    const double done_ms = nowMs();
+    for (size_t ri = 0; ri < batch.size(); ++ri) {
+        RequestRecord rec;
+        rec.id = batch[ri].id;
+        rec.tokens = batch[ri].tokens;
+        rec.latencyMs = done_ms - batch[ri].submitMs;
+        rec.outputCheck = checksums[ri];
+        report.requests.push_back(rec);
+    }
+    report.batches += 1;
+    report.tokens += batch_tokens;
+}
+
+ServeReport
+ServeEngine::drain()
+{
+    ServeReport report;
+    const double t0 = nowMs();
+
+    while (!queue_.empty()) {
+        std::vector<Pending> batch;
+        size_t batch_tokens = 0;
+        while (!queue_.empty() && batch.size() < serve_.maxBatchRequests) {
+            const Pending &head = queue_.front();
+            if (!batch.empty() &&
+                batch_tokens + head.tokens > serve_.maxBatchTokens)
+                break;
+            batch_tokens += head.tokens;
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        runBatch(batch, report);
+    }
+
+    report.wallMs = nowMs() - t0;
+    if (!report.requests.empty()) {
+        std::vector<double> lat;
+        lat.reserve(report.requests.size());
+        for (const RequestRecord &r : report.requests)
+            lat.push_back(r.latencyMs);
+        report.p50Ms = percentile(lat, 50.0);
+        report.p95Ms = percentile(lat, 95.0);
+        report.p99Ms = percentile(lat, 99.0);
+        report.meanMs = mean(lat);
+        report.maxMs = *std::max_element(lat.begin(), lat.end());
+    }
+    if (report.wallMs > 0.0) {
+        const double wall_s = report.wallMs / 1e3;
+        report.requestsPerSec =
+            static_cast<double>(report.requests.size()) / wall_s;
+        report.tokensPerSec = static_cast<double>(report.tokens) / wall_s;
+        report.macsPerSec =
+            static_cast<double>(packed_->termsPerToken) *
+            static_cast<double>(report.tokens) / wall_s;
+    }
+    return report;
+}
+
+} // namespace msq

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Batched packed-execution serving engine.
+ *
+ * The engine serves one deployed model (a PackedModel from the weight
+ * cache): clients submit requests of a few activation columns each, the
+ * scheduler coalesces queued requests into batches, and every batch
+ * runs each representative layer as ONE packed-execution GEMM whose
+ * token columns are fanned across the parallelFor pool. Batching is
+ * where the packed layout pays off twice: the decoded weight terms are
+ * streamed once per batch instead of once per request
+ * (weight-stationary reuse), and wide batches give the pool enough
+ * token tiles to fill every thread.
+ *
+ * Numerics are schedule-independent: each output element is computed
+ * identically whatever the batch composition or thread count, so a
+ * request's output checksum is reproducible bit-for-bit — the batching
+ * invariance test in tests/test_serve.cc relies on it. Latency and
+ * throughput, the quantities the BENCH_serve.json trajectory tracks,
+ * are of course timing-dependent.
+ */
+
+#ifndef MSQ_SERVE_ENGINE_H
+#define MSQ_SERVE_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/weight_cache.h"
+
+namespace msq {
+
+/** Scheduler and execution knobs. */
+struct ServeConfig
+{
+    size_t maxBatchRequests = 16; ///< requests coalesced per batch
+    size_t maxBatchTokens = 512;  ///< token budget per batch
+    size_t tileTokens = 16;       ///< parallelFor grain (columns per tile)
+    unsigned actBits = 8;         ///< iAct precision
+    size_t actGroup = 128;        ///< iAct scale-sharing group
+    size_t calibTokens = 128;     ///< weight-cache calibration floor
+};
+
+/** Outcome of one served request. */
+struct RequestRecord
+{
+    uint64_t id = 0;
+    size_t tokens = 0;
+    double latencyMs = 0.0;   ///< submit -> batch completion
+    double outputCheck = 0.0; ///< sum of all layer outputs (determinism probe)
+};
+
+/** Aggregate statistics of one drain() call. */
+struct ServeReport
+{
+    std::vector<RequestRecord> requests; ///< in completion order
+    size_t batches = 0;
+    size_t tokens = 0;
+    double wallMs = 0.0;
+
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double meanMs = 0.0;
+    double maxMs = 0.0;
+
+    double requestsPerSec = 0.0;
+    double tokensPerSec = 0.0;
+    double macsPerSec = 0.0; ///< integer weight terms executed per second
+};
+
+/** Serving engine for one packed deployment. */
+class ServeEngine
+{
+  public:
+    /**
+     * Deploy `model` quantized under `config` (fetched from, or built
+     * into, the packed-weight cache) behind a request queue. The
+     * profile is held by reference and must outlive the engine (model
+     * zoo profiles are static).
+     *
+     * @pre PackedExecPlan::executable(config)
+     */
+    ServeEngine(const ModelProfile &model, const MsqConfig &config,
+                const ServeConfig &serve = {});
+
+    /**
+     * Enqueue a synthetic request of `tokens` activation columns drawn
+     * from `seed` (activation generation happens here, on the client's
+     * side of the clock). Returns the request id.
+     */
+    uint64_t submit(size_t tokens, uint64_t seed);
+
+    /** Queued requests not yet drained. */
+    size_t pending() const { return queue_.size(); }
+
+    /**
+     * Serve every queued request: coalesce FIFO into batches under the
+     * maxBatchRequests/maxBatchTokens caps, execute each batch, and
+     * return per-request latency plus aggregate throughput statistics.
+     */
+    ServeReport drain();
+
+    const PackedModel &packedModel() const { return *packed_; }
+    const ServeConfig &config() const { return serve_; }
+
+  private:
+    struct Pending
+    {
+        uint64_t id = 0;
+        size_t tokens = 0;
+        std::vector<Matrix> acts; ///< one k x tokens matrix per layer
+        double submitMs = 0.0;    ///< on the engine's monotonic clock
+    };
+
+    /** Execute one batch; appends records to `report.requests`. */
+    void runBatch(const std::vector<Pending> &batch, ServeReport &report);
+
+    /** Milliseconds since engine construction (monotonic). */
+    double nowMs() const;
+
+    const ModelProfile &model_;
+    ServeConfig serve_;
+    PackedModelPtr packed_;
+    std::deque<Pending> queue_;
+    uint64_t nextId_ = 1;
+    uint64_t epoch_ = 0; ///< steady_clock origin, set at construction
+};
+
+} // namespace msq
+
+#endif // MSQ_SERVE_ENGINE_H

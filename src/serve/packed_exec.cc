@@ -1,0 +1,204 @@
+#include "serve/packed_exec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/int_dequant.h"
+#include "common/bitstream.h"
+#include "common/logging.h"
+
+namespace msq {
+
+bool
+PackedExecPlan::executable(const MsqConfig &config)
+{
+    // The coarse and MX-INT outlier ablations keep their outlier values
+    // out of the code plane (quantizeRow writes only the dequantized
+    // side), and MxFpShared without redistribution never stores the
+    // halves; for those the packed stream alone cannot reproduce W.
+    if (config.outlierMode == OutlierMode::None)
+        return true;
+    return config.outlierMode == OutlierMode::MxFpShared &&
+           config.pruneAndRedistribute;
+}
+
+PackedExecPlan::PackedExecPlan(const PackedLayer &layer)
+    : rows_(layer.rows()), cols_(layer.cols()),
+      macroBlock_(layer.config().macroBlock),
+      macroPerRow_(layer.macroPerRow()),
+      inlier_(rows_ * cols_, 0),
+      macroScale_(rows_ * macroPerRow_, 1.0)
+{
+    MSQ_ASSERT(executable(layer.config()),
+               "packed layout does not encode all weights of this config");
+    const MsqConfig &cfg = layer.config();
+    const unsigned bb = cfg.inlierBits;
+    const unsigned mbits = layer.outlierFormat().mbits;
+
+    outlierRow_.reserve(rows_ + 1);
+    outlierRow_.push_back(0);
+    for (size_t r = 0; r < rows_; ++r) {
+        const uint8_t *codes = layer.codeRow(r);
+        const SlotKind *kinds = layer.kindRow(r);
+        const int8_t *isf = layer.isfRow(r);
+        const MicroBlockMeta *micro = layer.microRow(r);
+
+        for (size_t mb = 0; mb < macroPerRow_; ++mb)
+            macroScale_[r * macroPerRow_ + mb] = std::ldexp(1.0, isf[mb]);
+
+        int8_t *inl = inlier_.data() + r * cols_;
+        for (size_t c = 0; c < cols_; ++c) {
+            if (kinds[c] != SlotKind::Inlier)
+                continue;  // pruned zeros and outlier halves stay 0
+            inl[c] = static_cast<int8_t>(signExtend(codes[c], bb));
+            if (inl[c] != 0)
+                ++termCount_;
+        }
+
+        for (size_t ub = 0; ub < layer.microPerRow(); ++ub) {
+            const MicroBlockMeta &meta = micro[ub];
+            if (!meta.hasOutliers)
+                continue;
+            const int osf = layer.outlierScaleExp(r, ub);
+            const size_t base = ub * cfg.microBlock;
+            for (const PermEntry &entry : meta.perm) {
+                OutlierTerm term;
+                term.col = static_cast<uint32_t>(base + entry.upperLoc);
+                term.mant = mergedOutlierMantissa(
+                    codes[base + entry.upperLoc],
+                    codes[base + entry.lowerLoc], mbits, bb);
+                term.scale =
+                    std::ldexp(1.0, osf - static_cast<int>(mbits));
+                term.weight = static_cast<double>(term.mant) * term.scale;
+                outliers_.push_back(term);
+                ++termCount_;
+            }
+        }
+        outlierRow_.push_back(static_cast<uint32_t>(outliers_.size()));
+    }
+}
+
+Matrix
+PackedExecPlan::matmulT(const Matrix &x) const
+{
+    Matrix out(cols_, x.cols());
+    matmulTRange(x, 0, x.cols(), out);
+    return out;
+}
+
+void
+PackedExecPlan::matmulTRange(const Matrix &x, size_t t0, size_t t1,
+                             Matrix &out) const
+{
+    MSQ_ASSERT(x.rows() == rows_, "GEMM reduction dimension mismatch");
+    MSQ_ASSERT(out.rows() == cols_ && out.cols() == x.cols(),
+               "packed-exec output shape mismatch");
+    MSQ_ASSERT(t0 <= t1 && t1 <= x.cols(), "token range out of bounds");
+
+    // k ascending with one term per (k, column) reproduces the exact
+    // accumulation order of Matrix::transposedMatmul, and every term is
+    // the identical double product, so outputs match bit for bit.
+    for (size_t k = 0; k < rows_; ++k) {
+        const double *xrow = x.rowPtr(k);
+        const int8_t *inl = inlier_.data() + k * cols_;
+        const double *msc = macroScale_.data() + k * macroPerRow_;
+        for (size_t mb = 0; mb < macroPerRow_; ++mb) {
+            const double scale = msc[mb];
+            const size_t c1 = std::min(cols_, (mb + 1) * macroBlock_);
+            for (size_t c = mb * macroBlock_; c < c1; ++c) {
+                const int v = inl[c];
+                if (v == 0)
+                    continue;
+                const double wv = static_cast<double>(v) * scale;
+                double *orow = out.rowPtr(c);
+                for (size_t j = t0; j < t1; ++j)
+                    orow[j] += wv * xrow[j];
+            }
+        }
+        for (uint32_t t = outlierRow_[k]; t < outlierRow_[k + 1]; ++t) {
+            const OutlierTerm &term = outliers_[t];
+            double *orow = out.rowPtr(term.col);
+            for (size_t j = t0; j < t1; ++j)
+                orow[j] += term.weight * xrow[j];
+        }
+    }
+}
+
+Matrix
+PackedExecPlan::gemm(const QuantizedActs &acts) const
+{
+    Matrix out(cols_, acts.tokens());
+    gemmRange(acts, 0, acts.tokens(), out);
+    return out;
+}
+
+void
+PackedExecPlan::gemmRange(const QuantizedActs &acts, size_t t0, size_t t1,
+                          Matrix &out) const
+{
+    MSQ_ASSERT(acts.channels() == rows_,
+               "GEMM reduction dimension mismatch");
+    MSQ_ASSERT(out.rows() == cols_ && out.cols() == acts.tokens(),
+               "packed-exec output shape mismatch");
+    MSQ_ASSERT(t0 <= t1 && t1 <= acts.tokens(), "token range out of bounds");
+
+    const size_t n = t1 - t0;
+    // Channel-major staging of the iAct codes and group scales: the act
+    // container is token-major, the reduction walks channels.
+    std::vector<int32_t> ia(n);
+    std::vector<double> ascale(n);
+    const size_t agroup = acts.group();
+    size_t scale_group = static_cast<size_t>(-1);
+
+    for (size_t k = 0; k < rows_; ++k) {
+        for (size_t j = 0; j < n; ++j)
+            ia[j] = acts.code(t0 + j, k);
+        if (k / agroup != scale_group) {
+            scale_group = k / agroup;
+            for (size_t j = 0; j < n; ++j)
+                ascale[j] =
+                    std::ldexp(1.0, acts.scaleExp(t0 + j, k));
+        }
+
+        const int8_t *inl = inlier_.data() + k * cols_;
+        const double *msc = macroScale_.data() + k * macroPerRow_;
+        for (size_t mb = 0; mb < macroPerRow_; ++mb) {
+            const double scale = msc[mb];
+            const size_t c1 = std::min(cols_, (mb + 1) * macroBlock_);
+            for (size_t c = mb * macroBlock_; c < c1; ++c) {
+                const int v = inl[c];
+                if (v == 0)
+                    continue;
+                double *orow = out.rowPtr(c);
+                // Integer code x code product, then the exact
+                // power-of-two output scale 2^(Isf + Asf).
+                for (size_t j = 0; j < n; ++j) {
+                    const int32_t p = v * ia[j];
+                    orow[t0 + j] +=
+                        static_cast<double>(p) * (scale * ascale[j]);
+                }
+            }
+        }
+        for (uint32_t t = outlierRow_[k]; t < outlierRow_[k + 1]; ++t) {
+            const OutlierTerm &term = outliers_[t];
+            double *orow = out.rowPtr(term.col);
+            for (size_t j = 0; j < n; ++j) {
+                const int32_t p = term.mant * ia[j];
+                orow[t0 + j] +=
+                    static_cast<double>(p) * (term.scale * ascale[j]);
+            }
+        }
+    }
+}
+
+PackedExecBackend
+packedExecBackend()
+{
+    return [](const PackedLayer &layer, const Matrix &x) -> Matrix {
+        if (!PackedExecPlan::executable(layer.config()))
+            return Matrix();
+        return PackedExecPlan(layer).matmulT(x);
+    };
+}
+
+} // namespace msq

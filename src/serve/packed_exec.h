@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Packed-execution GEMM: computes Y = W^T X straight from a
+ * PackedLayer's bb-bit codes, inlier scale factors, and outlier
+ * metadata — the Fig. 5 bit stream is the executable artifact; a dense
+ * dequantized weight matrix is never materialized.
+ *
+ * The plan decodes each row of codes once, at weight-load time, into
+ * exactly what a weight-stationary PE row holds in its registers:
+ *
+ *  - the sign-extended inlier codes (int8, 0 at pruned and outlier
+ *    slots), multiplied per token by the iAct exactly as the
+ *    multi-precision PE does (peInlierProduct in accel/int_dequant.h
+ *    proves the equivalence),
+ *  - the per-macro-block power-of-two inlier scale 2^Isf,
+ *  - per outlier, the ReCoN-merged hidden-bit mantissa +/-(2^M + m)
+ *    and its power-of-two exponent Osf - M.
+ *
+ * Every output element is a sum of integer products scaled by powers of
+ * two. Each such term is exactly representable in a double, so the
+ * packed-execution outputs are bit-identical to the reference
+ * `dequantAll()` + float GEMM (see docs/DESIGN.md, "Packed execution");
+ * tests/test_serve.cc enforces exact equality.
+ *
+ * Only configurations whose packed layer fully encodes the quantized
+ * values are executable: the default MxFpShared mode with
+ * prune-and-redistribute, and the no-outlier ablation. The coarse and
+ * MX-INT outlier ablations keep their outliers outside the code plane,
+ * so `executable()` reports false and callers must fall back to the
+ * dequantized path.
+ */
+
+#ifndef MSQ_SERVE_PACKED_EXEC_H
+#define MSQ_SERVE_PACKED_EXEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/acts.h"
+#include "common/matrix.h"
+#include "core/packed_tensor.h"
+#include "model/pipeline.h"
+
+namespace msq {
+
+/** Weight-load-time decode of one PackedLayer, ready for execution. */
+class PackedExecPlan
+{
+  public:
+    /** Decode a packed layer. @pre executable(layer.config()) */
+    explicit PackedExecPlan(const PackedLayer &layer);
+
+    /** Whether a config's packed layout fully encodes its weights. */
+    static bool executable(const MsqConfig &config);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Nonzero weight terms — integer MACs per activation column. */
+    size_t termCount() const { return termCount_; }
+
+    /** Outliers decoded into merged terms. */
+    size_t outlierCount() const { return outliers_.size(); }
+
+    /**
+     * Y = W^T X over real-valued activations X[k][n], bit-identical to
+     * `layer.dequantAll().transposedMatmul(x)`. Output is cols() x n.
+     */
+    Matrix matmulT(const Matrix &x) const;
+
+    /**
+     * Column range [t0, t1) of matmulT, accumulated into `out` (which
+     * must be cols() x x.cols(), zero in the range). Ranges over
+     * disjoint columns may run concurrently; any partition produces the
+     * same bytes as the full call.
+     */
+    void matmulTRange(const Matrix &x, size_t t0, size_t t1,
+                      Matrix &out) const;
+
+    /**
+     * Integer-activation GEMM: Y = W^T X from quantized iActs, every
+     * product an integer code x code multiply scaled by 2^(Isf + Asf)
+     * (or Osf for merged outliers) — the serving hot path. Output is
+     * cols() x tokens, bit-identical (as values) to the dequantized
+     * reference; only signs of exact-zero outputs may differ.
+     */
+    Matrix gemm(const QuantizedActs &acts) const;
+
+    /** Token range [t0, t1) of gemm, accumulated into `out`. */
+    void gemmRange(const QuantizedActs &acts, size_t t0, size_t t1,
+                   Matrix &out) const;
+
+  private:
+    /** One ReCoN-merged outlier: weight = mant * 2^exp = weightValue. */
+    struct OutlierTerm
+    {
+        uint32_t col = 0;      ///< output column
+        int32_t mant = 0;      ///< +/-(2^mbits + mantissa), never 0
+        double scale = 1.0;    ///< 2^(Osf - mbits), exact
+        double weight = 0.0;   ///< mant * scale (exact product)
+    };
+
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t macroBlock_ = 0;
+    size_t macroPerRow_ = 0;
+    size_t termCount_ = 0;
+    std::vector<int8_t> inlier_;       ///< rows x cols sign-extended codes
+    std::vector<double> macroScale_;   ///< rows x macroPerRow: 2^Isf
+    std::vector<OutlierTerm> outliers_;
+    std::vector<uint32_t> outlierRow_; ///< CSR offsets, rows_ + 1 entries
+};
+
+/**
+ * Packed-execution backend for `evaluateMethodOnModel` (set it on
+ * `PipelineConfig::packedExec`): runs the layer through a
+ * PackedExecPlan, or returns an empty matrix when the config is not
+ * packed-executable so the pipeline falls back to the dequantized path.
+ */
+PackedExecBackend packedExecBackend();
+
+} // namespace msq
+
+#endif // MSQ_SERVE_PACKED_EXEC_H

@@ -1,0 +1,117 @@
+#include "serve/weight_cache.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "core/microscopiq.h"
+#include "model/calib_gen.h"
+#include "model/weight_gen.h"
+#include "quant/hessian.h"
+
+namespace msq {
+
+namespace {
+
+std::map<std::string, PackedModelPtr> packed_cache;
+
+/** Guards packed_cache; builds run outside the lock. */
+std::mutex packed_mutex;
+
+/** Every config field that changes the packed bytes goes into the key. */
+std::string
+cacheKey(const ModelProfile &model, const MsqConfig &config,
+         size_t calib_tokens)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "|b%u|M%zu|u%zu|rB%zu|d%.6g|m%d|p%d%d%d|c%zu",
+                  config.inlierBits, config.macroBlock, config.microBlock,
+                  config.rowBlock, config.dampRel,
+                  static_cast<int>(config.outlierMode),
+                  config.prescaleOutliers ? 1 : 0,
+                  config.pruneAndRedistribute ? 1 : 0,
+                  config.hessianCompensation ? 1 : 0, calib_tokens);
+    return model.name + buf;
+}
+
+} // namespace
+
+PackedModelPtr
+getPackedModel(const ModelProfile &model, const MsqConfig &config,
+               size_t calib_tokens)
+{
+    MSQ_ASSERT(PackedExecPlan::executable(config),
+               "deployment config is not packed-executable");
+    MSQ_ASSERT(!model.layers.empty(), "model has no layers");
+    const std::string key = cacheKey(model, config, calib_tokens);
+    {
+        std::lock_guard<std::mutex> lock(packed_mutex);
+        auto it = packed_cache.find(key);
+        if (it != packed_cache.end())
+            return it->second;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto built = std::make_shared<PackedModel>();
+    built->model = model.name;
+    built->config = config;
+    built->layers.resize(model.layers.size());
+
+    // Same per-layer independence argument as evaluateMethodOnModel:
+    // weights and calibration come from per-layer RNG streams, each
+    // index writes only its own slot, so the packed bytes are
+    // bit-identical for any thread count.
+    parallelFor(0, model.layers.size(), [&](size_t li) {
+        const Matrix w = generateLayerWeights(model, li);
+        Matrix calib;
+        if (config.hessianCompensation) {
+            const size_t tokens =
+                std::max(calib_tokens, 4 * model.layers[li].k);
+            calib = generateCalibration(model, li, tokens);
+        }
+        MicroScopiQQuantizer quantizer(config);
+        built->layers[li] = quantizer.quantizePacked(w, calib);
+    });
+    clearHessianCache();
+
+    built->plans.reserve(built->layers.size());
+    double ebw_acc = 0.0;
+    double params_acc = 0.0;
+    for (const PackedLayer &layer : built->layers) {
+        built->plans.emplace_back(layer);
+        built->termsPerToken += built->plans.back().termCount();
+        const double params =
+            static_cast<double>(layer.rows() * layer.cols());
+        ebw_acc += layer.paperEbw() * params;
+        params_acc += params;
+    }
+    built->meanEbw = ebw_acc / params_acc;
+    built->buildMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::lock_guard<std::mutex> lock(packed_mutex);
+    auto [it, inserted] = packed_cache.emplace(key, built);
+    (void)inserted;  // a racing build won: hand out the cached copy
+    return it->second;
+}
+
+void
+clearPackedModelCache()
+{
+    std::lock_guard<std::mutex> lock(packed_mutex);
+    packed_cache.clear();
+}
+
+size_t
+packedModelCacheSize()
+{
+    std::lock_guard<std::mutex> lock(packed_mutex);
+    return packed_cache.size();
+}
+
+} // namespace msq

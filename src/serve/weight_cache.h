@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Packed-weight cache for the serving engine.
+ *
+ * Quantizing a model's layers (Hessian build, GPTQ sweep, packing) is
+ * orders of magnitude more expensive than executing one request, so the
+ * serving path must do it once per deployment, not per request. Entries
+ * are keyed by (model profile, quantization config, calibration budget)
+ * and hold the per-layer PackedLayers plus their decoded execution
+ * plans; they are immutable and shared by pointer, so concurrent
+ * engines serving the same deployment reuse one copy (mirroring the
+ * thread-safe Hessian factorization cache in quant/hessian.h).
+ */
+
+#ifndef MSQ_SERVE_WEIGHT_CACHE_H
+#define MSQ_SERVE_WEIGHT_CACHE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/msq_config.h"
+#include "core/packed_tensor.h"
+#include "model/model_zoo.h"
+#include "serve/packed_exec.h"
+
+namespace msq {
+
+/** One deployed model: packed layers + execution plans, immutable. */
+struct PackedModel
+{
+    std::string model;               ///< profile name
+    MsqConfig config;
+    std::vector<PackedLayer> layers; ///< one per representative layer
+    std::vector<PackedExecPlan> plans;
+    size_t termsPerToken = 0;        ///< integer MACs per activation column
+    double meanEbw = 0.0;            ///< parameter-weighted Eq. 4 EBW
+    double buildMs = 0.0;            ///< quantize + decode wall time
+};
+
+using PackedModelPtr = std::shared_ptr<const PackedModel>;
+
+/**
+ * Get (or quantize and cache) the packed deployment of `model` under
+ * `config`. Layers are quantized in parallel with the same calibration
+ * rule as the evaluation pipeline (at least 4x the reduction dimension
+ * of tokens). Thread safe; on a racing miss the first finished build
+ * wins and the others are dropped.
+ *
+ * @pre PackedExecPlan::executable(config)
+ */
+PackedModelPtr getPackedModel(const ModelProfile &model,
+                              const MsqConfig &config,
+                              size_t calib_tokens = 128);
+
+/** Drop all cached deployments. */
+void clearPackedModelCache();
+
+/** Number of cached deployments. */
+size_t packedModelCacheSize();
+
+} // namespace msq
+
+#endif // MSQ_SERVE_WEIGHT_CACHE_H

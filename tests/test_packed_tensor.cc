@@ -171,5 +171,36 @@ TEST(PackedLayer, MacroMicroCounts)
     EXPECT_EQ(wide.outlierFormat().name(), "e3m4");
 }
 
+TEST(PackedLayer, RowViewsMatchScalarAccessors)
+{
+    const PackedLayer layer = buildExampleLayer();
+    const uint8_t *codes = layer.codeRow(0);
+    const SlotKind *kinds = layer.kindRow(0);
+    for (size_t c = 0; c < layer.cols(); ++c) {
+        EXPECT_EQ(codes[c], layer.code(0, c));
+        EXPECT_EQ(kinds[c], layer.kind(0, c));
+    }
+    EXPECT_EQ(layer.isfRow(0)[0], layer.isf(0, 0));
+    EXPECT_EQ(layer.microRow(0)[0].hasOutliers,
+              layer.micro(0, 0).hasOutliers);
+}
+
+TEST(PackedLayerDeath, AccessorsPanicOutOfRange)
+{
+    // The serve engine reads codes through these accessors; misuse must
+    // fail loudly instead of reading out of range (documented @pre).
+    const PackedLayer layer = buildExampleLayer();
+    EXPECT_DEATH(layer.code(1, 0), "out of range");
+    EXPECT_DEATH(layer.code(0, 8), "out of range");
+    EXPECT_DEATH(layer.kind(0, 8), "out of range");
+    EXPECT_DEATH(layer.isf(0, 1), "out of range");
+    EXPECT_DEATH(layer.micro(0, 1), "out of range");
+    EXPECT_DEATH(layer.codeRow(1), "out of range");
+
+    PackedLayer mut = buildExampleLayer();
+    EXPECT_DEATH(mut.setCode(1, 0, 0), "out of range");
+    EXPECT_DEATH(mut.setKind(0, 8, SlotKind::Inlier), "out of range");
+}
+
 } // namespace
 } // namespace msq

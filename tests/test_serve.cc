@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Packed-execution correctness: the serve engine's GEMM straight from
+ * Fig. 5 bit-codes must reproduce the dequantAll() + float reference
+ * bit for bit across outlier rates, group sizes, bit widths, and
+ * prescaling; the batching scheduler must not change a request's bytes;
+ * and the pipeline's packed-exec mode must leave every proxy metric
+ * unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/functional.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/microscopiq.h"
+#include "serve/engine.h"
+#include "serve/packed_exec.h"
+#include "serve/weight_cache.h"
+
+namespace msq {
+namespace {
+
+Matrix
+fmWeights(size_t k, size_t o, Rng &rng, double outlier_rate)
+{
+    Matrix w(k, o);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.gaussian(0.0, 0.02);
+            if (rng.bernoulli(outlier_rate))
+                v = rng.uniform(0.15, 0.5) * (rng.bernoulli(0.5) ? 1 : -1);
+            w(r, c) = v;
+        }
+    }
+    return w;
+}
+
+Matrix
+randomActs(size_t k, size_t tokens, Rng &rng)
+{
+    Matrix x(k, tokens);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t t = 0; t < tokens; ++t)
+            x(r, t) = rng.gaussian(0.0, 1.0);
+    return x;
+}
+
+void
+expectBitIdentical(const Matrix &got, const Matrix &want)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (size_t r = 0; r < got.rows(); ++r)
+        for (size_t c = 0; c < got.cols(); ++c)
+            ASSERT_EQ(got(r, c), want(r, c))
+                << "mismatch at (" << r << "," << c << ")";
+}
+
+/** Quantize a random layer and check both packed GEMM paths. */
+void
+expectPackedExecExact(const MsqConfig &cfg, size_t k, size_t o,
+                      size_t tokens, double outlier_rate, uint64_t seed)
+{
+    Rng rng(seed);
+    const Matrix w = fmWeights(k, o, rng, outlier_rate);
+    const Matrix x = randomActs(k, tokens, rng);
+
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    ASSERT_TRUE(PackedExecPlan::executable(cfg));
+    const PackedExecPlan plan(layer);
+    const Matrix wq = layer.dequantAll();
+
+    // Real-valued activations: bit-identical to the float reference.
+    expectBitIdentical(plan.matmulT(x), wq.transposedMatmul(x));
+
+    // Quantized activations: the integer code x code path.
+    const QuantizedActs acts(x, 8, 32);
+    expectBitIdentical(plan.gemm(acts),
+                       wq.transposedMatmul(acts.dequantAll()));
+}
+
+TEST(PackedExec, MatchesReferenceNoOutliers)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    expectPackedExecExact(cfg, 32, 64, 4, 0.0, 1);
+}
+
+TEST(PackedExec, MatchesReferenceOutlierModeNone)
+{
+    MsqConfig cfg;
+    cfg.outlierMode = OutlierMode::None;
+    cfg.hessianCompensation = false;
+    expectPackedExecExact(cfg, 32, 64, 4, 0.05, 2);
+}
+
+class PackedExecSweep
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, double, size_t, bool>>
+{
+};
+
+TEST_P(PackedExecSweep, BitIdentical)
+{
+    const auto [bits, rate, micro, prescale] = GetParam();
+    MsqConfig cfg;
+    cfg.inlierBits = bits;
+    cfg.microBlock = micro;
+    cfg.macroBlock = micro * 8;
+    cfg.prescaleOutliers = prescale;
+    cfg.hessianCompensation = false;
+    expectPackedExecExact(cfg, 48, 160, 5, rate,
+                          7000 + bits * 100 +
+                              static_cast<uint64_t>(rate * 1000) + micro +
+                              (prescale ? 1 : 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackedExecSweep,
+    ::testing::Combine(::testing::Values(2u, 4u),
+                       ::testing::Values(0.0, 0.03, 0.10),
+                       ::testing::Values(4u, 8u, 16u),
+                       ::testing::Bool()));
+
+TEST(PackedExec, HessianCompensatedLayer)
+{
+    MsqConfig cfg;
+    Rng rng(11);
+    const Matrix w = fmWeights(64, 128, rng, 0.04);
+    const Matrix calib = randomActs(64, 256, rng);
+    const Matrix x = randomActs(64, 3, rng);
+
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, calib);
+    const PackedExecPlan plan(layer);
+    expectBitIdentical(plan.matmulT(x),
+                       layer.dequantAll().transposedMatmul(x));
+}
+
+TEST(PackedExec, MatchesFunctionalAccelerator)
+{
+    // The packed-exec integer path and the PE/ReCoN functional model
+    // must agree to the functional model's own tolerance: both claim
+    // the same integer arithmetic.
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    Rng rng(12);
+    const Matrix w = fmWeights(64, 128, rng, 0.05);
+    const Matrix x = randomActs(64, 4, rng);
+
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    const QuantizedActs acts(x, 8, 128);
+
+    const PackedExecPlan plan(layer);
+    const Matrix serve_out = plan.gemm(acts);       // outputs x tokens
+    FunctionalAccelerator accel((AccelConfig()));
+    const Matrix hw = accel.gemm(layer, acts);      // tokens x outputs
+
+    ASSERT_EQ(serve_out.rows(), hw.cols());
+    ASSERT_EQ(serve_out.cols(), hw.rows());
+    const double tol = std::max(hw.maxAbs(), 1.0) * 1e-9;
+    for (size_t o = 0; o < serve_out.rows(); ++o)
+        for (size_t m = 0; m < serve_out.cols(); ++m)
+            ASSERT_NEAR(serve_out(o, m), hw(m, o), tol);
+}
+
+TEST(PackedExec, RangePartitionInvariance)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    Rng rng(13);
+    const Matrix w = fmWeights(40, 96, rng, 0.06);
+    const Matrix x = randomActs(40, 11, rng);
+
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedExecPlan plan(quantizer.quantizePacked(w, Matrix()));
+
+    const Matrix full = plan.matmulT(x);
+    Matrix pieced(96, 11);
+    plan.matmulTRange(x, 0, 3, pieced);
+    plan.matmulTRange(x, 3, 4, pieced);
+    plan.matmulTRange(x, 4, 11, pieced);
+    expectBitIdentical(pieced, full);
+
+    const QuantizedActs acts(x, 8, 16);
+    const Matrix qfull = plan.gemm(acts);
+    Matrix qpieced(96, 11);
+    plan.gemmRange(acts, 0, 5, qpieced);
+    plan.gemmRange(acts, 5, 11, qpieced);
+    expectBitIdentical(qpieced, qfull);
+}
+
+TEST(PackedExec, AblationModesNotExecutable)
+{
+    MsqConfig cfg;
+    cfg.outlierMode = OutlierMode::MxFpCoarse;
+    EXPECT_FALSE(PackedExecPlan::executable(cfg));
+    cfg.outlierMode = OutlierMode::MxInt;
+    EXPECT_FALSE(PackedExecPlan::executable(cfg));
+    cfg.outlierMode = OutlierMode::MxFpShared;
+    cfg.pruneAndRedistribute = false;
+    EXPECT_FALSE(PackedExecPlan::executable(cfg));
+}
+
+TEST(PackedExec, TermCountMatchesLayer)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    Rng rng(14);
+    const Matrix w = fmWeights(32, 64, rng, 0.05);
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    const PackedExecPlan plan(layer);
+
+    size_t outliers = 0;
+    for (size_t r = 0; r < layer.rows(); ++r)
+        for (size_t ub = 0; ub < layer.microPerRow(); ++ub)
+            outliers += layer.micro(r, ub).perm.size();
+    EXPECT_EQ(plan.outlierCount(), outliers);
+    EXPECT_LE(plan.termCount(), layer.rows() * layer.cols());
+    EXPECT_GT(plan.termCount(), 0u);
+}
+
+/** A tiny hermetic profile so serving tests stay fast. */
+ModelProfile
+tinyModel()
+{
+    ModelProfile p;
+    p.name = "tiny-serve-test";
+    p.kind = ModelKind::Llm;
+    p.layers = {{"proj_a", 64, 96}, {"proj_b", 96, 64}};
+    p.weights = {0.02, 8.0, 0.02, 0.001, 6.0, 14.0};
+    p.acts = {1.0, 0.02, 8.0};
+    p.fpMetric = 6.0;
+    p.seed = 42;
+    return p;
+}
+
+TEST(WeightCache, SharesDeployments)
+{
+    clearPackedModelCache();
+    const ModelProfile model = tinyModel();
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+
+    const PackedModelPtr a = getPackedModel(model, cfg, 32);
+    const PackedModelPtr b = getPackedModel(model, cfg, 32);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(packedModelCacheSize(), 1u);
+    EXPECT_EQ(a->layers.size(), model.layers.size());
+    EXPECT_EQ(a->plans.size(), model.layers.size());
+    EXPECT_GT(a->termsPerToken, 0u);
+    EXPECT_GT(a->meanEbw, 0.0);
+
+    // A different quantization config is a different deployment.
+    MsqConfig cfg4 = cfg;
+    cfg4.inlierBits = 4;
+    const PackedModelPtr c = getPackedModel(model, cfg4, 32);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(packedModelCacheSize(), 2u);
+
+    clearPackedModelCache();
+    EXPECT_EQ(packedModelCacheSize(), 0u);
+}
+
+TEST(ServeEngine, BatchingInvariance)
+{
+    clearPackedModelCache();
+    const ModelProfile model = tinyModel();
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+
+    ServeConfig single;
+    single.maxBatchRequests = 1;
+    ServeConfig batched;
+    batched.maxBatchRequests = 8;
+    batched.tileTokens = 4;
+
+    ServeEngine engine_s(model, cfg, single);
+    ServeEngine engine_b(model, cfg, batched);
+    for (uint64_t r = 0; r < 12; ++r) {
+        engine_s.submit(3 + r % 4, 100 + r);
+        engine_b.submit(3 + r % 4, 100 + r);
+    }
+    const ServeReport rep_s = engine_s.drain();
+    const ServeReport rep_b = engine_b.drain();
+
+    ASSERT_EQ(rep_s.requests.size(), 12u);
+    ASSERT_EQ(rep_b.requests.size(), 12u);
+    EXPECT_EQ(rep_s.batches, 12u);
+    EXPECT_LT(rep_b.batches, 12u);
+    EXPECT_EQ(rep_s.tokens, rep_b.tokens);
+    // Same request => same output bytes, whatever the batching.
+    for (size_t i = 0; i < rep_s.requests.size(); ++i) {
+        EXPECT_EQ(rep_s.requests[i].id, rep_b.requests[i].id);
+        EXPECT_EQ(rep_s.requests[i].outputCheck,
+                  rep_b.requests[i].outputCheck);
+    }
+    clearPackedModelCache();
+}
+
+TEST(ServeEngine, ThreadCountInvariance)
+{
+    clearPackedModelCache();
+    const ModelProfile model = tinyModel();
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    ServeConfig scfg;
+    scfg.maxBatchRequests = 8;
+    scfg.tileTokens = 2;
+
+    std::vector<double> checks[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        setThreadCount(pass == 0 ? 1 : 4);
+        ServeEngine engine(model, cfg, scfg);
+        for (uint64_t r = 0; r < 6; ++r)
+            engine.submit(5, 500 + r);
+        for (const RequestRecord &rec : engine.drain().requests)
+            checks[pass].push_back(rec.outputCheck);
+    }
+    setThreadCount(0);
+    ASSERT_EQ(checks[0].size(), checks[1].size());
+    for (size_t i = 0; i < checks[0].size(); ++i)
+        EXPECT_EQ(checks[0][i], checks[1][i]);
+    clearPackedModelCache();
+}
+
+TEST(ServeEngine, ReportAccounting)
+{
+    clearPackedModelCache();
+    const ModelProfile model = tinyModel();
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    ServeConfig scfg;
+    scfg.maxBatchRequests = 4;
+    scfg.maxBatchTokens = 16;
+
+    ServeEngine engine(model, cfg, scfg);
+    for (uint64_t r = 0; r < 10; ++r)
+        engine.submit(4, r);
+    EXPECT_EQ(engine.pending(), 10u);
+    const ServeReport rep = engine.drain();
+    EXPECT_EQ(engine.pending(), 0u);
+
+    EXPECT_EQ(rep.requests.size(), 10u);
+    EXPECT_EQ(rep.tokens, 40u);
+    // 4 tokens/request, 16-token cap => 4 requests/batch => 3 batches.
+    EXPECT_EQ(rep.batches, 3u);
+    EXPECT_GE(rep.p95Ms, rep.p50Ms);
+    EXPECT_GE(rep.p99Ms, rep.p95Ms);
+    EXPECT_GE(rep.maxMs, rep.p99Ms);
+    EXPECT_GT(rep.tokensPerSec, 0.0);
+    EXPECT_GT(rep.macsPerSec, 0.0);
+    clearPackedModelCache();
+}
+
+TEST(PipelinePackedExec, ProxyMetricsUnchanged)
+{
+    const ModelProfile model = tinyModel();
+
+    QuantMethod method;
+    method.name = "MicroScopiQ";
+    method.makeQuantizer = [] {
+        MsqConfig c;
+        c.inlierBits = 2;
+        return std::make_unique<MicroScopiQQuantizer>(c);
+    };
+
+    PipelineConfig dense;
+    dense.calibTokens = 64;
+    dense.evalTokens = 32;
+    PipelineConfig packed = dense;
+    packed.packedExec = packedExecBackend();
+
+    const ModelEvalResult a = evaluateMethodOnModel(model, method, dense);
+    const ModelEvalResult b = evaluateMethodOnModel(model, method, packed);
+    EXPECT_EQ(a.meanNmse, b.meanNmse);
+    EXPECT_EQ(a.meanEbw, b.meanEbw);
+    EXPECT_EQ(a.proxyPpl, b.proxyPpl);
+    EXPECT_EQ(a.proxyAcc, b.proxyAcc);
+}
+
+TEST(PipelinePackedExec, QuantizedActsMetricsUnchanged)
+{
+    const ModelProfile model = tinyModel();
+
+    QuantMethod method;
+    method.name = "MicroScopiQ";
+    method.makeQuantizer = [] {
+        return std::make_unique<MicroScopiQQuantizer>(MsqConfig{});
+    };
+    method.actBits = 8;
+    method.actGroup = 32;
+
+    PipelineConfig dense;
+    dense.calibTokens = 64;
+    dense.evalTokens = 32;
+    PipelineConfig packed = dense;
+    packed.packedExec = packedExecBackend();
+
+    const ModelEvalResult a = evaluateMethodOnModel(model, method, dense);
+    const ModelEvalResult b = evaluateMethodOnModel(model, method, packed);
+    EXPECT_EQ(a.meanNmse, b.meanNmse);
+    EXPECT_EQ(a.proxyPpl, b.proxyPpl);
+}
+
+TEST(PipelinePackedExec, NonExecutableConfigFallsBack)
+{
+    const ModelProfile model = tinyModel();
+
+    // The coarse-outlier ablation has no packed execution; the backend
+    // must signal it and the pipeline must produce the dense result.
+    QuantMethod method;
+    method.name = "MicroScopiQ-coarse";
+    method.makeQuantizer = [] {
+        MsqConfig c;
+        c.outlierMode = OutlierMode::MxFpCoarse;
+        return std::make_unique<MicroScopiQQuantizer>(c);
+    };
+
+    PipelineConfig dense;
+    dense.calibTokens = 64;
+    dense.evalTokens = 32;
+    PipelineConfig packed = dense;
+    packed.packedExec = packedExecBackend();
+
+    const ModelEvalResult a = evaluateMethodOnModel(model, method, dense);
+    const ModelEvalResult b = evaluateMethodOnModel(model, method, packed);
+    EXPECT_EQ(a.meanNmse, b.meanNmse);
+    EXPECT_EQ(a.proxyPpl, b.proxyPpl);
+}
+
+} // namespace
+} // namespace msq
