@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cold-start benchmark for the persistent `.msq` weight cache: deploy
+ * the same model twice through `getPackedModel` with a disk tier —
+ * once against an empty cache directory (quantize: Hessian build, GPTQ
+ * sweep, packing, then container write) and once against the container
+ * the first pass produced (load: read, CRC-validate, decode). The
+ * in-memory tier is cleared between passes, so each build time is a
+ * true process-cold start. The whole point of the container format is
+ * the gap between these two numbers.
+ *
+ * Alongside the human-readable table the bench emits a machine-readable
+ * BENCH_cold_start.json (path overridable as argv[1]; cache directory
+ * as argv[2], default "."; schema checked by
+ * scripts/check_bench_json.py) — the tracked benchmark trajectory for
+ * the persistence path.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/parallel.h"
+#include "common/table.h"
+#include "io/msq_file.h"
+#include "model/model_zoo.h"
+#include "serve/weight_cache.h"
+
+using namespace msq;
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_cold_start.json";
+    const std::string cache_dir = argc > 2 ? argv[2] : ".";
+    const ModelProfile &model = modelByName("LLaMA2-7B");
+    MsqConfig qcfg; // paper headline: W2, e1m2 outliers
+    const size_t calib_tokens = 128;
+
+    const std::string container =
+        cache_dir + "/" + packedModelCacheFile(model, qcfg, calib_tokens);
+    std::remove(container.c_str()); // pass 1 must quantize
+
+    // Pass 1: cold start with no container — quantize and persist.
+    clearPackedModelCache();
+    const PackedModelPtr quantized =
+        getPackedModel(model, qcfg, calib_tokens, cache_dir);
+    if (quantized->source != "quantize") {
+        std::fprintf(stderr, "pass 1 unexpectedly hit the disk cache\n");
+        return 1;
+    }
+    const double quantize_ms = quantized->buildMs;
+
+    // Pass 2: cold start from the container the first pass wrote.
+    clearPackedModelCache();
+    const PackedModelPtr loaded =
+        getPackedModel(model, qcfg, calib_tokens, cache_dir);
+    if (loaded->source != "disk") {
+        std::fprintf(stderr, "pass 2 did not load from %s\n",
+                     container.c_str());
+        return 1;
+    }
+    const double load_ms = loaded->buildMs;
+
+    // The two deployments must be byte-for-byte the same weights.
+    if (loaded->layers.size() != quantized->layers.size()) {
+        std::fprintf(stderr, "layer count mismatch after reload\n");
+        return 1;
+    }
+    for (size_t li = 0; li < loaded->layers.size(); ++li)
+        if (loaded->layers[li].serialize() !=
+            quantized->layers[li].serialize()) {
+            std::fprintf(stderr, "layer %zu bytes changed on reload\n", li);
+            return 1;
+        }
+
+    MsqReader reader;
+    uint64_t container_bytes = 0;
+    if (reader.open(container))
+        container_bytes = reader.fileBytes();
+
+    const double speedup = load_ms > 0.0 ? quantize_ms / load_ms : 0.0;
+
+    Table t("Cold start, " + model.name + ", " + qcfg.name() +
+            " (" + std::to_string(threadCount()) + " threads)");
+    t.setHeader({"path", "quantity", "value"});
+    t.addRow({"quantize", "PTQ + container write (ms)",
+              Table::fmt(quantize_ms, 1)});
+    t.addRow({"load", "container read + decode (ms)",
+              Table::fmt(load_ms, 1)});
+    t.addSeparator();
+    t.addRow({"", "container bytes",
+              Table::fmtInt(static_cast<long long>(container_bytes))});
+    t.addRow({"", "EBW (Eq. 4)", Table::fmt(loaded->meanEbw, 3) + " bits"});
+    t.addRow({"", "layers",
+              Table::fmtInt(static_cast<long long>(loaded->layers.size()))});
+    t.addRow({"", "quantize / load speedup",
+              Table::fmt(speedup, 1) + "x"});
+    t.print();
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"cold_start\",\n"
+                 "  \"model\": \"%s\",\n"
+                 "  \"method\": \"%s\",\n"
+                 "  \"threads\": %u,\n"
+                 "  \"layers\": %zu,\n"
+                 "  \"container_bytes\": %llu,\n"
+                 "  \"ebw_bits\": %.4f,\n"
+                 "  \"quantize_ms\": %.3f,\n"
+                 "  \"load_ms\": %.3f,\n"
+                 "  \"speedup\": %.4f\n"
+                 "}\n",
+                 model.name.c_str(), qcfg.name().c_str(), threadCount(),
+                 loaded->layers.size(),
+                 static_cast<unsigned long long>(container_bytes),
+                 loaded->meanEbw, quantize_ms, load_ms, speedup);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Container introspection: dump an `.msq` file's header, per-layer
+ * index, and (with --verify) the CRC status plus packing statistics of
+ * every layer payload. Uses the lazy MsqReader, so plain inspection
+ * reads only the prologue/header/index no matter how large the model
+ * is; --verify additionally checksums and decodes each payload.
+ *
+ * Usage:
+ *   msq_inspect <container.msq> [--verify]
+ *
+ * Exits 0 on a valid container, 1 (with the typed error) otherwise.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "io/msq_file.h"
+
+using namespace msq;
+
+namespace {
+
+const char *
+outlierModeName(OutlierMode mode)
+{
+    switch (mode) {
+      case OutlierMode::None: return "none";
+      case OutlierMode::MxFpShared: return "mxfp-shared";
+      case OutlierMode::MxFpCoarse: return "mxfp-coarse";
+      case OutlierMode::MxInt: return "mxint";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: msq_inspect <container.msq> "
+                             "[--verify]\n");
+        return 2;
+    }
+    const std::string path = argv[1];
+    const bool verify = argc > 2 && std::strcmp(argv[2], "--verify") == 0;
+
+    MsqReader reader;
+    const IoResult res = reader.open(path);
+    if (!res) {
+        std::fprintf(stderr, "msq_inspect: %s: %s\n", ioCodeName(res.code),
+                     res.message.c_str());
+        return 1;
+    }
+
+    const MsqConfig &cfg = reader.config();
+    std::printf("%s: .msq container, format v%u, %llu bytes\n",
+                path.c_str(), kMsqFormatVersion,
+                static_cast<unsigned long long>(reader.fileBytes()));
+    std::printf("  model        %s\n", reader.model().c_str());
+    std::printf("  method       %s\n", cfg.name().c_str());
+    std::printf("  config       bb=%u B_M=%zu B_mu=%zu rB=%zu damp=%g "
+                "outliers=%s%s%s%s\n",
+                cfg.inlierBits, cfg.macroBlock, cfg.microBlock, cfg.rowBlock,
+                cfg.dampRel, outlierModeName(cfg.outlierMode),
+                cfg.prescaleOutliers ? " prescale" : "",
+                cfg.pruneAndRedistribute ? " prune+redistribute" : "",
+                cfg.hessianCompensation ? " hessian" : "");
+    std::printf("  calibration  %llu tokens\n",
+                static_cast<unsigned long long>(reader.calibTokens()));
+    std::printf("  layers       %zu\n\n", reader.layerCount());
+
+    Table t(verify ? "layer index (payloads verified)" : "layer index");
+    if (verify)
+        t.setHeader({"layer", "shape", "offset", "bytes", "crc32", "status",
+                     "EBW", "outlier MiBs"});
+    else
+        t.setHeader({"layer", "shape", "offset", "bytes", "crc32"});
+
+    bool all_ok = true;
+    for (size_t li = 0; li < reader.layerCount(); ++li) {
+        const MsqLayerInfo &info = reader.layerInfo(li);
+        char shape[40], offset[24], bytes[24], crc[16];
+        std::snprintf(shape, sizeof(shape), "%llu x %llu",
+                      static_cast<unsigned long long>(info.rows),
+                      static_cast<unsigned long long>(info.cols));
+        std::snprintf(offset, sizeof(offset), "%llu",
+                      static_cast<unsigned long long>(info.offset));
+        std::snprintf(bytes, sizeof(bytes), "%llu",
+                      static_cast<unsigned long long>(info.bytes));
+        std::snprintf(crc, sizeof(crc), "%08x", info.crc);
+        if (!verify) {
+            t.addRow({info.name, shape, offset, bytes, crc});
+            continue;
+        }
+        PackedLayer layer;
+        const IoResult lres = reader.readLayer(li, layer);
+        if (lres) {
+            t.addRow({info.name, shape, offset, bytes, crc, "ok",
+                      Table::fmt(layer.paperEbw(), 3),
+                      Table::fmt(100.0 * layer.outlierMicroBlockFraction(),
+                                 1) +
+                          " %"});
+        } else {
+            all_ok = false;
+            t.addRow({info.name, shape, offset, bytes, crc,
+                      ioCodeName(lres.code), "-", "-"});
+        }
+    }
+    t.print();
+
+    if (verify && !all_ok) {
+        std::fprintf(stderr, "msq_inspect: payload verification FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quantize-and-export: run the MicroScopiQ PTQ pipeline over a model
+ * zoo profile and write the deployment as a persistent `.msq` container
+ * (io/msq_file.h) — the expensive half of a cold start, done once.
+ * `msq_inspect` dumps the result; a server (serve_demo, ServeEngine
+ * with ServeConfig::cacheDir) loads it back without re-quantizing.
+ *
+ * Usage:
+ *   msq_pack <model> <out.msq> [--bits 2|4] [--calib N] [--no-hessian]
+ *            [--threads N]
+ *
+ * e.g.
+ *   ./build/examples/msq_pack LLaMA2-7B llama2-w2.msq
+ *   ./build/examples/msq_pack TinyLM tiny-w2.msq        # golden fixture
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/parallel.h"
+#include "io/msq_file.h"
+#include "model/model_zoo.h"
+#include "serve/weight_cache.h"
+
+using namespace msq;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: msq_pack <model> <out.msq> [--bits 2|4] "
+                     "[--calib N] [--no-hessian] [--threads N]\n");
+        return 2;
+    }
+    const std::string model_name = argv[1];
+    const std::string out_path = argv[2];
+    MsqConfig cfg; // the paper's headline W2 setting
+    size_t calib_tokens = 128;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--bits") == 0 && i + 1 < argc)
+            cfg.inlierBits =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--calib") == 0 && i + 1 < argc)
+            calib_tokens = std::strtoul(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--no-hessian") == 0)
+            cfg.hessianCompensation = false;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            setThreadCount(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
+        else {
+            std::fprintf(stderr, "msq_pack: unknown option '%s'\n", argv[i]);
+            return 2;
+        }
+    }
+    if (cfg.inlierBits != 2 && cfg.inlierBits != 4) {
+        std::fprintf(stderr, "msq_pack: --bits must be 2 or 4\n");
+        return 2;
+    }
+
+    const ModelProfile &model = modelByName(model_name);
+    std::printf("quantizing %s as %s (calib %zu tokens)...\n",
+                model.name.c_str(), cfg.name().c_str(), calib_tokens);
+    const PackedModelPtr packed = getPackedModel(model, cfg, calib_tokens);
+
+    MsqModelFile file;
+    file.model = model.name;
+    file.config = cfg;
+    file.calibTokens = calib_tokens;
+    file.layers = packed->layers;
+    for (const LayerSpec &spec : model.layers)
+        file.layerNames.push_back(spec.name);
+
+    const IoResult res = saveModel(out_path, file);
+    if (!res) {
+        std::fprintf(stderr, "msq_pack: %s: %s\n", ioCodeName(res.code),
+                     res.message.c_str());
+        return 1;
+    }
+
+    // Report what landed on disk, via the same reader a server uses.
+    MsqReader reader;
+    const IoResult check = reader.open(out_path);
+    if (!check) {
+        std::fprintf(stderr, "msq_pack: reopen failed: %s\n",
+                     check.message.c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %zu layers, %llu bytes, EBW %.3f bits, "
+                "quantized in %.1f ms\n",
+                out_path.c_str(), reader.layerCount(),
+                static_cast<unsigned long long>(reader.fileBytes()),
+                packed->meanEbw, packed->buildMs);
+    return 0;
+}

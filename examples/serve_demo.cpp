@@ -5,15 +5,21 @@
  *
  * Usage:
  *   serve_demo [model] [requests] [tokens-per-request] [batch] [threads]
+ *              [cache-dir]
  *
  * e.g.
  *   ./build/examples/serve_demo LLaMA2-7B 64 4 16
  *   ./build/examples/serve_demo Phi3-3.8B 32 8 1     # batching off
+ *   ./build/examples/serve_demo LLaMA2-7B 64 4 16 0 /var/cache/msq
  *
  * The engine quantizes every representative layer once into the
  * packed-weight cache (the expensive part), then serves requests
  * straight from the Fig. 5 bit-codes: integer code x code products
  * scaled by powers of two, never touching a dequantized weight matrix.
+ * With a cache-dir the deployment is persisted as an `.msq` container
+ * (see msq_pack / msq_inspect): the first run quantizes and writes it,
+ * every later run cold-starts by loading it ("deployment source"
+ * in the table flips from "quantize" to "disk").
  */
 
 #include <cstdio>
@@ -35,7 +41,7 @@ main(int argc, char **argv)
     const size_t requests = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 64;
     const size_t tokens = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
     const size_t batch = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 16;
-    if (argc > 5)
+    if (argc > 5 && std::strtoul(argv[5], nullptr, 10) > 0)
         setThreadCount(
             static_cast<unsigned>(std::strtoul(argv[5], nullptr, 10)));
 
@@ -45,6 +51,8 @@ main(int argc, char **argv)
     ServeConfig scfg;
     scfg.maxBatchRequests = batch == 0 ? 1 : batch;
     scfg.maxBatchTokens = scfg.maxBatchRequests * tokens;
+    if (argc > 6)
+        scfg.cacheDir = argv[6];
 
     std::printf("deploying %s as %s (packed-weight cache build)...\n",
                 model.name.c_str(), qcfg.name().c_str());
@@ -61,6 +69,7 @@ main(int argc, char **argv)
             std::to_string(scfg.maxBatchRequests) + ", " +
             std::to_string(threadCount()) + " threads");
     t.setHeader({"quantity", "value"});
+    t.addRow({"deployment source", packed.source});
     t.addRow({"packed build (ms)", Table::fmt(packed.buildMs, 1)});
     t.addRow({"EBW (Eq. 4)", Table::fmt(packed.meanEbw, 3) + " bits"});
     t.addRow({"integer MACs/token",

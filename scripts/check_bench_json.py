@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_serve.json emitted by bench_serve_throughput.
+"""Validate a machine-readable benchmark record (BENCH_*.json).
 
-Checks the machine-readable benchmark record against a small schema
-(required keys, types, and basic sanity: positive throughputs, ordered
-percentiles) so the tracked benchmark trajectory cannot silently rot.
+Dispatches on the record's "bench" id and checks it against a small
+schema (required keys, types, and basic sanity: positive throughputs,
+ordered percentiles, consistent speedups) so the tracked benchmark
+trajectories cannot silently rot. Known ids:
 
-Usage: check_bench_json.py path/to/BENCH_serve.json
+  serve_throughput  emitted by bench/bench_serve_throughput
+  cold_start        emitted by bench/bench_cold_start
+
+Usage: check_bench_json.py path/to/BENCH_<name>.json
 Exits 0 when valid, 1 with a message otherwise.
 """
 
@@ -25,7 +29,7 @@ PHASE_SCHEMA = {
 
 LATENCY_KEYS = ("p50", "p95", "p99", "mean", "max")
 
-TOP_SCHEMA = {
+SERVE_SCHEMA = {
     "bench": str,
     "model": str,
     "method": str,
@@ -36,6 +40,19 @@ TOP_SCHEMA = {
     "macs_per_token": int,
     "single": dict,
     "batched": dict,
+    "speedup": float,
+}
+
+COLD_START_SCHEMA = {
+    "bench": str,
+    "model": str,
+    "method": str,
+    "threads": int,
+    "layers": int,
+    "container_bytes": int,
+    "ebw_bits": float,
+    "quantize_ms": float,
+    "load_ms": float,
     "speedup": float,
 }
 
@@ -76,18 +93,8 @@ def check_phase(phase, where):
         fail(f"{where}: more batches than requests")
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py BENCH_serve.json")
-    try:
-        with open(sys.argv[1]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(str(e))
-
-    check_types(doc, TOP_SCHEMA, "$")
-    if doc["bench"] != "serve_throughput":
-        fail(f"unexpected bench id '{doc['bench']}'")
+def check_serve(doc):
+    check_types(doc, SERVE_SCHEMA, "$")
     check_phase(doc["single"], "$.single")
     check_phase(doc["batched"], "$.batched")
 
@@ -97,10 +104,57 @@ def main():
              f"throughputs ({want:.4f})")
     if doc["batched"]["batches"] >= doc["single"]["batches"]:
         fail("batched phase did not coalesce requests")
+    return (f"{doc['model']}, {doc['method']}, "
+            f"speedup {doc['speedup']:.2f}x on {doc['threads']} threads")
 
-    print(f"check_bench_json: OK ({sys.argv[1]}: "
-          f"{doc['model']}, {doc['method']}, "
-          f"speedup {doc['speedup']:.2f}x on {doc['threads']} threads)")
+
+def check_cold_start(doc):
+    check_types(doc, COLD_START_SCHEMA, "$")
+    if doc["layers"] <= 0:
+        fail("$.layers must be positive")
+    if doc["container_bytes"] <= 0:
+        fail("$.container_bytes must be positive")
+    if doc["quantize_ms"] <= 0 or doc["load_ms"] <= 0:
+        fail("$.quantize_ms / $.load_ms must be positive")
+    if not 2.0 <= doc["ebw_bits"] <= 9.0:
+        fail(f"$.ebw_bits {doc['ebw_bits']} outside the plausible range")
+    want = doc["quantize_ms"] / doc["load_ms"]
+    if abs(doc["speedup"] - want) > 0.01 * max(1.0, want):
+        fail(f"speedup {doc['speedup']} inconsistent with timings "
+             f"({want:.4f})")
+    # The acceptance floor for the persistence path (typical measured
+    # values are ~75x, so this has a wide margin for slow CI boxes).
+    if doc["speedup"] < 5.0:
+        fail(f"container load ({doc['load_ms']} ms) must be >= 5x faster "
+             f"than re-quantizing ({doc['quantize_ms']} ms); got "
+             f"{doc['speedup']:.2f}x")
+    return (f"{doc['model']}, {doc['method']}, load {doc['load_ms']:.1f} ms "
+            f"vs quantize {doc['quantize_ms']:.1f} ms "
+            f"({doc['speedup']:.1f}x)")
+
+
+CHECKERS = {
+    "serve_throughput": check_serve,
+    "cold_start": check_cold_start,
+}
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py BENCH_<name>.json")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+
+    if not isinstance(doc, dict) or "bench" not in doc:
+        fail("record carries no 'bench' id")
+    checker = CHECKERS.get(doc["bench"])
+    if checker is None:
+        fail(f"unexpected bench id '{doc['bench']}'")
+    summary = checker(doc)
+    print(f"check_bench_json: OK ({sys.argv[1]}: {summary})")
 
 
 if __name__ == "__main__":

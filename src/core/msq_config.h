@@ -11,6 +11,7 @@
 #define MSQ_CORE_MSQ_CONFIG_H
 
 #include <cstddef>
+#include <cstdio>
 #include <string>
 
 namespace msq {
@@ -66,6 +67,47 @@ struct MsqConfig
         return "MicroScopiQ-W" + std::to_string(inlierBits);
     }
 };
+
+/** Exact field-by-field equality (every field that shapes the packed
+ *  bytes — there are no derived or cached members). */
+inline bool
+operator==(const MsqConfig &a, const MsqConfig &b)
+{
+    return a.inlierBits == b.inlierBits && a.macroBlock == b.macroBlock &&
+           a.microBlock == b.microBlock && a.rowBlock == b.rowBlock &&
+           a.dampRel == b.dampRel && a.outlierMode == b.outlierMode &&
+           a.prescaleOutliers == b.prescaleOutliers &&
+           a.pruneAndRedistribute == b.pruneAndRedistribute &&
+           a.hessianCompensation == b.hessianCompensation;
+}
+
+inline bool
+operator!=(const MsqConfig &a, const MsqConfig &b)
+{
+    return !(a == b);
+}
+
+/**
+ * Canonical cache-key string covering EVERY MsqConfig field: two configs
+ * produce the same key iff they compare equal. `dampRel` is rendered as
+ * a hex float (%a) so distinct doubles never collide through decimal
+ * rounding. Shared by the in-memory packed-weight cache and the
+ * disk-container naming in serve/weight_cache.cc; a collision here
+ * would silently serve one deployment's weights to another, so
+ * tests/test_weight_cache.cc sweeps single-field perturbations.
+ */
+inline std::string
+configKey(const MsqConfig &c)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "b%u|M%zu|u%zu|rB%zu|d%a|m%d|p%d%d%d",
+                  c.inlierBits, c.macroBlock, c.microBlock, c.rowBlock,
+                  c.dampRel, static_cast<int>(c.outlierMode),
+                  c.prescaleOutliers ? 1 : 0,
+                  c.pruneAndRedistribute ? 1 : 0,
+                  c.hessianCompensation ? 1 : 0);
+    return buf;
+}
 
 } // namespace msq
 

@@ -1,5 +1,6 @@
 #include "core/packed_tensor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bitstream.h"
@@ -201,10 +202,10 @@ PackedLayer::dequantAll() const
 }
 
 unsigned
-PackedLayer::permLocBits() const
+PackedLayer::permLocBits(const MsqConfig &config)
 {
     unsigned bits = 1;
-    while ((1ull << bits) < config_.microBlock)
+    while ((1ull << bits) < config.microBlock)
         ++bits;
     return bits;
 }
@@ -285,41 +286,78 @@ PackedLayer::serialize() const
     return writer.take();
 }
 
-PackedLayer
-PackedLayer::deserialize(const MsqConfig &config, size_t rows, size_t cols,
-                         const std::vector<uint8_t> &bytes)
+bool
+PackedLayer::tryDeserialize(const MsqConfig &config, size_t rows,
+                            size_t cols, const std::vector<uint8_t> &bytes,
+                            PackedLayer &out)
 {
     PackedLayer layer(config, rows, cols);
     BitReader reader(bytes);
     const unsigned bb = config.inlierBits;
     const unsigned loc_bits = layer.permLocBits();
 
+    // Every field read is guarded: a stream that runs dry mid-field is
+    // malformed, not a library bug.
+    auto take = [&reader](unsigned bits, uint64_t &value) {
+        if (reader.position() + bits > reader.capacity())
+            return false;
+        value = reader.read(bits);
+        return true;
+    };
+
+    uint64_t v = 0;
     for (size_t r = 0; r < rows; ++r)
-        for (size_t c = 0; c < cols; ++c)
-            layer.setCode(r, c, static_cast<uint8_t>(reader.read(bb)));
+        for (size_t c = 0; c < cols; ++c) {
+            if (!take(bb, v))
+                return false;
+            layer.setCode(r, c, static_cast<uint8_t>(v));
+        }
 
     for (size_t r = 0; r < rows; ++r) {
-        for (size_t mb = 0; mb < layer.macroPerRow(); ++mb)
-            layer.setIsf(r, mb, static_cast<int8_t>(reader.read(8)));
+        for (size_t mb = 0; mb < layer.macroPerRow(); ++mb) {
+            if (!take(8, v))
+                return false;
+            layer.setIsf(r, mb, static_cast<int8_t>(v));
+        }
         for (size_t ub = 0; ub < layer.microPerRow(); ++ub) {
             MicroBlockMeta &meta = layer.micro(r, ub);
-            meta.hasOutliers = reader.read(1) != 0;
+            if (!take(1, v))
+                return false;
+            meta.hasOutliers = v != 0;
             if (!meta.hasOutliers)
                 continue;
-            meta.mxScale = static_cast<uint8_t>(reader.read(8));
+            if (!take(8, v))
+                return false;
+            meta.mxScale = static_cast<uint8_t>(v);
             const size_t capacity = config.microBlockCapacity();
             std::vector<bool> valid(capacity);
-            for (size_t i = 0; i < capacity; ++i)
-                valid[i] = reader.read(1) != 0;
+            for (size_t i = 0; i < capacity; ++i) {
+                if (!take(1, v))
+                    return false;
+                valid[i] = v != 0;
+            }
+            // Elements of the final micro-block beyond the tensor edge
+            // do not exist; a permutation entry pointing there is
+            // malformed.
+            const size_t base = ub * config.microBlock;
+            const size_t block_end = std::min(cols, base + config.microBlock);
             for (size_t i = 0; i < capacity; ++i) {
                 PermEntry entry;
-                entry.upperLoc = static_cast<uint8_t>(reader.read(loc_bits));
-                entry.lowerLoc = static_cast<uint8_t>(reader.read(loc_bits));
-                if (valid[i])
-                    meta.perm.push_back(entry);
+                if (!take(loc_bits, v))
+                    return false;
+                entry.upperLoc = static_cast<uint8_t>(v);
+                if (!take(loc_bits, v))
+                    return false;
+                entry.lowerLoc = static_cast<uint8_t>(v);
+                if (!valid[i])
+                    continue;
+                if (base + entry.upperLoc >= block_end ||
+                    base + entry.lowerLoc >= block_end ||
+                    entry.upperLoc == entry.lowerLoc)
+                    return false;
+                meta.perm.push_back(entry);
             }
             // Rebuild slot kinds from the permutation list.
-            const size_t base = ub * config.microBlock;
             for (const PermEntry &entry : meta.perm) {
                 layer.setKind(r, base + entry.upperLoc,
                               SlotKind::OutlierUpper);
@@ -328,6 +366,22 @@ PackedLayer::deserialize(const MsqConfig &config, size_t rows, size_t cols,
             }
         }
     }
+
+    // The writer pads the final byte with zeros; anything longer is not
+    // a serialization of this shape.
+    if (bytes.size() != (reader.position() + 7) / 8)
+        return false;
+    out = std::move(layer);
+    return true;
+}
+
+PackedLayer
+PackedLayer::deserialize(const MsqConfig &config, size_t rows, size_t cols,
+                         const std::vector<uint8_t> &bytes)
+{
+    PackedLayer layer;
+    MSQ_ASSERT(tryDeserialize(config, rows, cols, bytes, layer),
+               "malformed packed-layer stream");
     return layer;
 }
 

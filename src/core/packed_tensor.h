@@ -128,8 +128,26 @@ class PackedLayer
                                    size_t cols,
                                    const std::vector<uint8_t> &bytes);
 
+    /**
+     * Bounds-checked deserialization for streams of untrusted origin
+     * (the `.msq` container loader in io/msq_file.cc): rejects streams
+     * that run out of bits mid-field, carry more payload bytes than the
+     * layout admits, or name permutation locations outside their
+     * micro-block, instead of tripping internal assertions. Returns
+     * false (leaving `out` unspecified) on any such malformation.
+     */
+    static bool tryDeserialize(const MsqConfig &config, size_t rows,
+                               size_t cols,
+                               const std::vector<uint8_t> &bytes,
+                               PackedLayer &out);
+
     /** Fraction of micro-blocks containing outliers (x in Eq. 4). */
     double outlierMicroBlockFraction() const;
+
+    /** Location field width inside a permutation entry: the smallest
+     *  L with 2^L >= microBlock. Exposed for the container loader's
+     *  payload-size bounds (io/msq_file.cc). */
+    static unsigned permLocBits(const MsqConfig &config);
 
     /** Quantization statistics accumulated while packing. */
     struct Stats
@@ -146,8 +164,8 @@ class PackedLayer
     /** Bits of a serialized micro-block's metadata when outliers exist. */
     size_t outlierMetaBits() const;
 
-    /** Location field width inside a permutation entry. */
-    unsigned permLocBits() const;
+    /** permLocBits of this layer's config. */
+    unsigned permLocBits() const { return permLocBits(config_); }
 
     MsqConfig config_;
     size_t rows_ = 0;

@@ -1,0 +1,639 @@
+#include "io/msq_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "io/crc32.h"
+
+namespace msq {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Little-endian byte building / parsing. All multi-byte integers in the
+// container are little-endian regardless of host order.
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/** Bounds-checked sequential parser over a byte section. */
+class Parser
+{
+  public:
+    explicit Parser(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    bool u32(uint32_t &v)
+    {
+        if (pos_ + 4 > bytes_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+
+    bool u64(uint64_t &v)
+    {
+        if (pos_ + 8 > bytes_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return true;
+    }
+
+    bool str(std::string &s)
+    {
+        uint32_t len = 0;
+        if (!u32(len) || pos_ + len > bytes_.size())
+            return false;
+        s.assign(reinterpret_cast<const char *>(bytes_.data()) + pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    bool exhausted() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Section encoding.
+
+constexpr size_t kPrologueBytes = 16; ///< magic, version, header, index sizes
+constexpr uint32_t kFlagPrescale = 1u << 0;
+constexpr uint32_t kFlagPruneRedistribute = 1u << 1;
+constexpr uint32_t kFlagHessian = 1u << 2;
+
+/**
+ * Hard caps on CRC-valid but hostile metadata, enforced *before* any
+ * size arithmetic or allocation depends on the fields: a crafted
+ * header must produce a typed error, never a bad_alloc or an integer
+ * wrap. B_mu <= 256 keeps permutation locations inside their uint8_t
+ * fields (permLocBits <= 8); dimensions <= 2^24 keep every bit-count
+ * product in payloadByteBounds far below 2^64 (2^24 elements is ~400x
+ * the largest zoo layer).
+ */
+constexpr uint64_t kMaxMicroBlock = 256;
+constexpr uint64_t kMaxBlockOrDim = 1ull << 24;
+
+/** Cap on the header/index section sizes a prologue may declare:
+ *  far above anything the writer emits (a 10k-layer index is ~1 MB),
+ *  far below anything that could wrap 32-bit size arithmetic or
+ *  bad_alloc the loader. */
+constexpr uint32_t kMaxSectionBytes = 1u << 28;
+
+std::vector<uint8_t>
+encodeHeader(const std::string &model, const MsqConfig &c,
+             uint64_t calib_tokens, uint64_t layer_count)
+{
+    std::vector<uint8_t> h;
+    putU32(h, c.inlierBits);
+    putU64(h, c.macroBlock);
+    putU64(h, c.microBlock);
+    putU64(h, c.rowBlock);
+    uint64_t damp_bits = 0;
+    static_assert(sizeof(damp_bits) == sizeof(c.dampRel), "double is 64-bit");
+    std::memcpy(&damp_bits, &c.dampRel, sizeof(damp_bits));
+    putU64(h, damp_bits);
+    putU32(h, static_cast<uint32_t>(c.outlierMode));
+    putU32(h, (c.prescaleOutliers ? kFlagPrescale : 0) |
+                  (c.pruneAndRedistribute ? kFlagPruneRedistribute : 0) |
+                  (c.hessianCompensation ? kFlagHessian : 0));
+    putU64(h, calib_tokens);
+    putU64(h, layer_count);
+    putString(h, model);
+    return h;
+}
+
+IoResult
+parseHeader(const std::vector<uint8_t> &bytes, std::string &model,
+            MsqConfig &config, uint64_t &calib_tokens, uint64_t &layer_count)
+{
+    Parser p(bytes);
+    uint32_t inlier_bits = 0, mode = 0, flags = 0;
+    uint64_t damp_bits = 0;
+    MsqConfig c;
+    if (!p.u32(inlier_bits) || !p.u64(c.macroBlock) ||
+        !p.u64(c.microBlock) || !p.u64(c.rowBlock) || !p.u64(damp_bits) ||
+        !p.u32(mode) || !p.u32(flags) || !p.u64(calib_tokens) ||
+        !p.u64(layer_count) || !p.str(model) || !p.exhausted())
+        return IoResult::error(IoCode::BadMetadata,
+                               "header does not parse to its recorded size");
+    c.inlierBits = inlier_bits;
+    std::memcpy(&c.dampRel, &damp_bits, sizeof(c.dampRel));
+    c.outlierMode = static_cast<OutlierMode>(mode);
+    c.prescaleOutliers = (flags & kFlagPrescale) != 0;
+    c.pruneAndRedistribute = (flags & kFlagPruneRedistribute) != 0;
+    c.hessianCompensation = (flags & kFlagHessian) != 0;
+
+    if (c.inlierBits != 2 && c.inlierBits != 4)
+        return IoResult::error(IoCode::BadMetadata,
+                               "inlier bits must be 2 or 4, got " +
+                                   std::to_string(c.inlierBits));
+    if (c.microBlock < 2 || c.microBlock > kMaxMicroBlock ||
+        c.macroBlock < c.microBlock || c.macroBlock > kMaxBlockOrDim ||
+        c.macroBlock % c.microBlock != 0)
+        return IoResult::error(
+            IoCode::BadMetadata,
+            "macro/micro block sizes are inconsistent or implausible (" +
+                std::to_string(c.macroBlock) + "/" +
+                std::to_string(c.microBlock) + ")");
+    if (c.rowBlock == 0)
+        return IoResult::error(IoCode::BadMetadata, "row block must be >= 1");
+    if (!std::isfinite(c.dampRel) || c.dampRel < 0.0)
+        return IoResult::error(IoCode::BadMetadata,
+                               "damping must be finite and non-negative");
+    if (mode > static_cast<uint32_t>(OutlierMode::MxInt))
+        return IoResult::error(IoCode::BadMetadata,
+                               "unknown outlier mode " + std::to_string(mode));
+    if (flags & ~(kFlagPrescale | kFlagPruneRedistribute | kFlagHessian))
+        return IoResult::error(IoCode::BadMetadata, "unknown header flags");
+    if (model.empty())
+        return IoResult::error(IoCode::BadMetadata, "empty model name");
+    if (layer_count == 0)
+        return IoResult::error(IoCode::BadMetadata, "container has no layers");
+    config = c;
+    return IoResult::success();
+}
+
+/** Inclusive payload-size bounds of a rows x cols layer under `c`:
+ *  the stream always carries the code plane, the Isf bytes and one
+ *  identifier bit per micro-block, and at most additionally every
+ *  micro-block's outlier metadata. No intermediate can wrap: rows,
+ *  cols and the blocks are capped at parse time (kMaxBlockOrDim,
+ *  kMaxMicroBlock), bounding everything below 2^60 bits. */
+void
+payloadByteBounds(const MsqConfig &c, uint64_t rows, uint64_t cols,
+                  uint64_t &min_bytes, uint64_t &max_bytes)
+{
+    const uint64_t macro_per_row = (cols + c.macroBlock - 1) / c.macroBlock;
+    const uint64_t micro_per_row = (cols + c.microBlock - 1) / c.microBlock;
+    const uint64_t meta_bits =
+        8 + c.microBlockCapacity() * (1 + 2 * PackedLayer::permLocBits(c));
+    const uint64_t base_bits =
+        rows * (cols * c.inlierBits + macro_per_row * 8 + micro_per_row);
+    min_bytes = (base_bits + 7) / 8;
+    max_bytes = (base_bits + rows * micro_per_row * meta_bits + 7) / 8;
+}
+
+// ---------------------------------------------------------------------
+// Shared open path: validate prologue + header + index, leaving the
+// stream positioned for payload reads.
+
+struct OpenedContainer
+{
+    std::FILE *stream = nullptr;
+    uint64_t fileBytes = 0;
+    std::string model;
+    MsqConfig config;
+    uint64_t calibTokens = 0;
+    std::vector<MsqLayerInfo> index;
+};
+
+uint64_t
+streamSize(std::FILE *f)
+{
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    return size < 0 ? 0 : static_cast<uint64_t>(size);
+}
+
+bool
+readAt(std::FILE *f, uint64_t offset, std::vector<uint8_t> &out,
+       size_t bytes)
+{
+    out.resize(bytes);
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0)
+        return false;
+    return bytes == 0 ||
+           std::fread(out.data(), 1, bytes, f) == bytes;
+}
+
+/** Validate everything up to (not including) the layer payloads. */
+IoResult
+openContainer(const std::string &path, OpenedContainer &oc)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return IoResult::error(IoCode::FileError, "cannot open " + path);
+    oc.stream = f;
+    oc.fileBytes = streamSize(f);
+
+    // Prologue: the only section read before any checksum passes, so
+    // every field is validated against the real file size before use.
+    std::vector<uint8_t> pro;
+    if (oc.fileBytes < kPrologueBytes + 4 ||
+        !readAt(f, 0, pro, kPrologueBytes + 4))
+        return IoResult::error(IoCode::Truncated,
+                               path + " is shorter than an .msq prologue");
+    Parser pp(pro);
+    uint32_t magic = 0, version = 0, header_bytes = 0, index_bytes = 0,
+             pro_crc = 0;
+    pp.u32(magic);
+    pp.u32(version);
+    pp.u32(header_bytes);
+    pp.u32(index_bytes);
+    pp.u32(pro_crc);
+    if (magic != kMsqMagic)
+        return IoResult::error(IoCode::BadMagic,
+                               path + " is not an .msq container");
+    if (pro_crc != crc32(pro.data(), kPrologueBytes))
+        return IoResult::error(IoCode::HeaderCorrupt,
+                               "prologue checksum mismatch in " + path);
+    if (version != kMsqFormatVersion)
+        return IoResult::error(IoCode::BadVersion,
+                               "unsupported .msq format version " +
+                                   std::to_string(version));
+    // Cap the section sizes before any arithmetic or allocation uses
+    // them: a crafted prologue near UINT32_MAX must not wrap the
+    // `+ 4` CRC-word offsets below or drive a multi-GB resize.
+    if (header_bytes > kMaxSectionBytes || index_bytes > kMaxSectionBytes)
+        return IoResult::error(IoCode::BadMetadata,
+                               path + " declares implausible section sizes");
+
+    const uint64_t header_off = kPrologueBytes + 4;
+    const uint64_t index_off = header_off + header_bytes + 4;
+    const uint64_t payload_off = index_off + index_bytes + 4;
+    if (payload_off > oc.fileBytes)
+        return IoResult::error(IoCode::Truncated,
+                               path + " is shorter than its header + index");
+
+    // Header.
+    std::vector<uint8_t> header;
+    if (!readAt(f, header_off, header, size_t{header_bytes} + 4))
+        return IoResult::error(IoCode::FileError, "read failed on " + path);
+    uint32_t header_crc = 0;
+    for (int i = 0; i < 4; ++i)
+        header_crc |= static_cast<uint32_t>(header[header_bytes + i])
+                      << (8 * i);
+    header.resize(header_bytes);
+    if (header_crc != crc32(header.data(), header.size()))
+        return IoResult::error(IoCode::HeaderCorrupt,
+                               "header checksum mismatch in " + path);
+    uint64_t layer_count = 0;
+    IoResult parsed = parseHeader(header, oc.model, oc.config,
+                                  oc.calibTokens, layer_count);
+    if (!parsed)
+        return parsed;
+
+    // Index.
+    std::vector<uint8_t> index;
+    if (!readAt(f, index_off, index, size_t{index_bytes} + 4))
+        return IoResult::error(IoCode::FileError, "read failed on " + path);
+    uint32_t index_crc = 0;
+    for (int i = 0; i < 4; ++i)
+        index_crc |= static_cast<uint32_t>(index[index_bytes + i]) << (8 * i);
+    index.resize(index_bytes);
+    if (index_crc != crc32(index.data(), index.size()))
+        return IoResult::error(IoCode::IndexCorrupt,
+                               "index checksum mismatch in " + path);
+
+    Parser ip(index);
+    oc.index.resize(layer_count);
+    uint64_t next_offset = payload_off;
+    for (uint64_t li = 0; li < layer_count; ++li) {
+        MsqLayerInfo &info = oc.index[li];
+        if (!ip.str(info.name) || !ip.u64(info.rows) || !ip.u64(info.cols) ||
+            !ip.u64(info.offset) || !ip.u64(info.bytes) || !ip.u32(info.crc))
+            return IoResult::error(IoCode::BadMetadata,
+                                   "index does not parse to " +
+                                       std::to_string(layer_count) +
+                                       " layers");
+        if (info.rows == 0 || info.cols == 0 ||
+            info.rows > kMaxBlockOrDim || info.cols > kMaxBlockOrDim)
+            return IoResult::error(IoCode::BadMetadata,
+                                   "layer " + std::to_string(li) +
+                                       " has an implausible shape");
+        // Payloads are laid out contiguously in index order; anything
+        // else is not a well-formed container.
+        if (info.offset != next_offset || info.bytes == 0 ||
+            info.offset + info.bytes > oc.fileBytes)
+            return IoResult::error(
+                info.offset + info.bytes > oc.fileBytes ? IoCode::Truncated
+                                                        : IoCode::BadMetadata,
+                "layer " + std::to_string(li) +
+                    " payload falls outside the file");
+        uint64_t min_bytes = 0, max_bytes = 0;
+        payloadByteBounds(oc.config, info.rows, info.cols, min_bytes,
+                          max_bytes);
+        if (info.bytes < min_bytes || info.bytes > max_bytes)
+            return IoResult::error(IoCode::BadMetadata,
+                                   "layer " + std::to_string(li) +
+                                       " payload size is impossible for "
+                                       "its shape");
+        next_offset = info.offset + info.bytes;
+    }
+    if (!ip.exhausted())
+        return IoResult::error(IoCode::BadMetadata,
+                               "index carries trailing bytes");
+    if (next_offset < oc.fileBytes)
+        return IoResult::error(IoCode::TrailingBytes,
+                               path + " carries bytes past the last layer");
+    if (next_offset > oc.fileBytes)
+        return IoResult::error(IoCode::Truncated,
+                               path + " is shorter than its index claims");
+    return IoResult::success();
+}
+
+IoResult
+readLayerPayload(std::FILE *f, const MsqConfig &config,
+                 const MsqLayerInfo &info, size_t li, PackedLayer &out)
+{
+    std::vector<uint8_t> payload;
+    if (!readAt(f, info.offset, payload, info.bytes))
+        return IoResult::error(IoCode::FileError, "payload read failed");
+    if (info.crc != crc32(payload.data(), payload.size()))
+        return IoResult::error(IoCode::LayerCorrupt,
+                               "layer " + std::to_string(li) + " (" +
+                                   info.name + ") checksum mismatch");
+    if (!PackedLayer::tryDeserialize(config, info.rows, info.cols, payload,
+                                     out))
+        return IoResult::error(IoCode::LayerCorrupt,
+                               "layer " + std::to_string(li) + " (" +
+                                   info.name +
+                                   ") payload does not decode");
+    return IoResult::success();
+}
+
+} // namespace
+
+const char *
+ioCodeName(IoCode code)
+{
+    switch (code) {
+      case IoCode::Ok: return "ok";
+      case IoCode::FileError: return "file-error";
+      case IoCode::BadMagic: return "bad-magic";
+      case IoCode::BadVersion: return "bad-version";
+      case IoCode::Truncated: return "truncated";
+      case IoCode::TrailingBytes: return "trailing-bytes";
+      case IoCode::HeaderCorrupt: return "header-corrupt";
+      case IoCode::IndexCorrupt: return "index-corrupt";
+      case IoCode::LayerCorrupt: return "layer-corrupt";
+      case IoCode::BadMetadata: return "bad-metadata";
+      case IoCode::IdentityMismatch: return "identity-mismatch";
+    }
+    return "unknown";
+}
+
+std::string
+containerFileName(const std::string &stem, const std::string &key)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return stem + "-" + hash + ".msq";
+}
+
+IoResult
+saveModel(const std::string &path, const std::string &model,
+          const MsqConfig &config, uint64_t calib_tokens,
+          const std::vector<std::string> &layer_names,
+          const std::vector<const PackedLayer *> &layers)
+{
+    MSQ_ASSERT(!layers.empty(), "cannot save a container with no layers");
+    MSQ_ASSERT(layer_names.size() == layers.size(),
+               "layer names must match layers");
+
+    const std::vector<uint8_t> header =
+        encodeHeader(model, config, calib_tokens, layers.size());
+
+    // Serialize every payload first: the index records their offsets,
+    // sizes, and checksums.
+    std::vector<std::vector<uint8_t>> payloads;
+    payloads.reserve(layers.size());
+    for (const PackedLayer *layer : layers)
+        payloads.push_back(layer->serialize());
+
+    std::vector<uint8_t> index;
+    for (size_t li = 0; li < layers.size(); ++li) {
+        putString(index, layer_names[li]);
+        putU64(index, layers[li]->rows());
+        putU64(index, layers[li]->cols());
+        putU64(index, 0); // offset placeholder, rewritten below
+        putU64(index, payloads[li].size());
+        putU32(index, crc32(payloads[li].data(), payloads[li].size()));
+    }
+
+    // Now that the index size is fixed, compute the absolute payload
+    // offsets and rewrite the placeholders in place.
+    uint64_t offset =
+        kPrologueBytes + 4 + header.size() + 4 + index.size() + 4;
+    size_t cursor = 0;
+    for (size_t li = 0; li < layers.size(); ++li) {
+        cursor += 4 + layer_names[li].size() + 8 + 8; // name, rows, cols
+        for (int i = 0; i < 8; ++i)
+            index[cursor + i] = static_cast<uint8_t>(offset >> (8 * i));
+        cursor += 8 + 8 + 4; // offset, bytes, crc
+        offset += payloads[li].size();
+    }
+
+    std::vector<uint8_t> prologue;
+    putU32(prologue, kMsqMagic);
+    putU32(prologue, kMsqFormatVersion);
+    putU32(prologue, static_cast<uint32_t>(header.size()));
+    putU32(prologue, static_cast<uint32_t>(index.size()));
+    putU32(prologue, crc32(prologue.data(), prologue.size()));
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return IoResult::error(IoCode::FileError,
+                               "cannot write " + path);
+    bool ok = std::fwrite(prologue.data(), 1, prologue.size(), f) ==
+              prologue.size();
+    auto writeSection = [&](const std::vector<uint8_t> &bytes) {
+        ok = ok && std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                       bytes.size();
+        std::vector<uint8_t> crc;
+        putU32(crc, crc32(bytes.data(), bytes.size()));
+        ok = ok && std::fwrite(crc.data(), 1, crc.size(), f) == crc.size();
+    };
+    writeSection(header);
+    writeSection(index);
+    for (const std::vector<uint8_t> &payload : payloads)
+        ok = ok && std::fwrite(payload.data(), 1, payload.size(), f) ==
+                       payload.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        return IoResult::error(IoCode::FileError,
+                               "short write on " + path);
+    return IoResult::success();
+}
+
+IoResult
+saveModel(const std::string &path, const MsqModelFile &file)
+{
+    std::vector<const PackedLayer *> layers;
+    layers.reserve(file.layers.size());
+    for (const PackedLayer &layer : file.layers)
+        layers.push_back(&layer);
+    return saveModel(path, file.model, file.config, file.calibTokens,
+                     file.layerNames, layers);
+}
+
+IoResult
+saveModelAtomic(const std::string &path, const std::string &model,
+                const MsqConfig &config, uint64_t calib_tokens,
+                const std::vector<std::string> &layer_names,
+                const std::vector<const PackedLayer *> &layers)
+{
+    // Unique temp name per writer: racing deployments of the same
+    // container must never interleave writes in one temp file.
+    static std::atomic<uint64_t> counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(getpid())) + "." +
+        std::to_string(counter.fetch_add(1));
+    const IoResult res =
+        saveModel(tmp, model, config, calib_tokens, layer_names, layers);
+    if (!res) {
+        std::remove(tmp.c_str());
+        return res;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return IoResult::error(IoCode::FileError,
+                               "cannot rename " + tmp + " over " + path);
+    }
+    return IoResult::success();
+}
+
+IoResult
+saveModelAtomic(const std::string &path, const MsqModelFile &file)
+{
+    std::vector<const PackedLayer *> layers;
+    layers.reserve(file.layers.size());
+    for (const PackedLayer &layer : file.layers)
+        layers.push_back(&layer);
+    return saveModelAtomic(path, file.model, file.config, file.calibTokens,
+                           file.layerNames, layers);
+}
+
+IoResult
+loadModel(const std::string &path, MsqModelFile &out)
+{
+    OpenedContainer oc;
+    IoResult res = openContainer(path, oc);
+    if (res) {
+        MsqModelFile loaded;
+        loaded.model = oc.model;
+        loaded.config = oc.config;
+        loaded.calibTokens = oc.calibTokens;
+        loaded.layers.resize(oc.index.size());
+        loaded.layerNames.resize(oc.index.size());
+        for (size_t li = 0; li < oc.index.size() && res; ++li) {
+            loaded.layerNames[li] = oc.index[li].name;
+            res = readLayerPayload(oc.stream, oc.config, oc.index[li], li,
+                                   loaded.layers[li]);
+        }
+        if (res)
+            out = std::move(loaded);
+    }
+    if (oc.stream)
+        std::fclose(oc.stream);
+    return res;
+}
+
+IoResult
+loadModelVerified(const std::string &path, const std::string &model,
+                  const MsqConfig &config, uint64_t calib_tokens,
+                  const std::vector<MsqLayerId> &layers, MsqModelFile &out)
+{
+    MsqModelFile file;
+    IoResult res = loadModel(path, file);
+    if (!res)
+        return res;
+    if (file.model != model || file.config != config ||
+        file.calibTokens != calib_tokens ||
+        file.layers.size() != layers.size())
+        return IoResult::error(IoCode::IdentityMismatch,
+                               path + " holds a different deployment (" +
+                                   file.model + ", " +
+                                   file.config.name() + ", calib " +
+                                   std::to_string(file.calibTokens) + ")");
+    for (size_t li = 0; li < layers.size(); ++li)
+        if (file.layerNames[li] != layers[li].name ||
+            file.layers[li].rows() != layers[li].rows ||
+            file.layers[li].cols() != layers[li].cols)
+            return IoResult::error(IoCode::IdentityMismatch,
+                                   path + " layer " + std::to_string(li) +
+                                       " does not match the expected "
+                                       "layer set");
+    out = std::move(file);
+    return res;
+}
+
+MsqReader::MsqReader() = default;
+
+MsqReader::~MsqReader()
+{
+    if (stream_)
+        std::fclose(stream_);
+}
+
+IoResult
+MsqReader::open(const std::string &path)
+{
+    if (stream_) {
+        std::fclose(stream_);
+        stream_ = nullptr;
+        index_.clear();
+    }
+    OpenedContainer oc;
+    IoResult res = openContainer(path, oc);
+    if (!res) {
+        if (oc.stream)
+            std::fclose(oc.stream);
+        return res;
+    }
+    stream_ = oc.stream;
+    fileBytes_ = oc.fileBytes;
+    model_ = std::move(oc.model);
+    config_ = oc.config;
+    calibTokens_ = oc.calibTokens;
+    index_ = std::move(oc.index);
+    return res;
+}
+
+IoResult
+MsqReader::readLayer(size_t i, PackedLayer &out)
+{
+    MSQ_ASSERT(stream_, "reader is not open");
+    MSQ_ASSERT(i < index_.size(), "layer index out of range");
+    return readLayerPayload(stream_, config_, index_[i], i, out);
+}
+
+} // namespace msq

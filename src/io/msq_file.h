@@ -1,0 +1,231 @@
+/**
+ * @file
+ * The persistent `.msq` model container: a versioned, self-describing,
+ * CRC-protected binary file holding every `PackedLayer` of a quantized
+ * deployment exactly as `PackedLayer::serialize()` emits it (the Fig. 5
+ * off-chip memory image, docs/FORMAT.md). A server loads the container
+ * instead of re-running PTQ, which turns a cold start from a
+ * Hessian-sweep-bounded quantization into a read-validate-decode pass
+ * (bench/bench_cold_start.cc measures the gap).
+ *
+ * Layout (little-endian; full byte map in docs/FORMAT.md, "Container
+ * framing"):
+ *
+ *   prologue   magic 'MSQC', format version, header/index sizes + CRC32
+ *   header     embedded MsqConfig, calibration tokens, model identity,
+ *              layer count + CRC32
+ *   index      per layer: name, rows x cols, absolute payload offset,
+ *              payload byte count, payload CRC32; then the index CRC32
+ *   payloads   the concatenated PackedLayer::serialize() streams
+ *
+ * Every byte of the file is covered by exactly one CRC32, so any
+ * single-byte corruption is detected (tests/test_io_fuzz.cc flips each
+ * one). Loading never trusts a length or offset before the section
+ * carrying it has passed its checksum and been bounds-checked against
+ * the real file size, and layer payloads decode through the
+ * bounds-checked `PackedLayer::tryDeserialize` — malformed input
+ * produces a typed `IoResult`, never a crash or silent garbage.
+ *
+ * Two entry points share the format: the eager `loadModel()` validates
+ * everything up front, while `MsqReader` validates lazily — it
+ * checksums only the prologue/header/index on open and each layer
+ * payload on first read, so a server can map layer N without paying for
+ * layer M.
+ */
+
+#ifndef MSQ_IO_MSQ_FILE_H
+#define MSQ_IO_MSQ_FILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/msq_config.h"
+#include "core/packed_tensor.h"
+
+namespace msq {
+
+/** Container magic: "MSQC" in file order. */
+constexpr uint32_t kMsqMagic = 0x4351534Du;
+
+/** Current container format version; bumped on any layout change. */
+constexpr uint32_t kMsqFormatVersion = 1;
+
+/** Typed outcome classes of a container load. */
+enum class IoCode
+{
+    Ok,
+    FileError,     ///< cannot open / read / write the file
+    BadMagic,      ///< not an .msq container
+    BadVersion,    ///< container from an unknown format version
+    Truncated,     ///< file shorter than its sections claim
+    TrailingBytes, ///< file longer than its sections claim
+    HeaderCorrupt, ///< prologue or header CRC mismatch
+    IndexCorrupt,  ///< layer index CRC mismatch
+    LayerCorrupt,  ///< layer payload CRC mismatch or undecodable stream
+    BadMetadata,   ///< CRC-valid but semantically invalid fields
+    IdentityMismatch, ///< valid container for a *different* deployment
+};
+
+/** Stable name of an IoCode (for messages and tests). */
+const char *ioCodeName(IoCode code);
+
+/** Outcome of a container operation: a code plus a human-readable
+ *  detail line. Converts to true on success. */
+struct IoResult
+{
+    IoCode code = IoCode::Ok;
+    std::string message;
+
+    bool ok() const { return code == IoCode::Ok; }
+    explicit operator bool() const { return ok(); }
+
+    static IoResult success() { return IoResult{}; }
+    static IoResult error(IoCode code, std::string message)
+    {
+        return IoResult{code, std::move(message)};
+    }
+};
+
+/** One layer-index entry as recorded in the container. */
+struct MsqLayerInfo
+{
+    std::string name;    ///< layer name (e.g. "attn_qkv")
+    uint64_t rows = 0;   ///< reduction dimension k
+    uint64_t cols = 0;   ///< output dimension o
+    uint64_t offset = 0; ///< absolute payload offset in the file
+    uint64_t bytes = 0;  ///< payload byte count
+    uint32_t crc = 0;    ///< payload CRC32
+};
+
+/** In-memory image of a container: identity + every packed layer. */
+struct MsqModelFile
+{
+    std::string model;            ///< model profile name
+    MsqConfig config;             ///< quantization config of every layer
+    uint64_t calibTokens = 0;     ///< requested calibration budget
+    std::vector<std::string> layerNames; ///< parallel to `layers`
+    std::vector<PackedLayer> layers;
+};
+
+/**
+ * Filesystem-safe container name for a cache entry: `stem` plus the
+ * 64-bit FNV-1a hash of `key` (hex) plus ".msq". Key collisions are
+ * harmless as long as the loader verifies the container's embedded
+ * identity before use, which both cache tiers do.
+ */
+std::string containerFileName(const std::string &stem,
+                              const std::string &key);
+
+/**
+ * Write `file` to `path` (overwriting). The layer payloads are the
+ * exact `serialize()` bytes; re-encoding a loaded container reproduces
+ * the input byte for byte (golden-file test). Returns FileError on I/O
+ * failure.
+ *
+ * @pre file.layers is non-empty and layerNames matches it in size.
+ */
+IoResult saveModel(const std::string &path, const MsqModelFile &file);
+
+/**
+ * View-based variant: identical bytes, but the layers are referenced
+ * rather than copied into an MsqModelFile — the serving cold-start
+ * path persists a just-built deployment without duplicating its
+ * packed footprint. Pointers must be non-null.
+ */
+IoResult saveModel(const std::string &path, const std::string &model,
+                   const MsqConfig &config, uint64_t calib_tokens,
+                   const std::vector<std::string> &layer_names,
+                   const std::vector<const PackedLayer *> &layers);
+
+/**
+ * Write `file` atomically: the bytes go to a uniquely named temp file
+ * in `path`'s directory which is renamed over `path` on success, so
+ * concurrent writers (racing deployments of one container) and killed
+ * processes can never publish a torn container — the last complete
+ * write wins.
+ */
+IoResult saveModelAtomic(const std::string &path, const MsqModelFile &file);
+
+/** View-based atomic write (see the view-based saveModel). */
+IoResult saveModelAtomic(const std::string &path, const std::string &model,
+                         const MsqConfig &config, uint64_t calib_tokens,
+                         const std::vector<std::string> &layer_names,
+                         const std::vector<const PackedLayer *> &layers);
+
+/**
+ * Read and fully validate the container at `path`: every section CRC
+ * is checked and every layer is decoded before the call returns. On
+ * any failure `out` is left untouched.
+ */
+IoResult loadModel(const std::string &path, MsqModelFile &out);
+
+/** Expected identity of one layer for verified cache loads. */
+struct MsqLayerId
+{
+    std::string name;
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+};
+
+/**
+ * `loadModel` plus an identity gate, shared by every cache tier: the
+ * container's embedded model name, full config, calibration budget,
+ * and per-layer names/shapes must all equal the expected deployment,
+ * or the load fails with IdentityMismatch (cache file names hash the
+ * same identity, so a mismatch means a hash collision or a stale
+ * file — either way, a miss). On any failure `out` is left untouched.
+ */
+IoResult loadModelVerified(const std::string &path, const std::string &model,
+                           const MsqConfig &config, uint64_t calib_tokens,
+                           const std::vector<MsqLayerId> &layers,
+                           MsqModelFile &out);
+
+/**
+ * Streaming container reader with lazy payload validation: `open()`
+ * checksums only the fixed-size sections (prologue, header, index),
+ * and each `readLayer()` seeks to, checksums, and decodes one payload.
+ * Opening a multi-gigabyte container therefore costs the index size,
+ * not the model size, and a sharded server can pull only its layers.
+ */
+class MsqReader
+{
+  public:
+    MsqReader();
+    ~MsqReader();
+    MsqReader(const MsqReader &) = delete;
+    MsqReader &operator=(const MsqReader &) = delete;
+
+    /** Open and validate prologue + header + index. */
+    IoResult open(const std::string &path);
+
+    /** Identity of the opened container. @pre open() succeeded */
+    const std::string &model() const { return model_; }
+    const MsqConfig &config() const { return config_; }
+    uint64_t calibTokens() const { return calibTokens_; }
+    uint64_t fileBytes() const { return fileBytes_; }
+
+    size_t layerCount() const { return index_.size(); }
+
+    /** Index entry of layer `i`. @pre i < layerCount() */
+    const MsqLayerInfo &layerInfo(size_t i) const { return index_[i]; }
+
+    /**
+     * Read, checksum, and decode layer `i`. Layers may be read in any
+     * order and any subset; no other payload is touched.
+     * @pre open() succeeded and i < layerCount()
+     */
+    IoResult readLayer(size_t i, PackedLayer &out);
+
+  private:
+    std::FILE *stream_ = nullptr;
+    std::string model_;
+    MsqConfig config_;
+    uint64_t calibTokens_ = 0;
+    uint64_t fileBytes_ = 0;
+    std::vector<MsqLayerInfo> index_;
+};
+
+} // namespace msq
+
+#endif // MSQ_IO_MSQ_FILE_H

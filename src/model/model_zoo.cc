@@ -269,6 +269,24 @@ buildZoo()
         add(p);
     }
 
+    // ---- Fixture model: two small layers, used by the `.msq`
+    //      golden-file suite (tests/golden/) and as a fast target for
+    //      the msq_pack / msq_inspect walkthroughs. Changing anything
+    //      here changes the committed golden container.
+    {
+        ModelProfile p;
+        p.name = "TinyLM";
+        p.layers = {{"proj_a", 64, 96}, {"proj_b", 96, 64}};
+        p.weights = {0.02, 8.0, 0.02, 0.001, 6.0, 14.0};
+        p.acts = {1.0, 0.02, 8.0};
+        p.fpMetric = 9.0;
+        p.realHidden = 64;
+        p.realLayers = 2;
+        p.paramsB = 0.00002;
+        p.seed = 4242;
+        add(p);
+    }
+
     return zoo;
 }
 
@@ -288,6 +306,16 @@ modelByName(const std::string &name)
     if (it == zoo().end())
         fatal("unknown model: " + name);
     return it->second;
+}
+
+std::vector<MsqLayerId>
+profileLayerIds(const ModelProfile &model)
+{
+    std::vector<MsqLayerId> ids;
+    ids.reserve(model.layers.size());
+    for (const LayerSpec &spec : model.layers)
+        ids.push_back({spec.name, spec.k, spec.o});
+    return ids;
 }
 
 std::vector<std::string>

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "io/msq_file.h"
+
 namespace msq {
 
 /** Shape of one representative (scaled) layer. */
@@ -75,6 +77,15 @@ struct ModelProfile
 
 /** Look up a model by name. Fatal on unknown names. */
 const ModelProfile &modelByName(const std::string &name);
+
+/**
+ * The per-layer identity an `.msq` container must match to serve as a
+ * cached deployment of `model` (names + shapes for
+ * `loadModelVerified`). Shared by every cache tier — the serving
+ * weight cache and the pipeline's evaluation cache must verify
+ * identically.
+ */
+std::vector<MsqLayerId> profileLayerIds(const ModelProfile &model);
 
 /** All LLMs of Table 2 (in the paper's column order). */
 std::vector<std::string> table2Models();

@@ -1,11 +1,14 @@
 #include "model/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "core/microscopiq.h"
+#include "io/msq_file.h"
 #include "model/calib_gen.h"
 #include "model/proxy_eval.h"
 #include "model/weight_gen.h"
@@ -24,6 +27,27 @@ struct LayerOutcome
     double params = 0.0;
 };
 
+/** Load a pipeline evaluation container and verify it matches the
+ *  (model, config, calibration) identity plus every layer shape. */
+bool
+loadEvalContainer(const std::string &path, const ModelProfile &model,
+                  const MsqConfig &msq_cfg, size_t calib_tokens,
+                  std::vector<PackedLayer> &out)
+{
+    MsqModelFile file;
+    const IoResult res = loadModelVerified(path, model.name, msq_cfg,
+                                           calib_tokens,
+                                           profileLayerIds(model), file);
+    if (!res) {
+        if (res.code != IoCode::FileError) // absent file is a silent miss
+            warn("pipeline cache: discarding " + path + " (" +
+                 ioCodeName(res.code) + ": " + res.message + ")");
+        return false;
+    }
+    out = std::move(file.layers);
+    return true;
+}
+
 } // namespace
 
 ModelEvalResult
@@ -33,6 +57,39 @@ evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
     ModelEvalResult result;
     result.model = model.name;
     result.method = method.name;
+
+    // Disk-cache probe: a packed-execution evaluation of a MicroScopiQ
+    // method (without migration, which would need per-layer calibration
+    // statistics even on a hit) is fully determined by the packed
+    // layers, and those are exactly what a `.msq` container persists.
+    // On a hit the Hessian sweep and quantization are skipped per
+    // layer; the container round trip is bit-exact, so every metric
+    // matches a fresh run (tests/test_weight_cache.cc).
+    std::vector<PackedLayer> cached;
+    bool cache_hit = false;
+    bool cache_write = false;
+    std::string container_path;
+    MsqConfig msq_cfg;
+    if (!config.packedCacheDir.empty() && config.packedExec &&
+        method.migrationAlpha == 0.0) {
+        QuantizerPtr probe = method.makeQuantizer();
+        const auto *mq =
+            dynamic_cast<const MicroScopiQQuantizer *>(probe.get());
+        if (mq) {
+            msq_cfg = mq->config();
+            container_path =
+                config.packedCacheDir + "/" +
+                containerFileName(model.name + "-eval",
+                                  model.name + "|eval|" +
+                                      configKey(msq_cfg) + "|c" +
+                                      std::to_string(config.calibTokens));
+            cache_hit = loadEvalContainer(container_path, model, msq_cfg,
+                                          config.calibTokens, cached);
+            cache_write = !cache_hit;
+        }
+    }
+    std::vector<PackedLayer> packed(cache_write ? model.layers.size() : 0);
+    std::vector<uint8_t> packed_ok(packed.size(), 0);
 
     // Every layer is an independent quantize + eval: the weight /
     // calibration / eval data come from per-layer RNG streams
@@ -44,6 +101,29 @@ evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
 
     parallelFor(0, model.layers.size(), [&](size_t li) {
         const Matrix w = generateLayerWeights(model, li);
+
+        const double layer_params =
+            static_cast<double>(model.layers[li].k * model.layers[li].o);
+        if (cache_hit) {
+            // Migration is off by construction, so the evaluation needs
+            // only the weights (for the reference output), the eval
+            // set, and the cached packed layer.
+            const Matrix x_eval =
+                generateEvalSet(model, li, config.evalTokens);
+            Matrix acts = x_eval;
+            if (method.actBits > 0)
+                acts = quantizeActivationsMxInt(x_eval, method.actBits,
+                                                method.actGroup);
+            const Matrix out = config.packedExec(cached[li], acts);
+            if (!out.empty()) {
+                const Matrix ref = w.transposedMatmul(x_eval);
+                outcomes[li] =
+                    LayerOutcome{out.normalizedErrorTo(ref),
+                                 cached[li].paperEbw(), layer_params};
+                return;
+            }
+            // Non-executable config: fall through to the full path.
+        }
         // Hessian-based compensation needs the calibration sample count
         // to exceed the reduction dimension, or H = 2XX^T is rank
         // deficient and the OBS updates overfit the calibration
@@ -85,17 +165,39 @@ evaluateMethodOnModel(const ModelProfile &model, const QuantMethod &method,
             // to the dequantized path.
             const auto *msq_quant =
                 dynamic_cast<const MicroScopiQQuantizer *>(quantizer.get());
-            if (msq_quant)
+            if (msq_quant) {
                 out = config.packedExec(msq_quant->packed(), acts);
+                if (cache_write && !out.empty()) {
+                    packed[li] = msq_quant->packed();
+                    packed_ok[li] = 1;
+                }
+            }
         }
         if (out.empty())
             out = qres.dequant.transposedMatmul(acts);
         const double nmse = out.normalizedErrorTo(ref);
 
-        const double params =
-            static_cast<double>(model.layers[li].k * model.layers[li].o);
-        outcomes[li] = LayerOutcome{nmse, qres.ebw, params};
+        outcomes[li] = LayerOutcome{nmse, qres.ebw, layer_params};
     });
+
+    // Write the evaluation container back when every layer produced a
+    // packed-executable artifact (best effort: persistence must never
+    // fail an evaluation).
+    if (cache_write &&
+        std::all_of(packed_ok.begin(), packed_ok.end(),
+                    [](uint8_t ok) { return ok != 0; })) {
+        MsqModelFile file;
+        file.model = model.name;
+        file.config = msq_cfg;
+        file.calibTokens = config.calibTokens;
+        file.layers = std::move(packed);
+        for (const LayerSpec &spec : model.layers)
+            file.layerNames.push_back(spec.name);
+        const IoResult res = saveModelAtomic(container_path, file);
+        if (!res)
+            warn("pipeline cache: cannot persist " + container_path +
+                 " (" + res.message + ")");
+    }
 
     double nmse_acc = 0.0;
     double ebw_acc = 0.0;

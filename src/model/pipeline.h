@@ -66,6 +66,19 @@ struct PipelineConfig
      * (tests/test_serve.cc enforces this).
      */
     PackedExecBackend packedExec;
+
+    /**
+     * Disk cache for packed-execution evaluations: when non-empty (and
+     * `packedExec` is set, the method is MicroScopiQ, and it uses no
+     * activation migration), the pipeline looks for a `.msq` container
+     * of this (model, config, calibTokens) evaluation and, on a hit,
+     * skips the Hessian sweep and quantization entirely — the packed
+     * layers are the evaluation artifact, and the container round trip
+     * is bit-exact, so every metric is unchanged
+     * (tests/test_weight_cache.cc enforces this). On a miss the packed
+     * layers are quantized as usual and the container is written back.
+     */
+    std::string packedCacheDir;
 };
 
 /**

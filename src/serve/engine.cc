@@ -26,7 +26,8 @@ steadyNanos()
 ServeEngine::ServeEngine(const ModelProfile &model, const MsqConfig &config,
                          const ServeConfig &serve)
     : model_(model), serve_(serve),
-      packed_(getPackedModel(model, config, serve.calibTokens)),
+      packed_(getPackedModel(model, config, serve.calibTokens,
+                             serve.cacheDir)),
       epoch_(steadyNanos())
 {
     MSQ_ASSERT(serve_.maxBatchRequests > 0 && serve_.maxBatchTokens > 0,

@@ -40,6 +40,14 @@ struct ServeConfig
     unsigned actBits = 8;         ///< iAct precision
     size_t actGroup = 128;        ///< iAct scale-sharing group
     size_t calibTokens = 128;     ///< weight-cache calibration floor
+
+    /**
+     * Disk tier of the packed-weight cache: when non-empty, deployment
+     * containers (`.msq`, io/msq_file.h) are loaded from and written to
+     * this directory, so a restarted server skips re-quantization
+     * entirely. Empty disables persistence.
+     */
+    std::string cacheDir;
 };
 
 /** Outcome of one served request. */

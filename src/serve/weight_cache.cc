@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "core/microscopiq.h"
+#include "io/msq_file.h"
 #include "model/calib_gen.h"
 #include "model/weight_gen.h"
 #include "quant/hessian.h"
@@ -21,27 +22,99 @@ std::map<std::string, PackedModelPtr> packed_cache;
 /** Guards packed_cache; builds run outside the lock. */
 std::mutex packed_mutex;
 
-/** Every config field that changes the packed bytes goes into the key. */
+/** Every input that changes the packed bytes goes into the key: the
+ *  model identity, the full quantization config (configKey covers every
+ *  MsqConfig field), and the calibration budget. */
 std::string
 cacheKey(const ModelProfile &model, const MsqConfig &config,
          size_t calib_tokens)
 {
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "|b%u|M%zu|u%zu|rB%zu|d%.6g|m%d|p%d%d%d|c%zu",
-                  config.inlierBits, config.macroBlock, config.microBlock,
-                  config.rowBlock, config.dampRel,
-                  static_cast<int>(config.outlierMode),
-                  config.prescaleOutliers ? 1 : 0,
-                  config.pruneAndRedistribute ? 1 : 0,
-                  config.hessianCompensation ? 1 : 0, calib_tokens);
-    return model.name + buf;
+    return model.name + "|" + configKey(config) + "|c" +
+           std::to_string(calib_tokens);
+}
+
+/** Decode plans and fill the derived fields of an assembled model. */
+void
+finalizePackedModel(PackedModel &model)
+{
+    model.plans.clear();
+    model.plans.reserve(model.layers.size());
+    model.termsPerToken = 0;
+    double ebw_acc = 0.0;
+    double params_acc = 0.0;
+    for (const PackedLayer &layer : model.layers) {
+        model.plans.emplace_back(layer);
+        model.termsPerToken += model.plans.back().termCount();
+        const double params =
+            static_cast<double>(layer.rows() * layer.cols());
+        ebw_acc += layer.paperEbw() * params;
+        params_acc += params;
+    }
+    model.meanEbw = ebw_acc / params_acc;
+}
+
+/**
+ * Disk tier lookup: load the container and verify its embedded identity
+ * against the requested deployment. Any failure (missing file, corrupt
+ * container, mismatched identity or shapes) is a miss.
+ */
+bool
+loadFromDisk(const std::string &path, const ModelProfile &model,
+             const MsqConfig &config, size_t calib_tokens,
+             PackedModel &out)
+{
+    MsqModelFile file;
+    const IoResult res = loadModelVerified(path, model.name, config,
+                                           calib_tokens,
+                                           profileLayerIds(model), file);
+    if (!res) {
+        if (res.code != IoCode::FileError) // absent file is a silent miss
+            warn("weight cache: discarding " + path + " (" +
+                 ioCodeName(res.code) + ": " + res.message +
+                 "); re-quantizing");
+        return false;
+    }
+    out.layers = std::move(file.layers);
+    return true;
+}
+
+/** Best-effort container write (atomic, and through the view-based
+ *  save — the just-built layers must not be duplicated just to be
+ *  written; persistence must never fail a deployment). */
+void
+saveToDisk(const std::string &path, const ModelProfile &model,
+           const MsqConfig &config, size_t calib_tokens,
+           const PackedModel &built)
+{
+    std::vector<std::string> names;
+    std::vector<const PackedLayer *> layers;
+    names.reserve(model.layers.size());
+    layers.reserve(built.layers.size());
+    for (const LayerSpec &spec : model.layers)
+        names.push_back(spec.name);
+    for (const PackedLayer &layer : built.layers)
+        layers.push_back(&layer);
+
+    const IoResult res = saveModelAtomic(path, model.name, config,
+                                         calib_tokens, names, layers);
+    if (!res)
+        warn("weight cache: cannot persist " + path + " (" + res.message +
+             ")");
 }
 
 } // namespace
 
+std::string
+packedModelCacheFile(const ModelProfile &model, const MsqConfig &config,
+                     size_t calib_tokens)
+{
+    return containerFileName(model.name,
+                             cacheKey(model, config, calib_tokens));
+}
+
 PackedModelPtr
 getPackedModel(const ModelProfile &model, const MsqConfig &config,
-               size_t calib_tokens)
+               size_t calib_tokens, const std::string &cache_dir)
 {
     MSQ_ASSERT(PackedExecPlan::executable(config),
                "deployment config is not packed-executable");
@@ -54,41 +127,46 @@ getPackedModel(const ModelProfile &model, const MsqConfig &config,
             return it->second;
     }
 
+    const std::string container_path =
+        cache_dir.empty()
+            ? ""
+            : cache_dir + "/" +
+                  packedModelCacheFile(model, config, calib_tokens);
+
     const auto t0 = std::chrono::steady_clock::now();
     auto built = std::make_shared<PackedModel>();
     built->model = model.name;
     built->config = config;
-    built->layers.resize(model.layers.size());
 
-    // Same per-layer independence argument as evaluateMethodOnModel:
-    // weights and calibration come from per-layer RNG streams, each
-    // index writes only its own slot, so the packed bytes are
-    // bit-identical for any thread count.
-    parallelFor(0, model.layers.size(), [&](size_t li) {
-        const Matrix w = generateLayerWeights(model, li);
-        Matrix calib;
-        if (config.hessianCompensation) {
-            const size_t tokens =
-                std::max(calib_tokens, 4 * model.layers[li].k);
-            calib = generateCalibration(model, li, tokens);
-        }
-        MicroScopiQQuantizer quantizer(config);
-        built->layers[li] = quantizer.quantizePacked(w, calib);
-    });
-    clearHessianCache();
+    if (!container_path.empty() &&
+        loadFromDisk(container_path, model, config, calib_tokens, *built)) {
+        built->source = "disk";
+    } else {
+        built->source = "quantize";
+        built->layers.resize(model.layers.size());
 
-    built->plans.reserve(built->layers.size());
-    double ebw_acc = 0.0;
-    double params_acc = 0.0;
-    for (const PackedLayer &layer : built->layers) {
-        built->plans.emplace_back(layer);
-        built->termsPerToken += built->plans.back().termCount();
-        const double params =
-            static_cast<double>(layer.rows() * layer.cols());
-        ebw_acc += layer.paperEbw() * params;
-        params_acc += params;
+        // Same per-layer independence argument as evaluateMethodOnModel:
+        // weights and calibration come from per-layer RNG streams, each
+        // index writes only its own slot, so the packed bytes are
+        // bit-identical for any thread count.
+        parallelFor(0, model.layers.size(), [&](size_t li) {
+            const Matrix w = generateLayerWeights(model, li);
+            Matrix calib;
+            if (config.hessianCompensation) {
+                const size_t tokens =
+                    std::max(calib_tokens, 4 * model.layers[li].k);
+                calib = generateCalibration(model, li, tokens);
+            }
+            MicroScopiQQuantizer quantizer(config);
+            built->layers[li] = quantizer.quantizePacked(w, calib);
+        });
+        clearHessianCache();
+
+        if (!container_path.empty())
+            saveToDisk(container_path, model, config, calib_tokens, *built);
     }
-    built->meanEbw = ebw_acc / params_acc;
+
+    finalizePackedModel(*built);
     built->buildMs =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)

@@ -10,6 +10,16 @@
  * plans; they are immutable and shared by pointer, so concurrent
  * engines serving the same deployment reuse one copy (mirroring the
  * thread-safe Hessian factorization cache in quant/hessian.h).
+ *
+ * The cache has two tiers. The in-memory tier above lives and dies with
+ * the process; the optional disk tier (pass a cache directory) persists
+ * each deployment as a `.msq` container (io/msq_file.h), so the next
+ * process cold-starts by loading and decoding the container instead of
+ * re-running PTQ — bench/bench_cold_start.cc measures the speedup. A
+ * disk hit is verified against the embedded identity (model name,
+ * full MsqConfig, calibration budget, layer shapes) before use, and any
+ * unreadable, corrupt, or mismatched container is treated as a miss
+ * and overwritten by a fresh quantization.
  */
 
 #ifndef MSQ_SERVE_WEIGHT_CACHE_H
@@ -35,23 +45,39 @@ struct PackedModel
     std::vector<PackedExecPlan> plans;
     size_t termsPerToken = 0;        ///< integer MACs per activation column
     double meanEbw = 0.0;            ///< parameter-weighted Eq. 4 EBW
-    double buildMs = 0.0;            ///< quantize + decode wall time
+    double buildMs = 0.0;            ///< quantize (or load) + decode wall time
+    std::string source;              ///< "quantize" or "disk"
 };
 
 using PackedModelPtr = std::shared_ptr<const PackedModel>;
 
 /**
- * Get (or quantize and cache) the packed deployment of `model` under
- * `config`. Layers are quantized in parallel with the same calibration
- * rule as the evaluation pipeline (at least 4x the reduction dimension
- * of tokens). Thread safe; on a racing miss the first finished build
- * wins and the others are dropped.
+ * Get (or build and cache) the packed deployment of `model` under
+ * `config`. Lookup order: in-memory cache, then — when `cache_dir` is
+ * non-empty — the `.msq` container `cache_dir/` +
+ * `packedModelCacheFile(...)`, then quantization (which writes the
+ * container back when `cache_dir` is set). Layers are quantized in
+ * parallel with the same calibration rule as the evaluation pipeline
+ * (at least 4x the reduction dimension of tokens). Thread safe; on a
+ * racing miss the first finished build wins and the others are dropped.
  *
  * @pre PackedExecPlan::executable(config)
  */
 PackedModelPtr getPackedModel(const ModelProfile &model,
                               const MsqConfig &config,
-                              size_t calib_tokens = 128);
+                              size_t calib_tokens = 128,
+                              const std::string &cache_dir = "");
+
+/**
+ * File name (no directory) of the disk-tier container for a
+ * deployment: the model name plus a 64-bit hash of the full cache key,
+ * which covers every MsqConfig field (core/msq_config.h configKey) and
+ * the calibration budget. Hash collisions are harmless: a loaded
+ * container is only used after its embedded identity matches exactly.
+ */
+std::string packedModelCacheFile(const ModelProfile &model,
+                                 const MsqConfig &config,
+                                 size_t calib_tokens);
 
 /** Drop all cached deployments. */
 void clearPackedModelCache();

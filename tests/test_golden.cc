@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Golden-file regression suite: tests/golden/tiny-w2.msq is a committed
+ * container of the TinyLM zoo profile quantized at the paper's default
+ * W2 config with a 128-token calibration budget (regenerate with
+ * `msq_pack TinyLM tests/golden/tiny-w2.msq`). The suite pins
+ *
+ *   - the container byte layout: loading + re-encoding must reproduce
+ *     the committed file byte for byte,
+ *   - the quantizer's determinism: re-quantizing TinyLM in-process must
+ *     reproduce the committed packed streams and dequantized weights
+ *     bit for bit,
+ *
+ * so ANY accidental change to the serialization format, the bitstream
+ * conventions, the quantization pipeline, or the TinyLM profile fails
+ * CI loudly instead of silently invalidating every container in every
+ * deployment's cache directory. If the change is intentional, bump
+ * kMsqFormatVersion (layout) or regenerate the fixture (quantizer) and
+ * say so in the PR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/msq_file.h"
+#include "model/model_zoo.h"
+#include "serve/weight_cache.h"
+
+#ifndef MSQ_GOLDEN_DIR
+#error "MSQ_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace msq {
+namespace {
+
+const char *const kFixture = MSQ_GOLDEN_DIR "/tiny-w2.msq";
+constexpr size_t kFixtureCalibTokens = 128;
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+TEST(Golden, FixtureLoadsWithTheExpectedIdentity)
+{
+    MsqModelFile file;
+    const IoResult res = loadModel(kFixture, file);
+    ASSERT_TRUE(res.ok()) << ioCodeName(res.code) << ": " << res.message;
+
+    EXPECT_EQ(file.model, "TinyLM");
+    EXPECT_TRUE(file.config == MsqConfig{})
+        << "fixture was not packed at the default W2 config";
+    EXPECT_EQ(file.calibTokens, kFixtureCalibTokens);
+    ASSERT_EQ(file.layers.size(), 2u);
+    EXPECT_EQ(file.layerNames[0], "proj_a");
+    EXPECT_EQ(file.layerNames[1], "proj_b");
+    EXPECT_EQ(file.layers[0].rows(), 64u);
+    EXPECT_EQ(file.layers[0].cols(), 96u);
+    EXPECT_EQ(file.layers[1].rows(), 96u);
+    EXPECT_EQ(file.layers[1].cols(), 64u);
+}
+
+TEST(Golden, ReencodeIsByteIdentical)
+{
+    MsqModelFile file;
+    ASSERT_TRUE(loadModel(kFixture, file).ok());
+
+    const std::string copy = ::testing::TempDir() + "msq_golden_copy.msq";
+    ASSERT_TRUE(saveModel(copy, file).ok());
+    EXPECT_EQ(readFileBytes(copy), readFileBytes(kFixture))
+        << "re-encoding the committed fixture changed its bytes: the "
+           "container layout drifted (bump kMsqFormatVersion if this "
+           "is intentional, and regenerate tests/golden/tiny-w2.msq)";
+    std::remove(copy.c_str());
+}
+
+TEST(Golden, RequantizationReproducesTheFixtureBitForBit)
+{
+    MsqModelFile file;
+    ASSERT_TRUE(loadModel(kFixture, file).ok());
+
+    clearPackedModelCache();
+    const PackedModelPtr fresh = getPackedModel(
+        modelByName("TinyLM"), MsqConfig{}, kFixtureCalibTokens);
+    ASSERT_EQ(fresh->layers.size(), file.layers.size());
+    for (size_t li = 0; li < file.layers.size(); ++li) {
+        // The packed streams are the weights; byte equality here means
+        // the whole PTQ pipeline (weight generation, Hessian sweep,
+        // outlier handling, packing) is unchanged...
+        EXPECT_EQ(fresh->layers[li].serialize(),
+                  file.layers[li].serialize())
+            << "layer " << li
+            << ": quantizing TinyLM no longer reproduces the committed "
+               "fixture";
+        // ...and dequantization of the loaded stream is bit-exact.
+        const Matrix a = file.layers[li].dequantAll();
+        const Matrix b = fresh->layers[li].dequantAll();
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a.data()[i], b.data()[i])
+                << "layer " << li << " element " << i;
+    }
+    clearPackedModelCache();
+}
+
+TEST(Golden, LazyReaderServesOneLayerWithoutTheOther)
+{
+    MsqReader reader;
+    ASSERT_TRUE(reader.open(kFixture).ok());
+    ASSERT_EQ(reader.layerCount(), 2u);
+
+    // Touch only the second layer; its stream must match the eager load.
+    PackedLayer second;
+    ASSERT_TRUE(reader.readLayer(1, second).ok());
+    MsqModelFile file;
+    ASSERT_TRUE(loadModel(kFixture, file).ok());
+    EXPECT_EQ(second.serialize(), file.layers[1].serialize());
+    EXPECT_EQ(reader.fileBytes(), readFileBytes(kFixture).size());
+}
+
+} // namespace
+} // namespace msq

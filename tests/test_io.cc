@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Unit tests of the `.msq` container (io/msq_file.h): CRC32 vectors,
+ * save/load round trips that preserve every identity field and every
+ * packed byte, lazy per-layer reads through MsqReader, typed errors on
+ * malformed input, and the bounds-checked PackedLayer::tryDeserialize
+ * rejection paths. The corruption *sweep* lives in test_io_fuzz.cc;
+ * the cross-config grid in test_io_properties.cc; the committed byte
+ * layout pin in test_golden.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "core/microscopiq.h"
+#include "io/crc32.h"
+#include "io/msq_file.h"
+
+namespace msq {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "msq_test_io_" + name;
+}
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+Matrix
+randomWeights(size_t k, size_t o, uint64_t seed, double outlier_rate)
+{
+    Rng rng(seed);
+    Matrix w(k, o);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.gaussian(0.0, 0.02);
+            if (rng.bernoulli(outlier_rate))
+                v = rng.uniform(0.15, 0.5) * (rng.bernoulli(0.5) ? 1 : -1);
+            w(r, c) = v;
+        }
+    }
+    return w;
+}
+
+/** A small two-layer container for round-trip tests. */
+MsqModelFile
+makeTestFile(const MsqConfig &cfg)
+{
+    MicroScopiQQuantizer quantizer(cfg);
+    MsqModelFile file;
+    file.model = "unit-test-model";
+    file.config = cfg;
+    file.calibTokens = 64;
+    file.layerNames = {"layer_a", "layer_b"};
+    file.layers.push_back(
+        quantizer.quantizePacked(randomWeights(32, 96, 7, 0.05), Matrix()));
+    file.layers.push_back(
+        quantizer.quantizePacked(randomWeights(48, 64, 8, 0.08), Matrix()));
+    return file;
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // The standard CRC-32 check value.
+    const uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    EXPECT_EQ(crc32(check, sizeof(check)), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+
+    // Incremental == one-shot.
+    const uint32_t head = crc32(check, 4);
+    EXPECT_EQ(crc32(check + 4, 5, head), 0xCBF43926u);
+}
+
+TEST(MsqFile, SaveLoadRoundTrip)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const MsqModelFile file = makeTestFile(cfg);
+    const std::string path = tmpPath("roundtrip.msq");
+    ASSERT_TRUE(saveModel(path, file).ok());
+
+    MsqModelFile loaded;
+    const IoResult res = loadModel(path, loaded);
+    ASSERT_TRUE(res.ok()) << res.message;
+    EXPECT_EQ(loaded.model, file.model);
+    EXPECT_TRUE(loaded.config == file.config);
+    EXPECT_EQ(loaded.calibTokens, file.calibTokens);
+    ASSERT_EQ(loaded.layers.size(), file.layers.size());
+    for (size_t li = 0; li < file.layers.size(); ++li) {
+        EXPECT_EQ(loaded.layerNames[li], file.layerNames[li]);
+        EXPECT_EQ(loaded.layers[li].rows(), file.layers[li].rows());
+        EXPECT_EQ(loaded.layers[li].cols(), file.layers[li].cols());
+        // The payload survives byte for byte...
+        EXPECT_EQ(loaded.layers[li].serialize(),
+                  file.layers[li].serialize());
+        // ...and therefore dequantizes bit for bit.
+        const Matrix a = loaded.layers[li].dequantAll();
+        const Matrix b = file.layers[li].dequantAll();
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a.data()[i], b.data()[i]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MsqFile, ReencodeIsByteIdentical)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const MsqModelFile file = makeTestFile(cfg);
+    const std::string path_a = tmpPath("reencode_a.msq");
+    const std::string path_b = tmpPath("reencode_b.msq");
+    ASSERT_TRUE(saveModel(path_a, file).ok());
+
+    MsqModelFile loaded;
+    ASSERT_TRUE(loadModel(path_a, loaded).ok());
+    ASSERT_TRUE(saveModel(path_b, loaded).ok());
+    EXPECT_EQ(readFileBytes(path_a), readFileBytes(path_b));
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+}
+
+TEST(MsqFile, ReaderIsLazyAndOrderIndependent)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const MsqModelFile file = makeTestFile(cfg);
+    const std::string path = tmpPath("reader.msq");
+    ASSERT_TRUE(saveModel(path, file).ok());
+
+    MsqReader reader;
+    ASSERT_TRUE(reader.open(path).ok());
+    EXPECT_EQ(reader.model(), file.model);
+    EXPECT_TRUE(reader.config() == cfg);
+    EXPECT_EQ(reader.calibTokens(), file.calibTokens);
+    ASSERT_EQ(reader.layerCount(), 2u);
+    EXPECT_EQ(reader.layerInfo(0).name, "layer_a");
+    EXPECT_EQ(reader.layerInfo(1).name, "layer_b");
+    EXPECT_EQ(reader.fileBytes(), readFileBytes(path).size());
+
+    // Read the second layer only, then the first: no ordering contract.
+    PackedLayer second;
+    ASSERT_TRUE(reader.readLayer(1, second).ok());
+    EXPECT_EQ(second.serialize(), file.layers[1].serialize());
+    PackedLayer first;
+    ASSERT_TRUE(reader.readLayer(0, first).ok());
+    EXPECT_EQ(first.serialize(), file.layers[0].serialize());
+
+    // Lazy validation: corrupting layer 1's payload after open must
+    // fail layer 1's read but leave layer 0 readable.
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    bytes[reader.layerInfo(1).offset + 3] ^= 0xFF;
+    writeFileBytes(path, bytes);
+    MsqReader reader2;
+    ASSERT_TRUE(reader2.open(path).ok());
+    PackedLayer ok_layer, bad_layer;
+    EXPECT_TRUE(reader2.readLayer(0, ok_layer).ok());
+    const IoResult bad = reader2.readLayer(1, bad_layer);
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code, IoCode::LayerCorrupt);
+    std::remove(path.c_str());
+}
+
+TEST(MsqFile, TypedErrors)
+{
+    MsqModelFile out;
+
+    // Missing file.
+    EXPECT_EQ(loadModel(tmpPath("does_not_exist.msq"), out).code,
+              IoCode::FileError);
+
+    // Not a container.
+    const std::string garbage = tmpPath("garbage.msq");
+    writeFileBytes(garbage, {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7,
+                             8, 9, 10, 11, 12, 13, 14, 15, 16});
+    EXPECT_EQ(loadModel(garbage, out).code, IoCode::BadMagic);
+    std::remove(garbage.c_str());
+
+    // Shorter than a prologue.
+    const std::string stub = tmpPath("stub.msq");
+    writeFileBytes(stub, {'M', 'S', 'Q', 'C', 1});
+    EXPECT_EQ(loadModel(stub, out).code, IoCode::Truncated);
+    std::remove(stub.c_str());
+
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const MsqModelFile file = makeTestFile(cfg);
+    const std::string path = tmpPath("errors.msq");
+    ASSERT_TRUE(saveModel(path, file).ok());
+    const std::vector<uint8_t> good = readFileBytes(path);
+
+    // Unknown format version, with a recomputed prologue CRC so the
+    // version check (not the checksum) must catch it.
+    {
+        std::vector<uint8_t> bytes = good;
+        bytes[4] = 0x7F;
+        const uint32_t crc = crc32(bytes.data(), 16);
+        for (int i = 0; i < 4; ++i)
+            bytes[16 + i] = static_cast<uint8_t>(crc >> (8 * i));
+        writeFileBytes(path, bytes);
+        EXPECT_EQ(loadModel(path, out).code, IoCode::BadVersion);
+    }
+
+    // Hostile-but-CRC-valid metadata: blow the block sizes up to 2^62
+    // and recompute the header checksum. The loader must reject the
+    // implausible config with a typed error *before* any allocation
+    // depends on it (a crafted container must never bad_alloc).
+    {
+        std::vector<uint8_t> bytes = good;
+        uint32_t header_bytes = 0;
+        for (int i = 0; i < 4; ++i)
+            header_bytes |= static_cast<uint32_t>(bytes[8 + i]) << (8 * i);
+        const uint64_t huge = 1ull << 62;
+        for (int i = 0; i < 8; ++i) {
+            bytes[24 + i] = static_cast<uint8_t>(huge >> (8 * i)); // macro
+            bytes[32 + i] = static_cast<uint8_t>(huge >> (8 * i)); // micro
+        }
+        const uint32_t crc = crc32(bytes.data() + 20, header_bytes);
+        for (int i = 0; i < 4; ++i)
+            bytes[20 + header_bytes + i] = static_cast<uint8_t>(crc >> (8 * i));
+        writeFileBytes(path, bytes);
+        EXPECT_EQ(loadModel(path, out).code, IoCode::BadMetadata);
+    }
+
+    // Trailing bytes.
+    {
+        std::vector<uint8_t> bytes = good;
+        bytes.push_back(0);
+        writeFileBytes(path, bytes);
+        EXPECT_EQ(loadModel(path, out).code, IoCode::TrailingBytes);
+    }
+
+    // Truncated mid-payload.
+    {
+        std::vector<uint8_t> bytes = good;
+        bytes.resize(bytes.size() - 7);
+        writeFileBytes(path, bytes);
+        EXPECT_EQ(loadModel(path, out).code, IoCode::Truncated);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MsqFile, LoadLeavesOutputUntouchedOnFailure)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const MsqModelFile file = makeTestFile(cfg);
+    const std::string path = tmpPath("untouched.msq");
+    ASSERT_TRUE(saveModel(path, file).ok());
+
+    MsqModelFile out;
+    ASSERT_TRUE(loadModel(path, out).ok());
+
+    // Corrupt the last payload byte: the final layer fails *after* the
+    // earlier one decoded, and `out` must still hold the old content.
+    std::vector<uint8_t> bytes = readFileBytes(path);
+    bytes.back() ^= 0xFF;
+    writeFileBytes(path, bytes);
+    EXPECT_FALSE(loadModel(path, out).ok());
+    ASSERT_EQ(out.layers.size(), file.layers.size());
+    for (size_t li = 0; li < file.layers.size(); ++li)
+        EXPECT_EQ(out.layers[li].serialize(), file.layers[li].serialize());
+    std::remove(path.c_str());
+}
+
+TEST(MsqFile, VerifiedLoadGatesOnIdentity)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const MsqModelFile file = makeTestFile(cfg);
+    const std::string path = tmpPath("verified.msq");
+    ASSERT_TRUE(saveModelAtomic(path, file).ok());
+
+    const std::vector<MsqLayerId> ids = {{"layer_a", 32, 96},
+                                         {"layer_b", 48, 64}};
+    MsqModelFile out;
+    EXPECT_TRUE(
+        loadModelVerified(path, file.model, cfg, 64, ids, out).ok());
+
+    // Each identity component gates independently.
+    EXPECT_EQ(loadModelVerified(path, "other-model", cfg, 64, ids, out).code,
+              IoCode::IdentityMismatch);
+    EXPECT_EQ(loadModelVerified(path, file.model, cfg, 65, ids, out).code,
+              IoCode::IdentityMismatch);
+    MsqConfig cfg4 = cfg;
+    cfg4.inlierBits = 4;
+    EXPECT_EQ(loadModelVerified(path, file.model, cfg4, 64, ids, out).code,
+              IoCode::IdentityMismatch);
+    std::vector<MsqLayerId> renamed = ids;
+    renamed[1].name = "layer_c";
+    EXPECT_EQ(
+        loadModelVerified(path, file.model, cfg, 64, renamed, out).code,
+        IoCode::IdentityMismatch);
+    std::vector<MsqLayerId> reshaped = ids;
+    reshaped[0].rows = 33;
+    EXPECT_EQ(
+        loadModelVerified(path, file.model, cfg, 64, reshaped, out).code,
+        IoCode::IdentityMismatch);
+    std::remove(path.c_str());
+}
+
+TEST(MsqFile, ContainerFileNameIsStableAndKeyed)
+{
+    const std::string a = containerFileName("model", "key-1");
+    EXPECT_EQ(a, containerFileName("model", "key-1"));
+    EXPECT_NE(a, containerFileName("model", "key-2"));
+    EXPECT_NE(a, containerFileName("other", "key-1"));
+    EXPECT_EQ(a.substr(a.size() - 4), ".msq");
+}
+
+TEST(TryDeserialize, RejectsMalformedStreams)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer =
+        quantizer.quantizePacked(randomWeights(16, 64, 9, 0.08), Matrix());
+    const std::vector<uint8_t> good = layer.serialize();
+
+    PackedLayer out;
+    ASSERT_TRUE(PackedLayer::tryDeserialize(cfg, 16, 64, good, out));
+    EXPECT_EQ(out.serialize(), good);
+
+    // Truncated at every byte boundary.
+    for (size_t len = 0; len < good.size(); ++len) {
+        std::vector<uint8_t> cut(good.begin(),
+                                 good.begin() + static_cast<long>(len));
+        EXPECT_FALSE(PackedLayer::tryDeserialize(cfg, 16, 64, cut, out))
+            << "accepted a stream truncated to " << len << " bytes";
+    }
+
+    // Padded beyond the layout.
+    std::vector<uint8_t> padded = good;
+    padded.push_back(0);
+    EXPECT_FALSE(PackedLayer::tryDeserialize(cfg, 16, 64, padded, out));
+
+    // Wrong shape for the stream.
+    EXPECT_FALSE(PackedLayer::tryDeserialize(cfg, 16, 63, good, out));
+    EXPECT_FALSE(PackedLayer::tryDeserialize(cfg, 17, 64, good, out));
+}
+
+} // namespace
+} // namespace msq

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Weight-cache keying and disk tier. The keying half is the ISSUE's
+ * collision audit: every MsqConfig field (and the calibration budget)
+ * must flow into the cache key, so two distinct deployments can never
+ * alias one cache entry — in memory or on disk. The disk half drives
+ * `getPackedModel` and the pipeline's packed-evaluation cache through
+ * a real directory: quantize-and-write on the first pass, verified
+ * bit-exact load on the second, graceful fallback (and self-heal) on a
+ * corrupted or mismatched container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <tuple>
+#include <vector>
+
+#include "core/microscopiq.h"
+#include "io/msq_file.h"
+#include "model/model_zoo.h"
+#include "model/pipeline.h"
+#include "serve/packed_exec.h"
+#include "serve/weight_cache.h"
+
+namespace msq {
+namespace {
+
+std::string
+tmpDir()
+{
+    // gtest's TempDir ends with a separator.
+    return ::testing::TempDir();
+}
+
+/** One single-field perturbation per MsqConfig member. */
+std::vector<MsqConfig>
+configPerturbations()
+{
+    std::vector<MsqConfig> all;
+    all.emplace_back(); // baseline
+    MsqConfig c;
+    c.inlierBits = 4;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.macroBlock = 64;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.microBlock = 16;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.rowBlock = 64;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.dampRel = 0.02;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.dampRel = 0.010000000000000002; // one ulp-ish away from 0.01
+    all.push_back(c);
+    c = MsqConfig{};
+    c.outlierMode = OutlierMode::None;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.outlierMode = OutlierMode::MxFpCoarse;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.prescaleOutliers = false;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.pruneAndRedistribute = false;
+    all.push_back(c);
+    c = MsqConfig{};
+    c.hessianCompensation = false;
+    all.push_back(c);
+    return all;
+}
+
+TEST(ConfigKey, EveryFieldChangesTheKey)
+{
+    const std::vector<MsqConfig> configs = configPerturbations();
+    for (size_t i = 0; i < configs.size(); ++i) {
+        for (size_t j = 0; j < configs.size(); ++j) {
+            if (i == j) {
+                EXPECT_TRUE(configs[i] == configs[j]);
+                EXPECT_EQ(configKey(configs[i]), configKey(configs[j]));
+            } else {
+                EXPECT_TRUE(configs[i] != configs[j])
+                    << "perturbations " << i << " and " << j
+                    << " compare equal";
+                EXPECT_NE(configKey(configs[i]), configKey(configs[j]))
+                    << "configs " << i << " and " << j
+                    << " collide on key '" << configKey(configs[i]) << "'";
+            }
+        }
+    }
+}
+
+TEST(ConfigKey, CacheFileNameSeparatesDeployments)
+{
+    const ModelProfile &model = modelByName("TinyLM");
+    const ModelProfile &other = modelByName("LLaMA2-7B");
+    std::vector<std::string> names;
+    for (const MsqConfig &cfg : configPerturbations())
+        names.push_back(packedModelCacheFile(model, cfg, 128));
+    names.push_back(packedModelCacheFile(model, MsqConfig{}, 64));
+    names.push_back(packedModelCacheFile(other, MsqConfig{}, 128));
+    for (size_t i = 0; i < names.size(); ++i)
+        for (size_t j = i + 1; j < names.size(); ++j)
+            EXPECT_NE(names[i], names[j])
+                << "deployments " << i << " and " << j
+                << " share container '" << names[i] << "'";
+}
+
+TEST(WeightCacheDisk, QuantizeWriteThenLoadBitExact)
+{
+    const ModelProfile &model = modelByName("TinyLM");
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const std::string dir = tmpDir() + "msq_wc_roundtrip";
+    (void)std::remove(
+        (dir + "/" + packedModelCacheFile(model, cfg, 32)).c_str());
+    // The directory must exist; containers are files inside it.
+    std::ignore = std::system(("mkdir -p " + dir).c_str());
+
+    clearPackedModelCache();
+    const PackedModelPtr built = getPackedModel(model, cfg, 32, dir);
+    EXPECT_EQ(built->source, "quantize");
+    const std::string path =
+        dir + "/" + packedModelCacheFile(model, cfg, 32);
+    std::ifstream probe(path, std::ios::binary);
+    EXPECT_TRUE(probe.good()) << "container " << path << " was not written";
+
+    clearPackedModelCache();
+    const PackedModelPtr loaded = getPackedModel(model, cfg, 32, dir);
+    EXPECT_EQ(loaded->source, "disk");
+    ASSERT_EQ(loaded->layers.size(), built->layers.size());
+    ASSERT_EQ(loaded->plans.size(), built->plans.size());
+    EXPECT_EQ(loaded->termsPerToken, built->termsPerToken);
+    EXPECT_EQ(loaded->meanEbw, built->meanEbw);
+    for (size_t li = 0; li < built->layers.size(); ++li)
+        EXPECT_EQ(loaded->layers[li].serialize(),
+                  built->layers[li].serialize());
+
+    // Within one process the memory tier still wins: same pointer.
+    const PackedModelPtr again = getPackedModel(model, cfg, 32, dir);
+    EXPECT_EQ(again.get(), loaded.get());
+    clearPackedModelCache();
+    std::remove(path.c_str());
+}
+
+TEST(WeightCacheDisk, CorruptContainerFallsBackAndHeals)
+{
+    const ModelProfile &model = modelByName("TinyLM");
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const std::string dir = tmpDir() + "msq_wc_corrupt";
+    std::ignore = std::system(("mkdir -p " + dir).c_str());
+    const std::string path =
+        dir + "/" + packedModelCacheFile(model, cfg, 32);
+
+    clearPackedModelCache();
+    const PackedModelPtr built = getPackedModel(model, cfg, 32, dir);
+    EXPECT_EQ(built->source, "quantize");
+
+    // Flip one byte in the middle of the container.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        ASSERT_TRUE(f.good());
+        f.seekg(0, std::ios::end);
+        const std::streampos size = f.tellg();
+        f.seekp(size / 2);
+        char byte = 0;
+        f.seekg(size / 2);
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0xFF);
+        f.seekp(size / 2);
+        f.write(&byte, 1);
+    }
+
+    clearPackedModelCache();
+    const PackedModelPtr rebuilt = getPackedModel(model, cfg, 32, dir);
+    EXPECT_EQ(rebuilt->source, "quantize"); // corrupt file is a miss
+    for (size_t li = 0; li < built->layers.size(); ++li)
+        EXPECT_EQ(rebuilt->layers[li].serialize(),
+                  built->layers[li].serialize());
+
+    // ...and the rebuild rewrote a valid container: next start loads.
+    clearPackedModelCache();
+    const PackedModelPtr healed = getPackedModel(model, cfg, 32, dir);
+    EXPECT_EQ(healed->source, "disk");
+    clearPackedModelCache();
+    std::remove(path.c_str());
+}
+
+TEST(WeightCacheDisk, MismatchedIdentityIsAMiss)
+{
+    // A container whose embedded identity differs from the requested
+    // deployment (here: same file name, different calibration budget)
+    // must be re-quantized, not served.
+    const ModelProfile &model = modelByName("TinyLM");
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    const std::string dir = tmpDir() + "msq_wc_mismatch";
+    std::ignore = std::system(("mkdir -p " + dir).c_str());
+
+    clearPackedModelCache();
+    const PackedModelPtr built = getPackedModel(model, cfg, 32, dir);
+    EXPECT_EQ(built->source, "quantize");
+    const std::string path =
+        dir + "/" + packedModelCacheFile(model, cfg, 32);
+
+    // Rewrite the container under the *other* deployment's file name:
+    // the loader must notice the identity mismatch inside the file.
+    MsqModelFile file;
+    ASSERT_TRUE(loadModel(path, file).ok());
+    const std::string path48 =
+        dir + "/" + packedModelCacheFile(model, cfg, 48);
+    ASSERT_TRUE(saveModel(path48, file).ok()); // still says calib=32 inside
+
+    clearPackedModelCache();
+    const PackedModelPtr other = getPackedModel(model, cfg, 48, dir);
+    EXPECT_EQ(other->source, "quantize");
+    clearPackedModelCache();
+    std::remove(path.c_str());
+    std::remove(path48.c_str());
+}
+
+TEST(PipelineCache, PackedEvalCacheLeavesMetricsBitIdentical)
+{
+    const ModelProfile &model = modelByName("TinyLM");
+    QuantMethod method;
+    method.name = "MicroScopiQ";
+    method.makeQuantizer = [] {
+        MsqConfig c;
+        c.hessianCompensation = false;
+        return std::make_unique<MicroScopiQQuantizer>(c);
+    };
+    method.actBits = 8;
+    method.actGroup = 32;
+
+    const std::string dir = tmpDir() + "msq_pipeline_cache";
+    std::ignore = std::system(("mkdir -p " + dir).c_str());
+    std::ignore = std::system(("rm -f " + dir + "/*.msq").c_str());
+
+    PipelineConfig plain;
+    plain.calibTokens = 32;
+    plain.evalTokens = 24;
+    plain.packedExec = packedExecBackend();
+
+    PipelineConfig cached = plain;
+    cached.packedCacheDir = dir;
+
+    // Reference run (no disk), then a cache-writing run, then a
+    // cache-hitting run: all three must agree to the last bit.
+    const ModelEvalResult ref = evaluateMethodOnModel(model, method, plain);
+    const ModelEvalResult miss =
+        evaluateMethodOnModel(model, method, cached);
+    const ModelEvalResult hit = evaluateMethodOnModel(model, method, cached);
+
+    EXPECT_EQ(ref.meanNmse, miss.meanNmse);
+    EXPECT_EQ(ref.meanEbw, miss.meanEbw);
+    EXPECT_EQ(ref.proxyPpl, miss.proxyPpl);
+    EXPECT_EQ(miss.meanNmse, hit.meanNmse);
+    EXPECT_EQ(miss.meanEbw, hit.meanEbw);
+    EXPECT_EQ(miss.proxyPpl, hit.proxyPpl);
+
+    // The miss run must have left a container behind.
+    int containers = 0;
+    FILE *ls = popen(("ls " + dir + "/*.msq 2>/dev/null | wc -l").c_str(),
+                     "r");
+    ASSERT_NE(ls, nullptr);
+    ASSERT_EQ(fscanf(ls, "%d", &containers), 1);
+    pclose(ls);
+    EXPECT_EQ(containers, 1);
+    std::ignore = std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(PipelineCache, MigrationMethodsBypassTheCache)
+{
+    // Migration needs calibration statistics even on a hit, so such
+    // methods must not write or read evaluation containers.
+    const ModelProfile &model = modelByName("TinyLM");
+    QuantMethod method;
+    method.name = "MicroScopiQ+migration";
+    method.makeQuantizer = [] {
+        MsqConfig c;
+        c.hessianCompensation = false;
+        return std::make_unique<MicroScopiQQuantizer>(c);
+    };
+    method.migrationAlpha = 0.5;
+
+    const std::string dir = tmpDir() + "msq_pipeline_nomig";
+    std::ignore = std::system(("mkdir -p " + dir).c_str());
+    std::ignore = std::system(("rm -f " + dir + "/*.msq").c_str());
+
+    PipelineConfig cached;
+    cached.calibTokens = 32;
+    cached.evalTokens = 24;
+    cached.packedExec = packedExecBackend();
+    cached.packedCacheDir = dir;
+
+    PipelineConfig plain = cached;
+    plain.packedCacheDir.clear();
+
+    const ModelEvalResult a = evaluateMethodOnModel(model, method, plain);
+    const ModelEvalResult b = evaluateMethodOnModel(model, method, cached);
+    EXPECT_EQ(a.meanNmse, b.meanNmse);
+    EXPECT_EQ(a.proxyPpl, b.proxyPpl);
+
+    FILE *ls = popen(("ls " + dir + "/*.msq 2>/dev/null | wc -l").c_str(),
+                     "r");
+    ASSERT_NE(ls, nullptr);
+    int containers = -1;
+    ASSERT_EQ(fscanf(ls, "%d", &containers), 1);
+    pclose(ls);
+    EXPECT_EQ(containers, 0);
+    std::ignore = std::system(("rm -rf " + dir).c_str());
+}
+
+} // namespace
+} // namespace msq
