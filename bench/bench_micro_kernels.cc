@@ -3,8 +3,12 @@
  * Google-benchmark microbenchmarks of the library's hot paths: FP
  * element encode, MX-INT / MX-FP group quantization, the full
  * MicroScopiQ layer quantizer, the PE multiplier tree, ReCoN transits,
- * and the functional-accelerator GEMM. These back the paper's
- * quantization-runtime claim (Section 7.1: runtime on par with GPTQ).
+ * the functional-accelerator GEMM, and the serving kernels. These back
+ * the paper's quantization-runtime claim (Section 7.1: runtime on par
+ * with GPTQ) and track the packed-execution kernel trajectory —
+ * reference (scalar oracle) vs blocked integer kernel across the
+ * macro-block sizes of Table 7's group-size axis — independently of
+ * engine scheduling noise.
  */
 
 #include <benchmark/benchmark.h>
@@ -17,6 +21,7 @@
 #include "mx/mx_int.h"
 #include "quant/gptq.h"
 #include "quant/hessian.h"
+#include "serve/packed_exec.h"
 
 namespace msq {
 namespace {
@@ -169,6 +174,64 @@ BM_FunctionalGemm(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 128 * 256 * 4);
 }
 BENCHMARK(BM_FunctionalGemm);
+
+/**
+ * Serving-kernel pair: the scalar oracle (`referenceGemm`, the PR-2
+ * kernel) and the blocked integer kernel on one quantized layer, swept
+ * over the macro-block size (Table 7's group-size axis — the
+ * macro-block is both the inlier scale-sharing group and the blocked
+ * plane's column-tile grain). Items processed = integer MACs, so the
+ * reported rate is directly comparable between the two.
+ */
+PackedLayer
+servingLayer(size_t macro_block)
+{
+    MsqConfig cfg;
+    cfg.macroBlock = macro_block;
+    cfg.hessianCompensation = false;
+    const Matrix w = randomWeights(256, 512, 11);
+    MicroScopiQQuantizer q(cfg);
+    return q.quantizePacked(w, Matrix());
+}
+
+QuantizedActs
+servingActs()
+{
+    Rng rng(12);
+    Matrix x(256, 32);
+    for (size_t r = 0; r < 256; ++r)
+        for (size_t t = 0; t < 32; ++t)
+            x(r, t) = rng.gaussian(0.0, 1.0);
+    return QuantizedActs(x, 8, 128);
+}
+
+void
+BM_PackedGemmReference(benchmark::State &state)
+{
+    const PackedLayer layer =
+        servingLayer(static_cast<size_t>(state.range(0)));
+    const PackedExecPlan plan(layer);
+    const QuantizedActs acts = servingActs();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(plan.referenceGemm(acts));
+    state.SetItemsProcessed(state.iterations() * plan.termCount() *
+                            acts.tokens());
+}
+BENCHMARK(BM_PackedGemmReference)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_PackedGemmBlocked(benchmark::State &state)
+{
+    const PackedLayer layer =
+        servingLayer(static_cast<size_t>(state.range(0)));
+    const PackedExecPlan plan(layer);
+    const QuantizedActs acts = servingActs();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(plan.gemm(acts));
+    state.SetItemsProcessed(state.iterations() * plan.termCount() *
+                            acts.tokens());
+}
+BENCHMARK(BM_PackedGemmBlocked)->Arg(32)->Arg(64)->Arg(128);
 
 } // namespace
 } // namespace msq

@@ -7,20 +7,37 @@
  * throughput for both. Batching must win on two axes: the decoded
  * weight stream is reused across every token of a batch
  * (weight-stationary amortization), and wide batches give parallelFor
- * enough token tiles to fill the pool.
+ * enough tiles to fill the pool.
+ *
+ * Two further sections track the PR's kernel trajectory directly:
+ *
+ *  - a kernel-level single-thread comparison of the blocked integer
+ *    GEMM against the retained scalar oracle (`referenceGemm`, the
+ *    PR-2 serving kernel) on the profile's largest layer — the
+ *    speedup scripts/check_bench_json.py enforces a floor on;
+ *  - a single-low-latency-request case: one narrow request served
+ *    with the token-only partition (tileCols pinned past the layer
+ *    width) versus the 2D (column-block x token-tile) partition, the
+ *    case `ServeConfig::tileCols` exists for. The win requires
+ *    multiple threads; on a single-core runner the two are on par.
  *
  * Alongside the human-readable table the bench emits a machine-readable
- * BENCH_serve.json (path overridable as argv[1]; schema checked by
+ * BENCH_serve.json (path overridable as argv[1]; model overridable as
+ * argv[2] — CI runs a TinyLM smoke pass; schema checked by
  * scripts/check_bench_json.py) — the tracked benchmark trajectory for
  * the serving path.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/parallel.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "core/msq_config.h"
+#include "model/calib_gen.h"
 #include "model/model_zoo.h"
 #include "serve/engine.h"
 
@@ -37,6 +54,95 @@ submitStream(ServeEngine &engine)
 {
     for (uint64_t r = 0; r < kRequests; ++r)
         engine.submit(kTokensPerRequest, 1000 + r);
+}
+
+/** Kernel-level single-thread trajectory: blocked vs scalar oracle. */
+struct KernelRecord
+{
+    size_t layer = 0;       ///< profile layer index measured
+    size_t terms = 0;       ///< integer MACs per token
+    size_t tokens = 0;
+    double referenceMs = 0.0;
+    double blockedMs = 0.0;
+    double speedup = 0.0;
+    double gmacsPerSec = 0.0; ///< blocked kernel, 1e9 MACs/s
+};
+
+template <typename F>
+double
+timeMs(F &&fn, int reps)
+{
+    fn(); // warm
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count() /
+           reps;
+}
+
+KernelRecord
+measureKernel(const ModelProfile &model, const PackedModel &packed)
+{
+    KernelRecord rec;
+    for (size_t li = 0; li < packed.plans.size(); ++li)
+        if (packed.plans[li]->termCount() >
+            packed.plans[rec.layer]->termCount())
+            rec.layer = li;
+    const PackedExecPlan &plan = *packed.plans[rec.layer];
+    rec.terms = plan.termCount();
+    rec.tokens = 64;
+
+    const Matrix x =
+        generateRequestActs(model, rec.layer, rec.tokens, 4242);
+    const QuantizedActs acts(x, 8, 128);
+    const int reps = rec.terms * rec.tokens > (1u << 20) ? 10 : 100;
+    rec.referenceMs =
+        timeMs([&] { Matrix out = plan.referenceGemm(acts); }, reps);
+    rec.blockedMs = timeMs([&] { Matrix out = plan.gemm(acts); }, reps);
+    rec.speedup = rec.referenceMs / rec.blockedMs;
+    rec.gmacsPerSec = static_cast<double>(rec.terms) *
+                      static_cast<double>(rec.tokens) /
+                      (rec.blockedMs * 1e6);
+    return rec;
+}
+
+/** Single-request latency: token-only vs 2D partition, p50 of reps. */
+struct LatencyRecord
+{
+    double tokenOnlyMs = 0.0;
+    double tiled2dMs = 0.0;
+    double speedup = 0.0;
+};
+
+double
+singleRequestP50(const ModelProfile &model, const MsqConfig &cfg,
+                 size_t tile_cols)
+{
+    ServeConfig scfg;
+    scfg.maxBatchRequests = 1;
+    scfg.tileCols = tile_cols;
+    ServeEngine engine(model, cfg, scfg);
+    std::vector<double> lat;
+    for (int i = 0; i < 24; ++i) {
+        engine.submit(kTokensPerRequest, 9000 + i);
+        const ServeReport rep = engine.drain();
+        lat.push_back(rep.requests.front().latencyMs);
+    }
+    return percentile(lat, 50.0);
+}
+
+LatencyRecord
+measureSingleRequest(const ModelProfile &model, const MsqConfig &cfg)
+{
+    LatencyRecord rec;
+    // Pinning the column tile past any layer width disables the column
+    // split, leaving the token-only partition of the PR-2 engine.
+    rec.tokenOnlyMs = singleRequestP50(model, cfg, 1u << 20);
+    rec.tiled2dMs = singleRequestP50(model, cfg, 0);
+    rec.speedup = rec.tokenOnlyMs / rec.tiled2dMs;
+    return rec;
 }
 
 void
@@ -82,24 +188,28 @@ main(int argc, char **argv)
 {
     const std::string json_path =
         argc > 1 ? argv[1] : "BENCH_serve.json";
-    const ModelProfile &model = modelByName("LLaMA2-7B");
+    const std::string model_name = argc > 2 ? argv[2] : "LLaMA2-7B";
+    const ModelProfile &model = modelByName(model_name);
     MsqConfig qcfg;  // paper headline: W2, e1m2 outliers
 
     // The paper's serving regime is decode-heavy: many small requests.
     // Single-request config = scheduler disabled.
     ServeConfig single;
     single.maxBatchRequests = 1;
-    single.tileTokens = 16;
+    single.tileTokens = 32;
     ServeConfig batched;
     batched.maxBatchRequests = 32;
     batched.maxBatchTokens = 256;
-    batched.tileTokens = 16;
+    batched.tileTokens = 32;
 
     // Warm the packed-weight cache outside every timed region (both
     // engines share the deployment).
     ServeEngine engine_single(model, qcfg, single);
     ServeEngine engine_batched(model, qcfg, batched);
     const PackedModel &packed = engine_single.packedModel();
+
+    const KernelRecord kernel = measureKernel(model, packed);
+    const LatencyRecord lat = measureSingleRequest(model, qcfg);
 
     submitStream(engine_single);
     const ServeReport rep_s = engine_single.drain();
@@ -114,12 +224,27 @@ main(int argc, char **argv)
             qcfg.name() + " packed execution (" +
             std::to_string(threadCount()) + " threads)");
     t.setHeader({"phase", "quantity", "value"});
-    t.addRow({"deploy", "packed build (ms)", Table::fmt(packed.buildMs, 1)});
+    t.addRow({"deploy", "quantize/load (ms)", Table::fmt(packed.buildMs, 1)});
+    t.addRow({"", "plan decode (ms)", Table::fmt(packed.planMs, 1)});
     t.addRow({"", "EBW (Eq. 4)", Table::fmt(packed.meanEbw, 3) + " bits"});
     t.addRow({"", "MACs/token",
               Table::fmt(static_cast<double>(packed.termsPerToken) / 1e3,
                          1) +
                   " k"});
+    t.addSeparator();
+    t.addRow({"kernel", "layer / tokens",
+              model.layers[kernel.layer].name + " / " +
+                  Table::fmtInt(static_cast<long long>(kernel.tokens))});
+    t.addRow({"", "reference (ms)", Table::fmt(kernel.referenceMs, 3)});
+    t.addRow({"", "blocked (ms)", Table::fmt(kernel.blockedMs, 3)});
+    t.addRow({"", "blocked / reference",
+              Table::fmt(kernel.speedup, 2) + "x"});
+    t.addRow({"", "blocked GMAC/s", Table::fmt(kernel.gmacsPerSec, 2)});
+    t.addSeparator();
+    t.addRow({"1-request", "token-only p50 (ms)",
+              Table::fmt(lat.tokenOnlyMs, 2)});
+    t.addRow({"", "2D-partition p50 (ms)", Table::fmt(lat.tiled2dMs, 2)});
+    t.addRow({"", "2D / token-only", Table::fmt(lat.speedup, 2) + "x"});
     t.addSeparator();
     addPhaseRows(t, "single", rep_s);
     t.addSeparator();
@@ -142,11 +267,32 @@ main(int argc, char **argv)
                  "  \"threads\": %u,\n"
                  "  \"tokens_per_request\": %zu,\n"
                  "  \"build_ms\": %.1f,\n"
+                 "  \"plan_ms\": %.1f,\n"
                  "  \"ebw_bits\": %.4f,\n"
                  "  \"macs_per_token\": %zu,\n",
                  model.name.c_str(), qcfg.name().c_str(), threadCount(),
-                 kTokensPerRequest, packed.buildMs, packed.meanEbw,
-                 packed.termsPerToken);
+                 kTokensPerRequest, packed.buildMs, packed.planMs,
+                 packed.meanEbw, packed.termsPerToken);
+    std::fprintf(f,
+                 "  \"kernel\": {\n"
+                 "    \"layer\": \"%s\",\n"
+                 "    \"terms\": %zu,\n"
+                 "    \"tokens\": %zu,\n"
+                 "    \"reference_ms\": %.4f,\n"
+                 "    \"blocked_ms\": %.4f,\n"
+                 "    \"speedup\": %.4f,\n"
+                 "    \"gmacs_per_s\": %.4f\n"
+                 "  },\n",
+                 model.layers[kernel.layer].name.c_str(), kernel.terms,
+                 kernel.tokens, kernel.referenceMs, kernel.blockedMs,
+                 kernel.speedup, kernel.gmacsPerSec);
+    std::fprintf(f,
+                 "  \"single_request\": {\n"
+                 "    \"token_only_p50_ms\": %.4f,\n"
+                 "    \"tiled_2d_p50_ms\": %.4f,\n"
+                 "    \"speedup\": %.4f\n"
+                 "  },\n",
+                 lat.tokenOnlyMs, lat.tiled2dMs, lat.speedup);
     writePhaseJson(f, "single", rep_s);
     std::fprintf(f, ",\n");
     writePhaseJson(f, "batched", rep_b);

@@ -70,7 +70,8 @@ main(int argc, char **argv)
             std::to_string(threadCount()) + " threads");
     t.setHeader({"quantity", "value"});
     t.addRow({"deployment source", packed.source});
-    t.addRow({"packed build (ms)", Table::fmt(packed.buildMs, 1)});
+    t.addRow({"quantize/load (ms)", Table::fmt(packed.buildMs, 1)});
+    t.addRow({"plan decode (ms)", Table::fmt(packed.planMs, 1)});
     t.addRow({"EBW (Eq. 4)", Table::fmt(packed.meanEbw, 3) + " bits"});
     t.addRow({"integer MACs/token",
               Table::fmtInt(static_cast<long long>(packed.termsPerToken))});

@@ -6,7 +6,11 @@ schema (required keys, types, and basic sanity: positive throughputs,
 ordered percentiles, consistent speedups) so the tracked benchmark
 trajectories cannot silently rot. Known ids:
 
-  serve_throughput  emitted by bench/bench_serve_throughput
+  serve_throughput  emitted by bench/bench_serve_throughput; includes
+                    the kernel-level record (blocked integer GEMM vs
+                    the scalar reference kernel, GMAC/s, with an
+                    enforced speedup floor) and the single-request 2D
+                    partition latency record
   cold_start        emitted by bench/bench_cold_start
 
 Usage: check_bench_json.py path/to/BENCH_<name>.json
@@ -36,12 +40,37 @@ SERVE_SCHEMA = {
     "threads": int,
     "tokens_per_request": int,
     "build_ms": float,
+    "plan_ms": float,
     "ebw_bits": float,
     "macs_per_token": int,
+    "kernel": dict,
+    "single_request": dict,
     "single": dict,
     "batched": dict,
     "speedup": float,
 }
+
+KERNEL_SCHEMA = {
+    "layer": str,
+    "terms": int,
+    "tokens": int,
+    "reference_ms": float,
+    "blocked_ms": float,
+    "speedup": float,
+    "gmacs_per_s": float,
+}
+
+SINGLE_REQUEST_SCHEMA = {
+    "token_only_p50_ms": float,
+    "tiled_2d_p50_ms": float,
+    "speedup": float,
+}
+
+# Single-thread floor of the blocked integer kernel over the scalar
+# oracle (the PR-2 serving kernel). Typical measured values are >= 4x;
+# the floor leaves margin for slow CI boxes but catches any regression
+# back toward per-term scalar execution.
+KERNEL_SPEEDUP_FLOOR = 2.0
 
 COLD_START_SCHEMA = {
     "bench": str,
@@ -93,8 +122,43 @@ def check_phase(phase, where):
         fail(f"{where}: more batches than requests")
 
 
+def check_kernel(kernel):
+    check_types(kernel, KERNEL_SCHEMA, "$.kernel")
+    if kernel["terms"] <= 0 or kernel["tokens"] <= 0:
+        fail("$.kernel: empty measurement")
+    if kernel["reference_ms"] <= 0 or kernel["blocked_ms"] <= 0:
+        fail("$.kernel: non-positive timings")
+    want = kernel["reference_ms"] / kernel["blocked_ms"]
+    if abs(kernel["speedup"] - want) > 0.01 * max(1.0, want):
+        fail(f"$.kernel.speedup {kernel['speedup']} inconsistent with "
+             f"timings ({want:.4f})")
+    if kernel["gmacs_per_s"] <= 0:
+        fail("$.kernel.gmacs_per_s must be positive")
+    if kernel["speedup"] < KERNEL_SPEEDUP_FLOOR:
+        fail(f"blocked kernel must be >= {KERNEL_SPEEDUP_FLOOR}x the "
+             f"scalar reference kernel; got {kernel['speedup']:.2f}x "
+             f"({kernel['blocked_ms']} ms vs {kernel['reference_ms']} ms)")
+
+
+def check_single_request(sr):
+    check_types(sr, SINGLE_REQUEST_SCHEMA, "$.single_request")
+    if sr["token_only_p50_ms"] <= 0 or sr["tiled_2d_p50_ms"] <= 0:
+        fail("$.single_request: non-positive latencies")
+    want = sr["token_only_p50_ms"] / sr["tiled_2d_p50_ms"]
+    if abs(sr["speedup"] - want) > 0.01 * max(1.0, want):
+        fail(f"$.single_request.speedup {sr['speedup']} inconsistent "
+             f"with latencies ({want:.4f})")
+    # The 2D partition only wins with threads to fill; on any box it
+    # must at least not regress the single-request path materially.
+    if sr["speedup"] < 0.8:
+        fail(f"2D partition regressed single-request latency: "
+             f"{sr['speedup']:.2f}x")
+
+
 def check_serve(doc):
     check_types(doc, SERVE_SCHEMA, "$")
+    check_kernel(doc["kernel"])
+    check_single_request(doc["single_request"])
     check_phase(doc["single"], "$.single")
     check_phase(doc["batched"], "$.batched")
 
@@ -105,7 +169,10 @@ def check_serve(doc):
     if doc["batched"]["batches"] >= doc["single"]["batches"]:
         fail("batched phase did not coalesce requests")
     return (f"{doc['model']}, {doc['method']}, "
-            f"speedup {doc['speedup']:.2f}x on {doc['threads']} threads")
+            f"batching {doc['speedup']:.2f}x, kernel "
+            f"{doc['kernel']['speedup']:.2f}x "
+            f"({doc['kernel']['gmacs_per_s']:.2f} GMAC/s) on "
+            f"{doc['threads']} threads")
 
 
 def check_cold_start(doc):

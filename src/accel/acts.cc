@@ -1,43 +1,14 @@
 #include "accel/acts.h"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
-#include "mx/mx_int.h"
 
 namespace msq {
 
 QuantizedActs::QuantizedActs(const Matrix &x, unsigned bits, size_t group)
-    : tokens_(x.cols()),
-      channels_(x.rows()),
-      group_(group == 0 ? x.rows() : group),
-      bits_(bits)
+    : bits_(bits), panel_(quantizeActsChannelMajor(x, bits, group))
 {
-    MSQ_ASSERT(bits >= 2 && bits <= 8, "iActs are at most 8-bit");
-    groupsPerToken_ = (channels_ + group_ - 1) / group_;
-    codes_.resize(tokens_ * channels_);
-    scaleExp_.resize(tokens_ * groupsPerToken_);
-
-    std::vector<double> span;
-    for (size_t t = 0; t < tokens_; ++t) {
-        for (size_t g = 0; g < groupsPerToken_; ++g) {
-            const size_t c0 = g * group_;
-            const size_t n = std::min(group_, channels_ - c0);
-            span.resize(n);
-            for (size_t i = 0; i < n; ++i)
-                span[i] = x(c0 + i, t);
-            int e = mxIntScaleExp(span, bits_);
-            e = std::clamp(e, -128, 127);
-            scaleExp_[t * groupsPerToken_ + g] = static_cast<int8_t>(e);
-            for (size_t i = 0; i < n; ++i) {
-                const int32_t code =
-                    mxIntQuantizeValue(span[i], bits_, e);
-                codes_[t * channels_ + c0 + i] =
-                    static_cast<int8_t>(code);
-            }
-        }
-    }
 }
 
 double
@@ -50,9 +21,9 @@ QuantizedActs::dequant(size_t token, size_t channel) const
 Matrix
 QuantizedActs::dequantAll() const
 {
-    Matrix x(channels_, tokens_);
-    for (size_t t = 0; t < tokens_; ++t)
-        for (size_t c = 0; c < channels_; ++c)
+    Matrix x(channels(), tokens());
+    for (size_t t = 0; t < tokens(); ++t)
+        for (size_t c = 0; c < channels(); ++c)
             x(c, t) = dequant(t, c);
     return x;
 }

@@ -5,6 +5,11 @@
  * scales shared per (token, channel-group), matching the MX-INT
  * activation quantization of the paper and the iAct buffer layout of
  * Section 5.2.
+ *
+ * Storage is channel-major (one contiguous row of token codes per
+ * channel, see quant/act_quant.h): the packed-execution GEMM reduces
+ * over channels, so its inner loops stream `channelCodes(k)` rows
+ * directly instead of re-gathering a token-major buffer for every k.
  */
 
 #ifndef MSQ_ACCEL_ACTS_H
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "quant/act_quant.h"
 
 namespace msq {
 
@@ -27,22 +33,41 @@ class QuantizedActs
      */
     QuantizedActs(const Matrix &x, unsigned bits, size_t group = 128);
 
-    size_t tokens() const { return tokens_; }
-    size_t channels() const { return channels_; }
+    size_t tokens() const { return panel_.tokens; }
+    size_t channels() const { return panel_.channels; }
     unsigned bits() const { return bits_; }
-    size_t group() const { return group_; }
+    size_t group() const { return panel_.group; }
+    size_t groups() const { return panel_.groups; }
 
     /** Integer code of (token, channel). */
     int8_t code(size_t token, size_t channel) const
     {
-        return codes_[token * channels_ + channel];
+        return panel_.codes[channel * panel_.tokens + token];
     }
 
     /** Scale exponent of (token, channel)'s group. */
     int scaleExp(size_t token, size_t channel) const
     {
-        return scaleExp_[token * groupsPerToken_ + channel / group_];
+        return panel_
+            .scaleExp[(channel / panel_.group) * panel_.tokens + token];
     }
+
+    /**
+     * @name Zero-copy panel rows for the serving kernel
+     * `channelCodes(c)` spans tokens() int8 codes of channel c;
+     * `groupScaleExps(g)` spans tokens() scale exponents of channel
+     * group g. @pre c < channels(), g < groups()
+     */
+    ///@{
+    const int8_t *channelCodes(size_t c) const
+    {
+        return panel_.channelRow(c);
+    }
+    const int8_t *groupScaleExps(size_t g) const
+    {
+        return panel_.groupRow(g);
+    }
+    ///@}
 
     /** Dequantized value. */
     double dequant(size_t token, size_t channel) const;
@@ -51,13 +76,8 @@ class QuantizedActs
     Matrix dequantAll() const;
 
   private:
-    size_t tokens_ = 0;
-    size_t channels_ = 0;
-    size_t group_ = 128;
-    size_t groupsPerToken_ = 0;
     unsigned bits_ = 8;
-    std::vector<int8_t> codes_;
-    std::vector<int8_t> scaleExp_;
+    MxIntActPanel panel_;
 };
 
 } // namespace msq

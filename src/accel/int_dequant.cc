@@ -31,4 +31,15 @@ mergedOutlierMantissa(uint8_t upper_code, uint8_t lower_code,
     return sign ? -mag : mag;
 }
 
+int
+maxPanelShift(unsigned inlier_bits, unsigned act_bits, size_t panel_rows)
+{
+    MSQ_ASSERT(panel_rows > 0, "a panel holds at least one row");
+    int log2n = 0;
+    while ((size_t{1} << log2n) < panel_rows)
+        ++log2n;
+    return 30 - static_cast<int>(inlier_bits) -
+           static_cast<int>(act_bits) + 2 - log2n;
+}
+
 } // namespace msq

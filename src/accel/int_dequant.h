@@ -18,6 +18,7 @@
 #ifndef MSQ_ACCEL_INT_DEQUANT_H
 #define MSQ_ACCEL_INT_DEQUANT_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace msq {
@@ -43,6 +44,28 @@ int32_t peInlierProduct(uint8_t code, unsigned bb, int8_t iact);
  */
 int32_t mergedOutlierMantissa(uint8_t upper_code, uint8_t lower_code,
                               unsigned mbits, unsigned bb);
+
+/**
+ * Static int32 overflow-safety bound of the blocked serving kernel
+ * (serve/packed_exec.h): the largest panel-local exponent spread `s`
+ * such that a dot product of `panel_rows` terms, each an inlier code of
+ * `inlier_bits` bits left-shifted by at most `s` and multiplied by an
+ * iAct code of `act_bits` bits, is guaranteed to fit an int32
+ * accumulator. Derivation (all magnitudes are bounds, sign carried
+ * separately):
+ *
+ *   |code << s|  <= 2^(inlier_bits - 1 + s)
+ *   |iact|       <= 2^(act_bits - 1)
+ *   |sum of N|   <= 2^(inlier_bits + act_bits - 2 + s + ceil(log2 N))
+ *
+ * and the sum is int32-safe when that exponent is <= 30. Panels whose
+ * Isf spread exceeds this bound fall back to the scalar path (the
+ * kernel's correctness never depends on the spread being small).
+ * May return a negative value for absurd widths; callers treat any
+ * spread > max(bound, 0) as unsafe.
+ */
+int maxPanelShift(unsigned inlier_bits, unsigned act_bits,
+                  size_t panel_rows);
 
 } // namespace msq
 

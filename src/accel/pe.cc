@@ -60,8 +60,10 @@ MultiPrecisionPe::multiply2b(uint8_t packed_code, int8_t iact)
     const int32_t p00 = leafMultiply(a_lo, false, w0, true);
 
     PePairResult res;
-    res.hi = (p11 << 4) + p01;
-    res.lo = (p10 << 4) + p00;
+    // Multiplies instead of <<: the partial products may be negative,
+    // and a left shift of a negative value is undefined.
+    res.hi = p11 * 16 + p01;
+    res.lo = p10 * 16 + p00;
     return res;
 }
 

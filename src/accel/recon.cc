@@ -60,13 +60,15 @@ ReconNetwork::process(const std::vector<ReconInput> &inputs) const
         const ReconInput &in = inputs[c];
         switch (in.tag) {
           case ReconInput::Tag::InlierPsum:
-            // Pass: the PE already accumulated; scale to integer units.
-            transit.scaledOut[c] = (in.res + in.iacc) << mantBits_;
+            // Pass: the PE already accumulated; scale to integer units
+            // (multiply, not <<: the sum may be negative).
+            transit.scaledOut[c] =
+                (in.res + in.iacc) * (int64_t{1} << mantBits_);
             break;
           case ReconInput::Tag::OutlierLower:
             // Swap: the vacated column forwards its iAcc (the pruned
             // weight contributes zero).
-            transit.scaledOut[c] = in.iacc << mantBits_;
+            transit.scaledOut[c] = in.iacc * (int64_t{1} << mantBits_);
             break;
           case ReconInput::Tag::OutlierUpper: {
             MSQ_ASSERT(in.partner >= 0 &&
@@ -82,11 +84,13 @@ ReconNetwork::process(const std::vector<ReconInput> &inputs) const
             // of 2^-mantBits to stay exact:
             //   out = res_u * 2^(M - upper_bits) + res_l
             //       + sign*iact * 2^M + iacc * 2^M.
+            // Multiplies instead of <<: the addends may be negative,
+            // and a left shift of a negative value is undefined.
             const int64_t hidden =
                 (in.sign ? -one : one) * static_cast<int64_t>(in.iact);
-            transit.scaledOut[c] = (in.res << lower_bits) + lo.res +
-                                   (hidden << mantBits_) +
-                                   (in.iacc << mantBits_);
+            transit.scaledOut[c] =
+                in.res * (int64_t{1} << lower_bits) + lo.res +
+                (hidden + in.iacc) * (int64_t{1} << mantBits_);
             break;
           }
         }

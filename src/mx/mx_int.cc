@@ -35,6 +35,12 @@ mxIntScaleExp(const std::vector<double> &values, unsigned bits)
     double max_abs = 0.0;
     for (double v : values)
         max_abs = std::max(max_abs, std::fabs(v));
+    return mxIntScaleExpForMax(max_abs, bits);
+}
+
+int
+mxIntScaleExpForMax(double max_abs, unsigned bits)
+{
     if (max_abs == 0.0)
         return 0;
     const double qmax = static_cast<double>(intQMax(bits));

@@ -40,6 +40,13 @@ int32_t intQMax(unsigned bits);
 int mxIntScaleExp(const std::vector<double> &values, unsigned bits);
 
 /**
+ * The same scale rule from a precomputed group maximum (hot callers —
+ * the activation panel quantizer — track max|v| incrementally instead
+ * of materializing a span). Returns 0 when max_abs is 0.
+ */
+int mxIntScaleExpForMax(double max_abs, unsigned bits);
+
+/**
  * Quantize a group of values to MX-INT-b with a shared power-of-two
  * scale (round to nearest, saturating clip).
  */

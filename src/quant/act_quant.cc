@@ -2,32 +2,86 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
+#include "common/logging.h"
 #include "mx/mx_int.h"
 #include "quant/quant_util.h"
 
 namespace msq {
 
+MxIntActPanel
+quantizeActsChannelMajor(const Matrix &x, unsigned bits, size_t group_size)
+{
+    MSQ_ASSERT(bits >= 2 && bits <= 8, "iActs are at most 8-bit");
+    MxIntActPanel panel;
+    panel.tokens = x.cols();
+    panel.channels = x.rows();
+    panel.group = group_size == 0 ? x.rows() : group_size;
+    panel.groups = (panel.channels + panel.group - 1) / panel.group;
+    panel.codes.resize(panel.tokens * panel.channels);
+    panel.scaleExp.resize(panel.tokens * panel.groups);
+
+    // Token-blocked two-pass quantization: both passes stream the
+    // activation rows contiguously (the matrix is channel x token
+    // row-major) instead of gathering one strided token column per
+    // group, and the per-element work is a multiply by the group's
+    // reciprocal scale — a power of two, so `v * 2^-e` equals the
+    // ldexp-based reference quantizer bit for bit.
+    constexpr size_t kTokBlock = 64;
+    const double qmax = static_cast<double>(intQMax(bits));
+    double max_abs[kTokBlock];
+    double inv[kTokBlock];
+    for (size_t g = 0; g < panel.groups; ++g) {
+        const size_t c0 = g * panel.group;
+        const size_t n = std::min(panel.group, panel.channels - c0);
+        int8_t *exps = panel.scaleExp.data() + g * panel.tokens;
+        for (size_t t0 = 0; t0 < panel.tokens; t0 += kTokBlock) {
+            const size_t nt = std::min(kTokBlock, panel.tokens - t0);
+            for (size_t j = 0; j < nt; ++j)
+                max_abs[j] = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+                const double *row = x.rowPtr(c0 + i) + t0;
+                for (size_t j = 0; j < nt; ++j)
+                    max_abs[j] =
+                        std::max(max_abs[j], std::fabs(row[j]));
+            }
+            for (size_t j = 0; j < nt; ++j) {
+                const int e = std::clamp(
+                    mxIntScaleExpForMax(max_abs[j], bits), -128, 127);
+                exps[t0 + j] = static_cast<int8_t>(e);
+                inv[j] = std::ldexp(1.0, -e);
+            }
+            for (size_t i = 0; i < n; ++i) {
+                const double *row = x.rowPtr(c0 + i) + t0;
+                int8_t *codes =
+                    panel.codes.data() + (c0 + i) * panel.tokens + t0;
+                for (size_t j = 0; j < nt; ++j) {
+                    // Round to nearest, ties away from zero, saturate —
+                    // exactly mxIntQuantizeValue (mx/mx_int.h).
+                    const double scaled = row[j] * inv[j];
+                    const double rounded =
+                        std::floor(std::fabs(scaled) + 0.5);
+                    const double mag = std::min(rounded, qmax);
+                    codes[j] = static_cast<int8_t>(
+                        scaled < 0.0 ? -mag : mag);
+                }
+            }
+        }
+    }
+    return panel;
+}
+
 Matrix
 quantizeActivationsMxInt(const Matrix &x, unsigned bits, size_t group_size)
 {
-    Matrix out = x;
-    const size_t k = x.rows();
-    const size_t group = group_size == 0 ? k : group_size;
-
-    // Channel-dim groups within each token column.
-    std::vector<double> span;
-    for (size_t t = 0; t < x.cols(); ++t) {
-        for (size_t g0 = 0; g0 < k; g0 += group) {
-            const size_t gn = std::min(group, k - g0);
-            span.resize(gn);
-            for (size_t i = 0; i < gn; ++i)
-                span[i] = x(g0 + i, t);
-            const MxIntGroup q = mxIntQuantize(span, bits);
-            for (size_t i = 0; i < gn; ++i)
-                out(g0 + i, t) = q.decode(i);
-        }
+    const MxIntActPanel panel = quantizeActsChannelMajor(x, bits,
+                                                         group_size);
+    Matrix out(x.rows(), x.cols());
+    for (size_t c = 0; c < panel.channels; ++c) {
+        const int8_t *codes = panel.channelRow(c);
+        const int8_t *exps = panel.groupRow(c / panel.group);
+        for (size_t t = 0; t < panel.tokens; ++t)
+            out(c, t) = std::ldexp(static_cast<double>(codes[t]), exps[t]);
     }
     return out;
 }

@@ -3,14 +3,65 @@
  * Activation quantization. The paper quantizes activations to
  * MX-INT-(4/8)128 per token along the channel dimension after migrating
  * activation-outlier difficulty into the weights (Section 7.2).
+ *
+ * Two consumers share one implementation of the group loop:
+ *
+ *  - the evaluation pipeline wants the *dequantized* activations
+ *    (`quantizeActivationsMxInt`), and
+ *  - the serving engine wants the raw iAct codes in the layout its
+ *    blocked integer GEMM streams: channel-major code rows and
+ *    group-major scale-exponent rows (`quantizeActsChannelMajor`),
+ *    so the kernel's reduction over channels reads contiguous memory
+ *    and never re-gathers token-major storage per k.
  */
 
 #ifndef MSQ_QUANT_ACT_QUANT_H
 #define MSQ_QUANT_ACT_QUANT_H
 
+#include <cstdint>
+#include <vector>
+
 #include "common/matrix.h"
 
 namespace msq {
+
+/**
+ * Channel-major MX-INT activation panel: the iAct buffer exactly as the
+ * packed-execution kernel consumes it.
+ *
+ * `codes[c * tokens + t]` is the signed code of (channel c, token t) —
+ * one contiguous row of `tokens` int8 codes per channel, so a reduction
+ * walking channels streams rows. `scaleExp[g * tokens + t]` is the
+ * power-of-two scale exponent shared by channel group g of token t
+ * (clamped to int8 range; proxy activations never approach it).
+ */
+struct MxIntActPanel
+{
+    size_t tokens = 0;
+    size_t channels = 0;
+    size_t group = 128;  ///< channels sharing one scale within a token
+    size_t groups = 0;   ///< ceil(channels / group)
+    std::vector<int8_t> codes;     ///< channel-major, channels x tokens
+    std::vector<int8_t> scaleExp;  ///< group-major, groups x tokens
+
+    const int8_t *channelRow(size_t c) const
+    {
+        return codes.data() + c * tokens;
+    }
+    const int8_t *groupRow(size_t g) const
+    {
+        return scaleExp.data() + g * tokens;
+    }
+};
+
+/**
+ * Quantize activations X[k][tokens] to `bits`-bit MX-INT with
+ * power-of-two scales shared by `group_size` channels within each token
+ * (0 means one group spanning all channels), returning the raw codes in
+ * the channel-major panel layout. @pre 2 <= bits <= 8
+ */
+MxIntActPanel quantizeActsChannelMajor(const Matrix &x, unsigned bits,
+                                       size_t group_size = 128);
 
 /**
  * Quantize activations X[k][n] (channels x tokens) to MX-INT-b with

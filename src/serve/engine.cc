@@ -65,7 +65,7 @@ ServeEngine::runBatch(const std::vector<Pending> &batch, ServeReport &report)
 
     std::vector<double> checksums(batch.size(), 0.0);
     for (size_t li = 0; li < packed_->plans.size(); ++li) {
-        const PackedExecPlan &plan = packed_->plans[li];
+        const PackedExecPlan &plan = *packed_->plans[li];
         const size_t k = plan.rows();
 
         // Coalesce the batch's activation columns for this layer.
@@ -83,15 +83,32 @@ ServeEngine::runBatch(const std::vector<Pending> &batch, ServeReport &report)
 
         // Quantize iActs (token groups are independent, so batched
         // quantization equals per-request quantization bit for bit) and
-        // fan the packed GEMM's token tiles across the pool.
+        // fan the blocked GEMM's 2D (column-block x token-tile) grid
+        // across the pool. Token tiles alone starve the pool when a
+        // batch is one narrow request; splitting columns keeps every
+        // thread busy at any batch width, and the kernel's fold order
+        // makes the bytes identical under every partition.
         const QuantizedActs acts(x, serve_.actBits, serve_.actGroup);
         Matrix out(plan.cols(), batch_tokens);
-        const size_t tiles =
+        const size_t ttiles =
             (batch_tokens + serve_.tileTokens - 1) / serve_.tileTokens;
-        parallelFor(0, tiles, [&](size_t tile) {
-            const size_t t0 = tile * serve_.tileTokens;
+        const size_t mb = plan.macroBlock();
+        const size_t mbs = (plan.cols() + mb - 1) / mb;
+        size_t tile_cols = serve_.tileCols;
+        if (tile_cols == 0) {
+            const size_t want = 2 * threadCount();
+            const size_t split =
+                ttiles >= want ? 1 : (want + ttiles - 1) / ttiles;
+            tile_cols = ((mbs + split - 1) / split) * mb;
+        }
+        tile_cols = ((tile_cols + mb - 1) / mb) * mb;  // align to MaBs
+        const size_t ctiles = (plan.cols() + tile_cols - 1) / tile_cols;
+        parallelFor(0, ctiles * ttiles, [&](size_t tile) {
+            const size_t c0 = (tile / ttiles) * tile_cols;
+            const size_t c1 = std::min(plan.cols(), c0 + tile_cols);
+            const size_t t0 = (tile % ttiles) * serve_.tileTokens;
             const size_t t1 = std::min(batch_tokens, t0 + serve_.tileTokens);
-            plan.gemmRange(acts, t0, t1, out);
+            plan.gemmBlock(acts, c0, c1, t0, t1, out);
         });
 
         // Per-request output checksums, reduced serially in a fixed

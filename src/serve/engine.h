@@ -36,7 +36,27 @@ struct ServeConfig
 {
     size_t maxBatchRequests = 16; ///< requests coalesced per batch
     size_t maxBatchTokens = 512;  ///< token budget per batch
-    size_t tileTokens = 16;       ///< parallelFor grain (columns per tile)
+
+    /**
+     * Token-tile width of the 2D partition. The blocked kernel walks
+     * the full weight-entry stream once per tile, so wider tiles
+     * amortize it better; 32 matches the micro-kernel's internal token
+     * sub-tile. Parallelism for narrow batches comes from the column
+     * split (`tileCols`), not from shrinking token tiles.
+     */
+    size_t tileTokens = 32;
+
+    /**
+     * Output-column width of the 2D (column-block x token-tile) work
+     * partition, rounded up to the layer's macro-block. 0 picks it
+     * automatically: when a batch is too narrow for its token tiles
+     * alone to fill the pool — the single-low-latency-request case —
+     * columns are split until roughly 2 tasks per thread exist.
+     * Output bytes are identical under every partition (the blocked
+     * kernel's fold order is tile-independent).
+     */
+    size_t tileCols = 0;
+
     unsigned actBits = 8;         ///< iAct precision
     size_t actGroup = 128;        ///< iAct scale-sharing group
     size_t calibTokens = 128;     ///< weight-cache calibration floor

@@ -2,12 +2,84 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "accel/int_dequant.h"
 #include "common/bitstream.h"
 #include "common/logging.h"
+#include "serve/weight_cache.h"
 
 namespace msq {
+
+namespace {
+
+/** Token sub-tile of the blocked micro-kernel: bounds the int32
+ *  accumulator scratch at macroBlock x kTokenTile. */
+constexpr size_t kTokenTile = 32;
+
+} // namespace
+
+/**
+ * Per-ISA clones of the hot accumulation loop: the integer arithmetic
+ * is value-identical on every path, so runtime dispatch (GNU ifunc)
+ * never changes output bytes — it only widens the multiply-accumulate.
+ * Restricted to ELF x86-64 GCC/Clang; elsewhere the plain definition
+ * is used.
+ */
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__)
+#define MSQ_KERNEL_CLONES                                                  \
+    __attribute__((target_clones("avx2", "default")))
+#else
+#define MSQ_KERNEL_CLONES
+#endif
+
+MSQ_KERNEL_CLONES
+void
+PackedExecPlan::accumulateRun(const BlockEntry *entries,
+                              const uint32_t *erow, size_t k0, size_t k1,
+                              const int16_t *iact, size_t pk0, size_t nj,
+                              int32_t *acc)
+{
+    if (nj == kTokenTile) {
+        // Full-width sub-tiles (every tile but a batch's ragged tail):
+        // the constant trip count unrolls into straight-line SIMD.
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const int16_t *aw = iact + (kk - pk0) * kTokenTile;
+            for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
+                const int32_t wv = entries[e].w;
+                int32_t *arow = acc + entries[e].col * kTokenTile;
+                for (size_t j = 0; j < kTokenTile; ++j)
+                    arow[j] += wv * aw[j];
+            }
+        }
+        return;
+    }
+    if (nj == kTokenTile / 2) {
+        // Half-width tiles: ragged batch tails and latency-tuned
+        // configs with tileTokens = 16.
+        constexpr size_t half = kTokenTile / 2;
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const int16_t *aw = iact + (kk - pk0) * half;
+            for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
+                const int32_t wv = entries[e].w;
+                int32_t *arow = acc + entries[e].col * half;
+                for (size_t j = 0; j < half; ++j)
+                    arow[j] += wv * aw[j];
+            }
+        }
+        return;
+    }
+    for (size_t kk = k0; kk < k1; ++kk) {
+        const int16_t *aw = iact + (kk - pk0) * nj;
+        for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
+            const int32_t wv = entries[e].w;
+            int32_t *arow = acc + entries[e].col * nj;
+            for (size_t j = 0; j < nj; ++j)
+                arow[j] += wv * aw[j];
+        }
+    }
+}
 
 bool
 PackedExecPlan::executable(const MsqConfig &config)
@@ -76,6 +148,116 @@ PackedExecPlan::PackedExecPlan(const PackedLayer &layer)
         }
         outlierRow_.push_back(static_cast<uint32_t>(outliers_.size()));
     }
+
+    buildBlockedPlane(layer);
+}
+
+void
+PackedExecPlan::buildBlockedPlane(const PackedLayer &layer)
+{
+    const unsigned bb = layer.config().inlierBits;
+    const size_t panels = panelCount();
+    MSQ_ASSERT(std::min(macroBlock_, cols_) <= 65535,
+               "macro-block too wide for 16-bit entry columns");
+
+    // A-priori spread bound for pure-inlier tiles (iActs are at most
+    // 8-bit, see QuantizedActs). The classification below gates tiles
+    // on the exact shifted magnitudes — which also covers outlier
+    // mantissas of any width — so the static bound only sanity-checks
+    // that the configuration leaves any integer budget at all.
+    const int max_shift = std::min(maxPanelShift(bb, 8, panelK_),
+                                   15 - static_cast<int>(bb - 1));
+    MSQ_ASSERT(max_shift >= 0, "blocked kernel shift budget exhausted");
+
+    // Zero-free CSR per macro-block column stripe, ordered by
+    // (k, inliers before outliers). Every term carries its own
+    // power-of-two exponent: Isf for inlier codes, Osf - M for merged
+    // outlier mantissas (recovered exactly from the precomputed scale).
+    entryRow_.assign(macroPerRow_ * (rows_ + 1), 0);
+    for (size_t mb = 0; mb < macroPerRow_; ++mb) {
+        uint32_t *erow = entryRow_.data() + mb * (rows_ + 1);
+        // Offsets are global entry indices; each stripe's CSR starts at
+        // the running total.
+        erow[0] = static_cast<uint32_t>(entries_.size());
+        const size_t mbc0 = mb * macroBlock_;
+        const size_t mbc1 = std::min(cols_, mbc0 + macroBlock_);
+        for (size_t k = 0; k < rows_; ++k) {
+            const int8_t *inl = inlier_.data() + k * cols_;
+            const int8_t isf = layer.isf(k, mb);
+            for (size_t c = mbc0; c < mbc1; ++c) {
+                if (inl[c] == 0)
+                    continue;
+                BlockEntry entry;
+                entry.col = static_cast<uint16_t>(c - mbc0);
+                entry.w = inl[c];
+                entries_.push_back(entry);
+                entryExp_.push_back(isf);
+            }
+            for (uint32_t t = outlierRow_[k]; t < outlierRow_[k + 1];
+                 ++t) {
+                const OutlierTerm &term = outliers_[t];
+                if (term.col < mbc0 || term.col >= mbc1)
+                    continue;
+                BlockEntry entry;
+                entry.col = static_cast<uint16_t>(term.col - mbc0);
+                entry.w = static_cast<int16_t>(term.mant);
+                entries_.push_back(entry);
+                entryExp_.push_back(
+                    static_cast<int16_t>(std::ilogb(term.scale)));
+            }
+            erow[k + 1] = static_cast<uint32_t>(entries_.size());
+        }
+    }
+
+    // Classify every (k-panel, MaB) tile and pre-shift Int tiles to
+    // their minimum exponent — the software analog of the shift
+    // alignment the PE/ReCoN scaling performs (Fig. 6). A tile stays
+    // on the integer path iff every shifted magnitude fits int16 and
+    // the worst-case run dot product fits int32.
+    tileExp_.assign(panels * macroPerRow_, 0);
+    tileTag_.assign(panels * macroPerRow_, TileTag::Zero);
+    for (size_t p = 0; p < panels; ++p) {
+        const size_t pk0 = p * panelK_;
+        const size_t pk1 = std::min(rows_, pk0 + panelK_);
+        for (size_t mb = 0; mb < macroPerRow_; ++mb) {
+            const uint32_t *erow = entryRow_.data() + mb * (rows_ + 1);
+            const uint32_t e0 = erow[pk0];
+            const uint32_t e1 = erow[pk1];
+            if (e0 == e1) {
+                blockStats_.zeroTiles++;
+                continue;  // all-pruned tile: skipped at execution
+            }
+            int emin = entryExp_[e0];
+            for (uint32_t e = e0 + 1; e < e1; ++e)
+                emin = std::min(emin, static_cast<int>(entryExp_[e]));
+            int64_t max_shifted = 0;
+            for (uint32_t e = e0; e < e1; ++e) {
+                const int shift = entryExp_[e] - emin;
+                const int64_t mag =
+                    shift >= 62
+                        ? INT64_MAX
+                        : (std::abs(int64_t{entries_[e].w}) << shift);
+                max_shifted = std::max(max_shifted, mag);
+            }
+            const bool int_safe =
+                max_shifted <= 32767 &&
+                max_shifted * 127 * static_cast<int64_t>(pk1 - pk0) <=
+                    2147483647;
+            if (!int_safe) {
+                tileTag_[p * macroPerRow_ + mb] = TileTag::Scalar;
+                blockStats_.scalarTiles++;
+                continue;  // entries keep their raw values
+            }
+            tileTag_[p * macroPerRow_ + mb] = TileTag::Int;
+            tileExp_[p * macroPerRow_ + mb] = static_cast<int16_t>(emin);
+            blockStats_.intTiles++;
+            // Multiply instead of <<: a shifted value may be negative,
+            // and the magnitude check above guarantees no overflow.
+            for (uint32_t e = e0; e < e1; ++e)
+                entries_[e].w = static_cast<int16_t>(
+                    entries_[e].w * (int32_t{1} << (entryExp_[e] - emin)));
+        }
+    }
 }
 
 Matrix
@@ -128,13 +310,158 @@ Matrix
 PackedExecPlan::gemm(const QuantizedActs &acts) const
 {
     Matrix out(cols_, acts.tokens());
-    gemmRange(acts, 0, acts.tokens(), out);
+    gemmBlock(acts, 0, cols_, 0, acts.tokens(), out);
     return out;
 }
 
 void
 PackedExecPlan::gemmRange(const QuantizedActs &acts, size_t t0, size_t t1,
                           Matrix &out) const
+{
+    gemmBlock(acts, 0, cols_, t0, t1, out);
+}
+
+void
+PackedExecPlan::gemmBlock(const QuantizedActs &acts, size_t c0, size_t c1,
+                          size_t t0, size_t t1, Matrix &out) const
+{
+    MSQ_ASSERT(acts.channels() == rows_,
+               "GEMM reduction dimension mismatch");
+    MSQ_ASSERT(out.rows() == cols_ && out.cols() == acts.tokens(),
+               "packed-exec output shape mismatch");
+    MSQ_ASSERT(t0 <= t1 && t1 <= acts.tokens(),
+               "token range out of bounds");
+    MSQ_ASSERT(c0 <= c1 && c1 <= cols_, "column range out of bounds");
+    if (c0 == c1 || t0 == t1)
+        return;
+
+    const size_t agroup = acts.group();
+    const size_t groups = acts.groups();
+    const size_t panels = panelCount();
+    const size_t mb0 = c0 / macroBlock_;
+    const size_t mb1 = (c1 - 1) / macroBlock_ + 1;
+    const size_t mb_width = std::min(macroBlock_, cols_);
+
+    // Scratch: int32 accumulators for one (tile, run), the panel's
+    // staged int16 iAct rows, per-(group, token) double scales, and the
+    // run's combined 2^(Isf + Asf) row.
+    std::vector<int32_t> acc(mb_width * kTokenTile);
+    std::vector<int16_t> iact(panelK_ * kTokenTile);
+    std::vector<double> ascale(groups * kTokenTile);
+    std::vector<double> comb(kTokenTile);
+
+    for (size_t tt = t0; tt < t1; tt += kTokenTile) {
+        const size_t nj = std::min(kTokenTile, t1 - tt);
+
+        // 2^Asf of every (channel group, token) of this sub-tile.
+        for (size_t g = 0; g < groups; ++g) {
+            const int8_t *exps = acts.groupScaleExps(g) + tt;
+            double *as = ascale.data() + g * nj;
+            for (size_t j = 0; j < nj; ++j)
+                as[j] = std::ldexp(1.0, exps[j]);
+        }
+
+        for (size_t p = 0; p < panels; ++p) {
+            const size_t pk0 = p * panelK_;
+            const size_t pk1 = std::min(rows_, pk0 + panelK_);
+
+            // Stage the panel's iAct codes once, widened to int16, so
+            // the inner product is a pure int16 x int16 -> int32
+            // multiply-accumulate shared by every macro-block below.
+            for (size_t k = pk0; k < pk1; ++k) {
+                const int8_t *arow = acts.channelCodes(k) + tt;
+                int16_t *srow = iact.data() + (k - pk0) * nj;
+                for (size_t j = 0; j < nj; ++j)
+                    srow[j] = arow[j];
+            }
+
+            for (size_t mb = mb0; mb < mb1; ++mb) {
+                const size_t mbc0 = mb * macroBlock_;
+                const size_t mbc1 = std::min(cols_, mbc0 + macroBlock_);
+                const size_t lo = std::max(c0, mbc0);
+                const size_t hi = std::min(c1, mbc1);
+                const uint32_t *erow = entryRow_.data() + mb * (rows_ + 1);
+                const TileTag tag = tileTag_[p * macroPerRow_ + mb];
+
+                if (tag == TileTag::Int) {
+                    const double tscale = std::ldexp(
+                        1.0, tileExp_[p * macroPerRow_ + mb]);
+                    // Runs split at act-group boundaries so every run
+                    // shares one 2^(Isf + Asf) per token; partials fold
+                    // in ascending-k order whatever the tiling.
+                    size_t k = pk0;
+                    while (k < pk1) {
+                        const size_t g = k / agroup;
+                        const size_t ke =
+                            std::min(pk1, (g + 1) * agroup);
+                        if (erow[ke] == erow[k]) {
+                            k = ke;
+                            continue;  // no codes in this run
+                        }
+                        std::memset(acc.data(), 0,
+                                    (mbc1 - mbc0) * nj * sizeof(int32_t));
+                        accumulateRun(entries_.data(), erow, k, ke,
+                                      iact.data(), pk0, nj, acc.data());
+                        // One exact power-of-two scale per partial
+                        // (2^Isf x 2^Asf is itself a power of two, so
+                        // the hoisted product stays exact).
+                        const double *as = ascale.data() + g * nj;
+                        for (size_t j = 0; j < nj; ++j)
+                            comb[j] = tscale * as[j];
+                        for (size_t cc = lo - mbc0; cc < hi - mbc0;
+                             ++cc) {
+                            const int32_t *arow = acc.data() + cc * nj;
+                            double *orow =
+                                out.rowPtr(mbc0 + cc) + tt;
+                            for (size_t j = 0; j < nj; ++j)
+                                orow[j] +=
+                                    static_cast<double>(arow[j]) *
+                                    comb[j];
+                        }
+                        k = ke;
+                    }
+                } else if (tag == TileTag::Scalar) {
+                    // Exponent spread above the integer budget: exact
+                    // per-term fallback, each entry applying its own
+                    // power-of-two weight scale, in ascending-k order.
+                    for (size_t kk = pk0; kk < pk1; ++kk) {
+                        if (erow[kk + 1] == erow[kk])
+                            continue;
+                        const int16_t *aw = iact.data() + (kk - pk0) * nj;
+                        const double *as =
+                            ascale.data() + (kk / agroup) * nj;
+                        for (uint32_t e = erow[kk]; e < erow[kk + 1];
+                             ++e) {
+                            const size_t c = mbc0 + entries_[e].col;
+                            if (c < lo || c >= hi)
+                                continue;
+                            const int32_t wv = entries_[e].w;
+                            const double escale =
+                                std::ldexp(1.0, entryExp_[e]);
+                            double *orow = out.rowPtr(c) + tt;
+                            for (size_t j = 0; j < nj; ++j)
+                                orow[j] +=
+                                    static_cast<double>(wv * aw[j]) *
+                                    (escale * as[j]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+Matrix
+PackedExecPlan::referenceGemm(const QuantizedActs &acts) const
+{
+    Matrix out(cols_, acts.tokens());
+    referenceGemmRange(acts, 0, acts.tokens(), out);
+    return out;
+}
+
+void
+PackedExecPlan::referenceGemmRange(const QuantizedActs &acts, size_t t0,
+                                   size_t t1, Matrix &out) const
 {
     MSQ_ASSERT(acts.channels() == rows_,
                "GEMM reduction dimension mismatch");
@@ -143,8 +470,8 @@ PackedExecPlan::gemmRange(const QuantizedActs &acts, size_t t0, size_t t1,
     MSQ_ASSERT(t0 <= t1 && t1 <= acts.tokens(), "token range out of bounds");
 
     const size_t n = t1 - t0;
-    // Channel-major staging of the iAct codes and group scales: the act
-    // container is token-major, the reduction walks channels.
+    // Channel-major staging of the iAct codes and group scales: the
+    // reduction walks channels.
     std::vector<int32_t> ia(n);
     std::vector<double> ascale(n);
     const size_t agroup = acts.group();
@@ -197,7 +524,7 @@ packedExecBackend()
     return [](const PackedLayer &layer, const Matrix &x) -> Matrix {
         if (!PackedExecPlan::executable(layer.config()))
             return Matrix();
-        return PackedExecPlan(layer).matmulT(x);
+        return getExecPlan(layer)->matmulT(x);
     };
 }
 

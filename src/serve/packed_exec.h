@@ -5,22 +5,42 @@
  * metadata — the Fig. 5 bit stream is the executable artifact; a dense
  * dequantized weight matrix is never materialized.
  *
- * The plan decodes each row of codes once, at weight-load time, into
- * exactly what a weight-stationary PE row holds in its registers:
+ * The plan decodes each layer once, at weight-load time, into two
+ * representations:
  *
- *  - the sign-extended inlier codes (int8, 0 at pruned and outlier
- *    slots), multiplied per token by the iAct exactly as the
- *    multi-precision PE does (peInlierProduct in accel/int_dequant.h
- *    proves the equivalence),
- *  - the per-macro-block power-of-two inlier scale 2^Isf,
- *  - per outlier, the ReCoN-merged hidden-bit mantissa +/-(2^M + m)
- *    and its power-of-two exponent Osf - M.
+ *  - the *scalar* plane (sign-extended int8 inlier codes + per
+ *    macro-block 2^Isf + a per-row outlier CSR), executed by
+ *    `referenceGemm` / `matmulT`. This is the original per-term
+ *    dataflow whose real-activation path is bit-identical to
+ *    `dequantAll()` + float GEMM (see docs/DESIGN.md, "Packed
+ *    execution"); it survives as the oracle the kernel tests and
+ *    benchmarks diff against.
  *
- * Every output element is a sum of integer products scaled by powers of
- * two. Each such term is exactly representable in a double, so the
- * packed-execution outputs are bit-identical to the reference
- * `dequantAll()` + float GEMM (see docs/DESIGN.md, "Packed execution");
- * tests/test_serve.cc enforces exact equality.
+ *  - the *blocked* integer plane executed by `gemm` / `gemmBlock`, a
+ *    software mirror of the paper's PE dataflow (Fig. 6): the weight
+ *    plane is cut into (k-panel x macro-block) tiles; within a tile
+ *    every nonzero weight term — inlier code or ReCoN-merged outlier
+ *    mantissa — is stored as a zero-free CSR entry whose value is
+ *    pre-shifted by its exponent distance (Isf, or Osf - M for
+ *    outliers) to the tile's minimum exponent (the shift-alignment
+ *    ReCoN/PE scaling performs in hardware), so one micro-kernel
+ *    accumulates code x iAct products in int32 and applies the
+ *    combined power-of-two scale 2^(Isf + Asf) exactly ONCE per
+ *    (tile, act-group, token) partial. Integer accumulation is
+ *    rounding-free; an int32/int16 overflow-safety bound (the a-priori
+ *    form is accel/int_dequant.h maxPanelShift; the build also checks
+ *    the exact shifted magnitudes) is enforced per tile, and tiles
+ *    whose exponent spread exceeds it fall back to the exact scalar
+ *    path.
+ *
+ * Every partial is an integer times a power of two — exactly
+ * representable in a double — and partials are folded into each output
+ * element in one fixed hierarchical order (k-panels ascending, runs
+ * ascending, then the panel's outliers), so blocked outputs are
+ * bit-identical across any (column-block x token-tile) partition and
+ * any thread count. Against the reference they agree to the last few
+ * ulps (both paths sum exactly-representable terms, in different
+ * orders); tests/test_packed_kernel.cc enforces both properties.
  *
  * Only configurations whose packed layer fully encodes the quantized
  * values are executable: the default MxFpShared mode with
@@ -56,11 +76,27 @@ class PackedExecPlan
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
 
+    /** Macro-block width of the blocked plane (the natural column-tile
+     *  grain for 2D work partitioning). */
+    size_t macroBlock() const { return macroBlock_; }
+
+    /** K-panel height of the blocked plane. */
+    size_t panelRows() const { return panelK_; }
+
     /** Nonzero weight terms — integer MACs per activation column. */
     size_t termCount() const { return termCount_; }
 
     /** Outliers decoded into merged terms. */
     size_t outlierCount() const { return outliers_.size(); }
+
+    /** Composition of the blocked plane, for tests and benchmarks. */
+    struct BlockStats
+    {
+        size_t intTiles = 0;    ///< int32-accumulated (k-panel, MaB) tiles
+        size_t scalarTiles = 0; ///< exponent spread above the int32 bound
+        size_t zeroTiles = 0;   ///< all codes pruned/zero — skipped
+    };
+    const BlockStats &blockStats() const { return blockStats_; }
 
     /**
      * Y = W^T X over real-valued activations X[k][n], bit-identical to
@@ -78,17 +114,40 @@ class PackedExecPlan
                       Matrix &out) const;
 
     /**
-     * Integer-activation GEMM: Y = W^T X from quantized iActs, every
-     * product an integer code x code multiply scaled by 2^(Isf + Asf)
-     * (or Osf for merged outliers) — the serving hot path. Output is
-     * cols() x tokens, bit-identical (as values) to the dequantized
-     * reference; only signs of exact-zero outputs may differ.
+     * Integer-activation GEMM through the blocked kernel — the serving
+     * hot path. Output is cols() x tokens; equal to referenceGemm() up
+     * to the last ulps of each element (both sum the same exact terms,
+     * the blocked path in rounding-free int32 partials).
      */
     Matrix gemm(const QuantizedActs &acts) const;
 
     /** Token range [t0, t1) of gemm, accumulated into `out`. */
     void gemmRange(const QuantizedActs &acts, size_t t0, size_t t1,
                    Matrix &out) const;
+
+    /**
+     * Output tile [c0, c1) x [t0, t1) of gemm, accumulated into `out`
+     * (cols() x acts.tokens(), zero in the tile). Every partition into
+     * tiles — column ranges need not align to macro-blocks — produces
+     * the same bytes as the full call, so disjoint tiles may run
+     * concurrently; aligning c0/c1 to macroBlock() avoids recomputing
+     * partials of straddled tiles.
+     */
+    void gemmBlock(const QuantizedActs &acts, size_t c0, size_t c1,
+                   size_t t0, size_t t1, Matrix &out) const;
+
+    /**
+     * The original scalar packed-execution GEMM, kept as the oracle:
+     * every code x iAct product multiplied out to double, one term at a
+     * time in k-ascending order — bit-identical (as values) to the
+     * `dequantAll()` + float reference; only signs of exact-zero
+     * outputs may differ.
+     */
+    Matrix referenceGemm(const QuantizedActs &acts) const;
+
+    /** Token range [t0, t1) of referenceGemm, accumulated into `out`. */
+    void referenceGemmRange(const QuantizedActs &acts, size_t t0,
+                            size_t t1, Matrix &out) const;
 
   private:
     /** One ReCoN-merged outlier: weight = mant * 2^exp = weightValue. */
@@ -100,22 +159,80 @@ class PackedExecPlan
         double weight = 0.0;   ///< mant * scale (exact product)
     };
 
+    /**
+     * One zero-free entry of a blocked (k-panel x MaB) tile: an inlier
+     * code or a ReCoN-merged outlier mantissa. In Int tiles `w` is
+     * pre-shifted by the entry's exponent distance to the tile minimum
+     * (outliers simply carry larger shifts); in Scalar tiles `w` stays
+     * raw and the per-entry exponent sideband (`entryExp_`) is applied
+     * at execution.
+     */
+    struct BlockEntry
+    {
+        uint16_t col = 0; ///< column offset within the macro-block
+        int16_t w = 0;    ///< integer weight value (shifted in Int tiles)
+    };
+
+    /** Tile execution modes (one byte per (k-panel, MaB) tile). */
+    enum class TileTag : uint8_t
+    {
+        Zero,   ///< no nonzero codes — contributes nothing, skipped
+        Int,    ///< int32-accumulated entries, spread within the bound
+        Scalar, ///< spread above maxPanelShift — exact per-term fallback
+    };
+
+    /** Number of k-panels: ceil(rows / panelK_). */
+    size_t panelCount() const { return (rows_ + panelK_ - 1) / panelK_; }
+
+    void buildBlockedPlane(const PackedLayer &layer);
+
+    /**
+     * The micro-kernel's int32 accumulation over one run: every entry
+     * of rows [k0, k1) of a stripe's CSR, multiplied by the staged
+     * int16 iAct rows, accumulated into `acc` (macro-block offset x
+     * nj). Kept out of line so the build can emit per-ISA clones — the
+     * arithmetic is integer-exact, so every clone produces identical
+     * bytes.
+     */
+    static void accumulateRun(const BlockEntry *entries,
+                              const uint32_t *erow, size_t k0, size_t k1,
+                              const int16_t *iact, size_t pk0, size_t nj,
+                              int32_t *acc);
+
     size_t rows_ = 0;
     size_t cols_ = 0;
     size_t macroBlock_ = 0;
     size_t macroPerRow_ = 0;
     size_t termCount_ = 0;
+
+    // Scalar plane (reference oracle + real-activation path).
     std::vector<int8_t> inlier_;       ///< rows x cols sign-extended codes
     std::vector<double> macroScale_;   ///< rows x macroPerRow: 2^Isf
     std::vector<OutlierTerm> outliers_;
     std::vector<uint32_t> outlierRow_; ///< CSR offsets, rows_ + 1 entries
+
+    // Blocked plane (serving hot path). Entries — inlier codes AND
+    // merged outlier mantissas — are stored macro-block major: all of
+    // MaB mb's terms over every k, ordered by (k, inliers before
+    // outliers), with `entryRow_[mb * (rows_ + 1) + k]` delimiting row
+    // k's slice — one zero-free CSR per weight-plane column stripe, so
+    // a (k-panel x MaB) micro-kernel streams a contiguous range.
+    size_t panelK_ = 128;              ///< k rows per panel
+    std::vector<BlockEntry> entries_;
+    std::vector<int16_t> entryExp_;    ///< per entry: 2^exp weight scale
+    std::vector<uint32_t> entryRow_;   ///< macroPerRow x (rows_+1)
+    std::vector<int16_t> tileExp_;     ///< panels x macroPerRow: min exp
+    std::vector<TileTag> tileTag_;     ///< panels x macroPerRow
+    BlockStats blockStats_;
 };
 
 /**
  * Packed-execution backend for `evaluateMethodOnModel` (set it on
- * `PipelineConfig::packedExec`): runs the layer through a
- * PackedExecPlan, or returns an empty matrix when the config is not
- * packed-executable so the pipeline falls back to the dequantized path.
+ * `PipelineConfig::packedExec`): runs the layer through a memoized
+ * PackedExecPlan (serve/weight_cache.h getExecPlan — repeated
+ * evaluations of one quantized layer decode it once), or returns an
+ * empty matrix when the config is not packed-executable so the pipeline
+ * falls back to the dequantized path.
  */
 PackedExecBackend packedExecBackend();
 

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <list>
 #include <map>
 #include <mutex>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -37,20 +39,24 @@ cacheKey(const ModelProfile &model, const MsqConfig &config,
 void
 finalizePackedModel(PackedModel &model)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     model.plans.clear();
     model.plans.reserve(model.layers.size());
     model.termsPerToken = 0;
     double ebw_acc = 0.0;
     double params_acc = 0.0;
     for (const PackedLayer &layer : model.layers) {
-        model.plans.emplace_back(layer);
-        model.termsPerToken += model.plans.back().termCount();
+        model.plans.push_back(getExecPlan(layer));
+        model.termsPerToken += model.plans.back()->termCount();
         const double params =
             static_cast<double>(layer.rows() * layer.cols());
         ebw_acc += layer.paperEbw() * params;
         params_acc += params;
     }
     model.meanEbw = ebw_acc / params_acc;
+    model.planMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
 }
 
 /**
@@ -166,11 +172,14 @@ getPackedModel(const ModelProfile &model, const MsqConfig &config,
             saveToDisk(container_path, model, config, calib_tokens, *built);
     }
 
-    finalizePackedModel(*built);
+    // Plan decode is accounted separately (planMs): it is not part of
+    // the quantize-vs-load trade the cold-start trajectory tracks, and
+    // the plan cache may satisfy it without any work at all.
     built->buildMs =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
+    finalizePackedModel(*built);
 
     std::lock_guard<std::mutex> lock(packed_mutex);
     auto [it, inserted] = packed_cache.emplace(key, built);
@@ -178,11 +187,141 @@ getPackedModel(const ModelProfile &model, const MsqConfig &config,
     return it->second;
 }
 
+namespace {
+
+/** 128-bit content fingerprint of everything a PackedExecPlan decodes. */
+struct PlanKey
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator<(const PlanKey &o) const
+    {
+        return lo != o.lo ? lo < o.lo : hi < o.hi;
+    }
+};
+
+/** Two independently seeded FNV-1a streams over the same bytes. */
+struct PlanHasher
+{
+    uint64_t a = 14695981039346656037ull;
+    uint64_t b = 0x9e3779b97f4a7c15ull;
+
+    void bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            a = (a ^ p[i]) * 1099511628211ull;
+            b = (b ^ (p[i] + 0x9e37u)) * 0x100000001b3ull;
+        }
+    }
+    void value(uint64_t v) { bytes(&v, sizeof(v)); }
+};
+
+PlanKey
+planKey(const PackedLayer &layer)
+{
+    PlanHasher h;
+    const std::string cfg = configKey(layer.config());
+    h.bytes(cfg.data(), cfg.size());
+    h.value(layer.rows());
+    h.value(layer.cols());
+    for (size_t r = 0; r < layer.rows(); ++r) {
+        h.bytes(layer.codeRow(r), layer.cols());
+        h.bytes(layer.kindRow(r), layer.cols() * sizeof(SlotKind));
+        h.bytes(layer.isfRow(r), layer.macroPerRow());
+        const MicroBlockMeta *micro = layer.microRow(r);
+        for (size_t ub = 0; ub < layer.microPerRow(); ++ub) {
+            const MicroBlockMeta &meta = micro[ub];
+            h.value(meta.hasOutliers ? (0x100u | meta.mxScale) : 0u);
+            for (const PermEntry &entry : meta.perm)
+                h.value((uint64_t{entry.upperLoc} << 8) | entry.lowerLoc);
+        }
+    }
+    return {h.a, h.b};
+}
+
+/** LRU plan cache: map into an access-ordered list. */
+std::list<std::pair<PlanKey, PackedExecPlanPtr>> plan_lru;
+std::map<PlanKey,
+         std::list<std::pair<PlanKey, PackedExecPlanPtr>>::iterator>
+    plan_cache;
+size_t plan_capacity = 64;
+std::mutex plan_mutex;
+
+} // namespace
+
+PackedExecPlanPtr
+getExecPlan(const PackedLayer &layer)
+{
+    const PlanKey key = planKey(layer);
+    {
+        std::lock_guard<std::mutex> lock(plan_mutex);
+        auto it = plan_cache.find(key);
+        if (it != plan_cache.end()) {
+            plan_lru.splice(plan_lru.begin(), plan_lru, it->second);
+            return it->second->second;
+        }
+    }
+
+    // Decode outside the lock: plans of distinct layers build
+    // concurrently; on a racing miss the first insert wins.
+    auto plan = std::make_shared<const PackedExecPlan>(layer);
+
+    std::lock_guard<std::mutex> lock(plan_mutex);
+    auto it = plan_cache.find(key);
+    if (it != plan_cache.end()) {
+        plan_lru.splice(plan_lru.begin(), plan_lru, it->second);
+        return it->second->second;
+    }
+    if (plan_capacity == 0)
+        return plan;
+    plan_lru.emplace_front(key, plan);
+    plan_cache.emplace(key, plan_lru.begin());
+    while (plan_cache.size() > plan_capacity) {
+        plan_cache.erase(plan_lru.back().first);
+        plan_lru.pop_back();
+    }
+    return plan;
+}
+
+void
+clearExecPlanCache()
+{
+    std::lock_guard<std::mutex> lock(plan_mutex);
+    plan_cache.clear();
+    plan_lru.clear();
+}
+
+size_t
+execPlanCacheSize()
+{
+    std::lock_guard<std::mutex> lock(plan_mutex);
+    return plan_cache.size();
+}
+
+void
+setExecPlanCacheCapacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(plan_mutex);
+    plan_capacity = capacity;
+    while (plan_cache.size() > plan_capacity) {
+        plan_cache.erase(plan_lru.back().first);
+        plan_lru.pop_back();
+    }
+}
+
 void
 clearPackedModelCache()
 {
-    std::lock_guard<std::mutex> lock(packed_mutex);
-    packed_cache.clear();
+    {
+        std::lock_guard<std::mutex> lock(packed_mutex);
+        packed_cache.clear();
+    }
+    // Dropping deployments without their decoded plans would leave the
+    // plan LRU pinning the bulk of the memory; live engines keep their
+    // plans alive through the PackedModel shared_ptrs regardless.
+    clearExecPlanCache();
 }
 
 size_t

@@ -36,16 +36,20 @@
 
 namespace msq {
 
+/** Shared immutable execution plan (see getExecPlan). */
+using PackedExecPlanPtr = std::shared_ptr<const PackedExecPlan>;
+
 /** One deployed model: packed layers + execution plans, immutable. */
 struct PackedModel
 {
     std::string model;               ///< profile name
     MsqConfig config;
     std::vector<PackedLayer> layers; ///< one per representative layer
-    std::vector<PackedExecPlan> plans;
+    std::vector<PackedExecPlanPtr> plans;
     size_t termsPerToken = 0;        ///< integer MACs per activation column
     double meanEbw = 0.0;            ///< parameter-weighted Eq. 4 EBW
-    double buildMs = 0.0;            ///< quantize (or load) + decode wall time
+    double buildMs = 0.0;            ///< quantize (or load) wall time
+    double planMs = 0.0;             ///< blocked-plan decode wall time
     std::string source;              ///< "quantize" or "disk"
 };
 
@@ -79,11 +83,40 @@ std::string packedModelCacheFile(const ModelProfile &model,
                                  const MsqConfig &config,
                                  size_t calib_tokens);
 
-/** Drop all cached deployments. */
+/** Drop all cached deployments (and the execution-plan cache: plans
+ *  held by live deployments survive through their shared_ptrs). */
 void clearPackedModelCache();
 
 /** Number of cached deployments. */
 size_t packedModelCacheSize();
+
+/**
+ * Get (or decode and cache) the execution plan of one packed layer.
+ *
+ * Decoding a PackedExecPlan builds the blocked integer plane — a full
+ * pass over the layer — so repeated executions of the same quantized
+ * layer (every pipeline evaluation through `packedExecBackend()`, every
+ * engine deployed on a cached PackedModel) must pay it once, not per
+ * call. Entries are content-addressed: the key is a 128-bit fingerprint
+ * of everything a plan decodes (config, shape, code/kind/Isf planes,
+ * micro-block outlier metadata), so two bit-identical layers — however
+ * they were produced — share one plan. Thread safe; least recently used
+ * entries are evicted beyond the capacity, but handed-out plans stay
+ * alive through their shared_ptr.
+ *
+ * @pre PackedExecPlan::executable(layer.config())
+ */
+PackedExecPlanPtr getExecPlan(const PackedLayer &layer);
+
+/** Drop all cached execution plans. */
+void clearExecPlanCache();
+
+/** Number of cached execution plans. */
+size_t execPlanCacheSize();
+
+/** Set the plan cache's LRU capacity (default 64; 0 disables caching —
+ *  every call decodes afresh). */
+void setExecPlanCacheCapacity(size_t capacity);
 
 } // namespace msq
 

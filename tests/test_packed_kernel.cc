@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Boundary grid and determinism sweep of the blocked integer serving
+ * kernel (serve/packed_exec.h, `gemm`/`gemmBlock`):
+ *
+ *  - ragged shapes (columns not a multiple of the macro-/micro-block,
+ *    rows not a multiple of the k-panel),
+ *  - all-pruned macro-blocks, outlier-free and outlier-dense rows,
+ *  - every inlierBits x actBits combination, driven to the int32
+ *    overflow-safety bound with adversarial exponent spreads and
+ *    max-magnitude codes (including the scalar-fallback path for
+ *    spreads the bound rejects),
+ *  - bit-identical outputs across every 2D tile partition and across
+ *    MSQ_THREADS in {1, 2, 8} through the serving engine.
+ *
+ * Everything is diffed against the scalar oracle `referenceGemm` (in
+ * turn bit-identical to dequantAll() + float GEMM, see test_serve.cc)
+ * and against the dequantized float GEMM directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "accel/int_dequant.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/microscopiq.h"
+#include "serve/engine.h"
+#include "serve/packed_exec.h"
+#include "serve/weight_cache.h"
+
+namespace msq {
+namespace {
+
+Matrix
+fmWeights(size_t k, size_t o, Rng &rng, double outlier_rate)
+{
+    Matrix w(k, o);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.gaussian(0.0, 0.02);
+            if (rng.bernoulli(outlier_rate))
+                v = rng.uniform(0.15, 0.5) * (rng.bernoulli(0.5) ? 1 : -1);
+            w(r, c) = v;
+        }
+    }
+    return w;
+}
+
+Matrix
+randomActs(size_t k, size_t tokens, Rng &rng)
+{
+    Matrix x(k, tokens);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t t = 0; t < tokens; ++t)
+            x(r, t) = rng.gaussian(0.0, 1.0);
+    return x;
+}
+
+void
+expectBitIdentical(const Matrix &got, const Matrix &want)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (size_t r = 0; r < got.rows(); ++r)
+        for (size_t c = 0; c < got.cols(); ++c)
+            ASSERT_EQ(got(r, c), want(r, c))
+                << "mismatch at (" << r << "," << c << ")";
+}
+
+void
+expectUlpClose(const Matrix &got, const Matrix &want)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    const double tol = std::max(want.maxAbs(), 1.0) * 1e-12;
+    for (size_t r = 0; r < got.rows(); ++r)
+        for (size_t c = 0; c < got.cols(); ++c)
+            ASSERT_NEAR(got(r, c), want(r, c), tol)
+                << "mismatch at (" << r << "," << c << ")";
+}
+
+/**
+ * Check every execution path of one (plan, acts) pair: the blocked
+ * kernel against the scalar oracle and the dequantized float GEMM,
+ * plus bit-identity of gemm under ragged 2D tile partitions.
+ */
+void
+expectKernelAgrees(const PackedLayer &layer, const PackedExecPlan &plan,
+                   const Matrix &x, unsigned act_bits, size_t act_group)
+{
+    const QuantizedActs acts(x, act_bits, act_group);
+    const size_t tokens = acts.tokens();
+    const size_t cols = plan.cols();
+
+    const Matrix oracle = plan.referenceGemm(acts);
+    const Matrix blocked = plan.gemm(acts);
+    expectUlpClose(blocked, oracle);
+    expectUlpClose(blocked, layer.dequantAll().transposedMatmul(
+                                acts.dequantAll()));
+
+    // Ragged 2D partitions must reproduce the full call bit for bit.
+    const size_t csplit[] = {0, std::min<size_t>(17, cols), cols};
+    const size_t tsplit[] = {0, std::min<size_t>(3, tokens), tokens};
+    Matrix tiled(cols, tokens);
+    for (size_t ci = 0; ci + 1 < 3; ++ci)
+        for (size_t ti = 0; ti + 1 < 3; ++ti)
+            plan.gemmBlock(acts, csplit[ci], csplit[ci + 1], tsplit[ti],
+                           tsplit[ti + 1], tiled);
+    expectBitIdentical(tiled, blocked);
+}
+
+/** Quantize and run the full agreement check. */
+void
+quantizeAndCheck(const MsqConfig &cfg, const Matrix &w, const Matrix &x,
+                 unsigned act_bits, size_t act_group)
+{
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    const PackedExecPlan plan(layer);
+    expectKernelAgrees(layer, plan, x, act_bits, act_group);
+}
+
+TEST(PackedKernel, RaggedShapeGrid)
+{
+    // Columns straddling macro- and micro-block boundaries, rows
+    // below, at, and straddling the k-panel height (128): every
+    // combination must agree with both references.
+    const size_t rows_grid[] = {16, 53, 64, 128, 130};
+    const size_t cols_grid[] = {8, 97, 96, 100};
+    uint64_t seed = 100;
+    for (size_t rows : rows_grid) {
+        for (size_t cols : cols_grid) {
+            MsqConfig cfg;
+            cfg.macroBlock = 32;
+            cfg.microBlock = 8;
+            cfg.hessianCompensation = false;
+            Rng rng(++seed);
+            const Matrix w = fmWeights(rows, cols, rng, 0.05);
+            const Matrix x = randomActs(rows, 9, rng);
+            quantizeAndCheck(cfg, w, x, 8, 32);
+        }
+    }
+}
+
+TEST(PackedKernel, AllPrunedMacroBlocksAreSkipped)
+{
+    // Columns 32..63 are identically zero: their (panel, MaB) tiles
+    // must be classified Zero and skipped, without changing outputs.
+    MsqConfig cfg;
+    cfg.macroBlock = 32;
+    cfg.microBlock = 8;
+    cfg.outlierMode = OutlierMode::None;
+    cfg.hessianCompensation = false;
+    Rng rng(7);
+    Matrix w = fmWeights(96, 96, rng, 0.0);
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 32; c < 64; ++c)
+            w(r, c) = 0.0;
+
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    const PackedExecPlan plan(layer);
+    EXPECT_GE(plan.blockStats().zeroTiles,
+              (96 + plan.panelRows() - 1) / plan.panelRows());
+    const Matrix x = randomActs(96, 5, rng);
+    expectKernelAgrees(layer, plan, x, 8, 32);
+
+    // The zeroed stripe's outputs are exactly zero.
+    const QuantizedActs acts(x, 8, 32);
+    const Matrix out = plan.gemm(acts);
+    for (size_t c = 32; c < 64; ++c)
+        for (size_t t = 0; t < out.cols(); ++t)
+            EXPECT_EQ(out(c, t), 0.0);
+}
+
+TEST(PackedKernel, OutlierFreeAndOutlierDenseRows)
+{
+    // Even k-rows carry no outliers at all; odd k-rows mix the tight
+    // inlier distribution with rare huge values the 3-sigma detector
+    // flags, so outlier-free and outlier-carrying rows interleave
+    // within every k-panel.
+    MsqConfig cfg;
+    cfg.macroBlock = 32;
+    cfg.microBlock = 8;
+    cfg.hessianCompensation = false;
+    Rng rng(21);
+    Matrix w(64, 64);
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t c = 0; c < w.cols(); ++c) {
+            if (r % 2 == 0) {
+                w(r, c) = rng.gaussian(0.0, 0.02);
+            } else {
+                const bool big = rng.bernoulli(0.1);
+                w(r, c) = big ? rng.uniform(0.5, 1.5) *
+                                    (rng.bernoulli(0.5) ? 1 : -1)
+                              : rng.gaussian(0.0, 0.02);
+            }
+        }
+    }
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    const PackedExecPlan plan(layer);
+    EXPECT_GT(plan.outlierCount(), 40u);
+    const Matrix x = randomActs(64, 6, rng);
+    expectKernelAgrees(layer, plan, x, 8, 16);
+}
+
+/**
+ * Weights whose per-row magnitude walks an exponent ramp: row k is
+ * scaled by 2^(k % modulus), so Isf within a 64-row k-panel spreads by
+ * up to modulus - 1. Codes saturate at max magnitude, which together
+ * with max-magnitude activations drives the int32 accumulators toward
+ * the maxPanelShift() bound.
+ */
+Matrix
+rampWeights(size_t rows, size_t cols, int modulus, Rng &rng)
+{
+    Matrix w(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+        const double scale = std::ldexp(1.0, static_cast<int>(r) % modulus);
+        for (size_t c = 0; c < cols; ++c)
+            w(r, c) = scale * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    return w;
+}
+
+/** Max-magnitude activations (codes saturate at +/- qmax). */
+Matrix
+saturatedActs(size_t rows, size_t tokens, Rng &rng)
+{
+    Matrix x(rows, tokens);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t t = 0; t < tokens; ++t)
+            x(r, t) = 8.0 * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    return x;
+}
+
+class OverflowBoundGrid
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+/** The plan's k-panel height, probed from a minimal decoded layer. */
+size_t
+probePanelRows()
+{
+    MsqConfig cfg;
+    cfg.macroBlock = 8;
+    cfg.microBlock = 8;
+    cfg.outlierMode = OutlierMode::None;
+    cfg.hessianCompensation = false;
+    Matrix w(8, 8, 0.5);
+    MicroScopiQQuantizer q(cfg);
+    return PackedExecPlan(q.quantizePacked(w, Matrix())).panelRows();
+}
+
+TEST_P(OverflowBoundGrid, IntTilesNearTheBound)
+{
+    // Exponent spread just inside the int32 bound: every tile must
+    // stay on the integer path and still match both references.
+    const auto [bb, ab] = GetParam();
+    MsqConfig cfg;
+    cfg.inlierBits = bb;
+    cfg.macroBlock = 32;
+    cfg.microBlock = 8;
+    cfg.outlierMode = OutlierMode::None;
+    cfg.hessianCompensation = false;
+
+    const int bound =
+        std::min(maxPanelShift(bb, 8, probePanelRows()),
+                 14 - static_cast<int>(bb - 1));
+    ASSERT_GE(bound, 10);
+    Rng rng(900 + bb * 10 + ab);
+    const Matrix w = rampWeights(128, 64, bound + 1, rng);
+    const Matrix x = saturatedActs(128, 7, rng);
+
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    const PackedExecPlan plan(layer);
+    EXPECT_GT(plan.blockStats().intTiles, 0u);
+    EXPECT_EQ(plan.blockStats().scalarTiles, 0u);
+    expectKernelAgrees(layer, plan, x, ab, 32);
+}
+
+TEST_P(OverflowBoundGrid, ScalarFallbackAboveTheBound)
+{
+    // Exponent spread far beyond the bound: tiles must fall back to
+    // the exact scalar path — and still match both references.
+    const auto [bb, ab] = GetParam();
+    MsqConfig cfg;
+    cfg.inlierBits = bb;
+    cfg.macroBlock = 32;
+    cfg.microBlock = 8;
+    cfg.outlierMode = OutlierMode::None;
+    cfg.hessianCompensation = false;
+
+    Rng rng(1700 + bb * 10 + ab);
+    const Matrix w = rampWeights(96, 48, 40, rng);
+    const Matrix x = saturatedActs(96, 5, rng);
+
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedLayer layer = quantizer.quantizePacked(w, Matrix());
+    const PackedExecPlan plan(layer);
+    EXPECT_GT(plan.blockStats().scalarTiles, 0u);
+    expectKernelAgrees(layer, plan, x, ab, 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsGrid, OverflowBoundGrid,
+    ::testing::Combine(::testing::Values(2u, 4u),
+                       ::testing::Values(2u, 4u, 8u)));
+
+TEST(PackedKernel, BlockStatsCoverThePlane)
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    Rng rng(31);
+    const Matrix w = fmWeights(130, 300, rng, 0.04);
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedExecPlan plan(quantizer.quantizePacked(w, Matrix()));
+    const auto &stats = plan.blockStats();
+    const size_t panels =
+        (130 + plan.panelRows() - 1) / plan.panelRows();
+    const size_t mbs = (300 + cfg.macroBlock - 1) / cfg.macroBlock;
+    EXPECT_EQ(stats.intTiles + stats.scalarTiles + stats.zeroTiles,
+              panels * mbs);
+    EXPECT_GT(stats.intTiles, 0u);
+}
+
+TEST(PackedKernel, TilePartitionSweepIsBitStable)
+{
+    // A dense sweep over tile shapes — token widths, aligned and
+    // unaligned column widths — must reproduce gemm() bit for bit.
+    MsqConfig cfg;
+    cfg.macroBlock = 32;
+    cfg.microBlock = 8;
+    cfg.hessianCompensation = false;
+    Rng rng(47);
+    const Matrix w = fmWeights(130, 100, rng, 0.05);
+    const Matrix x = randomActs(130, 23, rng);
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedExecPlan plan(quantizer.quantizePacked(w, Matrix()));
+    const QuantizedActs acts(x, 8, 32);
+    const Matrix full = plan.gemm(acts);
+
+    const size_t col_widths[] = {1, 7, 32, 33, 100};
+    const size_t tok_widths[] = {1, 5, 23};
+    for (size_t cw : col_widths) {
+        for (size_t tw : tok_widths) {
+            Matrix tiled(100, 23);
+            for (size_t c0 = 0; c0 < 100; c0 += cw)
+                for (size_t t0 = 0; t0 < 23; t0 += tw)
+                    plan.gemmBlock(acts, c0, std::min<size_t>(100, c0 + cw),
+                                   t0, std::min<size_t>(23, t0 + tw),
+                                   tiled);
+            expectBitIdentical(tiled, full);
+        }
+    }
+}
+
+/** A tiny hermetic profile so engine-level sweeps stay fast. */
+ModelProfile
+tinyModel()
+{
+    ModelProfile p;
+    p.name = "tiny-kernel-test";
+    p.kind = ModelKind::Llm;
+    p.layers = {{"proj_a", 64, 96}, {"proj_b", 96, 64}};
+    p.weights = {0.02, 8.0, 0.02, 0.001, 6.0, 14.0};
+    p.acts = {1.0, 0.02, 8.0};
+    p.fpMetric = 6.0;
+    p.seed = 43;
+    return p;
+}
+
+TEST(PackedKernel, EngineChecksumsInvariantAcrossThreadsAndTiles)
+{
+    // The determinism contract, end to end: request output checksums
+    // must be bit-identical across MSQ_THREADS in {1, 2, 8} and across
+    // tile shapes (token-only, narrow 2D, auto 2D partitions).
+    clearPackedModelCache();
+    const ModelProfile model = tinyModel();
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+
+    const unsigned thread_grid[] = {1, 2, 8};
+    const size_t tile_tokens_grid[] = {2, 16};
+    const size_t tile_cols_grid[] = {0, 32, 1 << 20};
+
+    std::vector<double> want;
+    for (unsigned threads : thread_grid) {
+        for (size_t tile_tokens : tile_tokens_grid) {
+            for (size_t tile_cols : tile_cols_grid) {
+                setThreadCount(threads);
+                ServeConfig scfg;
+                scfg.maxBatchRequests = 8;
+                scfg.tileTokens = tile_tokens;
+                scfg.tileCols = tile_cols;
+                ServeEngine engine(model, cfg, scfg);
+                for (uint64_t r = 0; r < 6; ++r)
+                    engine.submit(3 + r % 4, 700 + r);
+                std::vector<double> got;
+                for (const RequestRecord &rec : engine.drain().requests)
+                    got.push_back(rec.outputCheck);
+                if (want.empty()) {
+                    want = got;
+                    ASSERT_EQ(want.size(), 6u);
+                } else {
+                    ASSERT_EQ(got.size(), want.size());
+                    for (size_t i = 0; i < got.size(); ++i)
+                        EXPECT_EQ(got[i], want[i])
+                            << "threads=" << threads
+                            << " tileTokens=" << tile_tokens
+                            << " tileCols=" << tile_cols << " req " << i;
+                }
+            }
+        }
+    }
+    setThreadCount(0);
+    clearPackedModelCache();
+}
+
+TEST(PackedKernel, MaxPanelShiftBound)
+{
+    // The derivation in accel/int_dequant.h, spot-checked: the worst
+    // case magnitude at the returned shift fits int32, one more
+    // doubling may not.
+    const unsigned bb = 4;
+    const unsigned ab = 8;
+    const size_t panel = 64;
+    const int s = maxPanelShift(bb, ab, panel);
+    ASSERT_GT(s, 0);
+    const double worst = static_cast<double>(panel) *
+                         std::ldexp(1.0, static_cast<int>(bb) - 1 + s) *
+                         std::ldexp(1.0, static_cast<int>(ab) - 1);
+    EXPECT_LE(worst, 2147483647.0);
+    EXPECT_GT(2.0 * worst, 1073741824.0);
+
+    // Monotonicity in each argument.
+    EXPECT_LT(maxPanelShift(4, 8, 64), maxPanelShift(2, 8, 64));
+    EXPECT_LT(maxPanelShift(4, 8, 64), maxPanelShift(4, 4, 64));
+    EXPECT_LT(maxPanelShift(4, 8, 128), maxPanelShift(4, 8, 64));
+}
+
+} // namespace
+} // namespace msq

@@ -1,15 +1,19 @@
 /**
  * @file
- * Packed-execution correctness: the serve engine's GEMM straight from
- * Fig. 5 bit-codes must reproduce the dequantAll() + float reference
- * bit for bit across outlier rates, group sizes, bit widths, and
- * prescaling; the batching scheduler must not change a request's bytes;
- * and the pipeline's packed-exec mode must leave every proxy metric
- * unchanged.
+ * Packed-execution correctness: the scalar oracle (`referenceGemm`,
+ * `matmulT`) straight from Fig. 5 bit-codes must reproduce the
+ * dequantAll() + float reference bit for bit across outlier rates,
+ * group sizes, bit widths, and prescaling; the blocked integer kernel
+ * must agree with the oracle to the last ulps and be bit-identical
+ * under every tile partition (the boundary grid and determinism sweep
+ * live in test_packed_kernel.cc); the batching scheduler must not
+ * change a request's bytes; and the pipeline's packed-exec mode must
+ * leave every proxy metric unchanged.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "accel/functional.h"
@@ -59,7 +63,21 @@ expectBitIdentical(const Matrix &got, const Matrix &want)
                 << "mismatch at (" << r << "," << c << ")";
 }
 
-/** Quantize a random layer and check both packed GEMM paths. */
+/** The blocked kernel folds the same exact terms as the oracle in a
+ *  different (hierarchical) order; outputs agree to the last ulps. */
+void
+expectUlpClose(const Matrix &got, const Matrix &want)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    const double tol = std::max(want.maxAbs(), 1.0) * 1e-12;
+    for (size_t r = 0; r < got.rows(); ++r)
+        for (size_t c = 0; c < got.cols(); ++c)
+            ASSERT_NEAR(got(r, c), want(r, c), tol)
+                << "mismatch at (" << r << "," << c << ")";
+}
+
+/** Quantize a random layer and check every packed GEMM path. */
 void
 expectPackedExecExact(const MsqConfig &cfg, size_t k, size_t o,
                       size_t tokens, double outlier_rate, uint64_t seed)
@@ -77,10 +95,13 @@ expectPackedExecExact(const MsqConfig &cfg, size_t k, size_t o,
     // Real-valued activations: bit-identical to the float reference.
     expectBitIdentical(plan.matmulT(x), wq.transposedMatmul(x));
 
-    // Quantized activations: the integer code x code path.
+    // Quantized activations: the scalar oracle is bit-identical to the
+    // dequantized float GEMM; the blocked integer kernel agrees with
+    // the oracle to the last ulps.
     const QuantizedActs acts(x, 8, 32);
-    expectBitIdentical(plan.gemm(acts),
-                       wq.transposedMatmul(acts.dequantAll()));
+    const Matrix oracle = plan.referenceGemm(acts);
+    expectBitIdentical(oracle, wq.transposedMatmul(acts.dequantAll()));
+    expectUlpClose(plan.gemm(acts), oracle);
 }
 
 TEST(PackedExec, MatchesReferenceNoOutliers)
@@ -193,6 +214,14 @@ TEST(PackedExec, RangePartitionInvariance)
     plan.gemmRange(acts, 0, 5, qpieced);
     plan.gemmRange(acts, 5, 11, qpieced);
     expectBitIdentical(qpieced, qfull);
+
+    // 2D tiles, including column splits that straddle macro-blocks.
+    Matrix qtiled(96, 11);
+    plan.gemmBlock(acts, 0, 50, 0, 7, qtiled);
+    plan.gemmBlock(acts, 50, 96, 0, 7, qtiled);
+    plan.gemmBlock(acts, 0, 13, 7, 11, qtiled);
+    plan.gemmBlock(acts, 13, 96, 7, 11, qtiled);
+    expectBitIdentical(qtiled, qfull);
 }
 
 TEST(PackedExec, AblationModesNotExecutable)
@@ -266,6 +295,66 @@ TEST(WeightCache, SharesDeployments)
 
     clearPackedModelCache();
     EXPECT_EQ(packedModelCacheSize(), 0u);
+}
+
+TEST(WeightCache, ExecPlansAreContentAddressed)
+{
+    clearExecPlanCache();
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    Rng rng(77);
+    const Matrix w = fmWeights(32, 64, rng, 0.05);
+    const Matrix w2 = fmWeights(32, 64, rng, 0.05);
+
+    // Two independently quantized but bit-identical layers share one
+    // decoded plan; different content does not.
+    MicroScopiQQuantizer q1(cfg);
+    MicroScopiQQuantizer q2(cfg);
+    MicroScopiQQuantizer q3(cfg);
+    const PackedLayer a = q1.quantizePacked(w, Matrix());
+    const PackedLayer b = q2.quantizePacked(w, Matrix());
+    const PackedLayer c = q3.quantizePacked(w2, Matrix());
+    const PackedExecPlanPtr pa = getExecPlan(a);
+    EXPECT_EQ(pa.get(), getExecPlan(b).get());
+    EXPECT_EQ(execPlanCacheSize(), 1u);
+    const PackedExecPlanPtr pc = getExecPlan(c);
+    EXPECT_NE(pa.get(), pc.get());
+    EXPECT_EQ(execPlanCacheSize(), 2u);
+
+    // LRU eviction keeps the most recently used entry; evicted plans
+    // stay alive through their shared_ptr and are simply re-decoded.
+    setExecPlanCacheCapacity(1);
+    EXPECT_EQ(execPlanCacheSize(), 1u);
+    EXPECT_EQ(pc.get(), getExecPlan(c).get());
+    EXPECT_NE(pa.get(), getExecPlan(a).get());
+    EXPECT_EQ(pa->termCount(), getExecPlan(a)->termCount());
+
+    setExecPlanCacheCapacity(64);
+    clearExecPlanCache();
+    EXPECT_EQ(execPlanCacheSize(), 0u);
+}
+
+TEST(WeightCache, DeploymentsShareMemoizedPlans)
+{
+    // Two deployments whose packed bytes coincide (the calibration
+    // budget is unused without Hessian compensation) decode each
+    // layer's plan once.
+    clearPackedModelCache();
+    clearExecPlanCache();
+    const ModelProfile model = tinyModel();
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+
+    const PackedModelPtr a = getPackedModel(model, cfg, 32);
+    const PackedModelPtr b = getPackedModel(model, cfg, 64);
+    EXPECT_NE(a.get(), b.get());
+    ASSERT_EQ(a->plans.size(), b->plans.size());
+    for (size_t li = 0; li < a->plans.size(); ++li)
+        EXPECT_EQ(a->plans[li].get(), b->plans[li].get());
+    EXPECT_EQ(execPlanCacheSize(), model.layers.size());
+
+    clearPackedModelCache();
+    clearExecPlanCache();
 }
 
 TEST(ServeEngine, BatchingInvariance)
