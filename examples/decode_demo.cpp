@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Autoregressive generation quickstart: deploy a decode-capable model
+ * zoo profile and generate token streams with iteration-level
+ * continuous batching, attention running against the packed 2-bit KV
+ * pool.
+ *
+ * Usage:
+ *   decode_demo [model] [requests] [max-new-tokens] [batch] [threads]
+ *               [static]
+ *
+ * e.g.
+ *   ./build/examples/decode_demo TinyLM-decode
+ *   ./build/examples/decode_demo LLaMA2-7B 16 32 8
+ *   ./build/examples/decode_demo LLaMA2-7B 16 32 8 0 static
+ *
+ * Prompts are synthesized deterministically, so generated streams are
+ * bit-identical for any thread count, slot count, or batching mode —
+ * the demo prints one request's stream so runs can be diffed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/msq_config.h"
+#include "model/model_zoo.h"
+#include "serve/decode.h"
+
+using namespace msq;
+
+int
+main(int argc, char **argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "TinyLM-decode";
+    const size_t requests =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+    const size_t max_new =
+        argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 16;
+    const size_t batch = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 8;
+    if (argc > 5 && std::strtoul(argv[5], nullptr, 10) > 0)
+        setThreadCount(
+            static_cast<unsigned>(std::strtoul(argv[5], nullptr, 10)));
+    const bool is_static = argc > 6 && std::strcmp(argv[6], "static") == 0;
+
+    const ModelProfile &model = modelByName(model_name);
+    if (!decodeCapable(model)) {
+        std::fprintf(stderr,
+                     "%s carries no attention geometry; decode-capable "
+                     "profiles include TinyLM-decode and the LLM/VLM "
+                     "transformers\n",
+                     model.name.c_str());
+        return 1;
+    }
+    MsqConfig qcfg;  // the paper's headline W2 setting
+
+    DecodeConfig dcfg;
+    dcfg.maxBatchSeqs = batch == 0 ? 1 : batch;
+    dcfg.continuousBatching = !is_static;
+    dcfg.kv = {2, 16, 16};
+
+    std::printf("deploying %s as %s (packed-weight cache build)...\n",
+                model.name.c_str(), qcfg.name().c_str());
+    DecodeEngine engine(model, qcfg, dcfg);
+
+    // Mixed-length prompts; a third of the requests generate 3x longer
+    // so continuous batching has stragglers to refill around.
+    for (size_t i = 0; i < requests; ++i) {
+        Rng rng(7000 + i);
+        std::vector<uint32_t> prompt(4 + i % 6);
+        for (uint32_t &tok : prompt)
+            tok = static_cast<uint32_t>(rng.uniformInt(dcfg.vocab));
+        engine.submit(prompt, i % 3 == 0 ? 3 * max_new : max_new);
+    }
+    const DecodeReport rep = engine.run();
+
+    Table t("decode_demo: " + model.name + ", " +
+            std::to_string(requests) + " requests, " +
+            (is_static ? "static" : "continuous") + " batching, " +
+            std::to_string(threadCount()) + " threads");
+    t.setHeader({"quantity", "value"});
+    t.addRow({"transformer blocks",
+              Table::fmtInt(static_cast<long long>(model.decode.blocks))});
+    t.addRow({"scheduler steps",
+              Table::fmtInt(static_cast<long long>(rep.steps))});
+    t.addRow({"prompt tokens",
+              Table::fmtInt(static_cast<long long>(rep.prefillTokens))});
+    t.addRow({"generated tokens",
+              Table::fmtInt(static_cast<long long>(rep.generatedTokens))});
+    t.addRow({"mean active sequences", Table::fmt(rep.meanActiveSeqs, 2)});
+    t.addRow({"prefill throughput (tok/s)",
+              Table::fmt(rep.prefillTokensPerSec, 1)});
+    t.addRow({"decode throughput (tok/s)",
+              Table::fmt(rep.decodeTokensPerSec, 1)});
+    t.addRow({"KV packed bytes",
+              Table::fmtInt(static_cast<long long>(rep.kvPackedBytes))});
+    t.addRow({"KV residual bytes",
+              Table::fmtInt(static_cast<long long>(rep.kvFpBytes))});
+    t.print();
+
+    // Streams are schedule-independent; print a fixed request (the
+    // first submitted — records arrive in retirement order, which DOES
+    // depend on scheduling) so runs can be diffed.
+    for (const GenRecord &rec : rep.requests) {
+        if (rec.id != 1)
+            continue;
+        std::printf("\nrequest %llu (%zu prompt tokens) generated:",
+                    static_cast<unsigned long long>(rec.id),
+                    rec.promptTokens);
+        for (uint32_t tok : rec.tokens)
+            std::printf(" %u", tok);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -12,6 +12,12 @@ trajectories cannot silently rot. Known ids:
                     enforced speedup floor) and the single-request 2D
                     partition latency record
   cold_start        emitted by bench/bench_cold_start
+  decode            emitted by bench/bench_decode: static vs
+                    continuous batching on a mixed-length request mix,
+                    with an enforced floor on the continuous/static
+                    steady-state decode throughput ratio and a
+                    determinism cross-check (both modes must generate
+                    identical token streams)
 
 Usage: check_bench_json.py path/to/BENCH_<name>.json
 Exits 0 when valid, 1 with a message otherwise.
@@ -71,6 +77,46 @@ SINGLE_REQUEST_SCHEMA = {
 # the floor leaves margin for slow CI boxes but catches any regression
 # back toward per-term scalar execution.
 KERNEL_SPEEDUP_FLOOR = 2.0
+
+DECODE_PHASE_SCHEMA = {
+    "steps": int,
+    "decode_steps": int,
+    "mean_active": float,
+    "wall_ms": float,
+    "prefill_tokens_per_s": float,
+    "decode_tokens_per_s": float,
+    "generated_tokens_per_s": float,
+    "token_checksum": int,
+}
+
+DECODE_SCHEMA = {
+    "bench": str,
+    "model": str,
+    "method": str,
+    "threads": int,
+    "blocks": int,
+    "heads": int,
+    "kv_heads": int,
+    "head_dim": int,
+    "kv_bits": int,
+    "kv_group": int,
+    "kv_residual": int,
+    "requests": int,
+    "prompt_tokens": int,
+    "generated_tokens": int,
+    "kv_packed_bytes": int,
+    "kv_fp_bytes": int,
+    "static": dict,
+    "continuous": dict,
+    "speedup": float,
+}
+
+# Steady-state decode throughput floor: iteration-level continuous
+# batching vs static batching on the bench's mixed-length request mix.
+# Typical measured values are ~1.5x on the TinyLM-decode smoke profile
+# and ~1.9x on LLaMA2-7B; the floor leaves margin for noisy CI boxes
+# but catches a scheduler regression back toward batch-level admission.
+DECODE_SPEEDUP_FLOOR = 1.3
 
 COLD_START_SCHEMA = {
     "bench": str,
@@ -200,9 +246,65 @@ def check_cold_start(doc):
             f"({doc['speedup']:.1f}x)")
 
 
+def check_decode_phase(phase, where):
+    check_types(phase, DECODE_PHASE_SCHEMA, where)
+    if phase["steps"] <= 0 or phase["decode_steps"] <= 0:
+        fail(f"{where}: empty phase")
+    if phase["decode_steps"] > phase["steps"]:
+        fail(f"{where}: more pure-decode steps than steps")
+    if phase["mean_active"] < 1.0:
+        fail(f"{where}.mean_active below one resident sequence")
+    if phase["wall_ms"] <= 0:
+        fail(f"{where}.wall_ms must be positive")
+    for key in ("prefill_tokens_per_s", "decode_tokens_per_s",
+                "generated_tokens_per_s"):
+        if phase[key] <= 0:
+            fail(f"{where}.{key} must be positive")
+
+
+def check_decode(doc):
+    check_types(doc, DECODE_SCHEMA, "$")
+    for key in ("blocks", "heads", "kv_heads", "head_dim", "requests",
+                "prompt_tokens", "generated_tokens", "kv_packed_bytes"):
+        if doc[key] <= 0:
+            fail(f"$.{key} must be positive")
+    if not 1 <= doc["kv_bits"] <= 8:
+        fail(f"$.kv_bits {doc['kv_bits']} outside 1..8")
+    check_decode_phase(doc["static"], "$.static")
+    check_decode_phase(doc["continuous"], "$.continuous")
+
+    # The scheduler may only change when tokens are computed, never
+    # their values: both modes must generate identical streams.
+    if doc["static"]["token_checksum"] != doc["continuous"]["token_checksum"]:
+        fail("static and continuous batching generated different token "
+             "streams (determinism violation)")
+
+    cont = doc["continuous"]
+    stat = doc["static"]
+    if cont["mean_active"] <= stat["mean_active"]:
+        fail("continuous batching did not keep slots fuller than static")
+    if cont["steps"] >= stat["steps"]:
+        fail("continuous batching did not reduce scheduler steps")
+    want = cont["decode_tokens_per_s"] / stat["decode_tokens_per_s"]
+    if abs(doc["speedup"] - want) > 0.01 * max(1.0, want):
+        fail(f"speedup {doc['speedup']} inconsistent with phase "
+             f"decode throughputs ({want:.4f})")
+    if doc["speedup"] < DECODE_SPEEDUP_FLOOR:
+        fail(f"continuous batching must be >= {DECODE_SPEEDUP_FLOOR}x "
+             f"static steady-state decode throughput; got "
+             f"{doc['speedup']:.2f}x ({cont['decode_tokens_per_s']} vs "
+             f"{stat['decode_tokens_per_s']} tok/s)")
+    return (f"{doc['model']}, {doc['method']}, continuous/static "
+            f"{doc['speedup']:.2f}x ({cont['decode_tokens_per_s']:.0f} vs "
+            f"{stat['decode_tokens_per_s']:.0f} decode tok/s, mean active "
+            f"{cont['mean_active']:.1f} vs {stat['mean_active']:.1f}) on "
+            f"{doc['threads']} threads")
+
+
 CHECKERS = {
     "serve_throughput": check_serve,
     "cold_start": check_cold_start,
+    "decode": check_decode,
 }
 
 

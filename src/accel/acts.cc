@@ -11,6 +11,13 @@ QuantizedActs::QuantizedActs(const Matrix &x, unsigned bits, size_t group)
 {
 }
 
+void
+QuantizedActs::requantize(const Matrix &x, unsigned bits, size_t group)
+{
+    bits_ = bits;
+    quantizeActsChannelMajor(x, bits, group, panel_);
+}
+
 double
 QuantizedActs::dequant(size_t token, size_t channel) const
 {

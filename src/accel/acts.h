@@ -33,6 +33,18 @@ class QuantizedActs
      */
     QuantizedActs(const Matrix &x, unsigned bits, size_t group = 128);
 
+    /** Empty container: fill through requantize() before use. */
+    QuantizedActs() = default;
+
+    /**
+     * Refill from a fresh activation batch, reusing the panel buffers
+     * (quant/act_quant.h in-place variant). Per-step consumers — the
+     * decode loop quantizes every projection's inputs every step —
+     * requantize one scratch instead of constructing. Bytes are
+     * identical to constructing a new QuantizedActs.
+     */
+    void requantize(const Matrix &x, unsigned bits, size_t group = 128);
+
     size_t tokens() const { return panel_.tokens; }
     size_t channels() const { return panel_.channels; }
     unsigned bits() const { return bits_; }

@@ -20,6 +20,23 @@ transformerLayers(size_t d)
     };
 }
 
+/**
+ * Attention geometry matching transformerLayers(d): 16-wide heads, a
+ * 4:1 grouped-query factor (so Q is d wide and K/V are d/4 each —
+ * exactly the d + d/2 qkv output), and a scaled block count.
+ * @pre d % 64 == 0
+ */
+DecodeGeometry
+transformerGeometry(size_t d, size_t blocks)
+{
+    DecodeGeometry g;
+    g.headDim = 16;
+    g.heads = d / 16;
+    g.kvHeads = d / 64;
+    g.blocks = blocks;
+    return g;
+}
+
 /** Convolution layers expressed as im2col GEMMs (scaled). */
 std::vector<LayerSpec>
 convLayers(size_t base)
@@ -56,6 +73,7 @@ buildZoo()
         ModelProfile p;
         p.name = "OPT-6.7B";
         p.layers = transformerLayers(320);
+        p.decode = transformerGeometry(320, 4);
         p.weights = {0.02, 10.0, 0.018, 0.0002, 6.0, 14.0};
         p.acts = {1.0, 0.02, 4.0};
         p.fpMetric = 10.86;
@@ -67,6 +85,7 @@ buildZoo()
 
         p.name = "OPT-175B";
         p.layers = transformerLayers(512);
+        p.decode = transformerGeometry(512, 4);
         p.fpMetric = 8.34;
         p.realHidden = 12288;
         p.realLayers = 96;
@@ -80,6 +99,7 @@ buildZoo()
         ModelProfile p;
         p.name = "LLaMA2-7B";
         p.layers = transformerLayers(320);
+        p.decode = transformerGeometry(320, 4);
         p.weights = {0.018, 8.0, 0.022, 0.004, 6.0, 16.0};
         p.acts = {1.0, 0.015, 3.0};
         p.fpMetric = 5.47;
@@ -91,6 +111,7 @@ buildZoo()
 
         p.name = "LLaMA2-13B";
         p.layers = transformerLayers(384);
+        p.decode = transformerGeometry(384, 4);
         p.fpMetric = 4.83;
         p.realHidden = 5120;
         p.realLayers = 40;
@@ -100,6 +121,7 @@ buildZoo()
 
         p.name = "LLaMA2-70B";
         p.layers = transformerLayers(448);
+        p.decode = transformerGeometry(448, 4);
         p.fpMetric = 3.31;
         p.realHidden = 8192;
         p.realLayers = 80;
@@ -114,6 +136,7 @@ buildZoo()
         ModelProfile p;
         p.name = "LLaMA3-8B";
         p.layers = transformerLayers(320);
+        p.decode = transformerGeometry(320, 4);
         p.weights = {0.02, 6.0, 0.03, 0.012, 6.0, 20.0};
         p.acts = {1.0, 0.02, 3.0};
         p.fpMetric = 6.13;
@@ -125,6 +148,7 @@ buildZoo()
 
         p.name = "LLaMA3-70B";
         p.layers = transformerLayers(448);
+        p.decode = transformerGeometry(448, 4);
         p.fpMetric = 2.85;
         p.realHidden = 8192;
         p.realLayers = 80;
@@ -138,6 +162,7 @@ buildZoo()
         ModelProfile p;
         p.name = "Mixtral-8x7B";
         p.layers = transformerLayers(384);
+        p.decode = transformerGeometry(384, 4);
         p.weights = {0.02, 7.0, 0.02, 0.008, 6.0, 16.0};
         p.acts = {1.0, 0.015, 3.0};
         p.fpMetric = 3.84;
@@ -153,6 +178,7 @@ buildZoo()
         ModelProfile p;
         p.name = "Phi3-3.8B";
         p.layers = transformerLayers(256);
+        p.decode = transformerGeometry(256, 4);
         p.weights = {0.022, 8.0, 0.02, 0.006, 6.0, 15.0};
         p.acts = {1.0, 0.015, 3.0};
         p.fpMetric = 6.33;
@@ -164,6 +190,7 @@ buildZoo()
 
         p.name = "Phi3-14B";
         p.layers = transformerLayers(384);
+        p.decode = transformerGeometry(384, 4);
         p.fpMetric = 4.31;
         p.realHidden = 5120;
         p.realLayers = 40;
@@ -179,6 +206,7 @@ buildZoo()
         p.name = "OpenFlamingo-9B";
         p.kind = ModelKind::Vlm;
         p.layers = transformerLayers(320);
+        p.decode = transformerGeometry(320, 4);
         p.weights = {0.02, 5.0, 0.04, 0.015, 6.0, 22.0};
         p.acts = {1.0, 0.025, 3.0};
         p.fpMetric = 79.7;  // COCO CIDEr-ish scale anchored to Fig. 10
@@ -191,6 +219,7 @@ buildZoo()
         p.name = "VILA-7B";
         p.kind = ModelKind::Vlm;
         p.layers = transformerLayers(320);
+        p.decode = transformerGeometry(320, 4);
         p.weights = {0.02, 5.0, 0.045, 0.018, 6.0, 22.0};
         p.acts = {1.0, 0.025, 3.0};
         p.fpMetric = 80.75;  // HellaSwag FP score of Fig. 2b
@@ -203,6 +232,7 @@ buildZoo()
         p.name = "LLaVA1.5-7B";
         p.kind = ModelKind::Vlm;
         p.layers = transformerLayers(320);
+        p.decode = transformerGeometry(320, 4);
         p.weights = {0.02, 5.0, 0.04, 0.016, 6.0, 20.0};
         p.acts = {1.0, 0.02, 3.0};
         p.fpMetric = 62.3;  // GQA FP score of Fig. 2b
@@ -287,6 +317,26 @@ buildZoo()
         add(p);
     }
 
+    // ---- Decode fixture: TinyLM-sized transformer block with full
+    //      attention geometry, the fast target for the autoregressive
+    //      decode tests, CI perf smoke, and decode_demo (the TinyLM
+    //      fixture above keeps its non-transformer layer set so the
+    //      committed golden container is untouched).
+    {
+        ModelProfile p;
+        p.name = "TinyLM-decode";
+        p.layers = transformerLayers(64);
+        p.decode = transformerGeometry(64, 2);
+        p.weights = {0.02, 8.0, 0.02, 0.001, 6.0, 14.0};
+        p.acts = {1.0, 0.02, 8.0};
+        p.fpMetric = 9.0;
+        p.realHidden = 64;
+        p.realLayers = 2;
+        p.paramsB = 0.0001;
+        p.seed = 4243;
+        add(p);
+    }
+
     return zoo;
 }
 
@@ -306,6 +356,66 @@ modelByName(const std::string &name)
     if (it == zoo().end())
         fatal("unknown model: " + name);
     return it->second;
+}
+
+namespace {
+
+/** Resolve wiring; returns nullptr on success, the failing invariant
+ *  otherwise. */
+const char *
+tryDecodeWiring(const ModelProfile &model, DecodeWiring &wiring)
+{
+    const DecodeGeometry &g = model.decode;
+    if (g.heads == 0 || g.headDim == 0 || g.blocks == 0)
+        return "profile carries no attention geometry";
+    if (g.kvHeads == 0 || g.heads % g.kvHeads != 0)
+        return "kvHeads must divide heads";
+
+    auto find = [&model](const char *name, size_t &idx) {
+        for (size_t li = 0; li < model.layers.size(); ++li)
+            if (model.layers[li].name == name) {
+                idx = li;
+                return true;
+            }
+        return false;
+    };
+    if (!find("attn_qkv", wiring.qkv) || !find("attn_out", wiring.out) ||
+        !find("mlp_up", wiring.up) || !find("mlp_down", wiring.down))
+        return "layer set is not a transformer block "
+               "(attn_qkv/attn_out/mlp_up/mlp_down)";
+
+    const size_t d = model.layers[wiring.qkv].k;
+    wiring.hidden = d;
+    if (g.heads * g.headDim != d)
+        return "heads * headDim must equal the hidden size";
+    if (model.layers[wiring.qkv].o != d + 2 * g.kvHeads * g.headDim)
+        return "attn_qkv output is not Q + K + V wide";
+    if (model.layers[wiring.out].k != d || model.layers[wiring.out].o != d)
+        return "attn_out must be hidden -> hidden";
+    if (model.layers[wiring.up].k != d)
+        return "mlp_up must read the hidden size";
+    if (model.layers[wiring.down].k != model.layers[wiring.up].o ||
+        model.layers[wiring.down].o != d)
+        return "mlp_down must invert mlp_up";
+    return nullptr;
+}
+
+} // namespace
+
+bool
+decodeCapable(const ModelProfile &model)
+{
+    DecodeWiring wiring;
+    return tryDecodeWiring(model, wiring) == nullptr;
+}
+
+DecodeWiring
+decodeWiring(const ModelProfile &model)
+{
+    DecodeWiring wiring;
+    if (const char *err = tryDecodeWiring(model, wiring))
+        fatal("model " + model.name + " cannot decode: " + err);
+    return wiring;
 }
 
 std::vector<MsqLayerId>

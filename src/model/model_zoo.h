@@ -59,6 +59,28 @@ enum class ModelKind
     Ssm,
 };
 
+/**
+ * Attention geometry of a (scaled) transformer block, used by the
+ * autoregressive decode subsystem (serve/decode.h). `heads == 0` marks
+ * a profile with no decode support (CNNs, SSMs, and profiles whose
+ * layer set is not a transformer block). For decode-capable profiles
+ * the invariants below hold against the `attn_qkv` layer shape
+ * (d -> d + 2 * kvHeads * headDim, grouped-query attention):
+ *
+ *   heads * headDim == d          (query width is the hidden size)
+ *   kvHeads divides heads         (GQA sharing factor)
+ *   blocks >= 1                   (transformer blocks run per token;
+ *                                  every block reuses the profile's one
+ *                                  quantized representative layer set)
+ */
+struct DecodeGeometry
+{
+    size_t heads = 0;    ///< query heads (0 = decode not supported)
+    size_t kvHeads = 0;  ///< key/value heads (GQA)
+    size_t headDim = 0;  ///< per-head dimension
+    size_t blocks = 0;   ///< transformer blocks per forward pass
+};
+
 /** A full synthetic model profile. */
 struct ModelProfile
 {
@@ -69,6 +91,7 @@ struct ModelProfile
     ActProfile acts;
     double fpMetric = 0.0;  ///< paper FP16 baseline (PPL for LLMs,
                             ///< accuracy % for VLM/CNN/SSM)
+    DecodeGeometry decode;  ///< attention geometry (heads == 0: none)
     size_t realHidden = 4096;   ///< full-scale hidden size (perf model)
     size_t realLayers = 32;     ///< full-scale transformer blocks
     double paramsB = 7.0;       ///< nominal parameter count in billions
@@ -77,6 +100,29 @@ struct ModelProfile
 
 /** Look up a model by name. Fatal on unknown names. */
 const ModelProfile &modelByName(const std::string &name);
+
+/**
+ * Layer wiring of a decode-capable profile: indices of the four
+ * transformer-block projections within `profile.layers`, resolved by
+ * name, plus the hidden size taken from the qkv layer's reduction
+ * dimension.
+ */
+struct DecodeWiring
+{
+    size_t qkv = 0;   ///< attn_qkv: hidden -> hidden + 2 * kv width
+    size_t out = 0;   ///< attn_out: hidden -> hidden
+    size_t up = 0;    ///< mlp_up:   hidden -> ffn width
+    size_t down = 0;  ///< mlp_down: ffn width -> hidden
+    size_t hidden = 0;
+};
+
+/** Whether `decodeWiring` would succeed: transformer layer set present
+ *  and the DecodeGeometry invariants hold. */
+bool decodeCapable(const ModelProfile &model);
+
+/** Resolve the block wiring of a decode-capable profile. Fatal (with
+ *  the failing invariant) when the profile does not support decode. */
+DecodeWiring decodeWiring(const ModelProfile &model);
 
 /**
  * The per-layer identity an `.msq` container must match to serve as a

@@ -12,8 +12,16 @@ namespace msq {
 MxIntActPanel
 quantizeActsChannelMajor(const Matrix &x, unsigned bits, size_t group_size)
 {
-    MSQ_ASSERT(bits >= 2 && bits <= 8, "iActs are at most 8-bit");
     MxIntActPanel panel;
+    quantizeActsChannelMajor(x, bits, group_size, panel);
+    return panel;
+}
+
+void
+quantizeActsChannelMajor(const Matrix &x, unsigned bits, size_t group_size,
+                         MxIntActPanel &panel)
+{
+    MSQ_ASSERT(bits >= 2 && bits <= 8, "iActs are at most 8-bit");
     panel.tokens = x.cols();
     panel.channels = x.rows();
     panel.group = group_size == 0 ? x.rows() : group_size;
@@ -68,7 +76,6 @@ quantizeActsChannelMajor(const Matrix &x, unsigned bits, size_t group_size)
             }
         }
     }
-    return panel;
 }
 
 Matrix

@@ -64,6 +64,16 @@ MxIntActPanel quantizeActsChannelMajor(const Matrix &x, unsigned bits,
                                        size_t group_size = 128);
 
 /**
+ * In-place variant: refill `panel` from `x`, reusing its code and
+ * scale-exponent buffers when the capacity suffices. The decode loop
+ * quantizes a fresh activation batch every step of every block, so
+ * reusing one scratch panel avoids two allocations per projection.
+ * Produces bytes identical to the returning overload.
+ */
+void quantizeActsChannelMajor(const Matrix &x, unsigned bits,
+                              size_t group_size, MxIntActPanel &panel);
+
+/**
  * Quantize activations X[k][n] (channels x tokens) to MX-INT-b with
  * power-of-two scales shared by groups of `group_size` channels within
  * each token. Returns the dequantized activations.

@@ -2,31 +2,56 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
 
 namespace msq {
 
-void
-asymQuantSpan(double *values, size_t n, unsigned bits)
+AsymSpanGrid
+asymSpanParams(const double *values, size_t n, unsigned bits)
 {
     MSQ_ASSERT(bits >= 1 && bits <= 8, "asymmetric quant width");
-    if (n == 0)
-        return;
+    MSQ_ASSERT(n > 0, "asymmetric quant of an empty span");
     double lo = values[0], hi = values[0];
-    for (size_t i = 1; i < n; ++i) {
+    for (size_t i = 0; i < n; ++i) {
+        MSQ_ASSERT(std::isfinite(values[i]),
+                   "asymQuantSpan: non-finite input at index " +
+                       std::to_string(i));
         lo = std::min(lo, values[i]);
         hi = std::max(hi, values[i]);
     }
-    const double levels = static_cast<double>((1u << bits) - 1);
+    AsymSpanGrid grid;
+    grid.lo = lo;
     if (hi == lo)
-        return;  // constant span is exactly representable
-    const double scale = (hi - lo) / levels;
-    for (size_t i = 0; i < n; ++i) {
-        const double q = std::floor((values[i] - lo) / scale + 0.5);
-        values[i] = lo + std::clamp(q, 0.0, levels) * scale;
+        return grid;  // constant span: step 0, exactly representable
+    grid.step = (hi - lo) / static_cast<double>((1u << bits) - 1);
+    return grid;
+}
+
+uint8_t
+asymEncode(double value, const AsymSpanGrid &grid, unsigned bits)
+{
+    if (grid.step == 0.0)
+        return 0;
+    const double levels = static_cast<double>((1u << bits) - 1);
+    const double q = std::floor((value - grid.lo) / grid.step + 0.5);
+    return static_cast<uint8_t>(std::clamp(q, 0.0, levels));
+}
+
+void
+asymQuantSpan(double *values, size_t n, unsigned bits)
+{
+    if (n == 0) {
+        MSQ_ASSERT(bits >= 1 && bits <= 8, "asymmetric quant width");
+        return;
     }
+    const AsymSpanGrid grid = asymSpanParams(values, n, bits);
+    if (grid.step == 0.0)
+        return;  // constant span is exactly representable
+    for (size_t i = 0; i < n; ++i)
+        values[i] = asymDecode(asymEncode(values[i], grid, bits), grid);
 }
 
 Matrix

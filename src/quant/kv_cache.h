@@ -4,12 +4,20 @@
  * ablation (Table 7, last row): keys are quantized per channel, values
  * per token, both at 2-bit with a macro-block group size of 128 and a
  * residual window of the most recent R tokens kept at full precision.
+ *
+ * The asymmetric span quantizer is split into parameter fitting
+ * (`asymSpanParams`), encode, and decode so the whole-matrix functions
+ * below and the streaming per-sequence pool (quant/kv_pool.h) share one
+ * arithmetic: a span quantized incrementally by the pool is bit
+ * identical to the same span quantized by `quantizeKeyCache` /
+ * `quantizeValueCache`.
  */
 
 #ifndef MSQ_QUANT_KV_CACHE_H
 #define MSQ_QUANT_KV_CACHE_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/matrix.h"
 
@@ -24,9 +32,39 @@ struct KvCacheConfig
 };
 
 /**
- * Asymmetric (zero-point) round-to-nearest quantization of a span: the
- * KIVI recipe. At 2 bits this yields four usable levels spanning
- * [min, max], versus three for symmetric quantization.
+ * Fitted asymmetric (zero-point) quantization grid of one span:
+ * level i reconstructs to `lo + i * step`. A constant span fits with
+ * `step == 0` and is exactly representable by code 0.
+ */
+struct AsymSpanGrid
+{
+    double lo = 0.0;
+    double step = 0.0;
+};
+
+/**
+ * Fit the `bits`-wide asymmetric grid spanning [min, max] of the span:
+ * the KIVI recipe. At 2 bits this yields four usable levels, versus
+ * three for symmetric quantization. Every element must be finite — a
+ * single NaN/Inf would otherwise poison lo/hi and rewrite the whole
+ * span to NaN on the round trip, so non-finite input is a fatal,
+ * typed error. @pre 1 <= bits <= 8, n > 0
+ */
+AsymSpanGrid asymSpanParams(const double *values, size_t n, unsigned bits);
+
+/** Encode one value onto the grid (round to nearest, clamped). */
+uint8_t asymEncode(double value, const AsymSpanGrid &grid, unsigned bits);
+
+/** Reconstruct a code from the grid. */
+inline double
+asymDecode(uint8_t code, const AsymSpanGrid &grid)
+{
+    return grid.lo + static_cast<double>(code) * grid.step;
+}
+
+/**
+ * Asymmetric round-to-nearest quantization of a span in place:
+ * fit + encode + decode. Fatal on non-finite input.
  */
 void asymQuantSpan(double *values, size_t n, unsigned bits);
 

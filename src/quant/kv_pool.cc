@@ -1,0 +1,179 @@
+#include "quant/kv_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace msq {
+
+KvPool::KvPool(size_t channels, const KvCacheConfig &config)
+    : channels_(channels), bits_(config.bits), group_(config.groupSize),
+      residual_(config.residual)
+{
+    MSQ_ASSERT(channels_ > 0, "KvPool needs at least one channel");
+    MSQ_ASSERT(bits_ >= 1 && bits_ <= 8, "KvPool code width");
+    MSQ_ASSERT(group_ > 0,
+               "KvPool needs a finite groupSize to close groups");
+    valueGroups_ = (channels_ + group_ - 1) / group_;
+}
+
+unsigned
+KvPool::codeAt(const std::vector<uint8_t> &codes, size_t idx) const
+{
+    const size_t bit = idx * bits_;
+    const size_t byte = bit / 8;
+    const unsigned shift = static_cast<unsigned>(bit % 8);
+    unsigned v = static_cast<unsigned>(codes[byte]) >> shift;
+    if (shift + bits_ > 8)
+        v |= static_cast<unsigned>(codes[byte + 1]) << (8 - shift);
+    return v & ((1u << bits_) - 1u);
+}
+
+void
+KvPool::pushCode(std::vector<uint8_t> &codes, size_t idx, unsigned bits,
+                 unsigned code)
+{
+    const size_t bit = idx * bits;
+    const size_t last = (bit + bits - 1) / 8;
+    if (codes.size() <= last)
+        codes.resize(last + 1, 0);
+    const unsigned shift = static_cast<unsigned>(bit % 8);
+    codes[bit / 8] |= static_cast<uint8_t>(code << shift);
+    if (shift + bits > 8)
+        codes[bit / 8 + 1] |= static_cast<uint8_t>(code >> (8 - shift));
+}
+
+void
+KvPool::append(const double *key, const double *value)
+{
+    keyTail_.insert(keyTail_.end(), key, key + channels_);
+    valueTail_.insert(valueTail_.end(), value, value + channels_);
+    ++tokens_;
+    while (tokens_ - quantized_ >= residual_ + group_)
+        closeGroup();
+}
+
+void
+KvPool::closeGroup()
+{
+    const size_t chunk = quantized_ / group_;
+    std::vector<double> span(std::max(group_, channels_));
+
+    // Keys: one grid per channel spanning the group's tokens.
+    for (size_t ch = 0; ch < channels_; ++ch) {
+        for (size_t j = 0; j < group_; ++j)
+            span[j] = keyTail_[j * channels_ + ch];
+        const AsymSpanGrid grid = asymSpanParams(span.data(), group_, bits_);
+        keyGrid_.push_back(grid);
+        for (size_t j = 0; j < group_; ++j)
+            pushCode(keyCodes_, (chunk * channels_ + ch) * group_ + j,
+                     bits_, asymEncode(span[j], grid, bits_));
+    }
+
+    // Values: per token, grids over channel runs of groupSize (ragged
+    // last run when groupSize does not divide the channel count).
+    for (size_t j = 0; j < group_; ++j) {
+        const size_t t = quantized_ + j;
+        for (size_t g = 0; g < valueGroups_; ++g) {
+            const size_t c0 = g * group_;
+            const size_t n = std::min(group_, channels_ - c0);
+            for (size_t i = 0; i < n; ++i)
+                span[i] = valueTail_[j * channels_ + c0 + i];
+            const AsymSpanGrid grid = asymSpanParams(span.data(), n, bits_);
+            valueGrid_.push_back(grid);
+            for (size_t i = 0; i < n; ++i)
+                pushCode(valueCodes_, t * channels_ + c0 + i, bits_,
+                         asymEncode(span[i], grid, bits_));
+        }
+    }
+
+    quantized_ += group_;
+    keyTail_.erase(keyTail_.begin(),
+                   keyTail_.begin() +
+                       static_cast<ptrdiff_t>(group_ * channels_));
+    valueTail_.erase(valueTail_.begin(),
+                     valueTail_.begin() +
+                         static_cast<ptrdiff_t>(group_ * channels_));
+}
+
+double
+KvPool::key(size_t ch, size_t t) const
+{
+    MSQ_ASSERT(ch < channels_ && t < tokens_, "KvPool key out of range");
+    if (t >= quantized_)
+        return keyTail_[(t - quantized_) * channels_ + ch];
+    const size_t chunk = t / group_;
+    const AsymSpanGrid &grid = keyGrid_[chunk * channels_ + ch];
+    return asymDecode(
+        static_cast<uint8_t>(codeAt(
+            keyCodes_, (chunk * channels_ + ch) * group_ + t % group_)),
+        grid);
+}
+
+double
+KvPool::value(size_t ch, size_t t) const
+{
+    MSQ_ASSERT(ch < channels_ && t < tokens_, "KvPool value out of range");
+    if (t >= quantized_)
+        return valueTail_[(t - quantized_) * channels_ + ch];
+    const AsymSpanGrid &grid = valueGrid_[t * valueGroups_ + ch / group_];
+    return asymDecode(
+        static_cast<uint8_t>(codeAt(valueCodes_, t * channels_ + ch)),
+        grid);
+}
+
+void
+KvPool::gather(double *keys, double *values, size_t stride) const
+{
+    const size_t ld = stride == 0 ? tokens_ : stride;
+    MSQ_ASSERT(ld >= tokens_, "gather stride below token count");
+    // Closed groups: keys decode one (chunk, channel) run at a time,
+    // values one (token, channel-group) run at a time — both walk
+    // their packed codes in storage order.
+    for (size_t chunk = 0; chunk * group_ < quantized_; ++chunk) {
+        const size_t t0 = chunk * group_;
+        for (size_t ch = 0; ch < channels_; ++ch) {
+            const AsymSpanGrid &grid = keyGrid_[chunk * channels_ + ch];
+            const size_t base = (chunk * channels_ + ch) * group_;
+            double *row = keys + ch * ld + t0;
+            for (size_t j = 0; j < group_; ++j)
+                row[j] = asymDecode(
+                    static_cast<uint8_t>(codeAt(keyCodes_, base + j)),
+                    grid);
+        }
+        for (size_t j = 0; j < group_; ++j) {
+            const size_t t = t0 + j;
+            const AsymSpanGrid *grids = valueGrid_.data() + t * valueGroups_;
+            for (size_t ch = 0; ch < channels_; ++ch)
+                values[ch * ld + t] = asymDecode(
+                    static_cast<uint8_t>(
+                        codeAt(valueCodes_, t * channels_ + ch)),
+                    grids[ch / group_]);
+        }
+    }
+    // Full-precision tail.
+    for (size_t t = quantized_; t < tokens_; ++t) {
+        const double *krow = keyTail_.data() + (t - quantized_) * channels_;
+        const double *vrow =
+            valueTail_.data() + (t - quantized_) * channels_;
+        for (size_t ch = 0; ch < channels_; ++ch) {
+            keys[ch * ld + t] = krow[ch];
+            values[ch * ld + t] = vrow[ch];
+        }
+    }
+}
+
+size_t
+KvPool::packedBytes() const
+{
+    return keyCodes_.size() + valueCodes_.size() +
+           (keyGrid_.size() + valueGrid_.size()) * sizeof(AsymSpanGrid);
+}
+
+size_t
+KvPool::fpBytes() const
+{
+    return (keyTail_.size() + valueTail_.size()) * sizeof(double);
+}
+
+} // namespace msq

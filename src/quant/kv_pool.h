@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Streaming per-sequence KV pool for autoregressive decode: the
+ * KIVI-style recipe of quant/kv_cache.h (keys quantized per channel
+ * over token groups, values per token over channel groups, a residual
+ * window of the most recent tokens kept at full precision) restated as
+ * an *incremental* container. Tokens are appended one at a time into
+ * the full-precision tail; whenever `groupSize` tokens have aged past
+ * the residual window a whole group is closed — encoded into bit-packed
+ * codes plus one asymmetric grid per (channel, group) for keys and per
+ * (token, channel-group) for values — and dropped from the tail. A
+ * closed group is never touched again, so appends are O(1) amortized
+ * and nothing is ever re-quantized.
+ *
+ * Incremental and whole-matrix quantization agree exactly: after any
+ * number of appends, token t reads back bit-identical to
+ * `quantizeKeyCache` / `quantizeValueCache` run on the full matrix
+ * whenever t lies in a group both have closed (groups close only when
+ * full, so the pool's quantized prefix is the ragged-free prefix of the
+ * batch functions' output; tests/test_kv_cache.cc enforces the
+ * property). Reads depend only on the append history — never on batch
+ * composition or thread count — which the decode engine's determinism
+ * contract builds on.
+ */
+
+#ifndef MSQ_QUANT_KV_POOL_H
+#define MSQ_QUANT_KV_POOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "quant/kv_cache.h"
+
+namespace msq {
+
+/** Growing quantized K/V storage of one (sequence, layer). */
+class KvPool
+{
+  public:
+    /**
+     * @param channels K/V channel count (kvHeads x headDim)
+     * @param config   bits 1-8; groupSize > 0 (the streaming pool needs
+     *                 a finite group to close); residual >= 0
+     */
+    KvPool(size_t channels, const KvCacheConfig &config);
+
+    /** Append one token's key and value vectors (`channels` each). */
+    void append(const double *key, const double *value);
+
+    size_t channels() const { return channels_; }
+
+    /** Tokens appended so far. */
+    size_t tokens() const { return tokens_; }
+
+    /** Tokens in closed (packed) groups: a multiple of groupSize. */
+    size_t quantizedTokens() const { return quantized_; }
+
+    /**
+     * Key element (channel, token). Quantized-grid reconstruction for
+     * closed tokens, the exact appended value inside the residual tail.
+     * @pre ch < channels(), t < tokens()
+     */
+    double key(size_t ch, size_t t) const;
+
+    /** Value element (channel, token), same contract as key(). */
+    double value(size_t ch, size_t t) const;
+
+    /**
+     * Bulk-dequantize both planes into channel-major buffers
+     * (`keys[ch * stride + t]`, same for `values`; `stride` 0 means
+     * tokens(), and must otherwise be >= tokens()). Element-identical
+     * to key()/value() but decodes packed groups sequentially — the
+     * attention inner loops read the gathered buffers instead of
+     * paying a per-element accessor per head. A stride wider than
+     * tokens() lets a caller appending tokens one at a time keep the
+     * buffers in place: closed groups are immutable, so a re-gather is
+     * only needed when quantizedTokens() changes.
+     */
+    void gather(double *keys, double *values, size_t stride = 0) const;
+
+    /** Bytes held by packed codes + grids (both planes). */
+    size_t packedBytes() const;
+
+    /** Bytes held by the full-precision residual tail (both planes). */
+    size_t fpBytes() const;
+
+  private:
+    /** Read the `idx`-th `bits_`-wide code of a packed plane. */
+    unsigned codeAt(const std::vector<uint8_t> &codes, size_t idx) const;
+
+    /** Append one `bits_`-wide code to a packed plane. */
+    static void pushCode(std::vector<uint8_t> &codes, size_t idx,
+                         unsigned bits, unsigned code);
+
+    /** Encode the oldest groupSize residual tokens into the planes. */
+    void closeGroup();
+
+    size_t channels_ = 0;
+    unsigned bits_ = 2;
+    size_t group_ = 128;     ///< tokens per key group / channels per value group
+    size_t residual_ = 128;  ///< minimum full-precision tail (tokens)
+    size_t valueGroups_ = 0; ///< ceil(channels / group): value grids per token
+
+    size_t tokens_ = 0;      ///< total appended
+    size_t quantized_ = 0;   ///< closed prefix [0, quantized_)
+
+    // Packed planes. Key codes are stored group-chunk major, channels
+    // within a chunk, tokens within a channel: code index
+    // ((t / G) * channels + ch) * G + t % G — one contiguous run per
+    // (channel, group) span, mirroring the per-channel grouping. Value
+    // codes are token major: t * channels + ch, grouped per token over
+    // channel runs. Grids hold the asymmetric (lo, step) pairs.
+    std::vector<uint8_t> keyCodes_;
+    std::vector<AsymSpanGrid> keyGrid_;   ///< (t/G) * channels + ch
+    std::vector<uint8_t> valueCodes_;
+    std::vector<AsymSpanGrid> valueGrid_; ///< t * valueGroups + g
+
+    // Full-precision tail, token major: tail[(t - quantized_) * channels
+    // + ch]. Appends push_back; closeGroup erases the oldest group.
+    std::vector<double> keyTail_;
+    std::vector<double> valueTail_;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_KV_POOL_H

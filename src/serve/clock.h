@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Monotonic clock helper shared by the serving engines: both the
+ * batching engine (engine.cc) and the decode engine (decode.cc) stamp
+ * request lifecycles in milliseconds since an engine-construction
+ * epoch taken from the same steady clock.
+ */
+
+#ifndef MSQ_SERVE_CLOCK_H
+#define MSQ_SERVE_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace msq {
+
+/** Nanoseconds on the steady (monotonic) clock. */
+inline uint64_t
+steadyNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace msq
+
+#endif // MSQ_SERVE_CLOCK_H

@@ -1,0 +1,479 @@
+#include "serve/decode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "serve/clock.h"
+
+namespace msq {
+
+namespace {
+
+/**
+ * Per-token LayerNorm (pre-norm residual stack): each column is
+ * centered and scaled to unit RMS. Channels reduce serially in
+ * ascending order, so a column's bytes depend only on that column.
+ */
+Matrix
+rmsNormed(const Matrix &x)
+{
+    Matrix out(x.rows(), x.cols());
+    const double eps = 1e-6;
+    const double n = static_cast<double>(x.rows());
+    for (size_t t = 0; t < x.cols(); ++t) {
+        double mean = 0.0;
+        for (size_t r = 0; r < x.rows(); ++r)
+            mean += x(r, t);
+        mean /= n;
+        double ss = 0.0;
+        for (size_t r = 0; r < x.rows(); ++r) {
+            const double c = x(r, t) - mean;
+            ss += c * c;
+        }
+        const double scale = 1.0 / std::sqrt(ss / n + eps);
+        for (size_t r = 0; r < x.rows(); ++r)
+            out(r, t) = (x(r, t) - mean) * scale;
+    }
+    return out;
+}
+
+/** Elementwise residual add `x += y` in one fixed order. */
+void
+addInPlace(Matrix &x, const Matrix &y)
+{
+    for (size_t r = 0; r < x.rows(); ++r) {
+        double *xr = x.rowPtr(r);
+        const double *yr = y.rowPtr(r);
+        for (size_t t = 0; t < x.cols(); ++t)
+            xr[t] += yr[t];
+    }
+}
+
+/**
+ * MLP nonlinearity, applied in place. tanh rather than the
+ * SiLU/GELU family: with random synthetic weights a nonlinearity with
+ * a positive mean pushes a constant bias direction into the residual
+ * stream through mlp_down, and after a few blocks that direction
+ * dominates every hidden state — greedy sampling then collapses to one
+ * token regardless of input. A zero-centered odd function keeps the
+ * stream input-driven.
+ */
+void
+tanhInPlace(Matrix &x)
+{
+    for (size_t r = 0; r < x.rows(); ++r) {
+        double *row = x.rowPtr(r);
+        for (size_t t = 0; t < x.cols(); ++t)
+            row[t] = std::tanh(row[t]);
+    }
+}
+
+} // namespace
+
+DecodeEngine::DecodeEngine(const ModelProfile &model, const MsqConfig &config,
+                           const DecodeConfig &decode)
+    : model_(model), decode_(decode), wiring_(decodeWiring(model)),
+      packed_(getPackedModel(model, config, decode.calibTokens,
+                             decode.cacheDir)),
+      epoch_(steadyNanos())
+{
+    MSQ_ASSERT(decode_.maxBatchSeqs > 0, "need at least one sequence slot");
+    MSQ_ASSERT(decode_.stepTokenBudget > 0, "step budget must be positive");
+    MSQ_ASSERT(decode_.prefillChunk > 0, "prefill chunk must be positive");
+    MSQ_ASSERT(decode_.tileTokens > 0, "tile size must be positive");
+    MSQ_ASSERT(decode_.vocab >= 2, "vocabulary needs at least two tokens");
+    MSQ_ASSERT(model_.decode.blocks > 0, "decode needs at least one block");
+
+    // Tied vocabulary embedding, synthesized from the model seed like
+    // every other model artifact: one unit-norm row per token (row
+    // major, so both the input gather and the unembedding dot products
+    // stream contiguous memory) so logits stay on a comparable scale
+    // across hidden sizes. Generation order (vocab outer, channel
+    // inner) is fixed, so the matrix is bit-reproducible.
+    Rng rng(model_.seed * 11000027ULL + 97);
+    embed_ = Matrix(decode_.vocab, wiring_.hidden);
+    for (size_t v = 0; v < decode_.vocab; ++v) {
+        double *row = embed_.rowPtr(v);
+        double ss = 0.0;
+        for (size_t r = 0; r < wiring_.hidden; ++r) {
+            row[r] = rng.gaussian();
+            ss += row[r] * row[r];
+        }
+        const double inv = 1.0 / std::sqrt(ss);
+        for (size_t r = 0; r < wiring_.hidden; ++r)
+            row[r] *= inv;
+    }
+
+    // Sinusoidal position-encoding frequencies, precomputed per channel
+    // (the embedding gather runs once per forwarded token). Without a
+    // position signal greedy decoding collapses to a fixed point — the
+    // same input token would produce the same hidden state at every
+    // position.
+    posFreq_.resize(wiring_.hidden);
+    for (size_t r = 0; r < wiring_.hidden; ++r)
+        posFreq_[r] =
+            1.0 / std::pow(1e4, static_cast<double>(r - r % 2) /
+                                    static_cast<double>(wiring_.hidden));
+}
+
+double
+DecodeEngine::nowMs() const
+{
+    return static_cast<double>(steadyNanos() - epoch_) / 1e6;
+}
+
+uint64_t
+DecodeEngine::submit(const std::vector<uint32_t> &prompt,
+                     size_t max_new_tokens)
+{
+    MSQ_ASSERT(!prompt.empty(), "a request must carry a prompt");
+    MSQ_ASSERT(max_new_tokens > 0, "a request must generate tokens");
+    for (uint32_t id : prompt)
+        MSQ_ASSERT(id < decode_.vocab, "prompt token outside vocabulary");
+    SequenceState s;
+    s.id = nextId_++;
+    s.prompt = prompt;
+    s.maxNewTokens = max_new_tokens;
+    s.submitMs = nowMs();
+    waiting_.push_back(std::move(s));
+    return waiting_.back().id;
+}
+
+void
+DecodeEngine::admit()
+{
+    // Iteration-level (continuous) batching refills free slots between
+    // every step; static batching waits for the whole batch to retire.
+    if (!decode_.continuousBatching && !active_.empty())
+        return;
+    const size_t kvDim =
+        model_.decode.kvHeads * model_.decode.headDim;
+    while (active_.size() < decode_.maxBatchSeqs && !waiting_.empty()) {
+        SequenceState s = std::move(waiting_.front());
+        waiting_.pop_front();
+        s.kv.reserve(model_.decode.blocks);
+        for (size_t b = 0; b < model_.decode.blocks; ++b)
+            s.kv.emplace_back(kvDim, decode_.kv);
+        active_.push_back(std::move(s));
+    }
+}
+
+std::vector<DecodeEngine::StepItem>
+DecodeEngine::planStep() const
+{
+    std::vector<StepItem> items;
+    size_t budget = decode_.stepTokenBudget;
+    size_t col = 0;
+    for (size_t i = 0; i < active_.size() && budget > 0; ++i) {
+        const SequenceState &s = active_[i];
+        StepItem item;
+        item.slot = i;
+        item.col = col;
+        if (s.prefillPos < s.prompt.size()) {
+            item.prefill = true;
+            item.tokens = std::min({decode_.prefillChunk,
+                                    s.prompt.size() - s.prefillPos,
+                                    budget});
+            // The step consuming the final prompt token emits the
+            // first generated token from that token's hidden state.
+            item.samples = s.prefillPos + item.tokens == s.prompt.size();
+        } else {
+            item.tokens = 1;
+            item.samples = true;
+        }
+        budget -= item.tokens;
+        col += item.tokens;
+        items.push_back(item);
+    }
+    return items;
+}
+
+void
+DecodeEngine::forwardBlock(size_t block, const std::vector<StepItem> &items,
+                           Matrix &x)
+{
+    const DecodeGeometry &g = model_.decode;
+    const size_t d = wiring_.hidden;
+    const size_t kvDim = g.kvHeads * g.headDim;
+    const size_t share = g.heads / g.kvHeads;
+    const double invSqrtHd = 1.0 / std::sqrt(static_cast<double>(g.headDim));
+
+    // Attention: pre-norm, fused QKV projection through the blocked
+    // packed kernel, then per-sequence attention against the quantized
+    // KV pool. QKV rows: [0, d) queries, [d, d + kvDim) keys,
+    // [d + kvDim, d + 2 kvDim) values.
+    const Matrix xn = rmsNormed(x);
+    actsScratch_.requantize(xn, decode_.actBits, decode_.actGroup);
+    const Matrix qkv = packedGemmParallel(*packed_->plans[wiring_.qkv],
+                                          actsScratch_, decode_.tileTokens,
+                                          decode_.tileCols);
+
+    Matrix attn(d, x.cols());
+    // Sequences are independent: each item appends to and reads only
+    // its own pool and writes only its own activation columns. Within
+    // an item, tokens advance serially — append, then attend over the
+    // pool prefix [0, position] — so a token's attention reads the same
+    // pool state whatever the chunking, and causality holds inside a
+    // prefill chunk.
+    parallelFor(0, items.size(), [&](size_t ii) {
+        const StepItem &item = items[ii];
+        SequenceState &seq = active_[item.slot];
+        KvPool &pool = seq.kv[block];
+        std::vector<double> kcol(kvDim), vcol(kvDim);
+        std::vector<double> scores;
+        std::vector<double> qhead(g.headDim);
+        // Dense K/V scratch shared by all heads (one bulk decode
+        // instead of heads x per-element reads), laid out with the
+        // item's final token count as row stride so appended tokens
+        // extend the rows in place. Closed groups are immutable, so a
+        // full re-gather is only needed when an append closes a group
+        // (which changes the representation of tokens that just left
+        // the residual window); otherwise the new token's column is
+        // written directly — it still sits in the full-precision tail.
+        const size_t cap = pool.tokens() + item.tokens;
+        std::vector<double> kbuf(kvDim * cap), vbuf(kvDim * cap);
+        pool.gather(kbuf.data(), vbuf.data(), cap);
+        size_t gatheredQuant = pool.quantizedTokens();
+        for (size_t j = 0; j < item.tokens; ++j) {
+            const size_t col = item.col + j;
+            for (size_t c = 0; c < kvDim; ++c) {
+                kcol[c] = qkv(d + c, col);
+                vcol[c] = qkv(d + kvDim + c, col);
+            }
+            pool.append(kcol.data(), vcol.data());
+            const size_t n = pool.tokens();
+            if (pool.quantizedTokens() != gatheredQuant) {
+                pool.gather(kbuf.data(), vbuf.data(), cap);
+                gatheredQuant = pool.quantizedTokens();
+            } else {
+                for (size_t c = 0; c < kvDim; ++c) {
+                    kbuf[c * cap + n - 1] = kcol[c];
+                    vbuf[c * cap + n - 1] = vcol[c];
+                }
+            }
+            scores.resize(n);
+            for (size_t h = 0; h < g.heads; ++h) {
+                const size_t qr = h * g.headDim;          // query rows
+                const size_t kb = (h / share) * g.headDim; // GQA kv base
+                for (size_t i = 0; i < g.headDim; ++i)
+                    qhead[i] = qkv(qr + i, col);
+                std::fill(scores.begin(), scores.end(), 0.0);
+                for (size_t i = 0; i < g.headDim; ++i) {
+                    const double *krow = kbuf.data() + (kb + i) * cap;
+                    const double qi = qhead[i];
+                    for (size_t t = 0; t < n; ++t)
+                        scores[t] += qi * krow[t];
+                }
+                double mx = -HUGE_VAL;
+                for (size_t t = 0; t < n; ++t) {
+                    scores[t] *= invSqrtHd;
+                    mx = std::max(mx, scores[t]);
+                }
+                double sum = 0.0;
+                for (size_t t = 0; t < n; ++t) {
+                    scores[t] = std::exp(scores[t] - mx);
+                    sum += scores[t];
+                }
+                const double wnorm = 1.0 / sum;
+                for (size_t i = 0; i < g.headDim; ++i) {
+                    const double *vrow = vbuf.data() + (kb + i) * cap;
+                    double acc = 0.0;
+                    for (size_t t = 0; t < n; ++t)
+                        acc += scores[t] * vrow[t];
+                    attn(qr + i, col) = acc * wnorm;
+                }
+            }
+        }
+    });
+
+    actsScratch_.requantize(attn, decode_.actBits, decode_.actGroup);
+    const Matrix attnOut = packedGemmParallel(*packed_->plans[wiring_.out],
+                                              actsScratch_,
+                                              decode_.tileTokens,
+                                              decode_.tileCols);
+    addInPlace(x, attnOut);
+
+    // MLP: pre-norm, up projection, tanh, down projection, residual.
+    const Matrix xn2 = rmsNormed(x);
+    actsScratch_.requantize(xn2, decode_.actBits, decode_.actGroup);
+    Matrix up = packedGemmParallel(*packed_->plans[wiring_.up],
+                                   actsScratch_, decode_.tileTokens,
+                                   decode_.tileCols);
+    tanhInPlace(up);
+    actsScratch_.requantize(up, decode_.actBits, decode_.actGroup);
+    const Matrix down = packedGemmParallel(*packed_->plans[wiring_.down],
+                                           actsScratch_, decode_.tileTokens,
+                                           decode_.tileCols);
+    addInPlace(x, down);
+}
+
+uint32_t
+DecodeEngine::sample(const Matrix &x, size_t col) const
+{
+    // Greedy argmax over the tied unembedding; strict comparison makes
+    // ties resolve to the smallest token id. The hidden column is
+    // gathered once so every logit dot product streams two contiguous
+    // rows.
+    std::vector<double> h(wiring_.hidden);
+    for (size_t r = 0; r < wiring_.hidden; ++r)
+        h[r] = x(r, col);
+    double best = -HUGE_VAL;
+    uint32_t arg = 0;
+    for (size_t v = 0; v < decode_.vocab; ++v) {
+        const double *row = embed_.rowPtr(v);
+        double s = 0.0;
+        for (size_t r = 0; r < wiring_.hidden; ++r)
+            s += row[r] * h[r];
+        if (s > best) {
+            best = s;
+            arg = static_cast<uint32_t>(v);
+        }
+    }
+    return arg;
+}
+
+void
+DecodeEngine::step(DecodeReport &report)
+{
+    admit();
+    if (active_.empty())
+        return;
+    const double t0 = nowMs();
+    const std::vector<StepItem> items = planStep();
+    MSQ_ASSERT(!items.empty(), "a step with active sequences does work");
+
+    size_t step_tokens = 0;
+    for (const StepItem &item : items)
+        step_tokens += item.tokens;
+
+    // Input embeddings (token embedding + position encoding): prompt
+    // chunk for prefilling sequences, the last generated token for
+    // decoding ones. A token's position in its sequence is independent
+    // of scheduling, so the gathered column depends only on the
+    // sequence's own history.
+    Matrix x(wiring_.hidden, step_tokens);
+    for (const StepItem &item : items) {
+        const SequenceState &seq = active_[item.slot];
+        for (size_t j = 0; j < item.tokens; ++j) {
+            uint32_t tok;
+            size_t pos;
+            if (item.prefill) {
+                pos = seq.prefillPos + j;
+                tok = seq.prompt[pos];
+            } else {
+                pos = seq.prompt.size() + seq.generated.size() - 1;
+                tok = seq.generated.back();
+            }
+            // Position sinusoids are scaled to the unit-norm embedding
+            // rows (amplitude 1/sqrt(hidden)).
+            const double *row = embed_.rowPtr(tok);
+            const double amp =
+                1.0 / std::sqrt(static_cast<double>(wiring_.hidden));
+            const double p = static_cast<double>(pos);
+            for (size_t r = 0; r < wiring_.hidden; ++r) {
+                const double angle = p * posFreq_[r];
+                x(r, item.col + j) =
+                    row[r] + amp * (r % 2 == 0 ? std::sin(angle)
+                                               : std::cos(angle));
+            }
+        }
+    }
+
+    for (size_t b = 0; b < model_.decode.blocks; ++b)
+        forwardBlock(b, items, x);
+
+    // Sampling positions read the final-normalized hidden state of
+    // their item's last forwarded token.
+    const Matrix xf = rmsNormed(x);
+    std::vector<uint32_t> next(items.size(), 0);
+    parallelFor(0, items.size(), [&](size_t ii) {
+        if (items[ii].samples)
+            next[ii] = sample(xf, items[ii].col + items[ii].tokens - 1);
+    });
+
+    const double t1 = nowMs();
+    bool has_prefill = false;
+    size_t prefill_tokens = 0;
+    size_t sampled = 0;
+    for (size_t ii = 0; ii < items.size(); ++ii) {
+        const StepItem &item = items[ii];
+        SequenceState &seq = active_[item.slot];
+        seq.steps += 1;
+        if (item.prefill) {
+            has_prefill = true;
+            prefill_tokens += item.tokens;
+            seq.prefillPos += item.tokens;
+        }
+        if (item.samples) {
+            seq.generated.push_back(next[ii]);
+            sampled += 1;
+            if (seq.firstTokenMs < 0.0)
+                seq.firstTokenMs = t1;
+        }
+    }
+
+    report.steps += 1;
+    report.prefillTokens += prefill_tokens;
+    report.generatedTokens += sampled;
+    if (has_prefill) {
+        report.prefillMs += t1 - t0;
+    } else {
+        report.decodeMs += t1 - t0;
+        report.decodeSteps += 1;
+        report.decodeStepTokens += sampled;
+        // Accumulated here, divided by decodeSteps in run().
+        report.meanActiveSeqs += static_cast<double>(items.size());
+    }
+
+    // Retire finished sequences in slot order.
+    for (size_t i = 0; i < active_.size();) {
+        SequenceState &seq = active_[i];
+        if (seq.generated.size() < seq.maxNewTokens) {
+            ++i;
+            continue;
+        }
+        GenRecord rec;
+        rec.id = seq.id;
+        rec.promptTokens = seq.prompt.size();
+        rec.tokens = std::move(seq.generated);
+        rec.ttftMs = seq.firstTokenMs - seq.submitMs;
+        rec.totalMs = t1 - seq.submitMs;
+        rec.steps = seq.steps;
+        for (const KvPool &pool : seq.kv) {
+            report.kvPackedBytes += pool.packedBytes();
+            report.kvFpBytes += pool.fpBytes();
+        }
+        report.requests.push_back(std::move(rec));
+        active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    }
+}
+
+DecodeReport
+DecodeEngine::run()
+{
+    DecodeReport report;
+    const double t0 = nowMs();
+    while (!waiting_.empty() || !active_.empty())
+        step(report);
+    report.wallMs = nowMs() - t0;
+    if (report.decodeSteps > 0)
+        report.meanActiveSeqs /= static_cast<double>(report.decodeSteps);
+    if (report.prefillMs > 0.0)
+        report.prefillTokensPerSec =
+            static_cast<double>(report.prefillTokens) /
+            (report.prefillMs / 1e3);
+    if (report.decodeMs > 0.0)
+        report.decodeTokensPerSec =
+            static_cast<double>(report.decodeStepTokens) /
+            (report.decodeMs / 1e3);
+    if (report.wallMs > 0.0)
+        report.generatedTokensPerSec =
+            static_cast<double>(report.generatedTokens) /
+            (report.wallMs / 1e3);
+    return report;
+}
+
+} // namespace msq

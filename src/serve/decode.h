@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Autoregressive decode subsystem: turns a packed deployment
+ * (PackedModel) into a token generator with iteration-level continuous
+ * batching — the Orca/vLLM-class serving regime the ROADMAP's "opens a
+ * new workload" step targets.
+ *
+ * The generator runs a scaled transformer block stack entirely on the
+ * quantized artifacts this repository already serves:
+ *
+ *  - QKV / attn-out / MLP projections execute through the blocked
+ *    packed-execution kernel (`packedGemmParallel`) straight from the
+ *    Fig. 5 bit-codes, with per-step activations quantized to MX-INT
+ *    through the same channel-major panel the batching engine uses
+ *    (one scratch, `QuantizedActs::requantize`).
+ *  - Every sequence's KV history lives in a `KvPool`
+ *    (quant/kv_pool.h): packed 2-bit codes — keys per channel, values
+ *    per token, the KIVI recipe of the paper's Table 7 ablation — with
+ *    a full-precision residual window and incremental group-close
+ *    appends; attention scores and weighted sums read the quantized
+ *    pool directly.
+ *  - The profile carries the attention geometry
+ *    (`ModelProfile::decode`: heads, GQA kv heads, head dim, block
+ *    count); every block reuses the profile's one quantized
+ *    representative layer set, and the vocabulary embedding is
+ *    synthesized deterministically from the model seed (tied
+ *    embedding/unembedding, greedy argmax sampling).
+ *
+ * Scheduling is iteration-level: between decode steps the engine
+ * admits waiting sequences into free slots and retires finished ones
+ * (`DecodeConfig::continuousBatching`; off = static batching, a batch
+ * runs to completion before the next is admitted — the baseline
+ * `bench_decode` compares against). Each step distributes a token
+ * budget over the active slots: prefilling sequences take up to
+ * `prefillChunk` prompt tokens, decoding sequences one token each, so
+ * prefill is chunked through the same scheduler instead of stalling
+ * running generations.
+ *
+ * Determinism contract (test-enforced in tests/test_decode.cc): a
+ * request's generated token stream is bit-identical across
+ * `MSQ_THREADS`, batch composition (`maxBatchSeqs`, budget, admission
+ * order) and batching mode. Every per-token computation depends only
+ * on the sequence's own history: per-token activation-quantization
+ * groups make a token's projection outputs independent of its batch
+ * neighbours, the KV pool's group-close schedule depends only on the
+ * sequence's own token count, attention/softmax/sampling reduce
+ * serially in fixed orders, and parallel loops only ever write
+ * per-item slots.
+ */
+
+#ifndef MSQ_SERVE_DECODE_H
+#define MSQ_SERVE_DECODE_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "quant/kv_pool.h"
+#include "serve/weight_cache.h"
+
+namespace msq {
+
+/** Scheduler, activation, and KV-cache knobs of the decode engine. */
+struct DecodeConfig
+{
+    size_t maxBatchSeqs = 8;      ///< sequences resident per step
+    size_t stepTokenBudget = 64;  ///< tokens forwarded per step (all seqs)
+    size_t prefillChunk = 16;     ///< max prompt tokens per seq per step
+
+    /**
+     * Iteration-level admission: free slots are refilled from the wait
+     * queue between decode steps. Off = static batching (admit a batch
+     * only when every slot is empty), the naive deployment the decode
+     * benchmark quantifies against.
+     */
+    bool continuousBatching = true;
+
+    unsigned actBits = 8;         ///< per-step iAct precision
+    size_t actGroup = 128;        ///< iAct scale-sharing group
+
+    /**
+     * KV pool recipe (quant/kv_pool.h): bits, token/channel group, and
+     * the full-precision residual window, scaled to the zoo's scaled
+     * head dimensions just as the layer shapes are.
+     */
+    KvCacheConfig kv{2, 32, 32};
+
+    size_t vocab = 256;           ///< synthetic vocabulary size
+
+    size_t tileTokens = 32;       ///< packedGemmParallel token tile
+    size_t tileCols = 0;          ///< column tile (0 = auto split)
+
+    size_t calibTokens = 128;     ///< weight-cache calibration floor
+    std::string cacheDir;         ///< optional `.msq` disk cache tier
+};
+
+/** One in-flight sequence: prompt, generation, and its KV pools. */
+struct SequenceState
+{
+    uint64_t id = 0;
+    std::vector<uint32_t> prompt;
+    size_t maxNewTokens = 0;
+
+    size_t prefillPos = 0;            ///< prompt tokens consumed
+    std::vector<uint32_t> generated;  ///< sampled tokens, in order
+    std::vector<KvPool> kv;           ///< one pool per transformer block
+
+    double submitMs = 0.0;
+    double firstTokenMs = -1.0;       ///< time of the first sampled token
+    size_t steps = 0;                 ///< steps this sequence was forwarded
+};
+
+/** Outcome of one finished generation. */
+struct GenRecord
+{
+    uint64_t id = 0;
+    size_t promptTokens = 0;
+    std::vector<uint32_t> tokens;  ///< the generated stream
+    double ttftMs = 0.0;           ///< submit -> first token
+    double totalMs = 0.0;          ///< submit -> retirement
+    size_t steps = 0;
+};
+
+/** Aggregate statistics of one run() call. */
+struct DecodeReport
+{
+    std::vector<GenRecord> requests;  ///< in retirement order
+
+    size_t steps = 0;
+    size_t prefillTokens = 0;    ///< prompt tokens forwarded
+    size_t generatedTokens = 0;  ///< tokens sampled
+    double wallMs = 0.0;
+
+    /**
+     * Phase split: a step that forwards any prompt chunk counts as
+     * prefill (chunked prefill mixes phases by design); steps that only
+     * decode are the steady state the throughput claims are about.
+     */
+    size_t decodeSteps = 0;
+    size_t decodeStepTokens = 0;     ///< tokens sampled in pure-decode steps
+    double prefillMs = 0.0;
+    double decodeMs = 0.0;
+    double meanActiveSeqs = 0.0;     ///< mean busy slots per decode step
+
+    double prefillTokensPerSec = 0.0;
+    double decodeTokensPerSec = 0.0;    ///< steady-state decode throughput
+    double generatedTokensPerSec = 0.0; ///< all sampled tokens / wall
+
+    size_t kvPackedBytes = 0;  ///< packed codes + grids at retirement
+    size_t kvFpBytes = 0;      ///< residual-window bytes at retirement
+};
+
+/** Autoregressive generator for one packed deployment. */
+class DecodeEngine
+{
+  public:
+    /**
+     * Deploy `model` (which must be decode-capable, see
+     * model/model_zoo.h decodeWiring) quantized under `config` behind a
+     * generation queue. The profile is held by reference and must
+     * outlive the engine.
+     *
+     * @pre PackedExecPlan::executable(config), decodeCapable(model)
+     */
+    DecodeEngine(const ModelProfile &model, const MsqConfig &config,
+                 const DecodeConfig &decode = {});
+
+    /**
+     * Enqueue a generation request. Every prompt id must lie in
+     * [0, vocab); at least one prompt token and one new token.
+     * Returns the request id.
+     */
+    uint64_t submit(const std::vector<uint32_t> &prompt,
+                    size_t max_new_tokens);
+
+    /** Requests waiting for a slot. */
+    size_t waiting() const { return waiting_.size(); }
+
+    /** Sequences currently resident in slots. */
+    size_t active() const { return active_.size(); }
+
+    /**
+     * Run scheduler steps until every submitted request has finished;
+     * returns per-request generations plus phase throughput statistics.
+     */
+    DecodeReport run();
+
+    const PackedModel &packedModel() const { return *packed_; }
+    const DecodeConfig &config() const { return decode_; }
+
+    /** Deterministic tied embedding matrix (vocab x hidden: row v is
+     *  token v's unit-norm embedding). */
+    const Matrix &embedding() const { return embed_; }
+
+  private:
+    /** One slot's share of a step. */
+    struct StepItem
+    {
+        size_t slot = 0;    ///< index into active_
+        size_t col = 0;     ///< first activation column of this item
+        size_t tokens = 0;  ///< forwarded tokens (prefill chunk or 1)
+        bool prefill = false;
+        bool samples = false;  ///< emits a token this step
+    };
+
+    /** Admit waiting sequences per the batching mode. */
+    void admit();
+
+    /** Distribute the step token budget over the active slots. */
+    std::vector<StepItem> planStep() const;
+
+    /** Forward one scheduler step; updates report counters. */
+    void step(DecodeReport &report);
+
+    /** One transformer block over the step batch (X updated in place). */
+    void forwardBlock(size_t block, const std::vector<StepItem> &items,
+                      Matrix &x);
+
+    /** Greedy argmax over the tied unembedding of one hidden column. */
+    uint32_t sample(const Matrix &x, size_t col) const;
+
+    /** Milliseconds since engine construction (monotonic). */
+    double nowMs() const;
+
+    const ModelProfile &model_;
+    DecodeConfig decode_;
+    DecodeWiring wiring_;
+    PackedModelPtr packed_;
+    Matrix embed_;  ///< vocab x hidden, unit-norm rows
+    std::vector<double> posFreq_;  ///< sinusoid frequency per channel
+
+    std::deque<SequenceState> waiting_;
+    std::vector<SequenceState> active_;
+    uint64_t nextId_ = 1;
+    uint64_t epoch_ = 0;
+
+    QuantizedActs actsScratch_;  ///< reused across every projection
+};
+
+} // namespace msq
+
+#endif // MSQ_SERVE_DECODE_H

@@ -1,27 +1,14 @@
 #include "serve/engine.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "model/calib_gen.h"
+#include "serve/clock.h"
 
 namespace msq {
-
-namespace {
-
-uint64_t
-steadyNanos()
-{
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-}
-
-} // namespace
 
 ServeEngine::ServeEngine(const ModelProfile &model, const MsqConfig &config,
                          const ServeConfig &serve)
@@ -84,32 +71,12 @@ ServeEngine::runBatch(const std::vector<Pending> &batch, ServeReport &report)
         // Quantize iActs (token groups are independent, so batched
         // quantization equals per-request quantization bit for bit) and
         // fan the blocked GEMM's 2D (column-block x token-tile) grid
-        // across the pool. Token tiles alone starve the pool when a
-        // batch is one narrow request; splitting columns keeps every
-        // thread busy at any batch width, and the kernel's fold order
-        // makes the bytes identical under every partition.
+        // across the pool (packedGemmParallel, shared with the decode
+        // engine's block forward).
         const QuantizedActs acts(x, serve_.actBits, serve_.actGroup);
-        Matrix out(plan.cols(), batch_tokens);
-        const size_t ttiles =
-            (batch_tokens + serve_.tileTokens - 1) / serve_.tileTokens;
-        const size_t mb = plan.macroBlock();
-        const size_t mbs = (plan.cols() + mb - 1) / mb;
-        size_t tile_cols = serve_.tileCols;
-        if (tile_cols == 0) {
-            const size_t want = 2 * threadCount();
-            const size_t split =
-                ttiles >= want ? 1 : (want + ttiles - 1) / ttiles;
-            tile_cols = ((mbs + split - 1) / split) * mb;
-        }
-        tile_cols = ((tile_cols + mb - 1) / mb) * mb;  // align to MaBs
-        const size_t ctiles = (plan.cols() + tile_cols - 1) / tile_cols;
-        parallelFor(0, ctiles * ttiles, [&](size_t tile) {
-            const size_t c0 = (tile / ttiles) * tile_cols;
-            const size_t c1 = std::min(plan.cols(), c0 + tile_cols);
-            const size_t t0 = (tile % ttiles) * serve_.tileTokens;
-            const size_t t1 = std::min(batch_tokens, t0 + serve_.tileTokens);
-            plan.gemmBlock(acts, c0, c1, t0, t1, out);
-        });
+        const Matrix out =
+            packedGemmParallel(plan, acts, serve_.tileTokens,
+                               serve_.tileCols);
 
         // Per-request output checksums, reduced serially in a fixed
         // (request, output, token) order.

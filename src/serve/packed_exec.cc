@@ -8,6 +8,7 @@
 #include "accel/int_dequant.h"
 #include "common/bitstream.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "serve/weight_cache.h"
 
 namespace msq {
@@ -516,6 +517,36 @@ PackedExecPlan::referenceGemmRange(const QuantizedActs &acts, size_t t0,
             }
         }
     }
+}
+
+Matrix
+packedGemmParallel(const PackedExecPlan &plan, const QuantizedActs &acts,
+                   size_t tile_tokens, size_t tile_cols)
+{
+    MSQ_ASSERT(tile_tokens > 0, "tile size must be positive");
+    const size_t tokens = acts.tokens();
+    Matrix out(plan.cols(), tokens);
+    const size_t ttiles = (tokens + tile_tokens - 1) / tile_tokens;
+    const size_t mb = plan.macroBlock();
+    const size_t mbs = (plan.cols() + mb - 1) / mb;
+    if (tile_cols == 0) {
+        // Token tiles alone starve the pool on a narrow batch — the
+        // single-low-latency-request case — so split columns until
+        // roughly two tasks exist per thread.
+        const size_t want = 2 * threadCount();
+        const size_t split = ttiles >= want ? 1 : (want + ttiles - 1) / ttiles;
+        tile_cols = ((mbs + split - 1) / split) * mb;
+    }
+    tile_cols = ((tile_cols + mb - 1) / mb) * mb;  // align to MaBs
+    const size_t ctiles = (plan.cols() + tile_cols - 1) / tile_cols;
+    parallelFor(0, ctiles * ttiles, [&](size_t tile) {
+        const size_t c0 = (tile / ttiles) * tile_cols;
+        const size_t c1 = std::min(plan.cols(), c0 + tile_cols);
+        const size_t t0 = (tile % ttiles) * tile_tokens;
+        const size_t t1 = std::min(tokens, t0 + tile_tokens);
+        plan.gemmBlock(acts, c0, c1, t0, t1, out);
+    });
+    return out;
 }
 
 PackedExecBackend

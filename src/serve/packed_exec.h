@@ -227,6 +227,21 @@ class PackedExecPlan
 };
 
 /**
+ * One full packed GEMM fanned across the parallelFor pool with the
+ * serving engine's 2D (column-block x token-tile) partition: token
+ * tiles of `tileTokens` columns crossed with column blocks of
+ * `tileCols` outputs (0 picks the column split automatically so even a
+ * single narrow batch fills the pool; widths are rounded up to the
+ * plan's macro-block). The kernel's fold order is tile-independent, so
+ * the returned bytes are identical under every partition and thread
+ * count. Shared by the batching engine (serve/engine.cc) and every
+ * projection of the decode block forward (serve/decode.cc).
+ */
+Matrix packedGemmParallel(const PackedExecPlan &plan,
+                          const QuantizedActs &acts, size_t tileTokens,
+                          size_t tileCols = 0);
+
+/**
  * Packed-execution backend for `evaluateMethodOnModel` (set it on
  * `PipelineConfig::packedExec`): runs the layer through a memoized
  * PackedExecPlan (serve/weight_cache.h getExecPlan — repeated

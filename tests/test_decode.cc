@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Autoregressive decode subsystem: end-to-end generation on the
+ * TinyLM-decode zoo profile must produce bit-identical token streams
+ * across `MSQ_THREADS`, batch composition (slot count, step budget,
+ * prefill chunking), batching mode (continuous vs static), and
+ * admission order — the scheduler may only change *when* a sequence's
+ * tokens are computed, never their values. Plus wiring validation,
+ * scheduler accounting, and KV-pool engagement checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "serve/decode.h"
+
+namespace msq {
+namespace {
+
+/** A mixed-length request mix (prompts and generation lengths vary). */
+struct Workload
+{
+    std::vector<std::vector<uint32_t>> prompts;
+    std::vector<size_t> maxNew;
+};
+
+Workload
+makeWorkload(size_t requests, size_t vocab)
+{
+    Workload w;
+    for (size_t i = 0; i < requests; ++i) {
+        Rng rng(1000 + i);
+        const size_t len = 3 + i % 5;
+        std::vector<uint32_t> prompt(len);
+        for (uint32_t &tok : prompt)
+            tok = static_cast<uint32_t>(rng.uniformInt(vocab));
+        w.prompts.push_back(std::move(prompt));
+        w.maxNew.push_back(2 + (i * 7) % 9);
+    }
+    return w;
+}
+
+MsqConfig
+quantConfig()
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;  // keep deployment fast
+    return cfg;
+}
+
+DecodeConfig
+baseDecodeConfig()
+{
+    DecodeConfig cfg;
+    cfg.maxBatchSeqs = 4;
+    cfg.stepTokenBudget = 16;
+    cfg.prefillChunk = 4;
+    cfg.kv = {2, 4, 4};  // small groups so quantization engages early
+    cfg.vocab = 64;
+    return cfg;
+}
+
+/**
+ * Run the workload through an engine, submitting in the order given by
+ * `order` (identity when empty), and return the generated stream of
+ * each *logical* request index.
+ */
+std::vector<std::vector<uint32_t>>
+generate(const Workload &w, const DecodeConfig &cfg,
+         std::vector<size_t> order = {})
+{
+    if (order.empty())
+        for (size_t i = 0; i < w.prompts.size(); ++i)
+            order.push_back(i);
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    DecodeEngine engine(model, quantConfig(), cfg);
+    std::map<uint64_t, size_t> logical;
+    for (size_t idx : order)
+        logical[engine.submit(w.prompts[idx], w.maxNew[idx])] = idx;
+    const DecodeReport report = engine.run();
+    EXPECT_EQ(report.requests.size(), w.prompts.size());
+    std::vector<std::vector<uint32_t>> streams(w.prompts.size());
+    for (const GenRecord &rec : report.requests) {
+        EXPECT_TRUE(logical.count(rec.id));
+        if (logical.count(rec.id))
+            streams[logical[rec.id]] = rec.tokens;
+    }
+    return streams;
+}
+
+TEST(DecodeWiringTest, ZooProfiles)
+{
+    EXPECT_TRUE(decodeCapable(modelByName("TinyLM-decode")));
+    EXPECT_TRUE(decodeCapable(modelByName("LLaMA2-7B")));
+    EXPECT_TRUE(decodeCapable(modelByName("Phi3-3.8B")));
+    EXPECT_FALSE(decodeCapable(modelByName("TinyLM")));
+    EXPECT_FALSE(decodeCapable(modelByName("ResNet50")));
+    EXPECT_FALSE(decodeCapable(modelByName("VMamba-S")));
+
+    const DecodeWiring w = decodeWiring(modelByName("TinyLM-decode"));
+    EXPECT_EQ(w.hidden, 64u);
+    const ModelProfile &m = modelByName("TinyLM-decode");
+    EXPECT_EQ(m.layers[w.qkv].name, "attn_qkv");
+    EXPECT_EQ(m.layers[w.down].name, "mlp_down");
+    EXPECT_EQ(m.decode.heads * m.decode.headDim, w.hidden);
+}
+
+TEST(DecodeWiringDeathTest, NonTransformerProfileIsFatal)
+{
+    EXPECT_DEATH(decodeWiring(modelByName("TinyLM")), "cannot decode");
+}
+
+TEST(DecodeEngine, GeneratesRequestedTokens)
+{
+    clearPackedModelCache();
+    const Workload w = makeWorkload(6, 64);
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    DecodeEngine engine(model, quantConfig(), baseDecodeConfig());
+    for (size_t i = 0; i < w.prompts.size(); ++i)
+        engine.submit(w.prompts[i], w.maxNew[i]);
+    EXPECT_EQ(engine.waiting(), 6u);
+    EXPECT_EQ(engine.active(), 0u);
+
+    const DecodeReport rep = engine.run();
+    EXPECT_EQ(engine.waiting(), 0u);
+    EXPECT_EQ(engine.active(), 0u);
+    ASSERT_EQ(rep.requests.size(), 6u);
+
+    size_t prompt_total = 0, gen_total = 0;
+    for (const GenRecord &rec : rep.requests) {
+        ASSERT_GE(rec.id, 1u);
+        ASSERT_LE(rec.id, 6u);
+        const size_t idx = rec.id - 1;  // submitted in order
+        EXPECT_EQ(rec.promptTokens, w.prompts[idx].size());
+        EXPECT_EQ(rec.tokens.size(), w.maxNew[idx]);
+        for (uint32_t tok : rec.tokens)
+            EXPECT_LT(tok, 64u);
+        EXPECT_GE(rec.ttftMs, 0.0);
+        EXPECT_GE(rec.totalMs, rec.ttftMs);
+        EXPECT_GT(rec.steps, 0u);
+        prompt_total += rec.promptTokens;
+        gen_total += rec.tokens.size();
+    }
+    EXPECT_EQ(rep.prefillTokens, prompt_total);
+    EXPECT_EQ(rep.generatedTokens, gen_total);
+    EXPECT_GT(rep.steps, 0u);
+    EXPECT_GT(rep.generatedTokensPerSec, 0.0);
+    // Mixed lengths guarantee pure-decode steps exist.
+    EXPECT_GT(rep.decodeSteps, 0u);
+    EXPECT_GE(rep.meanActiveSeqs, 1.0);
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, KvPoolsQuantizeDuringGeneration)
+{
+    clearPackedModelCache();
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    DecodeConfig cfg = baseDecodeConfig();
+    cfg.kv = {2, 4, 2};  // tiny residual: groups close early
+    DecodeEngine engine(model, quantConfig(), cfg);
+    std::vector<uint32_t> prompt(12, 3);
+    engine.submit(prompt, 20);
+    const DecodeReport rep = engine.run();
+    ASSERT_EQ(rep.requests.size(), 1u);
+    // 32 tokens of history per block: packed groups must have closed,
+    // and the residual tail stays bounded by residual + groupSize.
+    EXPECT_GT(rep.kvPackedBytes, 0u);
+    EXPECT_GT(rep.kvFpBytes, 0u);
+    const size_t kv_dim = model.decode.kvHeads * model.decode.headDim;
+    EXPECT_LE(rep.kvFpBytes, model.decode.blocks * 2 * kv_dim *
+                                 (cfg.kv.residual + cfg.kv.groupSize) *
+                                 sizeof(double));
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, TokenStreamsInvariantAcrossThreads)
+{
+    clearPackedModelCache();
+    const Workload w = makeWorkload(8, 64);
+    setThreadCount(1);
+    const auto serial = generate(w, baseDecodeConfig());
+    setThreadCount(4);
+    const auto threaded = generate(w, baseDecodeConfig());
+    setThreadCount(0);
+    EXPECT_EQ(serial, threaded);
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, TokenStreamsInvariantAcrossBatchComposition)
+{
+    clearPackedModelCache();
+    const Workload w = makeWorkload(8, 64);
+    const auto ref = generate(w, baseDecodeConfig());
+
+    // One sequence at a time (no batching at all).
+    DecodeConfig solo = baseDecodeConfig();
+    solo.maxBatchSeqs = 1;
+    EXPECT_EQ(generate(w, solo), ref);
+
+    // Wide slots, tight budget (sequences idle some steps).
+    DecodeConfig tight = baseDecodeConfig();
+    tight.maxBatchSeqs = 8;
+    tight.stepTokenBudget = 3;
+    EXPECT_EQ(generate(w, tight), ref);
+
+    // Prefill chunking must not change values, only scheduling.
+    DecodeConfig chunky = baseDecodeConfig();
+    chunky.prefillChunk = 1;
+    EXPECT_EQ(generate(w, chunky), ref);
+    chunky.prefillChunk = 64;
+    chunky.stepTokenBudget = 64;
+    EXPECT_EQ(generate(w, chunky), ref);
+
+    // Static batching: same streams, different schedule.
+    DecodeConfig stat = baseDecodeConfig();
+    stat.continuousBatching = false;
+    EXPECT_EQ(generate(w, stat), ref);
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, TokenStreamsInvariantAcrossAdmissionOrder)
+{
+    clearPackedModelCache();
+    const Workload w = makeWorkload(7, 64);
+    const auto ref = generate(w, baseDecodeConfig());
+
+    std::vector<size_t> reversed(w.prompts.size());
+    for (size_t i = 0; i < reversed.size(); ++i)
+        reversed[i] = reversed.size() - 1 - i;
+    EXPECT_EQ(generate(w, baseDecodeConfig(), reversed), ref);
+
+    std::vector<size_t> interleaved = {3, 0, 5, 1, 6, 2, 4};
+    EXPECT_EQ(generate(w, baseDecodeConfig(), interleaved), ref);
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, ContinuousBatchingKeepsSlotsFuller)
+{
+    clearPackedModelCache();
+    // Strongly mixed lengths: static batching drains to one straggler
+    // per batch, continuous refills the freed slots.
+    Workload w;
+    for (size_t i = 0; i < 12; ++i) {
+        Rng rng(2000 + i);
+        std::vector<uint32_t> prompt(4);
+        for (uint32_t &tok : prompt)
+            tok = static_cast<uint32_t>(rng.uniformInt(64));
+        w.prompts.push_back(std::move(prompt));
+        w.maxNew.push_back(i % 4 == 0 ? 24 : 3);
+    }
+    const ModelProfile &model = modelByName("TinyLM-decode");
+
+    DecodeConfig cont = baseDecodeConfig();
+    DecodeConfig stat = baseDecodeConfig();
+    stat.continuousBatching = false;
+
+    DecodeEngine ec(model, quantConfig(), cont);
+    DecodeEngine es(model, quantConfig(), stat);
+    for (size_t i = 0; i < w.prompts.size(); ++i) {
+        ec.submit(w.prompts[i], w.maxNew[i]);
+        es.submit(w.prompts[i], w.maxNew[i]);
+    }
+    const DecodeReport rc = ec.run();
+    const DecodeReport rs = es.run();
+
+    // Same tokens, fewer scheduler steps and fuller decode batches.
+    ASSERT_EQ(rc.requests.size(), rs.requests.size());
+    EXPECT_EQ(rc.generatedTokens, rs.generatedTokens);
+    EXPECT_LT(rc.steps, rs.steps);
+    EXPECT_GT(rc.meanActiveSeqs, rs.meanActiveSeqs);
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngineDeathTest, InvalidSubmissions)
+{
+    clearPackedModelCache();
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    DecodeEngine engine(model, quantConfig(), baseDecodeConfig());
+    EXPECT_DEATH(engine.submit({}, 4), "must carry a prompt");
+    EXPECT_DEATH(engine.submit({1, 2}, 0), "must generate tokens");
+    EXPECT_DEATH(engine.submit({1, 9999}, 4), "outside vocabulary");
+    clearPackedModelCache();
+}
+
+} // namespace
+} // namespace msq

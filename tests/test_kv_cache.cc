@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Direct coverage of the KV-cache quantizers (quant/kv_cache.h) and the
+ * streaming per-sequence pool (quant/kv_pool.h): residual-window
+ * boundaries, degenerate group sizes, constant spans, the full 1-8 bit
+ * grid, ragged last groups, non-finite input hardening, and the
+ * incremental-equals-batch property the decode engine's determinism
+ * rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/kv_cache.h"
+#include "quant/kv_pool.h"
+
+namespace msq {
+namespace {
+
+Matrix
+randomCache(size_t channels, size_t tokens, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(channels, tokens);
+    for (size_t c = 0; c < channels; ++c)
+        for (size_t t = 0; t < tokens; ++t)
+            m(c, t) = rng.gaussian(0.0, 1.0 + 0.1 * static_cast<double>(c));
+    return m;
+}
+
+TEST(AsymQuantSpan, ResidualAtLeastTokensLeavesCacheUntouched)
+{
+    const Matrix keys = randomCache(8, 16, 1);
+    KvCacheConfig cfg;
+    cfg.residual = 16;  // residual == tokens
+    Matrix out = quantizeKeyCache(keys, cfg);
+    for (size_t c = 0; c < keys.rows(); ++c)
+        for (size_t t = 0; t < keys.cols(); ++t)
+            EXPECT_EQ(out(c, t), keys(c, t));
+
+    cfg.residual = 64;  // residual > tokens
+    out = quantizeValueCache(keys, cfg);
+    for (size_t c = 0; c < keys.rows(); ++c)
+        for (size_t t = 0; t < keys.cols(); ++t)
+            EXPECT_EQ(out(c, t), keys(c, t));
+}
+
+TEST(AsymQuantSpan, ResidualZeroQuantizesEveryToken)
+{
+    const Matrix keys = randomCache(4, 24, 2);
+    KvCacheConfig cfg;
+    cfg.bits = 2;
+    cfg.groupSize = 8;
+    cfg.residual = 0;
+    const Matrix out = quantizeKeyCache(keys, cfg);
+    // Every group must collapse to at most 2^bits distinct levels.
+    for (size_t c = 0; c < keys.rows(); ++c) {
+        for (size_t t0 = 0; t0 < keys.cols(); t0 += cfg.groupSize) {
+            std::vector<double> levels;
+            for (size_t j = 0; j < cfg.groupSize; ++j) {
+                const double v = out(c, t0 + j);
+                bool seen = false;
+                for (double l : levels)
+                    seen = seen || l == v;
+                if (!seen)
+                    levels.push_back(v);
+            }
+            EXPECT_LE(levels.size(), 4u);
+        }
+    }
+}
+
+TEST(AsymQuantSpan, GroupSizeZeroSpansWholeRange)
+{
+    const Matrix keys = randomCache(3, 20, 3);
+    KvCacheConfig cfg;
+    cfg.bits = 3;
+    cfg.groupSize = 0;  // one group over all quantized tokens
+    cfg.residual = 4;
+    const Matrix out = quantizeKeyCache(keys, cfg);
+    for (size_t c = 0; c < keys.rows(); ++c) {
+        // One asymmetric grid per channel: min and max are preserved
+        // exactly (they are grid endpoints).
+        double lo = keys(c, 0), hi = keys(c, 0);
+        for (size_t t = 0; t < 16; ++t) {
+            lo = std::min(lo, keys(c, t));
+            hi = std::max(hi, keys(c, t));
+        }
+        double qlo = out(c, 0), qhi = out(c, 0);
+        for (size_t t = 0; t < 16; ++t) {
+            qlo = std::min(qlo, out(c, t));
+            qhi = std::max(qhi, out(c, t));
+        }
+        EXPECT_DOUBLE_EQ(qlo, lo);
+        EXPECT_DOUBLE_EQ(qhi, hi);
+        // Residual tail untouched.
+        for (size_t t = 16; t < 20; ++t)
+            EXPECT_EQ(out(c, t), keys(c, t));
+    }
+}
+
+TEST(AsymQuantSpan, ConstantSpanIsExact)
+{
+    std::vector<double> span(12, 3.25);
+    asymQuantSpan(span.data(), span.size(), 2);
+    for (double v : span)
+        EXPECT_EQ(v, 3.25);
+
+    const AsymSpanGrid grid = asymSpanParams(span.data(), span.size(), 2);
+    EXPECT_EQ(grid.step, 0.0);
+    EXPECT_EQ(asymDecode(asymEncode(3.25, grid, 2), grid), 3.25);
+}
+
+TEST(AsymQuantSpan, BitGridOneThroughEight)
+{
+    Rng rng(7);
+    std::vector<double> base(64);
+    for (double &v : base)
+        v = rng.uniform(-2.0, 2.0);
+
+    double prev_err = std::numeric_limits<double>::infinity();
+    for (unsigned bits = 1; bits <= 8; ++bits) {
+        std::vector<double> span = base;
+        asymQuantSpan(span.data(), span.size(), bits);
+        double err = 0.0, lo = base[0], hi = base[0];
+        for (size_t i = 0; i < base.size(); ++i) {
+            err += (span[i] - base[i]) * (span[i] - base[i]);
+            lo = std::min(lo, base[i]);
+            hi = std::max(hi, base[i]);
+        }
+        // Quantized values stay inside the span's range and the error
+        // shrinks monotonically with the bit width.
+        for (double v : span) {
+            EXPECT_GE(v, lo - 1e-12);
+            EXPECT_LE(v, hi + 1e-12);
+        }
+        EXPECT_LT(err, prev_err);
+        prev_err = err;
+        // Max reconstruction error is bounded by half a step.
+        const double step = (hi - lo) / ((1u << bits) - 1);
+        for (size_t i = 0; i < base.size(); ++i)
+            EXPECT_LE(std::fabs(span[i] - base[i]), step / 2 + 1e-12);
+    }
+}
+
+TEST(AsymQuantSpan, RaggedLastGroups)
+{
+    // 21 quantized tokens in groups of 8: 8 + 8 + 5 (ragged).
+    const Matrix keys = randomCache(2, 25, 11);
+    KvCacheConfig cfg;
+    cfg.bits = 2;
+    cfg.groupSize = 8;
+    cfg.residual = 4;
+    const Matrix out = quantizeKeyCache(keys, cfg);
+    // The ragged group [16, 21) must quantize against its own span:
+    // its min/max are preserved exactly.
+    for (size_t c = 0; c < 2; ++c) {
+        double lo = keys(c, 16), hi = keys(c, 16);
+        for (size_t t = 16; t < 21; ++t) {
+            lo = std::min(lo, keys(c, t));
+            hi = std::max(hi, keys(c, t));
+        }
+        double qlo = out(c, 16), qhi = out(c, 16);
+        for (size_t t = 16; t < 21; ++t) {
+            qlo = std::min(qlo, out(c, t));
+            qhi = std::max(qhi, out(c, t));
+        }
+        EXPECT_DOUBLE_EQ(qlo, lo);
+        EXPECT_DOUBLE_EQ(qhi, hi);
+    }
+
+    // Value caches group along channels: 5 channels in groups of 4 is
+    // one full + one ragged single-channel group, which must be exact.
+    const Matrix vals = randomCache(5, 10, 12);
+    KvCacheConfig vcfg;
+    vcfg.bits = 2;
+    vcfg.groupSize = 4;
+    vcfg.residual = 0;
+    const Matrix vout = quantizeValueCache(vals, vcfg);
+    for (size_t t = 0; t < 10; ++t)
+        EXPECT_EQ(vout(4, t), vals(4, t));  // single-element span
+}
+
+TEST(AsymQuantSpanDeathTest, NonFiniteInputIsFatal)
+{
+    std::vector<double> span = {1.0, 2.0,
+                                std::numeric_limits<double>::quiet_NaN(),
+                                4.0};
+    EXPECT_DEATH(asymQuantSpan(span.data(), span.size(), 2),
+                 "non-finite input at index 2");
+    span[2] = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(asymQuantSpan(span.data(), span.size(), 2),
+                 "non-finite input at index 2");
+    span[2] = -std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(asymSpanParams(span.data(), span.size(), 2),
+                 "non-finite input at index 2");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming pool (quant/kv_pool.h)
+
+TEST(KvPool, IncrementalAppendMatchesBatchQuantization)
+{
+    // The closed prefix of the pool must reproduce quantizeKeyCache /
+    // quantizeValueCache bit for bit on every closed group, for every
+    // append count.
+    const size_t channels = 6;
+    KvCacheConfig cfg;
+    cfg.bits = 2;
+    cfg.groupSize = 4;
+    cfg.residual = 5;
+    const Matrix keys = randomCache(channels, 40, 21);
+    const Matrix vals = randomCache(channels, 40, 22);
+
+    KvPool pool(channels, cfg);
+    std::vector<double> kcol(channels), vcol(channels);
+    for (size_t t = 0; t < 40; ++t) {
+        for (size_t c = 0; c < channels; ++c) {
+            kcol[c] = keys(c, t);
+            vcol[c] = vals(c, t);
+        }
+        pool.append(kcol.data(), vcol.data());
+        const size_t n = t + 1;
+        ASSERT_EQ(pool.tokens(), n);
+
+        // Closed prefix: largest multiple of groupSize fitting before
+        // the residual window.
+        const size_t quant =
+            n > cfg.residual
+                ? ((n - cfg.residual) / cfg.groupSize) * cfg.groupSize
+                : 0;
+        ASSERT_EQ(pool.quantizedTokens(), quant);
+
+        // Batch-quantize the first n tokens; closed groups agree
+        // exactly, the residual tail is the raw appended data.
+        Matrix kn(channels, n), vn(channels, n);
+        for (size_t c = 0; c < channels; ++c)
+            for (size_t tt = 0; tt < n; ++tt) {
+                kn(c, tt) = keys(c, tt);
+                vn(c, tt) = vals(c, tt);
+            }
+        const Matrix kq = quantizeKeyCache(kn, cfg);
+        const Matrix vq = quantizeValueCache(vn, cfg);
+        for (size_t c = 0; c < channels; ++c) {
+            for (size_t tt = 0; tt < n; ++tt) {
+                if (tt < quant) {
+                    ASSERT_EQ(pool.key(c, tt), kq(c, tt))
+                        << "key (" << c << "," << tt << ") at n=" << n;
+                    ASSERT_EQ(pool.value(c, tt), vq(c, tt))
+                        << "value (" << c << "," << tt << ") at n=" << n;
+                } else {
+                    ASSERT_EQ(pool.key(c, tt), keys(c, tt));
+                    ASSERT_EQ(pool.value(c, tt), vals(c, tt));
+                }
+            }
+        }
+    }
+}
+
+TEST(KvPool, ResidualZeroClosesEveryFullGroup)
+{
+    KvCacheConfig cfg;
+    cfg.bits = 4;
+    cfg.groupSize = 8;
+    cfg.residual = 0;
+    KvPool pool(3, cfg);
+    std::vector<double> col(3);
+    Rng rng(31);
+    for (size_t t = 0; t < 17; ++t) {
+        for (double &v : col)
+            v = rng.gaussian();
+        pool.append(col.data(), col.data());
+    }
+    // 17 tokens, groups of 8: tokens [0, 16) closed, token 16 in the
+    // tail awaiting a full group.
+    EXPECT_EQ(pool.quantizedTokens(), 16u);
+    EXPECT_GT(pool.packedBytes(), 0u);
+    EXPECT_EQ(pool.fpBytes(), 2 * 3 * sizeof(double));
+}
+
+TEST(KvPool, RaggedValueChannelGroups)
+{
+    // channels = 5, groupSize = 4: per-token value grids split 4 + 1;
+    // the single-channel ragged grid reconstructs exactly.
+    KvCacheConfig cfg;
+    cfg.bits = 2;
+    cfg.groupSize = 4;
+    cfg.residual = 0;
+    KvPool pool(5, cfg);
+    Rng rng(33);
+    std::vector<double> kcol(5), vcol(5);
+    Matrix vals(5, 4);
+    for (size_t t = 0; t < 4; ++t) {
+        for (size_t c = 0; c < 5; ++c) {
+            kcol[c] = rng.gaussian();
+            vcol[c] = rng.gaussian();
+            vals(c, t) = vcol[c];
+        }
+        pool.append(kcol.data(), vcol.data());
+    }
+    ASSERT_EQ(pool.quantizedTokens(), 4u);
+    for (size_t t = 0; t < 4; ++t)
+        EXPECT_EQ(pool.value(4, t), vals(4, t));
+}
+
+TEST(KvPool, BitWidthGrid)
+{
+    for (unsigned bits = 1; bits <= 8; ++bits) {
+        KvCacheConfig cfg;
+        cfg.bits = bits;
+        cfg.groupSize = 4;
+        cfg.residual = 0;
+        KvPool pool(2, cfg);
+        Rng rng(40 + bits);
+        Matrix keys(2, 8);
+        std::vector<double> kcol(2), vcol(2);
+        for (size_t t = 0; t < 8; ++t) {
+            for (size_t c = 0; c < 2; ++c) {
+                kcol[c] = rng.uniform(-1.0, 1.0);
+                keys(c, t) = kcol[c];
+                vcol[c] = kcol[c];
+            }
+            pool.append(kcol.data(), vcol.data());
+        }
+        ASSERT_EQ(pool.quantizedTokens(), 8u);
+        // Reconstruction error bounded by half a step of each group's
+        // span (conservatively: the full span / levels).
+        for (size_t c = 0; c < 2; ++c) {
+            for (size_t t0 = 0; t0 < 8; t0 += 4) {
+                double lo = keys(c, t0), hi = keys(c, t0);
+                for (size_t j = 0; j < 4; ++j) {
+                    lo = std::min(lo, keys(c, t0 + j));
+                    hi = std::max(hi, keys(c, t0 + j));
+                }
+                const double step = (hi - lo) / ((1u << bits) - 1);
+                for (size_t j = 0; j < 4; ++j)
+                    EXPECT_LE(std::fabs(pool.key(c, t0 + j) -
+                                        keys(c, t0 + j)),
+                              step / 2 + 1e-12);
+            }
+        }
+    }
+}
+
+TEST(KvPool, GatherMatchesAccessors)
+{
+    KvCacheConfig cfg;
+    cfg.bits = 2;
+    cfg.groupSize = 4;
+    cfg.residual = 3;
+    const size_t channels = 5;
+    KvPool pool(channels, cfg);
+    Rng rng(55);
+    std::vector<double> kcol(channels), vcol(channels);
+    for (size_t t = 0; t < 19; ++t) {
+        for (size_t c = 0; c < channels; ++c) {
+            kcol[c] = rng.gaussian();
+            vcol[c] = rng.gaussian();
+        }
+        pool.append(kcol.data(), vcol.data());
+
+        // Dense gather equals the element accessors bit for bit, both
+        // at the natural stride and at a wider one (the in-place
+        // append layout the decode engine uses).
+        const size_t n = pool.tokens();
+        for (size_t stride : {n, n + 7}) {
+            std::vector<double> kb(channels * stride, -99.0);
+            std::vector<double> vb(channels * stride, -99.0);
+            pool.gather(kb.data(), vb.data(),
+                        stride == n ? 0 : stride);
+            for (size_t c = 0; c < channels; ++c)
+                for (size_t tt = 0; tt < n; ++tt) {
+                    ASSERT_EQ(kb[c * stride + tt], pool.key(c, tt));
+                    ASSERT_EQ(vb[c * stride + tt], pool.value(c, tt));
+                }
+        }
+    }
+}
+
+TEST(KvPool, ConstantSpansAreExact)
+{
+    KvCacheConfig cfg;
+    cfg.bits = 2;
+    cfg.groupSize = 4;
+    cfg.residual = 0;
+    KvPool pool(2, cfg);
+    std::vector<double> col = {1.5, -2.75};
+    for (size_t t = 0; t < 4; ++t)
+        pool.append(col.data(), col.data());
+    ASSERT_EQ(pool.quantizedTokens(), 4u);
+    for (size_t t = 0; t < 4; ++t) {
+        EXPECT_EQ(pool.key(0, t), 1.5);
+        EXPECT_EQ(pool.key(1, t), -2.75);
+        EXPECT_EQ(pool.value(0, t), 1.5);
+        EXPECT_EQ(pool.value(1, t), -2.75);
+    }
+}
+
+TEST(KvPoolDeathTest, InvalidConfigAndAccess)
+{
+    KvCacheConfig cfg;
+    cfg.groupSize = 0;
+    EXPECT_DEATH(KvPool(4, cfg), "finite groupSize");
+
+    KvCacheConfig ok;
+    ok.groupSize = 4;
+    KvPool pool(2, ok);
+    std::vector<double> col = {0.0, 1.0};
+    pool.append(col.data(), col.data());
+    EXPECT_DEATH(pool.key(2, 0), "out of range");
+    EXPECT_DEATH(pool.key(0, 1), "out of range");
+    EXPECT_DEATH(pool.value(0, 5), "out of range");
+}
+
+} // namespace
+} // namespace msq
