@@ -1,0 +1,473 @@
+#!/usr/bin/env python3
+"""Determinism lint: ban patterns that silently break bit-identity.
+
+The repository's serving contract is that token streams and GEMM
+outputs are bit-identical across ``MSQ_THREADS``, partition shape, and
+admission order. That contract is easy to break with innocent-looking
+code long before any test notices, so this checker bans the known
+foot-guns in ``src/``:
+
+``unordered-container``
+    ``std::unordered_map`` / ``std::unordered_set`` (and multi
+    variants). Their iteration order is libstdc++-internal and
+    seed-dependent, so any loop over one can feed output-ordered paths.
+    The repo convention is ordered containers (``std::map``,
+    ``std::set``, sorted vectors).
+
+``raw-random``
+    ``rand()`` / ``srand()`` / ``std::random_device`` /
+    ``std::mt19937`` and friends outside ``src/common/rng.*``. All
+    randomness must flow through the seeded xoshiro ``msq::Rng`` so a
+    run is reproducible from its config.
+
+``wall-clock``
+    Clock reads (``steady_clock`` / ``system_clock`` /
+    ``high_resolution_clock`` / ``time()`` / ``clock_gettime`` / ...)
+    outside ``src/serve/clock.h``. Keeping every clock read behind one
+    audited helper keeps time a *measurement*, never an input to
+    computed bytes.
+
+``parallel-accumulate``
+    Compound float/any accumulation (``x += ...``) inside a
+    ``parallelFor`` body into a location that is not declared inside
+    the body and not an indexed slot. Cross-partition accumulation
+    order depends on the schedule; reductions must be done serially by
+    the caller, in index order (see src/common/parallel.h).
+
+Escapes: a finding is waived by ``// lint:allow(<rule>): <reason>`` on
+the offending line or the line directly above. The reason is
+mandatory — an escape without one is itself an error — so every waiver
+in the tree is explained at the point of use.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+``--self-test`` runs embedded unit cases for every rule (including the
+escape machinery) and is wired as its own ctest, so a rule regression
+fails tier-1.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------
+# Rules.
+
+# Files (relative to the repo root, '/'-separated) exempt per rule.
+EXEMPT = {
+    "raw-random": ("src/common/rng.h", "src/common/rng.cc"),
+    "wall-clock": ("src/serve/clock.h",),
+}
+
+SIMPLE_RULES = (
+    (
+        "unordered-container",
+        re.compile(r"\bunordered_(?:multi)?(?:map|set)\b"),
+        "hash-order iteration can feed output-ordered paths; use an "
+        "ordered container",
+    ),
+    (
+        "raw-random",
+        re.compile(
+            r"\b(?:s?rand\s*\(|random_device\b|mt19937(?:_64)?\b|"
+            r"default_random_engine\b|random_shuffle\b)"
+        ),
+        "unseeded/global randomness; use msq::Rng (src/common/rng.h)",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"
+            r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|\btime\s*\("
+            r"|\blocaltime\s*\(|\bgmtime\s*\("
+        ),
+        "clock read outside src/serve/clock.h; route through "
+        "steadyNanos()/elapsedMs()",
+    ),
+)
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)(?::\s*(\S.*))?")
+
+DECL_TYPES = (
+    r"double|float|auto|int|long|short|unsigned|size_t|ssize_t|"
+    r"u?int(?:8|16|32|64)_t"
+)
+
+COMPOUND_RE = re.compile(
+    r"^\s*([A-Za-z_]\w*)((?:(?:->|\.)[A-Za-z_]\w*)*)\s*([+\-*/]=)(?!=)"
+)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            elif c == "\n":  # unterminated; keep structure
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def collect_allows(original_lines):
+    """Map line number (1-based) -> (rule, reason|None) escapes that
+    apply to it: an escape covers its own line and the line below."""
+    allows = {}
+    for ln, line in enumerate(original_lines, 1):
+        m = ALLOW_RE.search(line)
+        if m:
+            entry = (m.group(1), m.group(2))
+            allows.setdefault(ln, []).append(entry)
+            allows.setdefault(ln + 1, []).append(entry)
+    return allows
+
+
+def lambda_body_spans(stripped):
+    """[(start, end) char offsets) of every parallelFor body's braces."""
+    spans = []
+    for m in re.finditer(r"\bparallelFor\s*\(", stripped):
+        # The body callable starts at the first '[' (lambda capture)
+        # after the call opens; its block is the next balanced {...}.
+        cap = stripped.find("[", m.end())
+        if cap < 0:
+            continue
+        brace = stripped.find("{", cap)
+        if brace < 0:
+            continue
+        depth = 0
+        for i in range(brace, len(stripped)):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    spans.append((brace, i + 1))
+                    break
+    return spans
+
+
+def declared_in(body, name):
+    """Heuristic: `name` is declared (by value or reference) inside the
+    lambda body text."""
+    return re.search(
+        r"\b(?:%s)\b[^;{}()=]*[&\s]\b%s\b" % (DECL_TYPES, re.escape(name)),
+        body,
+    ) is not None
+
+
+def parallel_accumulate_findings(stripped):
+    """(line, message) for cross-partition compound accumulations."""
+    found = []
+    for start, end in lambda_body_spans(stripped):
+        body = stripped[start:end]
+        body_line0 = stripped.count("\n", 0, start)
+        for off, line in enumerate(body.split("\n")):
+            m = COMPOUND_RE.match(line)
+            if not m:
+                continue
+            base, members, op = m.groups()
+            if declared_in(body, base):
+                continue  # body-local accumulator: index-private
+            found.append(
+                (
+                    body_line0 + off + 1,
+                    "'%s%s %s' accumulates across parallelFor "
+                    "partitions; reduce serially in index order after "
+                    "the loop" % (base, members, op),
+                )
+            )
+    # A nested parallelFor body is contained in its parent's span, so
+    # the same line can be reported twice; dedupe.
+    return sorted(set(found))
+
+
+def lint_text(relpath, text):
+    """All findings for one file: (line, rule, message)."""
+    original_lines = text.split("\n")
+    allows = collect_allows(original_lines)
+    stripped = strip_comments_and_strings(text)
+    stripped_lines = stripped.split("\n")
+
+    raw = []
+    for rule, pattern, message in SIMPLE_RULES:
+        if relpath in EXEMPT.get(rule, ()):
+            continue
+        for ln, line in enumerate(stripped_lines, 1):
+            if pattern.search(line):
+                raw.append((ln, rule, message))
+    for ln, message in parallel_accumulate_findings(stripped):
+        raw.append((ln, "parallel-accumulate", message))
+
+    findings = []
+    for ln, rule, message in sorted(set(raw)):
+        waived = False
+        for allow_rule, reason in allows.get(ln, ()):
+            if allow_rule != rule:
+                continue
+            if reason:
+                waived = True
+            else:
+                findings.append(
+                    (
+                        ln,
+                        rule,
+                        "lint:allow(%s) without a reason; write "
+                        "'// lint:allow(%s): <why>'" % (rule, rule),
+                    )
+                )
+                waived = True  # don't double-report the pattern itself
+        if not waived:
+            findings.append((ln, rule, message))
+    return findings
+
+
+def lint_tree(root):
+    findings = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+            for ln, rule, message in lint_text(rel, text):
+                findings.append((rel, ln, rule, message))
+    return findings
+
+
+# --------------------------------------------------------------------
+# Self test: each case is (name, relpath, code, expected rules).
+
+SELF_TEST_CASES = [
+    (
+        "unordered map declaration flags",
+        "src/x/a.cc",
+        "#include <unordered_map>\nstd::unordered_map<int, int> m;\n",
+        ["unordered-container", "unordered-container"],
+    ),
+    (
+        "ordered map is clean",
+        "src/x/a.cc",
+        "#include <map>\nstd::map<int, int> m;\nfor (auto &kv : m) {}\n",
+        [],
+    ),
+    (
+        "unordered in a comment is not code",
+        "src/x/a.cc",
+        "// we rejected unordered_map here on purpose\nint x;\n",
+        [],
+    ),
+    (
+        "rand() flags outside rng",
+        "src/x/a.cc",
+        "int r = rand();\n",
+        ["raw-random"],
+    ),
+    (
+        "mt19937 and random_device flag",
+        "src/x/a.cc",
+        "std::mt19937 gen{std::random_device{}()};\n",
+        ["raw-random"],
+    ),
+    (
+        "strand() is not rand()",
+        "src/x/a.cc",
+        "int s = strand();\n",
+        [],
+    ),
+    (
+        "rng.h itself may define randomness",
+        "src/common/rng.h",
+        "uint64_t next(); // wraps splitmix64, no rand() here anyway\n",
+        [],
+    ),
+    (
+        "steady_clock outside clock.h flags",
+        "src/x/a.cc",
+        "auto t = std::chrono::steady_clock::now();\n",
+        ["wall-clock"],
+    ),
+    (
+        "clock.h is the audited exemption",
+        "src/serve/clock.h",
+        "auto t = std::chrono::steady_clock::now();\n",
+        [],
+    ),
+    (
+        "runtime() is not time()",
+        "src/x/a.cc",
+        "double runtime(int x);\n",
+        [],
+    ),
+    (
+        "cross-partition accumulation flags",
+        "src/x/a.cc",
+        "void f(double &total) {\n"
+        "    parallelFor(0, n, [&](size_t i) {\n"
+        "        total += work(i);\n"
+        "    });\n"
+        "}\n",
+        ["parallel-accumulate"],
+    ),
+    (
+        "body-local accumulator is clean",
+        "src/x/a.cc",
+        "parallelFor(0, n, [&](size_t i) {\n"
+        "    double acc = 0.0;\n"
+        "    for (size_t t = 0; t < k; ++t)\n"
+        "        acc += x[t];\n"
+        "    out[i] = acc;\n"
+        "});\n",
+        [],
+    ),
+    (
+        "indexed slot accumulation is clean",
+        "src/x/a.cc",
+        "parallelFor(0, n, [&](size_t i) {\n"
+        "    out[i] += x[i];\n"
+        "});\n",
+        [],
+    ),
+    (
+        "nested body accumulation reported once",
+        "src/x/a.cc",
+        "parallelFor(0, n, [&](size_t i) {\n"
+        "    parallelFor(0, m, [&](size_t j) {\n"
+        "        total += g(i, j);\n"
+        "    });\n"
+        "});\n",
+        ["parallel-accumulate"],
+    ),
+    (
+        "escape with reason waives",
+        "src/x/a.cc",
+        "// lint:allow(raw-random): seeding the fuzzer corpus only\n"
+        "int r = rand();\n",
+        [],
+    ),
+    (
+        "same-line escape with reason waives",
+        "src/x/a.cc",
+        "int r = rand(); // lint:allow(raw-random): fuzzer corpus seed\n",
+        [],
+    ),
+    (
+        "escape without reason is an error",
+        "src/x/a.cc",
+        "int r = rand(); // lint:allow(raw-random)\n",
+        ["raw-random"],
+    ),
+    (
+        "escape for another rule does not waive",
+        "src/x/a.cc",
+        "int r = rand(); // lint:allow(wall-clock): wrong rule\n",
+        ["raw-random"],
+    ),
+]
+
+
+def self_test():
+    failures = 0
+    for name, relpath, code, expected in SELF_TEST_CASES:
+        got = [rule for _ln, rule, _msg in lint_text(relpath, code)]
+        if got != expected:
+            failures += 1
+            print(
+                "FAIL %s: expected %r, got %r" % (name, expected, got),
+                file=sys.stderr,
+            )
+        else:
+            print("ok   %s" % name)
+    if failures:
+        print("%d self-test case(s) failed" % failures, file=sys.stderr)
+        return 1
+    print("all %d self-test cases passed" % len(SELF_TEST_CASES))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the checkout containing this "
+        "script)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded rule unit cases instead of linting",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if not os.path.isdir(os.path.join(args.root, "src")):
+        print("no src/ under %s" % args.root, file=sys.stderr)
+        return 2
+
+    findings = lint_tree(args.root)
+    for rel, ln, rule, message in findings:
+        print("%s:%d: [%s] %s" % (rel, ln, rule, message))
+    if findings:
+        print(
+            "\n%d determinism-lint finding(s); fix them or waive with "
+            "'// lint:allow(<rule>): <reason>'" % len(findings),
+            file=sys.stderr,
+        )
+        return 1
+    print("determinism lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,13 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace msq {
 
@@ -40,6 +39,21 @@ std::atomic<unsigned> thread_count_override{0};
  * are claimed from an atomic cursor by workers and the submitting
  * thread alike. One job runs at a time (nested calls run inline), so a
  * single job slot suffices.
+ *
+ * Two protection domains, machine-checked where a mutex is the
+ * protector:
+ *
+ *  - `mutex_` guards the pool/job control state (worker list, shutdown
+ *    flag, job id, participation tickets, completion count, first
+ *    error) — all annotated `MSQ_GUARDED_BY(mutex_)`.
+ *  - The job descriptor (`begin_`, `end_`, `grain_`, `body_`, the
+ *    chunk cursor and the error flag) is protected by the job protocol
+ *    rather than a lock, so it carries no annotation: `run()` writes it
+ *    under `mutex_` *before* publishing the new `job_id_`, workers only
+ *    read it after observing that id under `mutex_` (acquiring the
+ *    mutex orders the reads after the writes), and `run()` does not
+ *    touch it again until the `pending_` handshake proves every
+ *    participant has left `drainChunks()`.
  */
 class Pool
 {
@@ -58,10 +72,10 @@ class Pool
         // One job at a time: concurrent top-level parallelFor calls
         // from different application threads serialize here (each
         // still gets the full pool while it runs).
-        std::lock_guard<std::mutex> job_lock(run_mutex_);
+        MutexLock job_lock(run_mutex_);
         ensureWorkers(threads - 1);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             begin_ = begin;
             end_ = end;
             grain_ = grain;
@@ -78,13 +92,16 @@ class Pool
             tickets_ = pending_;
             ++job_id_;
         }
-        wake_.notify_all();
+        wake_.notifyAll();
         drainChunks();
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_.wait(lock, [this] { return pending_ == 0; });
-        body_ = nullptr;
-        if (error_)
-            std::rethrow_exception(error_);
+        {
+            MutexLock lock(mutex_);
+            while (pending_ != 0)
+                done_.wait(mutex_);
+            body_ = nullptr;
+            if (error_)
+                std::rethrow_exception(error_);
+        }
     }
 
   private:
@@ -93,18 +110,18 @@ class Pool
     ~Pool()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             shutdown_ = true;
         }
-        wake_.notify_all();
+        wake_.notifyAll();
         for (std::thread &t : workers_)
             t.join();
     }
 
     void
-    ensureWorkers(unsigned n)
+    ensureWorkers(unsigned n) MSQ_REQUIRES(run_mutex_) MSQ_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // A worker must not join jobs dispatched before it existed:
         // it starts considering the current job id as already seen.
         while (workers_.size() < n)
@@ -113,14 +130,13 @@ class Pool
     }
 
     void
-    workerLoop(uint64_t seen)
+    workerLoop(uint64_t seen) MSQ_EXCLUDES(mutex_)
     {
         for (;;) {
             {
-                std::unique_lock<std::mutex> lock(mutex_);
-                wake_.wait(lock, [&] {
-                    return shutdown_ || job_id_ != seen;
-                });
+                MutexLock lock(mutex_);
+                while (!shutdown_ && job_id_ == seen)
+                    wake_.wait(mutex_);
                 if (shutdown_)
                     return;
                 seen = job_id_;
@@ -130,16 +146,18 @@ class Pool
             }
             drainChunks();
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 if (--pending_ == 0)
-                    done_.notify_all();
+                    done_.notifyAll();
             }
         }
     }
 
-    /** Claim and execute chunks until the range (or an error) ends. */
+    /** Claim and execute chunks until the range (or an error) ends.
+     *  Reads only the protocol-guarded job descriptor (see class
+     *  comment); takes `mutex_` solely to record a body exception. */
     void
-    drainChunks()
+    drainChunks() MSQ_EXCLUDES(mutex_)
     {
         in_parallel_region = true;
         for (;;) {
@@ -154,7 +172,7 @@ class Pool
                 for (size_t i = lo; i < hi; ++i)
                     (*body_)(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 if (!error_)
                     error_ = std::current_exception();
                 error_flag_.store(true, std::memory_order_relaxed);
@@ -163,24 +181,30 @@ class Pool
         in_parallel_region = false;
     }
 
-    std::mutex run_mutex_;  ///< serializes whole jobs (held across run())
-    std::mutex mutex_;      ///< guards all state below
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    std::vector<std::thread> workers_;
-    bool shutdown_ = false;
-    uint64_t job_id_ = 0;
-    unsigned pending_ = 0;  ///< participants that have not finished
-    unsigned tickets_ = 0;  ///< participation slots left for this job
+    Mutex run_mutex_;  ///< serializes whole jobs (held across run())
+    Mutex mutex_;      ///< guards the control state below
+    CondVar wake_;
+    CondVar done_;
+    std::vector<std::thread> workers_ MSQ_GUARDED_BY(mutex_);
+    bool shutdown_ MSQ_GUARDED_BY(mutex_) = false;
+    uint64_t job_id_ MSQ_GUARDED_BY(mutex_) = 0;
+    /** Participants that have not finished the current job. */
+    unsigned pending_ MSQ_GUARDED_BY(mutex_) = 0;
+    /** Participation slots left for this job. */
+    unsigned tickets_ MSQ_GUARDED_BY(mutex_) = 0;
+    /** First exception thrown by a body this job. */
+    std::exception_ptr error_ MSQ_GUARDED_BY(mutex_);
 
-    // Current job; valid while pending_ > 0 or the caller is draining.
+    // Job descriptor: written by run() under mutex_ before the job id
+    // is published, read lock-free by participants during the job (the
+    // protocol above makes that ordered); valid while pending_ > 0 or
+    // the caller is draining.
     size_t begin_ = 0;
     size_t end_ = 0;
     size_t grain_ = 1;
     const std::function<void(size_t)> *body_ = nullptr;
     std::atomic<size_t> cursor_{0};
     std::atomic<bool> error_flag_{false};
-    std::exception_ptr error_;
 };
 
 } // namespace

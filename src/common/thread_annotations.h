@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Clang thread-safety analysis annotations (Abseil style).
+ *
+ * The serving stack's headline guarantee — token streams and GEMM
+ * outputs bit-identical across `MSQ_THREADS`, partition shape, and
+ * admission order — rests on a handful of shared structures: the
+ * `parallelFor` worker pool, the packed-model and execution-plan LRUs,
+ * the Hessian factorization cache, and the lazily validating
+ * `MsqReader`. These macros let clang's `-Wthread-safety` analysis
+ * machine-check their locking discipline at compile time: every member
+ * a mutex protects is declared `MSQ_GUARDED_BY(mu)`, every function
+ * with a locking precondition declares it (`MSQ_REQUIRES`), and any
+ * violation is a compile error under `-Wthread-safety -Werror` (the
+ * tidy+lint CI job builds with exactly that).
+ *
+ * Under any compiler without the attribute (gcc, msvc) every macro
+ * expands to nothing, so the annotations impose zero cost and zero
+ * portability burden. The annotated `Mutex` / `MutexLock` / `CondVar`
+ * wrappers that give these attributes a capability to talk about live
+ * in common/mutex.h.
+ *
+ * Naming follows Abseil's thread_annotations.h so the conventions are
+ * recognizable; the `MSQ_` prefix keeps the macro namespace ours.
+ */
+
+#ifndef MSQ_COMMON_THREAD_ANNOTATIONS_H
+#define MSQ_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MSQ_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MSQ_THREAD_ANNOTATION__(x) // no-op off clang
+#endif
+
+/** Declares a type to be a lockable capability (e.g. a mutex). */
+#define MSQ_CAPABILITY(x) MSQ_THREAD_ANNOTATION__(capability(x))
+
+/** Declares an RAII type that acquires a capability in its constructor
+ *  and releases it in its destructor. */
+#define MSQ_SCOPED_CAPABILITY MSQ_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Declares that a member is protected by the given capability: it may
+ *  only be read or written while the capability is held. */
+#define MSQ_GUARDED_BY(x) MSQ_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Like MSQ_GUARDED_BY, for the data a pointer member points to. */
+#define MSQ_PT_GUARDED_BY(x) MSQ_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Declares that callers must hold the capability (and it is still held
+ *  on return). */
+#define MSQ_REQUIRES(...) \
+    MSQ_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Declares that callers must NOT hold the capability (the function
+ *  acquires it itself; prevents self-deadlock). */
+#define MSQ_EXCLUDES(...) \
+    MSQ_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Declares that the function acquires the capability and does not
+ *  release it before returning. */
+#define MSQ_ACQUIRE(...) \
+    MSQ_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Declares that the function releases the capability, which callers
+ *  must hold on entry. */
+#define MSQ_RELEASE(...) \
+    MSQ_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Declares that the function acquires the capability iff it returns
+ *  the given value. */
+#define MSQ_TRY_ACQUIRE(...) \
+    MSQ_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/** Declares a function that returns a reference to the capability
+ *  guarding some state (lets accessors expose their lock). */
+#define MSQ_RETURN_CAPABILITY(x) MSQ_THREAD_ANNOTATION__(lock_returned(x))
+
+/**
+ * Escape hatch: disables analysis of one function body. Used only where
+ * the protection is a cross-thread protocol the analysis cannot see
+ * (e.g. the worker pool's job handshake); every use carries a comment
+ * proving the discipline it hides.
+ */
+#define MSQ_NO_THREAD_SAFETY_ANALYSIS \
+    MSQ_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif // MSQ_COMMON_THREAD_ANNOTATIONS_H

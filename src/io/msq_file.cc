@@ -364,13 +364,22 @@ openContainer(const std::string &path, OpenedContainer &oc)
     return IoResult::success();
 }
 
+/** Seek+read of one payload: the only part that touches the stream. */
 IoResult
-readLayerPayload(std::FILE *f, const MsqConfig &config,
-                 const MsqLayerInfo &info, size_t li, PackedLayer &out)
+fetchLayerPayload(std::FILE *f, const MsqLayerInfo &info,
+                  std::vector<uint8_t> &payload)
 {
-    std::vector<uint8_t> payload;
     if (!readAt(f, info.offset, payload, info.bytes))
         return IoResult::error(IoCode::FileError, "payload read failed");
+    return IoResult::success();
+}
+
+/** Checksum + deserialize of fetched payload bytes (stream-free). */
+IoResult
+decodeLayerPayload(const MsqConfig &config, const MsqLayerInfo &info,
+                   size_t li, const std::vector<uint8_t> &payload,
+                   PackedLayer &out)
+{
     if (info.crc != crc32(payload.data(), payload.size()))
         return IoResult::error(IoCode::LayerCorrupt,
                                "layer " + std::to_string(li) + " (" +
@@ -382,6 +391,17 @@ readLayerPayload(std::FILE *f, const MsqConfig &config,
                                    info.name +
                                    ") payload does not decode");
     return IoResult::success();
+}
+
+IoResult
+readLayerPayload(std::FILE *f, const MsqConfig &config,
+                 const MsqLayerInfo &info, size_t li, PackedLayer &out)
+{
+    std::vector<uint8_t> payload;
+    IoResult res = fetchLayerPayload(f, info, payload);
+    if (!res)
+        return res;
+    return decodeLayerPayload(config, info, li, payload, out);
 }
 
 } // namespace
@@ -607,10 +627,13 @@ MsqReader::~MsqReader()
 IoResult
 MsqReader::open(const std::string &path)
 {
-    if (stream_) {
-        std::fclose(stream_);
-        stream_ = nullptr;
-        index_.clear();
+    {
+        MutexLock lock(ioMutex_);
+        if (stream_) {
+            std::fclose(stream_);
+            stream_ = nullptr;
+            index_.clear();
+        }
     }
     OpenedContainer oc;
     IoResult res = openContainer(path, oc);
@@ -619,21 +642,32 @@ MsqReader::open(const std::string &path)
             std::fclose(oc.stream);
         return res;
     }
-    stream_ = oc.stream;
     fileBytes_ = oc.fileBytes;
     model_ = std::move(oc.model);
     config_ = oc.config;
     calibTokens_ = oc.calibTokens;
     index_ = std::move(oc.index);
+    MutexLock lock(ioMutex_);
+    stream_ = oc.stream;
     return res;
 }
 
 IoResult
 MsqReader::readLayer(size_t i, PackedLayer &out)
 {
-    MSQ_ASSERT(stream_, "reader is not open");
     MSQ_ASSERT(i < index_.size(), "layer index out of range");
-    return readLayerPayload(stream_, config_, index_[i], i, out);
+    const MsqLayerInfo &info = index_[i];
+    std::vector<uint8_t> payload;
+    {
+        // Serialize only the seek+read pair: the checksum and decode
+        // below run concurrently for distinct layers.
+        MutexLock lock(ioMutex_);
+        MSQ_ASSERT(stream_, "reader is not open");
+        IoResult res = fetchLayerPayload(stream_, info, payload);
+        if (!res)
+            return res;
+    }
+    return decodeLayerPayload(config_, info, i, payload, out);
 }
 
 } // namespace msq

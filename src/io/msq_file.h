@@ -37,9 +37,11 @@
 #define MSQ_IO_MSQ_FILE_H
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/msq_config.h"
 #include "core/packed_tensor.h"
 
@@ -187,6 +189,13 @@ IoResult loadModelVerified(const std::string &path, const std::string &model,
  * and each `readLayer()` seeks to, checksums, and decodes one payload.
  * Opening a multi-gigabyte container therefore costs the index size,
  * not the model size, and a sharded server can pull only its layers.
+ *
+ * Thread safety: after a successful `open()`, concurrent `readLayer()`
+ * calls from multiple threads are safe — the seek+read pair on the one
+ * underlying stream is serialized under an internal mutex, while the
+ * (more expensive) checksum and decode of the fetched bytes run
+ * outside it, so distinct layers validate concurrently. `open()` must
+ * not race with `readLayer()` (re-opening swaps the stream out).
  */
 class MsqReader
 {
@@ -212,13 +221,17 @@ class MsqReader
 
     /**
      * Read, checksum, and decode layer `i`. Layers may be read in any
-     * order and any subset; no other payload is touched.
+     * order and any subset; no other payload is touched. Safe to call
+     * concurrently from multiple threads on one reader.
      * @pre open() succeeded and i < layerCount()
      */
     IoResult readLayer(size_t i, PackedLayer &out);
 
   private:
-    std::FILE *stream_ = nullptr;
+    /** Serializes the seek+read pair on `stream_` (identity and index
+     *  are immutable between `open()` calls and need no guard). */
+    Mutex ioMutex_;
+    std::FILE *stream_ MSQ_GUARDED_BY(ioMutex_) = nullptr;
     std::string model_;
     MsqConfig config_;
     uint64_t calibTokens_ = 0;

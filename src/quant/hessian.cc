@@ -2,10 +2,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 
 namespace msq {
@@ -30,18 +30,19 @@ contentHash(const Matrix &m)
     return h;
 }
 
-// Entries are shared_ptr so a clear() (explicit or capacity-triggered)
-// cannot invalidate a factor another thread is still copying out, and
-// so lookups only copy a pointer while the mutex is held.
-using HessianKey = std::tuple<uint64_t, size_t, size_t, double>;
-std::map<HessianKey, std::shared_ptr<const Matrix>> hessian_cache;
-
 /**
  * Guards hessian_cache: the parallel pipeline quantizes independent
  * layers (and independent sweep cells) concurrently, and several of
  * them may factorize with the same calibration data.
  */
-std::mutex hessian_mutex;
+Mutex hessian_mutex;
+
+// Entries are shared_ptr so a clear() (explicit or capacity-triggered)
+// cannot invalidate a factor another thread is still copying out, and
+// so lookups only copy a pointer while the mutex is held.
+using HessianKey = std::tuple<uint64_t, size_t, size_t, double>;
+std::map<HessianKey, std::shared_ptr<const Matrix>> hessian_cache
+    MSQ_GUARDED_BY(hessian_mutex);
 
 /** Bound the cache so long sweeps cannot exhaust memory. */
 constexpr size_t kMaxCachedHessians = 48;
@@ -110,7 +111,7 @@ hessianInverseCholeskyCached(const Matrix &calib, double damp_rel)
                          damp_rel};
     std::shared_ptr<const Matrix> hit;
     {
-        std::lock_guard<std::mutex> lock(hessian_mutex);
+        MutexLock lock(hessian_mutex);
         auto it = hessian_cache.find(key);
         if (it != hessian_cache.end())
             hit = it->second;
@@ -124,7 +125,7 @@ hessianInverseCholeskyCached(const Matrix &calib, double damp_rel)
     auto factor = std::make_shared<const Matrix>(
         hessianInverseCholesky(calib, damp_rel));
     {
-        std::lock_guard<std::mutex> lock(hessian_mutex);
+        MutexLock lock(hessian_mutex);
         if (hessian_cache.size() >= kMaxCachedHessians)
             hessian_cache.clear();
         hessian_cache.emplace(key, factor);
@@ -135,7 +136,7 @@ hessianInverseCholeskyCached(const Matrix &calib, double damp_rel)
 void
 clearHessianCache()
 {
-    std::lock_guard<std::mutex> lock(hessian_mutex);
+    MutexLock lock(hessian_mutex);
     hessian_cache.clear();
 }
 

@@ -1,9 +1,15 @@
 /**
  * @file
- * Monotonic clock helper shared by the serving engines: both the
- * batching engine (engine.cc) and the decode engine (decode.cc) stamp
- * request lifecycles in milliseconds since an engine-construction
- * epoch taken from the same steady clock.
+ * Monotonic clock helpers shared by the serving stack: the batching
+ * engine (engine.cc) and the decode engine (decode.cc) stamp request
+ * lifecycles in milliseconds since an engine-construction epoch taken
+ * from the same steady clock, and the weight cache accounts its
+ * build/plan phases with elapsedMs().
+ *
+ * This header is the only place in src/ that reads a clock: the
+ * determinism lint (scripts/lint_determinism.py, rule `wall-clock`)
+ * bans clock reads everywhere else, so time can never leak into the
+ * bit-identity contract — timing is measurement, never an input.
  */
 
 #ifndef MSQ_SERVE_CLOCK_H
@@ -24,6 +30,14 @@ steadyNanos()
             .count());
 }
 
+/** Milliseconds elapsed since an earlier steadyNanos() stamp. */
+inline double
+elapsedMs(uint64_t since_nanos)
+{
+    return static_cast<double>(steadyNanos() - since_nanos) / 1e6;
+}
+
 } // namespace msq
 
 #endif // MSQ_SERVE_CLOCK_H
+

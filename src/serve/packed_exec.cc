@@ -27,12 +27,28 @@ constexpr size_t kTokenTile = 32;
  * never changes output bytes — it only widens the multiply-accumulate.
  * Restricted to ELF x86-64 GCC/Clang; elsewhere the plain definition
  * is used.
+ *
+ * Disabled under ThreadSanitizer: the compiler instruments the
+ * generated ifunc resolver, and ld.so runs resolvers while processing
+ * relocations — before the sanitizer runtime has set up the main
+ * thread's state — so any TSan-built binary linking this TU would
+ * segfault during startup. The plain definition keeps the exact same
+ * arithmetic.
  */
+#if defined(__SANITIZE_THREAD__)
+#define MSQ_KERNEL_CLONES
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MSQ_KERNEL_CLONES
+#endif
+#endif
+#if !defined(MSQ_KERNEL_CLONES)
 #if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__)
 #define MSQ_KERNEL_CLONES                                                  \
     __attribute__((target_clones("avx2", "default")))
 #else
 #define MSQ_KERNEL_CLONES
+#endif
 #endif
 
 MSQ_KERNEL_CLONES

@@ -1,28 +1,29 @@
 #include "serve/weight_cache.h"
 
-#include <chrono>
 #include <cstdio>
 #include <list>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "core/microscopiq.h"
 #include "io/msq_file.h"
 #include "model/calib_gen.h"
 #include "model/weight_gen.h"
 #include "quant/hessian.h"
+#include "serve/clock.h"
 
 namespace msq {
 
 namespace {
 
-std::map<std::string, PackedModelPtr> packed_cache;
-
 /** Guards packed_cache; builds run outside the lock. */
-std::mutex packed_mutex;
+Mutex packed_mutex;
+
+std::map<std::string, PackedModelPtr> packed_cache
+    MSQ_GUARDED_BY(packed_mutex);
 
 /** Every input that changes the packed bytes goes into the key: the
  *  model identity, the full quantization config (configKey covers every
@@ -39,7 +40,7 @@ cacheKey(const ModelProfile &model, const MsqConfig &config,
 void
 finalizePackedModel(PackedModel &model)
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t t0 = steadyNanos();
     model.plans.clear();
     model.plans.reserve(model.layers.size());
     model.termsPerToken = 0;
@@ -54,9 +55,7 @@ finalizePackedModel(PackedModel &model)
         params_acc += params;
     }
     model.meanEbw = ebw_acc / params_acc;
-    model.planMs = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
+    model.planMs = elapsedMs(t0);
 }
 
 /**
@@ -127,7 +126,7 @@ getPackedModel(const ModelProfile &model, const MsqConfig &config,
     MSQ_ASSERT(!model.layers.empty(), "model has no layers");
     const std::string key = cacheKey(model, config, calib_tokens);
     {
-        std::lock_guard<std::mutex> lock(packed_mutex);
+        MutexLock lock(packed_mutex);
         auto it = packed_cache.find(key);
         if (it != packed_cache.end())
             return it->second;
@@ -139,7 +138,7 @@ getPackedModel(const ModelProfile &model, const MsqConfig &config,
             : cache_dir + "/" +
                   packedModelCacheFile(model, config, calib_tokens);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t t0 = steadyNanos();
     auto built = std::make_shared<PackedModel>();
     built->model = model.name;
     built->config = config;
@@ -175,13 +174,10 @@ getPackedModel(const ModelProfile &model, const MsqConfig &config,
     // Plan decode is accounted separately (planMs): it is not part of
     // the quantize-vs-load trade the cold-start trajectory tracks, and
     // the plan cache may satisfy it without any work at all.
-    built->buildMs =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
+    built->buildMs = elapsedMs(t0);
     finalizePackedModel(*built);
 
-    std::lock_guard<std::mutex> lock(packed_mutex);
+    MutexLock lock(packed_mutex);
     auto [it, inserted] = packed_cache.emplace(key, built);
     (void)inserted;  // a racing build won: hand out the cached copy
     return it->second;
@@ -241,13 +237,26 @@ planKey(const PackedLayer &layer)
     return {h.a, h.b};
 }
 
+/** Guards the plan LRU below; plan decodes run outside the lock. */
+Mutex plan_mutex;
+
 /** LRU plan cache: map into an access-ordered list. */
-std::list<std::pair<PlanKey, PackedExecPlanPtr>> plan_lru;
+std::list<std::pair<PlanKey, PackedExecPlanPtr>> plan_lru
+    MSQ_GUARDED_BY(plan_mutex);
 std::map<PlanKey,
          std::list<std::pair<PlanKey, PackedExecPlanPtr>>::iterator>
-    plan_cache;
-size_t plan_capacity = 64;
-std::mutex plan_mutex;
+    plan_cache MSQ_GUARDED_BY(plan_mutex);
+size_t plan_capacity MSQ_GUARDED_BY(plan_mutex) = 64;
+
+/** Drop least-recently-used plans until the capacity holds. */
+void
+evictPlansOverCapacityLocked() MSQ_REQUIRES(plan_mutex)
+{
+    while (plan_cache.size() > plan_capacity) {
+        plan_cache.erase(plan_lru.back().first);
+        plan_lru.pop_back();
+    }
+}
 
 } // namespace
 
@@ -256,7 +265,7 @@ getExecPlan(const PackedLayer &layer)
 {
     const PlanKey key = planKey(layer);
     {
-        std::lock_guard<std::mutex> lock(plan_mutex);
+        MutexLock lock(plan_mutex);
         auto it = plan_cache.find(key);
         if (it != plan_cache.end()) {
             plan_lru.splice(plan_lru.begin(), plan_lru, it->second);
@@ -268,7 +277,7 @@ getExecPlan(const PackedLayer &layer)
     // concurrently; on a racing miss the first insert wins.
     auto plan = std::make_shared<const PackedExecPlan>(layer);
 
-    std::lock_guard<std::mutex> lock(plan_mutex);
+    MutexLock lock(plan_mutex);
     auto it = plan_cache.find(key);
     if (it != plan_cache.end()) {
         plan_lru.splice(plan_lru.begin(), plan_lru, it->second);
@@ -278,17 +287,14 @@ getExecPlan(const PackedLayer &layer)
         return plan;
     plan_lru.emplace_front(key, plan);
     plan_cache.emplace(key, plan_lru.begin());
-    while (plan_cache.size() > plan_capacity) {
-        plan_cache.erase(plan_lru.back().first);
-        plan_lru.pop_back();
-    }
+    evictPlansOverCapacityLocked();
     return plan;
 }
 
 void
 clearExecPlanCache()
 {
-    std::lock_guard<std::mutex> lock(plan_mutex);
+    MutexLock lock(plan_mutex);
     plan_cache.clear();
     plan_lru.clear();
 }
@@ -296,26 +302,23 @@ clearExecPlanCache()
 size_t
 execPlanCacheSize()
 {
-    std::lock_guard<std::mutex> lock(plan_mutex);
+    MutexLock lock(plan_mutex);
     return plan_cache.size();
 }
 
 void
 setExecPlanCacheCapacity(size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(plan_mutex);
+    MutexLock lock(plan_mutex);
     plan_capacity = capacity;
-    while (plan_cache.size() > plan_capacity) {
-        plan_cache.erase(plan_lru.back().first);
-        plan_lru.pop_back();
-    }
+    evictPlansOverCapacityLocked();
 }
 
 void
 clearPackedModelCache()
 {
     {
-        std::lock_guard<std::mutex> lock(packed_mutex);
+        MutexLock lock(packed_mutex);
         packed_cache.clear();
     }
     // Dropping deployments without their decoded plans would leave the
@@ -327,7 +330,7 @@ clearPackedModelCache()
 size_t
 packedModelCacheSize()
 {
-    std::lock_guard<std::mutex> lock(packed_mutex);
+    MutexLock lock(packed_mutex);
     return packed_cache.size();
 }
 

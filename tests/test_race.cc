@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Concurrency stress suite (`race` label): hammers the real shared
+ * paths — the packed-model and exec-plan caches, concurrent engines on
+ * one shared deployment, DecodeEngine admit/retire churn, nested and
+ * concurrent `parallelFor`, lazy `MsqReader` reads, and the Hessian
+ * factorization cache — from multiple application threads at once.
+ *
+ * Every test asserts byte-identical results regardless of which thread
+ * populates a cache or wins a racing build, so the suite guards the
+ * determinism contract in the plain build too (it runs in the default
+ * suite at these low iteration counts). CI additionally runs it, and
+ * everything else, under `-DMSQ_SANITIZE=thread`, where the same tests
+ * become TSan race detectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/microscopiq.h"
+#include "io/msq_file.h"
+#include "model/model_zoo.h"
+#include "quant/hessian.h"
+#include "serve/decode.h"
+#include "serve/engine.h"
+#include "serve/weight_cache.h"
+
+namespace msq {
+namespace {
+
+/** Application threads hammering each shared structure. Modest on
+ *  purpose: the suite must stay inner-loop fast; the TSan CI tier
+ *  turns these same interleavings into race detectors. */
+constexpr size_t kThreads = 4;
+constexpr size_t kRounds = 3;
+
+ModelProfile
+raceModel()
+{
+    ModelProfile p;
+    p.name = "tiny-race-test";
+    p.kind = ModelKind::Llm;
+    p.layers = {{"proj_a", 64, 96}, {"proj_b", 96, 64}};
+    p.weights = {0.02, 8.0, 0.02, 0.001, 6.0, 14.0};
+    p.acts = {1.0, 0.02, 8.0};
+    p.fpMetric = 6.0;
+    p.seed = 42;
+    return p;
+}
+
+MsqConfig
+raceConfig()
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false; // keep racing rebuilds fast
+    return cfg;
+}
+
+/** Run `fn(t)` on kThreads threads and join. */
+void
+onThreads(const std::function<void(size_t)> &fn)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&fn, t] { fn(t); });
+    for (std::thread &th : threads)
+        th.join();
+}
+
+TEST(RaceWeightCache, ConcurrentDeploymentsAgreeByteForByte)
+{
+    const ModelProfile model = raceModel();
+    const MsqConfig cfg = raceConfig();
+    const std::string dir = ::testing::TempDir() + "msq_race_cache";
+    std::ignore = std::system(("mkdir -p " + dir).c_str());
+    std::ignore = std::system(("rm -f " + dir + "/*.msq").c_str());
+
+    // Single-threaded reference bytes.
+    clearPackedModelCache();
+    const PackedModelPtr ref = getPackedModel(model, cfg, 32);
+    std::vector<std::vector<uint8_t>> want;
+    for (const PackedLayer &layer : ref->layers)
+        want.push_back(layer.serialize());
+
+    for (size_t round = 0; round < kRounds; ++round) {
+        // Rounds alternate between a racing cold quantize, a racing
+        // disk load (the first round leaves a container behind), and a
+        // racing memory hit — one cache dir throughout.
+        clearPackedModelCache();
+        std::vector<PackedModelPtr> got(kThreads);
+        onThreads([&](size_t t) {
+            got[t] = getPackedModel(model, cfg, 32, dir);
+        });
+        for (size_t t = 0; t < kThreads; ++t) {
+            ASSERT_EQ(got[t]->layers.size(), want.size());
+            for (size_t li = 0; li < want.size(); ++li)
+                EXPECT_EQ(got[t]->layers[li].serialize(), want[li])
+                    << "round " << round << " thread " << t << " layer "
+                    << li;
+        }
+        // Whoever won the race, exactly one deployment is cached and
+        // every caller holds it.
+        EXPECT_EQ(packedModelCacheSize(), 1u);
+        for (size_t t = 1; t < kThreads; ++t)
+            EXPECT_EQ(got[t].get(), got[0].get());
+    }
+    clearPackedModelCache();
+    std::ignore = std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(RaceWeightCache, ConcurrentExecPlanLookupsUnderEviction)
+{
+    const ModelProfile model = raceModel();
+    const MsqConfig cfg = raceConfig();
+    clearPackedModelCache();
+    const PackedModelPtr packed = getPackedModel(model, cfg, 32);
+
+    std::vector<size_t> wantTerms;
+    for (const PackedExecPlanPtr &plan : packed->plans)
+        wantTerms.push_back(plan->termCount());
+
+    // Capacity 1 forces every lookup round through insert+evict churn.
+    setExecPlanCacheCapacity(1);
+    for (size_t round = 0; round < kRounds; ++round) {
+        onThreads([&](size_t t) {
+            for (size_t rep = 0; rep < 4; ++rep) {
+                // Threads walk the layers in different orders so
+                // lookups, inserts, and evictions interleave.
+                for (size_t i = 0; i < packed->layers.size(); ++i) {
+                    const size_t li =
+                        (t + rep + i) % packed->layers.size();
+                    const PackedExecPlanPtr plan =
+                        getExecPlan(packed->layers[li]);
+                    EXPECT_EQ(plan->termCount(), wantTerms[li]);
+                }
+            }
+        });
+        EXPECT_LE(execPlanCacheSize(), 1u);
+    }
+    setExecPlanCacheCapacity(64);
+    clearPackedModelCache();
+}
+
+TEST(RaceServeEngine, ConcurrentEnginesOnOneSharedDeployment)
+{
+    const ModelProfile model = raceModel();
+    const MsqConfig cfg = raceConfig();
+    ServeConfig scfg;
+    scfg.maxBatchRequests = 4;
+    scfg.tileTokens = 2;
+
+    // Reference request outputs, computed alone.
+    clearPackedModelCache();
+    std::vector<double> want;
+    {
+        ServeEngine engine(model, cfg, scfg);
+        for (uint64_t r = 0; r < 8; ++r)
+            engine.submit(3 + r % 4, 700 + r);
+        for (const RequestRecord &rec : engine.drain().requests)
+            want.push_back(rec.outputCheck);
+    }
+
+    // kThreads engines race: deployment fetch, plan decode, and every
+    // drain()'s parallelFor jobs all overlap on the shared PackedModel.
+    clearPackedModelCache();
+    std::vector<std::vector<double>> got(kThreads);
+    onThreads([&](size_t t) {
+        ServeEngine engine(model, cfg, scfg);
+        for (uint64_t r = 0; r < 8; ++r)
+            engine.submit(3 + r % 4, 700 + r);
+        for (const RequestRecord &rec : engine.drain().requests)
+            got[t].push_back(rec.outputCheck);
+    });
+    for (size_t t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(got[t].size(), want.size()) << "thread " << t;
+        for (size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(got[t][i], want[i])
+                << "thread " << t << " request " << i;
+    }
+    clearPackedModelCache();
+}
+
+TEST(RaceDecodeEngine, AdmitRetireChurnUnderConcurrentEngines)
+{
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    const MsqConfig cfg = raceConfig();
+    DecodeConfig dcfg;
+    dcfg.maxBatchSeqs = 2;       // small slots => constant admit/retire
+    dcfg.stepTokenBudget = 8;
+    dcfg.prefillChunk = 3;
+    dcfg.kv = {2, 4, 4};
+    dcfg.vocab = 64;
+
+    // Mixed-length workload: stragglers force slot churn.
+    std::vector<std::vector<uint32_t>> prompts;
+    std::vector<size_t> maxNew;
+    for (size_t i = 0; i < 6; ++i) {
+        Rng rng(4000 + i);
+        std::vector<uint32_t> prompt(2 + i % 4);
+        for (uint32_t &tok : prompt)
+            tok = static_cast<uint32_t>(rng.uniformInt(dcfg.vocab));
+        prompts.push_back(std::move(prompt));
+        maxNew.push_back(2 + (i * 5) % 7);
+    }
+
+    auto generate = [&]() {
+        DecodeEngine engine(model, cfg, dcfg);
+        std::vector<uint64_t> ids;
+        for (size_t i = 0; i < prompts.size(); ++i)
+            ids.push_back(engine.submit(prompts[i], maxNew[i]));
+        const DecodeReport report = engine.run();
+        std::vector<std::vector<uint32_t>> streams(prompts.size());
+        for (const GenRecord &rec : report.requests)
+            for (size_t i = 0; i < ids.size(); ++i)
+                if (ids[i] == rec.id)
+                    streams[i] = rec.tokens;
+        return streams;
+    };
+
+    clearPackedModelCache();
+    const std::vector<std::vector<uint32_t>> want = generate();
+
+    clearPackedModelCache(); // racing deployment on the first pass
+    std::vector<std::vector<std::vector<uint32_t>>> got(kThreads);
+    onThreads([&](size_t t) { got[t] = generate(); });
+    for (size_t t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(got[t].size(), want.size()) << "thread " << t;
+        for (size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(got[t][i], want[i])
+                << "thread " << t << " request " << i;
+    }
+    clearPackedModelCache();
+}
+
+TEST(RaceParallelFor, ConcurrentTopLevelCallsStayExact)
+{
+    for (size_t round = 0; round < kRounds; ++round) {
+        std::vector<std::vector<uint64_t>> out(
+            kThreads, std::vector<uint64_t>(512, 0));
+        onThreads([&](size_t t) {
+            // Each application thread submits its own job; the pool
+            // serializes whole jobs, each fanned over the workers.
+            parallelFor(0, out[t].size(), [&, t](size_t i) {
+                out[t][i] = (t << 16) ^ (i * 2654435761u);
+            });
+        });
+        for (size_t t = 0; t < kThreads; ++t)
+            for (size_t i = 0; i < out[t].size(); ++i)
+                ASSERT_EQ(out[t][i], (t << 16) ^ (i * 2654435761u));
+    }
+}
+
+TEST(RaceParallelFor, NestedCallsRunInlineUnderConcurrency)
+{
+    std::vector<std::vector<uint64_t>> out(
+        kThreads, std::vector<uint64_t>(64 * 16, 0));
+    onThreads([&](size_t t) {
+        parallelFor(0, 64, [&, t](size_t i) {
+            // Nested parallelFor must run inline on the worker, even
+            // while other application threads are queueing jobs.
+            parallelFor(0, 16, [&, t, i](size_t j) {
+                out[t][i * 16 + j] = t * 1000003 + i * 131 + j;
+            });
+        });
+    });
+    for (size_t t = 0; t < kThreads; ++t)
+        for (size_t i = 0; i < 64; ++i)
+            for (size_t j = 0; j < 16; ++j)
+                ASSERT_EQ(out[t][i * 16 + j], t * 1000003 + i * 131 + j);
+}
+
+TEST(RaceMsqReader, ConcurrentLazyLayerReads)
+{
+    // Build a small multi-layer container.
+    MsqConfig cfg = raceConfig();
+    MsqModelFile file;
+    file.model = "race-reader";
+    file.config = cfg;
+    file.calibTokens = 0;
+    Rng rng(99);
+    for (size_t li = 0; li < 4; ++li) {
+        Matrix w(32, 64);
+        for (size_t r = 0; r < w.rows(); ++r)
+            for (size_t c = 0; c < w.cols(); ++c)
+                w(r, c) = rng.gaussian(0.0, 0.05);
+        MicroScopiQQuantizer quantizer(cfg);
+        file.layers.push_back(quantizer.quantizePacked(w, Matrix()));
+        file.layerNames.push_back("layer" + std::to_string(li));
+    }
+    const std::string path =
+        ::testing::TempDir() + "race_reader_container.msq";
+    ASSERT_TRUE(saveModelAtomic(path, file).ok());
+
+    std::vector<std::vector<uint8_t>> want;
+    for (const PackedLayer &layer : file.layers)
+        want.push_back(layer.serialize());
+
+    // One reader, many threads, interleaved layer orders: the seek+read
+    // pairs on the shared stream must serialize, the decodes must not
+    // corrupt each other.
+    MsqReader reader;
+    ASSERT_TRUE(reader.open(path).ok());
+    for (size_t round = 0; round < kRounds; ++round) {
+        onThreads([&](size_t t) {
+            for (size_t rep = 0; rep < 4; ++rep) {
+                for (size_t i = 0; i < reader.layerCount(); ++i) {
+                    const size_t li =
+                        (t + rep + i) % reader.layerCount();
+                    PackedLayer layer;
+                    ASSERT_TRUE(reader.readLayer(li, layer).ok());
+                    EXPECT_EQ(layer.serialize(), want[li])
+                        << "thread " << t << " layer " << li;
+                }
+            }
+        });
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RaceHessianCache, ConcurrentFactorizationsAreBitIdentical)
+{
+    // A few distinct calibrations; every thread factorizes all of them
+    // through the cache in a different order, racing misses included.
+    std::vector<Matrix> calibs;
+    for (size_t c = 0; c < 3; ++c) {
+        Rng rng(7000 + c);
+        Matrix calib(12, 24);
+        for (size_t r = 0; r < calib.rows(); ++r)
+            for (size_t t = 0; t < calib.cols(); ++t)
+                calib(r, t) = rng.gaussian(0.0, 1.0);
+        calibs.push_back(std::move(calib));
+    }
+    std::vector<Matrix> want;
+    for (const Matrix &calib : calibs)
+        want.push_back(hessianInverseCholesky(calib));
+
+    for (size_t round = 0; round < kRounds; ++round) {
+        clearHessianCache();
+        onThreads([&](size_t t) {
+            for (size_t rep = 0; rep < 3; ++rep) {
+                for (size_t i = 0; i < calibs.size(); ++i) {
+                    const size_t c = (t + rep + i) % calibs.size();
+                    const Matrix got =
+                        hessianInverseCholeskyCached(calibs[c]);
+                    ASSERT_EQ(got.rows(), want[c].rows());
+                    ASSERT_EQ(got.cols(), want[c].cols());
+                    for (size_t r = 0; r < got.rows(); ++r)
+                        for (size_t k = 0; k < got.cols(); ++k)
+                            ASSERT_EQ(got(r, k), want[c](r, k));
+                }
+            }
+        });
+    }
+    clearHessianCache();
+}
+
+} // namespace
+} // namespace msq
