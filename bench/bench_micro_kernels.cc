@@ -16,6 +16,7 @@
 #include "accel/functional.h"
 #include "accel/pe.h"
 #include "common/rng.h"
+#include "common/simd_dispatch.h"
 #include "core/microscopiq.h"
 #include "mx/mx_fp.h"
 #include "mx/mx_int.h"
@@ -232,6 +233,36 @@ BM_PackedGemmBlocked(benchmark::State &state)
                             acts.tokens());
 }
 BENCHMARK(BM_PackedGemmBlocked)->Arg(32)->Arg(64)->Arg(128);
+
+/**
+ * The blocked kernel with the SIMD dispatch path forced
+ * (common/simd_dispatch.h): one series per path usable on the host
+ * crossed with the macro-block sizes above. Identical bytes out of
+ * every series — only the instruction stream differs — so the rate
+ * spread IS the hand-vectorization speedup.
+ */
+void
+BM_PackedGemmBlockedPath(benchmark::State &state)
+{
+    const PackedLayer layer =
+        servingLayer(static_cast<size_t>(state.range(0)));
+    const PackedExecPlan plan(layer);
+    const QuantizedActs acts = servingActs();
+    const KernelPath path = static_cast<KernelPath>(state.range(1));
+    setKernelPath(path);
+    state.SetLabel(kernelPathName(path));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(plan.gemm(acts));
+    resetKernelPath();
+    state.SetItemsProcessed(state.iterations() * plan.termCount() *
+                            acts.tokens());
+}
+BENCHMARK(BM_PackedGemmBlockedPath)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        for (KernelPath path : usableKernelPaths())
+            for (int mab : {32, 64, 128})
+                b->Args({mab, static_cast<int>(path)});
+    });
 
 } // namespace
 } // namespace msq

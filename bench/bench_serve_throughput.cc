@@ -14,7 +14,10 @@
  *  - a kernel-level single-thread comparison of the blocked integer
  *    GEMM against the retained scalar oracle (`referenceGemm`, the
  *    PR-2 serving kernel) on the profile's largest layer — the
- *    speedup scripts/check_bench_json.py enforces a floor on;
+ *    speedup scripts/check_bench_json.py enforces a floor on — plus
+ *    the blocked kernel under every usable SIMD dispatch path
+ *    (common/simd_dispatch.h), recording per-path timings and the
+ *    hand-vectorized-over-scalar speedup the schema also floors;
  *  - a single-low-latency-request case: one narrow request served
  *    with the token-only partition (tileCols pinned past the layer
  *    width) versus the 2D (column-block x token-tile) partition, the
@@ -31,9 +34,11 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/simd_dispatch.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/msq_config.h"
@@ -56,16 +61,21 @@ submitStream(ServeEngine &engine)
         engine.submit(kTokensPerRequest, 1000 + r);
 }
 
-/** Kernel-level single-thread trajectory: blocked vs scalar oracle. */
+/** Kernel-level single-thread trajectory: blocked vs scalar oracle,
+ *  plus the blocked kernel itself under every usable SIMD path. */
 struct KernelRecord
 {
     size_t layer = 0;       ///< profile layer index measured
     size_t terms = 0;       ///< integer MACs per token
     size_t tokens = 0;
     double referenceMs = 0.0;
-    double blockedMs = 0.0;
+    double blockedMs = 0.0; ///< active (auto-selected) path
     double speedup = 0.0;
     double gmacsPerSec = 0.0; ///< blocked kernel, 1e9 MACs/s
+    std::string kernelPath;   ///< name of the active path
+    /** Blocked-kernel ms per usable path, dispatch order (scalar first). */
+    std::vector<std::pair<std::string, double>> pathMs;
+    double simdSpeedup = 1.0; ///< forced-scalar ms / active-path ms
 };
 
 template <typename F>
@@ -97,14 +107,42 @@ measureKernel(const ModelProfile &model, const PackedModel &packed)
     const Matrix x =
         generateRequestActs(model, rec.layer, rec.tokens, 4242);
     const QuantizedActs acts(x, 8, 128);
+    // Min-of-3 trials: the minimum is the noise-robust estimator for
+    // short repeatable kernels, and the path-ratio floor checked by
+    // scripts/check_bench_json.py needs stable per-path numbers.
     const int reps = rec.terms * rec.tokens > (1u << 20) ? 10 : 100;
+    const auto minTimeMs = [](auto &&fn, int r) {
+        double best = timeMs(fn, r);
+        for (int trial = 1; trial < 3; ++trial)
+            best = std::min(best, timeMs(fn, r));
+        return best;
+    };
     rec.referenceMs =
-        timeMs([&] { Matrix out = plan.referenceGemm(acts); }, reps);
-    rec.blockedMs = timeMs([&] { Matrix out = plan.gemm(acts); }, reps);
+        minTimeMs([&] { Matrix out = plan.referenceGemm(acts); }, reps);
+    rec.blockedMs =
+        minTimeMs([&] { Matrix out = plan.gemm(acts); }, reps * 3);
     rec.speedup = rec.referenceMs / rec.blockedMs;
     rec.gmacsPerSec = static_cast<double>(rec.terms) *
                       static_cast<double>(rec.tokens) /
                       (rec.blockedMs * 1e6);
+
+    // The same blocked GEMM under every usable SIMD path (identical
+    // bytes, different instruction streams): the per-path trajectory
+    // and the hand-vectorized-over-scalar floor live on these numbers.
+    rec.kernelPath = kernelPathName(activeKernelPath());
+    double scalar_ms = 0.0, active_ms = rec.blockedMs;
+    for (KernelPath path : usableKernelPaths()) {
+        setKernelPath(path);
+        const double ms =
+            minTimeMs([&] { Matrix out = plan.gemm(acts); }, reps * 3);
+        rec.pathMs.emplace_back(kernelPathName(path), ms);
+        if (path == KernelPath::Scalar)
+            scalar_ms = ms;
+        if (kernelPathName(path) == rec.kernelPath)
+            active_ms = ms;
+    }
+    resetKernelPath();
+    rec.simdSpeedup = active_ms > 0.0 ? scalar_ms / active_ms : 0.0;
     return rec;
 }
 
@@ -139,8 +177,13 @@ measureSingleRequest(const ModelProfile &model, const MsqConfig &cfg)
     LatencyRecord rec;
     // Pinning the column tile past any layer width disables the column
     // split, leaving the token-only partition of the PR-2 engine.
-    rec.tokenOnlyMs = singleRequestP50(model, cfg, 1u << 20);
-    rec.tiled2dMs = singleRequestP50(model, cfg, 0);
+    // Two passes per mode, keeping the quieter one: the ratio below is
+    // floor-checked and a single noisy pass on a loaded box can push an
+    // honest ~1.0x below it.
+    rec.tokenOnlyMs = std::min(singleRequestP50(model, cfg, 1u << 20),
+                               singleRequestP50(model, cfg, 1u << 20));
+    rec.tiled2dMs = std::min(singleRequestP50(model, cfg, 0),
+                             singleRequestP50(model, cfg, 0));
     rec.speedup = rec.tokenOnlyMs / rec.tiled2dMs;
     return rec;
 }
@@ -240,6 +283,11 @@ main(int argc, char **argv)
     t.addRow({"", "blocked / reference",
               Table::fmt(kernel.speedup, 2) + "x"});
     t.addRow({"", "blocked GMAC/s", Table::fmt(kernel.gmacsPerSec, 2)});
+    t.addRow({"", "active path", kernel.kernelPath});
+    for (const auto &[name, ms] : kernel.pathMs)
+        t.addRow({"", "blocked " + name + " (ms)", Table::fmt(ms, 3)});
+    t.addRow({"", "simd / scalar",
+              Table::fmt(kernel.simdSpeedup, 2) + "x"});
     t.addSeparator();
     t.addRow({"1-request", "token-only p50 (ms)",
               Table::fmt(lat.tokenOnlyMs, 2)});
@@ -281,11 +329,22 @@ main(int argc, char **argv)
                  "    \"reference_ms\": %.4f,\n"
                  "    \"blocked_ms\": %.4f,\n"
                  "    \"speedup\": %.4f,\n"
-                 "    \"gmacs_per_s\": %.4f\n"
-                 "  },\n",
+                 "    \"gmacs_per_s\": %.4f,\n"
+                 "    \"kernel_path\": \"%s\",\n"
+                 "    \"paths\": {",
                  model.layers[kernel.layer].name.c_str(), kernel.terms,
                  kernel.tokens, kernel.referenceMs, kernel.blockedMs,
-                 kernel.speedup, kernel.gmacsPerSec);
+                 kernel.speedup, kernel.gmacsPerSec,
+                 kernel.kernelPath.c_str());
+    for (size_t i = 0; i < kernel.pathMs.size(); ++i)
+        std::fprintf(f, "%s\"%s\": %.6f", i ? ", " : "",
+                     kernel.pathMs[i].first.c_str(),
+                     kernel.pathMs[i].second);
+    std::fprintf(f,
+                 "},\n"
+                 "    \"simd_speedup\": %.4f\n"
+                 "  },\n",
+                 kernel.simdSpeedup);
     std::fprintf(f,
                  "  \"single_request\": {\n"
                  "    \"token_only_p50_ms\": %.4f,\n"

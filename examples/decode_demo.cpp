@@ -16,6 +16,7 @@
  *
  * Prompts are synthesized deterministically, so generated streams are
  * bit-identical for any thread count, slot count, or batching mode —
+ * and for any MSQ_KERNEL=scalar|sse2|avx2|neon SIMD-path override —
  * the demo prints one request's stream so runs can be diffed.
  */
 

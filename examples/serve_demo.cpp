@@ -20,6 +20,10 @@
  * (see msq_pack / msq_inspect): the first run quantizes and writes it,
  * every later run cold-starts by loading it ("deployment source"
  * in the table flips from "quantize" to "disk").
+ *
+ * MSQ_KERNEL=scalar|sse2|avx2|neon pins the GEMM micro-kernel's SIMD
+ * path (default: widest the host supports); every path serves
+ * identical bytes, so the override only changes throughput.
  */
 
 #include <cstdio>

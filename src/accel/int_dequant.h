@@ -63,6 +63,19 @@ int32_t mergedOutlierMantissa(uint8_t upper_code, uint8_t lower_code,
  * kernel's correctness never depends on the spread being small).
  * May return a negative value for absurd widths; callers treat any
  * spread > max(bound, 0) as unsafe.
+ *
+ * The bound is stated for the SUM OF MAGNITUDES of all `panel_rows`
+ * terms, so it covers every partial sum of every SUBSET of terms, in
+ * any association: each partial is bounded by the same magnitude sum,
+ * hence also exact in int32. That is what licenses the vectorized
+ * kernels (serve/kernel_dispatch.h) to accumulate the panel's terms
+ * split across 4/8/16 int32 lanes and fold the lanes afterwards —
+ * int32 addition without overflow is associative and commutative, so
+ * any lane partitioning and any accumulation width from 1 (the scalar
+ * oracle) upward produces the same bytes. The same argument covers the
+ * exact per-tile admission check in buildBlockedPlane (which gates on
+ * max shifted magnitude x iAct bound x rows — again a magnitude-sum
+ * bound, subset-closed).
  */
 int maxPanelShift(unsigned inlier_bits, unsigned act_bits,
                   size_t panel_rows);

@@ -1,0 +1,152 @@
+#include "common/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/simd_target.h"
+
+namespace msq {
+
+namespace {
+
+/** -1 = no override; otherwise the forced KernelPath. */
+std::atomic<int> path_override{-1};
+
+bool
+cpuSupports(KernelPath path)
+{
+    switch (path) {
+    case KernelPath::Scalar:
+        return true;
+#if MSQ_SIMD_X86
+    case KernelPath::Sse2:
+        return true; // architectural baseline on x86-64
+    case KernelPath::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+#endif
+#if MSQ_SIMD_NEON
+    case KernelPath::Neon:
+        return true; // NEON is baseline on AArch64
+#endif
+    default:
+        return false;
+    }
+}
+
+/** env / CPUID resolution, performed once (thread-safe magic static). */
+KernelPath
+resolveDefaultPath()
+{
+    if (const char *env = std::getenv("MSQ_KERNEL")) {
+        KernelPath wanted;
+        if (!parseKernelPath(env, wanted)) {
+            warn("ignoring unknown MSQ_KERNEL value '" + std::string(env) +
+                 "' (expected scalar|sse2|avx2|neon)");
+        } else if (!kernelPathUsable(wanted)) {
+            warn("MSQ_KERNEL=" + std::string(env) +
+                 " is not usable on this host; selecting automatically");
+        } else {
+            return wanted;
+        }
+    }
+    KernelPath best = KernelPath::Scalar;
+    for (int p = 0; p < kKernelPathCount; ++p)
+        if (kernelPathUsable(static_cast<KernelPath>(p)))
+            best = static_cast<KernelPath>(p);
+    return best;
+}
+
+KernelPath
+defaultKernelPath()
+{
+    static const KernelPath path = resolveDefaultPath();
+    return path;
+}
+
+} // namespace
+
+const char *
+kernelPathName(KernelPath path)
+{
+    switch (path) {
+    case KernelPath::Scalar:
+        return "scalar";
+    case KernelPath::Sse2:
+        return "sse2";
+    case KernelPath::Avx2:
+        return "avx2";
+    case KernelPath::Neon:
+        return "neon";
+    }
+    return "invalid";
+}
+
+bool
+parseKernelPath(const std::string &name, KernelPath &out)
+{
+    for (int p = 0; p < kKernelPathCount; ++p) {
+        const KernelPath path = static_cast<KernelPath>(p);
+        if (name == kernelPathName(path)) {
+            out = path;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+kernelPathCompiled(KernelPath path)
+{
+    switch (path) {
+    case KernelPath::Scalar:
+        return true;
+    case KernelPath::Sse2:
+    case KernelPath::Avx2:
+        return MSQ_SIMD_X86 != 0;
+    case KernelPath::Neon:
+        return MSQ_SIMD_NEON != 0;
+    }
+    return false;
+}
+
+bool
+kernelPathUsable(KernelPath path)
+{
+    return kernelPathCompiled(path) && cpuSupports(path);
+}
+
+std::vector<KernelPath>
+usableKernelPaths()
+{
+    std::vector<KernelPath> paths;
+    for (int p = 0; p < kKernelPathCount; ++p)
+        if (kernelPathUsable(static_cast<KernelPath>(p)))
+            paths.push_back(static_cast<KernelPath>(p));
+    return paths;
+}
+
+KernelPath
+activeKernelPath()
+{
+    const int forced = path_override.load(std::memory_order_acquire);
+    if (forced >= 0)
+        return static_cast<KernelPath>(forced);
+    return defaultKernelPath();
+}
+
+void
+setKernelPath(KernelPath path)
+{
+    MSQ_ASSERT(kernelPathUsable(path),
+               "cannot force a kernel path this host cannot run");
+    path_override.store(static_cast<int>(path), std::memory_order_release);
+}
+
+void
+resetKernelPath()
+{
+    path_override.store(-1, std::memory_order_release);
+}
+
+} // namespace msq

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Instruction-set path selection for the hand-vectorized kernels.
+ *
+ * Every hot integer/float inner loop in this library (the blocked GEMM
+ * accumulation in serve/kernel_dispatch.h, the KV-span decode and
+ * activation-quantization passes in quant/span_kernels.h) exists in a
+ * scalar form plus hand-written SIMD variants. All of them select their
+ * implementation through one process-wide `KernelPath`, resolved once
+ * as:
+ *
+ *   1. a `setKernelPath()` override (tests, benchmarks),
+ *   2. else the `MSQ_KERNEL` environment variable
+ *      (`scalar|sse2|avx2|neon`; invalid or unusable values warn and
+ *      fall through),
+ *   3. else the best path the CPU supports (CPUID probe via
+ *      `__builtin_cpu_supports` on x86; NEON is baseline on AArch64).
+ *
+ * Selection is a plain atomic read of an enum — there is no GNU ifunc
+ * involved, so sanitizer runtimes (TSan in particular) never see a
+ * resolver run before their own startup, which is what forced the old
+ * `target_clones` mechanism to be compiled out under TSan.
+ *
+ * Every path computes bit-identical results by construction: the int32
+ * accumulations are overflow-free (accel/int_dequant.h maxPanelShift),
+ * so integer lane order is immaterial, and the float variants issue
+ * exactly the IEEE operations of the scalar code (no FMA contraction,
+ * no reassociation) — tests/test_kernel_dispatch.cc enforces byte
+ * identity for every path usable on the host.
+ */
+
+#ifndef MSQ_COMMON_SIMD_DISPATCH_H
+#define MSQ_COMMON_SIMD_DISPATCH_H
+
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/** Kernel instruction-set paths, in ascending order of preference. */
+enum class KernelPath : int
+{
+    Scalar = 0, ///< portable scalar loops — the always-available oracle
+    Sse2,       ///< x86-64 baseline 128-bit integer/double vectors
+    Avx2,       ///< 256-bit integer/double vectors (CPUID-gated)
+    Neon,       ///< AArch64 128-bit vectors (baseline on that target)
+};
+
+/** Number of KernelPath enumerators (for iteration in tests). */
+constexpr int kKernelPathCount = 4;
+
+/** Stable lowercase name (`scalar`, `sse2`, `avx2`, `neon`). */
+const char *kernelPathName(KernelPath path);
+
+/** Parse a kernelPathName() string. Returns false on unknown names. */
+bool parseKernelPath(const std::string &name, KernelPath &out);
+
+/** Whether this build carries code for `path` (compile-time gate). */
+bool kernelPathCompiled(KernelPath path);
+
+/** Whether `path` is compiled in AND supported by the running CPU. */
+bool kernelPathUsable(KernelPath path);
+
+/** Every usable path, ascending preference; always contains Scalar. */
+std::vector<KernelPath> usableKernelPaths();
+
+/**
+ * The path every dispatching kernel currently runs: override if set,
+ * else the MSQ_KERNEL / CPUID default (resolved once per process).
+ */
+KernelPath activeKernelPath();
+
+/**
+ * Force `path` for subsequent kernel invocations (tests, benchmarks,
+ * the forced-path CI legs). @pre kernelPathUsable(path)
+ */
+void setKernelPath(KernelPath path);
+
+/** Drop a setKernelPath() override: back to the MSQ_KERNEL/CPUID default. */
+void resetKernelPath();
+
+} // namespace msq
+
+#endif // MSQ_COMMON_SIMD_DISPATCH_H

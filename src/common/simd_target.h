@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Compile-time SIMD target gates shared by every TU that defines a
+ * hand-vectorized kernel variant (serve/kernel_dispatch.cc,
+ * quant/span_kernels.cc) and by the path-availability query in
+ * common/simd_dispatch.cc — one definition of "which paths does this
+ * build carry", so the registry and the queries can never disagree.
+ *
+ *  - MSQ_SIMD_X86: x86-64 with a GNU-flavoured compiler. SSE2 is the
+ *    architectural baseline there, so the SSE2 variants are plain
+ *    functions; the AVX2 variants are compiled per-function via the
+ *    MSQ_TARGET_AVX2 attribute (no -mavx2 anywhere, no ifunc — the
+ *    caller checks CPUID before taking the pointer).
+ *  - MSQ_SIMD_NEON: AArch64, where NEON is baseline.
+ */
+
+#ifndef MSQ_COMMON_SIMD_TARGET_H
+#define MSQ_COMMON_SIMD_TARGET_H
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MSQ_SIMD_X86 1
+#include <immintrin.h>
+#define MSQ_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define MSQ_SIMD_X86 0
+#endif
+
+#if defined(__aarch64__) && defined(__GNUC__)
+#define MSQ_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define MSQ_SIMD_NEON 0
+#endif
+
+#endif // MSQ_COMMON_SIMD_TARGET_H

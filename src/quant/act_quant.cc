@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "mx/mx_int.h"
 #include "quant/quant_util.h"
+#include "quant/span_kernels.h"
 
 namespace msq {
 
@@ -34,7 +35,9 @@ quantizeActsChannelMajor(const Matrix &x, unsigned bits, size_t group_size,
     // row-major) instead of gathering one strided token column per
     // group, and the per-element work is a multiply by the group's
     // reciprocal scale — a power of two, so `v * 2^-e` equals the
-    // ldexp-based reference quantizer bit for bit.
+    // ldexp-based reference quantizer bit for bit. Both inner loops
+    // run through the dispatched span kernels (quant/span_kernels.h),
+    // byte-identical on every path.
     constexpr size_t kTokBlock = 64;
     const double qmax = static_cast<double>(intQMax(bits));
     double max_abs[kTokBlock];
@@ -47,33 +50,18 @@ quantizeActsChannelMajor(const Matrix &x, unsigned bits, size_t group_size,
             const size_t nt = std::min(kTokBlock, panel.tokens - t0);
             for (size_t j = 0; j < nt; ++j)
                 max_abs[j] = 0.0;
-            for (size_t i = 0; i < n; ++i) {
-                const double *row = x.rowPtr(c0 + i) + t0;
-                for (size_t j = 0; j < nt; ++j)
-                    max_abs[j] =
-                        std::max(max_abs[j], std::fabs(row[j]));
-            }
+            for (size_t i = 0; i < n; ++i)
+                maxAbsAccumulate(x.rowPtr(c0 + i) + t0, nt, max_abs);
             for (size_t j = 0; j < nt; ++j) {
                 const int e = std::clamp(
                     mxIntScaleExpForMax(max_abs[j], bits), -128, 127);
                 exps[t0 + j] = static_cast<int8_t>(e);
                 inv[j] = std::ldexp(1.0, -e);
             }
-            for (size_t i = 0; i < n; ++i) {
-                const double *row = x.rowPtr(c0 + i) + t0;
-                int8_t *codes =
-                    panel.codes.data() + (c0 + i) * panel.tokens + t0;
-                for (size_t j = 0; j < nt; ++j) {
-                    // Round to nearest, ties away from zero, saturate —
-                    // exactly mxIntQuantizeValue (mx/mx_int.h).
-                    const double scaled = row[j] * inv[j];
-                    const double rounded =
-                        std::floor(std::fabs(scaled) + 0.5);
-                    const double mag = std::min(rounded, qmax);
-                    codes[j] = static_cast<int8_t>(
-                        scaled < 0.0 ? -mag : mag);
-                }
-            }
+            for (size_t i = 0; i < n; ++i)
+                quantizeCodesRow(
+                    x.rowPtr(c0 + i) + t0, inv, nt, qmax,
+                    panel.codes.data() + (c0 + i) * panel.tokens + t0);
         }
     }
 }

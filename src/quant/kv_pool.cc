@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "quant/span_kernels.h"
 
 namespace msq {
 
@@ -129,26 +130,30 @@ KvPool::gather(double *keys, double *values, size_t stride) const
     MSQ_ASSERT(ld >= tokens_, "gather stride below token count");
     // Closed groups: keys decode one (chunk, channel) run at a time,
     // values one (token, channel-group) run at a time — both walk
-    // their packed codes in storage order.
+    // their packed codes in storage order through the dispatched span
+    // decoder (quant/span_kernels.h). Key runs land contiguously in
+    // the output row; value runs decode into `tmp` and scatter (the
+    // output is token-strided), so the vectorized part stays dense.
+    std::vector<double> tmp(group_);
     for (size_t chunk = 0; chunk * group_ < quantized_; ++chunk) {
         const size_t t0 = chunk * group_;
         for (size_t ch = 0; ch < channels_; ++ch) {
             const AsymSpanGrid &grid = keyGrid_[chunk * channels_ + ch];
             const size_t base = (chunk * channels_ + ch) * group_;
-            double *row = keys + ch * ld + t0;
-            for (size_t j = 0; j < group_; ++j)
-                row[j] = asymDecode(
-                    static_cast<uint8_t>(codeAt(keyCodes_, base + j)),
-                    grid);
+            asymDecodeSpan(keyCodes_.data(), base, group_, bits_, grid,
+                           keys + ch * ld + t0);
         }
         for (size_t j = 0; j < group_; ++j) {
             const size_t t = t0 + j;
             const AsymSpanGrid *grids = valueGrid_.data() + t * valueGroups_;
-            for (size_t ch = 0; ch < channels_; ++ch)
-                values[ch * ld + t] = asymDecode(
-                    static_cast<uint8_t>(
-                        codeAt(valueCodes_, t * channels_ + ch)),
-                    grids[ch / group_]);
+            for (size_t g = 0; g < valueGroups_; ++g) {
+                const size_t c0 = g * group_;
+                const size_t n = std::min(group_, channels_ - c0);
+                asymDecodeSpan(valueCodes_.data(), t * channels_ + c0, n,
+                               bits_, grids[g], tmp.data());
+                for (size_t i = 0; i < n; ++i)
+                    values[(c0 + i) * ld + t] = tmp[i];
+            }
         }
     }
     // Full-precision tail.

@@ -1,0 +1,239 @@
+#include "quant/span_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/simd_dispatch.h"
+#include "common/simd_target.h"
+
+namespace msq {
+
+namespace {
+
+/** Codes staged per chunk before the vectorized grid arithmetic. */
+constexpr size_t kSpanChunk = 64;
+
+/** Extract the `bits`-wide code starting at absolute bit offset. */
+inline unsigned
+extractCode(const uint8_t *codes, size_t bit, unsigned bits)
+{
+    const size_t byte = bit / 8;
+    const unsigned shift = static_cast<unsigned>(bit % 8);
+    unsigned v = static_cast<unsigned>(codes[byte]) >> shift;
+    if (shift + bits > 8)
+        v |= static_cast<unsigned>(codes[byte + 1]) << (8 - shift);
+    return v & ((1u << bits) - 1u);
+}
+
+// --------------------------------------------------------------------
+// Scalar variants — the oracles. Per element these are exactly the
+// loops they replaced (KvPool::gather's codeAt + asymDecode and the
+// two quantizeActsChannelMajor passes), so dispatching through here
+// changes no bytes relative to the pre-dispatch library.
+
+void
+decodeChunkScalar(const int32_t *staged, size_t n,
+                  const AsymSpanGrid &grid, double *dst)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = grid.lo + static_cast<double>(staged[i]) * grid.step;
+}
+
+void
+maxAbsScalar(const double *row, size_t n, double *max_abs)
+{
+    for (size_t j = 0; j < n; ++j)
+        max_abs[j] = std::max(max_abs[j], std::fabs(row[j]));
+}
+
+void
+quantizeRowScalar(const double *row, const double *inv, size_t n,
+                  double qmax, int8_t *codes)
+{
+    for (size_t j = 0; j < n; ++j) {
+        // Round to nearest, ties away from zero, saturate — exactly
+        // mxIntQuantizeValue (mx/mx_int.h).
+        const double scaled = row[j] * inv[j];
+        const double rounded = std::floor(std::fabs(scaled) + 0.5);
+        const double mag = std::min(rounded, qmax);
+        codes[j] = static_cast<int8_t>(scaled < 0.0 ? -mag : mag);
+    }
+}
+
+#if MSQ_SIMD_X86
+
+// --------------------------------------------------------------------
+// x86 variants. Lanes never interact and every instruction performs
+// the scalar sequence's IEEE operation (multiply-then-add for the
+// grid, sign-bit masks for |x| and sign restore, ROUNDPD toward -inf
+// for floor, MINPD agreeing with std::min on finite input), so each
+// lane computes the scalar result bit for bit.
+
+void
+decodeChunkSse2(const int32_t *staged, size_t n, const AsymSpanGrid &grid,
+                double *dst)
+{
+    const __m128d step = _mm_set1_pd(grid.step);
+    const __m128d lo = _mm_set1_pd(grid.lo);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i c = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(staged + i));
+        const __m128d d = _mm_cvtepi32_pd(c);
+        _mm_storeu_pd(dst + i, _mm_add_pd(lo, _mm_mul_pd(d, step)));
+    }
+    for (; i < n; ++i)
+        dst[i] = grid.lo + static_cast<double>(staged[i]) * grid.step;
+}
+
+MSQ_TARGET_AVX2 void
+decodeChunkAvx2(const int32_t *staged, size_t n, const AsymSpanGrid &grid,
+                double *dst)
+{
+    const __m256d step = _mm256_set1_pd(grid.step);
+    const __m256d lo = _mm256_set1_pd(grid.lo);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i c = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(staged + i));
+        const __m256d d = _mm256_cvtepi32_pd(c);
+        _mm256_storeu_pd(dst + i,
+                         _mm256_add_pd(lo, _mm256_mul_pd(d, step)));
+    }
+    for (; i < n; ++i)
+        dst[i] = grid.lo + static_cast<double>(staged[i]) * grid.step;
+}
+
+void
+maxAbsSse2(const double *row, size_t n, double *max_abs)
+{
+    const __m128d sign = _mm_set1_pd(-0.0);
+    size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+        const __m128d v = _mm_andnot_pd(sign, _mm_loadu_pd(row + j));
+        const __m128d m = _mm_loadu_pd(max_abs + j);
+        _mm_storeu_pd(max_abs + j, _mm_max_pd(m, v));
+    }
+    for (; j < n; ++j)
+        max_abs[j] = std::max(max_abs[j], std::fabs(row[j]));
+}
+
+MSQ_TARGET_AVX2 void
+maxAbsAvx2(const double *row, size_t n, double *max_abs)
+{
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256d v =
+            _mm256_andnot_pd(sign, _mm256_loadu_pd(row + j));
+        const __m256d m = _mm256_loadu_pd(max_abs + j);
+        _mm256_storeu_pd(max_abs + j, _mm256_max_pd(m, v));
+    }
+    for (; j < n; ++j)
+        max_abs[j] = std::max(max_abs[j], std::fabs(row[j]));
+}
+
+MSQ_TARGET_AVX2 void
+quantizeRowAvx2(const double *row, const double *inv, size_t n,
+                double qmax, int8_t *codes)
+{
+    const __m256d signmask = _mm256_set1_pd(-0.0);
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m256d qmaxv = _mm256_set1_pd(qmax);
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+        const __m256d scaled =
+            _mm256_mul_pd(_mm256_loadu_pd(row + j),
+                          _mm256_loadu_pd(inv + j));
+        const __m256d absval = _mm256_andnot_pd(signmask, scaled);
+        const __m256d rounded = _mm256_round_pd(
+            _mm256_add_pd(absval, half),
+            _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+        const __m256d mag = _mm256_min_pd(rounded, qmaxv);
+        const __m256d val =
+            _mm256_or_pd(mag, _mm256_and_pd(scaled, signmask));
+        // mag is integral and <= 127, so truncation is exact and the
+        // int16/int8 packs never saturate.
+        const __m128i i32 = _mm256_cvttpd_epi32(val);
+        const __m128i i16 = _mm_packs_epi32(i32, i32);
+        const __m128i i8 = _mm_packs_epi16(i16, i16);
+        const int quad = _mm_cvtsi128_si32(i8);
+        std::memcpy(codes + j, &quad, 4);
+    }
+    quantizeRowScalar(row + j, inv + j, n - j, qmax, codes + j);
+}
+
+#endif // MSQ_SIMD_X86
+
+/** The decode-chunk variant of the active path (the SSE2 slot also
+ *  serves NEON hosts' scalar fallback; see header). */
+void
+decodeChunk(const int32_t *staged, size_t n, const AsymSpanGrid &grid,
+            double *dst)
+{
+#if MSQ_SIMD_X86
+    switch (activeKernelPath()) {
+    case KernelPath::Avx2:
+        decodeChunkAvx2(staged, n, grid, dst);
+        return;
+    case KernelPath::Sse2:
+        decodeChunkSse2(staged, n, grid, dst);
+        return;
+    default:
+        break;
+    }
+#endif
+    decodeChunkScalar(staged, n, grid, dst);
+}
+
+} // namespace
+
+void
+asymDecodeSpan(const uint8_t *codes, size_t idx0, size_t n, unsigned bits,
+               const AsymSpanGrid &grid, double *dst)
+{
+    int32_t staged[kSpanChunk];
+    size_t bit = idx0 * bits;
+    for (size_t i0 = 0; i0 < n; i0 += kSpanChunk) {
+        const size_t nc = std::min(kSpanChunk, n - i0);
+        for (size_t i = 0; i < nc; ++i, bit += bits)
+            staged[i] = static_cast<int32_t>(extractCode(codes, bit, bits));
+        decodeChunk(staged, nc, grid, dst + i0);
+    }
+}
+
+void
+maxAbsAccumulate(const double *row, size_t n, double *max_abs)
+{
+#if MSQ_SIMD_X86
+    switch (activeKernelPath()) {
+    case KernelPath::Avx2:
+        maxAbsAvx2(row, n, max_abs);
+        return;
+    case KernelPath::Sse2:
+        maxAbsSse2(row, n, max_abs);
+        return;
+    default:
+        break;
+    }
+#endif
+    maxAbsScalar(row, n, max_abs);
+}
+
+void
+quantizeCodesRow(const double *row, const double *inv, size_t n,
+                 double qmax, int8_t *codes)
+{
+#if MSQ_SIMD_X86
+    // SSE2 has no directed-rounding instruction, so only the AVX2
+    // variant is vectorized; every other path takes the scalar loop.
+    if (activeKernelPath() == KernelPath::Avx2) {
+        quantizeRowAvx2(row, inv, n, qmax, codes);
+        return;
+    }
+#endif
+    quantizeRowScalar(row, inv, n, qmax, codes);
+}
+
+} // namespace msq

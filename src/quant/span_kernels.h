@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dispatched inner loops of the quant layer's serving hot paths: the
+ * KV-pool span decode (quant/kv_pool.h `gather`) and the two passes of
+ * channel-major activation quantization (quant/act_quant.h). Each
+ * exists as a scalar loop plus hand-vectorized variants selected by
+ * `activeKernelPath()` (common/simd_dispatch.h) — the same process-wide
+ * switch that drives the blocked GEMM registry
+ * (serve/kernel_dispatch.h), so `MSQ_KERNEL` forces every layer at
+ * once.
+ *
+ * Bit-identity across paths is by construction: the vector variants
+ * issue exactly the scalar code's IEEE-754 operations per element —
+ * multiply then add for the asym grid (never an FMA, which would
+ * single-round), `|x|` as a sign-bit mask, `floor(|x| + 0.5)` via the
+ * directed-rounding instruction, min/max that agree with `std::min`/
+ * `std::max` on every finite input — in the same per-element order.
+ * Lanes never interact, so vector width cannot change any result.
+ * tests/test_kernel_dispatch.cc and the decode/KV suites enforce byte
+ * identity across every usable path.
+ */
+
+#ifndef MSQ_QUANT_SPAN_KERNELS_H
+#define MSQ_QUANT_SPAN_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "quant/kv_cache.h"
+
+namespace msq {
+
+/**
+ * Decode `n` consecutive `bits`-wide codes of a packed plane, starting
+ * at code index `idx0`, onto `grid`: dst[i] = lo + code * step —
+ * element-identical to codeAt + asymDecode, but the bit cursor walks
+ * sequentially and the grid arithmetic runs vectorized.
+ * @pre 1 <= bits <= 8
+ */
+void asymDecodeSpan(const uint8_t *codes, size_t idx0, size_t n,
+                    unsigned bits, const AsymSpanGrid &grid, double *dst);
+
+/**
+ * First activation-quantization pass: max_abs[j] =
+ * max(max_abs[j], |row[j]|) for j < n.
+ */
+void maxAbsAccumulate(const double *row, size_t n, double *max_abs);
+
+/**
+ * Second activation-quantization pass: codes[j] = the MX-INT code of
+ * row[j] * inv[j] — round to nearest, ties away from zero, saturate at
+ * qmax (exactly mxIntQuantizeValue, see quant/act_quant.cc).
+ * @pre qmax <= 127
+ */
+void quantizeCodesRow(const double *row, const double *inv, size_t n,
+                      double qmax, int8_t *codes);
+
+} // namespace msq
+
+#endif // MSQ_QUANT_SPAN_KERNELS_H

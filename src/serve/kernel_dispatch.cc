@@ -1,0 +1,343 @@
+#include "serve/kernel_dispatch.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/simd_target.h"
+
+namespace msq {
+
+namespace {
+
+/** Token sub-tile width of the blocked micro-kernel (the full-width
+ *  fast case; must match serve/packed_exec.cc kTokenTile). */
+constexpr size_t kFullTile = 32;
+
+// --------------------------------------------------------------------
+// Scalar path — the oracle. This is the PR-4 loop verbatim (the
+// compiler still autovectorizes it at the build's baseline ISA, which
+// is exactly the "autovectorized scalar" baseline the per-path bench
+// records compare the hand-written variants against).
+
+void
+accumulateRunScalar(const KernelBlockEntry *entries, const uint32_t *erow,
+                    size_t k0, size_t k1, const int16_t *iact, size_t pk0,
+                    size_t nj, int32_t *acc)
+{
+    if (nj == kFullTile) {
+        // Full-width sub-tiles (every tile but a batch's ragged tail):
+        // the constant trip count unrolls into straight-line code.
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const int16_t *aw = iact + (kk - pk0) * kFullTile;
+            for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
+                const int32_t wv = entries[e].w;
+                int32_t *arow = acc + entries[e].col * kFullTile;
+                for (size_t j = 0; j < kFullTile; ++j)
+                    arow[j] += wv * aw[j];
+            }
+        }
+        return;
+    }
+    if (nj == kFullTile / 2) {
+        // Half-width tiles: ragged batch tails and latency-tuned
+        // configs with tileTokens = 16.
+        constexpr size_t half = kFullTile / 2;
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const int16_t *aw = iact + (kk - pk0) * half;
+            for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
+                const int32_t wv = entries[e].w;
+                int32_t *arow = acc + entries[e].col * half;
+                for (size_t j = 0; j < half; ++j)
+                    arow[j] += wv * aw[j];
+            }
+        }
+        return;
+    }
+    for (size_t kk = k0; kk < k1; ++kk) {
+        const int16_t *aw = iact + (kk - pk0) * nj;
+        for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
+            const int32_t wv = entries[e].w;
+            int32_t *arow = acc + entries[e].col * nj;
+            for (size_t j = 0; j < nj; ++j)
+                arow[j] += wv * aw[j];
+        }
+    }
+}
+
+#if MSQ_SIMD_X86
+
+// --------------------------------------------------------------------
+// x86 paths. Dataflow: output-stationary over token lanes, row-
+// stationary over the activation operand — the run's iAct row is
+// loaded (and for AVX2 widened to int32 lanes) ONCE per k row and
+// reused by every CSR entry of that row, so the per-entry loop touches
+// only the entry word and the entry column's int32 accumulator row.
+// The broadcast operand is the sparse CSR stream, the vector operand
+// the dense activation row; no gather/scatter ever touches the inner
+// loop (the MiCo-style choice).
+//
+// Bit-identity: each token lane j computes exactly
+// `acc[col][j] += (int32)w * (int32)aw[j]` — the same int32 operation
+// per element as the scalar oracle, just several lanes per
+// instruction. `vpmulld` keeps the low 32 bits of the 64-bit product,
+// which IS the exact product because both operands came from int16;
+// lane addition cannot overflow under the tile admission bound
+// (accel/int_dequant.h). Lanes never interact, so the fold is the
+// scalar loop's bytes exactly whatever the vector width.
+
+static_assert(sizeof(KernelBlockEntry) == 4,
+              "entry broadcast below reloads the packed 4-byte entry");
+
+/** Broadcasts an entry's weight, sign-extended to every int32 lane:
+ *  one 4-byte broadcast of the whole {col, w} word, then an arithmetic
+ *  shift drops the low-half column (x86 is little-endian, so each
+ *  32-bit lane is col | w << 16). Avoids the scalar
+ *  sign-extend + GPR->vector move of a field-wise `set1`. */
+MSQ_TARGET_AVX2 inline __m256i
+avx2BroadcastW32(const KernelBlockEntry *e)
+{
+    int32_t word;
+    std::memcpy(&word, e, sizeof(word));
+    return _mm256_srai_epi32(_mm256_set1_epi32(word), 16);
+}
+
+/** One 8-token AVX2 step on a pre-widened activation vector. */
+MSQ_TARGET_AVX2 inline void
+avx2MacStep(const __m256i wv, const __m256i a32, int32_t *arow)
+{
+    __m256i *out = reinterpret_cast<__m256i *>(arow);
+    _mm256_storeu_si256(
+        out, _mm256_add_epi32(_mm256_loadu_si256(out),
+                              _mm256_mullo_epi32(wv, a32)));
+}
+
+/** Widens 8 staged int16 activations to int32 lanes. */
+MSQ_TARGET_AVX2 inline __m256i
+avx2Widen8(const int16_t *aw)
+{
+    return _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(aw)));
+}
+
+MSQ_TARGET_AVX2 void
+accumulateRunAvx2(const KernelBlockEntry *entries, const uint32_t *erow,
+                  size_t k0, size_t k1, const int16_t *iact, size_t pk0,
+                  size_t nj, int32_t *acc)
+{
+    if (nj == kFullTile) {
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const uint32_t e0 = erow[kk];
+            const uint32_t e1 = erow[kk + 1];
+            if (e0 == e1)
+                continue;
+            const int16_t *aw = iact + (kk - pk0) * kFullTile;
+            const __m256i a0 = avx2Widen8(aw);
+            const __m256i a1 = avx2Widen8(aw + 8);
+            const __m256i a2 = avx2Widen8(aw + 16);
+            const __m256i a3 = avx2Widen8(aw + 24);
+            for (uint32_t e = e0; e < e1; ++e) {
+                const __m256i wv = avx2BroadcastW32(entries + e);
+                int32_t *arow = acc + entries[e].col * kFullTile;
+                avx2MacStep(wv, a0, arow);
+                avx2MacStep(wv, a1, arow + 8);
+                avx2MacStep(wv, a2, arow + 16);
+                avx2MacStep(wv, a3, arow + 24);
+            }
+        }
+        return;
+    }
+    if (nj == kFullTile / 2) {
+        constexpr size_t half = kFullTile / 2;
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const uint32_t e0 = erow[kk];
+            const uint32_t e1 = erow[kk + 1];
+            if (e0 == e1)
+                continue;
+            const int16_t *aw = iact + (kk - pk0) * half;
+            const __m256i a0 = avx2Widen8(aw);
+            const __m256i a1 = avx2Widen8(aw + 8);
+            for (uint32_t e = e0; e < e1; ++e) {
+                const __m256i wv = avx2BroadcastW32(entries + e);
+                int32_t *arow = acc + entries[e].col * half;
+                avx2MacStep(wv, a0, arow);
+                avx2MacStep(wv, a1, arow + 8);
+            }
+        }
+        return;
+    }
+    // Ragged token tails (< 16 tokens) carry too few lanes to pay for
+    // vector setup; the scalar oracle is trivially bit-identical.
+    accumulateRunScalar(entries, erow, k0, k1, iact, pk0, nj, acc);
+}
+
+/** One 8-token SSE2 step: arow[j..j+7] += w * a. The exact 32-bit
+ *  product of two int16 lanes is recombined from `_mm_mullo_epi16`
+ *  (low halves) and `_mm_mulhi_epi16` (high halves); the unpacks
+ *  interleave the halves back into token order. */
+inline void
+sse2MacStep(const __m128i wv, const __m128i a, int32_t *arow)
+{
+    const __m128i lo = _mm_mullo_epi16(wv, a);
+    const __m128i hi = _mm_mulhi_epi16(wv, a);
+    const __m128i p0 = _mm_unpacklo_epi16(lo, hi);
+    const __m128i p1 = _mm_unpackhi_epi16(lo, hi);
+    __m128i *out = reinterpret_cast<__m128i *>(arow);
+    _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), p0));
+    _mm_storeu_si128(out + 1,
+                     _mm_add_epi32(_mm_loadu_si128(out + 1), p1));
+}
+
+inline __m128i
+sse2Load8(const int16_t *aw)
+{
+    return _mm_loadu_si128(reinterpret_cast<const __m128i *>(aw));
+}
+
+void
+accumulateRunSse2(const KernelBlockEntry *entries, const uint32_t *erow,
+                  size_t k0, size_t k1, const int16_t *iact, size_t pk0,
+                  size_t nj, int32_t *acc)
+{
+    if (nj == kFullTile) {
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const uint32_t e0 = erow[kk];
+            const uint32_t e1 = erow[kk + 1];
+            if (e0 == e1)
+                continue;
+            const int16_t *aw = iact + (kk - pk0) * kFullTile;
+            const __m128i a0 = sse2Load8(aw);
+            const __m128i a1 = sse2Load8(aw + 8);
+            const __m128i a2 = sse2Load8(aw + 16);
+            const __m128i a3 = sse2Load8(aw + 24);
+            for (uint32_t e = e0; e < e1; ++e) {
+                const __m128i wv = _mm_set1_epi16(entries[e].w);
+                int32_t *arow = acc + entries[e].col * kFullTile;
+                sse2MacStep(wv, a0, arow);
+                sse2MacStep(wv, a1, arow + 8);
+                sse2MacStep(wv, a2, arow + 16);
+                sse2MacStep(wv, a3, arow + 24);
+            }
+        }
+        return;
+    }
+    if (nj == kFullTile / 2) {
+        constexpr size_t half = kFullTile / 2;
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const uint32_t e0 = erow[kk];
+            const uint32_t e1 = erow[kk + 1];
+            if (e0 == e1)
+                continue;
+            const int16_t *aw = iact + (kk - pk0) * half;
+            const __m128i a0 = sse2Load8(aw);
+            const __m128i a1 = sse2Load8(aw + 8);
+            for (uint32_t e = e0; e < e1; ++e) {
+                const __m128i wv = _mm_set1_epi16(entries[e].w);
+                int32_t *arow = acc + entries[e].col * half;
+                sse2MacStep(wv, a0, arow);
+                sse2MacStep(wv, a1, arow + 8);
+            }
+        }
+        return;
+    }
+    accumulateRunScalar(entries, erow, k0, k1, iact, pk0, nj, acc);
+}
+
+#endif // MSQ_SIMD_X86
+
+#if MSQ_SIMD_NEON
+
+/** One 8-token NEON step: the widening `vmlal_s16` multiply-accumulate
+ *  is the exact int16 x int16 -> int32 lane operation directly. */
+inline void
+neonMacStep(const int16x4_t wv, const int16x8_t a, int32_t *arow)
+{
+    int32x4_t s0 = vld1q_s32(arow);
+    int32x4_t s1 = vld1q_s32(arow + 4);
+    s0 = vmlal_s16(s0, vget_low_s16(a), wv);
+    s1 = vmlal_s16(s1, vget_high_s16(a), wv);
+    vst1q_s32(arow, s0);
+    vst1q_s32(arow + 4, s1);
+}
+
+void
+accumulateRunNeon(const KernelBlockEntry *entries, const uint32_t *erow,
+                  size_t k0, size_t k1, const int16_t *iact, size_t pk0,
+                  size_t nj, int32_t *acc)
+{
+    // Same row-stationary dataflow as the x86 paths: activation
+    // vectors are loaded once per k row and reused by every entry.
+    if (nj == kFullTile) {
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const uint32_t e0 = erow[kk];
+            const uint32_t e1 = erow[kk + 1];
+            if (e0 == e1)
+                continue;
+            const int16_t *aw = iact + (kk - pk0) * kFullTile;
+            const int16x8_t a0 = vld1q_s16(aw);
+            const int16x8_t a1 = vld1q_s16(aw + 8);
+            const int16x8_t a2 = vld1q_s16(aw + 16);
+            const int16x8_t a3 = vld1q_s16(aw + 24);
+            for (uint32_t e = e0; e < e1; ++e) {
+                const int16x4_t wv = vdup_n_s16(entries[e].w);
+                int32_t *arow = acc + entries[e].col * kFullTile;
+                neonMacStep(wv, a0, arow);
+                neonMacStep(wv, a1, arow + 8);
+                neonMacStep(wv, a2, arow + 16);
+                neonMacStep(wv, a3, arow + 24);
+            }
+        }
+        return;
+    }
+    if (nj == kFullTile / 2) {
+        constexpr size_t half = kFullTile / 2;
+        for (size_t kk = k0; kk < k1; ++kk) {
+            const uint32_t e0 = erow[kk];
+            const uint32_t e1 = erow[kk + 1];
+            if (e0 == e1)
+                continue;
+            const int16_t *aw = iact + (kk - pk0) * half;
+            const int16x8_t a0 = vld1q_s16(aw);
+            const int16x8_t a1 = vld1q_s16(aw + 8);
+            for (uint32_t e = e0; e < e1; ++e) {
+                const int16x4_t wv = vdup_n_s16(entries[e].w);
+                int32_t *arow = acc + entries[e].col * half;
+                neonMacStep(wv, a0, arow);
+                neonMacStep(wv, a1, arow + 8);
+            }
+        }
+        return;
+    }
+    accumulateRunScalar(entries, erow, k0, k1, iact, pk0, nj, acc);
+}
+
+#endif // MSQ_SIMD_NEON
+
+} // namespace
+
+const KernelOps &
+kernelOpsFor(KernelPath path)
+{
+    static const KernelOps scalar_ops{KernelPath::Scalar,
+                                      &accumulateRunScalar};
+#if MSQ_SIMD_X86
+    static const KernelOps sse2_ops{KernelPath::Sse2,
+                                    &accumulateRunSse2};
+    static const KernelOps avx2_ops{KernelPath::Avx2,
+                                    &accumulateRunAvx2};
+    if (path == KernelPath::Sse2)
+        return sse2_ops;
+    if (path == KernelPath::Avx2)
+        return avx2_ops;
+#endif
+#if MSQ_SIMD_NEON
+    static const KernelOps neon_ops{KernelPath::Neon,
+                                    &accumulateRunNeon};
+    if (path == KernelPath::Neon)
+        return neon_ops;
+#endif
+    MSQ_ASSERT(path == KernelPath::Scalar,
+               "requested kernel path is not compiled into this build");
+    return scalar_ops;
+}
+
+} // namespace msq

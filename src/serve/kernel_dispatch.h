@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Runtime dispatch registry for the blocked serving GEMM's hot
+ * accumulation loop — the kernel that turns a (k-panel × macro-block)
+ * tile's zero-free CSR entries into int32 partial sums
+ * (serve/packed_exec.h, `gemmBlock`).
+ *
+ * Each KernelPath (common/simd_dispatch.h) provides one
+ * `accumulateRun` implementation:
+ *
+ *  - `scalar`: the portable loop, kept as the oracle every other path
+ *    is diffed against byte for byte (tests/test_kernel_dispatch.cc);
+ *  - `sse2` / `avx2`: hand-vectorized x86 variants that broadcast the
+ *    int16 entry value across 8/16 token lanes and form the exact
+ *    32-bit products via the `_mm_mullo_epi16`/`_mm_mulhi_epi16`
+ *    low/high-half recombination (the shift-aligned integer reduction
+ *    of the paper's PE array, Fig. 6, mapped onto register lanes);
+ *  - `neon`: AArch64 widening multiply-accumulate (`vmlal_s16`).
+ *
+ * Every path produces identical bytes by construction: the plan admits
+ * a tile to the integer path only when the sum of its term magnitudes
+ * fits int32 (accel/int_dequant.h maxPanelShift plus the exact
+ * per-tile check), so every partial sum of every subset of terms is
+ * exact — int32 addition is then associative and commutative over the
+ * admitted range, and lane-parallel accumulation folds to the same
+ * bytes as the scalar loop no matter how tokens are split across
+ * lanes. The double-precision folds ABOVE the int32 accumulators (the
+ * hierarchical k-panel/run order that the determinism contract pins)
+ * are outside the dispatched region and never vary by path.
+ *
+ * Selection is `activeKernelPath()` — a plain atomic read, forceable
+ * process-wide with `MSQ_KERNEL=scalar|sse2|avx2|neon` or
+ * `setKernelPath()`. This replaces the PR-4 `target_clones` ifunc
+ * mechanism (and with it the TSan compile-out special case: there is
+ * no resolver to run before the sanitizer runtime exists).
+ */
+
+#ifndef MSQ_SERVE_KERNEL_DISPATCH_H
+#define MSQ_SERVE_KERNEL_DISPATCH_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd_dispatch.h"
+
+namespace msq {
+
+/**
+ * One zero-free entry of a blocked (k-panel × macro-block) tile: an
+ * inlier code or a ReCoN-merged outlier mantissa, pre-shifted to the
+ * tile's minimum exponent on the integer path (serve/packed_exec.h).
+ */
+struct KernelBlockEntry
+{
+    uint16_t col = 0; ///< column offset within the macro-block
+    int16_t w = 0;    ///< integer weight value (shifted in Int tiles)
+};
+
+/**
+ * The micro-kernel's int32 accumulation over one run: every entry of
+ * rows [k0, k1) of a stripe's CSR (delimited by `erow`), multiplied by
+ * the staged int16 iAct rows (`iact`, nj tokens per row, row 0 is
+ * panel row `pk0`), accumulated into `acc` (macro-block offset × nj).
+ */
+using AccumulateRunFn = void (*)(const KernelBlockEntry *entries,
+                                 const uint32_t *erow, size_t k0,
+                                 size_t k1, const int16_t *iact,
+                                 size_t pk0, size_t nj, int32_t *acc);
+
+/** Function table of one kernel path. */
+struct KernelOps
+{
+    KernelPath path = KernelPath::Scalar;
+    AccumulateRunFn accumulateRun = nullptr;
+};
+
+/**
+ * Ops table of `path`. @pre kernelPathCompiled(path) — a compiled
+ * path always has a full table; the caller (or activeKernelPath())
+ * guarantees CPU support before executing it.
+ */
+const KernelOps &kernelOpsFor(KernelPath path);
+
+/** Ops table of the active path — what the serving GEMM runs. */
+inline const KernelOps &
+activeKernelOps()
+{
+    return kernelOpsFor(activeKernelPath());
+}
+
+} // namespace msq
+
+#endif // MSQ_SERVE_KERNEL_DISPATCH_H

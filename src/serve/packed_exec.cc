@@ -19,84 +19,17 @@ namespace {
  *  accumulator scratch at macroBlock x kTokenTile. */
 constexpr size_t kTokenTile = 32;
 
-} // namespace
-
-/**
- * Per-ISA clones of the hot accumulation loop: the integer arithmetic
- * is value-identical on every path, so runtime dispatch (GNU ifunc)
- * never changes output bytes — it only widens the multiply-accumulate.
- * Restricted to ELF x86-64 GCC/Clang; elsewhere the plain definition
- * is used.
- *
- * Disabled under ThreadSanitizer: the compiler instruments the
- * generated ifunc resolver, and ld.so runs resolvers while processing
- * relocations — before the sanitizer runtime has set up the main
- * thread's state — so any TSan-built binary linking this TU would
- * segfault during startup. The plain definition keeps the exact same
- * arithmetic.
- */
-#if defined(__SANITIZE_THREAD__)
-#define MSQ_KERNEL_CLONES
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define MSQ_KERNEL_CLONES
-#endif
-#endif
-#if !defined(MSQ_KERNEL_CLONES)
-#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__)
-#define MSQ_KERNEL_CLONES                                                  \
-    __attribute__((target_clones("avx2", "default")))
-#else
-#define MSQ_KERNEL_CLONES
-#endif
-#endif
-
-MSQ_KERNEL_CLONES
-void
-PackedExecPlan::accumulateRun(const BlockEntry *entries,
-                              const uint32_t *erow, size_t k0, size_t k1,
-                              const int16_t *iact, size_t pk0, size_t nj,
-                              int32_t *acc)
+/** Rounds a pointer up to the next 64-byte (cache-line) boundary; the
+ *  backing allocation must carry the matching slack. */
+template <typename T>
+T *
+alignUp64(T *p)
 {
-    if (nj == kTokenTile) {
-        // Full-width sub-tiles (every tile but a batch's ragged tail):
-        // the constant trip count unrolls into straight-line SIMD.
-        for (size_t kk = k0; kk < k1; ++kk) {
-            const int16_t *aw = iact + (kk - pk0) * kTokenTile;
-            for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
-                const int32_t wv = entries[e].w;
-                int32_t *arow = acc + entries[e].col * kTokenTile;
-                for (size_t j = 0; j < kTokenTile; ++j)
-                    arow[j] += wv * aw[j];
-            }
-        }
-        return;
-    }
-    if (nj == kTokenTile / 2) {
-        // Half-width tiles: ragged batch tails and latency-tuned
-        // configs with tileTokens = 16.
-        constexpr size_t half = kTokenTile / 2;
-        for (size_t kk = k0; kk < k1; ++kk) {
-            const int16_t *aw = iact + (kk - pk0) * half;
-            for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
-                const int32_t wv = entries[e].w;
-                int32_t *arow = acc + entries[e].col * half;
-                for (size_t j = 0; j < half; ++j)
-                    arow[j] += wv * aw[j];
-            }
-        }
-        return;
-    }
-    for (size_t kk = k0; kk < k1; ++kk) {
-        const int16_t *aw = iact + (kk - pk0) * nj;
-        for (uint32_t e = erow[kk]; e < erow[kk + 1]; ++e) {
-            const int32_t wv = entries[e].w;
-            int32_t *arow = acc + entries[e].col * nj;
-            for (size_t j = 0; j < nj; ++j)
-                arow[j] += wv * aw[j];
-        }
-    }
+    return reinterpret_cast<T *>(
+        (reinterpret_cast<uintptr_t>(p) + 63) & ~uintptr_t{63});
 }
+
+} // namespace
 
 bool
 PackedExecPlan::executable(const MsqConfig &config)
@@ -204,7 +137,7 @@ PackedExecPlan::buildBlockedPlane(const PackedLayer &layer)
             for (size_t c = mbc0; c < mbc1; ++c) {
                 if (inl[c] == 0)
                     continue;
-                BlockEntry entry;
+                KernelBlockEntry entry;
                 entry.col = static_cast<uint16_t>(c - mbc0);
                 entry.w = inl[c];
                 entries_.push_back(entry);
@@ -215,7 +148,7 @@ PackedExecPlan::buildBlockedPlane(const PackedLayer &layer)
                 const OutlierTerm &term = outliers_[t];
                 if (term.col < mbc0 || term.col >= mbc1)
                     continue;
-                BlockEntry entry;
+                KernelBlockEntry entry;
                 entry.col = static_cast<uint16_t>(term.col - mbc0);
                 entry.w = static_cast<int16_t>(term.mant);
                 entries_.push_back(entry);
@@ -359,11 +292,23 @@ PackedExecPlan::gemmBlock(const QuantizedActs &acts, size_t c0, size_t c1,
     const size_t mb1 = (c1 - 1) / macroBlock_ + 1;
     const size_t mb_width = std::min(macroBlock_, cols_);
 
+    // Resolve the dispatched micro-kernel once per call: one atomic
+    // read, then a plain indirect call per run. Every path folds to
+    // identical bytes (serve/kernel_dispatch.h), so mid-stream path
+    // changes from another thread could not change results either way.
+    const AccumulateRunFn accumulate_run = activeKernelOps().accumulateRun;
+
     // Scratch: int32 accumulators for one (tile, run), the panel's
     // staged int16 iAct rows, per-(group, token) double scales, and the
-    // run's combined 2^(Isf + Asf) row.
-    std::vector<int32_t> acc(mb_width * kTokenTile);
-    std::vector<int16_t> iact(panelK_ * kTokenTile);
+    // run's combined 2^(Isf + Asf) row. The vector-touched buffers are
+    // hoisted to 64-byte alignment: at full tile width every
+    // accumulator row is then cache-line aligned, so the kernels' 256-
+    // bit stores never straddle a line (a measurable tax for the AVX2
+    // path; 128-bit accesses at malloc alignment never split).
+    std::vector<int32_t> acc_store(mb_width * kTokenTile + 16);
+    std::vector<int16_t> iact_store(panelK_ * kTokenTile + 32);
+    int32_t *const acc = alignUp64(acc_store.data());
+    int16_t *const iact = alignUp64(iact_store.data());
     std::vector<double> ascale(groups * kTokenTile);
     std::vector<double> comb(kTokenTile);
 
@@ -387,7 +332,7 @@ PackedExecPlan::gemmBlock(const QuantizedActs &acts, size_t c0, size_t c1,
             // multiply-accumulate shared by every macro-block below.
             for (size_t k = pk0; k < pk1; ++k) {
                 const int8_t *arow = acts.channelCodes(k) + tt;
-                int16_t *srow = iact.data() + (k - pk0) * nj;
+                int16_t *srow = iact + (k - pk0) * nj;
                 for (size_t j = 0; j < nj; ++j)
                     srow[j] = arow[j];
             }
@@ -415,10 +360,10 @@ PackedExecPlan::gemmBlock(const QuantizedActs &acts, size_t c0, size_t c1,
                             k = ke;
                             continue;  // no codes in this run
                         }
-                        std::memset(acc.data(), 0,
+                        std::memset(acc, 0,
                                     (mbc1 - mbc0) * nj * sizeof(int32_t));
-                        accumulateRun(entries_.data(), erow, k, ke,
-                                      iact.data(), pk0, nj, acc.data());
+                        accumulate_run(entries_.data(), erow, k, ke,
+                                       iact, pk0, nj, acc);
                         // One exact power-of-two scale per partial
                         // (2^Isf x 2^Asf is itself a power of two, so
                         // the hoisted product stays exact).
@@ -427,7 +372,7 @@ PackedExecPlan::gemmBlock(const QuantizedActs &acts, size_t c0, size_t c1,
                             comb[j] = tscale * as[j];
                         for (size_t cc = lo - mbc0; cc < hi - mbc0;
                              ++cc) {
-                            const int32_t *arow = acc.data() + cc * nj;
+                            const int32_t *arow = acc + cc * nj;
                             double *orow =
                                 out.rowPtr(mbc0 + cc) + tt;
                             for (size_t j = 0; j < nj; ++j)
@@ -444,7 +389,7 @@ PackedExecPlan::gemmBlock(const QuantizedActs &acts, size_t c0, size_t c1,
                     for (size_t kk = pk0; kk < pk1; ++kk) {
                         if (erow[kk + 1] == erow[kk])
                             continue;
-                        const int16_t *aw = iact.data() + (kk - pk0) * nj;
+                        const int16_t *aw = iact + (kk - pk0) * nj;
                         const double *as =
                             ascale.data() + (kk / agroup) * nj;
                         for (uint32_t e = erow[kk]; e < erow[kk + 1];

@@ -60,6 +60,7 @@
 #include "common/matrix.h"
 #include "core/packed_tensor.h"
 #include "model/pipeline.h"
+#include "serve/kernel_dispatch.h"
 
 namespace msq {
 
@@ -159,20 +160,6 @@ class PackedExecPlan
         double weight = 0.0;   ///< mant * scale (exact product)
     };
 
-    /**
-     * One zero-free entry of a blocked (k-panel x MaB) tile: an inlier
-     * code or a ReCoN-merged outlier mantissa. In Int tiles `w` is
-     * pre-shifted by the entry's exponent distance to the tile minimum
-     * (outliers simply carry larger shifts); in Scalar tiles `w` stays
-     * raw and the per-entry exponent sideband (`entryExp_`) is applied
-     * at execution.
-     */
-    struct BlockEntry
-    {
-        uint16_t col = 0; ///< column offset within the macro-block
-        int16_t w = 0;    ///< integer weight value (shifted in Int tiles)
-    };
-
     /** Tile execution modes (one byte per (k-panel, MaB) tile). */
     enum class TileTag : uint8_t
     {
@@ -185,19 +172,6 @@ class PackedExecPlan
     size_t panelCount() const { return (rows_ + panelK_ - 1) / panelK_; }
 
     void buildBlockedPlane(const PackedLayer &layer);
-
-    /**
-     * The micro-kernel's int32 accumulation over one run: every entry
-     * of rows [k0, k1) of a stripe's CSR, multiplied by the staged
-     * int16 iAct rows, accumulated into `acc` (macro-block offset x
-     * nj). Kept out of line so the build can emit per-ISA clones — the
-     * arithmetic is integer-exact, so every clone produces identical
-     * bytes.
-     */
-    static void accumulateRun(const BlockEntry *entries,
-                              const uint32_t *erow, size_t k0, size_t k1,
-                              const int16_t *iact, size_t pk0, size_t nj,
-                              int32_t *acc);
 
     size_t rows_ = 0;
     size_t cols_ = 0;
@@ -212,13 +186,19 @@ class PackedExecPlan
     std::vector<uint32_t> outlierRow_; ///< CSR offsets, rows_ + 1 entries
 
     // Blocked plane (serving hot path). Entries — inlier codes AND
-    // merged outlier mantissas — are stored macro-block major: all of
-    // MaB mb's terms over every k, ordered by (k, inliers before
-    // outliers), with `entryRow_[mb * (rows_ + 1) + k]` delimiting row
-    // k's slice — one zero-free CSR per weight-plane column stripe, so
-    // a (k-panel x MaB) micro-kernel streams a contiguous range.
+    // merged outlier mantissas (KernelBlockEntry,
+    // serve/kernel_dispatch.h; in Int tiles `w` is pre-shifted to the
+    // tile's minimum exponent, in Scalar tiles it stays raw and the
+    // per-entry exponent sideband applies at execution) — are stored
+    // macro-block major: all of MaB mb's terms over every k, ordered by
+    // (k, inliers before outliers), with `entryRow_[mb * (rows_ + 1) +
+    // k]` delimiting row k's slice — one zero-free CSR per weight-plane
+    // column stripe, so a (k-panel x MaB) micro-kernel streams a
+    // contiguous range. The accumulation loop itself is dispatched
+    // (activeKernelOps().accumulateRun): scalar oracle plus hand-
+    // vectorized SSE2/AVX2/NEON variants, all byte-identical.
     size_t panelK_ = 128;              ///< k rows per panel
-    std::vector<BlockEntry> entries_;
+    std::vector<KernelBlockEntry> entries_;
     std::vector<int16_t> entryExp_;    ///< per entry: 2^exp weight scale
     std::vector<uint32_t> entryRow_;   ///< macroPerRow x (rows_+1)
     std::vector<int16_t> tileExp_;     ///< panels x macroPerRow: min exp

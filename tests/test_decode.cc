@@ -17,6 +17,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd_dispatch.h"
 #include "serve/decode.h"
 
 namespace msq {
@@ -188,6 +189,32 @@ TEST(DecodeEngine, TokenStreamsInvariantAcrossThreads)
     const auto threaded = generate(w, baseDecodeConfig());
     setThreadCount(0);
     EXPECT_EQ(serial, threaded);
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, TokenStreamsInvariantAcrossKernelPaths)
+{
+    // The full decode loop — prefill, KV quantize/gather, attention,
+    // every projection through the blocked GEMM — under every SIMD
+    // path usable on the host, crossed with thread counts: the token
+    // streams must equal the forced-scalar single-thread reference
+    // exactly (MSQ_KERNEL x MSQ_THREADS never changes output).
+    clearPackedModelCache();
+    const Workload w = makeWorkload(6, 64);
+    setKernelPath(KernelPath::Scalar);
+    setThreadCount(1);
+    const auto ref = generate(w, baseDecodeConfig());
+    for (KernelPath path : usableKernelPaths()) {
+        setKernelPath(path);
+        for (unsigned threads : {1u, 4u}) {
+            setThreadCount(threads);
+            EXPECT_EQ(generate(w, baseDecodeConfig()), ref)
+                << "path " << kernelPathName(path) << " threads "
+                << threads;
+        }
+    }
+    setThreadCount(0);
+    resetKernelPath();
     clearPackedModelCache();
 }
 

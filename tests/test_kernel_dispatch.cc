@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Cross-ISA bit-identity harness for the dispatched SIMD kernels
+ * (common/simd_dispatch.h, serve/kernel_dispatch.h,
+ * quant/span_kernels.h): every kernel path usable on the host is
+ * forced in turn and its outputs diffed BYTE for byte against the
+ * forced-scalar oracle —
+ *
+ *  - the blocked serving GEMM over the full inlierBits x actBits x
+ *    macro-block x ragged-shape grid of test_packed_kernel.cc,
+ *  - the int32 overflow boundary (tiles just inside the bound stay on
+ *    the integer path; spreads beyond it take the per-term fallback)
+ *    and all-pruned tiles,
+ *  - channel-major activation quantization (codes and scale exponents),
+ *
+ * plus the selection machinery itself: name/parse round trips, the
+ * usable-path invariants, and override set/reset semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "accel/int_dequant.h"
+#include "common/rng.h"
+#include "common/simd_dispatch.h"
+#include "core/microscopiq.h"
+#include "quant/act_quant.h"
+#include "serve/kernel_dispatch.h"
+#include "serve/packed_exec.h"
+
+namespace msq {
+namespace {
+
+/** Forces one kernel path for a scope; restores the default on exit. */
+class PathGuard
+{
+  public:
+    explicit PathGuard(KernelPath path) { setKernelPath(path); }
+    ~PathGuard() { resetKernelPath(); }
+    PathGuard(const PathGuard &) = delete;
+    PathGuard &operator=(const PathGuard &) = delete;
+};
+
+Matrix
+fmWeights(size_t k, size_t o, Rng &rng, double outlier_rate)
+{
+    Matrix w(k, o);
+    for (size_t r = 0; r < k; ++r) {
+        for (size_t c = 0; c < o; ++c) {
+            double v = rng.gaussian(0.0, 0.02);
+            if (rng.bernoulli(outlier_rate))
+                v = rng.uniform(0.15, 0.5) * (rng.bernoulli(0.5) ? 1 : -1);
+            w(r, c) = v;
+        }
+    }
+    return w;
+}
+
+Matrix
+randomActs(size_t k, size_t tokens, Rng &rng)
+{
+    Matrix x(k, tokens);
+    for (size_t r = 0; r < k; ++r)
+        for (size_t t = 0; t < tokens; ++t)
+            x(r, t) = rng.gaussian(0.0, 1.0);
+    return x;
+}
+
+void
+expectBitIdentical(const Matrix &got, const Matrix &want,
+                   KernelPath path)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (size_t r = 0; r < got.rows(); ++r)
+        for (size_t c = 0; c < got.cols(); ++c)
+            ASSERT_EQ(got(r, c), want(r, c))
+                << "path " << kernelPathName(path) << " mismatch at ("
+                << r << "," << c << ")";
+}
+
+/**
+ * gemm() under every usable path against the forced-scalar oracle.
+ * Token counts are chosen by callers to cover the kernel's full-width
+ * (32), half-width (16), and ragged sub-tile shapes.
+ */
+void
+expectGemmPathsAgree(const PackedExecPlan &plan, const QuantizedActs &acts)
+{
+    Matrix oracle;
+    {
+        PathGuard guard(KernelPath::Scalar);
+        oracle = plan.gemm(acts);
+    }
+    for (KernelPath path : usableKernelPaths()) {
+        PathGuard guard(path);
+        expectBitIdentical(plan.gemm(acts), oracle, path);
+    }
+}
+
+TEST(KernelDispatch, NamesParseRoundTrip)
+{
+    for (int p = 0; p < kKernelPathCount; ++p) {
+        const KernelPath path = static_cast<KernelPath>(p);
+        KernelPath parsed = KernelPath::Neon;
+        ASSERT_TRUE(parseKernelPath(kernelPathName(path), parsed));
+        EXPECT_EQ(parsed, path);
+    }
+    KernelPath parsed;
+    EXPECT_FALSE(parseKernelPath("", parsed));
+    EXPECT_FALSE(parseKernelPath("avx512", parsed));
+    EXPECT_FALSE(parseKernelPath("AVX2", parsed));
+}
+
+TEST(KernelDispatch, UsablePathInvariants)
+{
+    // Scalar is always compiled, supported, and first in preference.
+    EXPECT_TRUE(kernelPathCompiled(KernelPath::Scalar));
+    EXPECT_TRUE(kernelPathUsable(KernelPath::Scalar));
+    const std::vector<KernelPath> usable = usableKernelPaths();
+    ASSERT_FALSE(usable.empty());
+    EXPECT_EQ(usable.front(), KernelPath::Scalar);
+    for (size_t i = 0; i + 1 < usable.size(); ++i)
+        EXPECT_LT(static_cast<int>(usable[i]),
+                  static_cast<int>(usable[i + 1]));
+    for (KernelPath path : usable) {
+        EXPECT_TRUE(kernelPathCompiled(path));
+        EXPECT_TRUE(kernelPathUsable(path));
+        // Every usable path has a complete ops table.
+        const KernelOps &ops = kernelOpsFor(path);
+        EXPECT_EQ(ops.path, path);
+        EXPECT_NE(ops.accumulateRun, nullptr);
+    }
+#if defined(__x86_64__) && defined(__GNUC__)
+    EXPECT_TRUE(kernelPathUsable(KernelPath::Sse2));
+    EXPECT_FALSE(kernelPathCompiled(KernelPath::Neon));
+#endif
+#if defined(__aarch64__) && defined(__GNUC__)
+    EXPECT_TRUE(kernelPathUsable(KernelPath::Neon));
+    EXPECT_FALSE(kernelPathCompiled(KernelPath::Avx2));
+#endif
+}
+
+TEST(KernelDispatch, OverrideSetAndReset)
+{
+    const KernelPath before = activeKernelPath();
+    EXPECT_TRUE(kernelPathUsable(before));
+    {
+        PathGuard guard(KernelPath::Scalar);
+        EXPECT_EQ(activeKernelPath(), KernelPath::Scalar);
+        EXPECT_EQ(activeKernelOps().path, KernelPath::Scalar);
+    }
+    EXPECT_EQ(activeKernelPath(), before);
+}
+
+TEST(KernelDispatch, ForcedPathGemmGrid)
+{
+    // The full kernel boundary grid of test_packed_kernel.cc, replayed
+    // under every usable path: inlier bits x act bits x macro-block
+    // width x ragged shapes (columns straddling macro-/micro-blocks,
+    // rows below/at/straddling the 128-row k-panel). 37 tokens cover
+    // the 32-token full-width sub-tile plus a 5-token ragged tail.
+    struct Shape
+    {
+        size_t rows, cols;
+    };
+    const Shape shapes[] = {{16, 8}, {53, 97}, {64, 96}, {128, 100},
+                            {130, 97}};
+    const unsigned bb_grid[] = {2, 4};
+    const unsigned ab_grid[] = {2, 4, 8};
+    const size_t mab_grid[] = {32, 64};
+    uint64_t seed = 4200;
+    for (const Shape &shape : shapes) {
+        for (size_t mab : mab_grid) {
+            for (unsigned bb : bb_grid) {
+                MsqConfig cfg;
+                cfg.inlierBits = bb;
+                cfg.macroBlock = mab;
+                cfg.microBlock = 8;
+                cfg.hessianCompensation = false;
+                Rng rng(++seed);
+                const Matrix w = fmWeights(shape.rows, shape.cols, rng,
+                                           0.05);
+                MicroScopiQQuantizer quantizer(cfg);
+                const PackedExecPlan plan(
+                    quantizer.quantizePacked(w, Matrix()));
+                const Matrix x = randomActs(shape.rows, 37, rng);
+                for (unsigned ab : ab_grid)
+                    expectGemmPathsAgree(plan, QuantizedActs(x, ab, 32));
+            }
+        }
+    }
+}
+
+TEST(KernelDispatch, HalfWidthAndRaggedTokenTiles)
+{
+    // 16 tokens select the kernel's dedicated half-width sub-tile; 11
+    // and 3 exercise the generic ragged shape (including widths below
+    // one SSE2 step).
+    MsqConfig cfg;
+    cfg.macroBlock = 32;
+    cfg.microBlock = 8;
+    cfg.hessianCompensation = false;
+    Rng rng(77);
+    const Matrix w = fmWeights(130, 100, rng, 0.05);
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedExecPlan plan(quantizer.quantizePacked(w, Matrix()));
+    for (size_t tokens : {16u, 11u, 3u, 1u}) {
+        const Matrix x = randomActs(130, tokens, rng);
+        expectGemmPathsAgree(plan, QuantizedActs(x, 8, 32));
+    }
+}
+
+/** Row k scaled by 2^(k % modulus): drives the panel exponent spread. */
+Matrix
+rampWeights(size_t rows, size_t cols, int modulus, Rng &rng)
+{
+    Matrix w(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+        const double scale = std::ldexp(1.0, static_cast<int>(r) % modulus);
+        for (size_t c = 0; c < cols; ++c)
+            w(r, c) = scale * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    return w;
+}
+
+/** Max-magnitude activations (codes saturate at +/- qmax). */
+Matrix
+saturatedActs(size_t rows, size_t tokens, Rng &rng)
+{
+    Matrix x(rows, tokens);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t t = 0; t < tokens; ++t)
+            x(r, t) = 8.0 * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    return x;
+}
+
+TEST(KernelDispatch, OverflowBoundaryAcrossPaths)
+{
+    // Tiles driven to the int32 admission bound (saturated codes, max
+    // exponent spread the bound accepts) and far beyond it (forcing
+    // the exact per-term fallback): every path must reproduce the
+    // scalar bytes on both sides of the boundary.
+    for (unsigned bb : {2u, 4u}) {
+        MsqConfig cfg;
+        cfg.inlierBits = bb;
+        cfg.macroBlock = 32;
+        cfg.microBlock = 8;
+        cfg.outlierMode = OutlierMode::None;
+        cfg.hessianCompensation = false;
+        MicroScopiQQuantizer quantizer(cfg);
+        Rng rng(8800 + bb);
+
+        const int bound = std::min(maxPanelShift(bb, 8, 128),
+                                   14 - static_cast<int>(bb - 1));
+        ASSERT_GE(bound, 10);
+        const PackedExecPlan near_plan(quantizer.quantizePacked(
+            rampWeights(128, 64, bound + 1, rng), Matrix()));
+        EXPECT_GT(near_plan.blockStats().intTiles, 0u);
+        EXPECT_EQ(near_plan.blockStats().scalarTiles, 0u);
+        const Matrix near_acts = saturatedActs(128, 37, rng);
+        for (unsigned ab : {2u, 4u, 8u})
+            expectGemmPathsAgree(near_plan,
+                                 QuantizedActs(near_acts, ab, 32));
+
+        const PackedExecPlan over_plan(quantizer.quantizePacked(
+            rampWeights(96, 48, 40, rng), Matrix()));
+        EXPECT_GT(over_plan.blockStats().scalarTiles, 0u);
+        const Matrix over_acts = saturatedActs(96, 37, rng);
+        expectGemmPathsAgree(over_plan, QuantizedActs(over_acts, 8, 32));
+    }
+}
+
+TEST(KernelDispatch, AllPrunedTilesAcrossPaths)
+{
+    // A zeroed column stripe: its tiles classify Zero and are skipped
+    // before dispatch, so every path must agree AND leave the stripe
+    // exactly zero.
+    MsqConfig cfg;
+    cfg.macroBlock = 32;
+    cfg.microBlock = 8;
+    cfg.outlierMode = OutlierMode::None;
+    cfg.hessianCompensation = false;
+    Rng rng(97);
+    Matrix w = fmWeights(96, 96, rng, 0.0);
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 32; c < 64; ++c)
+            w(r, c) = 0.0;
+    MicroScopiQQuantizer quantizer(cfg);
+    const PackedExecPlan plan(quantizer.quantizePacked(w, Matrix()));
+    EXPECT_GT(plan.blockStats().zeroTiles, 0u);
+    const QuantizedActs acts(randomActs(96, 37, rng), 8, 32);
+    expectGemmPathsAgree(plan, acts);
+    for (KernelPath path : usableKernelPaths()) {
+        PathGuard guard(path);
+        const Matrix out = plan.gemm(acts);
+        for (size_t c = 32; c < 64; ++c)
+            for (size_t t = 0; t < out.cols(); ++t)
+                ASSERT_EQ(out(c, t), 0.0)
+                    << "path " << kernelPathName(path);
+    }
+}
+
+TEST(KernelDispatch, ActQuantizationAcrossPaths)
+{
+    // Channel-major activation quantization: codes AND scale exponents
+    // must be byte-identical under every path. 53 channels with group
+    // 32 leave a ragged last group; 70 tokens leave a ragged token
+    // block (64 + 6) — both tails cross the vector widths.
+    Rng rng(555);
+    const Matrix x = randomActs(53, 70, rng);
+    for (unsigned bits : {2u, 4u, 8u}) {
+        MxIntActPanel oracle;
+        {
+            PathGuard guard(KernelPath::Scalar);
+            quantizeActsChannelMajor(x, bits, 32, oracle);
+        }
+        for (KernelPath path : usableKernelPaths()) {
+            PathGuard guard(path);
+            MxIntActPanel got;
+            quantizeActsChannelMajor(x, bits, 32, got);
+            ASSERT_EQ(got.codes.size(), oracle.codes.size());
+            ASSERT_EQ(got.scaleExp.size(), oracle.scaleExp.size());
+            EXPECT_EQ(0, std::memcmp(got.codes.data(),
+                                     oracle.codes.data(),
+                                     oracle.codes.size()))
+                << "codes diverge on " << kernelPathName(path);
+            EXPECT_EQ(0, std::memcmp(got.scaleExp.data(),
+                                     oracle.scaleExp.data(),
+                                     oracle.scaleExp.size()))
+                << "scales diverge on " << kernelPathName(path);
+        }
+    }
+}
+
+TEST(KernelDispatch, NegativeZeroAndTieRounding)
+{
+    // The vectorized quantizer's sign restore uses the sign BIT, so
+    // -0.0, exact .5 ties, and saturating magnitudes are the adversarial
+    // inputs; the scalar oracle must be reproduced on all of them.
+    const size_t n = 16;
+    Matrix x(1, n);
+    const double vals[n] = {0.0,   -0.0,  0.5,    -0.5,  1.5,  -1.5,
+                            2.5,   -2.5,  127.0,  -127.0, 300.0, -300.0,
+                            1e-30, -1e-30, 65.25, -65.25};
+    for (size_t t = 0; t < n; ++t)
+        x(0, t) = vals[t];
+    MxIntActPanel oracle;
+    {
+        PathGuard guard(KernelPath::Scalar);
+        quantizeActsChannelMajor(x, 8, 0, oracle);
+    }
+    for (KernelPath path : usableKernelPaths()) {
+        PathGuard guard(path);
+        MxIntActPanel got;
+        quantizeActsChannelMajor(x, 8, 0, got);
+        ASSERT_EQ(got.codes, oracle.codes)
+            << "path " << kernelPathName(path);
+        ASSERT_EQ(got.scaleExp, oracle.scaleExp)
+            << "path " << kernelPathName(path);
+    }
+}
+
+} // namespace
+} // namespace msq

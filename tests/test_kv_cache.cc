@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd_dispatch.h"
 #include "quant/kv_cache.h"
 #include "quant/kv_pool.h"
 
@@ -378,6 +379,54 @@ TEST(KvPool, GatherMatchesAccessors)
                     ASSERT_EQ(vb[c * stride + tt], pool.value(c, tt));
                 }
         }
+    }
+}
+
+TEST(KvPool, GatherBitIdenticalAcrossKernelPaths)
+{
+    // The vectorized span decode must reproduce the scalar gather byte
+    // for byte on every usable path, across code widths (byte-aligned
+    // and not), ragged value channel-groups, and a residual tail.
+    for (unsigned bits : {1u, 3u, 5u, 8u}) {
+        KvCacheConfig cfg;
+        cfg.bits = bits;
+        cfg.groupSize = 6;
+        cfg.residual = 2;
+        const size_t channels = 10;  // ragged last value group (6 + 4)
+        KvPool pool(channels, cfg);
+        Rng rng(400 + bits);
+        std::vector<double> kcol(channels), vcol(channels);
+        for (size_t t = 0; t < 29; ++t) {
+            for (size_t c = 0; c < channels; ++c) {
+                kcol[c] = rng.gaussian();
+                vcol[c] = rng.gaussian();
+            }
+            pool.append(kcol.data(), vcol.data());
+        }
+        const size_t n = pool.tokens();
+        ASSERT_GT(pool.quantizedTokens(), 0u);
+        setKernelPath(KernelPath::Scalar);
+        std::vector<double> kref(channels * n), vref(channels * n);
+        pool.gather(kref.data(), vref.data(), 0);
+        for (KernelPath path : usableKernelPaths()) {
+            setKernelPath(path);
+            for (size_t stride : {n, n + 5}) {
+                std::vector<double> kb(channels * stride, -99.0);
+                std::vector<double> vb(channels * stride, -99.0);
+                pool.gather(kb.data(), vb.data(),
+                            stride == n ? 0 : stride);
+                for (size_t c = 0; c < channels; ++c)
+                    for (size_t tt = 0; tt < n; ++tt) {
+                        ASSERT_EQ(kb[c * stride + tt], kref[c * n + tt])
+                            << "bits " << bits << " path "
+                            << kernelPathName(path);
+                        ASSERT_EQ(vb[c * stride + tt], vref[c * n + tt])
+                            << "bits " << bits << " path "
+                            << kernelPathName(path);
+                    }
+            }
+        }
+        resetKernelPath();
     }
 }
 
