@@ -16,11 +16,20 @@
  * modes — the scheduler only moves *when* tokens are computed — which
  * the emitted per-phase token checksums pin down.
  *
+ * A third phase streams a shared-prefix request mix (N prompts that
+ * differ only in their last token) twice — once with the cross-request
+ * prefix cache disabled (every request pays the full prefill) and once
+ * with it enabled (the first request prefills the prefix, the rest
+ * adopt its closed KV pages) — and reports the prefill-work speedup.
+ * The ratio is counted in prefill tokens, not wall time, so the CI
+ * floor measures the one-prefill guarantee rather than box noise.
+ *
  * Alongside the human-readable table the bench emits a machine-readable
  * BENCH_decode.json (path overridable as argv[1]; model as argv[2] —
  * CI runs a TinyLM-decode smoke pass; schema checked by
  * scripts/check_bench_json.py, which enforces the continuous >= 1.3x
- * static floor on steady-state decode throughput).
+ * static floor on steady-state decode throughput, the prefix-hit
+ * prefill-work floor, and a steady-state KV re-gather count of zero).
  */
 
 #include <cstdio>
@@ -73,6 +82,33 @@ makeWorkload(size_t vocab)
     return w;
 }
 
+constexpr size_t kPrefixRequests = 24;
+constexpr size_t kPrefixTokens = 48;
+
+/**
+ * Shared-prefix mix: every prompt is the same kPrefixTokens-token
+ * prefix plus one distinguishing tail token, so the engine-side
+ * cacheable prefix (prompt minus its last token) is identical across
+ * all requests and the warm pass should prefill it exactly once.
+ */
+Workload
+makePrefixWorkload(size_t vocab)
+{
+    Workload w;
+    Rng rng(7100);
+    std::vector<uint32_t> prefix(kPrefixTokens);
+    for (uint32_t &tok : prefix)
+        tok = static_cast<uint32_t>(rng.uniformInt(vocab));
+    for (size_t i = 0; i < kPrefixRequests; ++i) {
+        std::vector<uint32_t> prompt = prefix;
+        prompt.push_back(static_cast<uint32_t>((i * 7 + 1) % vocab));
+        w.promptTokens += prompt.size();
+        w.prompts.push_back(std::move(prompt));
+        w.maxNew.push_back(6);
+    }
+    return w;
+}
+
 /** Order-independent digest of every request's generated stream. */
 uint64_t
 tokenChecksum(const DecodeReport &rep)
@@ -98,6 +134,27 @@ runMode(const ModelProfile &model, const MsqConfig &qcfg,
     cfg.continuousBatching = continuous;
     cfg.kv = kKv;
     cfg.vocab = 128;
+    // Static-vs-continuous must measure scheduling only; the prompt mix
+    // is below the prefix-cache threshold anyway, but be explicit.
+    cfg.usePrefixCache = false;
+    DecodeEngine engine(model, qcfg, cfg);
+    for (size_t i = 0; i < w.prompts.size(); ++i)
+        engine.submit(w.prompts[i], w.maxNew[i]);
+    return engine.run();
+}
+
+DecodeReport
+runPrefixMode(const ModelProfile &model, const MsqConfig &qcfg,
+              const Workload &w, bool useCache)
+{
+    DecodeConfig cfg;
+    cfg.maxBatchSeqs = 12;
+    cfg.stepTokenBudget = 64;
+    cfg.prefillChunk = 16;
+    cfg.continuousBatching = true;
+    cfg.kv = kKv;
+    cfg.vocab = 128;
+    cfg.usePrefixCache = useCache;
     DecodeEngine engine(model, qcfg, cfg);
     for (size_t i = 0; i < w.prompts.size(); ++i)
         engine.submit(w.prompts[i], w.maxNew[i]);
@@ -182,6 +239,23 @@ main(int argc, char **argv)
             ? rep_c.decodeTokensPerSec / rep_s.decodeTokensPerSec
             : 0.0;
 
+    // Shared-prefix phase: cold (cache off) vs warm (cache on). The
+    // speedup is counted in prefill tokens — the warm pass prefills the
+    // shared prefix once and each request's tail token, nothing else.
+    const Workload wp = makePrefixWorkload(128);
+    const DecodeReport rep_cold = runPrefixMode(model, qcfg, wp, false);
+    const DecodeReport rep_warm = runPrefixMode(model, qcfg, wp, true);
+    const double prefix_speedup =
+        rep_warm.prefillTokens > 0
+            ? static_cast<double>(rep_cold.prefillTokens) /
+                  static_cast<double>(rep_warm.prefillTokens)
+            : 0.0;
+    const size_t total_tokens = w.promptTokens + rep_c.generatedTokens;
+    const double kv_bytes_per_token =
+        total_tokens > 0 ? static_cast<double>(rep_c.kvCapacityBytes) /
+                               static_cast<double>(total_tokens)
+                         : 0.0;
+
     const DecodeGeometry &g = model.decode;
     Table t("Autoregressive decode, " + model.name + ", " + qcfg.name() +
             " + 2-bit KV pool (" + std::to_string(threadCount()) +
@@ -212,6 +286,47 @@ main(int argc, char **argv)
     t.addSeparator();
     t.addRow({"", "continuous / static decode throughput",
               Table::fmt(speedup, 2) + "x"});
+    t.addSeparator();
+    t.addRow({"kv arena", "capacity bytes at retirement",
+              Table::fmtInt(
+                  static_cast<long long>(rep_c.kvCapacityBytes))});
+    t.addRow({"", "arena peak bytes",
+              Table::fmtInt(
+                  static_cast<long long>(rep_c.kvArenaPeakBytes))});
+    t.addRow({"", "kv bytes / token", Table::fmt(kv_bytes_per_token, 1)});
+    t.addRow({"", "gathers first/close/grow/steady",
+              Table::fmtInt(static_cast<long long>(rep_c.kvGatherFirst)) +
+                  " / " +
+                  Table::fmtInt(
+                      static_cast<long long>(rep_c.kvGatherClose)) +
+                  " / " +
+                  Table::fmtInt(
+                      static_cast<long long>(rep_c.kvGatherGrow)) +
+                  " / " +
+                  Table::fmtInt(
+                      static_cast<long long>(rep_c.kvGatherSteady))});
+    t.addSeparator();
+    t.addRow({"prefix", "requests x (prefix + tail)",
+              Table::fmtInt(static_cast<long long>(kPrefixRequests)) +
+                  " x (" +
+                  Table::fmtInt(static_cast<long long>(kPrefixTokens)) +
+                  " + 1)"});
+    t.addRow({"", "cold prefill tokens",
+              Table::fmtInt(
+                  static_cast<long long>(rep_cold.prefillTokens))});
+    t.addRow({"", "warm prefill tokens",
+              Table::fmtInt(
+                  static_cast<long long>(rep_warm.prefillTokens))});
+    t.addRow({"", "warm hits / inserts / adopted tokens",
+              Table::fmtInt(static_cast<long long>(rep_warm.prefixHits)) +
+                  " / " +
+                  Table::fmtInt(
+                      static_cast<long long>(rep_warm.prefixInserts)) +
+                  " / " +
+                  Table::fmtInt(static_cast<long long>(
+                      rep_warm.prefixAdoptedTokens))});
+    t.addRow({"", "prefill-work speedup (cold / warm)",
+              Table::fmt(prefix_speedup, 2) + "x"});
     t.print();
 
     std::FILE *f = std::fopen(json_path.c_str(), "w");
@@ -242,6 +357,39 @@ main(int argc, char **argv)
                  kKv.groupSize, kKv.residual, kRequests, w.promptTokens,
                  rep_c.generatedTokens, rep_c.kvPackedBytes,
                  rep_c.kvFpBytes);
+    std::fprintf(f,
+                 "  \"kv_capacity_bytes\": %zu,\n"
+                 "  \"kv_arena_peak_bytes\": %zu,\n"
+                 "  \"kv_bytes_per_token\": %.4f,\n"
+                 "  \"kv_gather\": {\"first\": %zu, \"close\": %zu, "
+                 "\"grow\": %zu, \"steady\": %zu},\n",
+                 rep_c.kvCapacityBytes, rep_c.kvArenaPeakBytes,
+                 kv_bytes_per_token, rep_c.kvGatherFirst,
+                 rep_c.kvGatherClose, rep_c.kvGatherGrow,
+                 rep_c.kvGatherSteady);
+    std::fprintf(
+        f,
+        "  \"prefix\": {\n"
+        "    \"requests\": %zu,\n"
+        "    \"prefix_tokens\": %zu,\n"
+        "    \"cold\": {\"prefill_tokens\": %zu, \"wall_ms\": %.3f, "
+        "\"prefill_tokens_per_s\": %.2f, \"token_checksum\": %llu},\n"
+        "    \"warm\": {\"prefill_tokens\": %zu, \"wall_ms\": %.3f, "
+        "\"prefill_tokens_per_s\": %.2f, \"token_checksum\": %llu, "
+        "\"hits\": %llu, \"inserts\": %llu, \"adopted_tokens\": %zu, "
+        "\"gather_steady\": %zu},\n"
+        "    \"prefill_speedup\": %.4f\n"
+        "  },\n",
+        kPrefixRequests, kPrefixTokens, rep_cold.prefillTokens,
+        rep_cold.wallMs, rep_cold.prefillTokensPerSec,
+        static_cast<unsigned long long>(tokenChecksum(rep_cold)),
+        rep_warm.prefillTokens, rep_warm.wallMs,
+        rep_warm.prefillTokensPerSec,
+        static_cast<unsigned long long>(tokenChecksum(rep_warm)),
+        static_cast<unsigned long long>(rep_warm.prefixHits),
+        static_cast<unsigned long long>(rep_warm.prefixInserts),
+        rep_warm.prefixAdoptedTokens, rep_warm.kvGatherSteady,
+        prefix_speedup);
     writePhaseJson(f, "static", rep_s);
     std::fprintf(f, ",\n");
     writePhaseJson(f, "continuous", rep_c);

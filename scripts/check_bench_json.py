@@ -17,7 +17,12 @@ trajectories cannot silently rot. Known ids:
                     with an enforced floor on the continuous/static
                     steady-state decode throughput ratio and a
                     determinism cross-check (both modes must generate
-                    identical token streams)
+                    identical token streams); also the paged-KV arena
+                    record (capacity bytes per token, a zero floor on
+                    steady-state KV re-gathers) and the shared-prefix
+                    cache record (cold vs warm prefill work, with an
+                    enforced floor on the prefill-token ratio, exactly
+                    one insert, and cold == warm token streams)
 
 Usage: check_bench_json.py path/to/BENCH_<name>.json
 Exits 0 when valid, 1 with a message otherwise.
@@ -123,9 +128,47 @@ DECODE_SCHEMA = {
     "generated_tokens": int,
     "kv_packed_bytes": int,
     "kv_fp_bytes": int,
+    "kv_capacity_bytes": int,
+    "kv_arena_peak_bytes": int,
+    "kv_bytes_per_token": float,
+    "kv_gather": dict,
+    "prefix": dict,
     "static": dict,
     "continuous": dict,
     "speedup": float,
+}
+
+KV_GATHER_SCHEMA = {
+    "first": int,
+    "close": int,
+    "grow": int,
+    "steady": int,
+}
+
+PREFIX_SCHEMA = {
+    "requests": int,
+    "prefix_tokens": int,
+    "cold": dict,
+    "warm": dict,
+    "prefill_speedup": float,
+}
+
+PREFIX_COLD_SCHEMA = {
+    "prefill_tokens": int,
+    "wall_ms": float,
+    "prefill_tokens_per_s": float,
+    "token_checksum": int,
+}
+
+PREFIX_WARM_SCHEMA = {
+    "prefill_tokens": int,
+    "wall_ms": float,
+    "prefill_tokens_per_s": float,
+    "token_checksum": int,
+    "hits": int,
+    "inserts": int,
+    "adopted_tokens": int,
+    "gather_steady": int,
 }
 
 # Steady-state decode throughput floor: iteration-level continuous
@@ -134,6 +177,14 @@ DECODE_SCHEMA = {
 # and ~1.9x on LLaMA2-7B; the floor leaves margin for noisy CI boxes
 # but catches a scheduler regression back toward batch-level admission.
 DECODE_SPEEDUP_FLOOR = 1.3
+
+# Prefill-work floor for the shared-prefix phase: cold prefill tokens /
+# warm prefill tokens. The ratio is a token count, not a timing, so it
+# is exact on any box: with N requests sharing a P-token prefix the
+# cold pass prefills N*(P+1) tokens and the warm pass P+1 + (N-1)
+# (~16x on the bench mix). The floor only needs to catch the cache
+# silently degrading to per-request prefills (ratio 1.0).
+PREFIX_SPEEDUP_FLOOR = 2.0
 
 COLD_START_SCHEMA = {
     "bench": str,
@@ -308,6 +359,71 @@ def check_decode_phase(phase, where):
             fail(f"{where}.{key} must be positive")
 
 
+def check_kv_arena(doc):
+    gather = doc["kv_gather"]
+    check_types(gather, KV_GATHER_SCHEMA, "$.kv_gather")
+    if gather["first"] <= 0:
+        fail("$.kv_gather.first: no KV scratch was ever built")
+    # The one invariant the persistent-scratch rework exists for: a
+    # pure decode step between group closes never rebuilds its gather.
+    if gather["steady"] != 0:
+        fail(f"steady-state decode re-gathered the KV window "
+             f"{gather['steady']} times; the persistent scratch must "
+             f"make this exactly 0")
+    if doc["kv_capacity_bytes"] < doc["kv_packed_bytes"] + doc["kv_fp_bytes"]:
+        fail("$.kv_capacity_bytes smaller than the payload it holds")
+    if doc["kv_arena_peak_bytes"] <= 0:
+        fail("$.kv_arena_peak_bytes must be positive")
+    total = doc["prompt_tokens"] + doc["generated_tokens"]
+    want = doc["kv_capacity_bytes"] / total
+    if abs(doc["kv_bytes_per_token"] - want) > 0.01 * max(1.0, want):
+        fail(f"$.kv_bytes_per_token {doc['kv_bytes_per_token']} "
+             f"inconsistent with capacity/total tokens ({want:.4f})")
+
+
+def check_prefix(prefix):
+    check_types(prefix, PREFIX_SCHEMA, "$.prefix")
+    cold = prefix["cold"]
+    warm = prefix["warm"]
+    check_types(cold, PREFIX_COLD_SCHEMA, "$.prefix.cold")
+    check_types(warm, PREFIX_WARM_SCHEMA, "$.prefix.warm")
+    n = prefix["requests"]
+    p = prefix["prefix_tokens"]
+    if n <= 1 or p <= 0:
+        fail("$.prefix: degenerate workload")
+    # The cache may only move prefill work, never change tokens.
+    if cold["token_checksum"] != warm["token_checksum"]:
+        fail("prefix-cache hit changed the generated token streams "
+             "(determinism violation)")
+    # One-prefill guarantee, counted exactly: the claimer prefills the
+    # whole prompt once, every other request only its tail token.
+    if warm["inserts"] != 1:
+        fail(f"$.prefix.warm.inserts: shared prefix was prefilled "
+             f"{warm['inserts']} times, expected exactly 1")
+    if warm["hits"] != n - 1:
+        fail(f"$.prefix.warm.hits: {warm['hits']} of {n - 1} requests "
+             f"hit the shared prefix")
+    if warm["adopted_tokens"] != (n - 1) * p:
+        fail(f"$.prefix.warm.adopted_tokens {warm['adopted_tokens']} != "
+             f"hits * prefix_tokens ({(n - 1) * p})")
+    if cold["prefill_tokens"] != n * (p + 1):
+        fail(f"$.prefix.cold.prefill_tokens {cold['prefill_tokens']} != "
+             f"requests * prompt ({n * (p + 1)})")
+    if warm["gather_steady"] != 0:
+        fail(f"$.prefix.warm.gather_steady: {warm['gather_steady']} "
+             f"steady-state re-gathers on the warm pass, expected 0")
+    want = cold["prefill_tokens"] / warm["prefill_tokens"]
+    if abs(prefix["prefill_speedup"] - want) > 0.01 * max(1.0, want):
+        fail(f"$.prefix.prefill_speedup {prefix['prefill_speedup']} "
+             f"inconsistent with prefill token counts ({want:.4f})")
+    if prefix["prefill_speedup"] < PREFIX_SPEEDUP_FLOOR:
+        fail(f"prefix-cache hit must cut prefill work by >= "
+             f"{PREFIX_SPEEDUP_FLOOR}x; got "
+             f"{prefix['prefill_speedup']:.2f}x "
+             f"({cold['prefill_tokens']} vs {warm['prefill_tokens']} "
+             f"prefill tokens)")
+
+
 def check_decode(doc):
     check_types(doc, DECODE_SCHEMA, "$")
     for key in ("blocks", "heads", "kv_heads", "head_dim", "requests",
@@ -318,6 +434,8 @@ def check_decode(doc):
         fail(f"$.kv_bits {doc['kv_bits']} outside 1..8")
     check_decode_phase(doc["static"], "$.static")
     check_decode_phase(doc["continuous"], "$.continuous")
+    check_kv_arena(doc)
+    check_prefix(doc["prefix"])
 
     # The scheduler may only change when tokens are computed, never
     # their values: both modes must generate identical streams.
@@ -343,8 +461,10 @@ def check_decode(doc):
     return (f"{doc['model']}, {doc['method']}, continuous/static "
             f"{doc['speedup']:.2f}x ({cont['decode_tokens_per_s']:.0f} vs "
             f"{stat['decode_tokens_per_s']:.0f} decode tok/s, mean active "
-            f"{cont['mean_active']:.1f} vs {stat['mean_active']:.1f}) on "
-            f"{doc['threads']} threads")
+            f"{cont['mean_active']:.1f} vs {stat['mean_active']:.1f}), "
+            f"prefix prefill {doc['prefix']['prefill_speedup']:.1f}x, "
+            f"{doc['kv_bytes_per_token']:.0f} KV B/tok, 0 steady "
+            f"re-gathers, on {doc['threads']} threads")
 
 
 CHECKERS = {

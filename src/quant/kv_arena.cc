@@ -1,0 +1,124 @@
+#include "quant/kv_arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace msq {
+
+KvArena::KvArena(const KvArenaConfig &config)
+{
+    MSQ_ASSERT(config.pageBytes > 0, "KvArena needs a positive page size");
+    MSQ_ASSERT(config.pagesPerSlab > 0, "KvArena needs pages per slab");
+    pageBytes_ = (config.pageBytes + 15) / 16 * 16;
+    capacityPages_ = config.capacityBytes / pageBytes_;
+    pagesPerSlab_ = config.pagesPerSlab;
+}
+
+KvArena::PageId
+KvArena::allocate()
+{
+    MutexLock lock(mu_);
+    if (freeList_.empty()) {
+        // Grow one slab and thread its pages onto the freelist in
+        // descending id order so allocation hands out ascending ids.
+        const size_t doubles_per_page = pageBytes_ / sizeof(double);
+        slabs_.push_back(std::make_unique<double[]>(doubles_per_page *
+                                                    pagesPerSlab_));
+        uint8_t *base = reinterpret_cast<uint8_t *>(slabs_.back().get());
+        const PageId first = static_cast<PageId>(pages_.size());
+        for (size_t i = 0; i < pagesPerSlab_; ++i) {
+            pages_.push_back(base + i * pageBytes_);
+            refs_.push_back(0);
+        }
+        for (size_t i = pagesPerSlab_; i > 0; --i)
+            freeList_.push_back(first + static_cast<PageId>(i - 1));
+    }
+    const PageId id = freeList_.back();
+    freeList_.pop_back();
+    refs_[id] = 1;
+    std::memset(pages_[id], 0, pageBytes_);
+    ++inUse_;
+    peak_ = std::max(peak_, inUse_);
+    return id;
+}
+
+void
+KvArena::retain(PageId page)
+{
+    MutexLock lock(mu_);
+    MSQ_ASSERT(page < refs_.size() && refs_[page] > 0,
+               "KvArena::retain on a page that is not held");
+    ++refs_[page];
+}
+
+void
+KvArena::release(PageId page)
+{
+    MutexLock lock(mu_);
+    MSQ_ASSERT(page < refs_.size() && refs_[page] > 0,
+               "KvArena::release on a page that is not held");
+    if (--refs_[page] == 0) {
+        freeList_.push_back(page);
+        --inUse_;
+    }
+}
+
+uint8_t *
+KvArena::page(PageId page)
+{
+    MutexLock lock(mu_);
+    MSQ_ASSERT(page < refs_.size() && refs_[page] > 0,
+               "KvArena::page on a page that is not held");
+    return pages_[page];
+}
+
+const uint8_t *
+KvArena::page(PageId page) const
+{
+    MutexLock lock(mu_);
+    MSQ_ASSERT(page < refs_.size() && refs_[page] > 0,
+               "KvArena::page on a page that is not held");
+    return pages_[page];
+}
+
+uint32_t
+KvArena::refCount(PageId page) const
+{
+    MutexLock lock(mu_);
+    MSQ_ASSERT(page < refs_.size(), "KvArena::refCount out of range");
+    return refs_[page];
+}
+
+size_t
+KvArena::pagesInUse() const
+{
+    MutexLock lock(mu_);
+    return inUse_;
+}
+
+size_t
+KvArena::peakPagesInUse() const
+{
+    MutexLock lock(mu_);
+    return peak_;
+}
+
+size_t
+KvArena::pagesReserved() const
+{
+    MutexLock lock(mu_);
+    return pages_.size();
+}
+
+size_t
+KvArena::freePages() const
+{
+    if (capacityPages_ == 0)
+        return SIZE_MAX;
+    MutexLock lock(mu_);
+    return capacityPages_ > inUse_ ? capacityPages_ - inUse_ : 0;
+}
+
+} // namespace msq

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared paged KV arena: the allocation substrate of the streaming KV
+ * pools (quant/kv_pool.h) — the vLLM PagedAttention analog restated
+ * over the packed KIVI-style pool. Instead of one growing allocation
+ * per (sequence, layer), every pool draws fixed-size pages from a
+ * shared arena:
+ *
+ *  - thousands of concurrent sequences stop fragmenting the heap
+ *    (pages recycle through a freelist, slabs are never returned to
+ *    the allocator while the arena lives),
+ *  - retired sequences hand their pages straight to newly admitted
+ *    ones instead of round-tripping through malloc,
+ *  - pages carry a reference count, so immutable closed-group pages
+ *    can be shared across sequences — the cross-request prefix cache
+ *    (quant/prefix_cache.h) keys on this,
+ *  - the arena's byte accounting (`bytesInUse`, `capacityBytes`) gives
+ *    decode admission a capacity-accurate budget: a page is either
+ *    held or free, there is no hidden vector slack.
+ *
+ * The capacity is an *admission* budget, not a hard wall: `allocate()`
+ * always succeeds (the enforcement point is the scheduler, which must
+ * not admit work it cannot house — failing an append mid-decode would
+ * tear a sequence in half). `pagesInUse()` vs `capacityPages()` tells
+ * the scheduler where it stands; `peakPagesInUse()` records the
+ * high-water mark so tests and benches can assert the budget held.
+ *
+ * Thread safety: all methods are safe to call concurrently (one
+ * internal mutex). Page *payloads* are handed out raw: the caller
+ * owns coordination of writes (pools write only pages they alone
+ * hold; shared prefix pages are immutable by contract). Page data
+ * pointers are stable for the lifetime of the hold — slabs never
+ * move — so pools cache them and touch the arena only on
+ * allocate/retain/release.
+ */
+
+#ifndef MSQ_QUANT_KV_ARENA_H
+#define MSQ_QUANT_KV_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace msq {
+
+/** Arena geometry and the admission budget. */
+struct KvArenaConfig
+{
+    /**
+     * Bytes per page, rounded up to a multiple of 16 so grid structs
+     * laid into a page stay naturally aligned. Pools require
+     * `pageBytes >= KvPool::minPageBytes(...)` — a page holds whole
+     * closed groups, never a fragment of one.
+     */
+    size_t pageBytes = 4096;
+
+    /**
+     * Admission budget in bytes (rounded down to whole pages);
+     * 0 = unbounded. Advisory: `allocate()` never fails, the decode
+     * scheduler enforces the budget at admission time.
+     */
+    size_t capacityBytes = 0;
+
+    /** Pages reserved per slab grab (amortizes slab allocation). */
+    size_t pagesPerSlab = 16;
+};
+
+/** Refcounted fixed-size-page allocator shared by KV pools. */
+class KvArena
+{
+  public:
+    using PageId = uint32_t;
+    static constexpr PageId kNoPage = UINT32_MAX;
+
+    explicit KvArena(const KvArenaConfig &config = {});
+
+    KvArena(const KvArena &) = delete;
+    KvArena &operator=(const KvArena &) = delete;
+
+    /**
+     * Hand out one zero-filled page with reference count 1. Recycles
+     * the freelist before growing a new slab; never fails (capacity is
+     * an admission budget, see the file comment).
+     */
+    PageId allocate();
+
+    /** Add one reference to a held page. */
+    void retain(PageId page);
+
+    /**
+     * Drop one reference; the page returns to the freelist when the
+     * count reaches zero. @pre the page is currently held
+     */
+    void release(PageId page);
+
+    /**
+     * Payload pointer of a held page: `pageBytes()` writable bytes,
+     * 16-byte aligned, stable until the last reference is released.
+     */
+    uint8_t *page(PageId page);
+    const uint8_t *page(PageId page) const;
+
+    /** Current reference count of a held page (0 = free). */
+    uint32_t refCount(PageId page) const;
+
+    size_t pageBytes() const { return pageBytes_; }
+
+    /** Admission budget in pages; 0 = unbounded. */
+    size_t capacityPages() const { return capacityPages_; }
+
+    /** Pages currently held (refcount > 0). */
+    size_t pagesInUse() const;
+
+    /** High-water mark of pagesInUse() since construction. */
+    size_t peakPagesInUse() const;
+
+    /** Pages backed by slabs (held + freelist). */
+    size_t pagesReserved() const;
+
+    /** Budget headroom in pages (SIZE_MAX when unbounded). */
+    size_t freePages() const;
+
+    size_t bytesInUse() const { return pagesInUse() * pageBytes_; }
+    size_t peakBytesInUse() const { return peakPagesInUse() * pageBytes_; }
+    size_t capacityBytes() const { return capacityPages_ * pageBytes_; }
+
+  private:
+    size_t pageBytes_ = 0;      ///< immutable after construction
+    size_t capacityPages_ = 0;  ///< immutable after construction
+    size_t pagesPerSlab_ = 0;   ///< immutable after construction
+
+    mutable Mutex mu_;
+    /** Slab backing store: doubles for 8/16-byte natural alignment of
+     *  the grid structs and fp rows pools lay into pages. Slabs are
+     *  append-only and never move, so page pointers are stable. */
+    std::vector<std::unique_ptr<double[]>> slabs_ MSQ_GUARDED_BY(mu_);
+    std::vector<uint8_t *> pages_ MSQ_GUARDED_BY(mu_);  ///< id -> payload
+    std::vector<uint32_t> refs_ MSQ_GUARDED_BY(mu_);    ///< id -> refcount
+    std::vector<PageId> freeList_ MSQ_GUARDED_BY(mu_);
+    size_t inUse_ MSQ_GUARDED_BY(mu_) = 0;
+    size_t peak_ MSQ_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_KV_ARENA_H

@@ -1,13 +1,111 @@
 #include "quant/kv_pool.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 #include "quant/span_kernels.h"
 
 namespace msq {
 
-KvPool::KvPool(size_t channels, const KvCacheConfig &config)
+namespace {
+
+/**
+ * Per-thread encode/decode scratch, hoisted out of the per-call hot
+ * paths (`gather` used to allocate a `tmp(group)` vector per call,
+ * once per decode step per sequence per layer). Grow-only, shared by
+ * every pool on the thread; contents never survive a call.
+ */
+std::vector<double> &
+threadSpan(size_t n)
+{
+    thread_local std::vector<double> span;
+    if (span.size() < n)
+        span.resize(n);
+    return span;
+}
+
+constexpr size_t kGridSize = sizeof(AsymSpanGrid);
+
+size_t
+roundUp16(size_t n)
+{
+    return (n + 15) / 16 * 16;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// KvPoolSnapshot
+
+KvPoolSnapshot::~KvPoolSnapshot()
+{
+    reset();
+}
+
+void
+KvPoolSnapshot::reset()
+{
+    if (arena_ != nullptr)
+        for (KvArena::PageId id : fullPages_)
+            arena_->release(id);
+    arena_ = nullptr;
+    fullPages_.clear();
+    partial_.clear();
+    keyTail_.clear();
+    valueTail_.clear();
+    tokens_ = quantized_ = partialGroups_ = 0;
+}
+
+KvPoolSnapshot::KvPoolSnapshot(KvPoolSnapshot &&other) noexcept
+    : arena_(other.arena_), channels_(other.channels_), bits_(other.bits_),
+      group_(other.group_), residual_(other.residual_),
+      tokens_(other.tokens_), quantized_(other.quantized_),
+      fullPages_(std::move(other.fullPages_)),
+      partial_(std::move(other.partial_)),
+      partialGroups_(other.partialGroups_),
+      keyTail_(std::move(other.keyTail_)),
+      valueTail_(std::move(other.valueTail_))
+{
+    other.arena_ = nullptr;
+    other.fullPages_.clear();
+}
+
+KvPoolSnapshot &
+KvPoolSnapshot::operator=(KvPoolSnapshot &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        arena_ = other.arena_;
+        channels_ = other.channels_;
+        bits_ = other.bits_;
+        group_ = other.group_;
+        residual_ = other.residual_;
+        tokens_ = other.tokens_;
+        quantized_ = other.quantized_;
+        fullPages_ = std::move(other.fullPages_);
+        partial_ = std::move(other.partial_);
+        partialGroups_ = other.partialGroups_;
+        keyTail_ = std::move(other.keyTail_);
+        valueTail_ = std::move(other.valueTail_);
+        other.arena_ = nullptr;
+        other.fullPages_.clear();
+    }
+    return *this;
+}
+
+size_t
+KvPoolSnapshot::bytes() const
+{
+    const size_t page = arena_ != nullptr ? arena_->pageBytes() : 0;
+    return fullPages_.size() * page + partial_.size() +
+           (keyTail_.size() + valueTail_.size()) * sizeof(double);
+}
+
+// ---------------------------------------------------------------------------
+// KvPool
+
+KvPool::KvPool(size_t channels, const KvCacheConfig &config, KvArena *arena)
     : channels_(channels), bits_(config.bits), group_(config.groupSize),
       residual_(config.residual)
 {
@@ -16,10 +114,179 @@ KvPool::KvPool(size_t channels, const KvCacheConfig &config)
     MSQ_ASSERT(group_ > 0,
                "KvPool needs a finite groupSize to close groups");
     valueGroups_ = (channels_ + group_ - 1) / group_;
+
+    // Closed-group region layout (see the header comment): grids first
+    // so they stay 16-byte aligned inside the page, byte-aligned code
+    // blocks after.
+    vGridOff_ = channels_ * kGridSize;
+    kCodeOff_ = vGridOff_ + group_ * valueGroups_ * kGridSize;
+    kCodeBytes_ = (channels_ * group_ * bits_ + 7) / 8;
+    vCodeOff_ = kCodeOff_ + kCodeBytes_;
+    vCodeBytes_ = (group_ * channels_ * bits_ + 7) / 8;
+    groupBytes_ = roundUp16(vCodeOff_ + vCodeBytes_);
+
+    if (arena == nullptr) {
+        KvArenaConfig ac;
+        ac.pageBytes = groupBytes_;
+        owned_ = std::make_unique<KvArena>(ac);
+        arena = owned_.get();
+    }
+    arena_ = arena;
+    MSQ_ASSERT(arena_->pageBytes() >= groupBytes_,
+               "KvArena page too small for one closed group");
+    groupsPerPage_ = arena_->pageBytes() / groupBytes_;
+    tokensPerFpPage_ =
+        arena_->pageBytes() / (2 * channels_ * sizeof(double));
+    MSQ_ASSERT(tokensPerFpPage_ > 0,
+               "KvArena page too small for one fp token slot");
+}
+
+KvPool::~KvPool()
+{
+    releaseAll();
+}
+
+void
+KvPool::releaseAll()
+{
+    if (arena_ != nullptr) {
+        for (const PageRef &p : packed_)
+            arena_->release(p.id);
+        for (const PageRef &p : fp_)
+            arena_->release(p.id);
+    }
+    packed_.clear();
+    fp_.clear();
+}
+
+KvPool::KvPool(KvPool &&other) noexcept
+    : channels_(other.channels_), bits_(other.bits_), group_(other.group_),
+      residual_(other.residual_), valueGroups_(other.valueGroups_),
+      tokens_(other.tokens_), quantized_(other.quantized_),
+      groupBytes_(other.groupBytes_), vGridOff_(other.vGridOff_),
+      kCodeOff_(other.kCodeOff_), vCodeOff_(other.vCodeOff_),
+      kCodeBytes_(other.kCodeBytes_), vCodeBytes_(other.vCodeBytes_),
+      groupsPerPage_(other.groupsPerPage_),
+      tokensPerFpPage_(other.tokensPerFpPage_), arena_(other.arena_),
+      owned_(std::move(other.owned_)), packed_(std::move(other.packed_)),
+      fp_(std::move(other.fp_)), tailHead_(other.tailHead_)
+{
+    other.arena_ = nullptr;
+    other.packed_.clear();
+    other.fp_.clear();
+}
+
+KvPool &
+KvPool::operator=(KvPool &&other) noexcept
+{
+    if (this != &other) {
+        releaseAll();
+        channels_ = other.channels_;
+        bits_ = other.bits_;
+        group_ = other.group_;
+        residual_ = other.residual_;
+        valueGroups_ = other.valueGroups_;
+        tokens_ = other.tokens_;
+        quantized_ = other.quantized_;
+        groupBytes_ = other.groupBytes_;
+        vGridOff_ = other.vGridOff_;
+        kCodeOff_ = other.kCodeOff_;
+        vCodeOff_ = other.vCodeOff_;
+        kCodeBytes_ = other.kCodeBytes_;
+        vCodeBytes_ = other.vCodeBytes_;
+        groupsPerPage_ = other.groupsPerPage_;
+        tokensPerFpPage_ = other.tokensPerFpPage_;
+        arena_ = other.arena_;
+        owned_ = std::move(other.owned_);
+        packed_ = std::move(other.packed_);
+        fp_ = std::move(other.fp_);
+        tailHead_ = other.tailHead_;
+        other.arena_ = nullptr;
+        other.packed_.clear();
+        other.fp_.clear();
+    }
+    return *this;
+}
+
+size_t
+KvPool::minPageBytes(size_t channels, const KvCacheConfig &config)
+{
+    MSQ_ASSERT(channels > 0 && config.groupSize > 0,
+               "minPageBytes needs a valid pool shape");
+    const size_t value_groups =
+        (channels + config.groupSize - 1) / config.groupSize;
+    const size_t grids =
+        (channels + config.groupSize * value_groups) * kGridSize;
+    const size_t kcodes = (channels * config.groupSize * config.bits + 7) / 8;
+    const size_t vcodes = (config.groupSize * channels * config.bits + 7) / 8;
+    return roundUp16(grids + kcodes + vcodes);
+}
+
+size_t
+KvPool::estimatePages(size_t channels, const KvCacheConfig &config,
+                      size_t tokens, size_t pageBytes)
+{
+    const size_t group_bytes = minPageBytes(channels, config);
+    MSQ_ASSERT(pageBytes >= group_bytes,
+               "estimatePages: page below one closed group");
+    const size_t gpp = pageBytes / group_bytes;
+    const size_t tpf = pageBytes / (2 * channels * sizeof(double));
+    const size_t close_at = config.residual + config.groupSize;
+    const size_t quant =
+        tokens >= close_at
+            ? ((tokens - config.residual) / config.groupSize) *
+                  config.groupSize
+            : 0;
+    const size_t groups = quant / config.groupSize;
+    const size_t packed_pages = (groups + gpp - 1) / gpp;
+    // fp-tail high-water mark, plus one page of ring-offset slack.
+    const size_t max_tail = std::min(tokens, close_at);
+    const size_t fp_pages = (max_tail + tpf - 1) / tpf + 1;
+    return packed_pages + fp_pages;
+}
+
+KvPool::PageRef
+KvPool::allocPage()
+{
+    PageRef p;
+    p.id = arena_->allocate();
+    p.data = arena_->page(p.id);
+    return p;
+}
+
+const uint8_t *
+KvPool::groupPtr(size_t gi) const
+{
+    return packed_[gi / groupsPerPage_].data +
+           (gi % groupsPerPage_) * groupBytes_;
+}
+
+uint8_t *
+KvPool::groupPtr(size_t gi)
+{
+    return packed_[gi / groupsPerPage_].data +
+           (gi % groupsPerPage_) * groupBytes_;
+}
+
+const double *
+KvPool::tailSlot(size_t i) const
+{
+    const size_t slot = tailHead_ + i;
+    return reinterpret_cast<const double *>(
+               fp_[slot / tokensPerFpPage_].data) +
+           (slot % tokensPerFpPage_) * 2 * channels_;
+}
+
+double *
+KvPool::tailSlot(size_t i)
+{
+    const size_t slot = tailHead_ + i;
+    return reinterpret_cast<double *>(fp_[slot / tokensPerFpPage_].data) +
+           (slot % tokensPerFpPage_) * 2 * channels_;
 }
 
 unsigned
-KvPool::codeAt(const std::vector<uint8_t> &codes, size_t idx) const
+KvPool::codeAt(const uint8_t *codes, size_t idx) const
 {
     const size_t bit = idx * bits_;
     const size_t byte = bit / 8;
@@ -31,13 +298,9 @@ KvPool::codeAt(const std::vector<uint8_t> &codes, size_t idx) const
 }
 
 void
-KvPool::pushCode(std::vector<uint8_t> &codes, size_t idx, unsigned bits,
-                 unsigned code)
+KvPool::pushCode(uint8_t *codes, size_t idx, unsigned bits, unsigned code)
 {
     const size_t bit = idx * bits;
-    const size_t last = (bit + bits - 1) / 8;
-    if (codes.size() <= last)
-        codes.resize(last + 1, 0);
     const unsigned shift = static_cast<unsigned>(bit % 8);
     codes[bit / 8] |= static_cast<uint8_t>(code << shift);
     if (shift + bits > 8)
@@ -47,8 +310,14 @@ KvPool::pushCode(std::vector<uint8_t> &codes, size_t idx, unsigned bits,
 void
 KvPool::append(const double *key, const double *value)
 {
-    keyTail_.insert(keyTail_.end(), key, key + channels_);
-    valueTail_.insert(valueTail_.end(), value, value + channels_);
+    const size_t slot = tailHead_ + (tokens_ - quantized_);
+    const size_t page = slot / tokensPerFpPage_;
+    if (page == fp_.size())
+        fp_.push_back(allocPage());
+    double *row = reinterpret_cast<double *>(fp_[page].data) +
+                  (slot % tokensPerFpPage_) * 2 * channels_;
+    std::memcpy(row, key, channels_ * sizeof(double));
+    std::memcpy(row + channels_, value, channels_ * sizeof(double));
     ++tokens_;
     while (tokens_ - quantized_ >= residual_ + group_)
         closeGroup();
@@ -57,44 +326,52 @@ KvPool::append(const double *key, const double *value)
 void
 KvPool::closeGroup()
 {
-    const size_t chunk = quantized_ / group_;
-    std::vector<double> span(std::max(group_, channels_));
+    const size_t gi = quantized_ / group_;
+    if (gi % groupsPerPage_ == 0)
+        packed_.push_back(allocPage());
+    uint8_t *gp = groupPtr(gi);
+    std::vector<double> &span = threadSpan(std::max(group_, channels_));
 
     // Keys: one grid per channel spanning the group's tokens.
     for (size_t ch = 0; ch < channels_; ++ch) {
         for (size_t j = 0; j < group_; ++j)
-            span[j] = keyTail_[j * channels_ + ch];
+            span[j] = tailSlot(j)[ch];
         const AsymSpanGrid grid = asymSpanParams(span.data(), group_, bits_);
-        keyGrid_.push_back(grid);
+        std::memcpy(gp + ch * kGridSize, &grid, kGridSize);
         for (size_t j = 0; j < group_; ++j)
-            pushCode(keyCodes_, (chunk * channels_ + ch) * group_ + j,
-                     bits_, asymEncode(span[j], grid, bits_));
+            pushCode(gp + kCodeOff_, ch * group_ + j, bits_,
+                     asymEncode(span[j], grid, bits_));
     }
 
     // Values: per token, grids over channel runs of groupSize (ragged
     // last run when groupSize does not divide the channel count).
     for (size_t j = 0; j < group_; ++j) {
-        const size_t t = quantized_ + j;
+        const double *vrow = tailSlot(j) + channels_;
         for (size_t g = 0; g < valueGroups_; ++g) {
             const size_t c0 = g * group_;
             const size_t n = std::min(group_, channels_ - c0);
             for (size_t i = 0; i < n; ++i)
-                span[i] = valueTail_[j * channels_ + c0 + i];
+                span[i] = vrow[c0 + i];
             const AsymSpanGrid grid = asymSpanParams(span.data(), n, bits_);
-            valueGrid_.push_back(grid);
+            std::memcpy(gp + vGridOff_ + (j * valueGroups_ + g) * kGridSize,
+                        &grid, kGridSize);
             for (size_t i = 0; i < n; ++i)
-                pushCode(valueCodes_, t * channels_ + c0 + i, bits_,
+                pushCode(gp + vCodeOff_, j * channels_ + c0 + i, bits_,
                          asymEncode(span[i], grid, bits_));
         }
     }
 
+    // Advance the ring: the closed tokens leave the tail, and fp pages
+    // whose slots have all aged out go back to the arena — O(group)
+    // work total, unlike the old erase-from-front memmove which paid
+    // O(residual window) per plane per close.
     quantized_ += group_;
-    keyTail_.erase(keyTail_.begin(),
-                   keyTail_.begin() +
-                       static_cast<ptrdiff_t>(group_ * channels_));
-    valueTail_.erase(valueTail_.begin(),
-                     valueTail_.begin() +
-                         static_cast<ptrdiff_t>(group_ * channels_));
+    tailHead_ += group_;
+    while (tailHead_ >= tokensPerFpPage_) {
+        arena_->release(fp_.front().id);
+        fp_.erase(fp_.begin());
+        tailHead_ -= tokensPerFpPage_;
+    }
 }
 
 double
@@ -102,12 +379,13 @@ KvPool::key(size_t ch, size_t t) const
 {
     MSQ_ASSERT(ch < channels_ && t < tokens_, "KvPool key out of range");
     if (t >= quantized_)
-        return keyTail_[(t - quantized_) * channels_ + ch];
-    const size_t chunk = t / group_;
-    const AsymSpanGrid &grid = keyGrid_[chunk * channels_ + ch];
+        return tailSlot(t - quantized_)[ch];
+    const uint8_t *gp = groupPtr(t / group_);
+    AsymSpanGrid grid;
+    std::memcpy(&grid, gp + ch * kGridSize, kGridSize);
     return asymDecode(
-        static_cast<uint8_t>(codeAt(
-            keyCodes_, (chunk * channels_ + ch) * group_ + t % group_)),
+        static_cast<uint8_t>(
+            codeAt(gp + kCodeOff_, ch * group_ + t % group_)),
         grid);
 }
 
@@ -116,10 +394,15 @@ KvPool::value(size_t ch, size_t t) const
 {
     MSQ_ASSERT(ch < channels_ && t < tokens_, "KvPool value out of range");
     if (t >= quantized_)
-        return valueTail_[(t - quantized_) * channels_ + ch];
-    const AsymSpanGrid &grid = valueGrid_[t * valueGroups_ + ch / group_];
+        return tailSlot(t - quantized_)[channels_ + ch];
+    const uint8_t *gp = groupPtr(t / group_);
+    const size_t j = t % group_;
+    AsymSpanGrid grid;
+    std::memcpy(&grid,
+                gp + vGridOff_ + (j * valueGroups_ + ch / group_) * kGridSize,
+                kGridSize);
     return asymDecode(
-        static_cast<uint8_t>(codeAt(valueCodes_, t * channels_ + ch)),
+        static_cast<uint8_t>(codeAt(gp + vCodeOff_, j * channels_ + ch)),
         grid);
 }
 
@@ -128,29 +411,35 @@ KvPool::gather(double *keys, double *values, size_t stride) const
 {
     const size_t ld = stride == 0 ? tokens_ : stride;
     MSQ_ASSERT(ld >= tokens_, "gather stride below token count");
-    // Closed groups: keys decode one (chunk, channel) run at a time,
+    // Closed groups: keys decode one (group, channel) run at a time,
     // values one (token, channel-group) run at a time — both walk
     // their packed codes in storage order through the dispatched span
     // decoder (quant/span_kernels.h). Key runs land contiguously in
-    // the output row; value runs decode into `tmp` and scatter (the
-    // output is token-strided), so the vectorized part stays dense.
-    std::vector<double> tmp(group_);
-    for (size_t chunk = 0; chunk * group_ < quantized_; ++chunk) {
-        const size_t t0 = chunk * group_;
+    // the output row; value runs decode into the thread-local scratch
+    // and scatter (the output is token-strided), so the vectorized
+    // part stays dense.
+    std::vector<double> &tmp = threadSpan(group_);
+    for (size_t gi = 0; gi * group_ < quantized_; ++gi) {
+        const size_t t0 = gi * group_;
+        const uint8_t *gp = groupPtr(gi);
         for (size_t ch = 0; ch < channels_; ++ch) {
-            const AsymSpanGrid &grid = keyGrid_[chunk * channels_ + ch];
-            const size_t base = (chunk * channels_ + ch) * group_;
-            asymDecodeSpan(keyCodes_.data(), base, group_, bits_, grid,
+            AsymSpanGrid grid;
+            std::memcpy(&grid, gp + ch * kGridSize, kGridSize);
+            asymDecodeSpan(gp + kCodeOff_, ch * group_, group_, bits_, grid,
                            keys + ch * ld + t0);
         }
         for (size_t j = 0; j < group_; ++j) {
             const size_t t = t0 + j;
-            const AsymSpanGrid *grids = valueGrid_.data() + t * valueGroups_;
             for (size_t g = 0; g < valueGroups_; ++g) {
                 const size_t c0 = g * group_;
                 const size_t n = std::min(group_, channels_ - c0);
-                asymDecodeSpan(valueCodes_.data(), t * channels_ + c0, n,
-                               bits_, grids[g], tmp.data());
+                AsymSpanGrid grid;
+                std::memcpy(&grid,
+                            gp + vGridOff_ +
+                                (j * valueGroups_ + g) * kGridSize,
+                            kGridSize);
+                asymDecodeSpan(gp + vCodeOff_, j * channels_ + c0, n, bits_,
+                               grid, tmp.data());
                 for (size_t i = 0; i < n; ++i)
                     values[(c0 + i) * ld + t] = tmp[i];
             }
@@ -158,27 +447,105 @@ KvPool::gather(double *keys, double *values, size_t stride) const
     }
     // Full-precision tail.
     for (size_t t = quantized_; t < tokens_; ++t) {
-        const double *krow = keyTail_.data() + (t - quantized_) * channels_;
-        const double *vrow =
-            valueTail_.data() + (t - quantized_) * channels_;
+        const double *row = tailSlot(t - quantized_);
         for (size_t ch = 0; ch < channels_; ++ch) {
-            keys[ch * ld + t] = krow[ch];
-            values[ch * ld + t] = vrow[ch];
+            keys[ch * ld + t] = row[ch];
+            values[ch * ld + t] = row[channels_ + ch];
         }
     }
+}
+
+KvPoolSnapshot
+KvPool::snapshot() const
+{
+    KvPoolSnapshot s;
+    s.arena_ = arena_;
+    s.channels_ = channels_;
+    s.bits_ = bits_;
+    s.group_ = group_;
+    s.residual_ = residual_;
+    s.tokens_ = tokens_;
+    s.quantized_ = quantized_;
+
+    const size_t groups = quantized_ / group_;
+    const size_t full_pages = groups / groupsPerPage_;
+    s.partialGroups_ = groups % groupsPerPage_;
+    s.fullPages_.reserve(full_pages);
+    for (size_t p = 0; p < full_pages; ++p) {
+        arena_->retain(packed_[p].id);
+        s.fullPages_.push_back(packed_[p].id);
+    }
+    if (s.partialGroups_ > 0)
+        s.partial_.assign(packed_[full_pages].data,
+                          packed_[full_pages].data +
+                              s.partialGroups_ * groupBytes_);
+
+    const size_t tail = tokens_ - quantized_;
+    s.keyTail_.resize(tail * channels_);
+    s.valueTail_.resize(tail * channels_);
+    for (size_t i = 0; i < tail; ++i) {
+        const double *row = tailSlot(i);
+        std::memcpy(s.keyTail_.data() + i * channels_, row,
+                    channels_ * sizeof(double));
+        std::memcpy(s.valueTail_.data() + i * channels_, row + channels_,
+                    channels_ * sizeof(double));
+    }
+    return s;
+}
+
+void
+KvPool::adopt(const KvPoolSnapshot &snap)
+{
+    MSQ_ASSERT(tokens_ == 0 && packed_.empty() && fp_.empty(),
+               "adopt requires a fresh pool");
+    MSQ_ASSERT(snap.arena_ == arena_, "adopt across arenas");
+    MSQ_ASSERT(snap.channels_ == channels_ && snap.bits_ == bits_ &&
+                   snap.group_ == group_ && snap.residual_ == residual_,
+               "adopt shape mismatch");
+
+    // Share the immutable full pages (this pool only ever writes group
+    // slots past the snapshot's group count, which land in the private
+    // partial-page copy or in fresh pages).
+    packed_.reserve(snap.fullPages_.size() + 1);
+    for (KvArena::PageId id : snap.fullPages_) {
+        arena_->retain(id);
+        packed_.push_back({id, arena_->page(id)});
+    }
+    if (snap.partialGroups_ > 0) {
+        PageRef pr = allocPage();
+        std::memcpy(pr.data, snap.partial_.data(), snap.partial_.size());
+        packed_.push_back(pr);
+    }
+    tokens_ = quantized_ = snap.quantized_;
+    tailHead_ = 0;
+    const size_t tail = snap.tokens_ - snap.quantized_;
+    for (size_t i = 0; i < tail; ++i)
+        append(snap.keyTail_.data() + i * channels_,
+               snap.valueTail_.data() + i * channels_);
+    MSQ_ASSERT(tokens_ == snap.tokens_ && quantized_ == snap.quantized_,
+               "adopt must not close groups");
 }
 
 size_t
 KvPool::packedBytes() const
 {
-    return keyCodes_.size() + valueCodes_.size() +
-           (keyGrid_.size() + valueGrid_.size()) * sizeof(AsymSpanGrid);
+    const size_t groups = quantized_ / group_;
+    const size_t per_group =
+        (channels_ + group_ * valueGroups_) * kGridSize + kCodeBytes_ +
+        vCodeBytes_;
+    return groups * per_group;
 }
 
 size_t
 KvPool::fpBytes() const
 {
-    return (keyTail_.size() + valueTail_.size()) * sizeof(double);
+    return (tokens_ - quantized_) * 2 * channels_ * sizeof(double);
+}
+
+size_t
+KvPool::capacityBytes() const
+{
+    return pagesHeld() * arena_->pageBytes();
 }
 
 } // namespace msq

@@ -12,6 +12,19 @@
  * closed group is never touched again, so appends are O(1) amortized
  * and nothing is ever re-quantized.
  *
+ * Storage is paged (quant/kv_arena.h): closed groups pack into
+ * fixed-size arena pages — each page holds a whole number of closed
+ * groups, grids and codes laid out back to back — and the residual
+ * tail lives in a ring of fp pages (the front page is released as its
+ * tokens age into closed groups, so a group close is O(group), never
+ * the O(window) erase-from-front of a monolithic vector). Pages are
+ * refcounted: `snapshot()` captures the pool's state at its current
+ * token count by *sharing* the full closed pages (immutable by
+ * contract) and copying only the partial last page plus the fp tail;
+ * `adopt()` rebuilds a fresh pool from such a snapshot without
+ * re-quantizing anything — the substrate of the cross-request prefix
+ * cache (quant/prefix_cache.h).
+ *
  * Incremental and whole-matrix quantization agree exactly: after any
  * number of appends, token t reads back bit-identical to
  * `quantizeKeyCache` / `quantizeValueCache` run on the full matrix
@@ -19,7 +32,8 @@
  * full, so the pool's quantized prefix is the ragged-free prefix of the
  * batch functions' output; tests/test_kv_cache.cc enforces the
  * property). Reads depend only on the append history — never on batch
- * composition or thread count — which the decode engine's determinism
+ * composition, thread count, page size, or whether the prefix was
+ * adopted from a snapshot — which the decode engine's determinism
  * contract builds on.
  */
 
@@ -28,11 +42,61 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "quant/kv_arena.h"
 #include "quant/kv_cache.h"
 
 namespace msq {
+
+class KvPool;
+
+/**
+ * Immutable capture of a pool prefix at one exact token count: shared
+ * refcounted full pages + copies of the partial page and fp tail.
+ * Built by `KvPool::snapshot()`, consumed by `KvPool::adopt()`; holds
+ * page references until destroyed (entries evicted from the prefix
+ * cache keep adopters valid — an adopter takes its own references).
+ */
+class KvPoolSnapshot
+{
+  public:
+    KvPoolSnapshot() = default;
+    ~KvPoolSnapshot();
+
+    KvPoolSnapshot(KvPoolSnapshot &&other) noexcept;
+    KvPoolSnapshot &operator=(KvPoolSnapshot &&other) noexcept;
+    KvPoolSnapshot(const KvPoolSnapshot &) = delete;
+    KvPoolSnapshot &operator=(const KvPoolSnapshot &) = delete;
+
+    /** Arena the shared pages live in (adopters must use the same). */
+    KvArena *arena() const { return arena_; }
+
+    /** Token count the snapshot captures. */
+    size_t tokens() const { return tokens_; }
+
+    /** Bytes held: shared page capacity + private copies. */
+    size_t bytes() const;
+
+  private:
+    friend class KvPool;
+
+    KvArena *arena_ = nullptr;
+    size_t channels_ = 0;
+    unsigned bits_ = 0;
+    size_t group_ = 0;
+    size_t residual_ = 0;
+    size_t tokens_ = 0;
+    size_t quantized_ = 0;
+    std::vector<KvArena::PageId> fullPages_;  ///< retained, immutable
+    std::vector<uint8_t> partial_;   ///< copy of the partial last page
+    size_t partialGroups_ = 0;       ///< groups in `partial_`
+    std::vector<double> keyTail_;    ///< token-major fp rows
+    std::vector<double> valueTail_;
+
+    void reset();
+};
 
 /** Growing quantized K/V storage of one (sequence, layer). */
 class KvPool
@@ -42,8 +106,19 @@ class KvPool
      * @param channels K/V channel count (kvHeads x headDim)
      * @param config   bits 1-8; groupSize > 0 (the streaming pool needs
      *                 a finite group to close); residual >= 0
+     * @param arena    page source; nullptr = pool owns a private arena
+     *                 (page size `minPageBytes`). A shared arena must
+     *                 satisfy `arena->pageBytes() >= minPageBytes(...)`
+     *                 and outlive the pool.
      */
-    KvPool(size_t channels, const KvCacheConfig &config);
+    KvPool(size_t channels, const KvCacheConfig &config,
+           KvArena *arena = nullptr);
+    ~KvPool();
+
+    KvPool(KvPool &&other) noexcept;
+    KvPool &operator=(KvPool &&other) noexcept;
+    KvPool(const KvPool &) = delete;
+    KvPool &operator=(const KvPool &) = delete;
 
     /** Append one token's key and value vectors (`channels` each). */
     void append(const double *key, const double *value);
@@ -79,22 +154,88 @@ class KvPool
      */
     void gather(double *keys, double *values, size_t stride = 0) const;
 
-    /** Bytes held by packed codes + grids (both planes). */
+    /**
+     * Capture the pool's state at its current token count. Full closed
+     * pages are shared (retained, never written again by this pool —
+     * it only appends groups past them), the partial page and fp tail
+     * are copied, so donor and snapshot diverge freely afterwards.
+     */
+    KvPoolSnapshot snapshot() const;
+
+    /**
+     * Rebuild this pool from a snapshot: shares the snapshot's full
+     * pages (one more reference each) and copies its partial page and
+     * tail into freshly allocated pages. Afterwards the pool reads
+     * bit-identically to one that appended the same tokens itself.
+     * @pre tokens() == 0; same arena, channels, and config as the
+     *      snapshot's donor
+     */
+    void adopt(const KvPoolSnapshot &snap);
+
+    /** The arena this pool draws pages from. */
+    KvArena *arena() const { return arena_; }
+
+    /** Arena pages currently held (packed + fp tail). */
+    size_t pagesHeld() const { return packed_.size() + fp_.size(); }
+
+    /** Bytes held by packed codes + grids (both planes; payload). */
     size_t packedBytes() const;
 
-    /** Bytes held by the full-precision residual tail (both planes). */
+    /** Bytes held by the full-precision residual tail (payload). */
     size_t fpBytes() const;
 
+    /**
+     * Page-granular footprint: pages held x page size. This is the
+     * number admission must budget against — payload `packedBytes()` /
+     * `fpBytes()` understate the real memory by the open page slack.
+     */
+    size_t capacityBytes() const;
+
+    /**
+     * Smallest arena page able to hold one closed group of this shape
+     * (grids + key codes + value codes, 16-byte aligned).
+     */
+    static size_t minPageBytes(size_t channels, const KvCacheConfig &config);
+
+    /**
+     * Conservative page budget for one sequence growing to `tokens`
+     * tokens on an arena with `pageBytes` pages: packed pages for
+     * every group it will close plus the fp-tail ring's high-water
+     * mark. Admission multiplies by the layer count.
+     */
+    static size_t estimatePages(size_t channels, const KvCacheConfig &config,
+                                size_t tokens, size_t pageBytes);
+
   private:
-    /** Read the `idx`-th `bits_`-wide code of a packed plane. */
-    unsigned codeAt(const std::vector<uint8_t> &codes, size_t idx) const;
+    struct PageRef
+    {
+        KvArena::PageId id = KvArena::kNoPage;
+        uint8_t *data = nullptr;  ///< cached stable payload pointer
+    };
 
-    /** Append one `bits_`-wide code to a packed plane. */
-    static void pushCode(std::vector<uint8_t> &codes, size_t idx,
-                         unsigned bits, unsigned code);
+    /** Read the `idx`-th `bits_`-wide code of a packed code block. */
+    unsigned codeAt(const uint8_t *codes, size_t idx) const;
 
-    /** Encode the oldest groupSize residual tokens into the planes. */
+    /** Write one `bits_`-wide code (block must start zeroed). */
+    static void pushCode(uint8_t *codes, size_t idx, unsigned bits,
+                         unsigned code);
+
+    /** Encode the oldest groupSize residual tokens into a new group. */
     void closeGroup();
+
+    /** Payload pointer of closed group `gi` (0-based). */
+    const uint8_t *groupPtr(size_t gi) const;
+    uint8_t *groupPtr(size_t gi);
+
+    /** fp-tail slot of tail index `i` (0 = oldest residual token):
+     *  `channels_` key doubles then `channels_` value doubles. */
+    const double *tailSlot(size_t i) const;
+    double *tailSlot(size_t i);
+
+    /** Append one page reference, allocating from the arena. */
+    PageRef allocPage();
+
+    void releaseAll();
 
     size_t channels_ = 0;
     unsigned bits_ = 2;
@@ -105,21 +246,32 @@ class KvPool
     size_t tokens_ = 0;      ///< total appended
     size_t quantized_ = 0;   ///< closed prefix [0, quantized_)
 
-    // Packed planes. Key codes are stored group-chunk major, channels
-    // within a chunk, tokens within a channel: code index
-    // ((t / G) * channels + ch) * G + t % G — one contiguous run per
-    // (channel, group) span, mirroring the per-channel grouping. Value
-    // codes are token major: t * channels + ch, grouped per token over
-    // channel runs. Grids hold the asymmetric (lo, step) pairs.
-    std::vector<uint8_t> keyCodes_;
-    std::vector<AsymSpanGrid> keyGrid_;   ///< (t/G) * channels + ch
-    std::vector<uint8_t> valueCodes_;
-    std::vector<AsymSpanGrid> valueGrid_; ///< t * valueGroups + g
+    // Page geometry, fixed at construction. One closed group occupies
+    // `groupBytes_` (16-byte multiple) laid out as
+    //   [key grids: channels_ AsymSpanGrid]
+    //   [value grids: group_ * valueGroups_ AsymSpanGrid]
+    //   [key codes: channels_ * group_ codes, run-major per channel
+    //    (code index ch * group_ + j), byte-aligned per group]
+    //   [value codes: group_ * channels_ codes, token-major
+    //    (code index j * channels_ + ch)]
+    // and a packed page holds `groupsPerPage_` of them. An fp page
+    // holds `tokensPerFpPage_` tail slots of 2 * channels_ doubles
+    // ([key row][value row]).
+    size_t groupBytes_ = 0;
+    size_t vGridOff_ = 0;
+    size_t kCodeOff_ = 0;
+    size_t vCodeOff_ = 0;
+    size_t kCodeBytes_ = 0;
+    size_t vCodeBytes_ = 0;
+    size_t groupsPerPage_ = 0;
+    size_t tokensPerFpPage_ = 0;
 
-    // Full-precision tail, token major: tail[(t - quantized_) * channels
-    // + ch]. Appends push_back; closeGroup erases the oldest group.
-    std::vector<double> keyTail_;
-    std::vector<double> valueTail_;
+    KvArena *arena_ = nullptr;
+    std::unique_ptr<KvArena> owned_;  ///< set when constructed arena-less
+
+    std::vector<PageRef> packed_;  ///< closed groups, in close order
+    std::vector<PageRef> fp_;      ///< residual-tail ring, oldest first
+    size_t tailHead_ = 0;          ///< slot of tail token 0 in fp_[0]
 };
 
 } // namespace msq

@@ -1,0 +1,142 @@
+#include "quant/prefix_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace msq {
+
+PrefixCache::PrefixCache(size_t capacityBytes)
+    : capacityBytes_(capacityBytes)
+{
+}
+
+uint64_t
+PrefixCache::hashTokens(const uint32_t *tokens, size_t n, uint64_t seed)
+{
+    // FNV-1a, seeded: fold the domain hash in first so identical token
+    // streams under different configs land on different keys.
+    uint64_t h = 1469598103934665603ull ^ seed;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t t = tokens[i];
+        for (int b = 0; b < 4; ++b) {
+            h ^= t & 0xffu;
+            h *= 1099511628211ull;
+            t >>= 8;
+        }
+    }
+    return h;
+}
+
+size_t
+PrefixCache::findLocked(uint64_t key,
+                        const std::vector<uint32_t> &tokens) const
+{
+    for (size_t i = 0; i < slots_.size(); ++i)
+        if (slots_[i].entry->key == key && slots_[i].entry->tokens == tokens)
+            return i;
+    return SIZE_MAX;
+}
+
+PrefixCache::EntryPtr
+PrefixCache::lookup(uint64_t key, const std::vector<uint32_t> &tokens)
+{
+    MutexLock lock(mu_);
+    const size_t i = findLocked(key, tokens);
+    if (i == SIZE_MAX) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    slots_[i].lastUse = ++useClock_;
+    ++stats_.hits;
+    return slots_[i].entry;
+}
+
+PrefixCache::EntryPtr
+PrefixCache::insert(uint64_t key, std::vector<uint32_t> tokens,
+                    std::vector<KvPoolSnapshot> blocks)
+{
+    MutexLock lock(mu_);
+    const size_t existing = findLocked(key, tokens);
+    if (existing != SIZE_MAX) {
+        slots_[existing].lastUse = ++useClock_;
+        return slots_[existing].entry;
+    }
+
+    auto entry = std::make_shared<PrefixEntry>();
+    entry->key = key;
+    entry->tokens = std::move(tokens);
+    entry->blocks = std::move(blocks);
+    entry->bytes = entry->tokens.size() * sizeof(uint32_t);
+    for (const KvPoolSnapshot &s : entry->blocks)
+        entry->bytes += s.bytes();
+
+    Slot slot;
+    slot.entry = std::move(entry);
+    slot.lastUse = ++useClock_;
+    bytes_ += slot.entry->bytes;
+    slots_.push_back(std::move(slot));
+    ++stats_.inserts;
+
+    // Shed LRU entries over budget, but never the one just inserted:
+    // the caller is about to adopt from it.
+    if (capacityBytes_ > 0)
+        while (bytes_ > capacityBytes_ && slots_.size() > 1)
+            if (!evictLruLocked())
+                break;
+    return slots_.back().entry;
+}
+
+bool
+PrefixCache::evictLruLocked()
+{
+    if (slots_.empty())
+        return false;
+    size_t victim = 0;
+    for (size_t i = 1; i < slots_.size(); ++i)
+        if (slots_[i].lastUse < slots_[victim].lastUse)
+            victim = i;
+    bytes_ -= slots_[victim].entry->bytes;
+    slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(victim));
+    ++stats_.evictions;
+    return true;
+}
+
+bool
+PrefixCache::evictLru()
+{
+    MutexLock lock(mu_);
+    return evictLruLocked();
+}
+
+void
+PrefixCache::clear()
+{
+    MutexLock lock(mu_);
+    stats_.evictions += slots_.size();
+    slots_.clear();
+    bytes_ = 0;
+}
+
+size_t
+PrefixCache::entries() const
+{
+    MutexLock lock(mu_);
+    return slots_.size();
+}
+
+size_t
+PrefixCache::bytes() const
+{
+    MutexLock lock(mu_);
+    return bytes_;
+}
+
+PrefixCacheStats
+PrefixCache::stats() const
+{
+    MutexLock lock(mu_);
+    return stats_;
+}
+
+} // namespace msq

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cross-request prefix cache over paged KV snapshots: N sequences that
+ * share a prompt prefix pay for one prefill. An entry is the set of
+ * per-block `KvPoolSnapshot`s (quant/kv_pool.h) captured after one
+ * sequence prefilled the shared prefix — the full closed pages inside
+ * are refcount-shared arena pages, so a cache hit costs adopters a
+ * handful of page references plus a copy of the partial page and fp
+ * tail instead of re-running attention over the prefix. With the
+ * MicroScopiQ-style 2-bit packed streams underneath, a cached prefix is
+ * ~20x denser than the fp activations it replaces, which is what makes
+ * caching at serving scale pay for itself.
+ *
+ * Keying: callers hash the prefix *token ids* (`hashTokens`) folded
+ * with a domain hash covering everything else that shapes KV contents
+ * (model, quantization config, KV recipe) — two requests collide only
+ * if their cached state would be bit-identical anyway. The entry also
+ * stores the exact token vector and `lookup` compares it, so a 64-bit
+ * hash collision degrades to a miss, never to wrong tokens.
+ *
+ * Entries are handed out as `shared_ptr<const PrefixEntry>`: eviction
+ * drops the cache's reference, but sequences mid-adoption keep theirs,
+ * so an evicted entry's pages stay valid until the last adopter took
+ * its own arena references. Eviction is LRU over an ordered vector (no
+ * unordered-container iteration — the determinism lint bans it), and
+ * `evictLru()` is public so the decode scheduler can shed cached pages
+ * under arena pressure before refusing admission.
+ *
+ * Thread safety: all methods safe to call concurrently (one internal
+ * mutex); returned entries are immutable.
+ *
+ * Determinism: a hit hands back snapshots whose adoption reads
+ * bit-identically to a pool that appended the prefix itself (the
+ * `KvPool::adopt` contract), so hit-vs-miss cannot change a token
+ * stream — tests/test_decode.cc enforces this end to end.
+ */
+
+#ifndef MSQ_QUANT_PREFIX_CACHE_H
+#define MSQ_QUANT_PREFIX_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "quant/kv_pool.h"
+
+namespace msq {
+
+/** One cached prefix: per-block KV snapshots at the prefix length. */
+struct PrefixEntry
+{
+    uint64_t key = 0;                   ///< domain-folded token hash
+    std::vector<uint32_t> tokens;       ///< the exact prefix token ids
+    std::vector<KvPoolSnapshot> blocks; ///< one snapshot per block
+    size_t bytes = 0;                   ///< footprint charged to the cache
+};
+
+/** Monotonic hit/miss accounting (since construction). */
+struct PrefixCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+};
+
+/** LRU cache of prefix KV snapshots shared across requests. */
+class PrefixCache
+{
+  public:
+    using EntryPtr = std::shared_ptr<const PrefixEntry>;
+
+    /** @param capacityBytes LRU budget over entry bytes; 0 = unbounded. */
+    explicit PrefixCache(size_t capacityBytes = 0);
+
+    PrefixCache(const PrefixCache &) = delete;
+    PrefixCache &operator=(const PrefixCache &) = delete;
+
+    /**
+     * FNV-1a over the token ids, folded into `seed` (callers pass a
+     * domain hash so configs that would produce different KV bytes
+     * never share a key).
+     */
+    static uint64_t hashTokens(const uint32_t *tokens, size_t n,
+                               uint64_t seed);
+
+    /**
+     * Find an entry whose key *and* token vector match; bumps its LRU
+     * stamp. Returns nullptr (and counts a miss) otherwise.
+     */
+    EntryPtr lookup(uint64_t key, const std::vector<uint32_t> &tokens);
+
+    /**
+     * Publish a prefilled prefix. If a matching entry already exists
+     * the existing one is returned (first publisher wins — both are
+     * bit-identical by the determinism contract). Evicts LRU entries
+     * over the byte budget; the newly inserted entry itself is never
+     * evicted by its own insert.
+     */
+    EntryPtr insert(uint64_t key, std::vector<uint32_t> tokens,
+                    std::vector<KvPoolSnapshot> blocks);
+
+    /**
+     * Drop the least-recently-used entry (its pages free once the last
+     * adopter releases them). Returns false when the cache is empty.
+     */
+    bool evictLru();
+
+    /** Drop every entry. */
+    void clear();
+
+    size_t entries() const;
+
+    /** Bytes charged by resident entries (see PrefixEntry::bytes). */
+    size_t bytes() const;
+
+    size_t capacityBytes() const { return capacityBytes_; }
+
+    PrefixCacheStats stats() const;
+
+  private:
+    struct Slot
+    {
+        EntryPtr entry;
+        uint64_t lastUse = 0;
+    };
+
+    /** @pre mu_ held. Returns slots_ index or SIZE_MAX. */
+    size_t findLocked(uint64_t key,
+                      const std::vector<uint32_t> &tokens) const
+        MSQ_REQUIRES(mu_);
+
+    /** @pre mu_ held. */
+    bool evictLruLocked() MSQ_REQUIRES(mu_);
+
+    const size_t capacityBytes_;
+
+    mutable Mutex mu_;
+    std::vector<Slot> slots_ MSQ_GUARDED_BY(mu_);  ///< insertion order
+    size_t bytes_ MSQ_GUARDED_BY(mu_) = 0;
+    uint64_t useClock_ MSQ_GUARDED_BY(mu_) = 0;
+    PrefixCacheStats stats_ MSQ_GUARDED_BY(mu_);
+};
+
+} // namespace msq
+
+#endif // MSQ_QUANT_PREFIX_CACHE_H

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "core/msq_config.h"
 #include "serve/clock.h"
 
 namespace msq {
@@ -71,10 +73,23 @@ tanhInPlace(Matrix &x)
     }
 }
 
+/** FNV-1a over a string (prefix-key domain folding). */
+uint64_t
+hashString(const std::string &s, uint64_t seed)
+{
+    uint64_t h = 1469598103934665603ull ^ seed;
+    for (const char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 } // namespace
 
 DecodeEngine::DecodeEngine(const ModelProfile &model, const MsqConfig &config,
-                           const DecodeConfig &decode)
+                           const DecodeConfig &decode, KvArena *arena,
+                           PrefixCache *prefixCache)
     : model_(model), decode_(decode), wiring_(decodeWiring(model)),
       packed_(getPackedModel(model, config, decode.calibTokens,
                              decode.cacheDir)),
@@ -117,6 +132,47 @@ DecodeEngine::DecodeEngine(const ModelProfile &model, const MsqConfig &config,
         posFreq_[r] =
             1.0 / std::pow(1e4, static_cast<double>(r - r % 2) /
                                     static_cast<double>(wiring_.hidden));
+
+    // Paged KV arena: engine-owned unless the caller shares one across
+    // engines. The auto page size holds at least one closed group (a
+    // KvPool hard requirement) and at least 4 KiB so small-geometry
+    // pools do not degenerate into one page per group.
+    const size_t kvDim = model_.decode.kvHeads * model_.decode.headDim;
+    if (arena == nullptr) {
+        KvArenaConfig ac;
+        ac.pageBytes = decode_.kvArenaPageBytes > 0
+                           ? decode_.kvArenaPageBytes
+                           : std::max<size_t>(
+                                 KvPool::minPageBytes(kvDim, decode_.kv),
+                                 4096);
+        ac.capacityBytes = decode_.kvArenaBytes;
+        ownedArena_ = std::make_unique<KvArena>(ac);
+        arena = ownedArena_.get();
+    }
+    arena_ = arena;
+    MSQ_ASSERT(arena_->pageBytes() >=
+                   KvPool::minPageBytes(kvDim, decode_.kv),
+               "shared arena pages too small for this KV geometry");
+
+    if (decode_.usePrefixCache) {
+        if (prefixCache == nullptr) {
+            ownedCache_ =
+                std::make_unique<PrefixCache>(decode_.prefixCacheBytes);
+            prefixCache = ownedCache_.get();
+        }
+        prefixCache_ = prefixCache;
+        // Fold everything that shapes cached KV bytes into the key
+        // domain: the model identity plus the full quantization config
+        // (weights via configKey, activations, and the KV recipe).
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "|s%llu|a%u/%zu|kv%u/%zu/%zu|v%zu",
+                      static_cast<unsigned long long>(model_.seed),
+                      decode_.actBits, decode_.actGroup, decode_.kv.bits,
+                      decode_.kv.groupSize, decode_.kv.residual,
+                      decode_.vocab);
+        prefixDomain_ = hashString(model_.name + configKey(config) + buf, 0);
+    }
 }
 
 double
@@ -143,21 +199,156 @@ DecodeEngine::submit(const std::vector<uint32_t> &prompt,
 }
 
 void
-DecodeEngine::admit()
+DecodeEngine::unclaim(uint64_t key)
+{
+    for (size_t i = 0; i < pendingPrefix_.size(); ++i)
+        if (pendingPrefix_[i].first == key) {
+            pendingPrefix_.erase(pendingPrefix_.begin() +
+                                 static_cast<ptrdiff_t>(i));
+            return;
+        }
+}
+
+void
+DecodeEngine::adoptPrefix(SequenceState &seq, const PrefixEntry &entry)
+{
+    for (size_t b = 0; b < seq.kv.size(); ++b)
+        seq.kv[b].adopt(entry.blocks[b]);
+    seq.prefillPos = entry.tokens.size();
+}
+
+namespace {
+
+/** A cached entry this engine can adopt: one snapshot per block, pages
+ *  in this engine's arena. A mismatch (cache shared across engines
+ *  with different arenas) degrades to a miss, never to wrong bytes. */
+bool
+adoptable(const PrefixEntry &entry, size_t blocks, const KvArena *arena)
+{
+    return entry.blocks.size() == blocks && !entry.blocks.empty() &&
+           entry.blocks.front().arena() == arena;
+}
+
+} // namespace
+
+void
+DecodeEngine::admit(DecodeReport &report)
 {
     // Iteration-level (continuous) batching refills free slots between
     // every step; static batching waits for the whole batch to retire.
     if (!decode_.continuousBatching && !active_.empty())
         return;
-    const size_t kvDim =
-        model_.decode.kvHeads * model_.decode.headDim;
+    const size_t kvDim = model_.decode.kvHeads * model_.decode.headDim;
+    const size_t blocks = model_.decode.blocks;
+    const size_t pageBytes = arena_->pageBytes();
+    const bool bounded = arena_->capacityPages() > 0;
+    // Pages the prefix cache is sitting on, page-rounded per entry.
+    const auto cachePages = [&]() -> size_t {
+        if (prefixCache_ == nullptr)
+            return 0;
+        return prefixCache_->bytes() / pageBytes + prefixCache_->entries();
+    };
     while (active_.size() < decode_.maxBatchSeqs && !waiting_.empty()) {
+        // Admission budget: reserve a conservative page estimate for
+        // the sequence's full token range against the arena capacity
+        // (capacity-accurate page counts, not payload bytes). Under
+        // pressure, shed cached prefixes first; if the estimate still
+        // does not fit but the engine is idle, admit anyway — the
+        // budget is advisory (quant/kv_arena.h) and one sequence must
+        // always make progress.
+        size_t need = 0;
+        if (bounded) {
+            const SequenceState &front = waiting_.front();
+            need = blocks * KvPool::estimatePages(
+                                kvDim, decode_.kv,
+                                front.prompt.size() + front.maxNewTokens,
+                                pageBytes);
+            while (pledgedPages_ + need + cachePages() >
+                       arena_->capacityPages() &&
+                   prefixCache_ != nullptr && prefixCache_->evictLru()) {
+            }
+            if (pledgedPages_ + need + cachePages() >
+                    arena_->capacityPages() &&
+                !active_.empty())
+                break;
+        }
         SequenceState s = std::move(waiting_.front());
         waiting_.pop_front();
-        s.kv.reserve(model_.decode.blocks);
-        for (size_t b = 0; b < model_.decode.blocks; ++b)
-            s.kv.emplace_back(kvDim, decode_.kv);
+        s.pagesPledged = need;
+        pledgedPages_ += need;
+        s.kv.reserve(blocks);
+        for (size_t b = 0; b < blocks; ++b)
+            s.kv.emplace_back(kvDim, decode_.kv, arena_);
+        s.scratch.resize(blocks);
+
+        // Cross-request prefix cache: key on all but the last prompt
+        // token (the last token must be forwarded to sample the first
+        // generated token). A hit adopts the cached pages outright; a
+        // miss either claims the prefix (this sequence prefills and
+        // publishes it) or, when another active sequence already
+        // claimed it, stalls until the claimer publishes — so N
+        // sequences sharing a prefix pay for exactly one prefill.
+        if (prefixCache_ != nullptr && s.prompt.size() >= 2 &&
+            s.prompt.size() - 1 >= decode_.prefixMinTokens) {
+            s.prefixLen = s.prompt.size() - 1;
+            std::vector<uint32_t> prefix(s.prompt.begin(),
+                                         s.prompt.begin() +
+                                             static_cast<ptrdiff_t>(
+                                                 s.prefixLen));
+            s.prefixKey = PrefixCache::hashTokens(prefix.data(),
+                                                  s.prefixLen,
+                                                  prefixDomain_);
+            const PrefixCache::EntryPtr entry =
+                prefixCache_->lookup(s.prefixKey, prefix);
+            bool claimed = false;
+            for (const auto &claim : pendingPrefix_)
+                claimed = claimed || claim.first == s.prefixKey;
+            if (entry != nullptr && adoptable(*entry, blocks, arena_)) {
+                adoptPrefix(s, *entry);
+                report.prefixAdoptedTokens += s.prefixLen;
+            } else if (claimed) {
+                s.waitAdopt = true;
+            } else {
+                pendingPrefix_.emplace_back(s.prefixKey, s.id);
+                s.prefixClaimer = true;
+            }
+        }
         active_.push_back(std::move(s));
+    }
+}
+
+void
+DecodeEngine::resolveWaiters(DecodeReport &report)
+{
+    if (prefixCache_ == nullptr)
+        return;
+    for (SequenceState &s : active_) {
+        if (!s.waitAdopt)
+            continue;
+        std::vector<uint32_t> prefix(
+            s.prompt.begin(),
+            s.prompt.begin() + static_cast<ptrdiff_t>(s.prefixLen));
+        const PrefixCache::EntryPtr entry =
+            prefixCache_->lookup(s.prefixKey, prefix);
+        if (entry != nullptr &&
+            adoptable(*entry, model_.decode.blocks, arena_)) {
+            adoptPrefix(s, *entry);
+            report.prefixAdoptedTokens += s.prefixLen;
+            s.waitAdopt = false;
+            continue;
+        }
+        bool claimed = false;
+        for (const auto &claim : pendingPrefix_)
+            claimed = claimed || claim.first == s.prefixKey;
+        if (!claimed) {
+            // The claim vanished without a usable entry (the claimer
+            // published but eviction raced it away, or the entry is
+            // not adoptable here): promote this waiter to claimer so
+            // the group always makes progress.
+            pendingPrefix_.emplace_back(s.prefixKey, s.id);
+            s.prefixClaimer = true;
+            s.waitAdopt = false;
+        }
     }
 }
 
@@ -169,14 +360,23 @@ DecodeEngine::planStep() const
     size_t col = 0;
     for (size_t i = 0; i < active_.size() && budget > 0; ++i) {
         const SequenceState &s = active_[i];
+        // A follower stalled on a claimed prefix occupies its slot but
+        // does no work until the claimer publishes (resolveWaiters).
+        if (s.waitAdopt)
+            continue;
         StepItem item;
         item.slot = i;
         item.col = col;
         if (s.prefillPos < s.prompt.size()) {
             item.prefill = true;
-            item.tokens = std::min({decode_.prefillChunk,
-                                    s.prompt.size() - s.prefillPos,
-                                    budget});
+            size_t limit = s.prompt.size() - s.prefillPos;
+            // A claimer's chunks land exactly on the prefix boundary:
+            // a pool snapshot is only valid at the exact token count
+            // it is taken at, so the publish step must end with the
+            // pools holding precisely prefixLen tokens.
+            if (s.prefixClaimer && s.prefillPos < s.prefixLen)
+                limit = s.prefixLen - s.prefillPos;
+            item.tokens = std::min({decode_.prefillChunk, limit, budget});
             // The step consuming the final prompt token emits the
             // first generated token from that token's hidden state.
             item.samples = s.prefillPos + item.tokens == s.prompt.size();
@@ -222,21 +422,47 @@ DecodeEngine::forwardBlock(size_t block, const std::vector<StepItem> &items,
         const StepItem &item = items[ii];
         SequenceState &seq = active_[item.slot];
         KvPool &pool = seq.kv[block];
+        KvScratch &sc = seq.scratch[block];
         std::vector<double> kcol(kvDim), vcol(kvDim);
         std::vector<double> scores;
         std::vector<double> qhead(g.headDim);
         // Dense K/V scratch shared by all heads (one bulk decode
-        // instead of heads x per-element reads), laid out with the
-        // item's final token count as row stride so appended tokens
-        // extend the rows in place. Closed groups are immutable, so a
-        // full re-gather is only needed when an append closes a group
-        // (which changes the representation of tokens that just left
-        // the residual window); otherwise the new token's column is
+        // instead of heads x per-element reads). The buffers persist
+        // in SequenceState across steps: closed groups are immutable,
+        // so a full re-gather is only needed when an append closes a
+        // group (which changes the representation of tokens that just
+        // left the residual window); otherwise a new token's column is
         // written directly — it still sits in the full-precision tail.
-        const size_t cap = pool.tokens() + item.tokens;
-        std::vector<double> kbuf(kvDim * cap), vbuf(kvDim * cap);
-        pool.gather(kbuf.data(), vbuf.data(), cap);
-        size_t gatheredQuant = pool.quantizedTokens();
+        // Capacity is provisioned to the next possible group close
+        // (quantized + residual + group), so a pure-decode step never
+        // rebuilds between closes — seq.gatherSteady counts exactly
+        // those rebuilds and tests pin it to zero.
+        const size_t closeSpan = decode_.kv.residual + decode_.kv.groupSize;
+        const auto rebuild = [&](size_t pending) {
+            const size_t capNeed =
+                std::max(pool.tokens() + pending,
+                         pool.quantizedTokens() + closeSpan);
+            if (sc.cap < capNeed) {
+                sc.cap = capNeed;
+                sc.k.resize(kvDim * sc.cap);
+                sc.v.resize(kvDim * sc.cap);
+            }
+            pool.gather(sc.k.data(), sc.v.data(), sc.cap);
+            sc.quant = pool.quantizedTokens();
+            sc.tokens = pool.tokens();
+        };
+        if (sc.cap < pool.tokens() + item.tokens) {
+            if (sc.cap == 0)
+                ++seq.gatherFirst;
+            else if (item.prefill)
+                ++seq.gatherGrow;
+            else
+                ++seq.gatherSteady;
+            rebuild(item.tokens);
+        }
+        MSQ_ASSERT(sc.tokens == pool.tokens() &&
+                       sc.quant == pool.quantizedTokens(),
+                   "KV scratch out of sync with its pool");
         for (size_t j = 0; j < item.tokens; ++j) {
             const size_t col = item.col + j;
             for (size_t c = 0; c < kvDim; ++c) {
@@ -245,15 +471,17 @@ DecodeEngine::forwardBlock(size_t block, const std::vector<StepItem> &items,
             }
             pool.append(kcol.data(), vcol.data());
             const size_t n = pool.tokens();
-            if (pool.quantizedTokens() != gatheredQuant) {
-                pool.gather(kbuf.data(), vbuf.data(), cap);
-                gatheredQuant = pool.quantizedTokens();
+            if (pool.quantizedTokens() != sc.quant) {
+                ++seq.gatherClose;
+                rebuild(item.tokens - j - 1);
             } else {
                 for (size_t c = 0; c < kvDim; ++c) {
-                    kbuf[c * cap + n - 1] = kcol[c];
-                    vbuf[c * cap + n - 1] = vcol[c];
+                    sc.k[c * sc.cap + n - 1] = kcol[c];
+                    sc.v[c * sc.cap + n - 1] = vcol[c];
                 }
+                sc.tokens = n;
             }
+            const size_t cap = sc.cap;
             scores.resize(n);
             for (size_t h = 0; h < g.heads; ++h) {
                 const size_t qr = h * g.headDim;          // query rows
@@ -262,7 +490,7 @@ DecodeEngine::forwardBlock(size_t block, const std::vector<StepItem> &items,
                     qhead[i] = qkv(qr + i, col);
                 std::fill(scores.begin(), scores.end(), 0.0);
                 for (size_t i = 0; i < g.headDim; ++i) {
-                    const double *krow = kbuf.data() + (kb + i) * cap;
+                    const double *krow = sc.k.data() + (kb + i) * cap;
                     const double qi = qhead[i];
                     for (size_t t = 0; t < n; ++t)
                         scores[t] += qi * krow[t];
@@ -279,7 +507,7 @@ DecodeEngine::forwardBlock(size_t block, const std::vector<StepItem> &items,
                 }
                 const double wnorm = 1.0 / sum;
                 for (size_t i = 0; i < g.headDim; ++i) {
-                    const double *vrow = vbuf.data() + (kb + i) * cap;
+                    const double *vrow = sc.v.data() + (kb + i) * cap;
                     double acc = 0.0;
                     for (size_t t = 0; t < n; ++t)
                         acc += scores[t] * vrow[t];
@@ -338,9 +566,10 @@ DecodeEngine::sample(const Matrix &x, size_t col) const
 void
 DecodeEngine::step(DecodeReport &report)
 {
-    admit();
+    admit(report);
     if (active_.empty())
         return;
+    resolveWaiters(report);
     const double t0 = nowMs();
     const std::vector<StepItem> items = planStep();
     MSQ_ASSERT(!items.empty(), "a step with active sequences does work");
@@ -406,6 +635,24 @@ DecodeEngine::step(DecodeReport &report)
             has_prefill = true;
             prefill_tokens += item.tokens;
             seq.prefillPos += item.tokens;
+            // The claimer just landed on the prefix boundary: publish
+            // the pools' state (full pages shared, partial page + fp
+            // tail copied) and release the claim so stalled followers
+            // adopt it next step.
+            if (seq.prefixClaimer && seq.prefillPos == seq.prefixLen) {
+                std::vector<KvPoolSnapshot> snaps;
+                snaps.reserve(seq.kv.size());
+                for (const KvPool &pool : seq.kv)
+                    snaps.push_back(pool.snapshot());
+                std::vector<uint32_t> prefix(
+                    seq.prompt.begin(),
+                    seq.prompt.begin() +
+                        static_cast<ptrdiff_t>(seq.prefixLen));
+                prefixCache_->insert(seq.prefixKey, std::move(prefix),
+                                     std::move(snaps));
+                unclaim(seq.prefixKey);
+                seq.prefixClaimer = false;
+            }
         }
         if (item.samples) {
             seq.generated.push_back(next[ii]);
@@ -445,7 +692,19 @@ DecodeEngine::step(DecodeReport &report)
         for (const KvPool &pool : seq.kv) {
             report.kvPackedBytes += pool.packedBytes();
             report.kvFpBytes += pool.fpBytes();
+            report.kvCapacityBytes += pool.capacityBytes();
         }
+        report.kvGatherFirst += seq.gatherFirst;
+        report.kvGatherClose += seq.gatherClose;
+        report.kvGatherGrow += seq.gatherGrow;
+        report.kvGatherSteady += seq.gatherSteady;
+        MSQ_ASSERT(pledgedPages_ >= seq.pagesPledged,
+                   "admission pledge accounting out of balance");
+        pledgedPages_ -= seq.pagesPledged;
+        // Defensive: a retiring claimer always published at the prefix
+        // boundary, but never let a claim outlive its sequence.
+        if (seq.prefixClaimer)
+            unclaim(seq.prefixKey);
         report.requests.push_back(std::move(rec));
         active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
     }
@@ -455,10 +714,20 @@ DecodeReport
 DecodeEngine::run()
 {
     DecodeReport report;
+    const PrefixCacheStats cache0 =
+        prefixCache_ != nullptr ? prefixCache_->stats() : PrefixCacheStats();
     const double t0 = nowMs();
     while (!waiting_.empty() || !active_.empty())
         step(report);
     report.wallMs = nowMs() - t0;
+    report.kvArenaPeakBytes = arena_->peakBytesInUse();
+    if (prefixCache_ != nullptr) {
+        const PrefixCacheStats cache1 = prefixCache_->stats();
+        report.prefixHits = cache1.hits - cache0.hits;
+        report.prefixMisses = cache1.misses - cache0.misses;
+        report.prefixInserts = cache1.inserts - cache0.inserts;
+        report.prefixEvictions = cache1.evictions - cache0.evictions;
+    }
     if (report.decodeSteps > 0)
         report.meanActiveSeqs /= static_cast<double>(report.decodeSteps);
     if (report.prefillMs > 0.0)

@@ -53,10 +53,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "quant/kv_arena.h"
 #include "quant/kv_pool.h"
+#include "quant/prefix_cache.h"
 #include "serve/weight_cache.h"
 
 namespace msq {
@@ -93,6 +97,58 @@ struct DecodeConfig
 
     size_t calibTokens = 128;     ///< weight-cache calibration floor
     std::string cacheDir;         ///< optional `.msq` disk cache tier
+
+    /**
+     * Page size of the engine-owned KV arena (quant/kv_arena.h);
+     * 0 = auto (at least one closed group, at least 4 KiB). Ignored
+     * when an external arena is supplied. Token streams are invariant
+     * to the page size (test-enforced).
+     */
+    size_t kvArenaPageBytes = 0;
+
+    /**
+     * Admission budget of the engine-owned arena in bytes; 0 =
+     * unbounded. Bounded, the scheduler stops admitting sequences
+     * whose conservative page estimate (`KvPool::estimatePages` x
+     * blocks) would overrun the budget, shedding prefix-cache entries
+     * first — but always admits at least one sequence when idle so the
+     * queue drains (the budget is advisory, see quant/kv_arena.h).
+     */
+    size_t kvArenaBytes = 0;
+
+    /**
+     * Cross-request prefix caching (quant/prefix_cache.h): sequences
+     * whose prompts share all-but-the-last token adopt the cached
+     * pages instead of re-prefilling. Hits and misses produce
+     * bit-identical token streams (test-enforced).
+     */
+    bool usePrefixCache = true;
+
+    /** Minimum cacheable prefix length (prompt size - 1 >= this). */
+    size_t prefixMinTokens = 8;
+
+    /** Prefix-cache LRU budget in bytes; 0 = unbounded. Ignored when
+     *  an external cache is supplied. */
+    size_t prefixCacheBytes = 0;
+};
+
+/**
+ * Persistent per-(sequence, block) attention scratch: the dense K/V
+ * gather target, channel-major with row stride `cap`. Closed groups
+ * are immutable, so between group closes an appended token only writes
+ * its own column; a full `KvPool::gather` re-runs only when `quant`
+ * (the pool's closed-token watermark) moves or the buffers must grow.
+ * Living in SequenceState, the buffers survive across steps — the
+ * steady decode state does zero full re-gathers and zero allocations
+ * per step (counter-asserted in tests/test_decode.cc).
+ */
+struct KvScratch
+{
+    std::vector<double> k;  ///< kvDim x cap, channel-major
+    std::vector<double> v;
+    size_t cap = 0;         ///< row stride (token capacity)
+    size_t tokens = 0;      ///< valid token columns
+    size_t quant = 0;       ///< pool.quantizedTokens() at last gather
 };
 
 /** One in-flight sequence: prompt, generation, and its KV pools. */
@@ -105,10 +161,29 @@ struct SequenceState
     size_t prefillPos = 0;            ///< prompt tokens consumed
     std::vector<uint32_t> generated;  ///< sampled tokens, in order
     std::vector<KvPool> kv;           ///< one pool per transformer block
+    std::vector<KvScratch> scratch;   ///< one per block, across steps
 
     double submitMs = 0.0;
     double firstTokenMs = -1.0;       ///< time of the first sampled token
     size_t steps = 0;                 ///< steps this sequence was forwarded
+
+    /**
+     * Full-gather counters by reason, accumulated into the report at
+     * retirement. `gatherSteady` (a rebuild in a pure-decode step with
+     * no group close) must stay zero — that is the re-gather-churn bug
+     * this layer exists to prevent.
+     */
+    size_t gatherFirst = 0;   ///< first gather of a (seq, block)
+    size_t gatherClose = 0;   ///< an append closed a group
+    size_t gatherGrow = 0;    ///< prefill outgrew the scratch capacity
+    size_t gatherSteady = 0;  ///< decode-step rebuild: must be zero
+
+    // Prefix-cache scheduling state (see DecodeEngine::admit).
+    uint64_t prefixKey = 0;      ///< domain-folded prefix hash
+    size_t prefixLen = 0;        ///< cacheable prefix (prompt - 1)
+    size_t pagesPledged = 0;     ///< admission reservation (pages)
+    bool prefixClaimer = false;  ///< prefills + publishes the prefix
+    bool waitAdopt = false;      ///< stalls until the claimer publishes
 };
 
 /** Outcome of one finished generation. */
@@ -149,6 +224,30 @@ struct DecodeReport
 
     size_t kvPackedBytes = 0;  ///< packed codes + grids at retirement
     size_t kvFpBytes = 0;      ///< residual-window bytes at retirement
+
+    /**
+     * Page-granular KV footprint at retirement (pages held x page
+     * size): the capacity-accurate number admission budgets against —
+     * the payload counters above understate it by open-page slack.
+     */
+    size_t kvCapacityBytes = 0;
+
+    size_t kvArenaPeakBytes = 0;  ///< arena high-water mark of the run
+
+    /** Full KV gather counts by reason (see SequenceState). The
+     *  steady-state count must be zero: steady decode extends the
+     *  persistent scratch in place. */
+    size_t kvGatherFirst = 0;
+    size_t kvGatherClose = 0;
+    size_t kvGatherGrow = 0;
+    size_t kvGatherSteady = 0;
+
+    // Prefix-cache activity during this run (deltas, not totals).
+    uint64_t prefixHits = 0;
+    uint64_t prefixMisses = 0;
+    uint64_t prefixInserts = 0;
+    uint64_t prefixEvictions = 0;
+    size_t prefixAdoptedTokens = 0;  ///< prompt tokens skipped via hits
 };
 
 /** Autoregressive generator for one packed deployment. */
@@ -161,10 +260,21 @@ class DecodeEngine
      * generation queue. The profile is held by reference and must
      * outlive the engine.
      *
+     * `arena` / `prefixCache` let several engines share one paged KV
+     * arena and one prefix cache (multi-tenant serving; exercised by
+     * the `race`-label tests). nullptr = the engine owns private ones
+     * sized from `decode`. External objects must outlive the engine,
+     * and an external arena must satisfy
+     * `pageBytes() >= KvPool::minPageBytes(kvDim, decode.kv)`. The
+     * prefix key folds in the model identity and full quantization
+     * config, so engines with different deployments can safely share a
+     * cache.
+     *
      * @pre PackedExecPlan::executable(config), decodeCapable(model)
      */
     DecodeEngine(const ModelProfile &model, const MsqConfig &config,
-                 const DecodeConfig &decode = {});
+                 const DecodeConfig &decode = {}, KvArena *arena = nullptr,
+                 PrefixCache *prefixCache = nullptr);
 
     /**
      * Enqueue a generation request. Every prompt id must lie in
@@ -189,6 +299,14 @@ class DecodeEngine
     const PackedModel &packedModel() const { return *packed_; }
     const DecodeConfig &config() const { return decode_; }
 
+    /** The paged KV arena every sequence draws from. */
+    KvArena &arena() { return *arena_; }
+    const KvArena &arena() const { return *arena_; }
+
+    /** The prefix cache (nullptr when usePrefixCache is off and none
+     *  was supplied). */
+    PrefixCache *prefixCache() { return prefixCache_; }
+
     /** Deterministic tied embedding matrix (vocab x hidden: row v is
      *  token v's unit-norm embedding). */
     const Matrix &embedding() const { return embed_; }
@@ -204,8 +322,20 @@ class DecodeEngine
         bool samples = false;  ///< emits a token this step
     };
 
-    /** Admit waiting sequences per the batching mode. */
-    void admit();
+    /** Admit waiting sequences per the batching mode, budgeting page
+     *  estimates against the arena capacity and resolving prefix-cache
+     *  hits/claims (accounting lands in `report`). */
+    void admit(DecodeReport &report);
+
+    /** Adopt cached prefix pages into a freshly admitted sequence. */
+    void adoptPrefix(SequenceState &seq, const PrefixEntry &entry);
+
+    /** Re-check stalled followers against the cache; promote one to
+     *  claimer if the claim vanished (evicted before adoption). */
+    void resolveWaiters(DecodeReport &report);
+
+    /** Drop `key` from the pending-claim list. */
+    void unclaim(uint64_t key);
 
     /** Distribute the step token budget over the active slots. */
     std::vector<StepItem> planStep() const;
@@ -236,6 +366,20 @@ class DecodeEngine
     uint64_t epoch_ = 0;
 
     QuantizedActs actsScratch_;  ///< reused across every projection
+
+    std::unique_ptr<KvArena> ownedArena_;    ///< when none was supplied
+    KvArena *arena_ = nullptr;
+    std::unique_ptr<PrefixCache> ownedCache_;
+    PrefixCache *prefixCache_ = nullptr;     ///< null = caching off
+    uint64_t prefixDomain_ = 0;  ///< model+config fold for prefix keys
+
+    /** Outstanding prefix claims (key, claimer sequence id): at most
+     *  one sequence prefills a given prefix; later arrivals stall in
+     *  `waitAdopt` until the claimer publishes. Ordered vector — the
+     *  determinism lint bans unordered iteration. */
+    std::vector<std::pair<uint64_t, uint64_t>> pendingPrefix_;
+
+    size_t pledgedPages_ = 0;  ///< admission reservations outstanding
 };
 
 } // namespace msq

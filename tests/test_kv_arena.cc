@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Paged KV storage units: the shared refcounted page arena
+ * (quant/kv_arena.h), the paged KvPool rebased on it — a property grid
+ * asserting incremental append/gather stays element-identical to the
+ * per-element accessors across group-close boundaries, wide strides,
+ * ragged channel counts, page sizes, and page recycling — the
+ * snapshot/adopt sharing protocol, and the cross-request prefix cache
+ * (quant/prefix_cache.h): LRU accounting, the token-vector collision
+ * guard, and eviction safety for live adopters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/kv_arena.h"
+#include "quant/kv_pool.h"
+#include "quant/prefix_cache.h"
+
+namespace msq {
+namespace {
+
+/** Deterministic token rows: key/value vectors for token `t`. */
+void
+fillToken(Rng &rng, size_t channels, std::vector<double> &key,
+          std::vector<double> &value)
+{
+    key.resize(channels);
+    value.resize(channels);
+    for (size_t c = 0; c < channels; ++c) {
+        key[c] = rng.gaussian() * 3.0;
+        value[c] = rng.gaussian() * 0.5 + 1.0;
+    }
+}
+
+/** Append `n` seeded tokens to every pool in the list identically. */
+void
+appendTokens(std::vector<KvPool *> pools, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> k, v;
+    for (size_t t = 0; t < n; ++t) {
+        fillToken(rng, pools.front()->channels(), k, v);
+        for (KvPool *pool : pools)
+            pool->append(k.data(), v.data());
+    }
+}
+
+/** Every element of two pools bit-identical (keys and values). */
+void
+expectPoolsIdentical(const KvPool &a, const KvPool &b)
+{
+    ASSERT_EQ(a.tokens(), b.tokens());
+    ASSERT_EQ(a.quantizedTokens(), b.quantizedTokens());
+    for (size_t c = 0; c < a.channels(); ++c)
+        for (size_t t = 0; t < a.tokens(); ++t) {
+            ASSERT_EQ(a.key(c, t), b.key(c, t))
+                << "key ch " << c << " tok " << t;
+            ASSERT_EQ(a.value(c, t), b.value(c, t))
+                << "value ch " << c << " tok " << t;
+        }
+}
+
+/** gather() at `stride` agrees element-for-element with key()/value(). */
+void
+expectGatherMatchesAccessors(const KvPool &pool, size_t stride)
+{
+    const size_t ld = stride == 0 ? pool.tokens() : stride;
+    std::vector<double> keys(pool.channels() * ld, -7.0);
+    std::vector<double> values(pool.channels() * ld, -7.0);
+    pool.gather(keys.data(), values.data(), stride);
+    for (size_t c = 0; c < pool.channels(); ++c)
+        for (size_t t = 0; t < pool.tokens(); ++t) {
+            ASSERT_EQ(keys[c * ld + t], pool.key(c, t))
+                << "key ch " << c << " tok " << t << " stride " << stride;
+            ASSERT_EQ(values[c * ld + t], pool.value(c, t))
+                << "value ch " << c << " tok " << t << " stride " << stride;
+        }
+}
+
+TEST(KvArena, AllocateRetainReleaseRecycle)
+{
+    KvArenaConfig cfg;
+    cfg.pageBytes = 64;
+    cfg.pagesPerSlab = 2;
+    KvArena arena(cfg);
+    EXPECT_EQ(arena.pageBytes(), 64u);
+    EXPECT_EQ(arena.pagesInUse(), 0u);
+
+    const KvArena::PageId a = arena.allocate();
+    const KvArena::PageId b = arena.allocate();
+    const KvArena::PageId c = arena.allocate();  // grows a second slab
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_EQ(arena.pagesInUse(), 3u);
+    EXPECT_EQ(arena.pagesReserved(), 4u);  // two slabs of two
+    EXPECT_EQ(arena.refCount(a), 1u);
+
+    arena.retain(a);
+    EXPECT_EQ(arena.refCount(a), 2u);
+    arena.release(a);
+    EXPECT_EQ(arena.refCount(a), 1u);
+    EXPECT_EQ(arena.pagesInUse(), 3u);  // still held once
+
+    arena.release(a);
+    EXPECT_EQ(arena.refCount(a), 0u);
+    EXPECT_EQ(arena.pagesInUse(), 2u);
+    EXPECT_EQ(arena.peakPagesInUse(), 3u);
+
+    // The freed page recycles before any slab growth.
+    const KvArena::PageId d = arena.allocate();
+    EXPECT_EQ(d, a);
+    EXPECT_EQ(arena.pagesReserved(), 4u);
+    arena.release(b);
+    arena.release(c);
+    arena.release(d);
+    EXPECT_EQ(arena.pagesInUse(), 0u);
+}
+
+TEST(KvArena, PagesComeBackZeroFilledAndStable)
+{
+    KvArenaConfig cfg;
+    cfg.pageBytes = 48;  // rounds up to 16-byte multiple
+    cfg.pagesPerSlab = 3;
+    KvArena arena(cfg);
+    ASSERT_EQ(arena.pageBytes(), 48u);
+
+    // Dirty a page, free it, and take it back: it must return zeroed.
+    const KvArena::PageId a = arena.allocate();
+    std::memset(arena.page(a), 0xAB, arena.pageBytes());
+    arena.release(a);
+    const KvArena::PageId b = arena.allocate();
+    ASSERT_EQ(a, b);
+    for (size_t i = 0; i < arena.pageBytes(); ++i)
+        ASSERT_EQ(arena.page(b)[i], 0u) << "byte " << i;
+
+    // Payload pointers are 16-byte aligned, distinct, and stable
+    // across slab growth.
+    std::vector<KvArena::PageId> ids{b};
+    std::vector<uint8_t *> ptrs{arena.page(b)};
+    for (size_t i = 0; i < 10; ++i) {
+        ids.push_back(arena.allocate());
+        ptrs.push_back(arena.page(ids.back()));
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(ptrs.back()) % 16, 0u);
+        arena.page(ids.back())[0] = static_cast<uint8_t>(i + 1);
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_EQ(arena.page(ids[i]), ptrs[i]);
+        for (size_t j = i + 1; j < ids.size(); ++j)
+            EXPECT_NE(ptrs[i], ptrs[j]);
+    }
+    EXPECT_EQ(arena.page(ids[3])[0], 3u);  // writes landed where expected
+    for (KvArena::PageId id : ids)
+        arena.release(id);
+}
+
+TEST(KvArena, CapacityIsAdvisoryAndAccounted)
+{
+    KvArenaConfig cfg;
+    cfg.pageBytes = 32;
+    cfg.capacityBytes = 100;  // rounds down to 3 pages
+    KvArena arena(cfg);
+    EXPECT_EQ(arena.capacityPages(), 3u);
+    EXPECT_EQ(arena.capacityBytes(), 96u);
+    EXPECT_EQ(arena.freePages(), 3u);
+
+    std::vector<KvArena::PageId> held;
+    for (size_t i = 0; i < 5; ++i)
+        held.push_back(arena.allocate());  // over budget: still succeeds
+    EXPECT_EQ(arena.pagesInUse(), 5u);
+    EXPECT_EQ(arena.freePages(), 0u);
+    EXPECT_EQ(arena.bytesInUse(), 5u * 32u);
+    EXPECT_EQ(arena.peakBytesInUse(), 5u * 32u);
+    for (KvArena::PageId id : held)
+        arena.release(id);
+
+    KvArena unbounded;
+    EXPECT_EQ(unbounded.capacityPages(), 0u);
+    EXPECT_EQ(unbounded.freePages(), SIZE_MAX);
+}
+
+TEST(KvArenaDeathTest, HoldProtocolViolations)
+{
+    KvArena arena;
+    const KvArena::PageId id = arena.allocate();
+    arena.release(id);
+    EXPECT_DEATH(arena.release(id), "not held");
+    EXPECT_DEATH(arena.retain(id), "not held");
+    EXPECT_DEATH(arena.page(id), "not held");
+    EXPECT_DEATH(arena.release(KvArena::kNoPage), "not held");
+}
+
+TEST(KvPoolPaged, PropertyGridAcrossShapesAndPageSizes)
+{
+    // The paged pool must read bit-identically whatever the page size:
+    // sweep ragged/exact channel counts, residual windows (including
+    // zero), token counts crossing several group closes, page sizes
+    // from one-group-per-page upward, and wide gather strides — every
+    // combination diffed element-for-element against a pool on a
+    // private min-size arena fed the same appends.
+    const size_t kChannels[] = {3, 6, 16};
+    const size_t kResiduals[] = {0, 4, 9};
+    const size_t kTokens[] = {1, 4, 11, 37};
+    size_t combos = 0;
+    for (const size_t channels : kChannels)
+        for (const size_t residual : kResiduals) {
+            const KvCacheConfig cfg{2, 4, residual};
+            const size_t min_page = KvPool::minPageBytes(channels, cfg);
+            const size_t kPages[] = {min_page, min_page * 3 + 16, 4096};
+            for (const size_t page : kPages)
+                for (const size_t tokens : kTokens) {
+                    KvArenaConfig ac;
+                    ac.pageBytes = page;
+                    KvArena arena(ac);
+                    KvPool paged(channels, cfg, &arena);
+                    KvPool reference(channels, cfg);  // private arena
+                    appendTokens({&paged, &reference}, tokens,
+                                 31 * channels + 7 * residual + tokens);
+                    expectPoolsIdentical(paged, reference);
+                    expectGatherMatchesAccessors(paged, 0);
+                    expectGatherMatchesAccessors(paged, tokens + 7);
+                    EXPECT_EQ(paged.packedBytes(), reference.packedBytes());
+                    EXPECT_EQ(paged.fpBytes(), reference.fpBytes());
+                    // Page accounting: everything the pool holds came
+                    // from its arena, within the conservative admission
+                    // estimate.
+                    EXPECT_EQ(arena.pagesInUse(), paged.pagesHeld());
+                    EXPECT_EQ(paged.capacityBytes(),
+                              paged.pagesHeld() * arena.pageBytes());
+                    EXPECT_LE(paged.pagesHeld(),
+                              KvPool::estimatePages(channels, cfg, tokens,
+                                                    arena.pageBytes()));
+                    ++combos;
+                }
+        }
+    EXPECT_EQ(combos, 3u * 3u * 3u * 4u);
+}
+
+TEST(KvPoolPaged, FpRingReleasesAgedPages)
+{
+    // The residual tail is a ring over fp pages: as groups close, fully
+    // aged front pages must return to the arena instead of accumulating
+    // (the old monolithic tail memmoved instead — the O(window) bug).
+    const KvCacheConfig cfg{2, 4, 4};
+    const size_t channels = 6;
+    KvArenaConfig ac;
+    ac.pageBytes = KvPool::minPageBytes(channels, cfg);
+    KvArena arena(ac);
+    {
+        KvPool pool(channels, cfg, &arena);
+        appendTokens({&pool}, 200, 99);
+        // Tail tokens never exceed residual + group; fp pages must stay
+        // proportional to that window, not to the 200-token history.
+        const size_t tpf =
+            arena.pageBytes() / (2 * channels * sizeof(double));
+        const size_t window = cfg.residual + cfg.groupSize;
+        const size_t packed_pages =
+            (pool.quantizedTokens() / cfg.groupSize +
+             (arena.pageBytes() / KvPool::minPageBytes(channels, cfg)) -
+             1) /
+            (arena.pageBytes() / KvPool::minPageBytes(channels, cfg));
+        EXPECT_LE(pool.pagesHeld() - packed_pages, window / tpf + 2);
+        EXPECT_EQ(arena.pagesInUse(), pool.pagesHeld());
+    }
+    // Destroying the pool returns every page.
+    EXPECT_EQ(arena.pagesInUse(), 0u);
+    EXPECT_GT(arena.peakPagesInUse(), 0u);
+}
+
+TEST(KvPoolPaged, SnapshotAdoptBitIdenticalAndShared)
+{
+    const KvCacheConfig cfg{2, 4, 4};
+    const size_t channels = 6;
+    KvArenaConfig ac;
+    ac.pageBytes = KvPool::minPageBytes(channels, cfg) * 2;  // 2 groups/page
+    KvArena arena(ac);
+
+    KvPool donor(channels, cfg, &arena);
+    appendTokens({&donor}, 26, 5);  // closes 5 groups: 2 full pages
+    ASSERT_EQ(donor.quantizedTokens(), 20u);
+
+    const KvPoolSnapshot snap = donor.snapshot();
+    EXPECT_EQ(snap.tokens(), 26u);
+    EXPECT_EQ(snap.arena(), &arena);
+    EXPECT_GT(snap.bytes(), 0u);
+
+    KvPool adopter(channels, cfg, &arena);
+    adopter.adopt(snap);
+    expectPoolsIdentical(donor, adopter);
+    expectGatherMatchesAccessors(adopter, 0);
+
+    // Full pages are shared three ways (donor, snapshot, adopter); the
+    // partial page and fp tail are private copies, so donor and
+    // adopter diverge freely when fed different suffixes...
+    const size_t shared_before = arena.pagesInUse();
+    appendTokens({&donor}, 10, 111);
+    appendTokens({&adopter}, 10, 222);
+    EXPECT_EQ(donor.tokens(), adopter.tokens());
+    bool diverged = false;
+    for (size_t c = 0; c < channels && !diverged; ++c)
+        diverged = donor.key(c, 30) != adopter.key(c, 30);
+    EXPECT_TRUE(diverged);
+
+    // ...and identical suffixes keep them bit-identical even as more
+    // groups close past the adoption point.
+    KvPool twin(channels, cfg, &arena);
+    twin.adopt(snap);
+    appendTokens({&twin}, 10, 111);
+    expectPoolsIdentical(donor, twin);
+    EXPECT_GE(arena.pagesInUse(), shared_before);
+}
+
+TEST(KvPoolPaged, AdopterSurvivesDonorAndSnapshotDestruction)
+{
+    const KvCacheConfig cfg{2, 4, 0};
+    const size_t channels = 3;
+    KvArenaConfig ac;
+    ac.pageBytes = KvPool::minPageBytes(channels, cfg);  // 1 group/page
+    KvArena arena(ac);
+
+    auto donor = std::make_unique<KvPool>(channels, cfg, &arena);
+    appendTokens({donor.get()}, 17, 40);
+    KvPool reference(channels, cfg);
+    appendTokens({&reference}, 17, 40);
+
+    KvPool adopter(channels, cfg, &arena);
+    {
+        const KvPoolSnapshot snap = donor->snapshot();
+        adopter.adopt(snap);
+        donor.reset();  // donor gone: shared pages live via snap+adopter
+        expectPoolsIdentical(adopter, reference);
+    }
+    // Snapshot gone too: the adopter holds its own page references.
+    expectPoolsIdentical(adopter, reference);
+    appendTokens({&adopter}, 9, 41);
+    appendTokens({&reference}, 9, 41);
+    expectPoolsIdentical(adopter, reference);
+}
+
+TEST(KvPoolPagedDeathTest, ContractViolations)
+{
+    const KvCacheConfig cfg{2, 4, 4};
+    KvArenaConfig tiny;
+    tiny.pageBytes = 16;
+    KvArena arena(tiny);
+    EXPECT_DEATH(KvPool(6, cfg, &arena), "page too small");
+
+    KvArenaConfig ok;
+    ok.pageBytes = KvPool::minPageBytes(6, cfg);
+    KvArena arena2(ok);
+    KvPool pool(6, cfg, &arena2);
+    appendTokens({&pool}, 3, 1);
+    KvPool other(6, cfg, &arena2);
+    const KvPoolSnapshot snap = pool.snapshot();
+    EXPECT_DEATH(pool.adopt(snap), "fresh pool");
+    KvPool wrongArena(6, cfg);  // private arena
+    EXPECT_DEATH(wrongArena.adopt(snap), "across arenas");
+    KvPool wrongShape(3, {2, 4, 4}, &arena2);
+    EXPECT_DEATH(wrongShape.adopt(snap), "shape mismatch");
+}
+
+TEST(PrefixCache, HashKeysOnTokensAndDomain)
+{
+    const std::vector<uint32_t> a{1, 2, 3, 4};
+    const std::vector<uint32_t> b{1, 2, 3, 5};
+    const uint64_t ka = PrefixCache::hashTokens(a.data(), a.size(), 7);
+    EXPECT_EQ(ka, PrefixCache::hashTokens(a.data(), a.size(), 7));
+    EXPECT_NE(ka, PrefixCache::hashTokens(b.data(), b.size(), 7));
+    EXPECT_NE(ka, PrefixCache::hashTokens(a.data(), a.size(), 8));
+    EXPECT_NE(ka, PrefixCache::hashTokens(a.data(), 3, 7));
+}
+
+/** An entry with a KV payload of `tokens` appended tokens. */
+PrefixCache::EntryPtr
+insertEntry(PrefixCache &cache, KvArena &arena,
+            const std::vector<uint32_t> &prefix, size_t tokens,
+            uint64_t seed)
+{
+    const KvCacheConfig cfg{2, 4, 4};
+    KvPool pool(3, cfg, &arena);
+    appendTokens({&pool}, tokens, seed);
+    std::vector<KvPoolSnapshot> blocks;
+    blocks.push_back(pool.snapshot());
+    const uint64_t key =
+        PrefixCache::hashTokens(prefix.data(), prefix.size(), 1);
+    return cache.insert(key, prefix, std::move(blocks));
+}
+
+TEST(PrefixCache, LookupHitMissAndCollisionGuard)
+{
+    KvArena arena;
+    PrefixCache cache;
+    const std::vector<uint32_t> p1{4, 5, 6, 7, 8};
+    const std::vector<uint32_t> p2{9, 9, 9};
+    const uint64_t k1 = PrefixCache::hashTokens(p1.data(), p1.size(), 1);
+
+    EXPECT_EQ(cache.lookup(k1, p1), nullptr);
+    insertEntry(cache, arena, p1, 12, 3);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_GT(cache.bytes(), 0u);
+
+    const PrefixCache::EntryPtr hit = cache.lookup(k1, p1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->tokens, p1);
+    ASSERT_EQ(hit->blocks.size(), 1u);
+    EXPECT_EQ(hit->blocks[0].tokens(), 12u);
+    EXPECT_EQ(hit->blocks[0].arena(), &arena);
+
+    // A key collision with different tokens is a miss, never a wrong
+    // entry: the stored token vector is the ground truth.
+    EXPECT_EQ(cache.lookup(k1, p2), nullptr);
+
+    // Re-inserting the same prefix returns the existing entry.
+    const PrefixCache::EntryPtr again = insertEntry(cache, arena, p1, 12, 3);
+    EXPECT_EQ(again.get(), hit.get());
+    EXPECT_EQ(cache.entries(), 1u);
+
+    const PrefixCacheStats st = cache.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 2u);
+    EXPECT_EQ(st.inserts, 1u);
+    EXPECT_EQ(st.evictions, 0u);
+}
+
+TEST(PrefixCache, LruEvictionUnderByteBudget)
+{
+    KvArena arena;
+    const std::vector<uint32_t> p1{1, 1, 1, 1};
+    const std::vector<uint32_t> p2{2, 2, 2, 2};
+    const std::vector<uint32_t> p3{3, 3, 3, 3};
+    PrefixCache probe;
+    insertEntry(probe, arena, p1, 10, 1);
+    const size_t entry_bytes = probe.bytes();
+
+    PrefixCache cache(entry_bytes * 2 + entry_bytes / 2);  // fits two
+    insertEntry(cache, arena, p1, 10, 1);
+    insertEntry(cache, arena, p2, 10, 2);
+    EXPECT_EQ(cache.entries(), 2u);
+    // Touch p1 so p2 is the LRU victim when p3 arrives.
+    const uint64_t k1 = PrefixCache::hashTokens(p1.data(), p1.size(), 1);
+    ASSERT_NE(cache.lookup(k1, p1), nullptr);
+    insertEntry(cache, arena, p3, 10, 3);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_NE(cache.lookup(k1, p1), nullptr);
+    const uint64_t k2 = PrefixCache::hashTokens(p2.data(), p2.size(), 1);
+    EXPECT_EQ(cache.lookup(k2, p2), nullptr);  // evicted
+
+    // Explicit shedding (the decode scheduler's pressure valve).
+    EXPECT_TRUE(cache.evictLru());
+    EXPECT_TRUE(cache.evictLru());
+    EXPECT_FALSE(cache.evictLru());
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(PrefixCache, EvictionKeepsAdoptersValid)
+{
+    const KvCacheConfig cfg{2, 4, 4};
+    KvArena arena;
+    PrefixCache cache;
+    const std::vector<uint32_t> prefix{6, 5, 4, 3, 2, 1};
+    insertEntry(cache, arena, prefix, 14, 77);
+    const uint64_t key =
+        PrefixCache::hashTokens(prefix.data(), prefix.size(), 1);
+    const PrefixCache::EntryPtr entry = cache.lookup(key, prefix);
+    ASSERT_NE(entry, nullptr);
+
+    cache.clear();  // evict everything while `entry` is still held
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.lookup(key, prefix), nullptr);
+
+    // Adoption from the held entry still works: the shared_ptr keeps
+    // the snapshots (and their page references) alive past eviction.
+    KvPool adopter(3, cfg, &arena);
+    adopter.adopt(entry->blocks[0]);
+    KvPool reference(3, cfg);
+    appendTokens({&reference}, 14, 77);
+    expectPoolsIdentical(adopter, reference);
+}
+
+} // namespace
+} // namespace msq

@@ -239,6 +239,82 @@ TEST(RaceDecodeEngine, AdmitRetireChurnUnderConcurrentEngines)
     clearPackedModelCache();
 }
 
+TEST(RaceDecodeEngine, SharedArenaAndPrefixCacheAcrossEngines)
+{
+    // kThreads engines on one deployment share ONE paged KV arena and
+    // ONE prefix cache, under a tight arena budget so admission
+    // throttling, prefix eviction, page recycling, and cross-engine
+    // adoption of shared prefix pages all race. Token streams must
+    // match the single-engine reference exactly on every thread.
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    const MsqConfig cfg = raceConfig();
+    DecodeConfig dcfg;
+    dcfg.maxBatchSeqs = 3;
+    dcfg.stepTokenBudget = 8;
+    dcfg.prefillChunk = 3;
+    dcfg.kv = {2, 4, 4};
+    dcfg.vocab = 64;
+    dcfg.prefixMinTokens = 4;
+
+    // Shared-prefix workload: one common 9-token prefix, unique tails.
+    std::vector<std::vector<uint32_t>> prompts;
+    std::vector<size_t> maxNew;
+    Rng rng(8100);
+    std::vector<uint32_t> prefix(9);
+    for (uint32_t &tok : prefix)
+        tok = static_cast<uint32_t>(rng.uniformInt(dcfg.vocab));
+    for (size_t i = 0; i < 6; ++i) {
+        std::vector<uint32_t> prompt = prefix;
+        prompt.push_back(static_cast<uint32_t>((3 * i + 2) % dcfg.vocab));
+        prompts.push_back(std::move(prompt));
+        maxNew.push_back(3 + (i * 5) % 6);
+    }
+
+    auto generate = [&](KvArena *arena, PrefixCache *cache) {
+        DecodeEngine engine(model, cfg, dcfg, arena, cache);
+        std::vector<uint64_t> ids;
+        for (size_t i = 0; i < prompts.size(); ++i)
+            ids.push_back(engine.submit(prompts[i], maxNew[i]));
+        const DecodeReport report = engine.run();
+        std::vector<std::vector<uint32_t>> streams(prompts.size());
+        for (const GenRecord &rec : report.requests)
+            for (size_t i = 0; i < ids.size(); ++i)
+                if (ids[i] == rec.id)
+                    streams[i] = rec.tokens;
+        return streams;
+    };
+
+    clearPackedModelCache();
+    const std::vector<std::vector<uint32_t>> want =
+        generate(nullptr, nullptr);
+
+    for (size_t round = 0; round < kRounds; ++round) {
+        KvArenaConfig ac;
+        ac.pageBytes = 4096;
+        // ~half of what kThreads engines would like: admission
+        // throttles and sheds cached prefixes under pressure.
+        ac.capacityBytes = 48 * 4096;
+        KvArena arena(ac);
+        PrefixCache cache;
+        std::vector<std::vector<std::vector<uint32_t>>> got(kThreads);
+        onThreads([&](size_t t) { got[t] = generate(&arena, &cache); });
+        for (size_t t = 0; t < kThreads; ++t) {
+            ASSERT_EQ(got[t].size(), want.size()) << "thread " << t;
+            for (size_t i = 0; i < want.size(); ++i)
+                EXPECT_EQ(got[t][i], want[i])
+                    << "round " << round << " thread " << t << " request "
+                    << i;
+        }
+        // Every page went back to the shared arena at engine teardown
+        // except those pinned by live cache entries.
+        const size_t cache_entries = cache.entries();
+        cache.clear();
+        EXPECT_EQ(arena.pagesInUse(), 0u) << "round " << round;
+        EXPECT_GE(cache_entries, 1u);
+    }
+    clearPackedModelCache();
+}
+
 TEST(RaceParallelFor, ConcurrentTopLevelCallsStayExact)
 {
     for (size_t round = 0; round < kRounds; ++round) {
