@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Serving-frontend benchmark: drives the TCP ModelServer over loopback
+ * through four phases and emits both a human-readable table and a
+ * machine-readable BENCH_net.json (path overridable as argv[1]; model
+ * as argv[2] — CI runs a TinyLM-decode smoke pass; schema checked by
+ * scripts/check_bench_json.py).
+ *
+ *  stream    N concurrent fault-free clients, R requests each: p50/
+ *            p95/p99 first-token and per-token latency plus end-to-end
+ *            streamed-token throughput. Every stream is checked
+ *            byte-identical to a direct single-request engine run —
+ *            the network boundary may add latency, never entropy.
+ *  overload  a pipelined burst against a one-deep admission queue:
+ *            counts typed OVERLOADED rejections (the backpressure path
+ *            must engage; silent queueing would be the regression).
+ *  drain     in-flight streams + SIGTERM-style graceful drain: drain
+ *            wall time and the dropped-token count, which must be 0.
+ *  chaos     seeded fault-injecting clients across a hard server kill
+ *            and restart on the same port: every eventually-completed
+ *            stream must fold-match the fault-free reference
+ *            (checksum_match gates in CI).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "model/model_zoo.h"
+#include "net/client.h"
+#include "net/fault.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "serve/clock.h"
+#include "serve/decode.h"
+
+using namespace msq;
+
+namespace {
+
+constexpr size_t kClients = 4;
+constexpr size_t kRequestsPerClient = 4;
+constexpr size_t kMaxNew = 16;
+
+DecodeConfig
+benchDecodeConfig()
+{
+    DecodeConfig cfg;
+    cfg.maxBatchSeqs = 8;
+    cfg.stepTokenBudget = 32;
+    cfg.prefillChunk = 8;
+    cfg.kv = {2, 8, 8};
+    cfg.vocab = 64;
+    return cfg;
+}
+
+std::vector<uint32_t>
+makePrompt(uint64_t seed, size_t len)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> prompt(len);
+    for (uint32_t &tok : prompt)
+        tok = static_cast<uint32_t>(rng.uniformInt(64));
+    return prompt;
+}
+
+uint64_t
+promptSeed(size_t client, size_t request)
+{
+    return 3000 + client * 100 + request;
+}
+
+size_t
+promptLen(size_t client, size_t request)
+{
+    return 4 + (client + request) % 5;
+}
+
+/** Fault-free reference stream from a private engine. */
+std::vector<uint32_t>
+referenceStream(const ModelProfile &model, const MsqConfig &qcfg,
+                size_t client, size_t request)
+{
+    DecodeEngine ref(model, qcfg, benchDecodeConfig());
+    ref.submit(makePrompt(promptSeed(client, request),
+                          promptLen(client, request)),
+               kMaxNew);
+    const DecodeReport rep = ref.run();
+    return rep.requests.front().tokens;
+}
+
+struct LatencyRecord
+{
+    std::vector<double> firstToken;
+    std::vector<double> perToken;
+};
+
+void
+addLatencyRows(Table &t, const char *what, const std::vector<double> &v)
+{
+    t.addRow({"", std::string(what) + " p50 (ms)",
+              Table::fmt(percentile(v, 50.0), 3)});
+    t.addRow({"", std::string(what) + " p95 (ms)",
+              Table::fmt(percentile(v, 95.0), 3)});
+    t.addRow({"", std::string(what) + " p99 (ms)",
+              Table::fmt(percentile(v, 99.0), 3)});
+}
+
+void
+writeLatencyJson(std::FILE *f, const char *name,
+                 const std::vector<double> &v, bool trailing_comma)
+{
+    const SampleSummary s = summarize(v);
+    std::fprintf(f,
+                 "  \"%s\": {\"p50\": %.4f, \"p95\": %.4f, "
+                 "\"p99\": %.4f, \"mean\": %.4f, \"max\": %.4f}%s\n",
+                 name, percentile(v, 50.0), percentile(v, 95.0),
+                 percentile(v, 99.0), s.mean, s.maxValue,
+                 trailing_comma ? "," : "");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path = argc > 1 ? argv[1] : "BENCH_net.json";
+    const std::string model_name =
+        argc > 2 ? argv[2] : "TinyLM-decode";
+    const ModelProfile &model = modelByName(model_name);
+    if (!decodeCapable(model)) {
+        std::fprintf(stderr, "%s carries no attention geometry\n",
+                     model.name.c_str());
+        return 1;
+    }
+    MsqConfig qcfg;
+    qcfg.hessianCompensation = false;
+
+    // Fault-free per-request references (also warms the packed cache
+    // outside every timed region).
+    std::vector<std::vector<std::vector<uint32_t>>> want(kClients);
+    for (size_t c = 0; c < kClients; ++c)
+        for (size_t r = 0; r < kRequestsPerClient; ++r)
+            want[c].push_back(referenceStream(model, qcfg, c, r));
+
+    // ---- stream phase: latency + throughput + byte identity --------
+    DecodeEngine engine(model, qcfg, benchDecodeConfig());
+    ServerConfig scfg;
+    scfg.ioWorkers = 2;
+    scfg.maxQueue = 32;
+    ModelServer server(engine, scfg);
+    if (!server.start()) {
+        std::fprintf(stderr, "cannot bind a loopback port\n");
+        return 1;
+    }
+    const uint16_t port = server.boundPort();
+
+    LatencyRecord lat;
+    std::vector<LatencyRecord> perClient(kClients);
+    size_t mismatches = 0;
+    std::vector<size_t> clientMismatches(kClients, 0);
+    const uint64_t wall0 = steadyNanos();
+    std::vector<std::thread> streamThreads;
+    for (size_t c = 0; c < kClients; ++c)
+        streamThreads.emplace_back([&, c] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.seed = 10 + c;
+            NetClient client(cc);
+            for (size_t r = 0; r < kRequestsPerClient; ++r) {
+                const GenerateResult res = client.generate(
+                    makePrompt(promptSeed(c, r), promptLen(c, r)),
+                    kMaxNew);
+                if (res.code != NetCode::Ok || res.tokens != want[c][r]) {
+                    ++clientMismatches[c];
+                    continue;
+                }
+                perClient[c].firstToken.push_back(res.firstTokenMs);
+                if (res.tokens.size() > 1)
+                    perClient[c].perToken.push_back(
+                        (res.totalMs - res.firstTokenMs) /
+                        static_cast<double>(res.tokens.size() - 1));
+            }
+        });
+    for (std::thread &t : streamThreads)
+        t.join();
+    const double stream_wall_ms = elapsedMs(wall0);
+    for (size_t c = 0; c < kClients; ++c) {
+        mismatches += clientMismatches[c];
+        lat.firstToken.insert(lat.firstToken.end(),
+                              perClient[c].firstToken.begin(),
+                              perClient[c].firstToken.end());
+        lat.perToken.insert(lat.perToken.end(),
+                            perClient[c].perToken.begin(),
+                            perClient[c].perToken.end());
+    }
+    const uint64_t streamed = server.stats().tokensStreamed;
+    const double tokens_per_s =
+        stream_wall_ms > 0.0
+            ? static_cast<double>(streamed) / (stream_wall_ms / 1e3)
+            : 0.0;
+
+    // ---- drain phase: in-flight streams survive a graceful stop ----
+    std::vector<std::thread> drainThreads;
+    for (size_t c = 0; c < 2; ++c)
+        drainThreads.emplace_back([&, c] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.seed = 20 + c;
+            NetClient client(cc);
+            client.generate(makePrompt(promptSeed(c, 0), promptLen(c, 0)),
+                            kMaxNew);
+        });
+    // Let the requests reach the engine before pulling the plug
+    // (bounded: a rejected drain request must not hang the bench).
+    for (int spins = 0; spins < 5000 &&
+                        server.stats().requestsAdmitted <
+                            kClients * kRequestsPerClient + 2;
+         ++spins)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const bool drained = server.drain();
+    for (std::thread &t : drainThreads)
+        t.join();
+    const ServerStats drainStats = server.stats();
+
+    // ---- overload phase: typed backpressure on a one-deep queue ----
+    DecodeConfig slowCfg = benchDecodeConfig();
+    slowCfg.maxBatchSeqs = 1;
+    DecodeEngine slowEngine(model, qcfg, slowCfg);
+    ServerConfig oCfg;
+    oCfg.maxQueue = 1;
+    ModelServer oServer(slowEngine, oCfg);
+    if (!oServer.start()) {
+        std::fprintf(stderr, "cannot bind the overload-phase port\n");
+        return 1;
+    }
+    constexpr size_t kBurst = 12;
+    {
+        std::vector<std::thread> burst;
+        for (size_t i = 0; i < kBurst; ++i)
+            burst.emplace_back([&, i] {
+                ClientConfig cc;
+                cc.port = oServer.boundPort();
+                cc.seed = 30 + i;
+                cc.maxAttempts = 1;  // count rejections, don't retry
+                NetClient client(cc);
+                client.generate(makePrompt(promptSeed(i, 1),
+                                           promptLen(i, 1)),
+                                kMaxNew);
+            });
+        for (std::thread &t : burst)
+            t.join();
+    }
+    const ServerStats oStats = oServer.stats();
+    oServer.stop();
+
+    // ---- chaos phase: faulted clients across a kill + restart ------
+    DecodeEngine chaosEngine(model, qcfg, benchDecodeConfig());
+    auto chaosServer =
+        std::make_unique<ModelServer>(chaosEngine, ServerConfig{});
+    size_t chaosCompleted = 0, chaosMatched = 0;
+    uint64_t chaosFaults = 0;
+    uint16_t chaosPort = 0;
+    ServerStats chaosStats;
+    {
+        if (!chaosServer->start()) {
+            std::fprintf(stderr, "cannot bind the chaos-phase port\n");
+            return 1;
+        }
+        chaosPort = chaosServer->boundPort();
+        std::vector<std::thread> threads;
+        std::vector<size_t> completed(kClients, 0), matched(kClients, 0);
+        std::vector<uint64_t> faults(kClients, 0);
+        for (size_t c = 0; c < kClients; ++c)
+            threads.emplace_back([&, c] {
+                FaultConfig fc;
+                fc.seed = 9000 + c;
+                fc.connectFailProb = 0.05;
+                fc.sendSeverProb = 0.10;
+                fc.sendTruncateProb = 0.10;
+                fc.recvSeverProb = 0.01;
+                fc.delayProb = 0.05;
+                fc.maxDelayMs = 2;
+                FaultInjector injector(fc);
+                ClientConfig cc;
+                cc.port = chaosPort;
+                cc.seed = 40 + c;
+                cc.maxAttempts = 12;
+                cc.backoffBaseMs = 5;
+                cc.backoffCapMs = 80;
+                NetClient client(cc, &injector);
+                for (size_t r = 0; r < kRequestsPerClient; ++r) {
+                    const GenerateResult res = client.generate(
+                        makePrompt(promptSeed(c, r), promptLen(c, r)),
+                        kMaxNew);
+                    if (res.code != NetCode::Ok)
+                        continue;
+                    ++completed[c];
+                    if (res.tokens == want[c][r] &&
+                        res.streamFold ==
+                            tokenStreamFold(want[c][r].data(),
+                                            want[c][r].size()))
+                        ++matched[c];
+                }
+                faults[c] = injector.faults();
+            });
+        // Hard-kill mid-load, restart on the same port.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        chaosServer->stop();
+        chaosServer.reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ServerConfig rCfg;
+        rCfg.port = chaosPort;
+        chaosServer = std::make_unique<ModelServer>(chaosEngine, rCfg);
+        if (!chaosServer->start()) {
+            std::fprintf(stderr, "cannot rebind the chaos port\n");
+            return 1;
+        }
+        for (std::thread &t : threads)
+            t.join();
+        for (size_t c = 0; c < kClients; ++c) {
+            chaosCompleted += completed[c];
+            chaosMatched += matched[c];
+            chaosFaults += faults[c];
+        }
+        const bool chaosDrained = chaosServer->drain();
+        chaosStats = chaosServer->stats();
+        if (!chaosDrained)
+            chaosStats.droppedTokens += 1;  // force the CI gate red
+        chaosServer.reset();
+    }
+    const bool checksum_match =
+        chaosCompleted >= 1 && chaosMatched == chaosCompleted;
+
+    // ---- report ----------------------------------------------------
+    Table t("Network serving frontend, " + model.name + ", " +
+            qcfg.name() + " (" + std::to_string(threadCount()) +
+            " threads, " + std::to_string(scfg.ioWorkers) +
+            " io workers)");
+    t.setHeader({"phase", "quantity", "value"});
+    t.addRow({"stream", "clients x requests",
+              Table::fmtInt(static_cast<long long>(kClients)) + " x " +
+                  Table::fmtInt(
+                      static_cast<long long>(kRequestsPerClient))});
+    t.addRow({"", "tokens streamed",
+              Table::fmtInt(static_cast<long long>(streamed))});
+    t.addRow({"", "throughput (tok/s)", Table::fmt(tokens_per_s, 1)});
+    t.addRow({"", "stream mismatches",
+              Table::fmtInt(static_cast<long long>(mismatches))});
+    addLatencyRows(t, "first-token", lat.firstToken);
+    addLatencyRows(t, "per-token", lat.perToken);
+    t.addSeparator();
+    t.addRow({"overload", "burst / queue depth",
+              Table::fmtInt(static_cast<long long>(kBurst)) + " / " +
+                  Table::fmtInt(static_cast<long long>(oCfg.maxQueue))});
+    t.addRow({"", "served",
+              Table::fmtInt(
+                  static_cast<long long>(oStats.requestsServed))});
+    t.addRow({"", "rejected OVERLOADED",
+              Table::fmtInt(
+                  static_cast<long long>(oStats.rejectedOverloaded))});
+    t.addSeparator();
+    t.addRow({"drain", "drain wall (ms)",
+              Table::fmt(drainStats.drainMs, 2)});
+    t.addRow({"", "dropped tokens",
+              Table::fmtInt(
+                  static_cast<long long>(drainStats.droppedTokens))});
+    t.addRow({"", "drained cleanly", drained ? "yes" : "NO"});
+    t.addSeparator();
+    t.addRow({"chaos", "completed / attempted",
+              Table::fmtInt(static_cast<long long>(chaosCompleted)) +
+                  " / " +
+                  Table::fmtInt(static_cast<long long>(
+                      kClients * kRequestsPerClient))});
+    t.addRow({"", "injected faults",
+              Table::fmtInt(static_cast<long long>(chaosFaults))});
+    t.addRow({"", "streams byte-identical",
+              checksum_match ? "yes" : "NO"});
+    t.print();
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"net\",\n"
+                 "  \"model\": \"%s\",\n"
+                 "  \"method\": \"%s\",\n"
+                 "  \"threads\": %u,\n"
+                 "  \"io_workers\": %zu,\n"
+                 "  \"clients\": %zu,\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"max_new_tokens\": %zu,\n"
+                 "  \"tokens_streamed\": %llu,\n"
+                 "  \"tokens_per_s\": %.2f,\n"
+                 "  \"wall_ms\": %.3f,\n"
+                 "  \"stream_mismatches\": %zu,\n",
+                 model.name.c_str(), qcfg.name().c_str(), threadCount(),
+                 scfg.ioWorkers, kClients, kRequestsPerClient, kMaxNew,
+                 static_cast<unsigned long long>(streamed), tokens_per_s,
+                 stream_wall_ms, mismatches);
+    writeLatencyJson(f, "first_token_ms", lat.firstToken, true);
+    writeLatencyJson(f, "per_token_ms", lat.perToken, true);
+    std::fprintf(f,
+                 "  \"overload\": {\"burst\": %zu, \"queue_limit\": %zu, "
+                 "\"served\": %llu, \"rejected_overloaded\": %llu},\n",
+                 kBurst, oCfg.maxQueue,
+                 static_cast<unsigned long long>(oStats.requestsServed),
+                 static_cast<unsigned long long>(
+                     oStats.rejectedOverloaded));
+    std::fprintf(
+        f,
+        "  \"drain\": {\"drain_ms\": %.3f, \"dropped_tokens\": %llu, "
+        "\"requests_served\": %llu},\n",
+        drainStats.drainMs,
+        static_cast<unsigned long long>(drainStats.droppedTokens),
+        static_cast<unsigned long long>(drainStats.requestsServed));
+    std::fprintf(
+        f,
+        "  \"chaos\": {\"clients\": %zu, \"requests\": %zu, "
+        "\"completed\": %zu, \"matched\": %zu, \"faults\": %llu, "
+        "\"checksum_match\": %s, \"dropped_tokens\": %llu}\n"
+        "}\n",
+        kClients, kClients * kRequestsPerClient, chaosCompleted,
+        chaosMatched, static_cast<unsigned long long>(chaosFaults),
+        checksum_match ? "true" : "false",
+        static_cast<unsigned long long>(chaosStats.droppedTokens));
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return mismatches == 0 && checksum_match ? 0 : 1;
+}

@@ -23,11 +23,23 @@ trajectories cannot silently rot. Known ids:
                     cache record (cold vs warm prefill work, with an
                     enforced floor on the prefill-token ratio, exactly
                     one insert, and cold == warm token streams)
+  net               emitted by bench/bench_net: the TCP serving
+                    frontend over loopback — first-token and per-token
+                    latency percentiles (ordering enforced), streamed
+                    throughput, typed OVERLOADED backpressure counts,
+                    graceful-drain wall time with a zero floor on
+                    dropped tokens, and the chaos phase's stream
+                    checksums (every eventually-completed stream must
+                    match the fault-free reference)
 
 Usage: check_bench_json.py path/to/BENCH_<name>.json
-Exits 0 when valid, 1 with a message otherwise.
+       check_bench_json.py --self-test
+Exits 0 when valid, 1 with a message otherwise. --self-test feeds the
+net checker known-good and deliberately-broken records and verifies
+each verdict, so a schema rule cannot silently stop firing.
 """
 
+import copy
 import json
 import sys
 
@@ -186,6 +198,54 @@ DECODE_SPEEDUP_FLOOR = 1.3
 # silently degrading to per-request prefills (ratio 1.0).
 PREFIX_SPEEDUP_FLOOR = 2.0
 
+NET_SCHEMA = {
+    "bench": str,
+    "model": str,
+    "method": str,
+    "threads": int,
+    "io_workers": int,
+    "clients": int,
+    "requests": int,
+    "max_new_tokens": int,
+    "tokens_streamed": int,
+    "tokens_per_s": float,
+    "wall_ms": float,
+    "stream_mismatches": int,
+    "first_token_ms": dict,
+    "per_token_ms": dict,
+    "overload": dict,
+    "drain": dict,
+    "chaos": dict,
+}
+
+NET_OVERLOAD_SCHEMA = {
+    "burst": int,
+    "queue_limit": int,
+    "served": int,
+    "rejected_overloaded": int,
+}
+
+NET_DRAIN_SCHEMA = {
+    "drain_ms": float,
+    "dropped_tokens": int,
+    "requests_served": int,
+}
+
+NET_CHAOS_SCHEMA = {
+    "clients": int,
+    "requests": int,
+    "completed": int,
+    "matched": int,
+    "faults": int,
+    "checksum_match": bool,
+    "dropped_tokens": int,
+}
+
+# Graceful drain finishes in-flight TinyLM smoke streams in well under
+# a second on any box; the ceiling only catches a drain that degraded
+# into waiting out client timeouts.
+NET_DRAIN_MS_CEILING = 30000.0
+
 COLD_START_SCHEMA = {
     "bench": str,
     "model": str,
@@ -200,9 +260,12 @@ COLD_START_SCHEMA = {
 }
 
 
+class CheckError(Exception):
+    """A schema violation; main() turns it into exit code 1."""
+
+
 def fail(msg):
-    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise CheckError(msg)
 
 
 def check_types(obj, schema, where):
@@ -467,16 +530,187 @@ def check_decode(doc):
             f"re-gathers, on {doc['threads']} threads")
 
 
+def check_net_latency(lat, where):
+    for key in LATENCY_KEYS:
+        if key not in lat:
+            fail(f"{where}: missing '{key}'")
+        if not isinstance(lat[key], (int, float)):
+            fail(f"{where}.{key}: not a number")
+    if not lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]:
+        fail(f"{where}: percentiles not ordered")
+    if lat["p50"] <= 0:
+        fail(f"{where}.p50 must be positive")
+
+
+def check_net(doc):
+    check_types(doc, NET_SCHEMA, "$")
+    for key in ("io_workers", "clients", "requests", "max_new_tokens",
+                "tokens_streamed"):
+        if doc[key] <= 0:
+            fail(f"$.{key} must be positive")
+    if doc["tokens_per_s"] <= 0 or doc["wall_ms"] <= 0:
+        fail("$.tokens_per_s / $.wall_ms must be positive")
+    # The network boundary may add latency, never entropy: every
+    # fault-free stream must have matched the direct engine run.
+    if doc["stream_mismatches"] != 0:
+        fail(f"{doc['stream_mismatches']} streamed token streams "
+             f"diverged from the direct engine run (determinism "
+             f"violation at the network boundary)")
+    check_net_latency(doc["first_token_ms"], "$.first_token_ms")
+    check_net_latency(doc["per_token_ms"], "$.per_token_ms")
+
+    over = doc["overload"]
+    check_types(over, NET_OVERLOAD_SCHEMA, "$.overload")
+    if over["burst"] <= over["queue_limit"]:
+        fail("$.overload: burst does not exceed the queue limit")
+    if over["served"] < 1:
+        fail("$.overload.served: the loaded server served nothing")
+    if over["rejected_overloaded"] < 1:
+        fail("$.overload.rejected_overloaded: a burst past the queue "
+             "limit produced no typed OVERLOADED rejection — "
+             "backpressure did not engage")
+    if over["served"] + over["rejected_overloaded"] != over["burst"]:
+        fail(f"$.overload: served ({over['served']}) + rejected "
+             f"({over['rejected_overloaded']}) != burst "
+             f"({over['burst']}); requests went unaccounted")
+
+    drain = doc["drain"]
+    check_types(drain, NET_DRAIN_SCHEMA, "$.drain")
+    if drain["drain_ms"] < 0:
+        fail("$.drain.drain_ms: no drain was recorded")
+    if drain["drain_ms"] > NET_DRAIN_MS_CEILING:
+        fail(f"$.drain.drain_ms {drain['drain_ms']} exceeds the "
+             f"{NET_DRAIN_MS_CEILING} ms ceiling")
+    if drain["dropped_tokens"] != 0:
+        fail(f"graceful drain dropped {drain['dropped_tokens']} "
+             f"queued tokens; the zero-drop guarantee is the point "
+             f"of draining")
+
+    chaos = doc["chaos"]
+    check_types(chaos, NET_CHAOS_SCHEMA, "$.chaos")
+    if chaos["completed"] < 1:
+        fail("$.chaos.completed: no stream survived the fault "
+             "schedule — the retry path is broken or the schedule "
+             "is too hostile to measure anything")
+    if chaos["matched"] != chaos["completed"]:
+        fail(f"$.chaos: {chaos['completed'] - chaos['matched']} "
+             f"completed streams did not match the fault-free "
+             f"reference (checksum mismatch under faults)")
+    if chaos["checksum_match"] is not True:
+        fail("$.chaos.checksum_match must be true")
+    if chaos["dropped_tokens"] != 0:
+        fail(f"$.chaos.dropped_tokens: the post-chaos drain dropped "
+             f"{chaos['dropped_tokens']} tokens")
+    return (f"{doc['model']}, {doc['method']}, "
+            f"{doc['tokens_per_s']:.0f} streamed tok/s, first-token "
+            f"p50/p99 {doc['first_token_ms']['p50']:.2f}/"
+            f"{doc['first_token_ms']['p99']:.2f} ms, "
+            f"{over['rejected_overloaded']} typed rejections, drain "
+            f"{drain['drain_ms']:.1f} ms with 0 drops, chaos "
+            f"{chaos['completed']}/{chaos['requests']} completed all "
+            f"byte-identical")
+
+
 CHECKERS = {
     "serve_throughput": check_serve,
     "cold_start": check_cold_start,
     "decode": check_decode,
+    "net": check_net,
 }
 
 
+def valid_net_doc():
+    return {
+        "bench": "net", "model": "TinyLM-decode",
+        "method": "MicroScopiQ-W2", "threads": 1, "io_workers": 2,
+        "clients": 4, "requests": 4, "max_new_tokens": 16,
+        "tokens_streamed": 256, "tokens_per_s": 20000.0,
+        "wall_ms": 12.0, "stream_mismatches": 0,
+        "first_token_ms": {"p50": 0.5, "p95": 1.5, "p99": 1.6,
+                           "mean": 0.7, "max": 1.7},
+        "per_token_ms": {"p50": 0.1, "p95": 0.14, "p99": 0.15,
+                         "mean": 0.11, "max": 0.15},
+        "overload": {"burst": 12, "queue_limit": 1, "served": 1,
+                     "rejected_overloaded": 11},
+        "drain": {"drain_ms": 0.5, "dropped_tokens": 0,
+                  "requests_served": 18},
+        "chaos": {"clients": 4, "requests": 16, "completed": 16,
+                  "matched": 16, "faults": 16, "checksum_match": True,
+                  "dropped_tokens": 0},
+    }
+
+
+def break_doc(path, value):
+    """Return a valid net doc with the dotted `path` set to `value`."""
+    doc = valid_net_doc()
+    node = doc
+    keys = path.split(".")
+    for key in keys[:-1]:
+        node = node[key]
+    node[keys[-1]] = value
+    return doc
+
+
+def self_test():
+    # The known-good record must pass.
+    try:
+        check_net(copy.deepcopy(valid_net_doc()))
+    except CheckError as e:
+        fail(f"self-test: valid net record rejected: {e}")
+
+    # Every broken record must be caught, with the right rule firing.
+    negatives = [
+        ("stream_mismatches", 2, "determinism violation"),
+        ("first_token_ms.p95", 99.0, "percentiles not ordered"),
+        ("per_token_ms.p50", 0.2, "percentiles not ordered"),
+        ("first_token_ms.p50", 0, "must be positive"),
+        ("overload.rejected_overloaded", 0, "backpressure"),
+        ("overload.served", 0, "served nothing"),
+        ("overload.burst", 1, "queue limit"),
+        ("overload.rejected_overloaded", 7, "unaccounted"),
+        ("drain.dropped_tokens", 3, "zero-drop"),
+        ("drain.drain_ms", -1.0, "no drain was recorded"),
+        ("drain.drain_ms", 99999.0, "ceiling"),
+        ("chaos.completed", 0, "no stream survived"),
+        ("chaos.matched", 15, "checksum mismatch"),
+        ("chaos.checksum_match", False, "checksum_match"),
+        ("chaos.dropped_tokens", 1, "post-chaos drain"),
+        ("tokens_streamed", 0, "must be positive"),
+        ("tokens_per_s", "fast", "expected float"),
+    ]
+    for path, value, expect in negatives:
+        try:
+            check_net(break_doc(path, value))
+        except CheckError as e:
+            if expect not in str(e):
+                fail(f"self-test: breaking '{path}' fired the wrong "
+                     f"rule: {e}")
+            continue
+        fail(f"self-test: breaking '{path}' went undetected")
+
+    # Missing-key detection, one representative per nesting level.
+    for path in ("chaos", "overload.burst", "first_token_ms.p99"):
+        doc = valid_net_doc()
+        node = doc
+        keys = path.split(".")
+        for key in keys[:-1]:
+            node = node[key]
+        del node[keys[-1]]
+        try:
+            check_net(doc)
+        except CheckError:
+            continue
+        fail(f"self-test: deleting '{path}' went undetected")
+    print(f"check_bench_json: OK (self-test: "
+          f"{len(negatives) + 3} broken records all caught)")
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return
     if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py BENCH_<name>.json")
+        fail("usage: check_bench_json.py BENCH_<name>.json | --self-test")
     try:
         with open(sys.argv[1]) as f:
             doc = json.load(f)
@@ -493,4 +727,8 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except CheckError as e:
+        print(f"check_bench_json: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)

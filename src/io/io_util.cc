@@ -1,0 +1,89 @@
+#include "io/io_util.h"
+
+#include <cerrno>
+#include <cstdint>
+
+#include <unistd.h>
+
+namespace msq {
+
+bool
+readFully(int fd, void *buf, size_t bytes)
+{
+    uint8_t *p = static_cast<uint8_t *>(buf);
+    size_t done = 0;
+    while (done < bytes) {
+        const ssize_t n = ::read(fd, p + done, bytes - done);
+        if (n > 0) {
+            done += static_cast<size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            return false; // EOF before the requested count
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFully(int fd, const void *buf, size_t bytes)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(buf);
+    size_t done = 0;
+    while (done < bytes) {
+        const ssize_t n = ::write(fd, p + done, bytes - done);
+        if (n >= 0) {
+            done += static_cast<size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+freadFully(std::FILE *stream, void *buf, size_t bytes)
+{
+    uint8_t *p = static_cast<uint8_t *>(buf);
+    size_t done = 0;
+    while (done < bytes) {
+        const size_t n = std::fread(p + done, 1, bytes - done, stream);
+        done += n;
+        if (done == bytes)
+            break;
+        if (std::ferror(stream) && errno == EINTR) {
+            // A signal interrupted the underlying read; clear the
+            // sticky error flag and resume where the short read left
+            // off — fread already consumed the bytes it got.
+            std::clearerr(stream);
+            continue;
+        }
+        return false; // EOF or a persistent stream error
+    }
+    return true;
+}
+
+bool
+fwriteFully(std::FILE *stream, const void *buf, size_t bytes)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(buf);
+    size_t done = 0;
+    while (done < bytes) {
+        const size_t n = std::fwrite(p + done, 1, bytes - done, stream);
+        done += n;
+        if (done == bytes)
+            break;
+        if (std::ferror(stream) && errno == EINTR) {
+            std::clearerr(stream);
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+} // namespace msq

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * EINTR/partial-IO-hardened read/write primitives shared by the `.msq`
+ * container code and the network serving frontend.
+ *
+ * POSIX I/O is allowed to transfer fewer bytes than asked (signals,
+ * pipe buffers, socket windows) and to fail spuriously with `EINTR`
+ * when a signal lands mid-call. Code that treats one `read()` /
+ * `fread()` as all-or-nothing works until the process installs a
+ * signal handler — which the serving frontend does (SIGTERM drain) —
+ * and then fails rarely and unreproducibly. Every loop that must move
+ * exactly N bytes goes through these wrappers instead:
+ *
+ *  - `readFully` / `writeFully`    file-descriptor loops retrying on
+ *                                  `EINTR` and short transfers; EOF or
+ *                                  a real error reports `false`
+ *  - `freadFully` / `fwriteFully`  the same discipline over stdio
+ *                                  streams (the container reader and
+ *                                  writer), clearing the error flag
+ *                                  and resuming after `EINTR`
+ *
+ * None of the wrappers allocate or throw; callers keep their typed
+ * error reporting (IoResult, NetCode) on top.
+ */
+
+#ifndef MSQ_IO_IO_UTIL_H
+#define MSQ_IO_IO_UTIL_H
+
+#include <cstdio>
+
+#include <cstddef>
+
+namespace msq {
+
+/**
+ * Read exactly `bytes` bytes from `fd` into `buf`, retrying on `EINTR`
+ * and short reads. Returns false on EOF-before-done or a real error
+ * (errno holds the cause; EOF leaves errno untouched).
+ */
+bool readFully(int fd, void *buf, size_t bytes);
+
+/**
+ * Write exactly `bytes` bytes from `buf` to `fd`, retrying on `EINTR`
+ * and short writes. Returns false on a real error (errno holds it).
+ */
+bool writeFully(int fd, const void *buf, size_t bytes);
+
+/**
+ * `fread` exactly `bytes` bytes, retrying after `EINTR`-interrupted
+ * short reads (the stream error flag is cleared before resuming).
+ * Returns false on EOF-before-done or a persistent stream error.
+ */
+bool freadFully(std::FILE *stream, void *buf, size_t bytes);
+
+/** `fwrite` analog of `freadFully`. */
+bool fwriteFully(std::FILE *stream, const void *buf, size_t bytes);
+
+} // namespace msq
+
+#endif // MSQ_IO_IO_UTIL_H

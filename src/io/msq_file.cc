@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "io/crc32.h"
+#include "io/io_util.h"
 
 namespace msq {
 
@@ -234,8 +235,9 @@ readAt(std::FILE *f, uint64_t offset, std::vector<uint8_t> &out,
     out.resize(bytes);
     if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0)
         return false;
-    return bytes == 0 ||
-           std::fread(out.data(), 1, bytes, f) == bytes;
+    // EINTR-hardened: a signal landing mid-read (the serving frontend
+    // installs a SIGTERM handler) must not turn into a short read.
+    return bytes == 0 || freadFully(f, out.data(), bytes);
 }
 
 /** Validate everything up to (not including) the layer payloads. */
@@ -493,20 +495,19 @@ saveModel(const std::string &path, const std::string &model,
     if (!f)
         return IoResult::error(IoCode::FileError,
                                "cannot write " + path);
-    bool ok = std::fwrite(prologue.data(), 1, prologue.size(), f) ==
-              prologue.size();
+    // EINTR-hardened writes: saveModelAtomic must publish a complete
+    // temp file even when signals land mid-write.
+    bool ok = fwriteFully(f, prologue.data(), prologue.size());
     auto writeSection = [&](const std::vector<uint8_t> &bytes) {
-        ok = ok && std::fwrite(bytes.data(), 1, bytes.size(), f) ==
-                       bytes.size();
+        ok = ok && fwriteFully(f, bytes.data(), bytes.size());
         std::vector<uint8_t> crc;
         putU32(crc, crc32(bytes.data(), bytes.size()));
-        ok = ok && std::fwrite(crc.data(), 1, crc.size(), f) == crc.size();
+        ok = ok && fwriteFully(f, crc.data(), crc.size());
     };
     writeSection(header);
     writeSection(index);
     for (const std::vector<uint8_t> &payload : payloads)
-        ok = ok && std::fwrite(payload.data(), 1, payload.size(), f) ==
-                       payload.size();
+        ok = ok && fwriteFully(f, payload.data(), payload.size());
     ok = std::fclose(f) == 0 && ok;
     if (!ok)
         return IoResult::error(IoCode::FileError,

@@ -1,0 +1,180 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include <poll.h>
+
+#include "net/socket.h"
+#include "serve/clock.h"
+
+namespace msq {
+
+namespace {
+
+void
+faultSleep(uint32_t ms)
+{
+    if (ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace
+
+NetCode
+NetClient::attempt(const std::vector<uint8_t> &wire, uint64_t reqId,
+                   GenerateResult &out, uint64_t epochNanos)
+{
+    if (faults_ != nullptr && !faults_->onConnect())
+        return NetCode::ConnectionLost;
+    Socket sock = tcpConnect(config_.port);
+    if (!sock.valid())
+        return NetCode::ConnectionLost;
+
+    // Send the request, fault hooks first: a severed or truncated send
+    // models a client dying mid-request; the server must shrug it off.
+    if (faults_ != nullptr) {
+        const FaultDecision d = faults_->onSend(wire.size());
+        switch (d.action) {
+          case FaultAction::Sever:
+            return NetCode::ConnectionLost;
+          case FaultAction::Truncate:
+            sendFully(sock.fd(), wire.data(), d.keepBytes);
+            return NetCode::ConnectionLost;
+          case FaultAction::Delay:
+            faultSleep(d.delayMs);
+            break;
+          case FaultAction::Pass:
+            break;
+        }
+    }
+    if (!sendFully(sock.fd(), wire.data(), wire.size()))
+        return NetCode::ConnectionLost;
+
+    // Consume the stream: Token frames in index order, then Done (or a
+    // terminal Error). Any protocol violation is terminal — the stream
+    // cannot be trusted past it.
+    FrameDecoder decoder;
+    std::vector<uint32_t> tokens;
+    uint8_t buf[4096];
+    for (;;) {
+        Frame frame;
+        const NetCode code = decoder.next(frame);
+        if (code == NetCode::NeedMore) {
+            if (faults_ != nullptr) {
+                const FaultDecision d = faults_->onRecv();
+                if (d.action == FaultAction::Sever)
+                    return NetCode::ConnectionLost;
+                if (d.action == FaultAction::Delay)
+                    faultSleep(d.delayMs);
+            }
+            pollfd pfd;
+            pfd.fd = sock.fd();
+            pfd.events = POLLIN;
+            pfd.revents = 0;
+            const int rc =
+                ::poll(&pfd, 1, static_cast<int>(config_.recvTimeoutMs));
+            if (rc == 0)
+                return NetCode::Timeout;
+            if (rc < 0 && errno == EINTR)
+                continue;
+            if (rc < 0)
+                return NetCode::ConnectionLost;
+            size_t got = 0;
+            const IoWait w = recvSome(sock.fd(), buf, sizeof(buf), got);
+            if (w == IoWait::Again)
+                continue;
+            if (w != IoWait::Ready)
+                return NetCode::ConnectionLost;
+            decoder.feed(buf, got);
+            continue;
+        }
+        if (code != NetCode::Ok)
+            return code; // sticky decode error: terminal
+        if (frame.requestId != reqId)
+            return NetCode::BadPayload;
+        switch (frame.type) {
+          case FrameType::Token: {
+            TokenMsg tm;
+            if (decodeTokenMsg(frame.payload, tm) != NetCode::Ok)
+                return NetCode::BadPayload;
+            if (tm.index != tokens.size())
+                return NetCode::BadPayload; // out-of-order stream
+            tokens.push_back(tm.token);
+            if (out.firstTokenMs < 0.0 && tokens.size() == 1)
+                out.firstTokenMs = elapsedMs(epochNanos);
+            break;
+          }
+          case FrameType::Done: {
+            DoneMsg dm;
+            if (decodeDoneMsg(frame.payload, dm) != NetCode::Ok)
+                return NetCode::BadPayload;
+            if (dm.tokenCount != tokens.size() ||
+                dm.streamFold !=
+                    tokenStreamFold(tokens.data(), tokens.size()))
+                return NetCode::BadPayload; // integrity mismatch
+            out.tokens = std::move(tokens);
+            out.streamFold = dm.streamFold;
+            return NetCode::Ok;
+          }
+          case FrameType::Error: {
+            ErrorMsg em;
+            if (decodeErrorMsg(frame.payload, em) != NetCode::Ok)
+                return NetCode::BadPayload;
+            out.serverError = em.code;
+            return NetCode::Rejected;
+          }
+          default:
+            return NetCode::BadPayload; // client-bound frames only
+        }
+    }
+}
+
+GenerateResult
+NetClient::generate(const std::vector<uint32_t> &prompt,
+                    uint32_t max_new_tokens, uint32_t deadline_ms)
+{
+    GenerateResult out;
+    const uint64_t epoch = steadyNanos();
+
+    RequestMsg msg;
+    msg.maxNewTokens = max_new_tokens;
+    msg.deadlineMs = deadline_ms;
+    msg.prompt = prompt;
+
+    for (uint32_t tryIdx = 0; tryIdx < config_.maxAttempts; ++tryIdx) {
+        // A fresh request id per attempt: a retried stream must never
+        // be confused with frames from the aborted one.
+        const uint64_t reqId = nextReqId_++;
+        const std::vector<uint8_t> wire = encodeRequestFrame(reqId, msg);
+        out.firstTokenMs = -1.0;
+        ++out.attempts;
+        const NetCode code = attempt(wire, reqId, out, epoch);
+        out.code = code;
+        if (code == NetCode::Ok) {
+            out.totalMs = elapsedMs(epoch);
+            return out;
+        }
+        // Transient failures retry; everything else is terminal.
+        const bool transientReject =
+            code == NetCode::Rejected &&
+            (out.serverError == ServeError::Overloaded ||
+             out.serverError == ServeError::ShuttingDown);
+        const bool transient = code == NetCode::ConnectionLost ||
+                               code == NetCode::Timeout || transientReject;
+        if (!transient || tryIdx + 1 == config_.maxAttempts)
+            break;
+        // Capped exponential backoff with seeded jitter: deterministic
+        // per (seed, failure history), and desynchronized across
+        // clients with different seeds.
+        uint64_t delay = uint64_t{config_.backoffBaseMs} << tryIdx;
+        delay = std::min<uint64_t>(delay, config_.backoffCapMs);
+        delay += rng_.uniformInt(delay / 2 + 1);
+        faultSleep(static_cast<uint32_t>(delay));
+    }
+    out.totalMs = elapsedMs(epoch);
+    return out;
+}
+
+} // namespace msq

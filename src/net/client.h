@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Blocking client for the serving frontend: submits one generation,
+ * consumes the token stream, verifies end-to-end integrity (index
+ * order, token count, and the Done frame's stream fold), and retries
+ * transient failures — connection loss, overload, server drain — with
+ * capped exponential backoff.
+ *
+ * Backoff jitter comes from a seeded `Rng` (common/rng.h), so a
+ * client's retry schedule is a pure function of its seed and the
+ * failures it saw — the chaos harness replays runs bit-for-bit. An
+ * optional `FaultInjector` sits between the client and its socket,
+ * deterministically refusing connects and severing/truncating/delaying
+ * transfers.
+ *
+ * Retry semantics: the protocol has no resume, so each attempt
+ * restarts the stream from token zero; partial tokens from a failed
+ * attempt are discarded. The server's decode determinism makes every
+ * successful attempt byte-identical, which the chaos tests assert
+ * through the stream fold.
+ */
+
+#ifndef MSQ_NET_CLIENT_H
+#define MSQ_NET_CLIENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/fault.h"
+#include "net/frame.h"
+
+namespace msq {
+
+/** Client transport and retry knobs. */
+struct ClientConfig
+{
+    uint16_t port = 0;          ///< server port (required)
+    uint32_t maxAttempts = 5;   ///< total tries per generate()
+    uint32_t backoffBaseMs = 5; ///< first retry delay
+    uint32_t backoffCapMs = 100; ///< exponential growth cap
+    uint32_t recvTimeoutMs = 30000; ///< per-poll receive deadline
+    uint64_t seed = 1;          ///< backoff-jitter rng seed
+};
+
+/** Outcome of one generate() call. */
+struct GenerateResult
+{
+    NetCode code = NetCode::Ok;
+    ServeError serverError = ServeError::Internal; ///< when Rejected
+    std::vector<uint32_t> tokens;
+    uint64_t streamFold = 0; ///< server-reported fold (verified)
+    uint32_t attempts = 0;   ///< connection attempts consumed
+    double firstTokenMs = -1.0; ///< call start -> first token
+    double totalMs = 0.0;       ///< call start -> completion
+};
+
+/** One serving-frontend client (single-threaded use). */
+class NetClient
+{
+  public:
+    explicit NetClient(const ClientConfig &config,
+                       FaultInjector *faults = nullptr)
+        : config_(config), rng_(config.seed), faults_(faults) {}
+
+    /**
+     * Run one generation to completion (or terminal failure). Retries
+     * transient failures up to `maxAttempts`; `deadline_ms` rides the
+     * request (0 = server default).
+     */
+    GenerateResult generate(const std::vector<uint32_t> &prompt,
+                            uint32_t max_new_tokens,
+                            uint32_t deadline_ms = 0);
+
+  private:
+    /** One connection attempt; fills `out` on terminal outcomes. */
+    NetCode attempt(const std::vector<uint8_t> &wire, uint64_t reqId,
+                    GenerateResult &out, uint64_t epochNanos);
+
+    ClientConfig config_;
+    Rng rng_;
+    FaultInjector *faults_;
+    uint64_t nextReqId_ = 1;
+};
+
+} // namespace msq
+
+#endif // MSQ_NET_CLIENT_H

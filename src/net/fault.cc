@@ -1,0 +1,64 @@
+#include "net/fault.h"
+
+namespace msq {
+
+bool
+FaultInjector::onConnect()
+{
+    ++decisions_;
+    if (rng_.bernoulli(config_.connectFailProb)) {
+        ++faults_;
+        return false;
+    }
+    return true;
+}
+
+FaultDecision
+FaultInjector::onSend(size_t bytes)
+{
+    ++decisions_;
+    FaultDecision d;
+    // One draw per branch in a fixed order, so the schedule is a pure
+    // function of the seed and the call sequence.
+    if (rng_.bernoulli(config_.sendSeverProb)) {
+        d.action = FaultAction::Sever;
+        ++faults_;
+        return d;
+    }
+    if (rng_.bernoulli(config_.sendTruncateProb)) {
+        d.action = FaultAction::Truncate;
+        d.keepBytes = bytes > 0 ? rng_.uniformInt(bytes) : 0;
+        ++faults_;
+        return d;
+    }
+    if (rng_.bernoulli(config_.delayProb)) {
+        d.action = FaultAction::Delay;
+        d.delayMs = static_cast<uint32_t>(
+            rng_.uniformInt(config_.maxDelayMs + 1));
+        ++faults_;
+        return d;
+    }
+    return d;
+}
+
+FaultDecision
+FaultInjector::onRecv()
+{
+    ++decisions_;
+    FaultDecision d;
+    if (rng_.bernoulli(config_.recvSeverProb)) {
+        d.action = FaultAction::Sever;
+        ++faults_;
+        return d;
+    }
+    if (rng_.bernoulli(config_.delayProb)) {
+        d.action = FaultAction::Delay;
+        d.delayMs = static_cast<uint32_t>(
+            rng_.uniformInt(config_.maxDelayMs + 1));
+        ++faults_;
+        return d;
+    }
+    return d;
+}
+
+} // namespace msq

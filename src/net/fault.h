@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving transport: a seeded
+ * decision stream that tells the client transport (and the chaos
+ * tests) when to refuse a connect, sever or truncate a send, delay, or
+ * sever a receive.
+ *
+ * Determinism is the point: every decision comes from one `Rng`
+ * (common/rng.h) advanced once per hook call, so the same seed and the
+ * same call sequence reproduce the same fault schedule — the chaos
+ * harness replays a failure bit-for-bit from its seed alone. The
+ * injector holds no clock and no global state.
+ */
+
+#ifndef MSQ_NET_FAULT_H
+#define MSQ_NET_FAULT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace msq {
+
+/** Per-hook fault probabilities. All zero = transparent. */
+struct FaultConfig
+{
+    uint64_t seed = 1;
+
+    double connectFailProb = 0.0;  ///< refuse a connect outright
+    double sendSeverProb = 0.0;    ///< drop the connection before a send
+    double sendTruncateProb = 0.0; ///< send a prefix, then drop
+    double recvSeverProb = 0.0;    ///< drop the connection before a recv
+    double delayProb = 0.0;        ///< stall a send/recv briefly
+
+    uint32_t maxDelayMs = 5;       ///< delay upper bound (exclusive +1)
+};
+
+/** What a hook decided. */
+enum class FaultAction
+{
+    Pass,     ///< no fault; proceed normally
+    Sever,    ///< close the connection now
+    Truncate, ///< send only `keepBytes`, then close
+    Delay,    ///< sleep `delayMs`, then proceed
+};
+
+/** One decision (action + its parameters). */
+struct FaultDecision
+{
+    FaultAction action = FaultAction::Pass;
+    size_t keepBytes = 0;  ///< Truncate: prefix length to let through
+    uint32_t delayMs = 0;  ///< Delay: stall duration
+};
+
+/**
+ * Seeded fault decision stream. Not thread-safe: each client (or test
+ * actor) owns its own injector so the decision sequence stays a pure
+ * function of the seed.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config)
+        : config_(config), rng_(config.seed) {}
+
+    /** Decide a connect attempt; false = refuse (caller sees a failed
+     *  connect). */
+    bool onConnect();
+
+    /** Decide a send of `bytes` bytes. */
+    FaultDecision onSend(size_t bytes);
+
+    /** Decide a receive attempt (Sever or Delay only). */
+    FaultDecision onRecv();
+
+    /** Hook calls so far (tests pin schedules by position). */
+    size_t decisions() const { return decisions_; }
+
+    /** Faults issued so far (anything but Pass). */
+    size_t faults() const { return faults_; }
+
+  private:
+    FaultConfig config_;
+    Rng rng_;
+    size_t decisions_ = 0;
+    size_t faults_ = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_NET_FAULT_H

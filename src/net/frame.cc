@@ -1,0 +1,264 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "io/crc32.h"
+
+namespace msq {
+
+namespace {
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Assemble one frame: header + payload + trailing CRC over both. */
+std::vector<uint8_t>
+encodeFrame(FrameType type, uint64_t request_id,
+            const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> out;
+    out.reserve(frameWireBytes(payload.size()));
+    putU32(out, kNetMagic);
+    out.push_back(static_cast<uint8_t>(type));
+    putU64(out, request_id);
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    putU32(out, crc32(out.data(), out.size()));
+    return out;
+}
+
+} // namespace
+
+const char *
+serveErrorName(ServeError code)
+{
+    switch (code) {
+      case ServeError::Overloaded: return "overloaded";
+      case ServeError::BadRequest: return "bad-request";
+      case ServeError::DeadlineExceeded: return "deadline-exceeded";
+      case ServeError::ShuttingDown: return "shutting-down";
+      case ServeError::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+const char *
+netCodeName(NetCode code)
+{
+    switch (code) {
+      case NetCode::Ok: return "ok";
+      case NetCode::NeedMore: return "need-more";
+      case NetCode::BadMagic: return "bad-magic";
+      case NetCode::BadType: return "bad-type";
+      case NetCode::FrameTooLarge: return "frame-too-large";
+      case NetCode::BadCrc: return "bad-crc";
+      case NetCode::BadPayload: return "bad-payload";
+      case NetCode::ConnectionLost: return "connection-lost";
+      case NetCode::Rejected: return "rejected";
+      case NetCode::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+uint64_t
+tokenStreamFold(const uint32_t *tokens, size_t count)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < count; ++i) {
+        h ^= tokens[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::vector<uint8_t>
+encodeRequestFrame(uint64_t request_id, const RequestMsg &msg)
+{
+    std::vector<uint8_t> payload;
+    payload.reserve(12 + 4 * msg.prompt.size());
+    putU32(payload, msg.maxNewTokens);
+    putU32(payload, msg.deadlineMs);
+    putU32(payload, static_cast<uint32_t>(msg.prompt.size()));
+    for (uint32_t tok : msg.prompt)
+        putU32(payload, tok);
+    return encodeFrame(FrameType::Request, request_id, payload);
+}
+
+std::vector<uint8_t>
+encodeCancelFrame(uint64_t request_id)
+{
+    return encodeFrame(FrameType::Cancel, request_id, {});
+}
+
+std::vector<uint8_t>
+encodeTokenFrame(uint64_t request_id, const TokenMsg &msg)
+{
+    std::vector<uint8_t> payload;
+    putU32(payload, msg.index);
+    putU32(payload, msg.token);
+    return encodeFrame(FrameType::Token, request_id, payload);
+}
+
+std::vector<uint8_t>
+encodeDoneFrame(uint64_t request_id, const DoneMsg &msg)
+{
+    std::vector<uint8_t> payload;
+    putU32(payload, msg.tokenCount);
+    putU64(payload, msg.streamFold);
+    return encodeFrame(FrameType::Done, request_id, payload);
+}
+
+std::vector<uint8_t>
+encodeErrorFrame(uint64_t request_id, const ErrorMsg &msg)
+{
+    std::vector<uint8_t> payload;
+    payload.reserve(8 + msg.detail.size());
+    putU32(payload, static_cast<uint32_t>(msg.code));
+    putU32(payload, static_cast<uint32_t>(msg.detail.size()));
+    payload.insert(payload.end(), msg.detail.begin(), msg.detail.end());
+    return encodeFrame(FrameType::Error, request_id, payload);
+}
+
+NetCode
+decodeRequestMsg(const std::vector<uint8_t> &payload, RequestMsg &out)
+{
+    if (payload.size() < 12)
+        return NetCode::BadPayload;
+    RequestMsg msg;
+    msg.maxNewTokens = getU32(payload.data());
+    msg.deadlineMs = getU32(payload.data() + 4);
+    const uint32_t prompt_len = getU32(payload.data() + 8);
+    // Caps before the size arithmetic: a CRC-valid hostile length must
+    // produce a typed error, never an allocation or overflow.
+    if (prompt_len > kMaxPromptTokens)
+        return NetCode::BadPayload;
+    if (msg.maxNewTokens == 0 || msg.maxNewTokens > kMaxNewTokens)
+        return NetCode::BadPayload;
+    if (payload.size() != 12 + size_t{prompt_len} * 4)
+        return NetCode::BadPayload;
+    if (prompt_len == 0)
+        return NetCode::BadPayload;
+    msg.prompt.resize(prompt_len);
+    for (uint32_t i = 0; i < prompt_len; ++i)
+        msg.prompt[i] = getU32(payload.data() + 12 + size_t{i} * 4);
+    out = std::move(msg);
+    return NetCode::Ok;
+}
+
+NetCode
+decodeTokenMsg(const std::vector<uint8_t> &payload, TokenMsg &out)
+{
+    if (payload.size() != 8)
+        return NetCode::BadPayload;
+    out.index = getU32(payload.data());
+    out.token = getU32(payload.data() + 4);
+    return NetCode::Ok;
+}
+
+NetCode
+decodeDoneMsg(const std::vector<uint8_t> &payload, DoneMsg &out)
+{
+    if (payload.size() != 12)
+        return NetCode::BadPayload;
+    out.tokenCount = getU32(payload.data());
+    out.streamFold = getU64(payload.data() + 4);
+    return NetCode::Ok;
+}
+
+NetCode
+decodeErrorMsg(const std::vector<uint8_t> &payload, ErrorMsg &out)
+{
+    if (payload.size() < 8)
+        return NetCode::BadPayload;
+    const uint32_t code = getU32(payload.data());
+    const uint32_t detail_len = getU32(payload.data() + 4);
+    if (code < static_cast<uint32_t>(ServeError::Overloaded) ||
+        code > static_cast<uint32_t>(ServeError::Internal))
+        return NetCode::BadPayload;
+    if (payload.size() != 8 + size_t{detail_len})
+        return NetCode::BadPayload;
+    out.code = static_cast<ServeError>(code);
+    out.detail.assign(reinterpret_cast<const char *>(payload.data()) + 8,
+                      detail_len);
+    return NetCode::Ok;
+}
+
+bool
+FrameDecoder::feed(const uint8_t *data, size_t bytes)
+{
+    if (state_ != NetCode::Ok)
+        return false;
+    // Drop the consumed prefix before appending so the buffer stays
+    // bounded by one maximal frame plus one read chunk.
+    if (pos_ > 0) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + bytes);
+    return true;
+}
+
+NetCode
+FrameDecoder::next(Frame &out)
+{
+    if (state_ != NetCode::Ok)
+        return state_;
+    const size_t avail = buf_.size() - pos_;
+    if (avail < kFrameHeaderBytes)
+        return NetCode::NeedMore;
+    const uint8_t *hdr = buf_.data() + pos_;
+    if (getU32(hdr) != kNetMagic)
+        return state_ = NetCode::BadMagic;
+    const uint8_t type = hdr[4];
+    if (type < static_cast<uint8_t>(FrameType::Request) ||
+        type > static_cast<uint8_t>(FrameType::Error))
+        return state_ = NetCode::BadType;
+    const uint32_t payload_bytes = getU32(hdr + 13);
+    // Refuse hostile lengths before their payload is ever buffered:
+    // this caps the decoder's memory and the later allocation.
+    if (payload_bytes > kMaxFramePayload)
+        return state_ = NetCode::FrameTooLarge;
+    const size_t wire = frameWireBytes(payload_bytes);
+    if (avail < wire)
+        return NetCode::NeedMore;
+    const uint32_t want_crc = getU32(hdr + wire - 4);
+    if (want_crc != crc32(hdr, wire - 4))
+        return state_ = NetCode::BadCrc;
+    out.type = static_cast<FrameType>(type);
+    out.requestId = getU64(hdr + 5);
+    out.payload.assign(hdr + kFrameHeaderBytes,
+                       hdr + kFrameHeaderBytes + payload_bytes);
+    pos_ += wire;
+    return NetCode::Ok;
+}
+
+} // namespace msq

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Wire protocol of the network serving frontend: a length-prefixed,
+ * CRC32-framed message stream over TCP, carrying generation requests
+ * in and per-token streaming responses out.
+ *
+ * Frame layout (little-endian, mirroring the `.msq` container
+ * discipline in io/msq_file.h):
+ *
+ *   u32 magic      'MSQN' — resynchronization guard: a peer speaking
+ *                  anything else is rejected on the first frame
+ *   u8  type       FrameType
+ *   u64 requestId  client-chosen id echoed on every response frame,
+ *                  so one connection can multiplex requests
+ *   u32 payload    payload byte count (hard-capped, see below)
+ *   ..  payload    type-specific body
+ *   u32 crc        CRC32 over everything from `magic` through the
+ *                  payload's last byte
+ *
+ * Every byte of a frame is covered by the CRC, so a flipped bit on the
+ * wire (or a fault injector's truncation) is detected, never decoded.
+ * The decoder follows the MsqReader hostile-input rules: hard caps on
+ * CRC-valid hostile metadata are enforced *before* any allocation
+ * depends on a field (`kMaxFramePayload`, `kMaxPromptTokens`,
+ * `kMaxNewTokens`), and malformed input yields a typed `NetCode` —
+ * never an assert, a crash, or a bad_alloc (tests/test_net_fuzz.cc
+ * sweeps byte flips, truncations, and oversized lengths).
+ *
+ * Message bodies:
+ *
+ *   Request  u32 maxNewTokens | u32 deadlineMs (0 = server default) |
+ *            u32 promptLen | promptLen x u32 token
+ *   Token    u32 index (0-based position in the stream) | u32 token
+ *   Done     u32 tokenCount | u64 streamFold — the order-sensitive
+ *            FNV-1a fold of the full stream, so a client can verify
+ *            end-to-end integrity across retries and server restarts
+ *   Error    u32 code (ServeError) | u32 detailLen | detail bytes
+ *
+ * The decoder is incremental (`FrameDecoder::feed` + `next`): workers
+ * hand it whatever bytes `recv` produced and pop complete frames, so
+ * slow or adversarial peers that dribble bytes cost bounded memory.
+ */
+
+#ifndef MSQ_NET_FRAME_H
+#define MSQ_NET_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/** Frame magic: "MSQN" in file order. */
+constexpr uint32_t kNetMagic = 0x4E51534Du;
+
+/** Hard cap on a frame payload: far above any real request (a
+ *  4096-token prompt is ~16 KB) and far below anything that could
+ *  drive a hostile allocation. */
+constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+/** Hard caps on CRC-valid hostile request metadata. */
+constexpr uint32_t kMaxPromptTokens = 4096;
+constexpr uint32_t kMaxNewTokens = 4096;
+
+/** Fixed bytes before the payload: magic, type, requestId, length. */
+constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 4;
+
+/** Bytes a frame occupies on the wire for a given payload size. */
+constexpr size_t
+frameWireBytes(size_t payload)
+{
+    return kFrameHeaderBytes + payload + 4;
+}
+
+/** Frame kinds. Values are wire format — never renumber. */
+enum class FrameType : uint8_t
+{
+    Request = 1, ///< client -> server: start a generation
+    Cancel = 2,  ///< client -> server: abandon a request
+    Token = 3,   ///< server -> client: one streamed token
+    Done = 4,    ///< server -> client: stream complete + digest
+    Error = 5,   ///< server -> client: typed rejection / failure
+};
+
+/** Typed rejection codes carried by Error frames. */
+enum class ServeError : uint32_t
+{
+    Overloaded = 1,       ///< admission queue / KV budget exhausted
+    BadRequest = 2,       ///< malformed or out-of-range request fields
+    DeadlineExceeded = 3, ///< request cancelled by its deadline
+    ShuttingDown = 4,     ///< server draining; retry elsewhere/later
+    Internal = 5,         ///< server-side failure
+};
+
+/** Stable name of a ServeError (for messages and tests). */
+const char *serveErrorName(ServeError code);
+
+/** Typed outcome classes of frame decoding and client transport. */
+enum class NetCode
+{
+    Ok,
+    NeedMore,      ///< decoder: no complete frame buffered yet
+    BadMagic,      ///< frame does not start with 'MSQN'
+    BadType,       ///< unknown FrameType
+    FrameTooLarge, ///< declared payload above kMaxFramePayload
+    BadCrc,        ///< frame checksum mismatch
+    BadPayload,    ///< CRC-valid payload fails its caps or layout
+    ConnectionLost,///< peer vanished mid-stream (client transport)
+    Rejected,      ///< server answered with a terminal Error frame
+    Timeout,       ///< client-side receive deadline expired
+};
+
+/** Stable name of a NetCode (for messages and tests). */
+const char *netCodeName(NetCode code);
+
+/** One decoded frame: type, request id, and raw payload bytes. */
+struct Frame
+{
+    FrameType type = FrameType::Request;
+    uint64_t requestId = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Decoded Request payload. */
+struct RequestMsg
+{
+    uint32_t maxNewTokens = 0;
+    uint32_t deadlineMs = 0; ///< 0 = use the server default
+    std::vector<uint32_t> prompt;
+};
+
+/** Decoded Token payload. */
+struct TokenMsg
+{
+    uint32_t index = 0;
+    uint32_t token = 0;
+};
+
+/** Decoded Done payload. */
+struct DoneMsg
+{
+    uint32_t tokenCount = 0;
+    uint64_t streamFold = 0;
+};
+
+/** Decoded Error payload. */
+struct ErrorMsg
+{
+    ServeError code = ServeError::Internal;
+    std::string detail;
+};
+
+/**
+ * Order-sensitive FNV-1a fold of a token stream: the digest a Done
+ * frame carries and the chaos tests compare across fault-free and
+ * faulted runs.
+ */
+uint64_t tokenStreamFold(const uint32_t *tokens, size_t count);
+
+// ---------------------------------------------------------------------
+// Encoding. Each helper returns the complete wire bytes of one frame.
+
+std::vector<uint8_t> encodeRequestFrame(uint64_t request_id,
+                                        const RequestMsg &msg);
+std::vector<uint8_t> encodeCancelFrame(uint64_t request_id);
+std::vector<uint8_t> encodeTokenFrame(uint64_t request_id,
+                                      const TokenMsg &msg);
+std::vector<uint8_t> encodeDoneFrame(uint64_t request_id,
+                                     const DoneMsg &msg);
+std::vector<uint8_t> encodeErrorFrame(uint64_t request_id,
+                                      const ErrorMsg &msg);
+
+// ---------------------------------------------------------------------
+// Payload decoding: typed errors on malformed bodies, no allocation
+// before the caps pass.
+
+NetCode decodeRequestMsg(const std::vector<uint8_t> &payload,
+                         RequestMsg &out);
+NetCode decodeTokenMsg(const std::vector<uint8_t> &payload, TokenMsg &out);
+NetCode decodeDoneMsg(const std::vector<uint8_t> &payload, DoneMsg &out);
+NetCode decodeErrorMsg(const std::vector<uint8_t> &payload, ErrorMsg &out);
+
+/**
+ * Incremental frame parser over a byte stream. Feed whatever bytes the
+ * socket produced; pop frames until `next` reports NeedMore. Any error
+ * is sticky: a stream that produced garbage cannot be resynchronized
+ * (the transport closes the connection), so every later `next` repeats
+ * the same code.
+ *
+ * Memory is bounded: the internal buffer never grows past one maximal
+ * frame plus one read chunk, because `feed` is rejected (returns
+ * false) once a complete hostile header has already been refused and
+ * oversized declared lengths are refused before their payload bytes
+ * are buffered.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw bytes. Returns false when the stream is already in a
+     *  sticky error state (the bytes are discarded). */
+    bool feed(const uint8_t *data, size_t bytes);
+
+    /** Pop the next complete frame. Ok fills `out`; NeedMore means
+     *  feed more bytes; anything else is the sticky stream error. */
+    NetCode next(Frame &out);
+
+    /** Bytes currently buffered (tests pin the bound). */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+    /** The sticky error, or Ok/NeedMore if the stream is healthy. */
+    NetCode state() const { return state_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0; ///< consumed prefix of buf_
+    NetCode state_ = NetCode::Ok;
+};
+
+} // namespace msq
+
+#endif // MSQ_NET_FRAME_H

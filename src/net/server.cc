@@ -1,0 +1,964 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/mutex.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/clock.h"
+
+namespace msq {
+
+namespace {
+
+/** Worker poll granularity: bounds idle-reap latency and how long a
+ *  closed-flag set by another thread can go unnoticed. */
+constexpr int kPollMs = 20;
+
+/** Incremental FNV-1a step matching tokenStreamFold. */
+constexpr uint64_t kFoldInit = 1469598103934665603ull;
+inline uint64_t
+foldStep(uint64_t h, uint32_t token)
+{
+    h ^= token;
+    h *= 1099511628211ull;
+    return h;
+}
+
+/**
+ * One client connection. The owning I/O worker is the only thread that
+ * touches the socket and the decoder; the output buffer is shared with
+ * the engine thread (which appends frames) behind `mu`.
+ */
+struct Conn
+{
+    uint64_t id = 0;
+    size_t worker = 0;        ///< owning worker index
+    Socket sock;              ///< worker-only after registration
+    FrameDecoder decoder;     ///< worker-only
+    uint64_t lastActive = 0;  ///< worker-only, steadyNanos stamp
+
+    Mutex mu;
+    std::vector<uint8_t> outBuf MSQ_GUARDED_BY(mu);
+    size_t outPos MSQ_GUARDED_BY(mu) = 0;
+    size_t tokensInBuf MSQ_GUARDED_BY(mu) = 0; ///< token frames pending
+    size_t inFlight MSQ_GUARDED_BY(mu) = 0;    ///< queued + resident reqs
+    bool closed MSQ_GUARDED_BY(mu) = false;    ///< no more appends/reads
+    bool clientFault MSQ_GUARDED_BY(mu) = false; ///< close was peer-caused
+};
+
+using ConnPtr = std::shared_ptr<Conn>;
+
+/** A validated request parked on the bounded admission queue. */
+struct PendingReq
+{
+    ConnPtr conn;
+    uint64_t clientReqId = 0;
+    RequestMsg msg;
+    uint64_t deadlineNanos = 0; ///< 0 = none
+    size_t pages = 0;           ///< pledged arena-page estimate
+};
+
+/** A request resident in the engine (engine thread only). */
+struct Inflight
+{
+    uint64_t engineId = 0;
+    ConnPtr conn;
+    uint64_t clientReqId = 0;
+    uint64_t deadlineNanos = 0;
+    size_t pages = 0;
+    uint64_t fold = kFoldInit;
+    uint32_t count = 0;
+};
+
+struct IoWorker
+{
+    std::thread thread;
+    std::pair<int, int> wake{-1, -1};
+    Mutex mu;
+    std::vector<ConnPtr> inbox MSQ_GUARDED_BY(mu); ///< accepted, unregistered
+    std::vector<ConnPtr> conns; ///< thread-local working set
+};
+
+} // namespace
+
+struct ModelServer::Impl
+{
+    DecodeEngine &engine;
+    ServerConfig cfg;
+
+    Socket listenSock;
+    std::pair<int, int> acceptWake{-1, -1};
+    std::thread acceptor;
+    std::thread engineThread;
+    std::vector<std::unique_ptr<IoWorker>> workers;
+
+    std::atomic<bool> running{false};
+
+    Mutex mu;
+    CondVar cv;       ///< engine thread sleeps here when idle
+    CondVar drainCv;  ///< drain() waits for the engine to go idle
+    std::deque<PendingReq> queue MSQ_GUARDED_BY(mu);
+    std::vector<std::pair<uint64_t, uint64_t>> cancels
+        MSQ_GUARDED_BY(mu); ///< (conn id, client request id)
+    bool draining MSQ_GUARDED_BY(mu) = false;
+    bool stopping MSQ_GUARDED_BY(mu) = false;
+    bool engineIdle MSQ_GUARDED_BY(mu) = true;
+    size_t pledgedPages MSQ_GUARDED_BY(mu) = 0;
+    size_t openConns MSQ_GUARDED_BY(mu) = 0;
+    uint64_t nextConnId MSQ_GUARDED_BY(mu) = 1;
+    std::vector<ConnPtr> allConns MSQ_GUARDED_BY(mu); ///< drain/teardown
+
+    // Counters (atomics: workers, engine thread, and stats() racers).
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejectedConnections{0};
+    std::atomic<uint64_t> requestsAdmitted{0};
+    std::atomic<uint64_t> requestsServed{0};
+    std::atomic<uint64_t> rejectedOverloaded{0};
+    std::atomic<uint64_t> rejectedBadRequest{0};
+    std::atomic<uint64_t> rejectedShutdown{0};
+    std::atomic<uint64_t> deadlineExpired{0};
+    std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> slowClientAborts{0};
+    std::atomic<uint64_t> idleReaped{0};
+    std::atomic<uint64_t> badFrameConns{0};
+    std::atomic<uint64_t> tokensStreamed{0};
+    std::atomic<uint64_t> droppedTokens{0};
+    std::atomic<int64_t> drainUs{-1};
+
+    Impl(DecodeEngine &eng, const ServerConfig &c) : engine(eng), cfg(c) {}
+
+    // --- shared helpers ---------------------------------------------
+
+    /** Append wire bytes to a connection's output buffer and wake its
+     *  worker. `tokenCount` tracks unflushed token frames for the
+     *  dropped-token accounting. Returns false when the connection is
+     *  already closed (bytes discarded). */
+    bool
+    appendOut(const ConnPtr &conn, const std::vector<uint8_t> &bytes,
+              size_t tokenCount)
+    {
+        bool overflow = false;
+        {
+            MutexLock lock(conn->mu);
+            if (conn->closed)
+                return false;
+            conn->outBuf.insert(conn->outBuf.end(), bytes.begin(),
+                                bytes.end());
+            conn->tokensInBuf += tokenCount;
+            if (conn->outBuf.size() - conn->outPos > cfg.maxOutBufBytes) {
+                // Slow-client isolation: this reader is too far behind;
+                // cut it loose rather than buffer without bound. Its
+                // in-flight requests are cancelled by the engine thread
+                // when it notices the closed flag.
+                conn->closed = true;
+                conn->clientFault = true;
+                overflow = true;
+            }
+        }
+        if (overflow) {
+            slowClientAborts.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        pokeWakePipe(workers[conn->worker]->wake.second);
+        return true;
+    }
+
+    void
+    sendError(const ConnPtr &conn, uint64_t reqId, ServeError code,
+              const char *detail)
+    {
+        ErrorMsg msg;
+        msg.code = code;
+        msg.detail = detail;
+        appendOut(conn, encodeErrorFrame(reqId, msg), 0);
+    }
+
+    void
+    decInFlight(const ConnPtr &conn)
+    {
+        MutexLock lock(conn->mu);
+        if (conn->inFlight > 0)
+            --conn->inFlight;
+    }
+
+    void
+    releasePledge(size_t pages)
+    {
+        MutexLock lock(mu);
+        pledgedPages -= std::min(pledgedPages, pages);
+    }
+
+    // --- worker-side request handling -------------------------------
+
+    void
+    handleRequest(const ConnPtr &conn, const Frame &frame)
+    {
+        RequestMsg msg;
+        if (decodeRequestMsg(frame.payload, msg) != NetCode::Ok) {
+            rejectedBadRequest.fetch_add(1, std::memory_order_relaxed);
+            sendError(conn, frame.requestId, ServeError::BadRequest,
+                      "malformed request payload");
+            return;
+        }
+        const size_t vocab = engine.config().vocab;
+        for (uint32_t tok : msg.prompt)
+            if (tok >= vocab) {
+                rejectedBadRequest.fetch_add(1, std::memory_order_relaxed);
+                sendError(conn, frame.requestId, ServeError::BadRequest,
+                          "prompt token outside vocabulary");
+                return;
+            }
+
+        PendingReq req;
+        req.conn = conn;
+        req.clientReqId = frame.requestId;
+        uint32_t deadlineMs =
+            msg.deadlineMs != 0 ? msg.deadlineMs : cfg.defaultDeadlineMs;
+        deadlineMs = std::min(deadlineMs, cfg.maxDeadlineMs);
+        if (deadlineMs != 0)
+            req.deadlineNanos =
+                steadyNanos() + uint64_t{deadlineMs} * 1000000ull;
+        req.pages = engine.estimateRequestPages(msg.prompt.size(),
+                                                msg.maxNewTokens);
+        req.msg = std::move(msg);
+
+        // Count the request against its connection before it becomes
+        // poppable, so inFlight never underflows however fast the
+        // engine thread runs.
+        {
+            MutexLock lock(conn->mu);
+            if (conn->closed)
+                return;
+            ++conn->inFlight;
+        }
+
+        const size_t capacity = engine.arena().capacityPages();
+        ServeError reject = ServeError::Internal;
+        bool rejected = false;
+        {
+            MutexLock lock(mu);
+            if (stopping || draining) {
+                rejected = true;
+                reject = ServeError::ShuttingDown;
+            } else if (queue.size() >= cfg.maxQueue) {
+                rejected = true;
+                reject = ServeError::Overloaded;
+            } else if (capacity > 0 &&
+                       pledgedPages + req.pages > capacity) {
+                // The KV-arena pledge check: admitting this request
+                // could not be backed by arena pages even if the queue
+                // emptied, so shed it at the boundary instead.
+                rejected = true;
+                reject = ServeError::Overloaded;
+            } else {
+                pledgedPages += req.pages;
+                queue.push_back(std::move(req));
+            }
+        }
+        if (rejected) {
+            if (reject == ServeError::ShuttingDown)
+                rejectedShutdown.fetch_add(1, std::memory_order_relaxed);
+            else
+                rejectedOverloaded.fetch_add(1, std::memory_order_relaxed);
+            decInFlight(conn);
+            sendError(conn, frame.requestId, reject,
+                      reject == ServeError::ShuttingDown
+                          ? "server is draining"
+                          : "admission queue or KV budget exhausted");
+            return;
+        }
+        cv.notifyOne();
+    }
+
+    void
+    handleCancel(const ConnPtr &conn, const Frame &frame)
+    {
+        bool fromQueue = false;
+        size_t pages = 0;
+        {
+            MutexLock lock(mu);
+            for (size_t i = 0; i < queue.size(); ++i)
+                if (queue[i].conn.get() == conn.get() &&
+                    queue[i].clientReqId == frame.requestId) {
+                    pages = queue[i].pages;
+                    queue.erase(queue.begin() +
+                                static_cast<ptrdiff_t>(i));
+                    pledgedPages -= std::min(pledgedPages, pages);
+                    fromQueue = true;
+                    break;
+                }
+            if (!fromQueue)
+                cancels.emplace_back(conn->id, frame.requestId);
+        }
+        if (fromQueue) {
+            cancelled.fetch_add(1, std::memory_order_relaxed);
+            decInFlight(conn);
+        } else {
+            cv.notifyOne();
+        }
+    }
+
+    /** Dispatch one decoded frame from a client. Returns false when
+     *  the connection must be closed (protocol violation). */
+    bool
+    handleFrame(const ConnPtr &conn, const Frame &frame)
+    {
+        switch (frame.type) {
+          case FrameType::Request:
+            handleRequest(conn, frame);
+            return true;
+          case FrameType::Cancel:
+            handleCancel(conn, frame);
+            return true;
+          default:
+            // Server-to-client frame types arriving here mean the peer
+            // is not a client; drop it.
+            return false;
+        }
+    }
+
+    void
+    markClosed(const ConnPtr &conn, bool clientFault)
+    {
+        MutexLock lock(conn->mu);
+        if (!conn->closed) {
+            conn->closed = true;
+            conn->clientFault = clientFault;
+        }
+    }
+
+    /** Flush as much buffered output as the socket accepts
+     *  (partial-write resumption). */
+    void
+    flushConn(const ConnPtr &conn)
+    {
+        MutexLock lock(conn->mu);
+        while (conn->outPos < conn->outBuf.size()) {
+            size_t sent = 0;
+            const IoWait w =
+                sendSome(conn->sock.fd(), conn->outBuf.data() + conn->outPos,
+                         conn->outBuf.size() - conn->outPos, sent);
+            if (w == IoWait::Ready) {
+                conn->outPos += sent;
+                continue;
+            }
+            if (w == IoWait::Again)
+                return;
+            conn->closed = true;
+            conn->clientFault = true;
+            return;
+        }
+        conn->outBuf.clear();
+        conn->outPos = 0;
+        conn->tokensInBuf = 0;
+    }
+
+    void
+    readConn(const ConnPtr &conn)
+    {
+        uint8_t buf[4096];
+        for (;;) {
+            size_t got = 0;
+            const IoWait w = recvSome(conn->sock.fd(), buf, sizeof(buf), got);
+            if (w == IoWait::Again)
+                return;
+            if (w != IoWait::Ready) {
+                markClosed(conn, /*clientFault=*/true);
+                return;
+            }
+            conn->lastActive = steadyNanos();
+            conn->decoder.feed(buf, got);
+            Frame frame;
+            for (;;) {
+                const NetCode code = conn->decoder.next(frame);
+                if (code == NetCode::NeedMore)
+                    break;
+                if (code != NetCode::Ok || !handleFrame(conn, frame)) {
+                    // Undecodable or out-of-protocol stream: typed
+                    // close, never an assert — the MsqReader rule.
+                    badFrameConns.fetch_add(1, std::memory_order_relaxed);
+                    markClosed(conn, /*clientFault=*/true);
+                    return;
+                }
+            }
+        }
+    }
+
+    // --- threads ----------------------------------------------------
+
+    void
+    workerLoop(size_t index)
+    {
+        IoWorker &me = *workers[index];
+        std::vector<pollfd> pfds;
+        while (running.load(std::memory_order_acquire)) {
+            {
+                MutexLock lock(me.mu);
+                for (ConnPtr &c : me.inbox)
+                    me.conns.push_back(std::move(c));
+                me.inbox.clear();
+            }
+            pfds.clear();
+            pollfd wk;
+            wk.fd = me.wake.first;
+            wk.events = POLLIN;
+            wk.revents = 0;
+            pfds.push_back(wk);
+            for (const ConnPtr &conn : me.conns) {
+                pollfd p;
+                p.fd = conn->sock.fd();
+                p.events = POLLIN;
+                p.revents = 0;
+                {
+                    MutexLock lock(conn->mu);
+                    if (conn->outPos < conn->outBuf.size())
+                        p.events |= POLLOUT;
+                }
+                pfds.push_back(p);
+            }
+            const int rc = ::poll(pfds.data(),
+                                  static_cast<nfds_t>(pfds.size()), kPollMs);
+            if (rc < 0 && errno != EINTR)
+                break;
+            if (pfds[0].revents & POLLIN)
+                drainWakePipe(me.wake.first);
+
+            const uint64_t now = steadyNanos();
+            for (size_t i = 0; i < me.conns.size(); ++i) {
+                const ConnPtr &conn = me.conns[i];
+                const short rev = rc > 0 ? pfds[i + 1].revents : 0;
+                bool isClosed;
+                bool hasPending;
+                {
+                    MutexLock lock(conn->mu);
+                    isClosed = conn->closed;
+                    hasPending = conn->outPos < conn->outBuf.size();
+                }
+                if (!isClosed && (rev & POLLOUT || hasPending))
+                    flushConn(conn);
+                if (!isClosed && (rev & POLLIN))
+                    readConn(conn);
+                if (!isClosed && (rev & (POLLERR | POLLHUP)))
+                    markClosed(conn, /*clientFault=*/true);
+                // Idle reaping: nothing in flight, nothing buffered,
+                // and no bytes from the peer for idleTimeoutMs.
+                if (!isClosed && cfg.idleTimeoutMs > 0) {
+                    MutexLock lock(conn->mu);
+                    if (!conn->closed && conn->inFlight == 0 &&
+                        conn->outBuf.empty() &&
+                        now - conn->lastActive >
+                            uint64_t{cfg.idleTimeoutMs} * 1000000ull) {
+                        conn->closed = true;
+                        conn->clientFault = true;
+                        idleReaped.fetch_add(1, std::memory_order_relaxed);
+                    }
+                }
+            }
+
+            // Retire closed connections: flush what still fits (a dying
+            // stream may have a terminal Error frame pending), then
+            // close the socket and drop the worker's reference.
+            for (size_t i = 0; i < me.conns.size();) {
+                const ConnPtr &conn = me.conns[i];
+                bool isClosed;
+                {
+                    MutexLock lock(conn->mu);
+                    isClosed = conn->closed;
+                }
+                if (!isClosed) {
+                    ++i;
+                    continue;
+                }
+                conn->sock.reset();
+                me.conns.erase(me.conns.begin() +
+                               static_cast<ptrdiff_t>(i));
+                {
+                    MutexLock lock(mu);
+                    --openConns;
+                }
+                cv.notifyOne(); // engine may need to cancel its requests
+            }
+        }
+        // Teardown: close every socket this worker still owns.
+        for (const ConnPtr &conn : me.conns) {
+            markClosed(conn, /*clientFault=*/false);
+            conn->sock.reset();
+        }
+        me.conns.clear();
+    }
+
+    void
+    acceptorLoop()
+    {
+        size_t next = 0;
+        while (running.load(std::memory_order_acquire)) {
+            pollfd pfds[2];
+            pfds[0].fd = listenSock.fd();
+            pfds[0].events = POLLIN;
+            pfds[0].revents = 0;
+            pfds[1].fd = acceptWake.first;
+            pfds[1].events = POLLIN;
+            pfds[1].revents = 0;
+            const int rc = ::poll(pfds, 2, -1);
+            if (rc < 0 && errno != EINTR)
+                break;
+            if (pfds[1].revents & POLLIN)
+                drainWakePipe(acceptWake.first);
+            if (!(pfds[0].revents & POLLIN))
+                continue;
+            for (;;) {
+                Socket sock;
+                const IoWait w = tcpAccept(listenSock.fd(), sock);
+                if (w != IoWait::Ready)
+                    break;
+                bool reject = false;
+                uint64_t id = 0;
+                {
+                    MutexLock lock(mu);
+                    if (openConns >= cfg.maxConnections) {
+                        reject = true;
+                    } else {
+                        ++openConns;
+                        id = nextConnId++;
+                    }
+                }
+                if (reject) {
+                    rejectedConnections.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue; // Socket closes on scope exit
+                }
+                setNonBlocking(sock.fd());
+                auto conn = std::make_shared<Conn>();
+                conn->id = id;
+                conn->worker = next;
+                conn->sock = std::move(sock);
+                conn->lastActive = steadyNanos();
+                {
+                    MutexLock lock(mu);
+                    allConns.push_back(conn);
+                }
+                {
+                    MutexLock lock(workers[next]->mu);
+                    workers[next]->inbox.push_back(std::move(conn));
+                }
+                pokeWakePipe(workers[next]->wake.second);
+                next = (next + 1) % workers.size();
+                accepted.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    void
+    engineLoop()
+    {
+        engine.streamTokens(true);
+        DecodeReport report; // engine accounting; discarded at shutdown
+        std::vector<Inflight> inflight;
+        const size_t batchCap = engine.config().maxBatchSeqs;
+
+        for (;;) {
+            std::vector<PendingReq> pops;
+            std::vector<std::pair<uint64_t, uint64_t>> cancelReqs;
+            bool stopNow = false;
+            {
+                MutexLock lock(mu);
+                for (;;) {
+                    if (stopping) {
+                        stopNow = true;
+                        break;
+                    }
+                    cancelReqs = std::move(cancels);
+                    cancels.clear();
+                    while (!queue.empty() &&
+                           inflight.size() + pops.size() < batchCap) {
+                        pops.push_back(std::move(queue.front()));
+                        queue.pop_front();
+                    }
+                    if (!pops.empty() || !cancelReqs.empty() ||
+                        !inflight.empty())
+                        break;
+                    // Nothing to do: publish idleness (drain() waits on
+                    // it) and sleep until a worker or control call
+                    // wakes us.
+                    engineIdle = true;
+                    drainCv.notifyAll();
+                    cv.wait(mu);
+                }
+                if (!stopNow)
+                    engineIdle = false;
+            }
+            if (stopNow)
+                break;
+
+            // Client cancels that raced past the queue: match against
+            // resident sequences.
+            for (const auto &cr : cancelReqs) {
+                for (size_t i = 0; i < inflight.size(); ++i) {
+                    Inflight &fl = inflight[i];
+                    if (fl.conn->id != cr.first ||
+                        fl.clientReqId != cr.second)
+                        continue;
+                    engine.cancel(fl.engineId);
+                    releasePledge(fl.pages);
+                    decInFlight(fl.conn);
+                    cancelled.fetch_add(1, std::memory_order_relaxed);
+                    inflight.erase(inflight.begin() +
+                                   static_cast<ptrdiff_t>(i));
+                    break;
+                }
+            }
+
+            // Admit popped requests into the engine (or retire them
+            // immediately when their deadline already passed or their
+            // connection died while queued).
+            const uint64_t now0 = steadyNanos();
+            for (PendingReq &req : pops) {
+                bool dead;
+                {
+                    MutexLock lock(req.conn->mu);
+                    dead = req.conn->closed;
+                }
+                if (dead) {
+                    releasePledge(req.pages);
+                    decInFlight(req.conn);
+                    continue;
+                }
+                if (req.deadlineNanos != 0 && now0 >= req.deadlineNanos) {
+                    deadlineExpired.fetch_add(1, std::memory_order_relaxed);
+                    sendError(req.conn, req.clientReqId,
+                              ServeError::DeadlineExceeded,
+                              "deadline expired before admission");
+                    releasePledge(req.pages);
+                    decInFlight(req.conn);
+                    continue;
+                }
+                Inflight fl;
+                fl.engineId =
+                    engine.submit(req.msg.prompt, req.msg.maxNewTokens);
+                fl.conn = std::move(req.conn);
+                fl.clientReqId = req.clientReqId;
+                fl.deadlineNanos = req.deadlineNanos;
+                fl.pages = req.pages;
+                inflight.push_back(std::move(fl));
+                requestsAdmitted.fetch_add(1, std::memory_order_relaxed);
+            }
+
+            // Between-step policy: cancel overdue sequences and
+            // sequences whose client vanished. Decode determinism makes
+            // this safe — co-scheduled streams are unaffected.
+            const uint64_t now1 = steadyNanos();
+            for (size_t i = 0; i < inflight.size();) {
+                Inflight &fl = inflight[i];
+                bool dead;
+                {
+                    MutexLock lock(fl.conn->mu);
+                    dead = fl.conn->closed;
+                }
+                const bool overdue =
+                    fl.deadlineNanos != 0 && now1 >= fl.deadlineNanos;
+                if (!dead && !overdue) {
+                    ++i;
+                    continue;
+                }
+                engine.cancel(fl.engineId);
+                if (overdue && !dead) {
+                    deadlineExpired.fetch_add(1, std::memory_order_relaxed);
+                    sendError(fl.conn, fl.clientReqId,
+                              ServeError::DeadlineExceeded,
+                              "deadline expired mid-generation");
+                }
+                releasePledge(fl.pages);
+                decInFlight(fl.conn);
+                inflight.erase(inflight.begin() +
+                               static_cast<ptrdiff_t>(i));
+            }
+
+            if (engine.idle())
+                continue;
+            engine.stepOnce(report);
+
+            // Stream this step's tokens out in sampling order.
+            for (const TokenEvent &ev : engine.takeTokenEvents()) {
+                size_t idx = inflight.size();
+                for (size_t i = 0; i < inflight.size(); ++i)
+                    if (inflight[i].engineId == ev.id) {
+                        idx = i;
+                        break;
+                    }
+                if (idx == inflight.size())
+                    continue; // cancelled this step; engine retired it
+                Inflight &fl = inflight[idx];
+                TokenMsg tm;
+                tm.index = static_cast<uint32_t>(ev.index);
+                tm.token = ev.token;
+                appendOut(fl.conn, encodeTokenFrame(fl.clientReqId, tm), 1);
+                tokensStreamed.fetch_add(1, std::memory_order_relaxed);
+                fl.fold = foldStep(fl.fold, ev.token);
+                ++fl.count;
+                if (ev.last) {
+                    DoneMsg dm;
+                    dm.tokenCount = fl.count;
+                    dm.streamFold = fl.fold;
+                    appendOut(fl.conn, encodeDoneFrame(fl.clientReqId, dm),
+                              0);
+                    requestsServed.fetch_add(1, std::memory_order_relaxed);
+                    releasePledge(fl.pages);
+                    decInFlight(fl.conn);
+                    inflight.erase(inflight.begin() +
+                                   static_cast<ptrdiff_t>(idx));
+                }
+            }
+        }
+
+        // Hard-stop path: cancel whatever is still resident so the
+        // engine is idle and reusable (the chaos harness restarts a
+        // server on the same engine).
+        for (const Inflight &fl : inflight) {
+            engine.cancel(fl.engineId);
+            releasePledge(fl.pages);
+            decInFlight(fl.conn);
+        }
+        engine.streamTokens(false);
+        engine.takeTokenEvents();
+        {
+            MutexLock lock(mu);
+            engineIdle = true;
+            drainCv.notifyAll();
+        }
+    }
+
+    // --- control ----------------------------------------------------
+
+    /** True when every connection's output buffer has reached its
+     *  socket (or the connection is gone). */
+    bool
+    allFlushed()
+    {
+        std::vector<ConnPtr> conns;
+        {
+            MutexLock lock(mu);
+            conns = allConns;
+        }
+        for (const ConnPtr &conn : conns) {
+            MutexLock lock(conn->mu);
+            if (!conn->closed && conn->outPos < conn->outBuf.size())
+                return false;
+        }
+        return true;
+    }
+
+    /** Count buffered-but-never-flushed tokens on connections the
+     *  server itself is abandoning (hard stop). Peer-caused closes are
+     *  the client's loss, not a server drop. */
+    void
+    accountDroppedTokens()
+    {
+        std::vector<ConnPtr> conns;
+        {
+            MutexLock lock(mu);
+            conns = allConns;
+        }
+        for (const ConnPtr &conn : conns) {
+            MutexLock lock(conn->mu);
+            if (!conn->clientFault &&
+                conn->outPos < conn->outBuf.size() &&
+                conn->tokensInBuf > 0)
+                droppedTokens.fetch_add(conn->tokensInBuf,
+                                        std::memory_order_relaxed);
+        }
+    }
+
+    void
+    joinAll()
+    {
+        pokeWakePipe(acceptWake.second);
+        for (auto &w : workers)
+            pokeWakePipe(w->wake.second);
+        cv.notifyAll();
+        if (acceptor.joinable())
+            acceptor.join();
+        for (auto &w : workers)
+            if (w->thread.joinable())
+                w->thread.join();
+        if (engineThread.joinable())
+            engineThread.join();
+    }
+};
+
+ModelServer::ModelServer(DecodeEngine &engine, const ServerConfig &config)
+    : impl_(std::make_unique<Impl>(engine, config)), config_(config)
+{
+    if (config_.ioWorkers == 0)
+        config_.ioWorkers = 1;
+    impl_->cfg = config_;
+}
+
+ModelServer::~ModelServer()
+{
+    stop();
+}
+
+bool
+ModelServer::start()
+{
+    Impl &s = *impl_;
+    if (s.running.load(std::memory_order_acquire))
+        return true;
+    uint16_t bound = 0;
+    s.listenSock = tcpListen(config_.port, bound);
+    if (!s.listenSock.valid())
+        return false;
+    if (!setNonBlocking(s.listenSock.fd()))
+        return false;
+    if (!makeWakePipe(s.acceptWake))
+        return false;
+    boundPort_ = bound;
+
+    s.workers.clear();
+    for (size_t i = 0; i < config_.ioWorkers; ++i) {
+        auto w = std::make_unique<IoWorker>();
+        if (!makeWakePipe(w->wake))
+            return false;
+        s.workers.push_back(std::move(w));
+    }
+
+    s.running.store(true, std::memory_order_release);
+    {
+        MutexLock lock(s.mu);
+        s.stopping = false;
+        s.draining = false;
+        s.engineIdle = true;
+    }
+    for (size_t i = 0; i < s.workers.size(); ++i)
+        s.workers[i]->thread = std::thread([this, i] {
+            impl_->workerLoop(i);
+        });
+    s.acceptor = std::thread([this] { impl_->acceptorLoop(); });
+    s.engineThread = std::thread([this] { impl_->engineLoop(); });
+    return true;
+}
+
+void
+ModelServer::requestDrain()
+{
+    Impl &s = *impl_;
+    {
+        MutexLock lock(s.mu);
+        s.draining = true;
+    }
+    s.cv.notifyAll();
+}
+
+bool
+ModelServer::drain()
+{
+    Impl &s = *impl_;
+    if (!s.running.load(std::memory_order_acquire))
+        return s.droppedTokens.load(std::memory_order_relaxed) == 0;
+    const uint64_t t0 = steadyNanos();
+    requestDrain();
+    // Phase 1: every admitted request finishes (the engine goes idle
+    // with an empty queue — admission is already closed).
+    {
+        MutexLock lock(s.mu);
+        while (!(s.engineIdle && s.queue.empty()) && !s.stopping)
+            s.drainCv.wait(s.mu);
+    }
+    // Phase 2: every produced frame reaches its socket. The workers
+    // keep flushing while we wait; connections that die flush-side are
+    // their client's loss, not a drop.
+    while (!s.allFlushed())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    s.drainUs.store(
+        static_cast<int64_t>((steadyNanos() - t0) / 1000),
+        std::memory_order_relaxed);
+    stop();
+    return s.droppedTokens.load(std::memory_order_relaxed) == 0;
+}
+
+void
+ModelServer::stop()
+{
+    Impl &s = *impl_;
+    if (!s.running.exchange(false, std::memory_order_acq_rel)) {
+        // Never started (or already stopped): nothing to join.
+        return;
+    }
+    {
+        MutexLock lock(s.mu);
+        s.stopping = true;
+        // Anything still queued never ran: release its pledges and
+        // connection accounting so teardown is balanced.
+        for (PendingReq &req : s.queue) {
+            s.pledgedPages -= std::min(s.pledgedPages, req.pages);
+        }
+    }
+    s.cv.notifyAll();
+    s.drainCv.notifyAll();
+    s.joinAll();
+    // Only after every worker has stopped flushing is "buffered but
+    // never flushed" a settled fact.
+    s.accountDroppedTokens();
+    {
+        MutexLock lock(s.mu);
+        s.queue.clear();
+        s.cancels.clear();
+        s.allConns.clear();
+        s.openConns = 0;
+    }
+    s.listenSock.reset();
+    if (s.acceptWake.first >= 0) {
+        ::close(s.acceptWake.first);
+        ::close(s.acceptWake.second);
+        s.acceptWake = {-1, -1};
+    }
+    for (auto &w : s.workers)
+        if (w->wake.first >= 0) {
+            ::close(w->wake.first);
+            ::close(w->wake.second);
+            w->wake = {-1, -1};
+        }
+}
+
+ServerStats
+ModelServer::stats() const
+{
+    const Impl &s = *impl_;
+    ServerStats out;
+    out.accepted = s.accepted.load(std::memory_order_relaxed);
+    out.rejectedConnections =
+        s.rejectedConnections.load(std::memory_order_relaxed);
+    out.requestsAdmitted =
+        s.requestsAdmitted.load(std::memory_order_relaxed);
+    out.requestsServed = s.requestsServed.load(std::memory_order_relaxed);
+    out.rejectedOverloaded =
+        s.rejectedOverloaded.load(std::memory_order_relaxed);
+    out.rejectedBadRequest =
+        s.rejectedBadRequest.load(std::memory_order_relaxed);
+    out.rejectedShutdown =
+        s.rejectedShutdown.load(std::memory_order_relaxed);
+    out.deadlineExpired =
+        s.deadlineExpired.load(std::memory_order_relaxed);
+    out.cancelled = s.cancelled.load(std::memory_order_relaxed);
+    out.slowClientAborts =
+        s.slowClientAborts.load(std::memory_order_relaxed);
+    out.idleReaped = s.idleReaped.load(std::memory_order_relaxed);
+    out.badFrameConns = s.badFrameConns.load(std::memory_order_relaxed);
+    out.tokensStreamed = s.tokensStreamed.load(std::memory_order_relaxed);
+    out.droppedTokens = s.droppedTokens.load(std::memory_order_relaxed);
+    const int64_t us = s.drainUs.load(std::memory_order_relaxed);
+    out.drainMs = us < 0 ? -1.0 : static_cast<double>(us) / 1e3;
+    return out;
+}
+
+} // namespace msq

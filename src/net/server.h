@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Fault-tolerant network serving frontend over DecodeEngine: a
+ * streaming TCP boundary speaking the CRC32-framed protocol of
+ * net/frame.h, with per-request deadlines, bounded-queue backpressure,
+ * slow-client isolation, and graceful drain.
+ *
+ * Threading model (all primitives from common/mutex.h, so the
+ * `-Wthread-safety` leg analyzes every acquisition):
+ *
+ *  - one acceptor thread: polls the listen socket, hands fresh
+ *    connections to I/O workers round-robin;
+ *  - `ioWorkers` I/O worker threads: each owns a poll set of
+ *    connections plus a self-pipe; reads bytes into per-connection
+ *    FrameDecoders, validates requests, enqueues them on the bounded
+ *    admission queue, and flushes per-connection output buffers with
+ *    partial-write resumption;
+ *  - one engine thread: the only thread that touches the DecodeEngine.
+ *    It moves admitted requests into the engine (never more than the
+ *    engine's batch capacity, so the bounded server queue stays the
+ *    real backpressure point), drives `stepOnce`, drains per-token
+ *    events into connection output buffers, and cancels overdue
+ *    sequences between steps.
+ *
+ * Robustness contract:
+ *
+ *  - Admission: a request arriving while the queue is full, or whose
+ *    conservative KV page estimate cannot be pledged against the
+ *    arena budget, is rejected immediately with a typed
+ *    `ServeError::Overloaded` — never silently dropped, never queued
+ *    unboundedly.
+ *  - Deadlines: each request carries (or inherits) a deadline; a
+ *    sequence still running past it is cancelled between decode steps
+ *    and answered with `DeadlineExceeded`. Cancellation cannot perturb
+ *    co-scheduled streams (decode determinism contract).
+ *  - Slow clients: output is buffered per connection up to
+ *    `maxOutBufBytes`; a client that cannot keep up is disconnected
+ *    and its in-flight requests cancelled, so one stalled reader never
+ *    blocks the engine or other streams.
+ *  - Graceful drain (`drain()`, wired to SIGTERM in
+ *    examples/model_server.cpp): stop admitting (new requests get
+ *    `ShuttingDown`), finish every in-flight stream, flush every
+ *    healthy connection's buffer to the socket, then stop. Zero
+ *    produced tokens are dropped — counted and test-enforced.
+ *
+ * Hostile input follows the MsqReader discipline end to end: typed
+ * errors from the frame layer, hard caps before any length-derived
+ * allocation, and a connection whose stream turns to garbage is closed
+ * — the server never asserts or throws on network input.
+ */
+
+#ifndef MSQ_NET_SERVER_H
+#define MSQ_NET_SERVER_H
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/decode.h"
+
+namespace msq {
+
+/** Serving frontend knobs. */
+struct ServerConfig
+{
+    uint16_t port = 0;          ///< 0 = ephemeral (see boundPort())
+    size_t ioWorkers = 2;       ///< connection I/O threads
+    size_t maxConnections = 64; ///< accept cap; excess closed at once
+
+    /** Admission queue bound — the backpressure point. Requests beyond
+     *  it are rejected with Overloaded. */
+    size_t maxQueue = 16;
+
+    uint32_t defaultDeadlineMs = 0; ///< applied when a request sends 0
+    uint32_t maxDeadlineMs = 60000; ///< client deadlines clamp to this
+
+    /** Reap connections idle this long with nothing in flight;
+     *  0 = never. */
+    uint32_t idleTimeoutMs = 0;
+
+    /** Per-connection output buffer cap; a client further behind than
+     *  this is aborted (slow-client isolation). */
+    size_t maxOutBufBytes = 1u << 20;
+};
+
+/** Monotonic counters exposed by ModelServer::stats(). */
+struct ServerStats
+{
+    uint64_t accepted = 0;          ///< connections accepted
+    uint64_t rejectedConnections = 0; ///< closed at the accept cap
+    uint64_t requestsAdmitted = 0;
+    uint64_t requestsServed = 0;    ///< streams finished with Done
+    uint64_t rejectedOverloaded = 0;
+    uint64_t rejectedBadRequest = 0;
+    uint64_t rejectedShutdown = 0;
+    uint64_t deadlineExpired = 0;
+    uint64_t cancelled = 0;         ///< client Cancel frames honored
+    uint64_t slowClientAborts = 0;
+    uint64_t idleReaped = 0;
+    uint64_t badFrameConns = 0;     ///< closed on undecodable streams
+    uint64_t tokensStreamed = 0;    ///< Token frames queued
+    uint64_t droppedTokens = 0;     ///< queued but never flushed (server
+                                    ///< -initiated closes only)
+    double drainMs = -1.0;          ///< last drain duration; -1 = none
+};
+
+/**
+ * TCP serving frontend over one DecodeEngine. The engine is borrowed:
+ * the caller constructs it (packed-model deployment is expensive) and
+ * must keep it alive; between `start()` and `stop()`/`drain()` the
+ * server's engine thread is the only thing touching it. After a clean
+ * shutdown the engine is left idle, so a restarted server (the chaos
+ * harness does this mid-load) can reuse it.
+ */
+class ModelServer
+{
+  public:
+    ModelServer(DecodeEngine &engine, const ServerConfig &config);
+    ~ModelServer(); ///< hard stop() if still running
+
+    ModelServer(const ModelServer &) = delete;
+    ModelServer &operator=(const ModelServer &) = delete;
+
+    /** Bind, listen, and spawn the threads. False when the port cannot
+     *  be bound (the server is then inert). */
+    bool start();
+
+    /** The actual listening port (after start(); ephemeral-port aware). */
+    uint16_t boundPort() const { return boundPort_; }
+
+    /** Begin draining: stop admitting, let in-flight streams finish.
+     *  Returns immediately; safe from a signal-driven control loop. */
+    void requestDrain();
+
+    /**
+     * Graceful shutdown: requestDrain(), wait until every in-flight
+     * stream has finished AND every healthy connection's output buffer
+     * has reached the socket, then join all threads. Returns true when
+     * no produced token was dropped (`stats().droppedTokens == 0`).
+     */
+    bool drain();
+
+    /** Hard stop: close everything now. Buffered-but-unflushed tokens
+     *  are counted into droppedTokens. Idempotent. */
+    void stop();
+
+    /** Snapshot of the counters (thread-safe). */
+    ServerStats stats() const;
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    ServerConfig config_;
+    uint16_t boundPort_ = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_NET_SERVER_H

@@ -1,0 +1,203 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace msq {
+
+void
+Socket::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+tcpListen(uint16_t port, uint16_t &boundPort, int backlog)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return Socket();
+
+    int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return Socket();
+    if (::listen(sock.fd(), backlog) != 0)
+        return Socket();
+
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return Socket();
+    boundPort = ntohs(bound.sin_port);
+    return sock;
+}
+
+Socket
+tcpConnect(uint16_t port)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        return Socket();
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+
+    int rc;
+    do {
+        rc = ::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        return Socket();
+
+    int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return sock;
+}
+
+IoWait
+tcpAccept(int listenFd, Socket &out)
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            out = Socket(fd);
+            return IoWait::Ready;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoWait::Again;
+        return IoWait::Error;
+    }
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
+sendFully(int fd, const void *buf, size_t bytes)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(buf);
+    size_t done = 0;
+    while (done < bytes) {
+        const ssize_t n =
+            ::send(fd, p + done, bytes - done, MSG_NOSIGNAL);
+        if (n >= 0) {
+            done += static_cast<size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+IoWait
+sendSome(int fd, const void *buf, size_t bytes, size_t &sent)
+{
+    sent = 0;
+    for (;;) {
+        const ssize_t n = ::send(fd, buf, bytes, MSG_NOSIGNAL);
+        if (n >= 0) {
+            sent = static_cast<size_t>(n);
+            return IoWait::Ready;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoWait::Again;
+        return IoWait::Error;
+    }
+}
+
+IoWait
+recvSome(int fd, void *buf, size_t bytes, size_t &got)
+{
+    got = 0;
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, bytes, 0);
+        if (n > 0) {
+            got = static_cast<size_t>(n);
+            return IoWait::Ready;
+        }
+        if (n == 0)
+            return IoWait::Closed;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoWait::Again;
+        return IoWait::Error;
+    }
+}
+
+bool
+makeWakePipe(std::pair<int, int> &fds)
+{
+    int raw[2];
+    if (::pipe(raw) != 0)
+        return false;
+    if (!setNonBlocking(raw[0]) || !setNonBlocking(raw[1])) {
+        ::close(raw[0]);
+        ::close(raw[1]);
+        return false;
+    }
+    fds = {raw[0], raw[1]};
+    return true;
+}
+
+void
+pokeWakePipe(int writeFd)
+{
+    const uint8_t byte = 1;
+    ssize_t rc;
+    do {
+        rc = ::write(writeFd, &byte, 1);
+    } while (rc < 0 && errno == EINTR);
+    // EAGAIN means the pipe already holds a pending wakeup — fine.
+}
+
+void
+drainWakePipe(int readFd)
+{
+    uint8_t scratch[64];
+    for (;;) {
+        const ssize_t n = ::read(readFd, scratch, sizeof(scratch));
+        if (n > 0)
+            continue;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return;
+    }
+}
+
+} // namespace msq

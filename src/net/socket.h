@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Thin RAII socket layer under the serving frontend: listen/connect
+ * helpers, EINTR-hardened full-buffer send, and the nonblocking
+ * send/recv primitives the poll workers build on.
+ *
+ * Everything here returns typed results; nothing throws. SIGPIPE is
+ * avoided structurally (MSG_NOSIGNAL on every send) so a peer closing
+ * mid-stream surfaces as a write error, never a signal.
+ */
+
+#ifndef MSQ_NET_SOCKET_H
+#define MSQ_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace msq {
+
+/** Owning file-descriptor wrapper: closes on destruction, move-only. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { reset(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Outcome of a nonblocking send/recv attempt. */
+enum class IoWait
+{
+    Ready,  ///< made progress (bytes > 0)
+    Again,  ///< would block; poll and retry
+    Closed, ///< orderly EOF (recv only)
+    Error,  ///< connection is dead
+};
+
+/**
+ * Bind + listen on 127.0.0.1:`port` with SO_REUSEADDR. Port 0 picks an
+ * ephemeral port; `boundPort` receives the actual one either way.
+ * Returns an invalid Socket on failure.
+ */
+Socket tcpListen(uint16_t port, uint16_t &boundPort, int backlog = 64);
+
+/** Blocking connect to 127.0.0.1:`port`. Invalid Socket on failure. */
+Socket tcpConnect(uint16_t port);
+
+/** Accept one connection; Again when no pending connection. */
+IoWait tcpAccept(int listenFd, Socket &out);
+
+/** Switch a descriptor to nonblocking mode. */
+bool setNonBlocking(int fd);
+
+/**
+ * Blocking send of the whole buffer (EINTR-retried, MSG_NOSIGNAL).
+ * Used by the client and by tests; the server's workers use the
+ * nonblocking variant below instead so one slow peer cannot stall
+ * them.
+ */
+bool sendFully(int fd, const void *buf, size_t bytes);
+
+/**
+ * Nonblocking send attempt: writes as much as the kernel accepts.
+ * `sent` receives the byte count on Ready.
+ */
+IoWait sendSome(int fd, const void *buf, size_t bytes, size_t &sent);
+
+/** Nonblocking recv attempt; `got` receives the byte count on Ready. */
+IoWait recvSome(int fd, void *buf, size_t bytes, size_t &got);
+
+/**
+ * Self-pipe for waking a poll loop: `fds.first` is the read end (add
+ * it to the poll set), `fds.second` the write end. Both nonblocking.
+ */
+bool makeWakePipe(std::pair<int, int> &fds);
+
+/** Write one byte to a wake pipe (best-effort, never blocks). */
+void pokeWakePipe(int writeFd);
+
+/** Drain all pending bytes from a wake pipe's read end. */
+void drainWakePipe(int readFd);
+
+} // namespace msq
+
+#endif // MSQ_NET_SOCKET_H

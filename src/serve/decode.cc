@@ -659,6 +659,14 @@ DecodeEngine::step(DecodeReport &report)
             sampled += 1;
             if (seq.firstTokenMs < 0.0)
                 seq.firstTokenMs = t1;
+            if (streamTokens_) {
+                TokenEvent ev;
+                ev.id = seq.id;
+                ev.token = next[ii];
+                ev.index = seq.generated.size() - 1;
+                ev.last = seq.generated.size() == seq.maxNewTokens;
+                tokenEvents_.push_back(ev);
+            }
         }
     }
 
@@ -708,6 +716,50 @@ DecodeEngine::step(DecodeReport &report)
         report.requests.push_back(std::move(rec));
         active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
     }
+}
+
+size_t
+DecodeEngine::estimateRequestPages(size_t prompt_tokens,
+                                   size_t max_new_tokens) const
+{
+    const size_t kvDim = model_.decode.kvHeads * model_.decode.headDim;
+    return model_.decode.blocks *
+           KvPool::estimatePages(kvDim, decode_.kv,
+                                 prompt_tokens + max_new_tokens,
+                                 arena_->pageBytes());
+}
+
+void
+DecodeEngine::stepOnce(DecodeReport &report)
+{
+    if (!idle())
+        step(report);
+}
+
+bool
+DecodeEngine::cancel(uint64_t id)
+{
+    for (size_t i = 0; i < waiting_.size(); ++i)
+        if (waiting_[i].id == id) {
+            waiting_.erase(waiting_.begin() + static_cast<ptrdiff_t>(i));
+            return true;
+        }
+    for (size_t i = 0; i < active_.size(); ++i) {
+        SequenceState &seq = active_[i];
+        if (seq.id != id)
+            continue;
+        MSQ_ASSERT(pledgedPages_ >= seq.pagesPledged,
+                   "admission pledge accounting out of balance");
+        pledgedPages_ -= seq.pagesPledged;
+        // Dropping a claimer before it published leaves its followers
+        // stalled; releasing the claim lets resolveWaiters promote one
+        // of them next step.
+        if (seq.prefixClaimer)
+            unclaim(seq.prefixKey);
+        active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+        return true;
+    }
+    return false;
 }
 
 DecodeReport

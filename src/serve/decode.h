@@ -186,6 +186,20 @@ struct SequenceState
     bool waitAdopt = false;      ///< stalls until the claimer publishes
 };
 
+/**
+ * One sampled token, emitted in sampling order when token streaming is
+ * on (`DecodeEngine::streamTokens`). Events for one sequence appear in
+ * index order; the serving frontend drains them between steps and
+ * forwards each as a Token frame.
+ */
+struct TokenEvent
+{
+    uint64_t id = 0;     ///< sequence (request) id
+    uint32_t token = 0;  ///< the sampled token
+    size_t index = 0;    ///< 0-based position in the generated stream
+    bool last = false;   ///< true on the sequence's final token
+};
+
 /** Outcome of one finished generation. */
 struct GenRecord
 {
@@ -290,11 +304,50 @@ class DecodeEngine
     /** Sequences currently resident in slots. */
     size_t active() const { return active_.size(); }
 
+    /** True when no request is waiting or resident. */
+    bool idle() const { return waiting_.empty() && active_.empty(); }
+
     /**
      * Run scheduler steps until every submitted request has finished;
      * returns per-request generations plus phase throughput statistics.
      */
     DecodeReport run();
+
+    /**
+     * Forward exactly one scheduler step (admission + one forward pass
+     * + retirement), accumulating into `report`. The serving frontend
+     * drives the engine this way so it can admit, cancel, and stream
+     * between steps. No-op when idle.
+     */
+    void stepOnce(DecodeReport &report);
+
+    /**
+     * Remove request `id` wherever it is — the wait queue or an active
+     * slot — releasing its admission pledge and any prefix claim (a
+     * stalled follower gets promoted by the next step's
+     * resolveWaiters). Must be called between steps, like stepOnce.
+     * Returns false when the id is unknown (already retired).
+     *
+     * Cancellation must not perturb co-scheduled sequences' streams:
+     * every per-token computation depends only on the sequence's own
+     * history (see the determinism contract above), so dropping a slot
+     * is equivalent to the sequence never having existed after that
+     * step — test-enforced in tests/test_decode.cc.
+     */
+    bool cancel(uint64_t id);
+
+    /** Toggle per-token event capture (off by default). */
+    void streamTokens(bool on) { streamTokens_ = on; }
+
+    /** Drain captured token events (sampling order, index order within
+     *  a sequence). */
+    std::vector<TokenEvent>
+    takeTokenEvents()
+    {
+        std::vector<TokenEvent> out;
+        out.swap(tokenEvents_);
+        return out;
+    }
 
     const PackedModel &packedModel() const { return *packed_; }
     const DecodeConfig &config() const { return decode_; }
@@ -302,6 +355,15 @@ class DecodeEngine
     /** The paged KV arena every sequence draws from. */
     KvArena &arena() { return *arena_; }
     const KvArena &arena() const { return *arena_; }
+
+    /**
+     * Conservative arena-page estimate for a request of this shape —
+     * the same number admit() pledges, exposed so the serving frontend
+     * can reject requests that cannot fit before queueing them.
+     * Reads only immutable state (safe from any thread).
+     */
+    size_t estimateRequestPages(size_t prompt_tokens,
+                                size_t max_new_tokens) const;
 
     /** The prefix cache (nullptr when usePrefixCache is off and none
      *  was supplied). */
@@ -380,6 +442,9 @@ class DecodeEngine
     std::vector<std::pair<uint64_t, uint64_t>> pendingPrefix_;
 
     size_t pledgedPages_ = 0;  ///< admission reservations outstanding
+
+    bool streamTokens_ = false;
+    std::vector<TokenEvent> tokenEvents_;
 };
 
 } // namespace msq

@@ -266,6 +266,146 @@ TEST(DecodeEngine, TokenStreamsInvariantAcrossAdmissionOrder)
     clearPackedModelCache();
 }
 
+/**
+ * Run the workload through the step-at-a-time API, cancelling logical
+ * request `cancelIdx` after `cancelAfterSteps` steps. Returns the
+ * retired streams by logical index (the cancelled slot stays empty)
+ * and reports whether the cancel call was accepted.
+ */
+std::vector<std::vector<uint32_t>>
+generateWithCancel(const Workload &w, const DecodeConfig &cfg,
+                   size_t cancelIdx, size_t cancelAfterSteps,
+                   bool *accepted, std::vector<size_t> order = {})
+{
+    if (order.empty())
+        for (size_t i = 0; i < w.prompts.size(); ++i)
+            order.push_back(i);
+    DecodeEngine engine(modelByName("TinyLM-decode"), quantConfig(), cfg);
+    std::map<uint64_t, size_t> logical;
+    uint64_t cancelId = 0;
+    for (size_t idx : order) {
+        const uint64_t id = engine.submit(w.prompts[idx], w.maxNew[idx]);
+        logical[id] = idx;
+        if (idx == cancelIdx)
+            cancelId = id;
+    }
+    DecodeReport report;
+    size_t steps = 0;
+    *accepted = false;
+    while (!engine.idle()) {
+        if (steps++ == cancelAfterSteps)
+            *accepted = engine.cancel(cancelId);
+        engine.stepOnce(report);
+    }
+    std::vector<std::vector<uint32_t>> streams(w.prompts.size());
+    for (const GenRecord &rec : report.requests)
+        streams[logical[rec.id]] = rec.tokens;
+    return streams;
+}
+
+TEST(DecodeEngine, CancellationLeavesSurvivorsBitIdentical)
+{
+    // Cancelling one sequence mid-generation must not perturb a single
+    // token of any co-scheduled stream — the serving frontend relies on
+    // this to cancel expired deadlines without corrupting neighbors.
+    // Crossed with MSQ_THREADS and admission order, like the other
+    // invariance suites.
+    clearPackedModelCache();
+    const Workload w = makeWorkload(6, 64);
+    const auto ref = generate(w, baseDecodeConfig());
+
+    const size_t kCancelIdx = 1;  // maxNew 9: still generating at step 2
+    std::vector<size_t> reversed(w.prompts.size());
+    for (size_t i = 0; i < reversed.size(); ++i)
+        reversed[i] = reversed.size() - 1 - i;
+
+    for (unsigned threads : {1u, 4u}) {
+        setThreadCount(threads);
+        for (const std::vector<size_t> &order :
+             {std::vector<size_t>{}, reversed}) {
+            bool accepted = false;
+            const auto streams = generateWithCancel(
+                w, baseDecodeConfig(), kCancelIdx, 2, &accepted, order);
+            EXPECT_TRUE(accepted) << "threads " << threads;
+            for (size_t i = 0; i < w.prompts.size(); ++i) {
+                if (i == kCancelIdx) {
+                    EXPECT_TRUE(streams[i].empty());
+                    continue;
+                }
+                EXPECT_EQ(streams[i], ref[i])
+                    << "survivor " << i << " threads " << threads;
+            }
+        }
+    }
+    setThreadCount(0);
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, CancelWaitingPromotesFollowersUnknownIsFalse)
+{
+    clearPackedModelCache();
+    const Workload w = makeWorkload(3, 64);
+    const auto ref = generate(w, baseDecodeConfig());
+
+    DecodeConfig solo = baseDecodeConfig();
+    solo.maxBatchSeqs = 1;  // requests 1 and 2 start in waiting_
+    DecodeEngine engine(modelByName("TinyLM-decode"), quantConfig(), solo);
+    const uint64_t id0 = engine.submit(w.prompts[0], w.maxNew[0]);
+    const uint64_t id1 = engine.submit(w.prompts[1], w.maxNew[1]);
+    const uint64_t id2 = engine.submit(w.prompts[2], w.maxNew[2]);
+
+    EXPECT_TRUE(engine.cancel(id1));   // still waiting: plain dequeue
+    EXPECT_FALSE(engine.cancel(id1));  // second cancel finds nothing
+    EXPECT_FALSE(engine.cancel(9999)); // never submitted
+
+    const DecodeReport report = engine.run();
+    ASSERT_EQ(report.requests.size(), 2u);
+    EXPECT_EQ(report.requests[0].id, id0);
+    EXPECT_EQ(report.requests[0].tokens, ref[0]);
+    EXPECT_EQ(report.requests[1].id, id2);
+    EXPECT_EQ(report.requests[1].tokens, ref[2]);
+    EXPECT_FALSE(engine.cancel(id2));  // retired ids are gone too
+    clearPackedModelCache();
+}
+
+TEST(DecodeEngine, TokenEventStreamMatchesFinalStreams)
+{
+    // With streaming enabled, the per-step token events — drained the
+    // way the network server drains them — must reassemble into exactly
+    // the retired streams: contiguous indices from zero, `last` set on
+    // precisely the final token, values bit-identical.
+    clearPackedModelCache();
+    const Workload w = makeWorkload(5, 64);
+    DecodeEngine engine(modelByName("TinyLM-decode"), quantConfig(),
+                        baseDecodeConfig());
+    engine.streamTokens(true);
+    std::map<uint64_t, size_t> logical;
+    for (size_t i = 0; i < w.prompts.size(); ++i)
+        logical[engine.submit(w.prompts[i], w.maxNew[i])] = i;
+
+    std::map<uint64_t, std::vector<uint32_t>> streamed;
+    std::map<uint64_t, size_t> lastFlags;
+    DecodeReport report;
+    while (!engine.idle()) {
+        engine.stepOnce(report);
+        for (const TokenEvent &ev : engine.takeTokenEvents()) {
+            EXPECT_EQ(ev.index, streamed[ev.id].size());
+            streamed[ev.id].push_back(ev.token);
+            if (ev.last)
+                ++lastFlags[ev.id];
+            else
+                EXPECT_EQ(lastFlags[ev.id], 0u);  // last is terminal
+        }
+    }
+    EXPECT_TRUE(engine.takeTokenEvents().empty());  // drained clean
+    ASSERT_EQ(report.requests.size(), w.prompts.size());
+    for (const GenRecord &rec : report.requests) {
+        EXPECT_EQ(streamed[rec.id], rec.tokens);
+        EXPECT_EQ(lastFlags[rec.id], 1u);
+    }
+    clearPackedModelCache();
+}
+
 TEST(DecodeEngine, ContinuousBatchingKeepsSlotsFuller)
 {
     clearPackedModelCache();

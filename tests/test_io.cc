@@ -11,12 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+
+#include <pthread.h>
+#include <unistd.h>
 
 #include "common/rng.h"
 #include "core/microscopiq.h"
 #include "io/crc32.h"
+#include "io/io_util.h"
 #include "io/msq_file.h"
 
 namespace msq {
@@ -354,6 +361,107 @@ TEST(TryDeserialize, RejectsMalformedStreams)
     // Wrong shape for the stream.
     EXPECT_FALSE(PackedLayer::tryDeserialize(cfg, 16, 63, good, out));
     EXPECT_FALSE(PackedLayer::tryDeserialize(cfg, 17, 64, good, out));
+}
+
+TEST(IoUtil, ReadFullyReassemblesDribbledPipeWrites)
+{
+    // A pipe writer that dribbles one byte at a time forces readFully
+    // through its short-read resumption path: each read() returns less
+    // than asked, and the wrapper must keep looping until exactly N
+    // bytes have arrived.
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    std::vector<uint8_t> sent(4096);
+    Rng rng(7);
+    for (uint8_t &b : sent)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+    std::thread writer([&] {
+        for (size_t i = 0; i < sent.size(); ++i)
+            ASSERT_TRUE(writeFully(fds[1], &sent[i], 1));
+        close(fds[1]);
+    });
+    std::vector<uint8_t> got(sent.size(), 0);
+    EXPECT_TRUE(readFully(fds[0], got.data(), got.size()));
+    EXPECT_EQ(got, sent);
+    // The writer closed: further reads hit EOF and must report false.
+    uint8_t extra = 0;
+    EXPECT_FALSE(readFully(fds[0], &extra, 1));
+    writer.join();
+    close(fds[0]);
+}
+
+TEST(IoUtil, WriteFullySurvivesSignalInterruption)
+{
+    // Install a non-SA_RESTART handler and pelt the writer thread with
+    // signals while it pushes more data than the pipe buffer holds:
+    // write() returns short counts and EINTR, and writeFully must
+    // deliver every byte anyway.
+    struct sigaction sa = {}, old = {};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // deliberately not SA_RESTART
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    std::vector<uint8_t> sent(1 << 20);  // bigger than any pipe buffer
+    Rng rng(11);
+    for (uint8_t &b : sent)
+        b = static_cast<uint8_t>(rng.uniformInt(256));
+
+    std::atomic<bool> writing(true);
+    bool wrote = false;
+    std::thread writer([&] {
+        wrote = writeFully(fds[1], sent.data(), sent.size());
+        writing.store(false);
+        close(fds[1]);
+    });
+    const pthread_t target = writer.native_handle();
+    std::thread pelter([&] {
+        while (writing.load()) {
+            pthread_kill(target, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+
+    std::vector<uint8_t> got(sent.size(), 0);
+    EXPECT_TRUE(readFully(fds[0], got.data(), got.size()));
+    writer.join();
+    pelter.join();
+    EXPECT_TRUE(wrote);
+    EXPECT_EQ(got, sent);
+    close(fds[0]);
+    sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(IoUtil, FreadFullyReportsEofShortOfRequest)
+{
+    char path[] = "/tmp/msq_io_util_XXXXXX";
+    const int fd = mkstemp(path);
+    ASSERT_GE(fd, 0);
+    close(fd);
+    {
+        std::FILE *f = std::fopen(path, "wb");
+        ASSERT_NE(f, nullptr);
+        const char payload[] = "abcdefgh";
+        EXPECT_TRUE(fwriteFully(f, payload, 8));
+        std::fclose(f);
+    }
+    std::FILE *f = std::fopen(path, "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[8] = {};
+    EXPECT_TRUE(freadFully(f, buf, 8));
+    EXPECT_EQ(std::string(buf, 8), "abcdefgh");
+    // At EOF: asking for one more byte must fail, not spin.
+    EXPECT_FALSE(freadFully(f, buf, 1));
+    std::fclose(f);
+    // And a request larger than the file fails partway through.
+    f = std::fopen(path, "rb");
+    ASSERT_NE(f, nullptr);
+    char big[16] = {};
+    EXPECT_FALSE(freadFully(f, big, 16));
+    std::fclose(f);
+    std::remove(path);
 }
 
 } // namespace

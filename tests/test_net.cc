@@ -1,0 +1,609 @@
+/**
+ * @file
+ * Serving-frontend suites: wire-protocol round trips and decoder
+ * discipline, then the full TCP boundary — loopback streaming against
+ * a direct-engine reference, typed Overloaded/BadRequest/ShuttingDown
+ * rejections, deadline expiry, client Cancel, slow-client isolation,
+ * idle reaping, and graceful drain with zero dropped tokens.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+
+#include "model/model_zoo.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "serve/clock.h"
+#include "serve/decode.h"
+
+namespace msq {
+namespace {
+
+MsqConfig
+quantConfig()
+{
+    MsqConfig cfg;
+    cfg.hessianCompensation = false;
+    return cfg;
+}
+
+DecodeConfig
+baseDecodeConfig()
+{
+    DecodeConfig cfg;
+    cfg.maxBatchSeqs = 4;
+    cfg.stepTokenBudget = 16;
+    cfg.prefillChunk = 4;
+    cfg.kv = {2, 4, 4};
+    cfg.vocab = 64;
+    return cfg;
+}
+
+std::vector<uint32_t>
+makePrompt(uint64_t seed, size_t len, size_t vocab)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> prompt(len);
+    for (uint32_t &tok : prompt)
+        tok = static_cast<uint32_t>(rng.uniformInt(vocab));
+    return prompt;
+}
+
+/** Fault-free single-request reference stream (decode determinism
+ *  makes it valid whatever the server's batch composition was). */
+std::vector<uint32_t>
+referenceStream(const std::vector<uint32_t> &prompt, size_t maxNew)
+{
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    DecodeEngine engine(model, quantConfig(), baseDecodeConfig());
+    engine.submit(prompt, maxNew);
+    const DecodeReport rep = engine.run();
+    EXPECT_EQ(rep.requests.size(), 1u);
+    return rep.requests.empty() ? std::vector<uint32_t>()
+                                : rep.requests.front().tokens;
+}
+
+/** Raw frame-level client for protocol tests the NetClient would
+ *  paper over (cancel, hostile payloads, not reading responses). */
+struct RawClient
+{
+    Socket sock;
+
+    bool connect(uint16_t port)
+    {
+        sock = tcpConnect(port);
+        return sock.valid();
+    }
+
+    bool send(const std::vector<uint8_t> &wire)
+    {
+        return sendFully(sock.fd(), wire.data(), wire.size());
+    }
+
+    /** Blocking read of the next frame (with timeout). */
+    NetCode read(Frame &out, int timeoutMs = 10000)
+    {
+        for (;;) {
+            const NetCode code = decoder.next(out);
+            if (code != NetCode::NeedMore)
+                return code;
+            pollfd pfd;
+            pfd.fd = sock.fd();
+            pfd.events = POLLIN;
+            pfd.revents = 0;
+            const int rc = ::poll(&pfd, 1, timeoutMs);
+            if (rc <= 0)
+                return NetCode::Timeout;
+            uint8_t buf[4096];
+            size_t got = 0;
+            const IoWait w = recvSome(sock.fd(), buf, sizeof(buf), got);
+            if (w == IoWait::Again)
+                continue;
+            if (w != IoWait::Ready)
+                return NetCode::ConnectionLost;
+            decoder.feed(buf, got);
+        }
+    }
+
+    FrameDecoder decoder;
+};
+
+/** Engine + started server + its port, shared per-test. */
+struct ServerFixture
+{
+    explicit ServerFixture(ServerConfig cfg = {},
+                           DecodeConfig dec = baseDecodeConfig())
+        : engine(modelByName("TinyLM-decode"), quantConfig(), dec),
+          server(engine, cfg)
+    {
+        started = server.start();
+    }
+
+    DecodeEngine engine;
+    ModelServer server;
+    bool started = false;
+};
+
+// ---------------------------------------------------------------------
+// Wire protocol
+
+TEST(NetFrame, RequestRoundTrip)
+{
+    RequestMsg msg;
+    msg.maxNewTokens = 7;
+    msg.deadlineMs = 1500;
+    msg.prompt = {1, 2, 3, 60};
+    const std::vector<uint8_t> wire = encodeRequestFrame(42, msg);
+    EXPECT_EQ(wire.size(), frameWireBytes(12 + 4 * msg.prompt.size()));
+
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame frame;
+    ASSERT_EQ(dec.next(frame), NetCode::Ok);
+    EXPECT_EQ(frame.type, FrameType::Request);
+    EXPECT_EQ(frame.requestId, 42u);
+    RequestMsg back;
+    ASSERT_EQ(decodeRequestMsg(frame.payload, back), NetCode::Ok);
+    EXPECT_EQ(back.maxNewTokens, msg.maxNewTokens);
+    EXPECT_EQ(back.deadlineMs, msg.deadlineMs);
+    EXPECT_EQ(back.prompt, msg.prompt);
+    EXPECT_EQ(dec.next(frame), NetCode::NeedMore);
+}
+
+TEST(NetFrame, AllTypesRoundTripBytewise)
+{
+    // Feed the concatenated stream one byte at a time: the incremental
+    // decoder must produce the same frames as a bulk feed.
+    std::vector<uint8_t> stream;
+    RequestMsg rq;
+    rq.maxNewTokens = 1;
+    rq.prompt = {5};
+    for (const auto &wire :
+         {encodeRequestFrame(1, rq), encodeCancelFrame(2),
+          encodeTokenFrame(3, TokenMsg{0, 17}),
+          encodeDoneFrame(4, DoneMsg{2, 0xabcdefull}),
+          encodeErrorFrame(5, ErrorMsg{ServeError::Overloaded, "queue"})})
+        stream.insert(stream.end(), wire.begin(), wire.end());
+
+    FrameDecoder dec;
+    std::vector<Frame> frames;
+    for (uint8_t byte : stream) {
+        dec.feed(&byte, 1);
+        Frame f;
+        while (dec.next(f) == NetCode::Ok)
+            frames.push_back(f);
+    }
+    ASSERT_EQ(frames.size(), 5u);
+    EXPECT_EQ(frames[0].type, FrameType::Request);
+    EXPECT_EQ(frames[1].type, FrameType::Cancel);
+    EXPECT_TRUE(frames[1].payload.empty());
+    TokenMsg tm;
+    ASSERT_EQ(decodeTokenMsg(frames[2].payload, tm), NetCode::Ok);
+    EXPECT_EQ(tm.token, 17u);
+    DoneMsg dm;
+    ASSERT_EQ(decodeDoneMsg(frames[3].payload, dm), NetCode::Ok);
+    EXPECT_EQ(dm.streamFold, 0xabcdefull);
+    ErrorMsg em;
+    ASSERT_EQ(decodeErrorMsg(frames[4].payload, em), NetCode::Ok);
+    EXPECT_EQ(em.code, ServeError::Overloaded);
+    EXPECT_EQ(em.detail, "queue");
+}
+
+TEST(NetFrame, StreamFoldIsOrderSensitive)
+{
+    const uint32_t a[] = {1, 2, 3};
+    const uint32_t b[] = {3, 2, 1};
+    EXPECT_NE(tokenStreamFold(a, 3), tokenStreamFold(b, 3));
+    EXPECT_EQ(tokenStreamFold(a, 3), tokenStreamFold(a, 3));
+    EXPECT_NE(tokenStreamFold(a, 3), tokenStreamFold(a, 2));
+}
+
+TEST(NetFrame, DecoderRefusesOversizedLengthBeforeBuffering)
+{
+    // A CRC-valid-looking header declaring a huge payload must be
+    // refused from the header alone — no 4 GB buffering attempt.
+    std::vector<uint8_t> hdr;
+    for (int i = 0; i < 4; ++i)
+        hdr.push_back(static_cast<uint8_t>(kNetMagic >> (8 * i)));
+    hdr.push_back(1); // Request
+    for (int i = 0; i < 8; ++i)
+        hdr.push_back(0);
+    const uint32_t huge = 0xFFFFFFFFu;
+    for (int i = 0; i < 4; ++i)
+        hdr.push_back(static_cast<uint8_t>(huge >> (8 * i)));
+    FrameDecoder dec;
+    dec.feed(hdr.data(), hdr.size());
+    Frame f;
+    EXPECT_EQ(dec.next(f), NetCode::FrameTooLarge);
+    EXPECT_EQ(dec.state(), NetCode::FrameTooLarge);
+    EXPECT_LT(dec.buffered(), size_t{64});
+    // The error is sticky: further bytes are refused.
+    EXPECT_FALSE(dec.feed(hdr.data(), hdr.size()));
+    EXPECT_EQ(dec.next(f), NetCode::FrameTooLarge);
+}
+
+TEST(NetFrame, HostileRequestPayloadCapsAreTyped)
+{
+    // CRC-valid frame whose payload claims more prompt tokens than it
+    // carries, and more than the hard cap: typed BadPayload, no throw.
+    std::vector<uint8_t> payload;
+    const auto put32 = [&payload](uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            payload.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    };
+    put32(16);              // maxNewTokens
+    put32(0);               // deadline
+    put32(kMaxPromptTokens + 1); // hostile prompt length
+    RequestMsg out;
+    EXPECT_EQ(decodeRequestMsg(payload, out), NetCode::BadPayload);
+
+    payload.clear();
+    put32(kMaxNewTokens + 1); // hostile generation length
+    put32(0);
+    put32(1);
+    put32(3);
+    EXPECT_EQ(decodeRequestMsg(payload, out), NetCode::BadPayload);
+
+    payload.clear();
+    put32(16);
+    put32(0);
+    put32(4); // claims 4 tokens, carries 1
+    put32(3);
+    EXPECT_EQ(decodeRequestMsg(payload, out), NetCode::BadPayload);
+}
+
+// ---------------------------------------------------------------------
+// Loopback serving
+
+TEST(ModelServer, StreamsMatchDirectEngine)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+
+    ClientConfig cc;
+    cc.port = fx.server.boundPort();
+    NetClient client(cc);
+    for (size_t i = 0; i < 3; ++i) {
+        const std::vector<uint32_t> prompt = makePrompt(77 + i, 5 + i, 64);
+        const size_t maxNew = 4 + i;
+        const GenerateResult res = client.generate(
+            prompt, static_cast<uint32_t>(maxNew));
+        ASSERT_EQ(res.code, NetCode::Ok) << netCodeName(res.code);
+        EXPECT_EQ(res.attempts, 1u);
+        EXPECT_GE(res.firstTokenMs, 0.0);
+        EXPECT_EQ(res.tokens, referenceStream(prompt, maxNew));
+        EXPECT_EQ(res.streamFold,
+                  tokenStreamFold(res.tokens.data(), res.tokens.size()));
+    }
+    const ServerStats st = fx.server.stats();
+    EXPECT_EQ(st.requestsServed, 3u);
+    EXPECT_EQ(st.droppedTokens, 0u);
+}
+
+TEST(ModelServer, ConcurrentClientsAllMatchReference)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    const uint16_t port = fx.server.boundPort();
+
+    constexpr size_t kClients = 4;
+    std::vector<std::vector<uint32_t>> prompts, got(kClients);
+    std::vector<size_t> maxNew;
+    for (size_t i = 0; i < kClients; ++i) {
+        prompts.push_back(makePrompt(500 + i, 4 + i % 3, 64));
+        maxNew.push_back(3 + i % 4);
+    }
+    std::vector<NetCode> codes(kClients, NetCode::ConnectionLost);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kClients; ++i)
+        threads.emplace_back([&, i] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.seed = 10 + i;
+            NetClient client(cc);
+            const GenerateResult res = client.generate(
+                prompts[i], static_cast<uint32_t>(maxNew[i]));
+            codes[i] = res.code;
+            got[i] = res.tokens;
+        });
+    for (std::thread &t : threads)
+        t.join();
+    for (size_t i = 0; i < kClients; ++i) {
+        EXPECT_EQ(codes[i], NetCode::Ok) << netCodeName(codes[i]);
+        EXPECT_EQ(got[i], referenceStream(prompts[i], maxNew[i]))
+            << "client " << i;
+    }
+}
+
+TEST(ModelServer, OverloadedIsTypedAndBounded)
+{
+    ServerConfig cfg;
+    cfg.maxQueue = 1;
+    DecodeConfig dec = baseDecodeConfig();
+    dec.maxBatchSeqs = 1; // one resident sequence: queue fills fast
+    ServerFixture fx(cfg, dec);
+    ASSERT_TRUE(fx.started);
+
+    // Pipeline 10 requests in one write; the engine can hold one and
+    // the queue one more, so most must come back Overloaded — and all
+    // ten must be answered (typed rejection, never silence).
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+    RequestMsg msg;
+    msg.maxNewTokens = 8;
+    msg.prompt = makePrompt(9, 6, 64);
+    std::vector<uint8_t> wire;
+    for (uint64_t id = 1; id <= 10; ++id) {
+        const std::vector<uint8_t> one = encodeRequestFrame(id, msg);
+        wire.insert(wire.end(), one.begin(), one.end());
+    }
+    ASSERT_TRUE(raw.send(wire));
+
+    size_t done = 0, overloaded = 0;
+    for (size_t answered = 0; answered < 10;) {
+        Frame f;
+        ASSERT_EQ(raw.read(f), NetCode::Ok);
+        if (f.type == FrameType::Done) {
+            ++done;
+            ++answered;
+        } else if (f.type == FrameType::Error) {
+            ErrorMsg em;
+            ASSERT_EQ(decodeErrorMsg(f.payload, em), NetCode::Ok);
+            EXPECT_EQ(em.code, ServeError::Overloaded);
+            ++overloaded;
+            ++answered;
+        }
+    }
+    EXPECT_GE(done, 1u);
+    EXPECT_GE(overloaded, 6u);
+    EXPECT_EQ(done + overloaded, 10u);
+    EXPECT_EQ(fx.server.stats().rejectedOverloaded, overloaded);
+}
+
+TEST(ModelServer, KvPledgeOverloadRejectsAtAdmission)
+{
+    ServerConfig cfg;
+    DecodeConfig dec = baseDecodeConfig();
+    dec.kvArenaBytes = 8192; // tiny arena: a long request cannot pledge
+    dec.usePrefixCache = false;
+    ServerFixture fx(cfg, dec);
+    ASSERT_TRUE(fx.started);
+    ASSERT_GT(fx.engine.arena().capacityPages(), 0u);
+    // Pick a request whose page estimate provably exceeds the budget.
+    const size_t need = fx.engine.estimateRequestPages(64, 512);
+    ASSERT_GT(need, fx.engine.arena().capacityPages());
+
+    ClientConfig cc;
+    cc.port = fx.server.boundPort();
+    cc.maxAttempts = 1;
+    NetClient client(cc);
+    const GenerateResult res =
+        client.generate(makePrompt(3, 64, 64), 512);
+    EXPECT_EQ(res.code, NetCode::Rejected);
+    EXPECT_EQ(res.serverError, ServeError::Overloaded);
+    EXPECT_EQ(fx.server.stats().rejectedOverloaded, 1u);
+}
+
+TEST(ModelServer, BadRequestsAreTypedAndNonFatal)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+
+    // Out-of-vocabulary prompt: typed BadRequest.
+    RequestMsg msg;
+    msg.maxNewTokens = 2;
+    msg.prompt = {9999};
+    ASSERT_TRUE(raw.send(encodeRequestFrame(1, msg)));
+    Frame f;
+    ASSERT_EQ(raw.read(f), NetCode::Ok);
+    ASSERT_EQ(f.type, FrameType::Error);
+    ErrorMsg em;
+    ASSERT_EQ(decodeErrorMsg(f.payload, em), NetCode::Ok);
+    EXPECT_EQ(em.code, ServeError::BadRequest);
+
+    // The connection survives and serves a valid request afterwards.
+    msg.prompt = makePrompt(1, 4, 64);
+    ASSERT_TRUE(raw.send(encodeRequestFrame(2, msg)));
+    size_t tokens = 0;
+    for (;;) {
+        ASSERT_EQ(raw.read(f), NetCode::Ok);
+        if (f.type == FrameType::Token)
+            ++tokens;
+        else
+            break;
+    }
+    EXPECT_EQ(f.type, FrameType::Done);
+    EXPECT_EQ(tokens, 2u);
+    EXPECT_EQ(fx.server.stats().rejectedBadRequest, 1u);
+}
+
+TEST(ModelServer, GarbageStreamClosesConnection)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+    const std::vector<uint8_t> garbage(64, 0x5A);
+    ASSERT_TRUE(raw.send(garbage));
+    Frame f;
+    EXPECT_EQ(raw.read(f), NetCode::ConnectionLost);
+
+    const uint64_t t0 = steadyNanos();
+    while (fx.server.stats().badFrameConns == 0 && elapsedMs(t0) < 5000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(fx.server.stats().badFrameConns, 1u);
+}
+
+TEST(ModelServer, DeadlineExpiryCancelsMidGeneration)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    ClientConfig cc;
+    cc.port = fx.server.boundPort();
+    cc.maxAttempts = 1;
+    NetClient client(cc);
+    // A 1 ms deadline on a long generation cannot finish in time.
+    const GenerateResult res =
+        client.generate(makePrompt(21, 6, 64), 2048, /*deadline_ms=*/1);
+    EXPECT_EQ(res.code, NetCode::Rejected) << netCodeName(res.code);
+    EXPECT_EQ(res.serverError, ServeError::DeadlineExceeded);
+    EXPECT_EQ(fx.server.stats().deadlineExpired, 1u);
+
+    // The engine recovered: a fresh request on a fresh connection
+    // completes and matches the reference.
+    ClientConfig cc2;
+    cc2.port = fx.server.boundPort();
+    NetClient client2(cc2);
+    const std::vector<uint32_t> prompt = makePrompt(22, 5, 64);
+    const GenerateResult ok = client2.generate(prompt, 3);
+    ASSERT_EQ(ok.code, NetCode::Ok);
+    EXPECT_EQ(ok.tokens, referenceStream(prompt, 3));
+}
+
+TEST(ModelServer, CancelFrameStopsAStream)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+    RequestMsg msg;
+    msg.maxNewTokens = 2048; // would run a long time
+    msg.prompt = makePrompt(31, 6, 64);
+    ASSERT_TRUE(raw.send(encodeRequestFrame(7, msg)));
+
+    // Wait for the stream to start, then cancel it.
+    Frame f;
+    ASSERT_EQ(raw.read(f), NetCode::Ok);
+    ASSERT_EQ(f.type, FrameType::Token);
+    ASSERT_TRUE(raw.send(encodeCancelFrame(7)));
+    const uint64_t t0 = steadyNanos();
+    while (fx.server.stats().cancelled == 0 && elapsedMs(t0) < 5000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(fx.server.stats().cancelled, 1u);
+
+    // The connection remains usable: drain any straggler tokens of the
+    // cancelled stream, then run a small request to completion.
+    ASSERT_TRUE(raw.send(encodeRequestFrame(8, RequestMsg{
+                             2, 0, makePrompt(32, 4, 64)})));
+    bool done8 = false;
+    const uint64_t t1 = steadyNanos();
+    while (!done8 && elapsedMs(t1) < 10000) {
+        ASSERT_EQ(raw.read(f), NetCode::Ok);
+        done8 = f.type == FrameType::Done && f.requestId == 8;
+    }
+    EXPECT_TRUE(done8);
+}
+
+TEST(ModelServer, SlowClientIsAbortedNotBuffered)
+{
+    ServerConfig cfg;
+    cfg.maxOutBufBytes = 0; // nothing may pend: first buffered frame
+                            // that cannot flush instantly aborts
+    ServerFixture fx(cfg);
+    ASSERT_TRUE(fx.started);
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+    RequestMsg msg;
+    msg.maxNewTokens = 64;
+    msg.prompt = makePrompt(41, 6, 64);
+    ASSERT_TRUE(raw.send(encodeRequestFrame(1, msg)));
+
+    const uint64_t t0 = steadyNanos();
+    while (fx.server.stats().slowClientAborts == 0 && elapsedMs(t0) < 10000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(fx.server.stats().slowClientAborts, 1u);
+}
+
+TEST(ModelServer, IdleConnectionsAreReaped)
+{
+    ServerConfig cfg;
+    cfg.idleTimeoutMs = 50;
+    ServerFixture fx(cfg);
+    ASSERT_TRUE(fx.started);
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+    // Send nothing; the server must reap the connection.
+    Frame f;
+    EXPECT_EQ(raw.read(f, /*timeoutMs=*/10000), NetCode::ConnectionLost);
+    EXPECT_EQ(fx.server.stats().idleReaped, 1u);
+}
+
+TEST(ModelServer, DrainFinishesInFlightStreamsWithZeroDrops)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    const uint16_t port = fx.server.boundPort();
+
+    constexpr size_t kClients = 3;
+    std::vector<std::vector<uint32_t>> prompts, got(kClients);
+    std::vector<NetCode> codes(kClients, NetCode::Ok);
+    for (size_t i = 0; i < kClients; ++i)
+        prompts.push_back(makePrompt(600 + i, 5, 64));
+    const size_t maxNew = 24;
+
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kClients; ++i)
+        threads.emplace_back([&, i] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.maxAttempts = 1;
+            NetClient client(cc);
+            const GenerateResult res =
+                client.generate(prompts[i], maxNew);
+            codes[i] = res.code;
+            got[i] = res.tokens;
+        });
+
+    // Let the requests land, then drain mid-generation: every admitted
+    // stream must still finish, byte-complete.
+    const uint64_t t0 = steadyNanos();
+    while (fx.server.stats().requestsAdmitted < kClients &&
+           elapsedMs(t0) < 10000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(fx.server.drain());
+    for (std::thread &t : threads)
+        t.join();
+
+    const ServerStats st = fx.server.stats();
+    EXPECT_EQ(st.droppedTokens, 0u);
+    EXPECT_GE(st.drainMs, 0.0);
+    for (size_t i = 0; i < kClients; ++i) {
+        EXPECT_EQ(codes[i], NetCode::Ok) << netCodeName(codes[i]);
+        EXPECT_EQ(got[i], referenceStream(prompts[i], maxNew))
+            << "client " << i;
+    }
+
+    // Post-drain the server admits nothing.
+    ClientConfig cc;
+    cc.port = port;
+    cc.maxAttempts = 1;
+    NetClient late(cc);
+    EXPECT_NE(late.generate(prompts[0], 2).code, NetCode::Ok);
+}
+
+TEST(ModelServer, RequestsDuringDrainGetShuttingDown)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    fx.server.requestDrain();
+    ClientConfig cc;
+    cc.port = fx.server.boundPort();
+    cc.maxAttempts = 1;
+    NetClient client(cc);
+    const GenerateResult res = client.generate(makePrompt(1, 4, 64), 2);
+    EXPECT_EQ(res.code, NetCode::Rejected);
+    EXPECT_EQ(res.serverError, ServeError::ShuttingDown);
+    EXPECT_EQ(fx.server.stats().rejectedShutdown, 1u);
+}
+
+} // namespace
+} // namespace msq

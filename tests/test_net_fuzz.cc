@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Hostile-input sweeps over the serving wire protocol, mirroring the
+ * `.msq` container fuzz discipline (test_io_fuzz.cc): every byte flip,
+ * every truncation, oversized declared lengths, and seeded garbage
+ * streams must come back as typed NetCodes — never an assert, a crash,
+ * or an allocation blowup. The decoder's buffer bound is pinned
+ * explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/frame.h"
+
+namespace msq {
+namespace {
+
+/** A corpus of one valid frame per type. */
+std::vector<std::vector<uint8_t>>
+corpus()
+{
+    RequestMsg rq;
+    rq.maxNewTokens = 9;
+    rq.deadlineMs = 250;
+    rq.prompt = {1, 2, 3, 4, 5, 6, 7};
+    ErrorMsg em;
+    em.code = ServeError::DeadlineExceeded;
+    em.detail = "expired";
+    return {
+        encodeRequestFrame(11, rq),
+        encodeCancelFrame(12),
+        encodeTokenFrame(13, TokenMsg{4, 42}),
+        encodeDoneFrame(14, DoneMsg{5, 0x1234567890ull}),
+        encodeErrorFrame(15, em),
+    };
+}
+
+/** Decode a byte stream to exhaustion; must terminate with a typed
+ *  code and never throw. Returns the terminal NetCode. */
+NetCode
+consume(const std::vector<uint8_t> &bytes, size_t *frames = nullptr)
+{
+    FrameDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame f;
+    size_t count = 0;
+    for (;;) {
+        const NetCode code = dec.next(f);
+        if (code == NetCode::Ok) {
+            ++count;
+            // Payload decoders must also stay typed on whatever the
+            // frame layer accepted.
+            RequestMsg rq;
+            TokenMsg tm;
+            DoneMsg dm;
+            ErrorMsg em;
+            switch (f.type) {
+              case FrameType::Request:
+                decodeRequestMsg(f.payload, rq);
+                break;
+              case FrameType::Token:
+                decodeTokenMsg(f.payload, tm);
+                break;
+              case FrameType::Done:
+                decodeDoneMsg(f.payload, dm);
+                break;
+              case FrameType::Error:
+                decodeErrorMsg(f.payload, em);
+                break;
+              case FrameType::Cancel:
+                break;
+            }
+            continue;
+        }
+        if (frames != nullptr)
+            *frames = count;
+        return code;
+    }
+}
+
+TEST(NetFuzz, EveryByteFlipIsDetected)
+{
+    for (const std::vector<uint8_t> &frame : corpus()) {
+        for (size_t pos = 0; pos < frame.size(); ++pos) {
+            for (uint8_t bit = 0; bit < 8; ++bit) {
+                std::vector<uint8_t> mutated = frame;
+                mutated[pos] ^= static_cast<uint8_t>(1u << bit);
+                size_t decoded = 0;
+                const NetCode code = consume(mutated, &decoded);
+                // The CRC covers every byte, so a single-bit flip can
+                // never yield a cleanly decoded frame: the decoder
+                // reports a typed error, or (when the flip grew the
+                // declared length within bounds) starves on NeedMore.
+                EXPECT_EQ(decoded, 0u)
+                    << "pos " << pos << " bit " << int(bit);
+                EXPECT_NE(code, NetCode::Ok);
+            }
+        }
+    }
+}
+
+TEST(NetFuzz, EveryTruncationStarvesOrErrs)
+{
+    for (const std::vector<uint8_t> &frame : corpus()) {
+        for (size_t len = 0; len < frame.size(); ++len) {
+            std::vector<uint8_t> prefix(frame.begin(),
+                                        frame.begin() +
+                                            static_cast<ptrdiff_t>(len));
+            size_t decoded = 0;
+            const NetCode code = consume(prefix, &decoded);
+            EXPECT_EQ(decoded, 0u) << "len " << len;
+            EXPECT_EQ(code, NetCode::NeedMore) << "len " << len;
+        }
+        // The untruncated frame decodes exactly once, as a control.
+        size_t decoded = 0;
+        EXPECT_EQ(consume(frame, &decoded), NetCode::NeedMore);
+        EXPECT_EQ(decoded, 1u);
+    }
+}
+
+TEST(NetFuzz, OversizedLengthsNeverBuffer)
+{
+    // Sweep hostile declared lengths; none may grow the buffer beyond
+    // what was actually fed, and all must be typed FrameTooLarge.
+    const uint32_t hostile[] = {kMaxFramePayload + 1, 1u << 24,
+                                0x7FFFFFFFu, 0xFFFFFFFFu};
+    for (uint32_t len : hostile) {
+        std::vector<uint8_t> hdr;
+        for (int i = 0; i < 4; ++i)
+            hdr.push_back(static_cast<uint8_t>(kNetMagic >> (8 * i)));
+        hdr.push_back(3); // Token
+        for (int i = 0; i < 8; ++i)
+            hdr.push_back(static_cast<uint8_t>(i));
+        for (int i = 0; i < 4; ++i)
+            hdr.push_back(static_cast<uint8_t>(len >> (8 * i)));
+        FrameDecoder dec;
+        dec.feed(hdr.data(), hdr.size());
+        Frame f;
+        EXPECT_EQ(dec.next(f), NetCode::FrameTooLarge);
+        EXPECT_LE(dec.buffered(), hdr.size());
+        // Sticky: the stream cannot be revived with more bytes.
+        EXPECT_FALSE(dec.feed(hdr.data(), hdr.size()));
+        EXPECT_EQ(dec.next(f), NetCode::FrameTooLarge);
+    }
+}
+
+TEST(NetFuzz, HostilePayloadLengthsAreTypedNotAllocated)
+{
+    // CRC-valid frames whose *payload fields* lie about sizes: the
+    // caps must fire before any length-derived allocation.
+    const auto put32 = [](std::vector<uint8_t> &v, uint32_t x) {
+        for (int i = 0; i < 4; ++i)
+            v.push_back(static_cast<uint8_t>(x >> (8 * i)));
+    };
+    for (uint32_t lie : {kMaxPromptTokens + 1, 1u << 28, 0xFFFFFFFFu}) {
+        std::vector<uint8_t> payload;
+        put32(payload, 4);   // maxNewTokens
+        put32(payload, 0);   // deadline
+        put32(payload, lie); // prompt length lie
+        RequestMsg out;
+        EXPECT_EQ(decodeRequestMsg(payload, out), NetCode::BadPayload);
+        EXPECT_TRUE(out.prompt.empty());
+    }
+    for (uint32_t lie : {kMaxNewTokens + 1, 0u, 0xFFFFFFFFu}) {
+        std::vector<uint8_t> payload;
+        put32(payload, lie);
+        put32(payload, 0);
+        put32(payload, 1);
+        put32(payload, 2);
+        RequestMsg out;
+        EXPECT_EQ(decodeRequestMsg(payload, out), NetCode::BadPayload);
+    }
+    // Error frame lying about its detail length.
+    {
+        std::vector<uint8_t> payload;
+        put32(payload, 1);          // Overloaded
+        put32(payload, 0xFFFFFFFF); // detail length lie
+        ErrorMsg out;
+        EXPECT_EQ(decodeErrorMsg(payload, out), NetCode::BadPayload);
+        EXPECT_TRUE(out.detail.empty());
+    }
+}
+
+TEST(NetFuzz, SeededGarbageStreamsStayTyped)
+{
+    // Random byte soup, dribbled in random chunk sizes: the decoder
+    // must land in a typed state with bounded memory, every time.
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+        Rng rng(seed);
+        std::vector<uint8_t> soup(512);
+        for (uint8_t &b : soup)
+            b = static_cast<uint8_t>(rng.uniformInt(256));
+        FrameDecoder dec;
+        size_t fed = 0;
+        Frame f;
+        while (fed < soup.size()) {
+            const size_t chunk =
+                std::min<size_t>(1 + rng.uniformInt(64),
+                                 soup.size() - fed);
+            if (!dec.feed(soup.data() + fed, chunk))
+                break; // sticky error: bytes refused, memory capped
+            fed += chunk;
+            NetCode code;
+            while ((code = dec.next(f)) == NetCode::Ok) {
+            }
+            EXPECT_LE(dec.buffered(),
+                      frameWireBytes(kMaxFramePayload) + 64);
+        }
+        EXPECT_NE(dec.state(), NetCode::Ok); // garbage can't stay clean
+    }
+}
+
+} // namespace
+} // namespace msq
