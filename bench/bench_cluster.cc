@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Cluster-tier benchmark: spawns real `model_server` processes under a
+ * ReplicaSupervisor, fronts them with a ClusterController, and drives
+ * the same open-loop request mix as examples/cluster_loadgen through
+ * three phases, emitting BENCH_cluster.json (path as argv[1]; model as
+ * argv[2]; server binary as argv[3], default resolved next to this
+ * binary; schema checked by scripts/check_bench_json.py).
+ *
+ *  single  one replica behind the controller. The per-replica admission
+ *          queue and batch are kept deliberately small, so the open-loop
+ *          mix overloads it: requests bounce with typed OVERLOADED,
+ *          controller pacing and client backoff stretch the wall clock.
+ *  scaled  three replicas, identical mix. The aggregate queue absorbs
+ *          the same offered load, so wall time collapses toward compute
+ *          time; `scaling` = scaled/single throughput is the headline
+ *          (the CI gate demands >= 2x even on a single-core host,
+ *          because the win is capacity, not parallelism). Latency
+ *          percentiles come from this healthy phase.
+ *  chaos   three replicas, longer streams, SIGKILL the replica holding
+ *          the most active routes mid-load. Every completed stream must
+ *          be byte-identical (tokens and fold) to a fault-free
+ *          in-process engine run; the supervisor must respawn the
+ *          victim; the controller drain must drop zero streams.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/controller.h"
+#include "cluster/supervisor.h"
+#include "common/parallel.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "model/model_zoo.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "serve/clock.h"
+#include "serve/decode.h"
+
+using namespace msq;
+
+namespace {
+
+// Throughput phases: a simultaneous burst (arrival 0) so the offered
+// concurrency — not the arrival schedule — is what the replica set
+// must absorb. One replica admits ~(queue + batch) of it and sheds the
+// rest into paced OVERLOADED retries; three admit nearly all of it.
+constexpr size_t kRequests = 24;
+constexpr uint32_t kArrivalMs = 0;
+constexpr uint32_t kMaxNew = 8;
+constexpr uint64_t kMixSeed = 1234;
+
+// Chaos phase: longer streams so the SIGKILL lands mid-stream.
+constexpr size_t kChaosRequests = 16;
+constexpr uint32_t kChaosArrivalMs = 3;
+constexpr uint32_t kChaosMaxNew = 48;
+constexpr uint64_t kChaosSeed = 777;
+
+// Per-replica knobs: a deliberately shallow queue and small batch so
+// capacity — not CPU — is the contended resource.
+constexpr size_t kIoWorkers = 1;
+constexpr size_t kMaxQueue = 2;
+constexpr size_t kMaxBatch = 2;
+
+/** Same prompt function as examples/cluster_loadgen.cpp: a pure
+ *  function of (seed, index) inside the demo vocabulary. */
+std::vector<uint32_t>
+makePrompt(uint64_t seed, size_t i, size_t vocab)
+{
+    const size_t len = 4 + (i % 5);
+    std::vector<uint32_t> prompt(len);
+    uint64_t x = seed * 0x9E3779B97F4A7C15ull + i + 1;
+    for (size_t k = 0; k < len; ++k) {
+        x ^= x >> 27;
+        x *= 0x2545F4914F6CDD1Dull;
+        prompt[k] = static_cast<uint32_t>((x >> 33) % vocab);
+    }
+    return prompt;
+}
+
+/** Mirror of examples/model_server.cpp's deployment: the reference
+ *  engine must decode under the same geometry the replicas serve.
+ *  (Batch composition cannot change the tokens — that is the
+ *  determinism contract failover replay rests on.) */
+DecodeConfig
+replicaDecodeConfig()
+{
+    DecodeConfig cfg;
+    cfg.maxBatchSeqs = kMaxBatch;
+    cfg.stepTokenBudget = 32;
+    cfg.prefillChunk = 8;
+    cfg.kv = {2, 8, 8};
+    cfg.vocab = 64;
+    return cfg;
+}
+
+/** Fault-free reference stream from a private in-process engine. */
+std::vector<uint32_t>
+referenceStream(const ModelProfile &model, const MsqConfig &qcfg,
+                uint64_t seed, size_t i, uint32_t max_new)
+{
+    DecodeEngine ref(model, qcfg, replicaDecodeConfig());
+    ref.submit(makePrompt(seed, i, 64), max_new);
+    const DecodeReport rep = ref.run();
+    return rep.requests.front().tokens;
+}
+
+struct MixOutcome
+{
+    size_t completed = 0;
+    size_t failed = 0;
+    size_t mismatched = 0; ///< completed but not byte-identical
+    size_t tokens = 0;
+    double wallMs = 0.0;
+    double tokensPerS = 0.0;
+    uint64_t clientRetries = 0;
+    uint64_t clientBackoffMs = 0;
+    std::vector<double> firstToken;
+    std::vector<double> perToken;
+};
+
+/** Fire `want.size()` requests open-loop at the given port and verify
+ *  every completed stream against its reference. */
+MixOutcome
+runMix(uint16_t port, const std::vector<std::vector<uint32_t>> &want,
+       uint32_t arrival_ms, uint32_t max_new, uint64_t seed)
+{
+    const size_t n = want.size();
+    struct Slot
+    {
+        bool ok = false;
+        bool match = false;
+        double firstTokenMs = -1.0;
+        double totalMs = 0.0;
+        size_t tokens = 0;
+        uint64_t retries = 0;
+        uint64_t backoffMs = 0;
+    };
+    std::vector<Slot> slots(n);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    const uint64_t epoch = steadyNanos();
+    for (size_t i = 0; i < n; ++i) {
+        const double due = static_cast<double>(i) * arrival_ms;
+        while (elapsedMs(epoch) < due)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        threads.emplace_back([&, i] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.maxAttempts = 25;
+            cc.backoffBaseMs = 15;
+            cc.backoffCapMs = 150;
+            cc.seed = seed + i;
+            NetClient client(cc);
+            const GenerateResult r =
+                client.generate(makePrompt(seed, i, 64), max_new);
+            Slot &s = slots[i];
+            s.ok = r.code == NetCode::Ok;
+            s.match = s.ok && r.tokens == want[i] &&
+                      r.streamFold ==
+                          tokenStreamFold(want[i].data(), want[i].size());
+            s.firstTokenMs = r.firstTokenMs;
+            s.totalMs = r.totalMs;
+            s.tokens = r.tokens.size();
+            s.retries = client.stats().retries;
+            s.backoffMs = client.stats().backoffMsTotal;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    MixOutcome out;
+    out.wallMs = elapsedMs(epoch);
+    for (const Slot &s : slots) {
+        out.clientRetries += s.retries;
+        out.clientBackoffMs += s.backoffMs;
+        if (!s.ok) {
+            ++out.failed;
+            continue;
+        }
+        ++out.completed;
+        out.tokens += s.tokens;
+        if (!s.match) {
+            ++out.mismatched;
+            continue;
+        }
+        if (s.firstTokenMs >= 0.0)
+            out.firstToken.push_back(s.firstTokenMs);
+        if (s.tokens > 1)
+            out.perToken.push_back((s.totalMs - s.firstTokenMs) /
+                                   static_cast<double>(s.tokens - 1));
+    }
+    out.tokensPerS =
+        out.wallMs > 0.0
+            ? static_cast<double>(out.tokens) / (out.wallMs / 1e3)
+            : 0.0;
+    return out;
+}
+
+SupervisorConfig
+supervisorConfig(const std::string &binary, const std::string &model,
+                 size_t replicas)
+{
+    SupervisorConfig sc;
+    sc.serverBinary = binary;
+    sc.model = model;
+    sc.replicas = replicas;
+    sc.ioWorkers = kIoWorkers;
+    sc.maxQueue = kMaxQueue;
+    sc.threads = 1;
+    sc.maxBatch = kMaxBatch;
+    return sc;
+}
+
+ControllerConfig
+controllerConfig()
+{
+    ControllerConfig cc;
+    cc.maxInflight = 64;
+    // Enough replica attempts that the burst drains fully inside the
+    // controller even against one shallow replica (the pacing between
+    // attempts is the idle time the scaled phase eliminates).
+    cc.maxAttempts = 12;
+    cc.pollMs = 5;
+    return cc;
+}
+
+void
+writeLatencyJson(std::FILE *f, const char *name,
+                 const std::vector<double> &v, bool trailing_comma)
+{
+    const SampleSummary s = summarize(v);
+    std::fprintf(f,
+                 "  \"%s\": {\"p50\": %.4f, \"p95\": %.4f, "
+                 "\"p99\": %.4f, \"mean\": %.4f, \"max\": %.4f}%s\n",
+                 name, percentile(v, 50.0), percentile(v, 95.0),
+                 percentile(v, 99.0), s.mean, s.maxValue,
+                 trailing_comma ? "," : "");
+}
+
+/** `<dir of argv0>/../examples/model_server` — the build-tree layout. */
+std::string
+defaultServerBinary(const char *argv0)
+{
+    std::string path(argv0);
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    return dir + "/../examples/model_server";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_cluster.json";
+    const std::string model_name =
+        argc > 2 ? argv[2] : "TinyLM-decode";
+    const std::string server_bin =
+        argc > 3 ? argv[3] : defaultServerBinary(argv[0]);
+    const ModelProfile &model = modelByName(model_name);
+    if (!decodeCapable(model)) {
+        std::fprintf(stderr, "%s carries no attention geometry\n",
+                     model.name.c_str());
+        return 1;
+    }
+    MsqConfig qcfg;
+    qcfg.hessianCompensation = false;
+
+    // Fault-free references (computed outside every timed region).
+    std::vector<std::vector<uint32_t>> mixWant, chaosWant;
+    for (size_t i = 0; i < kRequests; ++i)
+        mixWant.push_back(
+            referenceStream(model, qcfg, kMixSeed, i, kMaxNew));
+    for (size_t i = 0; i < kChaosRequests; ++i)
+        chaosWant.push_back(
+            referenceStream(model, qcfg, kChaosSeed, i, kChaosMaxNew));
+
+    // ---- single phase: one small replica, overload-bound ----------
+    MixOutcome single;
+    {
+        ReplicaSupervisor sup(
+            supervisorConfig(server_bin, model_name, 1));
+        if (!sup.start()) {
+            std::fprintf(stderr, "cannot spawn the single replica "
+                                 "(server binary: %s)\n",
+                         server_bin.c_str());
+            return 1;
+        }
+        ClusterController ctl(sup, controllerConfig());
+        if (!ctl.start()) {
+            std::fprintf(stderr, "cannot start the controller\n");
+            return 1;
+        }
+        single = runMix(ctl.boundPort(), mixWant, kArrivalMs, kMaxNew,
+                        kMixSeed);
+        ctl.drain();
+        sup.stop();
+    }
+
+    // ---- scaled phase: three replicas, identical mix --------------
+    MixOutcome scaled;
+    std::vector<uint64_t> perReplicaServed;
+    {
+        ReplicaSupervisor sup(
+            supervisorConfig(server_bin, model_name, 3));
+        if (!sup.start()) {
+            std::fprintf(stderr, "cannot spawn the replica set\n");
+            return 1;
+        }
+        ClusterController ctl(sup, controllerConfig());
+        if (!ctl.start()) {
+            std::fprintf(stderr, "cannot start the controller\n");
+            return 1;
+        }
+        scaled = runMix(ctl.boundPort(), mixWant, kArrivalMs, kMaxNew,
+                        kMixSeed);
+        ctl.drain();
+        perReplicaServed = ctl.stats().perReplicaServed;
+        sup.stop();
+    }
+    const double scaling = single.tokensPerS > 0.0
+                               ? scaled.tokensPerS / single.tokensPerS
+                               : 0.0;
+
+    // ---- chaos phase: SIGKILL a loaded replica mid-stream ---------
+    MixOutcome chaos;
+    uint64_t chaosFailovers = 0, chaosDropped = 0;
+    uint64_t chaosKills = 0, chaosRespawns = 0;
+    bool chaosDrained = false, victimRespawned = false;
+    {
+        ReplicaSupervisor sup(
+            supervisorConfig(server_bin, model_name, 3));
+        if (!sup.start()) {
+            std::fprintf(stderr, "cannot spawn the chaos replica set\n");
+            return 1;
+        }
+        ClusterController ctl(sup, controllerConfig());
+        if (!ctl.start()) {
+            std::fprintf(stderr, "cannot start the controller\n");
+            return 1;
+        }
+        // Assassin: wait until some replica is actually streaming,
+        // then SIGKILL the busiest one and wait for its respawn.
+        std::thread assassin([&] {
+            size_t victim = 0;
+            uint64_t victimGen = 0;
+            bool armed = false;
+            for (int spins = 0; spins < 10000 && !armed; ++spins) {
+                const ControllerStats cs = ctl.stats();
+                uint64_t best = 0;
+                for (size_t i = 0; i < cs.perReplicaActive.size(); ++i)
+                    if (cs.perReplicaActive[i] > best) {
+                        best = cs.perReplicaActive[i];
+                        victim = i;
+                        armed = true;
+                    }
+                if (!armed)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+            }
+            if (!armed)
+                return;
+            for (const ReplicaEndpoint &ep : sup.endpoints())
+                if (ep.index == victim)
+                    victimGen = ep.generation;
+            if (!sup.killReplica(victim))
+                return;
+            // Wait (bounded) for the monitor to respawn the victim.
+            for (int spins = 0; spins < 10000; ++spins) {
+                const std::vector<ReplicaEndpoint> eps = sup.endpoints();
+                if (victim < eps.size() && eps[victim].healthy &&
+                    eps[victim].generation > victimGen) {
+                    victimRespawned = true;
+                    return;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+        chaos = runMix(ctl.boundPort(), chaosWant, kChaosArrivalMs,
+                       kChaosMaxNew, kChaosSeed);
+        assassin.join();
+        chaosDrained = ctl.drain();
+        const ControllerStats cs = ctl.stats();
+        chaosFailovers = cs.failovers;
+        chaosDropped = cs.droppedStreams;
+        sup.stop();
+        const SupervisorStats ss = sup.stats();
+        chaosKills = ss.kills;
+        chaosRespawns = ss.respawns;
+    }
+    const bool checksum_match =
+        chaos.completed >= 1 && chaos.mismatched == 0;
+    const bool chaos_ok = chaosDrained && chaosDropped == 0 &&
+                          chaos.failed == 0 && checksum_match &&
+                          chaosKills >= 1 && chaosRespawns >= 1 &&
+                          victimRespawned;
+
+    // ---- report ----------------------------------------------------
+    Table t("Cluster tier, " + model.name + ", " + qcfg.name() + " (" +
+            std::to_string(threadCount()) + " threads, queue " +
+            std::to_string(kMaxQueue) + ", batch " +
+            std::to_string(kMaxBatch) + " per replica)");
+    t.setHeader({"phase", "quantity", "value"});
+    t.addRow({"single", "completed / requests",
+              Table::fmtInt(static_cast<long long>(single.completed)) +
+                  " / " +
+                  Table::fmtInt(static_cast<long long>(kRequests))});
+    t.addRow({"", "wall (ms)", Table::fmt(single.wallMs, 1)});
+    t.addRow({"", "throughput (tok/s)",
+              Table::fmt(single.tokensPerS, 1)});
+    t.addRow({"", "client retries",
+              Table::fmtInt(
+                  static_cast<long long>(single.clientRetries))});
+    t.addSeparator();
+    t.addRow({"scaled", "replicas", "3"});
+    t.addRow({"", "completed / requests",
+              Table::fmtInt(static_cast<long long>(scaled.completed)) +
+                  " / " +
+                  Table::fmtInt(static_cast<long long>(kRequests))});
+    t.addRow({"", "wall (ms)", Table::fmt(scaled.wallMs, 1)});
+    t.addRow({"", "throughput (tok/s)",
+              Table::fmt(scaled.tokensPerS, 1)});
+    t.addRow({"", "scaling vs single", Table::fmt(scaling, 2) + "x"});
+    t.addRow({"", "first-token p50 (ms)",
+              Table::fmt(percentile(scaled.firstToken, 50.0), 2)});
+    t.addRow({"", "first-token p99 (ms)",
+              Table::fmt(percentile(scaled.firstToken, 99.0), 2)});
+    t.addSeparator();
+    t.addRow({"chaos", "completed / requests",
+              Table::fmtInt(static_cast<long long>(chaos.completed)) +
+                  " / " +
+                  Table::fmtInt(
+                      static_cast<long long>(kChaosRequests))});
+    t.addRow({"", "failovers",
+              Table::fmtInt(static_cast<long long>(chaosFailovers))});
+    t.addRow({"", "kills / respawns",
+              Table::fmtInt(static_cast<long long>(chaosKills)) + " / " +
+                  Table::fmtInt(static_cast<long long>(chaosRespawns))});
+    t.addRow({"", "dropped streams",
+              Table::fmtInt(static_cast<long long>(chaosDropped))});
+    t.addRow({"", "streams byte-identical",
+              checksum_match ? "yes" : "NO"});
+    t.print();
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"cluster\",\n"
+                 "  \"model\": \"%s\",\n"
+                 "  \"method\": \"%s\",\n"
+                 "  \"threads\": %u,\n"
+                 "  \"replicas\": 3,\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"max_new_tokens\": %u,\n"
+                 "  \"queue_per_replica\": %zu,\n"
+                 "  \"batch_per_replica\": %zu,\n",
+                 model.name.c_str(), qcfg.name().c_str(), threadCount(),
+                 kRequests, kMaxNew, kMaxQueue, kMaxBatch);
+    std::fprintf(f,
+                 "  \"single\": {\"requests\": %zu, \"completed\": %zu, "
+                 "\"wall_ms\": %.3f, \"tokens_per_s\": %.2f, "
+                 "\"client_retries\": %llu},\n",
+                 kRequests, single.completed, single.wallMs,
+                 single.tokensPerS,
+                 static_cast<unsigned long long>(single.clientRetries));
+    std::fprintf(f,
+                 "  \"scaled\": {\"requests\": %zu, \"completed\": %zu, "
+                 "\"wall_ms\": %.3f, \"tokens_per_s\": %.2f, "
+                 "\"client_retries\": %llu, \"per_replica_served\": [",
+                 kRequests, scaled.completed, scaled.wallMs,
+                 scaled.tokensPerS,
+                 static_cast<unsigned long long>(scaled.clientRetries));
+    for (size_t i = 0; i < perReplicaServed.size(); ++i)
+        std::fprintf(f, "%s%llu", i ? ", " : "",
+                     static_cast<unsigned long long>(perReplicaServed[i]));
+    std::fprintf(f, "]},\n");
+    std::fprintf(f, "  \"scaling\": %.3f,\n", scaling);
+    writeLatencyJson(f, "first_token_ms", scaled.firstToken, true);
+    writeLatencyJson(f, "per_token_ms", scaled.perToken, true);
+    std::fprintf(
+        f,
+        "  \"failover\": {\"requests\": %zu, \"completed\": %zu, "
+        "\"matched\": %zu, \"failovers\": %llu, \"kills\": %llu, "
+        "\"respawns\": %llu, \"victim_respawned\": %s, "
+        "\"checksum_match\": %s, \"dropped_streams\": %llu}\n"
+        "}\n",
+        kChaosRequests, chaos.completed,
+        chaos.completed - chaos.mismatched,
+        static_cast<unsigned long long>(chaosFailovers),
+        static_cast<unsigned long long>(chaosKills),
+        static_cast<unsigned long long>(chaosRespawns),
+        victimRespawned ? "true" : "false",
+        checksum_match ? "true" : "false",
+        static_cast<unsigned long long>(chaosDropped));
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+
+    const bool ok = single.failed == 0 && single.mismatched == 0 &&
+                    scaled.failed == 0 && scaled.mismatched == 0 &&
+                    chaos_ok;
+    return ok ? 0 : 1;
+}

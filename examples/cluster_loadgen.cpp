@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Multi-threaded open-loop load generator for the cluster tier: fires
+ * requests at a fixed arrival rate against a ClusterController (or a
+ * single model_server — same wire protocol) without waiting for
+ * completions, then reports latency percentiles and the aggregated
+ * ClientStats retry/failover counters.
+ *
+ * Usage:
+ *   cluster_loadgen <port> [requests] [arrival-ms] [max-new] [seed]
+ *
+ * Open loop means offered load is a property of the schedule, not of
+ * the server's speed: each request gets its own thread launched at
+ * its scheduled arrival time, so a slow or overloaded target faces a
+ * growing backlog instead of an accidentally self-throttling client.
+ * Prompts are a pure function of (seed, request index), so two runs
+ * against deterministic replicas stream identical tokens.
+ *
+ * Exit status: 0 iff every request completed with a verified stream.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "net/client.h"
+#include "serve/clock.h"
+
+using namespace msq;
+
+namespace {
+
+/** Deterministic prompt for request `i`: length 4..8, tokens inside
+ *  the demo vocabulary (model_server deploys vocab 64). */
+std::vector<uint32_t>
+makePrompt(uint64_t seed, size_t i, size_t vocab)
+{
+    const size_t len = 4 + (i % 5);
+    std::vector<uint32_t> prompt(len);
+    uint64_t x = seed * 0x9E3779B97F4A7C15ull + i + 1;
+    for (size_t k = 0; k < len; ++k) {
+        x ^= x >> 27;
+        x *= 0x2545F4914F6CDD1Dull;
+        prompt[k] = static_cast<uint32_t>((x >> 33) % vocab);
+    }
+    return prompt;
+}
+
+struct RequestOutcome
+{
+    bool ok = false;
+    double firstTokenMs = -1.0;
+    double totalMs = 0.0;
+    size_t tokens = 0;
+    ClientStats stats;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: cluster_loadgen <port> [requests] "
+                     "[arrival-ms] [max-new] [seed]\n");
+        return 2;
+    }
+    const uint16_t port =
+        static_cast<uint16_t>(std::strtoul(argv[1], nullptr, 10));
+    const size_t requests =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 24;
+    const uint32_t arrivalMs =
+        argc > 3 ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
+                 : 5;
+    const uint32_t maxNew =
+        argc > 4 ? static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10))
+                 : 16;
+    const uint64_t seed =
+        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+
+    std::vector<RequestOutcome> outcomes(requests);
+    std::vector<std::thread> threads;
+    threads.reserve(requests);
+
+    const uint64_t epoch = steadyNanos();
+    for (size_t i = 0; i < requests; ++i) {
+        // Open-loop arrival schedule: launch at i * arrivalMs,
+        // regardless of how earlier requests are faring.
+        const double due = static_cast<double>(i) * arrivalMs;
+        while (elapsedMs(epoch) < due)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        threads.emplace_back([&, i] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.maxAttempts = 8;
+            cc.backoffBaseMs = 20;
+            cc.backoffCapMs = 200;
+            cc.seed = seed + i;
+            NetClient client(cc);
+            const GenerateResult r =
+                client.generate(makePrompt(seed, i, 64), maxNew);
+            RequestOutcome &out = outcomes[i];
+            out.ok = r.code == NetCode::Ok;
+            out.firstTokenMs = r.firstTokenMs;
+            out.totalMs = r.totalMs;
+            out.tokens = r.tokens.size();
+            out.stats = client.stats();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double wallMs = elapsedMs(epoch);
+
+    size_t ok = 0, failed = 0, tokens = 0;
+    ClientStats agg;
+    std::vector<double> firstToken, perToken;
+    for (const RequestOutcome &out : outcomes) {
+        if (out.ok) {
+            ++ok;
+            tokens += out.tokens;
+            if (out.firstTokenMs >= 0.0)
+                firstToken.push_back(out.firstTokenMs);
+            if (out.tokens > 0)
+                perToken.push_back(out.totalMs /
+                                   static_cast<double>(out.tokens));
+        } else {
+            ++failed;
+        }
+        agg.attempts += out.stats.attempts;
+        agg.retries += out.stats.retries;
+        agg.reconnects += out.stats.reconnects;
+        agg.failovers += out.stats.failovers;
+        agg.backoffSleeps += out.stats.backoffSleeps;
+        agg.backoffMsTotal += out.stats.backoffMsTotal;
+        agg.connectionsLost += out.stats.connectionsLost;
+        agg.timeouts += out.stats.timeouts;
+        agg.rejectedOverloaded += out.stats.rejectedOverloaded;
+        agg.rejectedShuttingDown += out.stats.rejectedShuttingDown;
+        agg.rejectedOther += out.stats.rejectedOther;
+    }
+
+    Table table("cluster loadgen: port " + std::to_string(port));
+    table.setHeader({"metric", "value"});
+    table.addRow({"requests", Table::fmtInt(static_cast<long long>(requests))});
+    table.addRow({"completed", Table::fmtInt(static_cast<long long>(ok))});
+    table.addRow({"failed", Table::fmtInt(static_cast<long long>(failed))});
+    table.addRow({"tokens", Table::fmtInt(static_cast<long long>(tokens))});
+    table.addRow({"wall ms", Table::fmt(wallMs, 1)});
+    table.addRow({"tokens/s",
+                  Table::fmt(wallMs > 0.0
+                                 ? static_cast<double>(tokens) * 1e3 / wallMs
+                                 : 0.0,
+                             1)});
+    if (!firstToken.empty()) {
+        table.addRow({"first-token p50 ms",
+                      Table::fmt(percentile(firstToken, 50.0), 2)});
+        table.addRow({"first-token p95 ms",
+                      Table::fmt(percentile(firstToken, 95.0), 2)});
+        table.addRow({"first-token p99 ms",
+                      Table::fmt(percentile(firstToken, 99.0), 2)});
+    }
+    table.addSeparator();
+    table.addRow({"attempts", Table::fmtInt(static_cast<long long>(agg.attempts))});
+    table.addRow({"retries", Table::fmtInt(static_cast<long long>(agg.retries))});
+    table.addRow({"failovers", Table::fmtInt(static_cast<long long>(agg.failovers))});
+    table.addRow({"backoff sleeps",
+                  Table::fmtInt(static_cast<long long>(agg.backoffSleeps))});
+    table.addRow({"backoff ms",
+                  Table::fmtInt(static_cast<long long>(agg.backoffMsTotal))});
+    table.addRow({"conns lost",
+                  Table::fmtInt(static_cast<long long>(agg.connectionsLost))});
+    table.addRow({"rej overloaded",
+                  Table::fmtInt(static_cast<long long>(agg.rejectedOverloaded))});
+    table.print();
+
+    return failed == 0 ? 0 : 1;
+}

@@ -8,14 +8,18 @@
  *
  * Usage:
  *   model_server [model] [port] [io-workers] [max-queue] [threads]
+ *                [max-batch]
  *
  * e.g.
  *   ./build/examples/model_server TinyLM-decode 7531 &
  *   ./build/examples/model_client 7531
  *   kill -TERM %1        # graceful drain, exit 0 with 0 drops
  *
- * Port 0 binds an ephemeral port (printed on stdout, line-buffered, so
- * scripts can scrape it). The wire protocol is src/net/frame.h; any
+ * Port 0 binds an ephemeral port. Once bound, the process prints a
+ * machine-scrapable `PORT <n>` line (flushed before anything else can
+ * follow it) — the ReplicaSupervisor (src/cluster) forks this binary
+ * with port 0 and scrapes that line, which also keeps net tests free
+ * of fixed-port collisions. The wire protocol is src/net/frame.h; any
  * NetClient — or the model_client example — can talk to it.
  */
 
@@ -59,6 +63,8 @@ main(int argc, char **argv)
     if (argc > 5 && std::strtoul(argv[5], nullptr, 10) > 0)
         setThreadCount(
             static_cast<unsigned>(std::strtoul(argv[5], nullptr, 10)));
+    const size_t max_batch =
+        argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 8;
 
     const ModelProfile &model = modelByName(model_name);
     if (!decodeCapable(model)) {
@@ -70,7 +76,7 @@ main(int argc, char **argv)
     MsqConfig qcfg;
     qcfg.hessianCompensation = false;
     DecodeConfig dcfg;
-    dcfg.maxBatchSeqs = 8;
+    dcfg.maxBatchSeqs = max_batch > 0 ? max_batch : 8;
     dcfg.stepTokenBudget = 32;
     dcfg.prefillChunk = 8;
     dcfg.kv = {2, 8, 8};
@@ -90,9 +96,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot bind port %lu\n", port);
         return 1;
     }
+    // The scrapable line first, flushed on its own, so a supervisor
+    // reading the pipe never has to parse past human-oriented output.
+    std::printf("PORT %u\n", server.boundPort());
+    std::fflush(stdout);
     std::printf("listening on 127.0.0.1:%u (vocab %zu, queue %zu, "
-                "%zu io workers)\n",
-                server.boundPort(), dcfg.vocab, max_queue, io_workers);
+                "%zu io workers, batch %zu)\n",
+                server.boundPort(), dcfg.vocab, max_queue, io_workers,
+                dcfg.maxBatchSeqs);
     std::fflush(stdout);
 
     std::signal(SIGTERM, onSignal);

@@ -31,6 +31,15 @@ trajectories cannot silently rot. Known ids:
                     dropped tokens, and the chaos phase's stream
                     checksums (every eventually-completed stream must
                     match the fault-free reference)
+  cluster           emitted by bench/bench_cluster: the replica tier —
+                    3-replica vs 1-replica throughput on the same
+                    open-loop mix (enforced scaling floor), per-replica
+                    request accounting (every replica must serve),
+                    latency percentile ordering, and the cross-process
+                    chaos phase (a SIGKILLed replica must be respawned,
+                    at least one route must fail over, every completed
+                    stream must match the fault-free reference, and
+                    zero streams may be dropped)
 
 Usage: check_bench_json.py path/to/BENCH_<name>.json
        check_bench_json.py --self-test
@@ -245,6 +254,51 @@ NET_CHAOS_SCHEMA = {
 # a second on any box; the ceiling only catches a drain that degraded
 # into waiting out client timeouts.
 NET_DRAIN_MS_CEILING = 30000.0
+
+CLUSTER_SCHEMA = {
+    "bench": str,
+    "model": str,
+    "method": str,
+    "threads": int,
+    "replicas": int,
+    "requests": int,
+    "max_new_tokens": int,
+    "queue_per_replica": int,
+    "batch_per_replica": int,
+    "single": dict,
+    "scaled": dict,
+    "scaling": float,
+    "first_token_ms": dict,
+    "per_token_ms": dict,
+    "failover": dict,
+}
+
+CLUSTER_PHASE_SCHEMA = {
+    "requests": int,
+    "completed": int,
+    "wall_ms": float,
+    "tokens_per_s": float,
+    "client_retries": int,
+}
+
+CLUSTER_FAILOVER_SCHEMA = {
+    "requests": int,
+    "completed": int,
+    "matched": int,
+    "failovers": int,
+    "kills": int,
+    "respawns": int,
+    "victim_respawned": bool,
+    "checksum_match": bool,
+    "dropped_streams": int,
+}
+
+# Throughput floor for 3 replicas over 1 on the bench's open-loop mix.
+# The win is admission capacity, not CPU parallelism (CI boxes may have
+# a single core): one shallow replica sheds the mix into backoff idle
+# gaps, three absorb it. Measured values are well above 2x; the floor
+# catches the controller quietly serializing onto one replica.
+CLUSTER_SCALING_FLOOR = 2.0
 
 COLD_START_SCHEMA = {
     "bench": str,
@@ -611,11 +665,92 @@ def check_net(doc):
             f"byte-identical")
 
 
+def check_cluster_phase(phase, where):
+    check_types(phase, CLUSTER_PHASE_SCHEMA, where)
+    if phase["requests"] <= 0:
+        fail(f"{where}.requests must be positive")
+    if phase["completed"] != phase["requests"]:
+        fail(f"{where}: only {phase['completed']} of "
+             f"{phase['requests']} requests completed — the mix must "
+             f"finish everywhere, slowly on one replica, quickly on "
+             f"three")
+    if phase["wall_ms"] <= 0 or phase["tokens_per_s"] <= 0:
+        fail(f"{where}: non-positive wall_ms / tokens_per_s")
+
+
+def check_cluster(doc):
+    check_types(doc, CLUSTER_SCHEMA, "$")
+    if doc["replicas"] < 2:
+        fail("$.replicas: a cluster record needs at least 2 replicas")
+    for key in ("requests", "max_new_tokens", "queue_per_replica",
+                "batch_per_replica"):
+        if doc[key] <= 0:
+            fail(f"$.{key} must be positive")
+    check_cluster_phase(doc["single"], "$.single")
+    check_cluster_phase(doc["scaled"], "$.scaled")
+    check_net_latency(doc["first_token_ms"], "$.first_token_ms")
+    check_net_latency(doc["per_token_ms"], "$.per_token_ms")
+
+    want = doc["scaled"]["tokens_per_s"] / doc["single"]["tokens_per_s"]
+    if abs(doc["scaling"] - want) > 0.01 * max(1.0, want):
+        fail(f"$.scaling {doc['scaling']} inconsistent with phase "
+             f"throughputs ({want:.4f})")
+    if doc["scaling"] < CLUSTER_SCALING_FLOOR:
+        fail(f"{doc['replicas']}-replica throughput must be >= "
+             f"{CLUSTER_SCALING_FLOOR}x single-replica on the loadgen "
+             f"mix; got {doc['scaling']:.2f}x "
+             f"({doc['scaled']['tokens_per_s']:.0f} vs "
+             f"{doc['single']['tokens_per_s']:.0f} tok/s)")
+
+    served = doc["scaled"].get("per_replica_served")
+    if not isinstance(served, list) or len(served) != doc["replicas"]:
+        fail("$.scaled.per_replica_served must list every replica")
+    for i, n in enumerate(served):
+        if not isinstance(n, int) or n < 1:
+            fail(f"$.scaled.per_replica_served[{i}]: replica served "
+                 f"nothing — routing collapsed onto a subset")
+    if sum(served) != doc["scaled"]["completed"]:
+        fail(f"$.scaled.per_replica_served sums to {sum(served)}, "
+             f"not the {doc['scaled']['completed']} completed "
+             f"requests; requests went unaccounted")
+
+    fo = doc["failover"]
+    check_types(fo, CLUSTER_FAILOVER_SCHEMA, "$.failover")
+    if fo["completed"] != fo["requests"]:
+        fail(f"$.failover: only {fo['completed']} of {fo['requests']} "
+             f"chaos streams completed")
+    if fo["matched"] != fo["completed"]:
+        fail(f"$.failover: {fo['completed'] - fo['matched']} completed "
+             f"streams did not match the fault-free reference "
+             f"(failover replay broke byte identity)")
+    if fo["checksum_match"] is not True:
+        fail("$.failover.checksum_match must be true")
+    if fo["kills"] < 1:
+        fail("$.failover.kills: the chaos phase never killed a replica")
+    if fo["failovers"] < 1:
+        fail("$.failover.failovers: the kill moved no route — the "
+             "chaos phase proved nothing")
+    if fo["respawns"] < 1 or fo["victim_respawned"] is not True:
+        fail("$.failover: the supervisor never respawned the victim")
+    if fo["dropped_streams"] != 0:
+        fail(f"$.failover.dropped_streams: {fo['dropped_streams']} "
+             f"streams ended with neither Done nor a typed Error")
+    return (f"{doc['model']}, {doc['method']}, {doc['replicas']} "
+            f"replicas {doc['scaling']:.2f}x single "
+            f"({doc['scaled']['tokens_per_s']:.0f} vs "
+            f"{doc['single']['tokens_per_s']:.0f} tok/s), chaos "
+            f"{fo['failovers']} failovers / {fo['kills']} kills / "
+            f"{fo['respawns']} respawns, "
+            f"{fo['matched']}/{fo['requests']} byte-identical, "
+            f"0 dropped streams")
+
+
 CHECKERS = {
     "serve_throughput": check_serve,
     "cold_start": check_cold_start,
     "decode": check_decode,
     "net": check_net,
+    "cluster": check_cluster,
 }
 
 
@@ -640,15 +775,42 @@ def valid_net_doc():
     }
 
 
-def break_doc(path, value):
-    """Return a valid net doc with the dotted `path` set to `value`."""
-    doc = valid_net_doc()
+def valid_cluster_doc():
+    return {
+        "bench": "cluster", "model": "TinyLM-decode",
+        "method": "MicroScopiQ-W2", "threads": 1, "replicas": 3,
+        "requests": 24, "max_new_tokens": 16, "queue_per_replica": 2,
+        "batch_per_replica": 2,
+        "single": {"requests": 24, "completed": 24, "wall_ms": 3000.0,
+                   "tokens_per_s": 128.0, "client_retries": 40},
+        "scaled": {"requests": 24, "completed": 24, "wall_ms": 900.0,
+                   "tokens_per_s": 426.7, "client_retries": 2,
+                   "per_replica_served": [9, 8, 7]},
+        "scaling": 3.33,
+        "first_token_ms": {"p50": 4.0, "p95": 11.0, "p99": 14.0,
+                           "mean": 5.5, "max": 15.0},
+        "per_token_ms": {"p50": 0.8, "p95": 2.0, "p99": 2.4,
+                         "mean": 1.0, "max": 2.5},
+        "failover": {"requests": 16, "completed": 16, "matched": 16,
+                     "failovers": 3, "kills": 1, "respawns": 1,
+                     "victim_respawned": True, "checksum_match": True,
+                     "dropped_streams": 0},
+    }
+
+
+def set_in(doc, path, value):
+    """Set the dotted `path` inside `doc` to `value`; returns `doc`."""
     node = doc
     keys = path.split(".")
     for key in keys[:-1]:
         node = node[key]
     node[keys[-1]] = value
     return doc
+
+
+def break_doc(path, value):
+    """Return a valid net doc with the dotted `path` set to `value`."""
+    return set_in(valid_net_doc(), path, value)
 
 
 def self_test():
@@ -701,8 +863,70 @@ def self_test():
         except CheckError:
             continue
         fail(f"self-test: deleting '{path}' went undetected")
+
+    # The cluster checker: known-good record, then every gate in turn.
+    try:
+        check_cluster(copy.deepcopy(valid_cluster_doc()))
+    except CheckError as e:
+        fail(f"self-test: valid cluster record rejected: {e}")
+    cluster_negatives = [
+        ("scaling", 1.2, "inconsistent"),
+        ("scaled.tokens_per_s", 180.0, "inconsistent"),
+        ("single.completed", 20, "must finish everywhere"),
+        ("scaled.completed", 23, "must finish everywhere"),
+        ("scaled.per_replica_served", [24, 0, 0], "served nothing"),
+        ("scaled.per_replica_served", [9, 8], "every replica"),
+        ("scaled.per_replica_served", [9, 9, 9], "unaccounted"),
+        ("first_token_ms.p95", 99.0, "percentiles not ordered"),
+        ("per_token_ms.p50", 0, "must be positive"),
+        ("failover.completed", 15, "chaos streams completed"),
+        ("failover.matched", 15, "byte identity"),
+        ("failover.checksum_match", False, "checksum_match"),
+        ("failover.failovers", 0, "moved no route"),
+        ("failover.kills", 0, "never killed"),
+        ("failover.respawns", 0, "never respawned"),
+        ("failover.victim_respawned", False, "never respawned"),
+        ("failover.dropped_streams", 2, "neither Done nor"),
+        ("replicas", 1, "at least 2"),
+    ]
+    for path, value, expect in cluster_negatives:
+        try:
+            check_cluster(set_in(valid_cluster_doc(), path, value))
+        except CheckError as e:
+            if expect not in str(e):
+                fail(f"self-test: breaking cluster '{path}' fired the "
+                     f"wrong rule: {e}")
+            continue
+        fail(f"self-test: breaking cluster '{path}' went undetected")
+    # A scaling value below the floor (kept consistent with the phase
+    # throughputs so the floor rule itself is what fires).
+    low = valid_cluster_doc()
+    set_in(low, "scaled.tokens_per_s", 160.0)
+    set_in(low, "scaling", 1.25)
+    try:
+        check_cluster(low)
+        fail("self-test: sub-floor cluster scaling went undetected")
+    except CheckError as e:
+        if "must be >=" not in str(e):
+            fail(f"self-test: sub-floor scaling fired the wrong "
+                 f"rule: {e}")
+    # Missing-key detection inside the cluster record.
+    for path in ("failover", "scaled.per_replica_served",
+                 "single.tokens_per_s"):
+        doc = valid_cluster_doc()
+        node = doc
+        keys = path.split(".")
+        for key in keys[:-1]:
+            node = node[key]
+        del node[keys[-1]]
+        try:
+            check_cluster(doc)
+        except CheckError:
+            continue
+        fail(f"self-test: deleting cluster '{path}' went undetected")
     print(f"check_bench_json: OK (self-test: "
-          f"{len(negatives) + 3} broken records all caught)")
+          f"{len(negatives) + len(cluster_negatives) + 7} broken "
+          f"records all caught)")
 
 
 def main():

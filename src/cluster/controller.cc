@@ -1,0 +1,844 @@
+#include "cluster/controller.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <deque>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/mutex.h"
+#include "net/socket.h"
+#include "serve/clock.h"
+
+namespace msq {
+
+namespace {
+
+/** One client connection (proxy-thread-owned). */
+struct ClientConn
+{
+    uint64_t id = 0;
+    Socket sock;
+    FrameDecoder decoder;
+    std::vector<uint8_t> outBuf;
+    size_t outPos = 0;
+    bool closed = false;
+};
+
+using ClientPtr = std::shared_ptr<ClientConn>;
+
+/** One admitted request's routing state. `delivered` is the count of
+ *  token indices already relayed to the client: on failover the
+ *  replayed stream's first `delivered` tokens are suppressed, which
+ *  keeps the client-visible stream gapless (and exact, by decode
+ *  determinism). */
+struct Route
+{
+    ClientPtr client;
+    uint64_t clientReqId = 0;
+    RequestMsg msg; ///< kept verbatim for replay
+    uint32_t delivered = 0;
+    uint32_t attempts = 0;      ///< dispatches so far
+    int replica = -1;           ///< -1 = awaiting assignment
+    uint64_t upstreamId = 0;    ///< controller-chosen id on the link
+    uint64_t notBeforeNanos = 0; ///< redispatch pacing after OVERLOADED
+};
+
+/** One upstream connection to a replica slot. */
+struct Link
+{
+    uint64_t generation = 0; ///< endpoint generation this socket is to
+    uint16_t port = 0;
+    Socket sock;
+    FrameDecoder decoder;
+    std::vector<uint8_t> outBuf;
+    size_t outPos = 0;
+    bool connected = false;
+    uint64_t lastQueueDepth = 0; ///< probe snapshot, routing tiebreak
+    std::map<uint64_t, uint64_t> active; ///< upstreamId -> routeId
+};
+
+/** Flush as much of `outBuf` as the socket accepts. False when the
+ *  connection is dead. */
+bool
+flushBuffer(Socket &sock, std::vector<uint8_t> &outBuf, size_t &outPos)
+{
+    while (outPos < outBuf.size()) {
+        size_t sent = 0;
+        const IoWait w = sendSome(sock.fd(), outBuf.data() + outPos,
+                                  outBuf.size() - outPos, sent);
+        if (w == IoWait::Ready) {
+            outPos += sent;
+            continue;
+        }
+        if (w == IoWait::Again)
+            return true;
+        return false;
+    }
+    outBuf.clear();
+    outPos = 0;
+    return true;
+}
+
+} // namespace
+
+struct ClusterController::Impl
+{
+    ReplicaSupervisor &sup;
+    ControllerConfig cfg;
+
+    Socket listenSock;
+    uint16_t boundPort = 0;
+    std::pair<int, int> wake{-1, -1};
+    std::thread proxy;
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> draining{false};
+
+    Mutex mu;
+    CondVar cv;
+    bool drainedIdle MSQ_GUARDED_BY(mu) = false;
+
+    // Counters (proxy thread writes, stats() reads).
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> requestsAdmitted{0};
+    std::atomic<uint64_t> requestsCompleted{0};
+    std::atomic<uint64_t> requestsFailed{0};
+    std::atomic<uint64_t> rejectedBusy{0};
+    std::atomic<uint64_t> rejectedShutdown{0};
+    std::atomic<uint64_t> failovers{0};
+    std::atomic<uint64_t> replicaDeaths{0};
+    std::atomic<uint64_t> tokensRelayed{0};
+    std::atomic<uint64_t> suppressedTokens{0};
+    std::atomic<uint64_t> droppedStreams{0};
+    std::atomic<uint64_t> clientFaults{0};
+
+    mutable Mutex statsMu;
+    std::vector<uint64_t> perServed MSQ_GUARDED_BY(statsMu);
+    std::vector<uint64_t> perActive MSQ_GUARDED_BY(statsMu);
+
+    // --- proxy-thread-owned routing state ---------------------------
+    std::vector<ClientPtr> clients;
+    std::vector<Link> links;
+    std::map<uint64_t, Route> routes; ///< routeId -> Route (ordered)
+    std::deque<uint64_t> pending;     ///< routeIds awaiting a replica
+    uint64_t nextClientId = 1;
+    uint64_t nextRouteId = 1;
+    uint64_t nextUpstreamId = 1;
+
+    Impl(ReplicaSupervisor &s, const ControllerConfig &c) : sup(s), cfg(c) {}
+
+    // --- client output ----------------------------------------------
+
+    void
+    appendClient(const ClientPtr &client, const std::vector<uint8_t> &bytes)
+    {
+        if (client->closed)
+            return;
+        client->outBuf.insert(client->outBuf.end(), bytes.begin(),
+                              bytes.end());
+        if (client->outBuf.size() - client->outPos > cfg.maxOutBufBytes) {
+            // Slow-client isolation, same policy as the server: cut it
+            // loose rather than buffer without bound.
+            client->closed = true;
+        }
+    }
+
+    void
+    sendClientError(const ClientPtr &client, uint64_t reqId,
+                    ServeError code, const char *detail)
+    {
+        ErrorMsg msg;
+        msg.code = code;
+        msg.detail = detail;
+        appendClient(client, encodeErrorFrame(reqId, msg));
+    }
+
+    // --- routing ----------------------------------------------------
+
+    /** Put a route back on the pending queue for another replica
+     *  (replica death or OVERLOADED). Counts as a failover when the
+     *  route had already been dispatched once. */
+    void
+    requeueRoute(uint64_t routeId, Route &route, uint64_t paceNanos)
+    {
+        if (route.attempts > 0)
+            failovers.fetch_add(1, std::memory_order_relaxed);
+        route.replica = -1;
+        route.upstreamId = 0;
+        route.notBeforeNanos = paceNanos;
+        pending.push_back(routeId);
+    }
+
+    /** Pick the connected link with the fewest live routes (tiebreak:
+     *  lower probed queue depth, then lower index — deterministic).
+     *  -1 when nothing is connected. */
+    int
+    pickLink() const
+    {
+        int best = -1;
+        for (size_t i = 0; i < links.size(); ++i) {
+            const Link &ln = links[i];
+            if (!ln.connected)
+                continue;
+            if (best < 0)
+                best = static_cast<int>(i);
+            else {
+                const Link &b = links[static_cast<size_t>(best)];
+                if (ln.active.size() < b.active.size() ||
+                    (ln.active.size() == b.active.size() &&
+                     ln.lastQueueDepth < b.lastQueueDepth))
+                    best = static_cast<int>(i);
+            }
+        }
+        return best;
+    }
+
+    /** Dispatch every due pending route to the least-loaded connected
+     *  link; exhaust routes that have burned all their attempts. */
+    void
+    assignPending()
+    {
+        if (pending.empty())
+            return;
+        const uint64_t now = steadyNanos();
+        std::deque<uint64_t> leftover;
+        while (!pending.empty()) {
+            const uint64_t routeId = pending.front();
+            pending.pop_front();
+            auto it = routes.find(routeId);
+            if (it == routes.end())
+                continue; // cancelled while pending
+            Route &route = it->second;
+            if (route.client->closed) {
+                clientFaults.fetch_add(1, std::memory_order_relaxed);
+                routes.erase(it);
+                continue;
+            }
+            if (route.attempts >= cfg.maxAttempts) {
+                sendClientError(route.client, route.clientReqId,
+                                ServeError::Overloaded,
+                                "no replica could serve the request");
+                requestsFailed.fetch_add(1, std::memory_order_relaxed);
+                routes.erase(it);
+                continue;
+            }
+            if (route.notBeforeNanos > now) {
+                leftover.push_back(routeId);
+                continue;
+            }
+            const int idx = pickLink();
+            if (idx < 0) {
+                leftover.push_back(routeId); // no replica up right now
+                continue;
+            }
+            Link &ln = links[static_cast<size_t>(idx)];
+            route.replica = idx;
+            route.upstreamId = nextUpstreamId++;
+            ++route.attempts;
+            ln.active[route.upstreamId] = routeId;
+            const std::vector<uint8_t> wire =
+                encodeRequestFrame(route.upstreamId, route.msg);
+            ln.outBuf.insert(ln.outBuf.end(), wire.begin(), wire.end());
+        }
+        pending = std::move(leftover);
+    }
+
+    /** Drop a link and fail its routes over. */
+    void
+    linkDown(size_t idx)
+    {
+        Link &ln = links[idx];
+        if (!ln.connected)
+            return;
+        replicaDeaths.fetch_add(1, std::memory_order_relaxed);
+        ln.sock.reset();
+        ln.connected = false;
+        ln.decoder = FrameDecoder();
+        ln.outBuf.clear();
+        ln.outPos = 0;
+        const uint64_t now = steadyNanos();
+        for (const auto &entry : ln.active) {
+            auto it = routes.find(entry.second);
+            if (it == routes.end())
+                continue;
+            requeueRoute(entry.second, it->second, now);
+        }
+        ln.active.clear();
+    }
+
+    /** Reconcile links with the supervisor's endpoint snapshot: drop
+     *  links whose slot was respawned (generation bump), connect to
+     *  healthy slots we are not linked to (re-enlisting respawned
+     *  replicas), refresh routing stats. */
+    void
+    refreshLinks()
+    {
+        const std::vector<ReplicaEndpoint> eps = sup.endpoints();
+        if (links.size() != eps.size())
+            links.resize(eps.size());
+        for (size_t i = 0; i < eps.size(); ++i) {
+            Link &ln = links[i];
+            ln.lastQueueDepth = eps[i].stats.queueDepth;
+            if (ln.connected && ln.generation != eps[i].generation)
+                linkDown(i); // stale socket to a replaced process
+            if (!ln.connected && eps[i].healthy && eps[i].port != 0) {
+                Socket sock =
+                    connectWithDeadline(eps[i].port,
+                                        cfg.linkConnectTimeoutMs);
+                if (!sock.valid())
+                    continue;
+                setNonBlocking(sock.fd());
+                ln.sock = std::move(sock);
+                ln.port = eps[i].port;
+                ln.generation = eps[i].generation;
+                ln.decoder = FrameDecoder();
+                ln.outBuf.clear();
+                ln.outPos = 0;
+                ln.connected = true;
+            }
+        }
+    }
+
+    // --- upstream frames --------------------------------------------
+
+    void
+    handleUpstreamFrame(size_t idx, const Frame &frame)
+    {
+        Link &ln = links[idx];
+        const auto actIt = ln.active.find(frame.requestId);
+        if (actIt == ln.active.end())
+            return; // stale stream from a cancelled/failed-over route
+        const uint64_t routeId = actIt->second;
+        auto it = routes.find(routeId);
+        if (it == routes.end()) {
+            ln.active.erase(actIt);
+            return;
+        }
+        Route &route = it->second;
+
+        switch (frame.type) {
+          case FrameType::Token: {
+            TokenMsg tm;
+            if (decodeTokenMsg(frame.payload, tm) != NetCode::Ok)
+                return;
+            if (tm.index < route.delivered) {
+                // Replay prefix of a failover: the client already has
+                // this index. Determinism makes the suppressed token
+                // identical to the delivered one.
+                suppressedTokens.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            if (tm.index > route.delivered) {
+                // A gap would corrupt the client stream; treat the
+                // replica as broken and replay elsewhere.
+                ln.active.erase(actIt);
+                requeueRoute(routeId, route, steadyNanos());
+                return;
+            }
+            // Counter before the frame is buffered: a client that has
+            // read this token must find it already reflected in any
+            // stats snapshot it then requests.
+            tokensRelayed.fetch_add(1, std::memory_order_relaxed);
+            appendClient(route.client,
+                         encodeTokenFrame(route.clientReqId, tm));
+            ++route.delivered;
+            return;
+          }
+          case FrameType::Done: {
+            DoneMsg dm;
+            if (decodeDoneMsg(frame.payload, dm) != NetCode::Ok)
+                return;
+            requestsCompleted.fetch_add(1, std::memory_order_relaxed);
+            {
+                MutexLock lock(statsMu);
+                if (perServed.size() < links.size())
+                    perServed.resize(links.size(), 0);
+                ++perServed[idx];
+            }
+            appendClient(route.client,
+                         encodeDoneFrame(route.clientReqId, dm));
+            ln.active.erase(actIt);
+            routes.erase(it);
+            return;
+          }
+          case FrameType::Error: {
+            ErrorMsg em;
+            if (decodeErrorMsg(frame.payload, em) != NetCode::Ok)
+                return;
+            ln.active.erase(actIt);
+            if (em.code == ServeError::Overloaded ||
+                em.code == ServeError::ShuttingDown) {
+                // Transient on this replica: try another one, paced so
+                // a uniformly saturated fleet is not hammered.
+                requeueRoute(routeId, route,
+                             steadyNanos() +
+                                 uint64_t{cfg.pollMs} * 1000000ull *
+                                     route.attempts);
+                return;
+            }
+            appendClient(route.client,
+                         encodeErrorFrame(route.clientReqId, em));
+            requestsFailed.fetch_add(1, std::memory_order_relaxed);
+            routes.erase(it);
+            return;
+          }
+          default:
+            return; // replicas never send client-to-server frames
+        }
+    }
+
+    // --- client frames ----------------------------------------------
+
+    /** Returns false when the client is out of protocol (close it). */
+    bool
+    handleClientFrame(const ClientPtr &client, const Frame &frame)
+    {
+        switch (frame.type) {
+          case FrameType::Request: {
+            RequestMsg msg;
+            if (decodeRequestMsg(frame.payload, msg) != NetCode::Ok) {
+                sendClientError(client, frame.requestId,
+                                ServeError::BadRequest,
+                                "malformed request payload");
+                return true;
+            }
+            if (draining.load(std::memory_order_acquire)) {
+                rejectedShutdown.fetch_add(1, std::memory_order_relaxed);
+                sendClientError(client, frame.requestId,
+                                ServeError::ShuttingDown,
+                                "controller is draining");
+                return true;
+            }
+            if (routes.size() >= cfg.maxInflight) {
+                rejectedBusy.fetch_add(1, std::memory_order_relaxed);
+                sendClientError(client, frame.requestId,
+                                ServeError::Overloaded,
+                                "controller admission cap reached");
+                return true;
+            }
+            const uint64_t routeId = nextRouteId++;
+            Route route;
+            route.client = client;
+            route.clientReqId = frame.requestId;
+            route.msg = std::move(msg);
+            routes.emplace(routeId, std::move(route));
+            pending.push_back(routeId);
+            requestsAdmitted.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          }
+          case FrameType::Cancel: {
+            for (auto it = routes.begin(); it != routes.end(); ++it) {
+                Route &route = it->second;
+                if (route.client.get() != client.get() ||
+                    route.clientReqId != frame.requestId)
+                    continue;
+                if (route.replica >= 0) {
+                    Link &ln = links[static_cast<size_t>(route.replica)];
+                    ln.active.erase(route.upstreamId);
+                    if (ln.connected) {
+                        const std::vector<uint8_t> wire =
+                            encodeCancelFrame(route.upstreamId);
+                        ln.outBuf.insert(ln.outBuf.end(), wire.begin(),
+                                         wire.end());
+                    }
+                }
+                routes.erase(it);
+                break;
+            }
+            return true;
+          }
+          case FrameType::Stats: {
+            if (!frame.payload.empty())
+                return false;
+            StatsMsg sm;
+            sm.queueDepth = static_cast<uint32_t>(pending.size());
+            sm.inFlight = static_cast<uint32_t>(routes.size());
+            sm.draining =
+                draining.load(std::memory_order_acquire) ? 1u : 0u;
+            sm.requestsServed =
+                requestsCompleted.load(std::memory_order_relaxed);
+            sm.tokensStreamed =
+                tokensRelayed.load(std::memory_order_relaxed);
+            appendClient(client, encodeStatsFrame(frame.requestId, sm));
+            return true;
+          }
+          default:
+            return false; // server-to-client frames from a "client"
+        }
+    }
+
+    // --- socket IO --------------------------------------------------
+
+    void
+    readLink(size_t idx)
+    {
+        Link &ln = links[idx];
+        uint8_t buf[4096];
+        for (;;) {
+            size_t got = 0;
+            const IoWait w = recvSome(ln.sock.fd(), buf, sizeof(buf), got);
+            if (w == IoWait::Again)
+                return;
+            if (w != IoWait::Ready) {
+                linkDown(idx);
+                return;
+            }
+            ln.decoder.feed(buf, got);
+            Frame frame;
+            for (;;) {
+                const NetCode code = ln.decoder.next(frame);
+                if (code == NetCode::NeedMore)
+                    break;
+                if (code != NetCode::Ok) {
+                    linkDown(idx); // undecodable upstream: drop it
+                    return;
+                }
+                handleUpstreamFrame(idx, frame);
+                if (!ln.connected)
+                    return; // a frame handler dropped the link
+            }
+        }
+    }
+
+    void
+    readClient(const ClientPtr &client)
+    {
+        uint8_t buf[4096];
+        for (;;) {
+            size_t got = 0;
+            const IoWait w =
+                recvSome(client->sock.fd(), buf, sizeof(buf), got);
+            if (w == IoWait::Again)
+                return;
+            if (w != IoWait::Ready) {
+                client->closed = true;
+                return;
+            }
+            client->decoder.feed(buf, got);
+            Frame frame;
+            for (;;) {
+                const NetCode code = client->decoder.next(frame);
+                if (code == NetCode::NeedMore)
+                    break;
+                if (code != NetCode::Ok ||
+                    !handleClientFrame(client, frame)) {
+                    client->closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /** Cancel upstream work and drop routes of a vanished client. */
+    void
+    retireClientRoutes(const ClientConn *client)
+    {
+        for (auto it = routes.begin(); it != routes.end();) {
+            Route &route = it->second;
+            if (route.client.get() != client) {
+                ++it;
+                continue;
+            }
+            if (route.replica >= 0) {
+                Link &ln = links[static_cast<size_t>(route.replica)];
+                ln.active.erase(route.upstreamId);
+                if (ln.connected) {
+                    const std::vector<uint8_t> wire =
+                        encodeCancelFrame(route.upstreamId);
+                    ln.outBuf.insert(ln.outBuf.end(), wire.begin(),
+                                     wire.end());
+                }
+            }
+            clientFaults.fetch_add(1, std::memory_order_relaxed);
+            it = routes.erase(it);
+        }
+    }
+
+    void
+    acceptClients()
+    {
+        for (;;) {
+            Socket sock;
+            const IoWait w = tcpAccept(listenSock.fd(), sock);
+            if (w != IoWait::Ready)
+                return;
+            setNonBlocking(sock.fd());
+            auto client = std::make_shared<ClientConn>();
+            client->id = nextClientId++;
+            client->sock = std::move(sock);
+            clients.push_back(std::move(client));
+            accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    bool
+    allClientsFlushed() const
+    {
+        for (const ClientPtr &client : clients)
+            if (!client->closed && client->outPos < client->outBuf.size())
+                return false;
+        return true;
+    }
+
+    // --- the proxy loop ---------------------------------------------
+
+    void
+    proxyLoop()
+    {
+        std::vector<pollfd> pfds;
+        while (running.load(std::memory_order_acquire)) {
+            refreshLinks();
+            assignPending();
+
+            pfds.clear();
+            pollfd wk;
+            wk.fd = wake.first;
+            wk.events = POLLIN;
+            wk.revents = 0;
+            pfds.push_back(wk);
+            pollfd ls;
+            ls.fd = listenSock.fd();
+            ls.events = POLLIN;
+            ls.revents = 0;
+            pfds.push_back(ls);
+            const size_t linkBase = pfds.size();
+            for (const Link &ln : links) {
+                pollfd p;
+                p.fd = ln.connected ? ln.sock.fd() : -1; // -1: ignored
+                p.events = POLLIN;
+                if (ln.connected && ln.outPos < ln.outBuf.size())
+                    p.events |= POLLOUT;
+                p.revents = 0;
+                pfds.push_back(p);
+            }
+            const size_t clientBase = pfds.size();
+            const size_t polledClients = clients.size();
+            for (const ClientPtr &client : clients) {
+                pollfd p;
+                p.fd = client->closed ? -1 : client->sock.fd();
+                p.events = POLLIN;
+                if (!client->closed &&
+                    client->outPos < client->outBuf.size())
+                    p.events |= POLLOUT;
+                p.revents = 0;
+                pfds.push_back(p);
+            }
+
+            const int rc =
+                ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                       static_cast<int>(cfg.pollMs));
+            if (rc < 0 && errno != EINTR)
+                break;
+            if (pfds[0].revents & POLLIN)
+                drainWakePipe(wake.first);
+            if (pfds[1].revents & POLLIN)
+                acceptClients();
+
+            for (size_t i = 0; i < links.size(); ++i) {
+                Link &ln = links[i];
+                if (!ln.connected)
+                    continue;
+                const short rev = rc > 0 ? pfds[linkBase + i].revents : 0;
+                if ((rev & POLLOUT) || ln.outPos < ln.outBuf.size())
+                    if (!flushBuffer(ln.sock, ln.outBuf, ln.outPos)) {
+                        linkDown(i);
+                        continue;
+                    }
+                if (rev & POLLIN)
+                    readLink(i);
+                if (ln.connected && (rev & (POLLERR | POLLHUP)))
+                    linkDown(i);
+            }
+
+            for (size_t i = 0; i < clients.size(); ++i) {
+                const ClientPtr &client = clients[i];
+                if (client->closed)
+                    continue;
+                // Clients accepted this very iteration have no pollfd.
+                const short rev = (rc > 0 && i < polledClients)
+                                      ? pfds[clientBase + i].revents
+                                      : 0;
+                if ((rev & POLLOUT) ||
+                    client->outPos < client->outBuf.size())
+                    if (!flushBuffer(client->sock, client->outBuf,
+                                     client->outPos))
+                        client->closed = true;
+                if (!client->closed && (rev & POLLIN))
+                    readClient(client);
+                if (!client->closed && (rev & (POLLERR | POLLHUP)))
+                    client->closed = true;
+            }
+
+            // Retire closed clients and their routes.
+            for (size_t i = 0; i < clients.size();) {
+                if (!clients[i]->closed) {
+                    ++i;
+                    continue;
+                }
+                retireClientRoutes(clients[i].get());
+                clients[i]->sock.reset();
+                clients.erase(clients.begin() +
+                              static_cast<ptrdiff_t>(i));
+            }
+
+            // Publish per-replica live route counts for stats().
+            {
+                MutexLock lock(statsMu);
+                if (perActive.size() != links.size())
+                    perActive.assign(links.size(), 0);
+                for (size_t i = 0; i < links.size(); ++i)
+                    perActive[i] = links[i].active.size();
+            }
+
+            if (draining.load(std::memory_order_acquire) &&
+                routes.empty() && pending.empty() && allClientsFlushed()) {
+                MutexLock lock(mu);
+                if (!drainedIdle) {
+                    drainedIdle = true;
+                    cv.notifyAll();
+                }
+            }
+        }
+
+        // Teardown: any live route whose client is still attached ends
+        // with neither Done nor Error — a dropped stream, the number
+        // the chaos gate pins at zero after a drain.
+        for (const auto &entry : routes) {
+            if (!entry.second.client->closed)
+                droppedStreams.fetch_add(1, std::memory_order_relaxed);
+        }
+        routes.clear();
+        pending.clear();
+        for (Link &ln : links) {
+            ln.sock.reset();
+            ln.connected = false;
+            ln.active.clear();
+        }
+        for (const ClientPtr &client : clients)
+            client->sock.reset();
+        clients.clear();
+    }
+};
+
+ClusterController::ClusterController(ReplicaSupervisor &supervisor,
+                                     const ControllerConfig &config)
+    : impl_(std::make_unique<Impl>(supervisor, config))
+{
+}
+
+ClusterController::~ClusterController()
+{
+    stop();
+}
+
+bool
+ClusterController::start()
+{
+    Impl &s = *impl_;
+    if (s.running.load(std::memory_order_acquire))
+        return true;
+    uint16_t bound = 0;
+    s.listenSock = tcpListen(s.cfg.port, bound);
+    if (!s.listenSock.valid())
+        return false;
+    if (!setNonBlocking(s.listenSock.fd()))
+        return false;
+    if (!makeWakePipe(s.wake))
+        return false;
+    s.boundPort = bound;
+    s.draining.store(false, std::memory_order_release);
+    {
+        MutexLock lock(s.mu);
+        s.drainedIdle = false;
+    }
+    s.running.store(true, std::memory_order_release);
+    s.proxy = std::thread([this] { impl_->proxyLoop(); });
+    return true;
+}
+
+uint16_t
+ClusterController::boundPort() const
+{
+    return impl_->boundPort;
+}
+
+void
+ClusterController::requestDrain()
+{
+    Impl &s = *impl_;
+    s.draining.store(true, std::memory_order_release);
+    pokeWakePipe(s.wake.second);
+}
+
+bool
+ClusterController::drain()
+{
+    Impl &s = *impl_;
+    if (!s.running.load(std::memory_order_acquire))
+        return s.droppedStreams.load(std::memory_order_relaxed) == 0;
+    requestDrain();
+    {
+        MutexLock lock(s.mu);
+        while (!s.drainedIdle &&
+               s.running.load(std::memory_order_acquire))
+            s.cv.wait(s.mu);
+    }
+    stop();
+    return s.droppedStreams.load(std::memory_order_relaxed) == 0;
+}
+
+void
+ClusterController::stop()
+{
+    Impl &s = *impl_;
+    if (!s.running.exchange(false, std::memory_order_acq_rel))
+        return;
+    pokeWakePipe(s.wake.second);
+    s.cv.notifyAll();
+    if (s.proxy.joinable())
+        s.proxy.join();
+    s.cv.notifyAll(); // a drain() waiter sees running == false
+    s.listenSock.reset();
+    if (s.wake.first >= 0) {
+        ::close(s.wake.first);
+        ::close(s.wake.second);
+        s.wake = {-1, -1};
+    }
+}
+
+ControllerStats
+ClusterController::stats() const
+{
+    const Impl &s = *impl_;
+    ControllerStats out;
+    out.accepted = s.accepted.load(std::memory_order_relaxed);
+    out.requestsAdmitted =
+        s.requestsAdmitted.load(std::memory_order_relaxed);
+    out.requestsCompleted =
+        s.requestsCompleted.load(std::memory_order_relaxed);
+    out.requestsFailed = s.requestsFailed.load(std::memory_order_relaxed);
+    out.rejectedBusy = s.rejectedBusy.load(std::memory_order_relaxed);
+    out.rejectedShutdown =
+        s.rejectedShutdown.load(std::memory_order_relaxed);
+    out.failovers = s.failovers.load(std::memory_order_relaxed);
+    out.replicaDeaths = s.replicaDeaths.load(std::memory_order_relaxed);
+    out.tokensRelayed = s.tokensRelayed.load(std::memory_order_relaxed);
+    out.suppressedTokens =
+        s.suppressedTokens.load(std::memory_order_relaxed);
+    out.droppedStreams = s.droppedStreams.load(std::memory_order_relaxed);
+    out.clientFaults = s.clientFaults.load(std::memory_order_relaxed);
+    {
+        MutexLock lock(s.statsMu);
+        out.perReplicaServed = s.perServed;
+        out.perReplicaActive = s.perActive;
+    }
+    return out;
+}
+
+} // namespace msq

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ClusterController: a poll-based routing proxy that speaks the MSQN
+ * wire protocol (net/frame.h) on both sides. Clients talk to it
+ * exactly as they would to one model_server; behind it, requests are
+ * routed to the least-loaded healthy replica from a
+ * ReplicaSupervisor's endpoint snapshots and the replica's Token/Done
+ * frames are relayed back under per-request bookkeeping.
+ *
+ * Failover: when a replica dies mid-stream (link drops) or answers
+ * OVERLOADED, the controller resubmits the request — full prompt,
+ * from token 0 — on another healthy replica and suppresses the token
+ * indices the client already received, so the client-visible stream
+ * is gapless and the Done frame's count/fold still verify. This is
+ * only sound because decode is deterministic: the same prompt
+ * produces the same tokens on every replica, whatever the thread
+ * count, batch composition, or admission order (the contract PRs 5-9
+ * enforce bit-for-bit; the cross-process chaos test asserts it
+ * end-to-end through SIGKILL).
+ *
+ * Replica identity is (slot index, generation): a generation bump in
+ * the endpoint snapshot means the supervisor respawned that slot, so
+ * the controller drops the stale link, fails its routes over, and
+ * re-enlists the fresh process once it connects.
+ *
+ * Threading: one proxy thread owns every socket, decoder, and routing
+ * table (pure IO — no engine work happens here); control flags cross
+ * through an annotated mutex and counters through atomics, mirroring
+ * the ModelServer worker discipline.
+ */
+
+#ifndef MSQ_CLUSTER_CONTROLLER_H
+#define MSQ_CLUSTER_CONTROLLER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/supervisor.h"
+
+namespace msq {
+
+/** Routing-proxy knobs. */
+struct ControllerConfig
+{
+    uint16_t port = 0;           ///< client-facing (0 = ephemeral)
+    size_t maxInflight = 64;     ///< admitted routes; beyond -> OVERLOADED
+    uint32_t maxAttempts = 6;    ///< replica tries per request
+    uint32_t linkConnectTimeoutMs = 250; ///< per replica connect
+    uint32_t pollMs = 10;        ///< proxy loop granularity
+    size_t maxOutBufBytes = 1u << 20; ///< per client; beyond -> cut loose
+};
+
+/** Proxy counters. `droppedStreams` is the invariant the chaos test
+ *  pins at zero: a route may end in Done or in a typed Error, never
+ *  silently. */
+struct ControllerStats
+{
+    uint64_t accepted = 0;          ///< client connections
+    uint64_t requestsAdmitted = 0;
+    uint64_t requestsCompleted = 0; ///< Done relayed
+    uint64_t requestsFailed = 0;    ///< terminal Error relayed
+    uint64_t rejectedBusy = 0;      ///< admission-cap OVERLOADED
+    uint64_t rejectedShutdown = 0;  ///< draining
+    uint64_t failovers = 0;         ///< route moved to another replica
+    uint64_t replicaDeaths = 0;     ///< upstream links dropped
+    uint64_t tokensRelayed = 0;
+    uint64_t suppressedTokens = 0;  ///< replayed, already delivered
+    uint64_t droppedStreams = 0;    ///< ended with neither Done nor Error
+    uint64_t clientFaults = 0;      ///< client vanished mid-stream
+    std::vector<uint64_t> perReplicaServed; ///< Done frames per slot
+    std::vector<uint64_t> perReplicaActive; ///< live routes per slot
+};
+
+/** The routing proxy. One instance fronts one ReplicaSupervisor. */
+class ClusterController
+{
+  public:
+    ClusterController(ReplicaSupervisor &supervisor,
+                      const ControllerConfig &config);
+    ~ClusterController();
+
+    ClusterController(const ClusterController &) = delete;
+    ClusterController &operator=(const ClusterController &) = delete;
+
+    /** Bind the client-facing port and start the proxy thread. */
+    bool start();
+
+    /** Client-facing port (valid after start()). */
+    uint16_t boundPort() const;
+
+    /** Close admission: new Requests get ShuttingDown. */
+    void requestDrain();
+
+    /** Drain: admission closed, every admitted route reaches Done or
+     *  a typed Error, every buffer flushes; then stop. True iff no
+     *  stream was dropped. */
+    bool drain();
+
+    /** Hard stop: abandons live routes (they count as dropped unless
+     *  their clients already vanished). */
+    void stop();
+
+    ControllerStats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace msq
+
+#endif // MSQ_CLUSTER_CONTROLLER_H

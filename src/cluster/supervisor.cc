@@ -1,0 +1,516 @@
+#include "cluster/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/mutex.h"
+#include "net/socket.h"
+#include "serve/clock.h"
+
+namespace msq {
+
+namespace {
+
+/** Read-and-discard whatever the child printed since the last tick so
+ *  it can never block on a full stdout pipe. */
+void
+drainChildOutput(int fd)
+{
+    char buf[512];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0)
+            continue;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return; // EAGAIN (empty), EOF, or error: nothing more now
+    }
+}
+
+/** Scrape the child's `PORT <n>` line from its stdout pipe (set
+ *  nonblocking by the caller) under a deadline. */
+bool
+scrapePort(int fd, uint32_t timeout_ms, uint16_t &port)
+{
+    const uint64_t start = steadyNanos();
+    std::string acc;
+    char buf[256];
+    for (;;) {
+        size_t pos = 0;
+        for (;;) {
+            const size_t nl = acc.find('\n', pos);
+            if (nl == std::string::npos)
+                break;
+            if (acc.compare(pos, 5, "PORT ") == 0) {
+                const unsigned long v =
+                    std::strtoul(acc.c_str() + pos + 5, nullptr, 10);
+                if (v > 0 && v <= 65535) {
+                    port = static_cast<uint16_t>(v);
+                    return true;
+                }
+            }
+            pos = nl + 1;
+        }
+        acc.erase(0, pos);
+
+        const double spent = elapsedMs(start);
+        if (spent >= static_cast<double>(timeout_ms))
+            return false;
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int rc =
+            ::poll(&pfd, 1,
+                   static_cast<int>(static_cast<double>(timeout_ms) - spent));
+        if (rc == 0)
+            return false;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            acc.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            return false; // child died before printing its port
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        return false;
+    }
+}
+
+} // namespace
+
+/** One Stats query/reply round trip against a replica, all under one
+ *  deadline. Used by the monitor's health probe (and shared with the
+ *  controller through the endpoint snapshots it refreshes). */
+bool
+probeReplicaStats(uint16_t port, uint32_t timeout_ms, StatsMsg &out)
+{
+    const uint64_t start = steadyNanos();
+    Socket sock = connectWithDeadline(port, timeout_ms);
+    if (!sock.valid())
+        return false;
+    const std::vector<uint8_t> wire = encodeStatsQueryFrame(1);
+    if (!sendFully(sock.fd(), wire.data(), wire.size()))
+        return false;
+    FrameDecoder decoder;
+    uint8_t buf[256];
+    for (;;) {
+        Frame frame;
+        const NetCode code = decoder.next(frame);
+        if (code == NetCode::NeedMore) {
+            const double spent = elapsedMs(start);
+            if (spent >= static_cast<double>(timeout_ms))
+                return false;
+            pollfd pfd;
+            pfd.fd = sock.fd();
+            pfd.events = POLLIN;
+            pfd.revents = 0;
+            const int rc = ::poll(
+                &pfd, 1,
+                static_cast<int>(static_cast<double>(timeout_ms) - spent));
+            if (rc == 0)
+                return false;
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            size_t got = 0;
+            const IoWait w = recvSome(sock.fd(), buf, sizeof(buf), got);
+            if (w == IoWait::Again)
+                continue;
+            if (w != IoWait::Ready)
+                return false;
+            decoder.feed(buf, got);
+            continue;
+        }
+        if (code != NetCode::Ok)
+            return false;
+        if (frame.type != FrameType::Stats)
+            return false;
+        return decodeStatsMsg(frame.payload, out) == NetCode::Ok;
+    }
+}
+
+struct ReplicaSupervisor::Impl
+{
+    SupervisorConfig cfg;
+
+    struct Slot
+    {
+        pid_t pid = -1;
+        uint16_t port = 0;
+        uint64_t generation = 0;
+        bool healthy = false;
+        uint32_t probeFails = 0;
+        uint32_t backoffSteps = 0;   ///< consecutive respawn attempts
+        uint64_t respawnDueNanos = 0;
+        int outFd = -1;              ///< child stdout pipe, read end
+        StatsMsg last;
+    };
+
+    mutable Mutex mu;
+    std::vector<Slot> slots MSQ_GUARDED_BY(mu);
+    uint64_t nextGeneration MSQ_GUARDED_BY(mu) = 1;
+
+    std::atomic<bool> running{false};
+    std::thread monitor;
+
+    std::atomic<uint64_t> spawns{0};
+    std::atomic<uint64_t> respawns{0};
+    std::atomic<uint64_t> deaths{0};
+    std::atomic<uint64_t> kills{0};
+    std::atomic<uint64_t> probes{0};
+    std::atomic<uint64_t> probeFailures{0};
+
+    explicit Impl(const SupervisorConfig &c) : cfg(c) {}
+
+    uint64_t
+    backoffNanos(uint32_t steps) const
+    {
+        const uint32_t shift = std::min(steps, 16u);
+        uint64_t delay = uint64_t{cfg.respawnBackoffBaseMs} << shift;
+        delay = std::min<uint64_t>(delay, cfg.respawnBackoffCapMs);
+        return delay * 1000000ull;
+    }
+
+    /** Fork/exec one replica into `slot` and block (lock-free) until
+     *  it reports its port. On success the slot is published with a
+     *  fresh generation. */
+    bool
+    spawnSlot(size_t index, bool initial)
+    {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            return false;
+        // Both ends close-on-exec: the child's dup2 below clears the
+        // flag on the stdout/stderr copies, and no replica inherits a
+        // sibling's pipe (which would defeat EOF-on-death).
+        ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+        ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+
+        std::vector<std::string> args;
+        args.push_back(cfg.serverBinary);
+        args.push_back(cfg.model);
+        args.push_back("0"); // ephemeral port, scraped below
+        args.push_back(std::to_string(cfg.ioWorkers));
+        args.push_back(std::to_string(cfg.maxQueue));
+        args.push_back(std::to_string(cfg.threads));
+        args.push_back(std::to_string(cfg.maxBatch));
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child: async-signal-safe calls only between fork and exec.
+            ::dup2(fds[1], STDOUT_FILENO);
+            ::dup2(fds[1], STDERR_FILENO);
+            ::execv(argv[0], argv.data());
+            ::_exit(127);
+        }
+        ::close(fds[1]);
+        setNonBlocking(fds[0]);
+
+        uint16_t port = 0;
+        if (!scrapePort(fds[0], cfg.spawnTimeoutMs, port)) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, nullptr, 0);
+            ::close(fds[0]);
+            return false;
+        }
+
+        spawns.fetch_add(1, std::memory_order_relaxed);
+        if (!initial)
+            respawns.fetch_add(1, std::memory_order_relaxed);
+        MutexLock lock(mu);
+        Slot &s = slots[index];
+        s.pid = pid;
+        s.port = port;
+        s.generation = nextGeneration++;
+        s.healthy = true; // listening: the port scrape proved the bind
+        s.probeFails = 0;
+        s.outFd = fds[0];
+        s.last = StatsMsg{};
+        return true;
+    }
+
+    /** One monitor pass: drain child output, reap deaths, respawn due
+     *  slots, health-probe live ones. */
+    void
+    tick()
+    {
+        size_t count;
+        {
+            MutexLock lock(mu);
+            count = slots.size();
+        }
+        for (size_t i = 0;
+             i < count && running.load(std::memory_order_acquire); ++i) {
+            pid_t pid;
+            uint16_t port;
+            int outFd;
+            uint64_t due;
+            uint32_t steps;
+            {
+                MutexLock lock(mu);
+                const Slot &s = slots[i];
+                pid = s.pid;
+                port = s.port;
+                outFd = s.outFd;
+                due = s.respawnDueNanos;
+                steps = s.backoffSteps;
+            }
+            if (outFd >= 0)
+                drainChildOutput(outFd);
+
+            if (pid > 0) {
+                int st = 0;
+                const pid_t r = ::waitpid(pid, &st, WNOHANG);
+                if (r == pid) {
+                    // Death observed: clear the slot and schedule the
+                    // respawn with capped exponential backoff.
+                    deaths.fetch_add(1, std::memory_order_relaxed);
+                    MutexLock lock(mu);
+                    Slot &s = slots[i];
+                    if (s.outFd >= 0) {
+                        ::close(s.outFd);
+                        s.outFd = -1;
+                    }
+                    s.pid = -1;
+                    s.port = 0;
+                    s.healthy = false;
+                    s.probeFails = 0;
+                    s.respawnDueNanos =
+                        steadyNanos() + backoffNanos(s.backoffSteps);
+                    ++s.backoffSteps;
+                    continue;
+                }
+                // Alive: health probe. A replica that stops answering
+                // (wedged, not dead) goes unhealthy after the limit but
+                // keeps its process — routing shuns it, probing keeps
+                // trying, and recovery re-enlists it.
+                StatsMsg sm;
+                probes.fetch_add(1, std::memory_order_relaxed);
+                if (probeReplicaStats(port, cfg.probeTimeoutMs, sm)) {
+                    MutexLock lock(mu);
+                    Slot &s = slots[i];
+                    if (s.pid == pid) {
+                        s.healthy = true;
+                        s.probeFails = 0;
+                        s.backoffSteps = 0; // survived: backoff resets
+                        s.last = sm;
+                    }
+                } else {
+                    probeFailures.fetch_add(1, std::memory_order_relaxed);
+                    MutexLock lock(mu);
+                    Slot &s = slots[i];
+                    if (s.pid == pid &&
+                        ++s.probeFails >= cfg.probeFailLimit)
+                        s.healthy = false;
+                }
+            } else if (steadyNanos() >= due) {
+                if (!spawnSlot(i, /*initial=*/false)) {
+                    MutexLock lock(mu);
+                    Slot &s = slots[i];
+                    s.respawnDueNanos =
+                        steadyNanos() + backoffNanos(s.backoffSteps);
+                    ++s.backoffSteps;
+                }
+                (void)steps;
+            }
+        }
+    }
+
+    void
+    monitorLoop()
+    {
+        while (running.load(std::memory_order_acquire)) {
+            tick();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cfg.probePeriodMs));
+        }
+    }
+
+    /** SIGTERM every live replica (graceful drain), escalate to
+     *  SIGKILL after `graceMs`, reap everything, close pipes. */
+    void
+    terminateAll(uint32_t graceMs)
+    {
+        std::vector<std::pair<size_t, pid_t>> live;
+        {
+            MutexLock lock(mu);
+            for (size_t i = 0; i < slots.size(); ++i)
+                if (slots[i].pid > 0)
+                    live.emplace_back(i, slots[i].pid);
+        }
+        for (const auto &lp : live)
+            ::kill(lp.second, SIGTERM);
+
+        const uint64_t start = steadyNanos();
+        std::vector<bool> reaped(live.size(), false);
+        size_t remaining = live.size();
+        while (remaining > 0 &&
+               elapsedMs(start) < static_cast<double>(graceMs)) {
+            for (size_t k = 0; k < live.size(); ++k) {
+                if (reaped[k])
+                    continue;
+                int st = 0;
+                if (::waitpid(live[k].second, &st, WNOHANG) ==
+                    live[k].second) {
+                    reaped[k] = true;
+                    --remaining;
+                }
+            }
+            if (remaining > 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        for (size_t k = 0; k < live.size(); ++k) {
+            if (reaped[k])
+                continue;
+            ::kill(live[k].second, SIGKILL);
+            ::waitpid(live[k].second, nullptr, 0);
+        }
+
+        MutexLock lock(mu);
+        for (Slot &s : slots) {
+            if (s.outFd >= 0) {
+                ::close(s.outFd);
+                s.outFd = -1;
+            }
+            s.pid = -1;
+            s.port = 0;
+            s.healthy = false;
+        }
+    }
+};
+
+ReplicaSupervisor::ReplicaSupervisor(const SupervisorConfig &config)
+    : impl_(std::make_unique<Impl>(config))
+{
+}
+
+ReplicaSupervisor::~ReplicaSupervisor()
+{
+    stop();
+}
+
+bool
+ReplicaSupervisor::start()
+{
+    Impl &s = *impl_;
+    if (s.running.exchange(true, std::memory_order_acq_rel))
+        return true;
+    {
+        MutexLock lock(s.mu);
+        s.slots.assign(s.cfg.replicas, Impl::Slot{});
+    }
+    for (size_t i = 0; i < s.cfg.replicas; ++i) {
+        if (!s.spawnSlot(i, /*initial=*/true)) {
+            s.running.store(false, std::memory_order_release);
+            s.terminateAll(0);
+            return false;
+        }
+    }
+    s.monitor = std::thread([this] { impl_->monitorLoop(); });
+    return true;
+}
+
+void
+ReplicaSupervisor::stop(uint32_t graceMs)
+{
+    Impl &s = *impl_;
+    s.running.store(false, std::memory_order_release);
+    if (s.monitor.joinable())
+        s.monitor.join();
+    s.terminateAll(graceMs);
+}
+
+std::vector<ReplicaEndpoint>
+ReplicaSupervisor::endpoints() const
+{
+    const Impl &s = *impl_;
+    std::vector<ReplicaEndpoint> out;
+    MutexLock lock(s.mu);
+    out.reserve(s.slots.size());
+    for (size_t i = 0; i < s.slots.size(); ++i) {
+        const Impl::Slot &slot = s.slots[i];
+        ReplicaEndpoint ep;
+        ep.index = i;
+        ep.port = slot.pid > 0 ? slot.port : 0;
+        ep.generation = slot.generation;
+        ep.healthy = slot.pid > 0 && slot.healthy;
+        ep.stats = slot.last;
+        out.push_back(ep);
+    }
+    return out;
+}
+
+bool
+ReplicaSupervisor::killReplica(size_t index)
+{
+    Impl &s = *impl_;
+    pid_t pid = -1;
+    {
+        MutexLock lock(s.mu);
+        if (index >= s.slots.size())
+            return false;
+        pid = s.slots[index].pid;
+    }
+    if (pid <= 0)
+        return false;
+    if (::kill(pid, SIGKILL) != 0)
+        return false;
+    s.kills.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+pid_t
+ReplicaSupervisor::replicaPid(size_t index) const
+{
+    const Impl &s = *impl_;
+    MutexLock lock(s.mu);
+    if (index >= s.slots.size())
+        return -1;
+    return s.slots[index].pid;
+}
+
+SupervisorStats
+ReplicaSupervisor::stats() const
+{
+    const Impl &s = *impl_;
+    SupervisorStats out;
+    out.spawns = s.spawns.load(std::memory_order_relaxed);
+    out.respawns = s.respawns.load(std::memory_order_relaxed);
+    out.deaths = s.deaths.load(std::memory_order_relaxed);
+    out.kills = s.kills.load(std::memory_order_relaxed);
+    out.probes = s.probes.load(std::memory_order_relaxed);
+    out.probeFailures = s.probeFailures.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace msq

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Replica supervision for the cluster tier: fork/exec N `model_server`
+ * processes (each binding an ephemeral port and loading the same
+ * deployment), health-check them over the MSQN protocol's Stats frame,
+ * and restart dead replicas with capped backoff.
+ *
+ * The supervisor owns the *processes*; it never touches request
+ * traffic. The ClusterController (controller.h) polls
+ * `endpoints()` for the live replica set and routes by the load
+ * numbers the health probes bring back. A replica is addressed as
+ * (index, generation): the index is its stable slot, the generation
+ * increments on every respawn, so a router can tell "the replica on
+ * port P died and came back" from "port P is still the same process"
+ * without trusting port reuse.
+ *
+ * Port discovery: the child is spawned with port 0 and its stdout on a
+ * pipe; the first `PORT <n>` line names the bound port
+ * (examples/model_server.cpp prints it flushed, before any other
+ * output can interleave). The pipe stays open and is drained every
+ * monitor tick so a chatty child can never block on a full pipe.
+ *
+ * All timing flows through serve/clock.h (the determinism lint's
+ * wall-clock rule); between fork and exec only async-signal-safe
+ * calls run.
+ */
+
+#ifndef MSQ_CLUSTER_SUPERVISOR_H
+#define MSQ_CLUSTER_SUPERVISOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "net/frame.h"
+
+namespace msq {
+
+/** Supervisor knobs. */
+struct SupervisorConfig
+{
+    std::string serverBinary;    ///< path to the model_server binary
+    std::string model = "TinyLM-decode";
+    size_t replicas = 1;
+    size_t ioWorkers = 2;        ///< per replica
+    size_t maxQueue = 16;        ///< per replica admission queue
+    unsigned threads = 1;        ///< MSQ_THREADS per replica
+    size_t maxBatch = 8;         ///< per replica engine batch
+    uint32_t spawnTimeoutMs = 20000; ///< deploy + bind + PORT line
+    uint32_t probePeriodMs = 25;     ///< monitor tick
+    uint32_t probeTimeoutMs = 500;   ///< connect + Stats round trip
+    uint32_t probeFailLimit = 3;     ///< consecutive misses -> unhealthy
+    uint32_t respawnBackoffBaseMs = 50;
+    uint32_t respawnBackoffCapMs = 2000;
+};
+
+/** One replica slot as the router sees it. */
+struct ReplicaEndpoint
+{
+    size_t index = 0;
+    uint16_t port = 0;       ///< 0 while down / respawning
+    uint64_t generation = 0; ///< bumps on every (re)spawn
+    bool healthy = false;    ///< process up and answering probes
+    StatsMsg stats;          ///< last probe snapshot
+};
+
+/** Supervision counters. */
+struct SupervisorStats
+{
+    uint64_t spawns = 0;       ///< initial + respawns
+    uint64_t respawns = 0;     ///< restarts after a death
+    uint64_t deaths = 0;       ///< reaped child exits
+    uint64_t kills = 0;        ///< killReplica() calls delivered
+    uint64_t probes = 0;
+    uint64_t probeFailures = 0;
+};
+
+/**
+ * One Stats query/reply round trip against a replica under a single
+ * deadline: the health probe. Shared by the supervisor's monitor and
+ * by tests that want to interrogate a replica directly.
+ */
+bool probeReplicaStats(uint16_t port, uint32_t timeout_ms, StatsMsg &out);
+
+/**
+ * Process supervisor for a fixed-size replica set. start() spawns
+ * every replica and blocks until each has reported its port; a
+ * monitor thread then reaps deaths, respawns with capped backoff, and
+ * health-checks via Stats probes. Thread-safe.
+ */
+class ReplicaSupervisor
+{
+  public:
+    explicit ReplicaSupervisor(const SupervisorConfig &config);
+    ~ReplicaSupervisor();
+
+    ReplicaSupervisor(const ReplicaSupervisor &) = delete;
+    ReplicaSupervisor &operator=(const ReplicaSupervisor &) = delete;
+
+    /** Spawn all replicas (blocking until every port is known) and
+     *  start the monitor. False if any replica fails to come up —
+     *  everything already spawned is torn down. */
+    bool start();
+
+    /** Stop monitoring and terminate every replica: SIGTERM first
+     *  (graceful drain), SIGKILL stragglers after `graceMs`. */
+    void stop(uint32_t graceMs = 5000);
+
+    /** Snapshot of every slot (routing input). */
+    std::vector<ReplicaEndpoint> endpoints() const;
+
+    /** SIGKILL one replica (chaos injection). The monitor reaps and
+     *  respawns it. False when the slot has no live process. */
+    bool killReplica(size_t index);
+
+    /** Live pid of a slot, or -1 while it is down. */
+    pid_t replicaPid(size_t index) const;
+
+    SupervisorStats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace msq
+
+#endif // MSQ_CLUSTER_SUPERVISOR_H

@@ -131,6 +131,58 @@ NetClient::attempt(const std::vector<uint8_t> &wire, uint64_t reqId,
     }
 }
 
+NetCode
+NetClient::queryStats(StatsMsg &out)
+{
+    const uint64_t reqId = nextReqId_++;
+    ++stats_.attempts;
+    Socket sock = tcpConnect(config_.port);
+    if (!sock.valid()) {
+        ++stats_.connectionsLost;
+        return NetCode::ConnectionLost;
+    }
+    const std::vector<uint8_t> wire = encodeStatsQueryFrame(reqId);
+    if (!sendFully(sock.fd(), wire.data(), wire.size())) {
+        ++stats_.connectionsLost;
+        return NetCode::ConnectionLost;
+    }
+    FrameDecoder decoder;
+    uint8_t buf[512];
+    for (;;) {
+        Frame frame;
+        const NetCode code = decoder.next(frame);
+        if (code == NetCode::NeedMore) {
+            pollfd pfd;
+            pfd.fd = sock.fd();
+            pfd.events = POLLIN;
+            pfd.revents = 0;
+            const int rc =
+                ::poll(&pfd, 1, static_cast<int>(config_.recvTimeoutMs));
+            if (rc == 0) {
+                ++stats_.timeouts;
+                return NetCode::Timeout;
+            }
+            if (rc < 0 && errno == EINTR)
+                continue;
+            size_t got = 0;
+            const IoWait w = recvSome(sock.fd(), buf, sizeof(buf), got);
+            if (w == IoWait::Again)
+                continue;
+            if (w != IoWait::Ready) {
+                ++stats_.connectionsLost;
+                return NetCode::ConnectionLost;
+            }
+            decoder.feed(buf, got);
+            continue;
+        }
+        if (code != NetCode::Ok)
+            return code;
+        if (frame.type != FrameType::Stats || frame.requestId != reqId)
+            return NetCode::BadPayload;
+        return decodeStatsMsg(frame.payload, out);
+    }
+}
+
 GenerateResult
 NetClient::generate(const std::vector<uint32_t> &prompt,
                     uint32_t max_new_tokens, uint32_t deadline_ms)
@@ -150,11 +202,31 @@ NetClient::generate(const std::vector<uint32_t> &prompt,
         const std::vector<uint8_t> wire = encodeRequestFrame(reqId, msg);
         out.firstTokenMs = -1.0;
         ++out.attempts;
+        ++stats_.attempts;
+        if (tryIdx > 0)
+            ++stats_.retries;
         const NetCode code = attempt(wire, reqId, out, epoch);
         out.code = code;
         if (code == NetCode::Ok) {
+            if (tryIdx > 0) {
+                ++stats_.reconnects;
+                ++stats_.failovers;
+            }
             out.totalMs = elapsedMs(epoch);
             return out;
+        }
+        switch (code) {
+          case NetCode::ConnectionLost: ++stats_.connectionsLost; break;
+          case NetCode::Timeout: ++stats_.timeouts; break;
+          case NetCode::Rejected:
+            if (out.serverError == ServeError::Overloaded)
+                ++stats_.rejectedOverloaded;
+            else if (out.serverError == ServeError::ShuttingDown)
+                ++stats_.rejectedShuttingDown;
+            else
+                ++stats_.rejectedOther;
+            break;
+          default: break;
         }
         // Transient failures retry; everything else is terminal.
         const bool transientReject =
@@ -171,6 +243,8 @@ NetClient::generate(const std::vector<uint32_t> &prompt,
         uint64_t delay = uint64_t{config_.backoffBaseMs} << tryIdx;
         delay = std::min<uint64_t>(delay, config_.backoffCapMs);
         delay += rng_.uniformInt(delay / 2 + 1);
+        ++stats_.backoffSleeps;
+        stats_.backoffMsTotal += delay;
         faultSleep(static_cast<uint32_t>(delay));
     }
     out.totalMs = elapsedMs(epoch);

@@ -43,6 +43,27 @@ struct ClientConfig
     uint64_t seed = 1;          ///< backoff-jitter rng seed
 };
 
+/**
+ * Cumulative transport counters across a client's lifetime. The load
+ * generator aggregates these across workers and the chaos tests
+ * assert on them (a SIGKILLed replica must surface as retries /
+ * failovers here, never as a corrupted stream).
+ */
+struct ClientStats
+{
+    uint64_t attempts = 0;       ///< connection attempts, all calls
+    uint64_t retries = 0;        ///< re-attempts after transient failure
+    uint64_t reconnects = 0;     ///< successful connects after a failure
+    uint64_t failovers = 0;      ///< generates that needed >1 attempt
+    uint64_t backoffSleeps = 0;  ///< retry delays taken
+    uint64_t backoffMsTotal = 0; ///< total milliseconds slept
+    uint64_t connectionsLost = 0;
+    uint64_t timeouts = 0;
+    uint64_t rejectedOverloaded = 0;
+    uint64_t rejectedShuttingDown = 0;
+    uint64_t rejectedOther = 0; ///< terminal server rejections
+};
+
 /** Outcome of one generate() call. */
 struct GenerateResult
 {
@@ -72,6 +93,15 @@ class NetClient
                             uint32_t max_new_tokens,
                             uint32_t deadline_ms = 0);
 
+    /**
+     * One Stats query/reply exchange (no retries): the health probe.
+     * Ok fills `out`; transport failures return their typed code.
+     */
+    NetCode queryStats(StatsMsg &out);
+
+    /** Cumulative transport counters (see ClientStats). */
+    const ClientStats &stats() const { return stats_; }
+
   private:
     /** One connection attempt; fills `out` on terminal outcomes. */
     NetCode attempt(const std::vector<uint8_t> &wire, uint64_t reqId,
@@ -80,6 +110,7 @@ class NetClient
     ClientConfig config_;
     Rng rng_;
     FaultInjector *faults_;
+    ClientStats stats_;
     uint64_t nextReqId_ = 1;
 };
 

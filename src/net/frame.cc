@@ -148,6 +148,28 @@ encodeErrorFrame(uint64_t request_id, const ErrorMsg &msg)
     return encodeFrame(FrameType::Error, request_id, payload);
 }
 
+std::vector<uint8_t>
+encodeStatsQueryFrame(uint64_t request_id)
+{
+    return encodeFrame(FrameType::Stats, request_id, {});
+}
+
+std::vector<uint8_t>
+encodeStatsFrame(uint64_t request_id, const StatsMsg &msg)
+{
+    std::vector<uint8_t> payload;
+    payload.reserve(40);
+    putU32(payload, msg.queueDepth);
+    putU32(payload, msg.inFlight);
+    putU32(payload, msg.capacityPages);
+    putU32(payload, msg.usedPages);
+    putU32(payload, msg.pledgedPages);
+    putU32(payload, msg.draining);
+    putU64(payload, msg.requestsServed);
+    putU64(payload, msg.tokensStreamed);
+    return encodeFrame(FrameType::Stats, request_id, payload);
+}
+
 NetCode
 decodeRequestMsg(const std::vector<uint8_t> &payload, RequestMsg &out)
 {
@@ -212,6 +234,22 @@ decodeErrorMsg(const std::vector<uint8_t> &payload, ErrorMsg &out)
     return NetCode::Ok;
 }
 
+NetCode
+decodeStatsMsg(const std::vector<uint8_t> &payload, StatsMsg &out)
+{
+    if (payload.size() != 40)
+        return NetCode::BadPayload;
+    out.queueDepth = getU32(payload.data());
+    out.inFlight = getU32(payload.data() + 4);
+    out.capacityPages = getU32(payload.data() + 8);
+    out.usedPages = getU32(payload.data() + 12);
+    out.pledgedPages = getU32(payload.data() + 16);
+    out.draining = getU32(payload.data() + 20);
+    out.requestsServed = getU64(payload.data() + 24);
+    out.tokensStreamed = getU64(payload.data() + 32);
+    return NetCode::Ok;
+}
+
 bool
 FrameDecoder::feed(const uint8_t *data, size_t bytes)
 {
@@ -240,7 +278,7 @@ FrameDecoder::next(Frame &out)
         return state_ = NetCode::BadMagic;
     const uint8_t type = hdr[4];
     if (type < static_cast<uint8_t>(FrameType::Request) ||
-        type > static_cast<uint8_t>(FrameType::Error))
+        type > static_cast<uint8_t>(FrameType::Stats))
         return state_ = NetCode::BadType;
     const uint32_t payload_bytes = getU32(hdr + 13);
     // Refuse hostile lengths before their payload is ever buffered:

@@ -35,6 +35,12 @@
  *            FNV-1a fold of the full stream, so a client can verify
  *            end-to-end integrity across retries and server restarts
  *   Error    u32 code (ServeError) | u32 detailLen | detail bytes
+ *   Stats    empty payload = the query (client -> server); the reply
+ *            (server -> client) carries the live load snapshot:
+ *            u32 queueDepth | u32 inFlight | u32 capacityPages |
+ *            u32 usedPages | u32 pledgedPages | u32 draining |
+ *            u64 requestsServed | u64 tokensStreamed — the health
+ *            probe the cluster tier (src/cluster) routes by
  *
  * The decoder is incremental (`FrameDecoder::feed` + `next`): workers
  * hand it whatever bytes `recv` produced and pop complete frames, so
@@ -81,6 +87,7 @@ enum class FrameType : uint8_t
     Token = 3,   ///< server -> client: one streamed token
     Done = 4,    ///< server -> client: stream complete + digest
     Error = 5,   ///< server -> client: typed rejection / failure
+    Stats = 6,   ///< empty = load query; 40-byte body = the snapshot
 };
 
 /** Typed rejection codes carried by Error frames. */
@@ -152,6 +159,24 @@ struct ErrorMsg
 };
 
 /**
+ * Decoded Stats payload: one server's live load snapshot, answered to
+ * an empty-payload Stats query. The cluster tier health-checks and
+ * routes by these numbers; they are a momentary reading, not a
+ * synchronized one (each field is sampled independently).
+ */
+struct StatsMsg
+{
+    uint32_t queueDepth = 0;    ///< admission-queue occupancy
+    uint32_t inFlight = 0;      ///< queued + engine-resident requests
+    uint32_t capacityPages = 0; ///< KV-arena budget (0 = unbounded)
+    uint32_t usedPages = 0;     ///< KV-arena pages currently held
+    uint32_t pledgedPages = 0;  ///< admission pledges outstanding
+    uint32_t draining = 0;      ///< 1 once admission has closed
+    uint64_t requestsServed = 0;
+    uint64_t tokensStreamed = 0;
+};
+
+/**
  * Order-sensitive FNV-1a fold of a token stream: the digest a Done
  * frame carries and the chaos tests compare across fault-free and
  * faulted runs.
@@ -170,6 +195,10 @@ std::vector<uint8_t> encodeDoneFrame(uint64_t request_id,
                                      const DoneMsg &msg);
 std::vector<uint8_t> encodeErrorFrame(uint64_t request_id,
                                       const ErrorMsg &msg);
+/** The empty-payload query form of a Stats frame. */
+std::vector<uint8_t> encodeStatsQueryFrame(uint64_t request_id);
+std::vector<uint8_t> encodeStatsFrame(uint64_t request_id,
+                                      const StatsMsg &msg);
 
 // ---------------------------------------------------------------------
 // Payload decoding: typed errors on malformed bodies, no allocation
@@ -180,6 +209,9 @@ NetCode decodeRequestMsg(const std::vector<uint8_t> &payload,
 NetCode decodeTokenMsg(const std::vector<uint8_t> &payload, TokenMsg &out);
 NetCode decodeDoneMsg(const std::vector<uint8_t> &payload, DoneMsg &out);
 NetCode decodeErrorMsg(const std::vector<uint8_t> &payload, ErrorMsg &out);
+/** Decodes the 40-byte snapshot form; the empty query form is
+ *  recognized by `payload.empty()` before calling this. */
+NetCode decodeStatsMsg(const std::vector<uint8_t> &payload, StatsMsg &out);
 
 /**
  * Incremental frame parser over a byte stream. Feed whatever bytes the

@@ -308,6 +308,39 @@ struct ModelServer::Impl
         }
     }
 
+    /** Answer a Stats query with a live load snapshot. The fields are
+     *  sampled independently (queue under `mu`, per-connection
+     *  in-flight under each conn's lock, arena through its own mutex)
+     *  — a momentary reading is all routing needs. */
+    void
+    handleStats(const ConnPtr &conn, const Frame &frame)
+    {
+        StatsMsg sm;
+        std::vector<ConnPtr> conns;
+        {
+            MutexLock lock(mu);
+            sm.queueDepth = static_cast<uint32_t>(queue.size());
+            sm.pledgedPages = static_cast<uint32_t>(pledgedPages);
+            sm.draining = (draining || stopping) ? 1u : 0u;
+            conns = allConns;
+        }
+        // Impl mu and conn mu are never nested: sum in-flight from a
+        // snapshot of the connection list.
+        size_t inflight = 0;
+        for (const ConnPtr &c : conns) {
+            MutexLock lock(c->mu);
+            if (!c->closed)
+                inflight += c->inFlight;
+        }
+        sm.inFlight = static_cast<uint32_t>(inflight);
+        sm.capacityPages =
+            static_cast<uint32_t>(engine.arena().capacityPages());
+        sm.usedPages = static_cast<uint32_t>(engine.arena().pagesInUse());
+        sm.requestsServed = requestsServed.load(std::memory_order_relaxed);
+        sm.tokensStreamed = tokensStreamed.load(std::memory_order_relaxed);
+        appendOut(conn, encodeStatsFrame(frame.requestId, sm), 0);
+    }
+
     /** Dispatch one decoded frame from a client. Returns false when
      *  the connection must be closed (protocol violation). */
     bool
@@ -319,6 +352,13 @@ struct ModelServer::Impl
             return true;
           case FrameType::Cancel:
             handleCancel(conn, frame);
+            return true;
+          case FrameType::Stats:
+            // Only the empty query form is client-to-server; a peer
+            // pushing snapshot bodies at us is out of protocol.
+            if (!frame.payload.empty())
+                return false;
+            handleStats(conn, frame);
             return true;
           default:
             // Server-to-client frame types arriving here mean the peer
@@ -701,17 +741,21 @@ struct ModelServer::Impl
                 TokenMsg tm;
                 tm.index = static_cast<uint32_t>(ev.index);
                 tm.token = ev.token;
-                appendOut(fl.conn, encodeTokenFrame(fl.clientReqId, tm), 1);
+                // Counters bump BEFORE the frame is buffered: once a
+                // client has read the bytes, any stats snapshot it then
+                // requests must already reflect them (the supervisor's
+                // probe and tests rely on that ordering).
                 tokensStreamed.fetch_add(1, std::memory_order_relaxed);
+                appendOut(fl.conn, encodeTokenFrame(fl.clientReqId, tm), 1);
                 fl.fold = foldStep(fl.fold, ev.token);
                 ++fl.count;
                 if (ev.last) {
                     DoneMsg dm;
                     dm.tokenCount = fl.count;
                     dm.streamFold = fl.fold;
+                    requestsServed.fetch_add(1, std::memory_order_relaxed);
                     appendOut(fl.conn, encodeDoneFrame(fl.clientReqId, dm),
                               0);
-                    requestsServed.fetch_add(1, std::memory_order_relaxed);
                     releasePledge(fl.pages);
                     decInFlight(fl.conn);
                     inflight.erase(inflight.begin() +

@@ -7,8 +7,11 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "serve/clock.h"
 
 namespace msq {
 
@@ -72,6 +75,67 @@ tcpConnect(uint16_t port)
     if (rc != 0)
         return Socket();
 
+    int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return sock;
+}
+
+Socket
+connectWithDeadline(uint16_t port, uint32_t deadline_ms)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid() || !setNonBlocking(sock.fd()))
+        return Socket();
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+
+    const uint64_t start = steadyNanos();
+    int rc;
+    do {
+        rc = ::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        if (errno != EINPROGRESS)
+            return Socket();
+        // Await writability, recomputing the remaining budget on every
+        // wakeup so EINTR cannot stretch the deadline.
+        for (;;) {
+            const double spent = elapsedMs(start);
+            if (spent >= static_cast<double>(deadline_ms))
+                return Socket();
+            pollfd pfd;
+            pfd.fd = sock.fd();
+            pfd.events = POLLOUT;
+            pfd.revents = 0;
+            const int remain =
+                static_cast<int>(static_cast<double>(deadline_ms) - spent);
+            const int n = ::poll(&pfd, 1, remain > 0 ? remain : 1);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Socket();
+            }
+            if (n == 0)
+                return Socket(); // timed out
+            break;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0)
+            return Socket();
+    }
+
+    // Restore blocking mode for callers that use sendFully/recv loops.
+    const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK) != 0)
+        return Socket();
     int one = 1;
     ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return sock;

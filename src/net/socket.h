@@ -78,6 +78,17 @@ Socket tcpListen(uint16_t port, uint16_t &boundPort, int backlog = 64);
 /** Blocking connect to 127.0.0.1:`port`. Invalid Socket on failure. */
 Socket tcpConnect(uint16_t port);
 
+/**
+ * Connect to 127.0.0.1:`port`, giving up after `deadline_ms`. The
+ * connect runs nonblocking under a poll loop that re-arms across
+ * EINTR with the remaining time recomputed from the monotonic clock,
+ * so a signal storm cannot extend the deadline and a black-holed peer
+ * cannot block forever (health probes and failover connects depend on
+ * both). The returned socket is back in blocking mode with
+ * TCP_NODELAY set; invalid on failure or timeout.
+ */
+Socket connectWithDeadline(uint16_t port, uint32_t deadline_ms);
+
 /** Accept one connection; Again when no pending connection. */
 IoWait tcpAccept(int listenFd, Socket &out);
 

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Cluster-tier suites: real fork/exec'd `model_server` replicas under a
+ * ReplicaSupervisor (the binary path arrives as the MSQ_SERVER_BIN
+ * compile definition), health probes over the Stats frame, routing
+ * through the ClusterController, and the cross-process chaos test —
+ * SIGKILL a loaded replica mid-stream and require every completed
+ * client stream byte-identical to a fault-free in-process engine run,
+ * zero dropped streams after drain, and the victim respawned and
+ * serving again.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cluster/controller.h"
+#include "cluster/supervisor.h"
+#include "model/model_zoo.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "serve/clock.h"
+#include "serve/decode.h"
+
+#ifndef MSQ_SERVER_BIN
+#error "tests/CMakeLists.txt must define MSQ_SERVER_BIN"
+#endif
+
+namespace msq {
+namespace {
+
+/** Mirror of examples/model_server.cpp's deployment geometry — the
+ *  reference engine must share kv shape and vocab with the replicas
+ *  (batch composition is free to differ: decode determinism). */
+DecodeConfig
+replicaDecodeConfig()
+{
+    DecodeConfig cfg;
+    cfg.maxBatchSeqs = 4;
+    cfg.stepTokenBudget = 32;
+    cfg.prefillChunk = 8;
+    cfg.kv = {2, 8, 8};
+    cfg.vocab = 64;
+    return cfg;
+}
+
+std::vector<uint32_t>
+makePrompt(uint64_t seed, size_t len, size_t vocab)
+{
+    Rng rng(seed);
+    std::vector<uint32_t> prompt(len);
+    for (uint32_t &tok : prompt)
+        tok = static_cast<uint32_t>(rng.uniformInt(vocab));
+    return prompt;
+}
+
+std::vector<uint32_t>
+referenceStream(const std::vector<uint32_t> &prompt, size_t maxNew)
+{
+    const ModelProfile &model = modelByName("TinyLM-decode");
+    MsqConfig qcfg;
+    qcfg.hessianCompensation = false;
+    DecodeEngine engine(model, qcfg, replicaDecodeConfig());
+    engine.submit(prompt, maxNew);
+    const DecodeReport rep = engine.run();
+    EXPECT_EQ(rep.requests.size(), 1u);
+    return rep.requests.empty() ? std::vector<uint32_t>()
+                                : rep.requests.front().tokens;
+}
+
+SupervisorConfig
+supervisorConfig(size_t replicas)
+{
+    SupervisorConfig sc;
+    sc.serverBinary = MSQ_SERVER_BIN;
+    sc.replicas = replicas;
+    sc.ioWorkers = 1;
+    sc.maxQueue = 16;
+    sc.threads = 1;
+    sc.maxBatch = 4;
+    return sc;
+}
+
+/** Bounded wait until `pred()` holds. */
+template <typename Pred>
+bool
+waitFor(Pred pred, double limitMs = 30000.0)
+{
+    const uint64_t t0 = steadyNanos();
+    while (!pred()) {
+        if (elapsedMs(t0) >= limitMs)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Supervision
+
+TEST(ReplicaSupervisor, SpawnsAndReportsDistinctHealthyPorts)
+{
+    ReplicaSupervisor sup(supervisorConfig(2));
+    ASSERT_TRUE(sup.start());
+    const std::vector<ReplicaEndpoint> eps = sup.endpoints();
+    ASSERT_EQ(eps.size(), 2u);
+    EXPECT_NE(eps[0].port, 0u);
+    EXPECT_NE(eps[1].port, 0u);
+    EXPECT_NE(eps[0].port, eps[1].port);
+    EXPECT_NE(eps[0].generation, eps[1].generation);
+    EXPECT_TRUE(eps[0].healthy);
+    EXPECT_TRUE(eps[1].healthy);
+    EXPECT_GE(sup.replicaPid(0), 0);
+    EXPECT_GE(sup.replicaPid(1), 0);
+
+    // A direct Stats probe answers with a sane idle snapshot (the
+    // demo deployment's arena is unbounded: capacityPages 0).
+    StatsMsg sm;
+    ASSERT_TRUE(probeReplicaStats(eps[0].port, 2000, sm));
+    EXPECT_EQ(sm.inFlight, 0u);
+    EXPECT_EQ(sm.draining, 0u);
+    EXPECT_EQ(sm.requestsServed, 0u);
+
+    // The replica is a real server: a stream matches the in-process
+    // reference bit for bit.
+    const std::vector<uint32_t> prompt = makePrompt(71, 5, 64);
+    ClientConfig cc;
+    cc.port = eps[1].port;
+    NetClient client(cc);
+    const GenerateResult res = client.generate(prompt, 6);
+    ASSERT_EQ(res.code, NetCode::Ok) << netCodeName(res.code);
+    EXPECT_EQ(res.tokens, referenceStream(prompt, 6));
+
+    sup.stop();
+    EXPECT_GE(sup.stats().spawns, 2u);
+    EXPECT_GE(sup.stats().probes, 1u);
+}
+
+TEST(ReplicaSupervisor, RespawnsKilledReplicaWithBumpedGeneration)
+{
+    ReplicaSupervisor sup(supervisorConfig(1));
+    ASSERT_TRUE(sup.start());
+    const ReplicaEndpoint before = sup.endpoints().front();
+    ASSERT_TRUE(before.healthy);
+
+    ASSERT_TRUE(sup.killReplica(0));
+    ASSERT_TRUE(waitFor([&] {
+        const ReplicaEndpoint ep = sup.endpoints().front();
+        return ep.healthy && ep.generation > before.generation;
+    })) << "victim never respawned";
+
+    const ReplicaEndpoint after = sup.endpoints().front();
+    EXPECT_NE(after.port, 0u);
+    StatsMsg sm;
+    EXPECT_TRUE(probeReplicaStats(after.port, 2000, sm));
+
+    const SupervisorStats st = sup.stats();
+    EXPECT_GE(st.kills, 1u);
+    EXPECT_GE(st.deaths, 1u);
+    EXPECT_GE(st.respawns, 1u);
+    sup.stop();
+}
+
+// ---------------------------------------------------------------------
+// Routing
+
+TEST(ClusterController, RoutesAcrossReplicasAndStreamsMatchReference)
+{
+    ReplicaSupervisor sup(supervisorConfig(2));
+    ASSERT_TRUE(sup.start());
+    ClusterController ctl(sup, ControllerConfig{});
+    ASSERT_TRUE(ctl.start());
+    const uint16_t port = ctl.boundPort();
+    ASSERT_NE(port, 0u);
+
+    constexpr size_t kClients = 6;
+    std::vector<std::vector<uint32_t>> prompts, got(kClients);
+    std::vector<NetCode> codes(kClients, NetCode::ConnectionLost);
+    for (size_t i = 0; i < kClients; ++i)
+        prompts.push_back(makePrompt(900 + i, 4 + i % 3, 64));
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kClients; ++i)
+        threads.emplace_back([&, i] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.seed = 10 + i;
+            NetClient client(cc);
+            const GenerateResult res = client.generate(prompts[i], 8);
+            codes[i] = res.code;
+            got[i] = res.tokens;
+        });
+    for (std::thread &t : threads)
+        t.join();
+    for (size_t i = 0; i < kClients; ++i) {
+        ASSERT_EQ(codes[i], NetCode::Ok) << netCodeName(codes[i]);
+        EXPECT_EQ(got[i], referenceStream(prompts[i], 8))
+            << "client " << i;
+    }
+
+    EXPECT_TRUE(ctl.drain());
+    const ControllerStats cs = ctl.stats();
+    EXPECT_EQ(cs.requestsCompleted, kClients);
+    EXPECT_EQ(cs.droppedStreams, 0u);
+    uint64_t served = 0;
+    for (uint64_t n : cs.perReplicaServed)
+        served += n;
+    EXPECT_EQ(served, kClients);
+    sup.stop();
+}
+
+TEST(ClusterController, AnswersAggregateStatsQueries)
+{
+    // The controller speaks the same protocol as a replica, Stats frame
+    // included — the probe helper works against it unchanged.
+    ReplicaSupervisor sup(supervisorConfig(1));
+    ASSERT_TRUE(sup.start());
+    ClusterController ctl(sup, ControllerConfig{});
+    ASSERT_TRUE(ctl.start());
+
+    StatsMsg sm;
+    ASSERT_TRUE(probeReplicaStats(ctl.boundPort(), 2000, sm));
+    EXPECT_EQ(sm.draining, 0u);
+    EXPECT_EQ(sm.inFlight, 0u);
+
+    ctl.requestDrain();
+    ASSERT_TRUE(waitFor([&] {
+        StatsMsg s;
+        return probeReplicaStats(ctl.boundPort(), 2000, s) &&
+               s.draining == 1u;
+    })) << "drain flag never surfaced in the Stats snapshot";
+    ctl.stop();
+    sup.stop();
+}
+
+// ---------------------------------------------------------------------
+// Cross-process chaos: SIGKILL under load.
+
+TEST(ClusterChaos, FailoverOnSigkillKeepsStreamsByteIdentical)
+{
+    ReplicaSupervisor sup(supervisorConfig(3));
+    ASSERT_TRUE(sup.start());
+    ControllerConfig ccfg;
+    ccfg.pollMs = 5;
+    ClusterController ctl(sup, ccfg);
+    ASSERT_TRUE(ctl.start());
+    const uint16_t port = ctl.boundPort();
+
+    constexpr size_t kClients = 8;
+    constexpr uint32_t kMaxNew = 48; // long streams: the kill lands
+                                     // mid-flight, not between requests
+    std::vector<std::vector<uint32_t>> prompts, want, got(kClients);
+    std::vector<NetCode> codes(kClients, NetCode::ConnectionLost);
+    std::vector<uint64_t> folds(kClients, 0);
+    for (size_t i = 0; i < kClients; ++i) {
+        prompts.push_back(makePrompt(4200 + i, 4 + i % 4, 64));
+        want.push_back(referenceStream(prompts[i], kMaxNew));
+    }
+
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kClients; ++i)
+        threads.emplace_back([&, i] {
+            ClientConfig cc;
+            cc.port = port;
+            cc.seed = 50 + i;
+            cc.maxAttempts = 12;
+            cc.backoffBaseMs = 10;
+            cc.backoffCapMs = 100;
+            NetClient client(cc);
+            const GenerateResult res =
+                client.generate(prompts[i], kMaxNew);
+            codes[i] = res.code;
+            got[i] = res.tokens;
+            folds[i] = res.streamFold;
+        });
+
+    // Kill the replica carrying the most live routes once streaming is
+    // demonstrably underway.
+    size_t victim = 0;
+    uint64_t victimGen = 0;
+    ASSERT_TRUE(waitFor([&] {
+        const ControllerStats cs = ctl.stats();
+        if (cs.tokensRelayed == 0)
+            return false;
+        uint64_t best = 0;
+        bool armed = false;
+        for (size_t i = 0; i < cs.perReplicaActive.size(); ++i)
+            if (cs.perReplicaActive[i] > best) {
+                best = cs.perReplicaActive[i];
+                victim = i;
+                armed = true;
+            }
+        return armed;
+    })) << "no replica ever held a live route";
+    for (const ReplicaEndpoint &ep : sup.endpoints())
+        if (ep.index == victim)
+            victimGen = ep.generation;
+    ASSERT_TRUE(sup.killReplica(victim));
+
+    for (std::thread &t : threads)
+        t.join();
+
+    // Every stream completed and is byte-identical to the fault-free
+    // reference — failover replay left no gap, duplicate, or reorder.
+    for (size_t i = 0; i < kClients; ++i) {
+        ASSERT_EQ(codes[i], NetCode::Ok)
+            << "client " << i << ": " << netCodeName(codes[i]);
+        EXPECT_EQ(got[i], want[i]) << "client " << i;
+        EXPECT_EQ(folds[i],
+                  tokenStreamFold(want[i].data(), want[i].size()))
+            << "client " << i;
+    }
+
+    // The kill was observed and at least one route failed over.
+    const ControllerStats cs = ctl.stats();
+    EXPECT_GE(cs.failovers, 1u);
+    EXPECT_GE(cs.replicaDeaths, 1u);
+
+    // The supervisor respawned the victim; the controller re-enlists
+    // it and routes a fresh request through it.
+    ASSERT_TRUE(waitFor([&] {
+        const std::vector<ReplicaEndpoint> eps = sup.endpoints();
+        return victim < eps.size() && eps[victim].healthy &&
+               eps[victim].generation > victimGen;
+    })) << "victim never respawned";
+    {
+        const std::vector<uint32_t> prompt = makePrompt(4300, 5, 64);
+        ClientConfig cc;
+        cc.port = port;
+        cc.seed = 99;
+        NetClient client(cc);
+        const GenerateResult res = client.generate(prompt, 6);
+        ASSERT_EQ(res.code, NetCode::Ok) << netCodeName(res.code);
+        EXPECT_EQ(res.tokens, referenceStream(prompt, 6));
+    }
+
+    // Drain: zero dropped streams is the invariant.
+    EXPECT_TRUE(ctl.drain());
+    EXPECT_EQ(ctl.stats().droppedStreams, 0u);
+    const SupervisorStats st = sup.stats();
+    EXPECT_GE(st.kills, 1u);
+    EXPECT_GE(st.respawns, 1u);
+    sup.stop();
+}
+
+} // namespace
+} // namespace msq

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <thread>
 #include <vector>
 
 #include <poll.h>
+#include <pthread.h>
 
 #include "model/model_zoo.h"
 #include "net/client.h"
@@ -588,6 +591,192 @@ TEST(ModelServer, DrainFinishesInFlightStreamsWithZeroDrops)
     cc.maxAttempts = 1;
     NetClient late(cc);
     EXPECT_NE(late.generate(prompts[0], 2).code, NetCode::Ok);
+}
+
+// ---------------------------------------------------------------------
+// Deadline-bounded connect
+
+TEST(NetSocket, ConnectWithDeadlineReachesAListener)
+{
+    uint16_t port = 0;
+    Socket listener = tcpListen(0, port);
+    ASSERT_TRUE(listener.valid());
+    Socket sock = connectWithDeadline(port, 2000);
+    EXPECT_TRUE(sock.valid());
+}
+
+TEST(NetSocket, ConnectWithDeadlineFailsFastOnClosedPort)
+{
+    // Bind an ephemeral port, then close it: the port is known-dead.
+    uint16_t port = 0;
+    {
+        Socket listener = tcpListen(0, port);
+        ASSERT_TRUE(listener.valid());
+    }
+    const uint64_t t0 = steadyNanos();
+    Socket sock = connectWithDeadline(port, 2000);
+    EXPECT_FALSE(sock.valid());
+    // Loopback refusal is immediate — nowhere near the deadline.
+    EXPECT_LT(elapsedMs(t0), 1500.0);
+}
+
+TEST(NetSocket, ConnectWithDeadlineSurvivesSignalStorm)
+{
+    // Pelt the connecting thread with non-SA_RESTART signals: the poll
+    // loop must re-arm across EINTR with the remaining time recomputed,
+    // and every connect must still land.
+    struct sigaction sa = {}, old = {};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // deliberately not SA_RESTART
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+    uint16_t port = 0;
+    Socket listener = tcpListen(0, port);
+    ASSERT_TRUE(listener.valid());
+
+    std::atomic<bool> connecting(true);
+    size_t connected = 0;
+    std::thread worker([&] {
+        for (size_t i = 0; i < 50; ++i) {
+            Socket sock = connectWithDeadline(port, 2000);
+            if (sock.valid())
+                ++connected;
+        }
+        connecting.store(false);
+    });
+    const pthread_t target = worker.native_handle();
+    std::thread pelter([&] {
+        while (connecting.load()) {
+            pthread_kill(target, SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+    worker.join();
+    pelter.join();
+    EXPECT_EQ(connected, 50u);
+    sigaction(SIGUSR1, &old, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Stats frame over the wire
+
+TEST(ModelServer, StatsQueryReturnsLiveSnapshot)
+{
+    // A bounded arena so the snapshot's capacity field carries signal
+    // (0 would mean unbounded).
+    DecodeConfig dec = baseDecodeConfig();
+    dec.kvArenaBytes = 1 << 20;
+    ServerFixture fx(ServerConfig{}, dec);
+    ASSERT_TRUE(fx.started);
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+
+    // Idle snapshot: capacity known, nothing in flight, not draining.
+    ASSERT_TRUE(raw.send(encodeStatsQueryFrame(5)));
+    Frame f;
+    ASSERT_EQ(raw.read(f), NetCode::Ok);
+    ASSERT_EQ(f.type, FrameType::Stats);
+    EXPECT_EQ(f.requestId, 5u);
+    StatsMsg sm;
+    ASSERT_EQ(decodeStatsMsg(f.payload, sm), NetCode::Ok);
+    EXPECT_GT(sm.capacityPages, 0u);
+    EXPECT_EQ(sm.inFlight, 0u);
+    EXPECT_EQ(sm.draining, 0u);
+    EXPECT_EQ(sm.requestsServed, 0u);
+
+    // After a served request the counters move; after requestDrain()
+    // the snapshot reports draining — the supervisor's health probe
+    // and the router's load signal ride on exactly these fields.
+    ClientConfig cc;
+    cc.port = fx.server.boundPort();
+    NetClient client(cc);
+    ASSERT_EQ(client.generate(makePrompt(55, 5, 64), 4).code,
+              NetCode::Ok);
+    fx.server.requestDrain();
+    StatsMsg after;
+    ASSERT_EQ(client.queryStats(after), NetCode::Ok);
+    EXPECT_EQ(after.requestsServed, 1u);
+    EXPECT_GE(after.tokensStreamed, 4u);
+    EXPECT_EQ(after.draining, 1u);
+}
+
+TEST(ModelServer, StatsFrameWithBodyIsAProtocolViolation)
+{
+    // Only the server sends snapshots; a client pushing a 40-byte Stats
+    // body is lying about its role and loses the connection.
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+    RawClient raw;
+    ASSERT_TRUE(raw.connect(fx.server.boundPort()));
+    StatsMsg sm;
+    sm.queueDepth = 7;
+    ASSERT_TRUE(raw.send(encodeStatsFrame(1, sm)));
+    Frame f;
+    EXPECT_EQ(raw.read(f), NetCode::ConnectionLost);
+}
+
+// ---------------------------------------------------------------------
+// Client retry/backoff counters
+
+TEST(NetClient, CountersTrackFailedAttemptsAndBackoff)
+{
+    uint16_t deadPort = 0;
+    {
+        Socket listener = tcpListen(0, deadPort);
+        ASSERT_TRUE(listener.valid());
+    }
+    ClientConfig cc;
+    cc.port = deadPort;
+    cc.maxAttempts = 3;
+    cc.backoffBaseMs = 1;
+    cc.backoffCapMs = 2;
+    NetClient client(cc);
+    const GenerateResult res = client.generate(makePrompt(1, 4, 64), 2);
+    EXPECT_EQ(res.code, NetCode::ConnectionLost);
+
+    const ClientStats &st = client.stats();
+    EXPECT_EQ(st.attempts, 3u);
+    EXPECT_EQ(st.retries, 2u);
+    EXPECT_EQ(st.connectionsLost, 3u);
+    EXPECT_EQ(st.backoffSleeps, 2u); // no sleep after the final try
+    EXPECT_GE(st.backoffMsTotal, 2u);
+    EXPECT_EQ(st.reconnects, 0u);
+    EXPECT_EQ(st.failovers, 0u);
+}
+
+TEST(NetClient, CountersTrackTypedRejectionsAndStayQuietWhenHealthy)
+{
+    ServerFixture fx;
+    ASSERT_TRUE(fx.started);
+
+    // Healthy path: one attempt, nothing else moves.
+    ClientConfig cc;
+    cc.port = fx.server.boundPort();
+    NetClient healthy(cc);
+    ASSERT_EQ(healthy.generate(makePrompt(2, 4, 64), 2).code,
+              NetCode::Ok);
+    EXPECT_EQ(healthy.stats().attempts, 1u);
+    EXPECT_EQ(healthy.stats().retries, 0u);
+    EXPECT_EQ(healthy.stats().backoffSleeps, 0u);
+    EXPECT_EQ(healthy.stats().connectionsLost, 0u);
+
+    // Draining server: ShuttingDown is transient, so every attempt is
+    // made and every rejection is typed into the counter.
+    fx.server.requestDrain();
+    ClientConfig rc;
+    rc.port = fx.server.boundPort();
+    rc.maxAttempts = 2;
+    rc.backoffBaseMs = 1;
+    rc.backoffCapMs = 2;
+    NetClient rejected(rc);
+    const GenerateResult res =
+        rejected.generate(makePrompt(3, 4, 64), 2);
+    EXPECT_EQ(res.code, NetCode::Rejected);
+    EXPECT_EQ(res.serverError, ServeError::ShuttingDown);
+    EXPECT_EQ(rejected.stats().attempts, 2u);
+    EXPECT_EQ(rejected.stats().rejectedShuttingDown, 2u);
+    EXPECT_EQ(rejected.stats().backoffSleeps, 1u);
 }
 
 TEST(ModelServer, RequestsDuringDrainGetShuttingDown)

@@ -30,12 +30,22 @@ corpus()
     ErrorMsg em;
     em.code = ServeError::DeadlineExceeded;
     em.detail = "expired";
+    StatsMsg sm;
+    sm.queueDepth = 3;
+    sm.inFlight = 2;
+    sm.capacityPages = 128;
+    sm.usedPages = 17;
+    sm.pledgedPages = 9;
+    sm.requestsServed = 1000;
+    sm.tokensStreamed = 16000;
     return {
         encodeRequestFrame(11, rq),
         encodeCancelFrame(12),
         encodeTokenFrame(13, TokenMsg{4, 42}),
         encodeDoneFrame(14, DoneMsg{5, 0x1234567890ull}),
         encodeErrorFrame(15, em),
+        encodeStatsQueryFrame(16),
+        encodeStatsFrame(17, sm),
     };
 }
 
@@ -58,6 +68,7 @@ consume(const std::vector<uint8_t> &bytes, size_t *frames = nullptr)
             TokenMsg tm;
             DoneMsg dm;
             ErrorMsg em;
+            StatsMsg sm;
             switch (f.type) {
               case FrameType::Request:
                 decodeRequestMsg(f.payload, rq);
@@ -70,6 +81,10 @@ consume(const std::vector<uint8_t> &bytes, size_t *frames = nullptr)
                 break;
               case FrameType::Error:
                 decodeErrorMsg(f.payload, em);
+                break;
+              case FrameType::Stats:
+                if (!f.payload.empty())
+                    decodeStatsMsg(f.payload, sm);
                 break;
               case FrameType::Cancel:
                 break;
@@ -183,6 +198,52 @@ TEST(NetFuzz, HostilePayloadLengthsAreTypedNotAllocated)
         EXPECT_EQ(decodeErrorMsg(payload, out), NetCode::BadPayload);
         EXPECT_TRUE(out.detail.empty());
     }
+    // Stats snapshots are fixed-size: every other length — short,
+    // long, or absurd — is typed BadPayload with no length-derived
+    // allocation (the payload is already bounded by the frame cap).
+    for (size_t size : {1u, 39u, 41u, 64u, 4096u}) {
+        std::vector<uint8_t> payload(size, 0xAB);
+        StatsMsg out;
+        EXPECT_EQ(decodeStatsMsg(payload, out), NetCode::BadPayload)
+            << "size " << size;
+    }
+}
+
+TEST(NetFuzz, StatsSnapshotRoundTripsExactly)
+{
+    StatsMsg sm;
+    sm.queueDepth = 0xAABBCCDD;
+    sm.inFlight = 7;
+    sm.capacityPages = 4096;
+    sm.usedPages = 1234;
+    sm.pledgedPages = 99;
+    sm.draining = 1;
+    sm.requestsServed = 0x1122334455667788ull;
+    sm.tokensStreamed = 0x99AABBCCDDEEFF00ull;
+    const std::vector<uint8_t> wire = encodeStatsFrame(21, sm);
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    ASSERT_EQ(dec.next(f), NetCode::Ok);
+    ASSERT_EQ(f.type, FrameType::Stats);
+    StatsMsg back;
+    ASSERT_EQ(decodeStatsMsg(f.payload, back), NetCode::Ok);
+    EXPECT_EQ(back.queueDepth, sm.queueDepth);
+    EXPECT_EQ(back.inFlight, sm.inFlight);
+    EXPECT_EQ(back.capacityPages, sm.capacityPages);
+    EXPECT_EQ(back.usedPages, sm.usedPages);
+    EXPECT_EQ(back.pledgedPages, sm.pledgedPages);
+    EXPECT_EQ(back.draining, sm.draining);
+    EXPECT_EQ(back.requestsServed, sm.requestsServed);
+    EXPECT_EQ(back.tokensStreamed, sm.tokensStreamed);
+
+    // The query form is an empty payload, distinguishable on sight.
+    const std::vector<uint8_t> query = encodeStatsQueryFrame(22);
+    FrameDecoder qdec;
+    qdec.feed(query.data(), query.size());
+    ASSERT_EQ(qdec.next(f), NetCode::Ok);
+    EXPECT_EQ(f.type, FrameType::Stats);
+    EXPECT_TRUE(f.payload.empty());
 }
 
 TEST(NetFuzz, SeededGarbageStreamsStayTyped)
